@@ -1,0 +1,47 @@
+//! Figure 11: contribution of each interpreter optimization for the Python
+//! packages — cumulative builds none → +symbolic-pointer avoidance →
+//! +hash neutralization → +fast-path elimination, as the number of
+//! high-level paths relative to the fully optimized build.
+
+use chef_bench::{banner, mean, run_averaged, rule};
+use chef_core::StrategyKind;
+use chef_minipy::InterpreterOptions;
+use chef_targets::python_packages;
+
+const BUDGET: u64 = 400_000;
+const SEEDS: u64 = 2;
+
+fn main() {
+    banner(
+        "Figure 11 — Interpreter optimization breakdown (Python packages)",
+        "paper Figure 11 (high-level paths relative to the full build = 100%)",
+    );
+    let builds = InterpreterOptions::cumulative();
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "Package", builds[0].0, builds[1].0, builds[2].0, builds[3].0
+    );
+    rule();
+    for pkg in python_packages() {
+        let mut counts = Vec::new();
+        for (_, opts) in builds {
+            let reports =
+                run_averaged(&pkg, StrategyKind::CupaPath, opts, BUDGET, SEEDS);
+            counts.push(mean(&reports, |r| r.hl_paths as f64));
+        }
+        let full = counts[3].max(1.0);
+        let cells: Vec<String> = counts
+            .iter()
+            .map(|c| format!("{:10.0}%", 100.0 * c / full))
+            .collect();
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12}",
+            pkg.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    rule();
+    println!("Shape to check against the paper: for most parser packages the count");
+    println!("rises monotonically as optimizations accumulate; on some (the paper's");
+    println!("xlrd) an intermediate build can win because each build steers the");
+    println!("search toward different behaviours — the paper's 'portfolio' remark.");
+}

@@ -1,0 +1,67 @@
+//! Figure 12: Chef's overhead relative to the hand-made NICE engine on the
+//! OpenFlow MAC-learning controller, as a function of the number of
+//! symbolic Ethernet frames, for each cumulative interpreter build.
+//!
+//! Overhead = (Chef time per high-level path) / (NICE time per path).
+
+use chef_bench::{banner, rule};
+use chef_core::{Chef, ChefConfig, StrategyKind};
+use chef_minipy::{build_program, compile, InterpreterOptions};
+use chef_nice::{NiceConfig, NiceEngine};
+use chef_targets::mac_controller;
+
+const MAX_FRAMES: usize = 4;
+const CHEF_BUDGET: u64 = 1_000_000;
+const WALL_CAP: std::time::Duration = std::time::Duration::from_secs(8);
+
+fn main() {
+    banner(
+        "Figure 12 — Chef overhead vs NICE on the MAC-learning controller",
+        "paper Figure 12 (per-HL-path cost ratio, cumulative §4.2 builds)",
+    );
+    let builds = InterpreterOptions::cumulative();
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "Frames", builds[0].0, builds[1].0, builds[2].0, builds[3].0, "paths chef/nice"
+    );
+    rule();
+    for frames in 1..=MAX_FRAMES {
+        let (pkg, test) = mac_controller(frames);
+        let module = compile(pkg.source).unwrap();
+        // NICE side.
+        let nice = NiceEngine::new(&module, NiceConfig::default()).run(&test);
+        let nice_per_path =
+            nice.elapsed.as_secs_f64() / nice.paths.max(1) as f64;
+        let mut cells = Vec::new();
+        let mut chef_paths = 0usize;
+        for (_, opts) in builds {
+            let prog = build_program(&module, &opts, &test).unwrap();
+            let report = Chef::new(
+                &prog,
+                ChefConfig {
+                    strategy: StrategyKind::CupaPath,
+                    max_ll_instructions: CHEF_BUDGET,
+                    per_path_fuel: CHEF_BUDGET / 4,
+                    seed: 3,
+                    max_wall: Some(WALL_CAP),
+                    ..ChefConfig::default()
+                },
+            )
+            .run();
+            let chef_per_path =
+                report.elapsed.as_secs_f64() / report.hl_paths.max(1) as f64;
+            chef_paths = report.hl_paths;
+            cells.push(format!("{:10.1}x", chef_per_path / nice_per_path.max(1e-9)));
+        }
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>9}/{:<5}",
+            frames, cells[0], cells[1], cells[2], cells[3], chef_paths, nice.paths
+        );
+    }
+    rule();
+    println!("Shape to check against the paper: the unoptimized build is orders of");
+    println!("magnitude slower (symbolic dict keys explode into hash and pointer");
+    println!("forks); each added optimization cuts the overhead, and the full build");
+    println!("settles at a modest constant factor over the dedicated engine —");
+    println!("the price of interpreter-level reasoning (paper: ~5–40x).");
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the substrates themselves (not a paper
+//! figure): solver query latency, concrete VM throughput, and symbolic
+//! stepping rate. Useful to spot performance regressions in the layers all
+//! experiments sit on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chef_core::{Chef, ChefConfig};
+use chef_lir::{run_concrete, InputMap, ModuleBuilder};
+use chef_solver::{BinOp, ExprPool, Solver};
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/linear_equation_8bit", |b| {
+        b.iter(|| {
+            let mut pool = ExprPool::new();
+            let mut solver = Solver::new();
+            let x = pool.fresh_var("x", 8);
+            let three = pool.constant(8, 3);
+            let mul = pool.bin(BinOp::Mul, x, three);
+            let c28 = pool.constant(8, 28);
+            let eq = pool.eq(mul, c28);
+            assert!(solver.check(&pool, &[eq]).is_sat());
+        });
+    });
+    c.bench_function("solver/cached_requery", |b| {
+        let mut pool = ExprPool::new();
+        let mut solver = Solver::new();
+        let x = pool.fresh_var("x", 32);
+        let c = pool.constant(32, 1234);
+        let eq = pool.eq(x, c);
+        assert!(solver.check(&pool, &[eq]).is_sat());
+        b.iter(|| {
+            assert!(solver.check(&pool, &[eq]).is_sat());
+        });
+    });
+}
+
+fn fib_program() -> chef_lir::Program {
+    let mut mb = ModuleBuilder::new();
+    let fib = mb.declare("fib", 1);
+    let main = mb.declare("main", 0);
+    mb.define(fib, |b| {
+        let n = b.param(0);
+        let small = b.ult(n, 2u64);
+        b.if_(small, |b| b.ret(n));
+        let n1 = b.sub(n, 1u64);
+        let n2 = b.sub(n, 2u64);
+        let a = b.call(fib, &[n1.into()]);
+        let c = b.call(fib, &[n2.into()]);
+        let s = b.add(a, c);
+        b.ret(s);
+    });
+    mb.define(main, |b| {
+        let n = b.const_(15);
+        let r = b.call(fib, &[n.into()]);
+        b.halt(r);
+    });
+    mb.finish("main").unwrap()
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let prog = fib_program();
+    c.bench_function("vm/concrete_fib15", |b| {
+        b.iter(|| {
+            let out = run_concrete(&prog, &InputMap::new(), 10_000_000);
+            assert_eq!(out.status, chef_lir::ConcreteStatus::Halted(610));
+        });
+    });
+}
+
+fn symbolic_program() -> chef_lir::Program {
+    let mut mb = ModuleBuilder::new();
+    let buf = mb.data_zeroed(4);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    mb.define(main, move |b| {
+        b.make_symbolic(buf, 4u64, name);
+        let i = b.const_(0);
+        let acc = b.const_(0);
+        b.while_(
+            |b| b.ult(i, 4u64),
+            |b| {
+                let a = b.add(i, buf);
+                let ch = b.load_u8(a);
+                let is_at = b.eq(ch, b'@' as u64);
+                b.if_(is_at, |b| {
+                    let n = b.add(acc, 1u64);
+                    b.set(acc, n);
+                });
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.halt(acc);
+    });
+    mb.finish("main").unwrap()
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let prog = symbolic_program();
+    c.bench_function("symex/explore_4byte_scan", |b| {
+        b.iter(|| {
+            let report = Chef::new(&prog, ChefConfig::default()).run();
+            assert_eq!(report.ll_paths, 16, "2^4 subsets of '@' positions");
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_solver, bench_vm, bench_symbolic
+}
+criterion_main!(benches);

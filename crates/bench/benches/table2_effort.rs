@@ -1,0 +1,107 @@
+//! Table 2: effort required to support each language in Chef.
+//!
+//! The paper reports lines changed in each interpreter: core size, HLPC
+//! instrumentation, symbolic-execution optimizations, native extensions,
+//! and the test library. We measure the same quantities on this
+//! reproduction's sources (compiled into the binary via `include_str!`).
+
+use chef_bench::{banner, rule};
+
+const DISPATCH: &str = include_str!("../../minipy/src/interp/dispatch.rs");
+const RT: &str = include_str!("../../minipy/src/interp/rt.rs");
+const LAYOUT: &str = include_str!("../../minipy/src/interp/layout.rs");
+const MOD: &str = include_str!("../../minipy/src/interp/mod.rs");
+const TESTLIB: &str = include_str!("../../minipy/src/testlib.rs");
+const LUA_LEXER: &str = include_str!("../../minilua/src/lexer.rs");
+const LUA_PARSER: &str = include_str!("../../minilua/src/parser.rs");
+const LUA_LIB: &str = include_str!("../../minilua/src/lib.rs");
+
+fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+/// Lines that belong to the HLPC instrumentation (§4.1): the `log_pc`
+/// emission and the HLPC construction around it.
+fn hlpc_instrumentation_loc(src: &str) -> usize {
+    src.lines()
+        .filter(|l| {
+            let l = l.trim();
+            l.contains("log_pc") || l.contains("hlpc")
+        })
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .count()
+}
+
+/// Lines guarded by a §4.2 optimization flag in the runtime.
+fn optimization_loc(src: &str) -> usize {
+    let flags = [
+        "neutralize_hashes",
+        "avoid_symbolic_pointers",
+        "eliminate_interning",
+        "eliminate_fast_paths",
+    ];
+    src.lines()
+        .filter(|l| flags.iter().any(|f| l.contains(f)))
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .count()
+}
+
+fn main() {
+    banner(
+        "Table 2 — Effort required to support MiniPy and MiniLua in Chef",
+        "paper Table 2 (effort summary; paper: 321 LoC / 5 days for Python, \
+         277 LoC / 3 days for Lua)",
+    );
+    let py_core = loc(DISPATCH) + loc(RT) + loc(LAYOUT) + loc(MOD);
+    let py_hlpc = hlpc_instrumentation_loc(DISPATCH);
+    let py_opts = optimization_loc(RT) + optimization_loc(DISPATCH);
+    let py_testlib = loc(TESTLIB);
+    // MiniLua reuses the bytecode interpreter core (documented substitution,
+    // DESIGN.md); its language-specific effort is the front-end.
+    let lua_front = loc(LUA_LEXER) + loc(LUA_PARSER) + loc(LUA_LIB);
+    let lua_hlpc = py_hlpc; // shared dispatch loop
+    let lua_opts = py_opts; // shared runtime
+
+    println!("{:<38} {:>12} {:>12}", "Component", "MiniPy", "MiniLua");
+    rule();
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "Interpreter core size (LoC)", py_core, format!("{py_core}*")
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "HLPC instrumentation (LoC)", py_hlpc, lua_hlpc
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "Symbex optimizations (guarded LoC)", py_opts, lua_opts
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "Language front-end (LoC)",
+        loc(include_str!("../../minipy/src/lexer.rs"))
+            + loc(include_str!("../../minipy/src/parser.rs"))
+            + loc(include_str!("../../minipy/src/compiler.rs")),
+        lua_front
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "Symbolic test library (LoC)", py_testlib, py_testlib
+    );
+    rule();
+    println!("* MiniLua shares the bytecode interpreter core with MiniPy (see");
+    println!("  DESIGN.md): the paper's Lua port likewise reused Chef unchanged;");
+    println!("  only the interpreter-side effort differs.");
+    println!();
+    println!(
+        "Instrumentation is {:.2}% of the interpreter core (paper: 0.01–0.3%).",
+        100.0 * py_hlpc as f64 / py_core as f64
+    );
+    println!(
+        "Optimizations touch {:.2}% of the core (paper: 0.06–1.6%).",
+        100.0 * py_opts as f64 / py_core as f64
+    );
+}

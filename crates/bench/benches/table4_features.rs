@@ -1,0 +1,91 @@
+//! Table 4: language feature support — Chef (measured) vs the dedicated
+//! engines (literature values from the paper), plus NICE re-measured on the
+//! bundled probes.
+
+use chef_bench::{banner, rule};
+use chef_core::{Chef, ChefConfig, StrategyKind};
+use chef_minipy::{build_program, compile, InterpreterOptions};
+use chef_nice::{NiceConfig, NiceEngine};
+use chef_targets::{paper_columns, probes, Support};
+
+fn measure_chef(probe: &chef_targets::FeatureProbe) -> Support {
+    let Some(src) = probe.source else {
+        return Support::None;
+    };
+    let module = compile(src).unwrap();
+    let prog = build_program(&module, &InterpreterOptions::all(), &probe.test).unwrap();
+    let report = Chef::new(
+        &prog,
+        ChefConfig {
+            strategy: StrategyKind::CupaPath,
+            max_ll_instructions: 400_000,
+            per_path_fuel: 100_000,
+            ..ChefConfig::default()
+        },
+    )
+    .run();
+    if report.hl_paths >= 2 {
+        Support::Complete
+    } else if report.ll_paths > 0 {
+        Support::Partial
+    } else {
+        Support::None
+    }
+}
+
+fn measure_nice(probe: &chef_targets::FeatureProbe) -> Support {
+    let Some(src) = probe.source else {
+        return Support::None;
+    };
+    let module = compile(src).unwrap();
+    let report = NiceEngine::new(&module, NiceConfig::default()).run(&probe.test);
+    if report.unsupported_paths > 0 {
+        Support::Partial
+    } else if report.paths >= 2 {
+        Support::Complete
+    } else {
+        Support::Partial
+    }
+}
+
+fn main() {
+    banner(
+        "Table 4 — Language feature support: Chef vs dedicated engines",
+        "paper Table 4 (● complete, ◐ partial, ○ unsupported; CutiePy/Commuter \
+         columns are the paper's reported values)",
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "Feature", "CHEF", "NICE", "CutiePy", "Commuter"
+    );
+    rule();
+    let lit = paper_columns();
+    let mut group = "";
+    for probe in probes() {
+        if probe.group != group {
+            group = probe.group;
+            println!("[{group}]");
+        }
+        let chef = measure_chef(&probe);
+        let nice = measure_nice(&probe);
+        let (cutiepy, commuter) = lit
+            .iter()
+            .find(|(f, _)| *f == probe.feature)
+            .map(|(_, cols)| (cols[0], cols[2]))
+            .unwrap_or(("?", "?"));
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>10}",
+            probe.feature,
+            chef.glyph(),
+            nice.glyph(),
+            cutiepy,
+            commuter
+        );
+    }
+    rule();
+    println!("Measured semantics: ● the engine explores multiple paths through the");
+    println!("feature; ◐ executes but cannot reason symbolically (or partially);");
+    println!("○ rejected. Chef's two ○ rows (floats, classes) match this");
+    println!("reproduction's documented language subset — the paper's Chef likewise");
+    println!("lacks symbolic floats (no STP float theory).");
+}

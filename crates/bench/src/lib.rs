@@ -1,0 +1,98 @@
+//! # chef-bench — shared helpers for the table/figure harnesses
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). This library holds the
+//! shared run matrix and formatting helpers.
+
+use chef_core::{Report, StrategyKind};
+use chef_minipy::InterpreterOptions;
+use chef_targets::{Package, RunConfig};
+
+/// The four experiment configurations of §6.3: (label, strategy, build).
+pub fn four_configs(
+    strategy: StrategyKind,
+) -> [(&'static str, StrategyKind, InterpreterOptions); 4] {
+    [
+        ("CUPA+opts", strategy, InterpreterOptions::all()),
+        ("opts only", StrategyKind::Random, InterpreterOptions::all()),
+        ("CUPA only", strategy, InterpreterOptions::vanilla()),
+        ("baseline", StrategyKind::Random, InterpreterOptions::vanilla()),
+    ]
+}
+
+/// Runs a package under a configuration, averaged over `seeds` repetitions
+/// (the paper repeats 15×; we default to fewer for bench runtime).
+pub fn run_averaged(
+    pkg: &Package,
+    strategy: StrategyKind,
+    opts: InterpreterOptions,
+    budget: u64,
+    seeds: u64,
+) -> Vec<Report> {
+    (0..seeds)
+        .map(|seed| {
+            pkg.run(&RunConfig {
+                strategy,
+                opts,
+                max_ll_instructions: budget,
+                per_path_fuel: budget / 4,
+                seed,
+                ..RunConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// Arithmetic mean of a per-report metric.
+pub fn mean(reports: &[Report], f: impl Fn(&Report) -> f64) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(&f).sum::<f64>() / reports.len() as f64
+}
+
+/// Sample standard deviation of a per-report metric.
+pub fn stddev(reports: &[Report], f: impl Fn(&Report) -> f64) -> f64 {
+    if reports.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(reports, &f);
+    let var = reports.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>()
+        / (reports.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Prints a banner naming the experiment and its paper counterpart.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("{}", "=".repeat(78));
+}
+
+/// Prints a rule line.
+pub fn rule() {
+    println!("{}", "-".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_configs_cover_the_grid() {
+        let cfgs = four_configs(StrategyKind::CupaPath);
+        assert_eq!(cfgs.len(), 4);
+        assert_eq!(cfgs[3].1, StrategyKind::Random);
+        assert_eq!(cfgs[3].2, InterpreterOptions::vanilla());
+        assert_eq!(cfgs[0].2, InterpreterOptions::all());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        // Degenerate inputs are total.
+        assert_eq!(mean(&[], |_| 1.0), 0.0);
+        assert_eq!(stddev(&[], |_| 1.0), 0.0);
+    }
+}

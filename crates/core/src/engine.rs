@@ -1,0 +1,657 @@
+//! The Chef engine: drives the low-level executor with CUPA state selection,
+//! reconstructs the high-level structure from `log_pc` events, and turns
+//! terminated paths into replayable test cases (§3.1, Figure 4).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use chef_lir::{ConcreteOutcome, InputMap, Program};
+use chef_solver::SolverStats;
+use chef_symex::{ExecConfig, ExecStats, Executor, GuestEvent, State, StepEvent, TermStatus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
+use crate::strategy::{fork_weight, Candidate, SearchStrategy, StrategyKind};
+
+/// Configuration of a Chef exploration session.
+#[derive(Clone, Debug)]
+pub struct ChefConfig {
+    /// State selection strategy (the paper's four configurations come from
+    /// combining this with the interpreter build).
+    pub strategy: StrategyKind,
+    /// RNG seed; runs are deterministic given a seed.
+    pub seed: u64,
+    /// Total exploration budget in low-level instructions (the analogue of
+    /// the paper's 30-minute wall-clock budget).
+    pub max_ll_instructions: u64,
+    /// Per-path instruction budget; exceeding it classifies the path as a
+    /// hang (the analogue of the paper's 60-second timeout).
+    pub per_path_fuel: u64,
+    /// Stop after this many test cases, if set.
+    pub max_tests: Option<usize>,
+    /// Cap on simultaneously live states; forks beyond it are dropped.
+    pub max_live_states: usize,
+    /// Low-level executor tunables.
+    pub exec: ExecConfig,
+    /// Record a timeline point every this many low-level instructions
+    /// (drives the Figure 10 efficiency plot).
+    pub timeline_resolution: u64,
+    /// Wall-clock cap on the whole session (the paper budgets runs by wall
+    /// clock; solver-heavy configurations get fewer paths per budget, which
+    /// is part of the measured effect). `None` = unbounded.
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl Default for ChefConfig {
+    fn default() -> Self {
+        ChefConfig {
+            strategy: StrategyKind::CupaPath,
+            seed: 0,
+            max_ll_instructions: 2_000_000,
+            per_path_fuel: 300_000,
+            max_tests: None,
+            max_live_states: 4096,
+            exec: ExecConfig::default(),
+            timeline_resolution: 50_000,
+            max_wall: None,
+        }
+    }
+}
+
+/// Outcome class of a generated test case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestStatus {
+    /// The guest terminated gracefully with this status code.
+    Ok(u64),
+    /// The interpreter crashed non-gracefully (`abort`), code attached.
+    Crash(u64),
+    /// The per-path budget was exhausted (infinite loop suspect).
+    Hang,
+}
+
+/// A concrete, replayable test case produced by the engine.
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// Sequence number in generation order.
+    pub id: usize,
+    /// Concrete input bytes per symbolic buffer name.
+    pub inputs: InputMap,
+    /// Outcome class.
+    pub status: TestStatus,
+    /// Exception class name reported by the guest, if any.
+    pub exception: Option<String>,
+    /// Terminal node in the high-level execution tree (identifies the
+    /// high-level path).
+    pub hl_path: HlNodeId,
+    /// Whether this test covers a high-level path no earlier test covered
+    /// (the paper's "relevant high-level test case").
+    pub new_hl_path: bool,
+    /// Low-level instructions this path executed.
+    pub ll_steps: u64,
+    /// Global low-level instruction counter when the test was generated.
+    pub at_ll_instructions: u64,
+}
+
+/// A sample of exploration progress (drives Figure 10).
+#[derive(Clone, Copy, Debug)]
+pub struct TimelinePoint {
+    /// Global low-level instruction counter at the sample.
+    pub ll_instructions: u64,
+    /// Low-level paths terminated so far.
+    pub ll_paths: usize,
+    /// Distinct high-level paths covered so far.
+    pub hl_paths: usize,
+}
+
+/// Summary of one exploration session.
+#[derive(Debug)]
+pub struct Report {
+    /// Generated test cases in order.
+    pub tests: Vec<TestCase>,
+    /// Distinct high-level paths covered (relevant test cases).
+    pub hl_paths: usize,
+    /// Low-level paths terminated.
+    pub ll_paths: usize,
+    /// All high-level locations covered by terminated paths.
+    pub covered_hlpcs: HashSet<u64>,
+    /// Progress samples.
+    pub timeline: Vec<TimelinePoint>,
+    /// Executor counters.
+    pub exec_stats: ExecStats,
+    /// Solver counters.
+    pub solver_stats: SolverStats,
+    /// Wall-clock duration of the session.
+    pub elapsed: Duration,
+    /// Number of hang test cases.
+    pub hangs: usize,
+    /// Number of crash test cases.
+    pub crashes: usize,
+    /// Exception class name → count over all tests.
+    pub exceptions: BTreeMap<String, usize>,
+    /// Strategy name used.
+    pub strategy: &'static str,
+    /// Total low-level instructions executed.
+    pub ll_instructions: u64,
+    /// States dropped because of the live-state cap.
+    pub dropped_states: u64,
+    /// Paths discarded as infeasible (assume contradictions).
+    pub infeasible_paths: u64,
+}
+
+impl Report {
+    /// Efficiency ratio: high-level paths per low-level path (Figure 10).
+    pub fn hl_ll_ratio(&self) -> f64 {
+        if self.ll_paths == 0 {
+            0.0
+        } else {
+            self.hl_paths as f64 / self.ll_paths as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Meta {
+    hl_node: HlNodeId,
+    prev_hlpc: Option<u64>,
+    last_exception: Option<String>,
+}
+
+enum SliceOutcome {
+    Reinsert(State, Meta),
+    Forked(State, Meta, Vec<(State, Meta)>),
+    Finalized,
+}
+
+/// The Chef engine (Figure 4): a language-agnostic symbolic execution
+/// platform that becomes a language-specific engine when handed an
+/// instrumented interpreter (an LIR [`Program`]).
+///
+/// # Examples
+///
+/// ```
+/// use chef_core::{Chef, ChefConfig};
+/// use chef_lir::ModuleBuilder;
+///
+/// // A one-branch "interpreter": forks on a symbolic byte.
+/// let mut mb = ModuleBuilder::new();
+/// let buf = mb.data_zeroed(1);
+/// let name = mb.name_id("x");
+/// let main = mb.declare("main", 0);
+/// mb.define(main, move |b| {
+///     b.make_symbolic(buf, 1u64, name);
+///     b.log_pc(1u64, 0u64);
+///     let x = b.load_u8(buf);
+///     let c = b.ult(x, 10u64);
+///     b.log_pc(2u64, 1u64);
+///     b.if_else(c, |b| b.halt(0u64), |b| b.halt(1u64));
+/// });
+/// let prog = mb.finish("main")?;
+///
+/// let report = Chef::new(&prog, ChefConfig::default()).run();
+/// assert_eq!(report.tests.len(), 2);
+/// # Ok::<(), String>(())
+/// ```
+pub struct Chef<'p> {
+    exec: Executor<'p>,
+    config: ChefConfig,
+    strategy: Box<dyn SearchStrategy>,
+    rng: StdRng,
+    tree: HlTree,
+    cfg: HlCfg,
+    live: Vec<(State, Meta)>,
+    seen_hl_paths: HashSet<HlNodeId>,
+    tests: Vec<TestCase>,
+    covered_hlpcs: HashSet<u64>,
+    timeline: Vec<TimelinePoint>,
+    next_timeline: u64,
+    ll_paths: usize,
+    hangs: usize,
+    crashes: usize,
+    exceptions: BTreeMap<String, usize>,
+    dropped_states: u64,
+    infeasible_paths: u64,
+}
+
+impl<'p> Chef<'p> {
+    /// Creates an engine for the given interpreter program.
+    pub fn new(prog: &'p Program, config: ChefConfig) -> Self {
+        let mut exec = Executor::new(prog, config.exec);
+        let initial = exec.initial_state();
+        let strategy = config.strategy.build();
+        let rng = StdRng::seed_from_u64(config.seed);
+        let next_timeline = config.timeline_resolution;
+        Chef {
+            exec,
+            config,
+            strategy,
+            rng,
+            tree: HlTree::new(),
+            cfg: HlCfg::new(),
+            live: vec![(
+                initial,
+                Meta { hl_node: HL_ROOT, prev_hlpc: None, last_exception: None },
+            )],
+            seen_hl_paths: HashSet::new(),
+            tests: Vec::new(),
+            covered_hlpcs: HashSet::new(),
+            timeline: Vec::new(),
+            next_timeline,
+            ll_paths: 0,
+            hangs: 0,
+            crashes: 0,
+            exceptions: BTreeMap::new(),
+            dropped_states: 0,
+            infeasible_paths: 0,
+        }
+    }
+
+    /// Shared access to the high-level CFG discovered so far.
+    pub fn hl_cfg(&self) -> &HlCfg {
+        &self.cfg
+    }
+
+    /// Shared access to the high-level execution tree.
+    pub fn hl_tree(&self) -> &HlTree {
+        &self.tree
+    }
+
+    fn build_candidates(&mut self) -> Vec<Candidate> {
+        let kind = self.config.strategy;
+        if kind == StrategyKind::CupaCoverage {
+            self.cfg.refresh();
+        }
+        self.live
+            .iter()
+            .map(|(state, meta)| {
+                let (keys, class_weights, state_weight) = match kind {
+                    StrategyKind::Random | StrategyKind::Dfs => ([0, 0], [1.0, 1.0], 1.0),
+                    StrategyKind::CupaPath => {
+                        let (f, b) = if state.frames.is_empty() {
+                            (u32::MAX, u32::MAX)
+                        } else {
+                            state.ll_loc()
+                        };
+                        (
+                            [meta.hl_node.0 as u64, ((f as u64) << 32) | b as u64],
+                            [1.0, 1.0],
+                            1.0,
+                        )
+                    }
+                    StrategyKind::CupaCoverage => (
+                        [state.hlpc, state.id.0],
+                        [self.cfg.coverage_weight(state.hlpc), 1.0],
+                        fork_weight(state.consecutive_forks),
+                    ),
+                };
+                Candidate { id: state.id, keys, class_weights, state_weight }
+            })
+            .collect()
+    }
+
+    /// Runs the session to completion and produces the report.
+    pub fn run(mut self) -> Report {
+        let start = Instant::now();
+        loop {
+            if self.live.is_empty()
+                || self.exec.stats.ll_instructions >= self.config.max_ll_instructions
+            {
+                break;
+            }
+            if let Some(cap) = self.config.max_wall {
+                if start.elapsed() >= cap {
+                    break;
+                }
+            }
+            if let Some(max) = self.config.max_tests {
+                if self.tests.len() >= max {
+                    break;
+                }
+            }
+            let candidates = self.build_candidates();
+            let Some(idx) = self.strategy.select(&candidates, &mut self.rng) else {
+                break;
+            };
+            // Map candidate index back to the live vector (same order).
+            let (state, meta) = self.live.swap_remove(idx);
+            match self.run_slice(state, meta) {
+                SliceOutcome::Reinsert(s, m) => self.live.push((s, m)),
+                SliceOutcome::Forked(s, m, alts) => {
+                    self.live.push((s, m));
+                    for (alt_s, alt_m) in alts {
+                        if self.live.len() >= self.config.max_live_states {
+                            self.dropped_states += 1;
+                        } else {
+                            self.live.push((alt_s, alt_m));
+                        }
+                    }
+                }
+                SliceOutcome::Finalized => {}
+            }
+            self.sample_timeline();
+        }
+        self.sample_timeline_forced();
+        Report {
+            hl_paths: self.seen_hl_paths.len(),
+            ll_paths: self.ll_paths,
+            tests: self.tests,
+            covered_hlpcs: self.covered_hlpcs,
+            timeline: self.timeline,
+            exec_stats: self.exec.stats,
+            solver_stats: self.exec.solver.stats,
+            elapsed: start.elapsed(),
+            hangs: self.hangs,
+            crashes: self.crashes,
+            exceptions: self.exceptions,
+            strategy: self.strategy.name(),
+            ll_instructions: self.exec.stats.ll_instructions,
+            dropped_states: self.dropped_states,
+            infeasible_paths: self.infeasible_paths,
+        }
+    }
+
+    fn run_slice(&mut self, mut state: State, mut meta: Meta) -> SliceOutcome {
+        loop {
+            if self.exec.stats.ll_instructions >= self.config.max_ll_instructions {
+                return SliceOutcome::Reinsert(state, meta);
+            }
+            if state.ll_steps >= self.config.per_path_fuel {
+                self.finalize(state, meta, TestStatus::Hang);
+                return SliceOutcome::Finalized;
+            }
+            match self.exec.step(&mut state) {
+                StepEvent::Advanced => {}
+                StepEvent::LogPc { pc, opcode } => {
+                    meta.hl_node = self.tree.child(meta.hl_node, pc);
+                    self.cfg.observe(meta.prev_hlpc, pc, opcode);
+                    meta.prev_hlpc = Some(pc);
+                }
+                StepEvent::Guest(GuestEvent::Exception(name)) => {
+                    meta.last_exception = Some(name);
+                }
+                StepEvent::Guest(_) => {}
+                StepEvent::Forked { alternates } => {
+                    let alts: Vec<(State, Meta)> = alternates
+                        .into_iter()
+                        .map(|s| (s, meta.clone()))
+                        .collect();
+                    return SliceOutcome::Forked(state, meta, alts);
+                }
+                StepEvent::Terminated(status) => {
+                    match status {
+                        TermStatus::AssumeFailed => {
+                            self.infeasible_paths += 1;
+                        }
+                        TermStatus::Halted(c) | TermStatus::Ended(c) => {
+                            self.finalize(state, meta, TestStatus::Ok(c));
+                        }
+                        TermStatus::Returned => {
+                            self.finalize(state, meta, TestStatus::Ok(0));
+                        }
+                        TermStatus::Aborted(c) => {
+                            self.finalize(state, meta, TestStatus::Crash(c));
+                        }
+                    }
+                    return SliceOutcome::Finalized;
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, state: State, meta: Meta, status: TestStatus) {
+        let Some(inputs) = state.concretize_inputs(&self.exec.pool, &mut self.exec.solver)
+        else {
+            self.infeasible_paths += 1;
+            return;
+        };
+        self.ll_paths += 1;
+        for pc in self.tree.path_to(meta.hl_node) {
+            self.covered_hlpcs.insert(pc);
+        }
+        let new_hl_path = self.seen_hl_paths.insert(meta.hl_node);
+        match &status {
+            TestStatus::Hang => self.hangs += 1,
+            TestStatus::Crash(_) => self.crashes += 1,
+            TestStatus::Ok(_) => {}
+        }
+        if let Some(e) = &meta.last_exception {
+            *self.exceptions.entry(e.clone()).or_insert(0) += 1;
+        }
+        let test = TestCase {
+            id: self.tests.len(),
+            inputs,
+            status,
+            exception: meta.last_exception,
+            hl_path: meta.hl_node,
+            new_hl_path,
+            ll_steps: state.ll_steps,
+            at_ll_instructions: self.exec.stats.ll_instructions,
+        };
+        self.tests.push(test);
+    }
+
+    fn sample_timeline(&mut self) {
+        if self.exec.stats.ll_instructions >= self.next_timeline {
+            self.timeline.push(TimelinePoint {
+                ll_instructions: self.exec.stats.ll_instructions,
+                ll_paths: self.ll_paths,
+                hl_paths: self.seen_hl_paths.len(),
+            });
+            self.next_timeline =
+                self.exec.stats.ll_instructions + self.config.timeline_resolution;
+        }
+    }
+
+    fn sample_timeline_forced(&mut self) {
+        self.timeline.push(TimelinePoint {
+            ll_instructions: self.exec.stats.ll_instructions,
+            ll_paths: self.ll_paths,
+            hl_paths: self.seen_hl_paths.len(),
+        });
+    }
+}
+
+/// Replays a test case on the concrete reference VM (the paper's "replay on
+/// the host machine, in a vanilla environment").
+pub fn replay(prog: &Program, inputs: &InputMap, fuel: u64) -> ConcreteOutcome {
+    chef_lir::run_concrete(prog, inputs, fuel)
+}
+
+/// Replays a whole test suite and returns the union of covered HLPCs,
+/// which language front-ends map to source lines for coverage reports.
+pub fn replay_coverage(prog: &Program, tests: &[TestCase], fuel: u64) -> HashSet<u64> {
+    let mut covered = HashSet::new();
+    for t in tests {
+        let out = chef_lir::run_concrete(prog, &t.inputs, fuel);
+        for (pc, _) in out.hl_trace {
+            covered.insert(pc);
+        }
+    }
+    covered
+}
+
+/// Groups tests by the exception they raised (used by the Table 3 harness).
+pub fn exceptions_by_name(tests: &[TestCase]) -> HashMap<String, Vec<usize>> {
+    let mut map: HashMap<String, Vec<usize>> = HashMap::new();
+    for t in tests {
+        if let Some(e) = &t.exception {
+            map.entry(e.clone()).or_default().push(t.id);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_lir::ModuleBuilder;
+
+    /// A small "interpreter" with instrumented HLPCs: two high-level
+    /// branches plus a string scan that explodes at the low level.
+    fn demo_program() -> Program {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(3);
+        let name = mb.name_id("input");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 3u64, name);
+            b.log_pc(1u64, 0u64);
+            // low-level explosion: scan for '@'
+            let i = b.const_(0);
+            let pos = b.mov(-1i64);
+            b.while_(
+                |b| b.ult(i, 3u64),
+                |b| {
+                    let a = b.add(i, buf);
+                    let c = b.load_u8(a);
+                    let hit = b.eq(c, b'@' as u64);
+                    b.if_(hit, |b| {
+                        b.set(pos, i);
+                        b.break_();
+                    });
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.log_pc(2u64, 1u64); // high-level branch point
+            let neg = b.slt(pos, 0i64);
+            b.if_else(
+                neg,
+                |b| {
+                    b.log_pc(3u64, 2u64);
+                    b.halt(1u64);
+                },
+                |b| {
+                    b.log_pc(4u64, 2u64);
+                    b.halt(0u64);
+                },
+            );
+        });
+        mb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn explores_both_high_level_paths() {
+        let prog = demo_program();
+        let report = Chef::new(&prog, ChefConfig::default()).run();
+        assert_eq!(report.hl_paths, 2, "exactly two high-level paths exist");
+        assert!(report.ll_paths >= 4, "low-level paths exceed high-level");
+        assert!(report.hl_ll_ratio() <= 1.0);
+        // Every test replays to its recorded outcome.
+        for t in &report.tests {
+            let out = replay(&prog, &t.inputs, 1_000_000);
+            match (&t.status, &out.status) {
+                (TestStatus::Ok(c), chef_lir::ConcreteStatus::Halted(rc)) => {
+                    assert_eq!(c, rc, "replay must reproduce the recorded exit code")
+                }
+                other => panic!("unexpected combination {other:?}"),
+            }
+            assert!(!out.assume_violated);
+        }
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let prog = demo_program();
+        let r1 = Chef::new(&prog, ChefConfig { seed: 42, ..Default::default() }).run();
+        let r2 = Chef::new(&prog, ChefConfig { seed: 42, ..Default::default() }).run();
+        assert_eq!(r1.tests.len(), r2.tests.len());
+        assert_eq!(r1.ll_instructions, r2.ll_instructions);
+    }
+
+    #[test]
+    fn budget_limits_work() {
+        let prog = demo_program();
+        let report = Chef::new(
+            &prog,
+            ChefConfig { max_ll_instructions: 100, ..Default::default() },
+        )
+        .run();
+        assert!(report.ll_instructions <= 110, "budget respected (one slice)");
+    }
+
+    #[test]
+    fn hang_detection_flags_infinite_loops() {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            b.log_pc(1u64, 0u64);
+            let x = b.load_u8(buf);
+            let is_loop = b.eq(x, b'L' as u64);
+            b.if_else(is_loop, |b| b.loop_(|_| {}), |b| b.halt(0u64));
+        });
+        let prog = mb.finish("main").unwrap();
+        let report = Chef::new(
+            &prog,
+            ChefConfig { per_path_fuel: 5_000, ..Default::default() },
+        )
+        .run();
+        assert_eq!(report.hangs, 1, "the looping path is reported as a hang");
+        let hang = report
+            .tests
+            .iter()
+            .find(|t| t.status == TestStatus::Hang)
+            .unwrap();
+        assert_eq!(hang.inputs["x"][0], b'L');
+    }
+
+    #[test]
+    fn max_tests_stops_early() {
+        let prog = demo_program();
+        let report = Chef::new(
+            &prog,
+            ChefConfig { max_tests: Some(1), ..Default::default() },
+        )
+        .run();
+        assert_eq!(report.tests.len(), 1);
+    }
+
+    #[test]
+    fn all_strategies_cover_all_paths_on_small_programs() {
+        let prog = demo_program();
+        for kind in [
+            StrategyKind::Random,
+            StrategyKind::CupaPath,
+            StrategyKind::CupaCoverage,
+            StrategyKind::Dfs,
+        ] {
+            let report = Chef::new(
+                &prog,
+                ChefConfig { strategy: kind, ..Default::default() },
+            )
+            .run();
+            assert_eq!(report.hl_paths, 2, "{kind:?} must find both HL paths");
+        }
+    }
+
+    #[test]
+    fn covered_hlpcs_accumulate() {
+        let prog = demo_program();
+        let report = Chef::new(&prog, ChefConfig::default()).run();
+        for pc in [1u64, 2, 3, 4] {
+            assert!(report.covered_hlpcs.contains(&pc), "hlpc {pc} covered");
+        }
+    }
+
+    #[test]
+    fn replay_coverage_matches_engine_coverage() {
+        let prog = demo_program();
+        let report = Chef::new(&prog, ChefConfig::default()).run();
+        let replayed = replay_coverage(&prog, &report.tests, 1_000_000);
+        assert_eq!(replayed, report.covered_hlpcs);
+    }
+
+    #[test]
+    fn timeline_is_monotonic() {
+        let prog = demo_program();
+        let report = Chef::new(&prog, ChefConfig::default()).run();
+        assert!(!report.timeline.is_empty());
+        for w in report.timeline.windows(2) {
+            assert!(w[0].ll_instructions <= w[1].ll_instructions);
+            assert!(w[0].hl_paths <= w[1].hl_paths);
+        }
+    }
+}

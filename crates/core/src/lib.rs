@@ -1,0 +1,55 @@
+//! # chef-core — the Chef engine layer
+//!
+//! The language-agnostic platform of the paper's Figure 4: given an
+//! instrumented interpreter (an LIR [`Program`](chef_lir::Program) that
+//! calls `log_pc`), [`Chef`] becomes a symbolic execution engine for the
+//! interpreter's target language. It:
+//!
+//! - reconstructs the high-level execution tree and CFG from `log_pc`
+//!   ([`hl`]),
+//! - selects states with CUPA ([`strategy`]): path-optimized (§3.3) or
+//!   coverage-optimized with fork weights (§3.4), against random and DFS
+//!   baselines,
+//! - generates test cases by solving path conditions, classifies hangs and
+//!   crashes, and records the progress timelines the paper's figures plot
+//!   ([`engine`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use chef_core::{Chef, ChefConfig, StrategyKind};
+//! use chef_lir::ModuleBuilder;
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let buf = mb.data_zeroed(1);
+//! let name = mb.name_id("x");
+//! let main = mb.declare("main", 0);
+//! mb.define(main, move |b| {
+//!     b.make_symbolic(buf, 1u64, name);
+//!     b.log_pc(1u64, 0u64);
+//!     let x = b.load_u8(buf);
+//!     let c = b.eq(x, 42u64);
+//!     b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+//! });
+//! let prog = mb.finish("main")?;
+//!
+//! let config = ChefConfig { strategy: StrategyKind::CupaPath, ..Default::default() };
+//! let report = Chef::new(&prog, config).run();
+//! assert_eq!(report.tests.len(), 2);
+//! assert!(report.tests.iter().any(|t| t.inputs["x"][0] == 42));
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod engine;
+pub mod hl;
+pub mod strategy;
+
+pub use engine::{
+    exceptions_by_name, replay, replay_coverage, Chef, ChefConfig, Report, TestCase, TestStatus,
+    TimelinePoint,
+};
+pub use hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
+pub use strategy::{
+    fork_weight, Candidate, CupaStrategy, DfsStrategy, RandomStrategy, SearchStrategy,
+    StrategyKind, FORK_WEIGHT_P,
+};

@@ -1,0 +1,288 @@
+//! State selection strategies, including CUPA (§3.2–§3.4).
+//!
+//! CUPA organizes candidate states into a classification tree and selects by
+//! a weighted random descent: first pick a class at each level, then a state
+//! inside the leaf. Classes at a level default to equal probability; the
+//! coverage-optimized instantiation weighs level-1 classes by `1/d` (distance
+//! to a potential branching point) and leaf states by their *fork weight*
+//! (`p = 0.75`, §3.4).
+
+use chef_symex::StateId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fork-weight de-emphasis factor from §3.4.
+pub const FORK_WEIGHT_P: f64 = 0.75;
+
+/// Computes the fork weight of a state that was the `n`-th consecutive fork
+/// at its location: the *last* state to fork gets the maximum weight.
+///
+/// Weights are relative within a class, so we use `p^(-n)` (monotonically
+/// increasing in `n`), clamped to keep the arithmetic finite.
+pub fn fork_weight(consecutive_forks: u32) -> f64 {
+    let n = consecutive_forks.min(64) as i32;
+    FORK_WEIGHT_P.powi(-n)
+}
+
+/// A candidate state as seen by a strategy: two CUPA class keys with their
+/// class weights, plus the state's own weight.
+///
+/// - Path-optimized CUPA (§3.3): `keys = [dynamic HLPC, low-level PC]`,
+///   all weights 1.
+/// - Coverage-optimized CUPA (§3.4): `keys = [static HLPC, state id]`,
+///   `class_weights[0] = 1/d`, `state_weight = fork weight`.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The state this candidate describes.
+    pub id: StateId,
+    /// Class key per CUPA level.
+    pub keys: [u64; 2],
+    /// Weight of the class at each level (identical for all candidates
+    /// sharing the key).
+    pub class_weights: [f64; 2],
+    /// Weight of the state inside its leaf.
+    pub state_weight: f64,
+}
+
+/// A state selection strategy: given the current candidates, pick one.
+///
+/// Implementations must return an index into `candidates`, or `None` when
+/// the slice is empty.
+pub trait SearchStrategy: std::fmt::Debug + Send {
+    /// Selects the next state to explore.
+    fn select(&mut self, candidates: &[Candidate], rng: &mut StdRng) -> Option<usize>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform random selection over *states* — the baseline configuration of
+/// the paper's evaluation (§6.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomStrategy;
+
+impl SearchStrategy for RandomStrategy {
+    fn select(&mut self, candidates: &[Candidate], rng: &mut StdRng) -> Option<usize> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(rng.gen_range(0..candidates.len()))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Depth-first selection (always the newest state); provided for comparison
+/// and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DfsStrategy;
+
+impl SearchStrategy for DfsStrategy {
+    fn select(&mut self, candidates: &[Candidate], _rng: &mut StdRng) -> Option<usize> {
+        (0..candidates.len()).max_by_key(|&i| candidates[i].id)
+    }
+
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+}
+
+/// The generic two-level CUPA descent of §3.2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CupaStrategy;
+
+impl CupaStrategy {
+    fn pick_class(
+        live: &[usize],
+        candidates: &[Candidate],
+        level: usize,
+        rng: &mut StdRng,
+    ) -> u64 {
+        // Collect distinct classes and their weights at this level.
+        let mut classes: Vec<(u64, f64)> = Vec::new();
+        for &i in live {
+            let c = &candidates[i];
+            let key = c.keys[level];
+            if !classes.iter().any(|&(k, _)| k == key) {
+                classes.push((key, c.class_weights[level].max(1e-9)));
+            }
+        }
+        weighted_pick(&classes, rng)
+    }
+}
+
+impl SearchStrategy for CupaStrategy {
+    fn select(&mut self, candidates: &[Candidate], rng: &mut StdRng) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut live: Vec<usize> = (0..candidates.len()).collect();
+        for level in 0..2 {
+            let key = Self::pick_class(&live, candidates, level, rng);
+            live.retain(|&i| candidates[i].keys[level] == key);
+        }
+        // Leaf: weighted pick by state weight.
+        let weighted: Vec<(u64, f64)> = live
+            .iter()
+            .map(|&i| (i as u64, candidates[i].state_weight.max(1e-9)))
+            .collect();
+        Some(weighted_pick(&weighted, rng) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "cupa"
+    }
+}
+
+fn weighted_pick(items: &[(u64, f64)], rng: &mut StdRng) -> u64 {
+    debug_assert!(!items.is_empty());
+    let total: f64 = items.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for &(k, w) in items {
+        if x < w {
+            return k;
+        }
+        x -= w;
+    }
+    items.last().unwrap().0
+}
+
+/// Which strategy + classification the engine should use; see §6.3's four
+/// experiment configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Uniform random over states (the paper's baseline).
+    Random,
+    /// CUPA classifying by (dynamic HLPC, low-level PC) — §3.3.
+    #[default]
+    CupaPath,
+    /// CUPA classifying by (static HLPC weighted by 1/d, fork weight) — §3.4.
+    CupaCoverage,
+    /// Depth-first (not in the paper; for comparison).
+    Dfs,
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy object.
+    pub fn build(self) -> Box<dyn SearchStrategy> {
+        match self {
+            StrategyKind::Random => Box::new(RandomStrategy),
+            StrategyKind::CupaPath | StrategyKind::CupaCoverage => Box::new(CupaStrategy),
+            StrategyKind::Dfs => Box::new(DfsStrategy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cand(id: u64, k0: u64, k1: u64, w0: f64, sw: f64) -> Candidate {
+        Candidate {
+            id: StateId(id),
+            keys: [k0, k1],
+            class_weights: [w0, 1.0],
+            state_weight: sw,
+        }
+    }
+
+    #[test]
+    fn random_is_uniform_over_states() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = RandomStrategy;
+        // 10 states in class A, 1 in class B: random-over-states picks B ~1/11.
+        let mut cands: Vec<Candidate> = (0..10).map(|i| cand(i, 0, i, 1.0, 1.0)).collect();
+        cands.push(cand(10, 1, 0, 1.0, 1.0));
+        let mut b_picks = 0;
+        for _ in 0..2000 {
+            if s.select(&cands, &mut rng).unwrap() == 10 {
+                b_picks += 1;
+            }
+        }
+        let ratio = b_picks as f64 / 2000.0;
+        assert!(ratio < 0.2, "uniform state pick gives B ~0.09, got {ratio}");
+    }
+
+    #[test]
+    fn cupa_equalizes_classes() {
+        // Same setup: CUPA should pick class B ~half the time despite it
+        // holding a single state (the §3.2 bias correction).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = CupaStrategy;
+        let mut cands: Vec<Candidate> = (0..10).map(|i| cand(i, 0, i, 1.0, 1.0)).collect();
+        cands.push(cand(10, 1, 0, 1.0, 1.0));
+        let mut b_picks = 0;
+        for _ in 0..2000 {
+            if s.select(&cands, &mut rng).unwrap() == 10 {
+                b_picks += 1;
+            }
+        }
+        let ratio = b_picks as f64 / 2000.0;
+        assert!(
+            (0.4..0.6).contains(&ratio),
+            "CUPA gives each class ~0.5, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn cupa_honors_class_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = CupaStrategy;
+        // Class 0 has weight 9, class 1 weight 1.
+        let cands = vec![cand(0, 0, 0, 9.0, 1.0), cand(1, 1, 0, 1.0, 1.0)];
+        let mut zero_picks = 0;
+        for _ in 0..2000 {
+            if s.select(&cands, &mut rng).unwrap() == 0 {
+                zero_picks += 1;
+            }
+        }
+        let ratio = zero_picks as f64 / 2000.0;
+        assert!((0.85..0.95).contains(&ratio), "expected ~0.9, got {ratio}");
+    }
+
+    #[test]
+    fn cupa_honors_state_weights_in_leaf() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = CupaStrategy;
+        // One class, two states with fork weights for n=1 and n=4.
+        let cands = vec![
+            cand(0, 0, 0, 1.0, fork_weight(1)),
+            cand(1, 0, 0, 1.0, fork_weight(4)),
+        ];
+        let mut last_picks = 0;
+        for _ in 0..2000 {
+            if s.select(&cands, &mut rng).unwrap() == 1 {
+                last_picks += 1;
+            }
+        }
+        let ratio = last_picks as f64 / 2000.0;
+        // weight ratio = p^-4 / (p^-1 + p^-4) = (1/0.75)^3/(1+(1/0.75)^3) ~ 0.70
+        assert!((0.6..0.8).contains(&ratio), "expected ~0.7, got {ratio}");
+    }
+
+    #[test]
+    fn dfs_picks_newest() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = DfsStrategy;
+        let cands = vec![cand(5, 0, 0, 1.0, 1.0), cand(9, 0, 0, 1.0, 1.0)];
+        assert_eq!(s.select(&cands, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(RandomStrategy.select(&[], &mut rng).is_none());
+        assert!(CupaStrategy.select(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn fork_weight_monotonic() {
+        assert!(fork_weight(2) > fork_weight(1));
+        assert!(fork_weight(10) > fork_weight(9));
+        assert!(fork_weight(100).is_finite());
+    }
+}

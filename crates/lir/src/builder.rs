@@ -1,0 +1,856 @@
+//! Structured builder eDSL for LIR.
+//!
+//! Interpreters in this reproduction are "written in machine code" the way
+//! CPython is written in C: via [`ModuleBuilder`] and [`FnBuilder`], which
+//! provide structured control flow (`if_else`, `while_`, `switch`) that
+//! lowers to plain blocks and branches. The symbolic executor only ever sees
+//! the lowered form.
+
+use std::collections::HashMap;
+
+use crate::ir::{
+    Block, DataSeg, FuncId, Function, Inst, Intrinsic, MemSize, Operand, Program, Reg, Term,
+    DATA_BASE, HEAP_BASE, HEAP_PTR_ADDR,
+};
+use chef_solver::BinOp;
+
+/// Builds a [`Program`] from declared and defined functions plus static data.
+///
+/// # Examples
+///
+/// ```
+/// use chef_lir::{ModuleBuilder, BinOp};
+/// let mut mb = ModuleBuilder::new();
+/// let main = mb.declare("main", 0);
+/// mb.define(main, |b| {
+///     let x = b.const_(21);
+///     let y = b.bin(BinOp::Add, x, x);
+///     b.halt(y);
+/// });
+/// let prog = mb.finish("main").unwrap();
+/// assert_eq!(prog.funcs.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct ModuleBuilder {
+    funcs: Vec<Option<Function>>,
+    sigs: Vec<(String, u32)>,
+    func_ids: HashMap<String, FuncId>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u64>,
+    data: Vec<DataSeg>,
+    next_data: u64,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        ModuleBuilder {
+            next_data: DATA_BASE,
+            ..Default::default()
+        }
+    }
+
+    /// Declares a function signature; the body is provided later with
+    /// [`ModuleBuilder::define`]. Declaring before defining permits mutual
+    /// recursion.
+    pub fn declare(&mut self, name: &str, n_params: u32) -> FuncId {
+        assert!(
+            !self.func_ids.contains_key(name),
+            "function {name} declared twice"
+        );
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        self.sigs.push((name.to_string(), n_params));
+        self.func_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was never declared.
+    pub fn func(&self, name: &str) -> FuncId {
+        *self
+            .func_ids
+            .get(name)
+            .unwrap_or_else(|| panic!("function {name} not declared"))
+    }
+
+    /// Defines the body of a declared function.
+    ///
+    /// If the builder's final block lacks a terminator, a `ret` (without
+    /// value) is appended.
+    pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FnBuilder)) {
+        let (name, n_params) = self.sigs[id.0 as usize].clone();
+        assert!(
+            self.funcs[id.0 as usize].is_none(),
+            "function {name} defined twice"
+        );
+        let mut fb = FnBuilder::new(n_params);
+        build(&mut fb);
+        let f = fb.finish(name);
+        self.funcs[id.0 as usize] = Some(f);
+    }
+
+    /// Interns a string in the name table, returning its id.
+    pub fn name_id(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.name_ids.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u64;
+        self.names.push(s.to_string());
+        self.name_ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// Places raw bytes in static data, returning their address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.next_data;
+        self.data.push(DataSeg { addr, bytes: bytes.to_vec() });
+        self.next_data = (addr + bytes.len() as u64 + 7) & !7;
+        addr
+    }
+
+    /// Allocates a zero-initialized static region of `len` bytes.
+    pub fn data_zeroed(&mut self, len: u64) -> u64 {
+        self.data_bytes(&vec![0u8; len as usize])
+    }
+
+    /// Allocates an 8-byte global initialized to `value`, returning its
+    /// address.
+    pub fn global_u64(&mut self, value: u64) -> u64 {
+        self.data_bytes(&value.to_le_bytes())
+    }
+
+    /// Places a length-prefixed string (`u64` length + bytes) in static
+    /// data, returning the address of the length word.
+    pub fn data_str(&mut self, s: &str) -> u64 {
+        let mut bytes = (s.len() as u64).to_le_bytes().to_vec();
+        bytes.extend_from_slice(s.as_bytes());
+        self.data_bytes(&bytes)
+    }
+
+    /// Finalizes the module with the named entry function.
+    ///
+    /// Installs the heap-bump pointer cell and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors (undefined functions, unterminated blocks,
+    /// out-of-range references).
+    pub fn finish(mut self, entry: &str) -> Result<Program, String> {
+        let entry = *self
+            .func_ids
+            .get(entry)
+            .ok_or_else(|| format!("entry function {entry} not declared"))?;
+        let mut funcs = Vec::with_capacity(self.funcs.len());
+        for (i, f) in self.funcs.into_iter().enumerate() {
+            match f {
+                Some(f) => funcs.push(f),
+                None => return Err(format!("function {} declared but never defined", self.sigs[i].0)),
+            }
+        }
+        self.data.push(DataSeg {
+            addr: HEAP_PTR_ADDR,
+            bytes: HEAP_BASE.to_le_bytes().to_vec(),
+        });
+        let prog = Program {
+            funcs,
+            entry,
+            data: self.data,
+            names: self.names,
+        };
+        prog.validate()?;
+        Ok(prog)
+    }
+}
+
+struct LoopCtx {
+    continue_to: usize,
+    break_to: usize,
+}
+
+/// Builds one function with structured control flow.
+///
+/// Obtained through [`ModuleBuilder::define`]; see the module docs for the
+/// overall flow. Registers are allocated with [`FnBuilder::reg`] or returned
+/// by value-producing helpers; parameters occupy the first registers.
+pub struct FnBuilder {
+    blocks: Vec<Block>,
+    cur: usize,
+    terminated: bool,
+    next_reg: u32,
+    n_params: u32,
+    loops: Vec<LoopCtx>,
+}
+
+impl FnBuilder {
+    fn new(n_params: u32) -> Self {
+        FnBuilder {
+            blocks: vec![Block { insts: vec![], term: Term::Unterminated }],
+            cur: 0,
+            terminated: false,
+            next_reg: n_params,
+            n_params,
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(mut self, name: String) -> Function {
+        if !self.terminated {
+            self.blocks[self.cur].term = Term::Ret(None);
+        }
+        // Terminate any dead blocks left over from unreachable-code recovery.
+        for b in &mut self.blocks {
+            if matches!(b.term, Term::Unterminated) {
+                b.term = Term::Ret(None);
+            }
+        }
+        Function {
+            name,
+            n_params: self.n_params,
+            n_regs: self.next_reg.max(self.n_params),
+            blocks: self.blocks,
+        }
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.n_params, "parameter {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if self.terminated {
+            // Unreachable code after an early return/break: park it in a
+            // fresh dead block so construction still succeeds.
+            self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+            self.cur = self.blocks.len() - 1;
+            self.terminated = false;
+        }
+        self.blocks[self.cur].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Term) {
+        if self.terminated {
+            self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+            self.cur = self.blocks.len() - 1;
+        }
+        self.blocks[self.cur].term = term;
+        self.terminated = true;
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+        self.blocks.len() - 1
+    }
+
+    fn switch_to(&mut self, b: usize) {
+        self.cur = b;
+        self.terminated = false;
+    }
+
+    // ----- straight-line values -----
+
+    /// `dst = value` into a fresh register.
+    pub fn const_(&mut self, value: u64) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Copies `src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Mov { dst, src: src.into() });
+        dst
+    }
+
+    /// Copies `src` into an existing register (mutation).
+    pub fn set(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Inst::Mov { dst, src: src.into() });
+    }
+
+    /// Binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Bin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Bitwise complement into a fresh register.
+    pub fn not(&mut self, a: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Not { dst, a: a.into() });
+        dst
+    }
+
+    /// `cond != 0 ? t : f` into a fresh register (no control flow).
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        t: impl Into<Operand>,
+        f: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Select {
+            dst,
+            cond: cond.into(),
+            t: t.into(),
+            f: f.into(),
+        });
+        dst
+    }
+
+    /// Logical negation: 1 if `a == 0`, else 0.
+    pub fn lnot(&mut self, a: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Eq, a, 0u64)
+    }
+
+    // Arithmetic / logic conveniences.
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+    /// `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+    /// `a / b` unsigned (all-ones on division by zero).
+    pub fn udiv(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::UDiv, a, b)
+    }
+    /// `a % b` unsigned (identity on modulo zero).
+    pub fn urem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::URem, a, b)
+    }
+    /// Bitwise and.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::And, a, b)
+    }
+    /// Bitwise or.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Or, a, b)
+    }
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Xor, a, b)
+    }
+    /// `a == b` as 0/1.
+    pub fn eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Eq, a, b)
+    }
+    /// `a != b` as 0/1.
+    pub fn ne(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let e = self.eq(a, b);
+        self.lnot(e)
+    }
+    /// `a < b` unsigned, as 0/1.
+    pub fn ult(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Ult, a, b)
+    }
+    /// `a <= b` unsigned, as 0/1.
+    pub fn ule(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Ule, a, b)
+    }
+    /// `a < b` signed, as 0/1.
+    pub fn slt(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Slt, a, b)
+    }
+    /// `a <= b` signed, as 0/1.
+    pub fn sle(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sle, a, b)
+    }
+    /// `a << b`.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Shl, a, b)
+    }
+    /// `a >> b` logical.
+    pub fn lshr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::LShr, a, b)
+    }
+
+    // ----- memory -----
+
+    /// Loads a zero-extended byte.
+    pub fn load_u8(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, addr: addr.into(), size: MemSize::U8 });
+        dst
+    }
+
+    /// Loads a little-endian u64.
+    pub fn load_u64(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, addr: addr.into(), size: MemSize::U64 });
+        dst
+    }
+
+    /// Stores the low byte of `value`.
+    pub fn store_u8(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.emit(Inst::Store { addr: addr.into(), value: value.into(), size: MemSize::U8 });
+    }
+
+    /// Stores a little-endian u64.
+    pub fn store_u64(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.emit(Inst::Store { addr: addr.into(), value: value.into(), size: MemSize::U64 });
+    }
+
+    // ----- calls and intrinsics -----
+
+    /// Calls a function, returning its value in a fresh register.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        dst
+    }
+
+    /// Calls a function, discarding any return value.
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+    }
+
+    /// `make_symbolic(addr, len, name_id)` — Table 1 of the paper.
+    pub fn make_symbolic(
+        &mut self,
+        addr: impl Into<Operand>,
+        len: impl Into<Operand>,
+        name_id: u64,
+    ) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::MakeSymbolic,
+            args: vec![addr.into(), len.into(), Operand::Imm(name_id)],
+        });
+    }
+
+    /// `log_pc(pc, opcode)` — the HLPC instrumentation call (§4.1).
+    pub fn log_pc(&mut self, pc: impl Into<Operand>, opcode: impl Into<Operand>) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::LogPc,
+            args: vec![pc.into(), opcode.into()],
+        });
+    }
+
+    /// `assume(cond)` — constrain the current path.
+    pub fn assume(&mut self, cond: impl Into<Operand>) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::Assume,
+            args: vec![cond.into()],
+        });
+    }
+
+    /// `is_symbolic(value)` — 1 if the value is symbolic on this path.
+    pub fn is_symbolic(&mut self, value: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Intrinsic {
+            dst: Some(dst),
+            intr: Intrinsic::IsSymbolic,
+            args: vec![value.into()],
+        });
+        dst
+    }
+
+    /// `upper_bound(value)` — maximum feasible value on this path.
+    pub fn upper_bound(&mut self, value: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Intrinsic {
+            dst: Some(dst),
+            intr: Intrinsic::UpperBound,
+            args: vec![value.into()],
+        });
+        dst
+    }
+
+    /// `concretize(value)` — bind the value to one feasible concrete value.
+    pub fn concretize(&mut self, value: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Intrinsic {
+            dst: Some(dst),
+            intr: Intrinsic::Concretize,
+            args: vec![value.into()],
+        });
+        dst
+    }
+
+    /// `end_symbolic(status)` — terminate this path gracefully.
+    pub fn end_symbolic(&mut self, status: impl Into<Operand>) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::EndSymbolic,
+            args: vec![status.into()],
+        });
+    }
+
+    /// Crash the interpreter (non-graceful termination).
+    pub fn abort(&mut self, code: impl Into<Operand>) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::Abort,
+            args: vec![code.into()],
+        });
+    }
+
+    /// Report a structured event `(kind, a, b)` to the host.
+    pub fn trace_event(
+        &mut self,
+        kind: u64,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::TraceEvent,
+            args: vec![Operand::Imm(kind), a.into(), b.into()],
+        });
+    }
+
+    /// Debug-print `len` bytes at `ptr` when running on the concrete VM.
+    pub fn debug_print(&mut self, ptr: impl Into<Operand>, len: impl Into<Operand>) {
+        self.emit(Inst::Intrinsic {
+            dst: None,
+            intr: Intrinsic::DebugPrint,
+            args: vec![ptr.into(), len.into()],
+        });
+    }
+
+    // ----- terminators and structured control flow -----
+
+    /// Return a value.
+    pub fn ret(&mut self, value: impl Into<Operand>) {
+        self.terminate(Term::Ret(Some(value.into())));
+    }
+
+    /// Return without a value.
+    pub fn ret_void(&mut self) {
+        self.terminate(Term::Ret(None));
+    }
+
+    /// Stop the program with an exit code.
+    pub fn halt(&mut self, code: impl Into<Operand>) {
+        self.terminate(Term::Halt { code: code.into() });
+    }
+
+    /// `if cond != 0 { then_f() } else { else_f() }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        let tb = self.new_block();
+        let eb = self.new_block();
+        let jb = self.new_block();
+        self.terminate(Term::Branch {
+            cond: cond.into(),
+            then_: crate::ir::BlockId(tb as u32),
+            else_: crate::ir::BlockId(eb as u32),
+        });
+        self.switch_to(tb);
+        then_f(self);
+        if !self.terminated {
+            self.terminate(Term::Jump(crate::ir::BlockId(jb as u32)));
+        }
+        self.switch_to(eb);
+        else_f(self);
+        if !self.terminated {
+            self.terminate(Term::Jump(crate::ir::BlockId(jb as u32)));
+        }
+        self.switch_to(jb);
+    }
+
+    /// `if cond != 0 { then_f() }`.
+    pub fn if_(&mut self, cond: impl Into<Operand>, then_f: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// `while cond_f() != 0 { body_f() }`. `break_`/`continue_` target this
+    /// loop while inside `body_f`.
+    pub fn while_(
+        &mut self,
+        cond_f: impl FnOnce(&mut Self) -> Reg,
+        body_f: impl FnOnce(&mut Self),
+    ) {
+        let cb = self.new_block();
+        self.terminate(Term::Jump(crate::ir::BlockId(cb as u32)));
+        self.switch_to(cb);
+        let cond = cond_f(self);
+        let bb = self.new_block();
+        let xb = self.new_block();
+        self.terminate(Term::Branch {
+            cond: cond.into(),
+            then_: crate::ir::BlockId(bb as u32),
+            else_: crate::ir::BlockId(xb as u32),
+        });
+        self.loops.push(LoopCtx { continue_to: cb, break_to: xb });
+        self.switch_to(bb);
+        body_f(self);
+        if !self.terminated {
+            self.terminate(Term::Jump(crate::ir::BlockId(cb as u32)));
+        }
+        self.loops.pop();
+        self.switch_to(xb);
+    }
+
+    /// Infinite loop; exit with [`FnBuilder::break_`].
+    pub fn loop_(&mut self, body_f: impl FnOnce(&mut Self)) {
+        let bb = self.new_block();
+        let xb = self.new_block();
+        self.terminate(Term::Jump(crate::ir::BlockId(bb as u32)));
+        self.loops.push(LoopCtx { continue_to: bb, break_to: xb });
+        self.switch_to(bb);
+        body_f(self);
+        if !self.terminated {
+            self.terminate(Term::Jump(crate::ir::BlockId(bb as u32)));
+        }
+        self.loops.pop();
+        self.switch_to(xb);
+    }
+
+    /// Break out of the innermost loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not inside a loop.
+    pub fn break_(&mut self) {
+        let target = self.loops.last().expect("break_ outside a loop").break_to;
+        self.terminate(Term::Jump(crate::ir::BlockId(target as u32)));
+    }
+
+    /// Continue the innermost loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not inside a loop.
+    pub fn continue_(&mut self) {
+        let target = self
+            .loops
+            .last()
+            .expect("continue_ outside a loop")
+            .continue_to;
+        self.terminate(Term::Jump(crate::ir::BlockId(target as u32)));
+    }
+
+    /// Multi-way dispatch: for each value in `cases`, `case_f(self, value)`
+    /// builds that arm; `default_f` builds the default arm. This is the
+    /// interpreter-loop `switch` from §4.1.
+    pub fn switch(
+        &mut self,
+        on: impl Into<Operand>,
+        cases: &[u64],
+        mut case_f: impl FnMut(&mut Self, u64),
+        default_f: impl FnOnce(&mut Self),
+    ) {
+        let case_blocks: Vec<usize> = cases.iter().map(|_| self.new_block()).collect();
+        let db = self.new_block();
+        let jb = self.new_block();
+        self.terminate(Term::Switch {
+            on: on.into(),
+            cases: cases
+                .iter()
+                .zip(&case_blocks)
+                .map(|(&v, &b)| (v, crate::ir::BlockId(b as u32)))
+                .collect(),
+            default: crate::ir::BlockId(db as u32),
+        });
+        for (&v, &b) in cases.iter().zip(&case_blocks) {
+            self.switch_to(b);
+            case_f(self, v);
+            if !self.terminated {
+                self.terminate(Term::Jump(crate::ir::BlockId(jb as u32)));
+            }
+        }
+        self.switch_to(db);
+        default_f(self);
+        if !self.terminated {
+            self.terminate(Term::Jump(crate::ir::BlockId(jb as u32)));
+        }
+        self.switch_to(jb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::{run_concrete, ConcreteStatus};
+    use crate::ir::InputMap;
+
+    fn run_main(build: impl FnOnce(&mut FnBuilder)) -> ConcreteStatus {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, build);
+        let prog = mb.finish("main").unwrap();
+        run_concrete(&prog, &InputMap::new(), 1_000_000).status
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let st = run_main(|b| {
+            let x = b.const_(6);
+            let y = b.mul(x, 7u64);
+            b.halt(y);
+        });
+        assert_eq!(st, ConcreteStatus::Halted(42));
+    }
+
+    #[test]
+    fn if_else_takes_right_arm() {
+        let st = run_main(|b| {
+            let x = b.const_(5);
+            let c = b.ult(x, 10u64);
+            let out = b.reg();
+            b.if_else(c, |b| b.set(out, 1u64), |b| b.set(out, 2u64));
+            b.halt(out);
+        });
+        assert_eq!(st, ConcreteStatus::Halted(1));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let st = run_main(|b| {
+            let i = b.const_(0);
+            let acc = b.const_(0);
+            b.while_(
+                |b| b.ult(i, 10u64),
+                |b| {
+                    let next = b.add(acc, i);
+                    b.set(acc, next);
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.halt(acc);
+        });
+        assert_eq!(st, ConcreteStatus::Halted(45));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let st = run_main(|b| {
+            let i = b.const_(0);
+            let acc = b.const_(0);
+            b.loop_(|b| {
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+                let done = b.ult(10u64, i);
+                b.if_(done, |b| b.break_());
+                let even = b.urem(i, 2u64);
+                let is_odd = b.ne(even, 0u64);
+                b.if_(is_odd, |b| b.continue_());
+                let next = b.add(acc, i);
+                b.set(acc, next);
+            });
+            b.halt(acc); // 2+4+6+8+10 = 30
+        });
+        assert_eq!(st, ConcreteStatus::Halted(30));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let st = run_main(|b| {
+            let x = b.const_(2);
+            let out = b.reg();
+            b.switch(
+                x,
+                &[1, 2, 3],
+                |b, v| b.set(out, v * 100),
+                |b| b.set(out, 999u64),
+            );
+            b.halt(out);
+        });
+        assert_eq!(st, ConcreteStatus::Halted(200));
+    }
+
+    #[test]
+    fn function_calls_pass_arguments() {
+        let mut mb = ModuleBuilder::new();
+        let double = mb.declare("double", 1);
+        let main = mb.declare("main", 0);
+        mb.define(double, |b| {
+            let p = b.param(0);
+            let r = b.add(p, p);
+            b.ret(r);
+        });
+        mb.define(main, |b| {
+            let x = b.const_(21);
+            let y = b.call(double, &[x.into()]);
+            b.halt(y);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 1_000_000);
+        assert_eq!(out.status, ConcreteStatus::Halted(42));
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global_u64(0);
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| {
+            b.store_u64(g, 0xdead_beefu64);
+            let v = b.load_u64(g);
+            let lo = b.and(v, 0xffu64);
+            b.halt(lo);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 1_000_000);
+        assert_eq!(out.status, ConcreteStatus::Halted(0xef));
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let mut mb = ModuleBuilder::new();
+        let fib = mb.declare("fib", 1);
+        let main = mb.declare("main", 0);
+        mb.define(fib, |b| {
+            let n = b.param(0);
+            let small = b.ult(n, 2u64);
+            b.if_(small, |b| b.ret(n));
+            let n1 = b.sub(n, 1u64);
+            let n2 = b.sub(n, 2u64);
+            let a = b.call(fib, &[n1.into()]);
+            let c = b.call(fib, &[n2.into()]);
+            let s = b.add(a, c);
+            b.ret(s);
+        });
+        mb.define(main, |b| {
+            let n = b.const_(10);
+            let r = b.call(fib, &[n.into()]);
+            b.halt(r);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 10_000_000);
+        assert_eq!(out.status, ConcreteStatus::Halted(55));
+    }
+
+    #[test]
+    fn undefined_function_is_error() {
+        let mut mb = ModuleBuilder::new();
+        mb.declare("main", 0);
+        let mb2 = {
+            let mut m = ModuleBuilder::new();
+            m.declare("main", 0);
+            m
+        };
+        assert!(mb2.finish("main").is_err());
+        let _ = mb;
+    }
+}

@@ -1,0 +1,415 @@
+//! Concrete reference VM for LIR.
+//!
+//! This is the "vanilla interpreter run" of the paper's workflow: generated
+//! test cases are replayed here (outside the symbolic engine) to confirm
+//! outcomes and measure line coverage. It is also the differential-testing
+//! oracle for the symbolic executor.
+
+use std::collections::HashMap;
+
+use crate::ir::{
+    FuncId, Inst, InputMap, Intrinsic, MemSize, Operand, Program, Reg, Term, trace_kind,
+};
+use chef_solver::eval_bin;
+
+const PAGE_BITS: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse byte-addressable memory backed by pages. Unmapped bytes read zero.
+#[derive(Default, Clone)]
+pub struct ConcreteMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl ConcreteMem {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & (PAGE_SIZE as u64 - 1)) as usize] = v;
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        for i in 0..8 {
+            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads `len` bytes.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Writes a byte slice.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+}
+
+/// Structured guest events observed during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuestEvent {
+    /// An exception reached the top level, with its class name.
+    Exception(String),
+    /// The guest entered a code object.
+    EnterCode(u64),
+    /// Custom marker `(a, b)`.
+    Marker(u64, u64),
+}
+
+/// How a concrete run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConcreteStatus {
+    /// `halt code` executed.
+    Halted(u64),
+    /// `end_symbolic(status)` executed.
+    EndedSymbolic(u64),
+    /// `abort(code)` executed — models an interpreter crash.
+    Aborted(u64),
+    /// The step budget ran out (used as the paper's hang detector).
+    OutOfFuel,
+    /// The entry function returned without halting.
+    Returned,
+}
+
+/// Result of a concrete run.
+#[derive(Clone, Debug)]
+pub struct ConcreteOutcome {
+    /// Exit status.
+    pub status: ConcreteStatus,
+    /// Instructions executed.
+    pub steps: u64,
+    /// `(hlpc, opcode)` pairs in execution order, from `log_pc`.
+    pub hl_trace: Vec<(u64, u64)>,
+    /// Structured guest events.
+    pub events: Vec<GuestEvent>,
+    /// Output of `debug_print` calls.
+    pub debug_output: Vec<String>,
+    /// Whether an `assume` was violated (the replay inputs disagree with the
+    /// path the test case was generated for).
+    pub assume_violated: bool,
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    ip: usize,
+    regs: Vec<u64>,
+    ret_dst: Option<Reg>,
+}
+
+/// Runs a program concretely.
+///
+/// `inputs` supplies the bytes written by `make_symbolic` (looked up by the
+/// buffer name); missing names leave memory unchanged. `fuel` bounds the
+/// number of executed instructions; exhaustion yields
+/// [`ConcreteStatus::OutOfFuel`], which the Chef layer reports as a hang.
+pub fn run_concrete(prog: &Program, inputs: &InputMap, fuel: u64) -> ConcreteOutcome {
+    let mut mem = ConcreteMem::new();
+    for seg in &prog.data {
+        mem.write_bytes(seg.addr, &seg.bytes);
+    }
+    let entry = prog.func(prog.entry);
+    let mut frames = vec![Frame {
+        func: prog.entry,
+        block: 0,
+        ip: 0,
+        regs: vec![0; entry.n_regs as usize],
+        ret_dst: None,
+    }];
+    let mut out = ConcreteOutcome {
+        status: ConcreteStatus::Returned,
+        steps: 0,
+        hl_trace: Vec::new(),
+        events: Vec::new(),
+        debug_output: Vec::new(),
+        assume_violated: false,
+    };
+
+    'run: while let Some(frame) = frames.last_mut() {
+        if out.steps >= fuel {
+            out.status = ConcreteStatus::OutOfFuel;
+            return out;
+        }
+        out.steps += 1;
+        let func = prog.func(frame.func);
+        let block = &func.blocks[frame.block];
+        let eval = |regs: &[u64], op: &Operand| -> u64 {
+            match op {
+                Operand::Reg(r) => regs[r.0 as usize],
+                Operand::Imm(v) => *v,
+            }
+        };
+        if frame.ip < block.insts.len() {
+            let inst = &block.insts[frame.ip];
+            frame.ip += 1;
+            match inst {
+                Inst::Const { dst, value } => frame.regs[dst.0 as usize] = *value,
+                Inst::Mov { dst, src } => {
+                    frame.regs[dst.0 as usize] = eval(&frame.regs, src)
+                }
+                Inst::Bin { op, dst, a, b } => {
+                    let va = eval(&frame.regs, a);
+                    let vb = eval(&frame.regs, b);
+                    frame.regs[dst.0 as usize] = eval_bin(*op, 64, va, vb);
+                }
+                Inst::Not { dst, a } => {
+                    frame.regs[dst.0 as usize] = !eval(&frame.regs, a)
+                }
+                Inst::Select { dst, cond, t, f } => {
+                    let c = eval(&frame.regs, cond);
+                    frame.regs[dst.0 as usize] = if c != 0 {
+                        eval(&frame.regs, t)
+                    } else {
+                        eval(&frame.regs, f)
+                    };
+                }
+                Inst::Load { dst, addr, size } => {
+                    let a = eval(&frame.regs, addr);
+                    frame.regs[dst.0 as usize] = match size {
+                        MemSize::U8 => mem.read_u8(a) as u64,
+                        MemSize::U64 => mem.read_u64(a),
+                    };
+                }
+                Inst::Store { addr, value, size } => {
+                    let a = eval(&frame.regs, addr);
+                    let v = eval(&frame.regs, value);
+                    match size {
+                        MemSize::U8 => mem.write_u8(a, v as u8),
+                        MemSize::U64 => mem.write_u64(a, v),
+                    }
+                }
+                Inst::Call { dst, func: callee, args } => {
+                    let callee_fn = prog.func(*callee);
+                    let mut regs = vec![0u64; callee_fn.n_regs as usize];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = eval(&frame.regs, a);
+                    }
+                    let ret_dst = *dst;
+                    let callee = *callee;
+                    frames.push(Frame { func: callee, block: 0, ip: 0, regs, ret_dst });
+                }
+                Inst::Intrinsic { dst, intr, args } => {
+                    let vals: Vec<u64> = args.iter().map(|a| eval(&frame.regs, a)).collect();
+                    match intr {
+                        Intrinsic::MakeSymbolic => {
+                            let (addr, len, name_id) = (vals[0], vals[1], vals[2]);
+                            let name = prog.name(name_id);
+                            if let Some(bytes) = inputs.get(name) {
+                                for i in 0..len {
+                                    let b = bytes.get(i as usize).copied().unwrap_or(0);
+                                    mem.write_u8(addr.wrapping_add(i), b);
+                                }
+                            }
+                        }
+                        Intrinsic::LogPc => out.hl_trace.push((vals[0], vals[1])),
+                        Intrinsic::Assume => {
+                            if vals[0] == 0 {
+                                out.assume_violated = true;
+                            }
+                        }
+                        Intrinsic::IsSymbolic => {
+                            if let Some(d) = dst {
+                                frame.regs[d.0 as usize] = 0;
+                            }
+                        }
+                        Intrinsic::UpperBound | Intrinsic::Concretize => {
+                            if let Some(d) = dst {
+                                frame.regs[d.0 as usize] = vals[0];
+                            }
+                        }
+                        Intrinsic::EndSymbolic => {
+                            out.status = ConcreteStatus::EndedSymbolic(vals[0]);
+                            break 'run;
+                        }
+                        Intrinsic::Abort => {
+                            out.status = ConcreteStatus::Aborted(vals[0]);
+                            break 'run;
+                        }
+                        Intrinsic::TraceEvent => {
+                            let ev = match vals[0] {
+                                trace_kind::EXCEPTION => {
+                                    let bytes = mem.read_bytes(vals[1], vals[2]);
+                                    GuestEvent::Exception(
+                                        String::from_utf8_lossy(&bytes).into_owned(),
+                                    )
+                                }
+                                trace_kind::ENTER_CODE => GuestEvent::EnterCode(vals[1]),
+                                _ => GuestEvent::Marker(vals[1], vals[2]),
+                            };
+                            out.events.push(ev);
+                        }
+                        Intrinsic::DebugPrint => {
+                            let bytes = mem.read_bytes(vals[0], vals[1]);
+                            out.debug_output
+                                .push(String::from_utf8_lossy(&bytes).into_owned());
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // Terminator.
+        match &block.term {
+            Term::Jump(b) => {
+                frame.block = b.0 as usize;
+                frame.ip = 0;
+            }
+            Term::Branch { cond, then_, else_ } => {
+                let c = eval(&frame.regs, cond);
+                frame.block = if c != 0 { then_.0 } else { else_.0 } as usize;
+                frame.ip = 0;
+            }
+            Term::Switch { on, cases, default } => {
+                let v = eval(&frame.regs, on);
+                let target = cases
+                    .iter()
+                    .find(|(cv, _)| *cv == v)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(*default);
+                frame.block = target.0 as usize;
+                frame.ip = 0;
+            }
+            Term::Ret(val) => {
+                let v = val.as_ref().map(|op| eval(&frame.regs, op));
+                let ret_dst = frame.ret_dst;
+                frames.pop();
+                match frames.last_mut() {
+                    None => {
+                        out.status = ConcreteStatus::Returned;
+                        return out;
+                    }
+                    Some(parent) => {
+                        if let (Some(dst), Some(v)) = (ret_dst, v) {
+                            parent.regs[dst.0 as usize] = v;
+                        }
+                    }
+                }
+            }
+            Term::Halt { code } => {
+                out.status = ConcreteStatus::Halted(eval(&frame.regs, code));
+                return out;
+            }
+            Term::Unterminated => unreachable!("validated programs are terminated"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn memory_defaults_to_zero() {
+        let m = ConcreteMem::new();
+        assert_eq!(m.read_u8(0xdead), 0);
+        assert_eq!(m.read_u64(0xbeef), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_is_little_endian() {
+        let mut m = ConcreteMem::new();
+        m.write_u64(100, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(100), 0x08);
+        assert_eq!(m.read_u8(107), 0x01);
+        assert_eq!(m.read_u64(100), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = ConcreteMem::new();
+        let addr = PAGE_SIZE as u64 - 4;
+        m.write_u64(addr, u64::MAX);
+        assert_eq!(m.read_u64(addr), u64::MAX);
+    }
+
+    #[test]
+    fn make_symbolic_replays_inputs() {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(4);
+        let name = mb.name_id("input");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 4u64, name);
+            let v = b.load_u8(buf + 1);
+            b.halt(v);
+        });
+        let prog = mb.finish("main").unwrap();
+        let mut inputs = InputMap::new();
+        inputs.insert("input".to_string(), vec![9, 8, 7, 6]);
+        let out = run_concrete(&prog, &inputs, 1000);
+        assert_eq!(out.status, ConcreteStatus::Halted(8));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| {
+            b.loop_(|_| {});
+            b.halt(0u64);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 1000);
+        assert_eq!(out.status, ConcreteStatus::OutOfFuel);
+    }
+
+    #[test]
+    fn log_pc_traces_in_order() {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| {
+            b.log_pc(1u64, 10u64);
+            b.log_pc(2u64, 20u64);
+            b.halt(0u64);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 1000);
+        assert_eq!(out.hl_trace, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn exception_event_resolves_name() {
+        let mut mb = ModuleBuilder::new();
+        let name_bytes = mb.data_bytes(b"ValueError");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.trace_event(trace_kind::EXCEPTION, name_bytes, 10u64);
+            b.end_symbolic(1u64);
+            b.halt(0u64);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 1000);
+        assert_eq!(out.events, vec![GuestEvent::Exception("ValueError".into())]);
+        assert_eq!(out.status, ConcreteStatus::EndedSymbolic(1));
+    }
+}

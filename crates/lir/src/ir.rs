@@ -1,0 +1,498 @@
+//! The low-level intermediate representation (LIR).
+//!
+//! LIR is the "machine code" of this reproduction: interpreters are compiled
+//! to LIR and the symbolic executor in `chef-symex` runs LIR the way S2E runs
+//! x86 in the paper. The design mirrors what matters for Chef: explicit
+//! branches (fork points), byte-addressable memory (symbolic pointers), calls
+//! (interpreter runtime), and guest intrinsics mirroring the S2E/Chef API of
+//! Table 1 in the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use chef_solver::BinOp;
+
+/// A virtual register inside a function frame. All registers hold 64-bit
+/// values; comparison results are 0/1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Function identifier within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Basic-block identifier within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// Instruction operand: a register or an immediate 64-bit constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// Read a register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v as i64 as u64)
+    }
+}
+
+impl From<usize> for Operand {
+    fn from(v: usize) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemSize {
+    /// One byte, zero-extended on load.
+    U8,
+    /// Eight bytes, little-endian.
+    U64,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::U8 => 1,
+            MemSize::U64 => 8,
+        }
+    }
+}
+
+/// Guest intrinsics: the Chef API of Table 1 plus host-visible tracing.
+///
+/// `log_pc`, `make_symbolic`, `assume`, `is_symbolic`, `upper_bound`,
+/// `concretize`, and `end_symbolic` correspond directly to the paper's API
+/// calls. [`Intrinsic::Abort`] models a non-graceful interpreter crash and
+/// [`Intrinsic::TraceEvent`] lets the guest report structured events (e.g.
+/// "exception of type T raised") to the host engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Intrinsic {
+    /// `(addr, len, name_id)` — mark `len` bytes at `addr` symbolic.
+    MakeSymbolic,
+    /// `(hlpc, opcode)` — declare the current high-level program location.
+    LogPc,
+    /// `(cond)` — constrain the current path with `cond != 0`.
+    Assume,
+    /// `(value) -> 0/1` — whether the value is symbolic.
+    IsSymbolic,
+    /// `(value) -> max` — maximum the value can take on this path.
+    UpperBound,
+    /// `(value) -> concrete` — bind the value to one feasible concrete value.
+    Concretize,
+    /// `(status)` — terminate the path gracefully with a status code.
+    EndSymbolic,
+    /// `(code)` — non-graceful termination (models an interpreter crash).
+    Abort,
+    /// `(kind, a, b)` — report a structured event to the host.
+    TraceEvent,
+    /// `(ptr, len)` — debug print of guest memory when running concretely.
+    DebugPrint,
+}
+
+/// Event kinds for [`Intrinsic::TraceEvent`], shared between guests and the
+/// host engine.
+pub mod trace_kind {
+    /// An exception reached the top level: `a` = pointer to the exception
+    /// class name bytes, `b` = name length.
+    pub const EXCEPTION: u64 = 1;
+    /// The guest entered a function: `a` = code-object id.
+    pub const ENTER_CODE: u64 = 2;
+    /// Custom guest marker, for tests.
+    pub const MARKER: u64 = 3;
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, Debug)]
+pub enum Inst {
+    /// `dst = value`
+    Const { dst: Reg, value: u64 },
+    /// `dst = src`
+    Mov { dst: Reg, src: Operand },
+    /// `dst = op(a, b)`; comparison ops yield 0/1.
+    Bin {
+        op: BinOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = !a` (bitwise complement).
+    Not { dst: Reg, a: Operand },
+    /// `dst = cond != 0 ? t : f`
+    Select {
+        dst: Reg,
+        cond: Operand,
+        t: Operand,
+        f: Operand,
+    },
+    /// `dst = mem[addr]`
+    Load {
+        dst: Reg,
+        addr: Operand,
+        size: MemSize,
+    },
+    /// `mem[addr] = value`
+    Store {
+        addr: Operand,
+        value: Operand,
+        size: MemSize,
+    },
+    /// Call a function; `dst` receives the return value if present.
+    Call {
+        dst: Option<Reg>,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
+    /// Invoke a guest intrinsic.
+    Intrinsic {
+        dst: Option<Reg>,
+        intr: Intrinsic,
+        args: Vec<Operand>,
+    },
+}
+
+/// Block terminator.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`. This is the low-level fork point.
+    Branch {
+        cond: Operand,
+        then_: BlockId,
+        else_: BlockId,
+    },
+    /// Multi-way dispatch (the interpreter loop's `switch`).
+    Switch {
+        on: Operand,
+        cases: Vec<(u64, BlockId)>,
+        default: BlockId,
+    },
+    /// Return from the current function.
+    Ret(Option<Operand>),
+    /// Stop the program with an exit code (graceful).
+    Halt { code: Operand },
+    /// Placeholder used during construction; invalid in a finished program.
+    Unterminated,
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function: parameter count, register count, and a block graph.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Name, for diagnostics.
+    pub name: String,
+    /// Number of parameters; they occupy registers `0..n_params`.
+    pub n_params: u32,
+    /// Total registers used (including parameters).
+    pub n_regs: u32,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+/// A data segment loaded into guest memory before execution.
+#[derive(Clone, Debug)]
+pub struct DataSeg {
+    /// Base address.
+    pub addr: u64,
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Fixed address of the guest heap-bump pointer (a u64 cell).
+pub const HEAP_PTR_ADDR: u64 = 0x100;
+/// First address of the guest heap.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+/// Base address for static data allocated by the module builder.
+pub const DATA_BASE: u64 = 0x1000;
+
+/// A complete LIR program: the "interpreter binary" of the paper.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All functions.
+    pub funcs: Vec<Function>,
+    /// Entry function (no parameters).
+    pub entry: FuncId,
+    /// Initial data segments.
+    pub data: Vec<DataSeg>,
+    /// String table for symbolic-input names and diagnostics.
+    pub names: Vec<String>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The function behind an id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Resolves a name id from the string table.
+    pub fn name(&self, id: u64) -> &str {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Total instruction count, a rough size metric.
+    pub fn inst_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.insts.len() + 1).sum::<usize>())
+            .sum()
+    }
+
+    /// Structural validation: every block terminated, every referenced
+    /// block/function/register in range, entry takes no parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entry.0 as usize >= self.funcs.len() {
+            return Err("entry function out of range".into());
+        }
+        if self.funcs[self.entry.0 as usize].n_params != 0 {
+            return Err("entry function must take no parameters".into());
+        }
+        for (fi, f) in self.funcs.iter().enumerate() {
+            if f.blocks.is_empty() {
+                return Err(format!("function {} has no blocks", f.name));
+            }
+            if f.n_params > f.n_regs {
+                return Err(format!("function {} has more params than regs", f.name));
+            }
+            let check_op = |op: &Operand| -> Result<(), String> {
+                if let Operand::Reg(r) = op {
+                    if r.0 >= f.n_regs {
+                        return Err(format!(
+                            "function {} uses out-of-range register r{}",
+                            f.name, r.0
+                        ));
+                    }
+                }
+                Ok(())
+            };
+            let check_block = |b: BlockId| -> Result<(), String> {
+                if b.0 as usize >= f.blocks.len() {
+                    return Err(format!("function {} jumps to missing block {:?}", f.name, b));
+                }
+                Ok(())
+            };
+            for (bi, block) in f.blocks.iter().enumerate() {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Const { dst, .. } => check_op(&Operand::Reg(*dst))?,
+                        Inst::Mov { dst, src } => {
+                            check_op(&Operand::Reg(*dst))?;
+                            check_op(src)?;
+                        }
+                        Inst::Bin { dst, a, b, .. } => {
+                            check_op(&Operand::Reg(*dst))?;
+                            check_op(a)?;
+                            check_op(b)?;
+                        }
+                        Inst::Not { dst, a } => {
+                            check_op(&Operand::Reg(*dst))?;
+                            check_op(a)?;
+                        }
+                        Inst::Select { dst, cond, t, f: fo } => {
+                            check_op(&Operand::Reg(*dst))?;
+                            check_op(cond)?;
+                            check_op(t)?;
+                            check_op(fo)?;
+                        }
+                        Inst::Load { dst, addr, .. } => {
+                            check_op(&Operand::Reg(*dst))?;
+                            check_op(addr)?;
+                        }
+                        Inst::Store { addr, value, .. } => {
+                            check_op(addr)?;
+                            check_op(value)?;
+                        }
+                        Inst::Call { dst, func, args } => {
+                            if let Some(d) = dst {
+                                check_op(&Operand::Reg(*d))?;
+                            }
+                            if func.0 as usize >= self.funcs.len() {
+                                return Err(format!(
+                                    "function {} calls missing function {:?}",
+                                    f.name, func
+                                ));
+                            }
+                            let callee = &self.funcs[func.0 as usize];
+                            if callee.n_params as usize != args.len() {
+                                return Err(format!(
+                                    "function {} calls {} with {} args (expects {})",
+                                    f.name,
+                                    callee.name,
+                                    args.len(),
+                                    callee.n_params
+                                ));
+                            }
+                            for a in args {
+                                check_op(a)?;
+                            }
+                        }
+                        Inst::Intrinsic { dst, args, .. } => {
+                            if let Some(d) = dst {
+                                check_op(&Operand::Reg(*d))?;
+                            }
+                            for a in args {
+                                check_op(a)?;
+                            }
+                        }
+                    }
+                }
+                match &block.term {
+                    Term::Jump(b) => check_block(*b)?,
+                    Term::Branch { cond, then_, else_ } => {
+                        check_op(cond)?;
+                        check_block(*then_)?;
+                        check_block(*else_)?;
+                    }
+                    Term::Switch { on, cases, default } => {
+                        check_op(on)?;
+                        for (_, b) in cases {
+                            check_block(*b)?;
+                        }
+                        check_block(*default)?;
+                    }
+                    Term::Ret(Some(op)) => check_op(op)?,
+                    Term::Ret(None) | Term::Halt { .. } => {
+                        if let Term::Halt { code } = &block.term {
+                            check_op(code)?;
+                        }
+                    }
+                    Term::Unterminated => {
+                        return Err(format!(
+                            "function {} block {} ({}::b{}) is unterminated",
+                            f.name, bi, fi, bi
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Map from symbolic input names to the concrete bytes of a test case.
+pub type InputMap = HashMap<String, Vec<u8>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_program() -> Program {
+        Program {
+            funcs: vec![Function {
+                name: "main".into(),
+                n_params: 0,
+                n_regs: 1,
+                blocks: vec![Block {
+                    insts: vec![Inst::Const { dst: Reg(0), value: 7 }],
+                    term: Term::Halt { code: Operand::Reg(Reg(0)) },
+                }],
+            }],
+            entry: FuncId(0),
+            data: vec![],
+            names: vec![],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_trivial() {
+        assert!(trivial_program().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unterminated() {
+        let mut p = trivial_program();
+        p.funcs[0].blocks[0].term = Term::Unterminated;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let mut p = trivial_program();
+        p.funcs[0].blocks[0].insts.push(Inst::Const { dst: Reg(9), value: 0 });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let mut p = trivial_program();
+        p.funcs.push(Function {
+            name: "f".into(),
+            n_params: 2,
+            n_regs: 2,
+            blocks: vec![Block { insts: vec![], term: Term::Ret(None) }],
+        });
+        p.funcs[0].blocks[0].insts.push(Inst::Call {
+            dst: None,
+            func: FuncId(1),
+            args: vec![Operand::Imm(1)],
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg(3).into();
+        assert_eq!(o, Operand::Reg(Reg(3)));
+        let o: Operand = (-1i64).into();
+        assert_eq!(o, Operand::Imm(u64::MAX));
+    }
+}

@@ -1,0 +1,41 @@
+//! # chef-lir — the low-level IR substrate
+//!
+//! LIR is the machine-code stand-in of this Chef reproduction: a RISC-like,
+//! register-based IR with byte-addressable memory, function calls, and the
+//! guest intrinsics of the paper's Table 1 (`log_pc`, `make_symbolic`,
+//! `assume`, `upper_bound`, `concretize`, `is_symbolic`, `end_symbolic`).
+//! Interpreters (chef-minipy, chef-minilua) are *compiled to LIR* and then
+//! executed either concretely (this crate, [`concrete::run_concrete`]) or
+//! symbolically (`chef-symex`), exactly mirroring how the paper runs CPython
+//! inside S2E.
+//!
+//! # Examples
+//!
+//! Build and concretely run a tiny program:
+//!
+//! ```
+//! use chef_lir::{ModuleBuilder, InputMap, run_concrete, ConcreteStatus};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let main = mb.declare("main", 0);
+//! mb.define(main, |b| {
+//!     let x = b.const_(40);
+//!     let y = b.add(x, 2u64);
+//!     b.halt(y);
+//! });
+//! let prog = mb.finish("main")?;
+//! let out = run_concrete(&prog, &InputMap::new(), 1_000);
+//! assert_eq!(out.status, ConcreteStatus::Halted(42));
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod builder;
+pub mod concrete;
+pub mod ir;
+
+pub use builder::{FnBuilder, ModuleBuilder};
+pub use concrete::{run_concrete, ConcreteMem, ConcreteOutcome, ConcreteStatus, GuestEvent};
+pub use ir::{
+    trace_kind, BinOp, Block, BlockId, DataSeg, FuncId, Function, InputMap, Inst, Intrinsic,
+    MemSize, Operand, Program, Reg, Term, DATA_BASE, HEAP_BASE, HEAP_PTR_ADDR,
+};

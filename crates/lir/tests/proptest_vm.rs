@@ -1,0 +1,181 @@
+//! Property tests for the LIR substrate: random straight-line programs must
+//! compute the same values on the concrete VM as a direct Rust evaluation,
+//! and structured control flow must compose arbitrarily.
+
+use proptest::prelude::*;
+
+use chef_lir::{run_concrete, BinOp, ConcreteStatus, InputMap, ModuleBuilder};
+use chef_solver::eval_bin;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Const(u64),
+    Bin(u8, usize, usize),
+    Not(usize),
+    Select(usize, usize, usize),
+    StoreLoad(usize, u64),
+}
+
+const OPS: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::UDiv,
+    BinOp::URem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::LShr,
+    BinOp::AShr,
+    BinOp::Eq,
+    BinOp::Ult,
+    BinOp::Slt,
+    BinOp::Ule,
+    BinOp::Sle,
+];
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<u64>().prop_map(Step::Const),
+        (any::<u8>(), 0usize..64, 0usize..64).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
+        (0usize..64).prop_map(Step::Not),
+        (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, a, b)| Step::Select(c, a, b)),
+        (0usize..64, 0x2000u64..0x4000).prop_map(|(v, addr)| Step::StoreLoad(v, addr & !7)),
+    ]
+}
+
+/// Reference semantics over a growing value list.
+fn reference(steps: &[Step]) -> u64 {
+    let mut vals: Vec<u64> = vec![1]; // seed value
+    let mut mem: std::collections::HashMap<u64, u64> = Default::default();
+    for s in steps {
+        let get = |i: &usize, vals: &Vec<u64>| vals[i % vals.len()];
+        let v = match s {
+            Step::Const(v) => *v,
+            Step::Bin(o, a, b) => {
+                let op = OPS[(*o as usize) % OPS.len()];
+                eval_bin(op, 64, get(a, &vals), get(b, &vals))
+            }
+            Step::Not(a) => !get(a, &vals),
+            Step::Select(c, a, b) => {
+                if get(c, &vals) != 0 {
+                    get(a, &vals)
+                } else {
+                    get(b, &vals)
+                }
+            }
+            Step::StoreLoad(vi, addr) => {
+                let v = get(vi, &vals);
+                mem.insert(*addr, v);
+                mem[addr]
+            }
+        };
+        vals.push(v);
+    }
+    *vals.last().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The concrete VM agrees with direct evaluation on random programs.
+    #[test]
+    fn concrete_vm_matches_reference(steps in prop::collection::vec(step(), 1..24)) {
+        let want = reference(&steps);
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        let steps2 = steps.clone();
+        mb.define(main, move |b| {
+            let mut vals = vec![b.const_(1)];
+            for s in &steps2 {
+                let get = |i: &usize, vals: &Vec<chef_lir::Reg>| vals[i % vals.len()];
+                let r = match s {
+                    Step::Const(v) => b.const_(*v),
+                    Step::Bin(o, x, y) => {
+                        let op = OPS[(*o as usize) % OPS.len()];
+                        b.bin(op, get(x, &vals), get(y, &vals))
+                    }
+                    Step::Not(x) => b.not(get(x, &vals)),
+                    Step::Select(c, x, y) => {
+                        b.select(get(c, &vals), get(x, &vals), get(y, &vals))
+                    }
+                    Step::StoreLoad(vi, addr) => {
+                        b.store_u64(*addr, get(vi, &vals));
+                        b.load_u64(*addr)
+                    }
+                };
+                vals.push(r);
+            }
+            b.halt(*vals.last().unwrap());
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 10_000);
+        prop_assert_eq!(out.status, ConcreteStatus::Halted(want));
+    }
+
+    /// Nested structured control flow always yields a valid program, and
+    /// loop iteration counts are exact.
+    #[test]
+    fn nested_loops_iterate_exactly(outer in 1u64..6, inner in 1u64..6) {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            let count = b.const_(0);
+            let i = b.const_(0);
+            b.while_(
+                |b| b.ult(i, outer),
+                |b| {
+                    let j = b.const_(0);
+                    b.while_(
+                        |b| b.ult(j, inner),
+                        |b| {
+                            let n = b.add(count, 1u64);
+                            b.set(count, n);
+                            let nj = b.add(j, 1u64);
+                            b.set(j, nj);
+                        },
+                    );
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.halt(count);
+        });
+        let prog = mb.finish("main").unwrap();
+        prop_assert!(prog.validate().is_ok());
+        let out = run_concrete(&prog, &InputMap::new(), 1_000_000);
+        prop_assert_eq!(out.status, ConcreteStatus::Halted(outer * inner));
+    }
+
+    /// Memory bytes written are read back exactly (random addresses incl.
+    /// page boundaries).
+    #[test]
+    fn memory_bytes_roundtrip(writes in prop::collection::vec((0u64..0x3000, any::<u8>()), 1..32)) {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        let writes2 = writes.clone();
+        // Reference: last write per address, then sum of all read-backs.
+        let mut last: std::collections::HashMap<u64, u8> = Default::default();
+        for (a, v) in &writes {
+            last.insert(0x8000 + a, *v);
+        }
+        let want: u64 = last.values().map(|&v| v as u64).sum();
+        let addrs: Vec<u64> = last.keys().copied().collect();
+        mb.define(main, move |b| {
+            for (a, v) in &writes2 {
+                b.store_u8(0x8000 + a, *v as u64);
+            }
+            let acc = b.const_(0);
+            for a in &addrs {
+                let v = b.load_u8(*a);
+                let n = b.add(acc, v);
+                b.set(acc, n);
+            }
+            b.halt(acc);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 100_000);
+        prop_assert_eq!(out.status, ConcreteStatus::Halted(want));
+    }
+}

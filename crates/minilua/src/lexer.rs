@@ -1,0 +1,223 @@
+//! Lexer for MiniLua (keyword-delimited blocks, `--` comments).
+
+use std::fmt;
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Kind and payload.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (MiniLua is configured for integers, §5.2).
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Operator/punctuation, e.g. `".."`, `"~="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Whether this token is the given keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Punct(p) => write!(f, "'{p}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "==", "~=", "<=", ">=", "..", "(", ")", "[", "]", "{", "}", ",", ";", "=", "+", "-", "*",
+    "/", "%", "<", ">", "#", ":", ".",
+];
+
+/// Tokenizes MiniLua source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno as u32 + 1;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == ' ' || c == '\t' {
+                i += 1;
+                continue;
+            }
+            if c == '-' && i + 1 < chars.len() && chars[i + 1] == '-' {
+                break; // comment to end of line
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = text.parse::<i64>().map_err(|_| LexError {
+                    line,
+                    message: format!("integer {text} out of range"),
+                })?;
+                out.push(Token { line, kind: Tok::Int(v) });
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { line, kind: Tok::Ident(text) });
+                continue;
+            }
+            if c == '"' || c == '\'' {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    let ch = chars[i];
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\\' {
+                        i += 1;
+                        if i >= chars.len() {
+                            return Err(LexError { line, message: "bad escape".into() });
+                        }
+                        s.push(match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '0' => '\0',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unknown escape \\{other}"),
+                                })
+                            }
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    s.push(ch);
+                    i += 1;
+                }
+                out.push(Token { line, kind: Tok::Str(s) });
+                continue;
+            }
+            let rest: String = chars[i..].iter().collect();
+            let mut matched = None;
+            for p in PUNCTS {
+                if rest.starts_with(p) {
+                    matched = Some(*p);
+                    break;
+                }
+            }
+            match matched {
+                Some(p) => {
+                    out.push(Token { line, kind: Tok::Punct(p) });
+                    i += p.len();
+                }
+                None => {
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected character '{c}'"),
+                    })
+                }
+            }
+        }
+    }
+    let last = source.lines().count() as u32;
+    out.push(Token { line: last, kind: Tok::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("local x = 1 .. \"a\"");
+        assert!(ks.contains(&Tok::Ident("local".into())));
+        assert!(ks.contains(&Tok::Punct("..")));
+        assert!(ks.contains(&Tok::Str("a".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("x = 1 -- comment\ny = 2");
+        assert_eq!(ks.iter().filter(|k| matches!(k, Tok::Int(_))).count(), 2);
+    }
+
+    #[test]
+    fn ne_operator() {
+        let ks = kinds("a ~= b");
+        assert!(ks.contains(&Tok::Punct("~=")));
+    }
+
+    #[test]
+    fn length_operator() {
+        let ks = kinds("#s");
+        assert!(ks.contains(&Tok::Punct("#")));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("x = \"abc").is_err());
+    }
+}

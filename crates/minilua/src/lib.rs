@@ -1,0 +1,97 @@
+//! # chef-minilua — the Lua-subset front-end (the Lua 5.2 substitute)
+//!
+//! MiniLua is the second target language of this Chef reproduction,
+//! mirroring §5.2 of the paper: a lightweight scripting language whose
+//! interpreter shares the stack-bytecode core with MiniPy (the paper's Lua
+//! engine also reused Chef unchanged — only the interpreter differs).
+//! Deliberate Lua-isms handled at the front-end:
+//!
+//! - keyword-delimited blocks (`function … end`, `if … then … end`),
+//! - `..` concatenation, `~=` inequality, `#` length, numeric `for`,
+//! - 1-based string functions (`sub`, `byte`, `find`) translated to the
+//!   0-based runtime,
+//! - `error(...)` raises `LuaError`, and the evaluated subset has no
+//!   exception handling — an error terminates the script, which is why the
+//!   paper reports no exception counts for Lua packages (Table 3),
+//! - integers instead of floats (the paper flipped the same configuration
+//!   switch in Lua 5.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use chef_core::{Chef, ChefConfig};
+//! use chef_minilua::{compile, parse};
+//! use chef_minipy::{build_program, InterpreterOptions, SymbolicTest};
+//!
+//! let src = "function f(s)\n  if s == \"ok\" then return 1 end\n  return 0\nend\n";
+//! let module = compile(src).unwrap();
+//! let test = SymbolicTest::new("f").sym_str("s", 2);
+//! let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+//! let report = Chef::new(&prog, ChefConfig::default()).run();
+//! assert!(report.tests.iter().any(|t| t.inputs["s"] == b"ok"));
+//! # let _ = parse(src).unwrap();
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse, ParseError, LUA_ERROR};
+
+use chef_minipy::{compile_module, CompileError, CompiledModule};
+
+/// Parses and compiles MiniLua source to the shared bytecode.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on syntax or resolution problems.
+pub fn compile(source: &str) -> Result<CompiledModule, CompileError> {
+    let module = parse(source).map_err(|e| CompileError { line: e.line, message: e.message })?;
+    compile_module(&module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_simple_function() {
+        let m = compile("function f(x)\n  return x * 2\nend\n").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_compiles_and_runs_on_reference() {
+        use chef_minipy::pyref::{run, PyOutcome, PyVal};
+        let module =
+            parse("function f(n)\n  local acc = 0\n  for i = 1, n do acc = acc + i end\n  return acc\nend\n")
+                .unwrap();
+        match run(&module, "f", vec![PyVal::Int(10)], 100_000).unwrap() {
+            PyOutcome::Value(PyVal::Int(55)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_based_string_functions() {
+        use chef_minipy::pyref::{run, PyOutcome, PyVal};
+        let module = parse(
+            "function f(s)\n  local p = find(s, \"@\")\n  local head = sub(s, 1, p - 1)\n  return #head\nend\n",
+        )
+        .unwrap();
+        // "ab@c": find -> 3, sub(s,1,2) = "ab", #head = 2
+        match run(&module, "f", vec![PyVal::str("ab@c")], 100_000).unwrap() {
+            PyOutcome::Value(PyVal::Int(2)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_escapes_as_lua_error() {
+        use chef_minipy::pyref::{run, PyOutcome};
+        let module = parse("function f()\n  error(\"bad\")\nend\n").unwrap();
+        match run(&module, "f", vec![], 1_000).unwrap() {
+            PyOutcome::Exception(e) => assert_eq!(e, "LuaError"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

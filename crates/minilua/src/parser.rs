@@ -1,0 +1,691 @@
+//! Parser for MiniLua, producing the shared AST (`chef_minipy::ast`).
+//!
+//! MiniLua mirrors the paper's Lua setup (§5.2): the interpreter core is
+//! shared with MiniPy (both languages compile to the same stack bytecode),
+//! integers replace floats, and Lua-specific surface forms are translated
+//! at parse time:
+//!
+//! - 1-based string indexing: `sub(s, i, j)` → 0-based slice, `byte(s, i)`
+//!   → `ord(s[i-1])`, `find(s, n)` → `s.find(n) + 1` (0 when absent),
+//! - `..` concatenation → string `+`,
+//! - `#s` → `len(s)`,
+//! - numeric `for i = a, b do … end` → `while` desugaring,
+//! - `error(...)` → raising the `LuaError` class (errors abort the script —
+//!   Lua has no exception handling in the evaluated subset).
+
+use std::fmt;
+
+use chef_minipy::ast::{BinOp, Expr, ExprKind, FuncDef, Module, Stmt, StmtKind, UnOp};
+
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Exception class used for Lua `error(...)`.
+pub const LUA_ERROR: &str = "LuaError";
+
+/// Parses MiniLua source into the shared module AST.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// let m = chef_minilua::parse("function f(x)\n  return x + 1\nend\n").unwrap();
+/// assert_eq!(m.funcs[0].name, "f");
+/// ```
+pub fn parse(source: &str) -> Result<Module, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0, temp: 0 };
+    p.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    temp: u32,
+}
+
+const KEYWORDS: &[&str] = &[
+    "function", "end", "if", "then", "elseif", "else", "while", "do", "for", "return",
+    "break", "local", "and", "or", "not", "true", "false", "nil", "error",
+];
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{p}', found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut funcs = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if !self.peek().is_kw("function") {
+                return self.err(format!("expected 'function', found {}", self.peek()));
+            }
+            funcs.push(self.funcdef()?);
+        }
+        Ok(Module { funcs })
+    }
+
+    fn funcdef(&mut self) -> Result<FuncDef, ParseError> {
+        let line = self.line();
+        self.expect_kw("function")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        self.expect_kw("end")?;
+        Ok(FuncDef { name, params, body, line })
+    }
+
+    /// Parses statements until a block-terminating keyword.
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s)
+                    if matches!(s.as_str(), "end" | "else" | "elseif") =>
+                {
+                    break
+                }
+                Tok::Punct(";") => {
+                    self.bump();
+                }
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "local" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect_punct("=")?;
+                let value = self.expr()?;
+                Ok(Stmt { line, kind: StmtKind::Assign(name, value) })
+            }
+            Tok::Ident(s) if s == "if" => self.if_stmt(),
+            Tok::Ident(s) if s == "while" => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect_kw("do")?;
+                let body = self.block()?;
+                self.expect_kw("end")?;
+                Ok(Stmt { line, kind: StmtKind::While(cond, body) })
+            }
+            Tok::Ident(s) if s == "for" => self.for_stmt(),
+            Tok::Ident(s) if s == "return" => {
+                self.bump();
+                let value = match self.peek() {
+                    Tok::Eof => None,
+                    Tok::Ident(k)
+                        if matches!(k.as_str(), "end" | "else" | "elseif") =>
+                    {
+                        None
+                    }
+                    _ => Some(self.expr()?),
+                };
+                Ok(Stmt { line, kind: StmtKind::Return(value) })
+            }
+            Tok::Ident(s) if s == "break" => {
+                self.bump();
+                Ok(Stmt { line, kind: StmtKind::Break })
+            }
+            Tok::Ident(s) if s == "error" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Stmt { line, kind: StmtKind::Raise(LUA_ERROR.into(), args) })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat_punct("=") {
+                    let value = self.expr()?;
+                    return match e.kind {
+                        ExprKind::Name(n) => {
+                            Ok(Stmt { line, kind: StmtKind::Assign(n, value) })
+                        }
+                        ExprKind::Index(obj, idx) => Ok(Stmt {
+                            line,
+                            kind: StmtKind::IndexAssign(*obj, *idx, value),
+                        }),
+                        _ => self.err("invalid assignment target"),
+                    };
+                }
+                Ok(Stmt { line, kind: StmtKind::Expr(e) })
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_kw("if")?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect_kw("then")?;
+        arms.push((cond, self.block()?));
+        let mut els = Vec::new();
+        loop {
+            if self.eat_kw("elseif") {
+                let c = self.expr()?;
+                self.expect_kw("then")?;
+                arms.push((c, self.block()?));
+            } else if self.eat_kw("else") {
+                els = self.block()?;
+                self.expect_kw("end")?;
+                return Ok(Stmt { line, kind: StmtKind::If(arms, els) });
+            } else {
+                self.expect_kw("end")?;
+                return Ok(Stmt { line, kind: StmtKind::If(arms, els) });
+            }
+        }
+    }
+
+    /// Desugars `for i = a, b do body end` into assignment + while.
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_kw("for")?;
+        let var = self.ident()?;
+        self.expect_punct("=")?;
+        let start = self.expr()?;
+        self.expect_punct(",")?;
+        let stop = self.expr()?;
+        self.expect_kw("do")?;
+        let mut body = self.block()?;
+        self.expect_kw("end")?;
+        self.temp += 1;
+        let limit = format!("__limit_{}", self.temp);
+        // i = start; __limit = stop; while i <= __limit: body; i += 1
+        let init = Stmt { line, kind: StmtKind::Assign(var.clone(), start) };
+        let set_limit = Stmt { line, kind: StmtKind::Assign(limit.clone(), stop) };
+        let cond = Expr {
+            line,
+            kind: ExprKind::Bin(
+                BinOp::Le,
+                Box::new(Expr { line, kind: ExprKind::Name(var.clone()) }),
+                Box::new(Expr { line, kind: ExprKind::Name(limit) }),
+            ),
+        };
+        body.push(Stmt {
+            line,
+            kind: StmtKind::Assign(
+                var.clone(),
+                Expr {
+                    line,
+                    kind: ExprKind::Bin(
+                        BinOp::Add,
+                        Box::new(Expr { line, kind: ExprKind::Name(var) }),
+                        Box::new(Expr { line, kind: ExprKind::Int(1) }),
+                    ),
+                },
+            ),
+        });
+        let while_stmt = Stmt { line, kind: StmtKind::While(cond, body) };
+        // Wrap the three statements in an always-true if to keep one Stmt.
+        Ok(Stmt {
+            line,
+            kind: StmtKind::If(
+                vec![(
+                    Expr { line, kind: ExprKind::True },
+                    vec![init, set_limit, while_stmt],
+                )],
+                vec![],
+            ),
+        })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.peek().is_kw("or") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            e = Expr { line, kind: ExprKind::Or(Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while self.peek().is_kw("and") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            e = Expr { line, kind: ExprKind::And(Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.concat_expr()?;
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("~=") => Some(BinOp::Ne),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(e),
+            Some(op) => {
+                self.bump();
+                let rhs = self.concat_expr()?;
+                Ok(Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) })
+            }
+        }
+    }
+
+    fn concat_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.add_expr()?;
+        while *self.peek() == Tok::Punct("..") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.add_expr()?;
+            // String concatenation is `+` in the shared runtime.
+            e = Expr { line, kind: ExprKind::Bin(BinOp::Add, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        if self.peek().is_kw("not") {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(inner)) });
+        }
+        if *self.peek() == Tok::Punct("-") {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(inner)) });
+        }
+        if *self.peek() == Tok::Punct("#") {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Call("len".into(), vec![inner]) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::Punct("(") => {
+                    let name = match &e.kind {
+                        ExprKind::Name(n) => n.clone(),
+                        _ => return self.err("only named functions can be called"),
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    e = self.lower_call(line, &name, args)?;
+                }
+                Tok::Punct("[") => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Translates MiniLua's standard-library call surface into the shared
+    /// AST (1-based string functions become 0-based operations).
+    fn lower_call(
+        &mut self,
+        line: u32,
+        name: &str,
+        mut args: Vec<Expr>,
+    ) -> Result<Expr, ParseError> {
+        let arity = |n: usize, args: &[Expr]| -> Result<(), ParseError> {
+            if args.len() != n {
+                Err(ParseError {
+                    line,
+                    message: format!("{name} expects {n} args, got {}", args.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let int1 = || Expr { line, kind: ExprKind::Int(1) };
+        let minus1 = |e: Expr| Expr {
+            line,
+            kind: ExprKind::Bin(BinOp::Sub, Box::new(e), Box::new(int1())),
+        };
+        Ok(match name {
+            // find(s, n) -> s.find(n) + 1 (0 when absent)
+            "find" => {
+                arity(2, &args)?;
+                let n = args.pop().unwrap();
+                let s = args.pop().unwrap();
+                let f = Expr {
+                    line,
+                    kind: ExprKind::MethodCall(Box::new(s), "find".into(), vec![n]),
+                };
+                Expr {
+                    line,
+                    kind: ExprKind::Bin(BinOp::Add, Box::new(f), Box::new(int1())),
+                }
+            }
+            // sub(s, i, j) -> s[i-1 : j] (Lua's j is inclusive)
+            "sub" => {
+                arity(3, &args)?;
+                let j = args.pop().unwrap();
+                let i = args.pop().unwrap();
+                let s = args.pop().unwrap();
+                Expr {
+                    line,
+                    kind: ExprKind::Slice(Box::new(s), Box::new(minus1(i)), Box::new(j)),
+                }
+            }
+            // byte(s, i) -> ord(s[i-1])
+            "byte" => {
+                arity(2, &args)?;
+                let i = args.pop().unwrap();
+                let s = args.pop().unwrap();
+                let idx = Expr {
+                    line,
+                    kind: ExprKind::Index(Box::new(s), Box::new(minus1(i))),
+                };
+                Expr { line, kind: ExprKind::Call("ord".into(), vec![idx]) }
+            }
+            "char" => {
+                arity(1, &args)?;
+                Expr { line, kind: ExprKind::Call("chr".into(), args) }
+            }
+            "tostring" => {
+                arity(1, &args)?;
+                Expr { line, kind: ExprKind::Call("str".into(), args) }
+            }
+            "tonumber" => {
+                arity(1, &args)?;
+                Expr { line, kind: ExprKind::Call("int".into(), args) }
+            }
+            // insert(t, v) -> t.append(v)
+            "insert" => {
+                arity(2, &args)?;
+                let v = args.pop().unwrap();
+                let t = args.pop().unwrap();
+                Expr {
+                    line,
+                    kind: ExprKind::MethodCall(Box::new(t), "append".into(), vec![v]),
+                }
+            }
+            // newlist() -> []
+            "newlist" => {
+                arity(0, &args)?;
+                Expr { line, kind: ExprKind::List(vec![]) }
+            }
+            _ => Expr { line, kind: ExprKind::Call(name.to_string(), args) },
+        })
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Int(v) })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Str(s) })
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::True })
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::False })
+            }
+            Tok::Ident(s) if s == "nil" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::None })
+            }
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Name(s) })
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                self.expect_punct("}")?;
+                Ok(Expr { line, kind: ExprKind::Dict(vec![]) })
+            }
+            other => self.err(format!("unexpected {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_minipy::ast::StmtKind;
+
+    #[test]
+    fn parses_function() {
+        let m = parse("function add(a, b)\n  return a + b\nend\n").unwrap();
+        assert_eq!(m.funcs[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let src = "function f(x)\n  if x == 1 then return 1 elseif x == 2 then return 2 else return 3 end\nend\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::If(arms, els) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_for_desugars() {
+        let src = "function f(n)\n  local acc = 0\n  for i = 1, n do acc = acc + i end\n  return acc\nend\n";
+        let m = parse(src).unwrap();
+        // Desugared into an always-true If wrapping init + while.
+        assert!(matches!(m.funcs[0].body[1].kind, StmtKind::If(..)));
+    }
+
+    #[test]
+    fn error_becomes_raise() {
+        let src = "function f()\n  error(\"boom\")\nend\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Raise(name, _) => assert_eq!(name, LUA_ERROR),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stdlib_lowering() {
+        let src = "function f(s)\n  local p = find(s, \"@\")\n  local t = sub(s, 1, 2)\n  local b = byte(s, 1)\n  return p\nend\n";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn length_operator_lowers_to_len() {
+        let src = "function f(s)\n  return #s\nend\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => {
+                assert!(matches!(&e.kind, chef_minipy::ast::ExprKind::Call(n, _) if n == "len"))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_lowers_to_add() {
+        let src = "function f(a, b)\n  return a .. b\nend\n";
+        assert!(parse(src).is_ok());
+    }
+}

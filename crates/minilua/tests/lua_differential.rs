@@ -1,0 +1,168 @@
+//! Differential tests for MiniLua: LIR interpretation must agree with the
+//! shared reference evaluator on concrete runs, across all §4.2 builds.
+
+use chef_lir::{run_concrete, ConcreteStatus, GuestEvent, InputMap};
+use chef_minilua::parse;
+use chef_minipy::pyref::{self, PyOutcome, PyVal};
+use chef_minipy::{build_program, compile_module, InterpreterOptions, SymbolicTest};
+
+fn check_agreement(src: &str, entry: &str, arg: &str) {
+    let ast = parse(src).unwrap();
+    let expected = pyref::run(&ast, entry, vec![PyVal::str(arg)], 10_000_000).unwrap();
+    let module = compile_module(&ast).unwrap();
+    for (label, opts) in InterpreterOptions::cumulative() {
+        let test = SymbolicTest::new(entry).sym_str("input", arg.len());
+        let prog = build_program(&module, &opts, &test).unwrap();
+        let mut inputs = InputMap::new();
+        inputs.insert("input".into(), arg.as_bytes().to_vec());
+        let out = run_concrete(&prog, &inputs, 50_000_000);
+        assert!(
+            matches!(out.status, ConcreteStatus::EndedSymbolic(_)),
+            "{label}: bad exit {:?}",
+            out.status
+        );
+        let exc = out.events.iter().find_map(|e| match e {
+            GuestEvent::Exception(n) => Some(n.clone()),
+            _ => None,
+        });
+        let marker = out.events.iter().find_map(|e| match e {
+            GuestEvent::Marker(a, b) => Some((*a, *b)),
+            _ => None,
+        });
+        match &expected {
+            PyOutcome::Exception(e) => {
+                assert_eq!(exc.as_deref(), Some(e.as_str()), "{label}, arg {arg:?}");
+            }
+            PyOutcome::Value(v) => {
+                assert!(exc.is_none(), "{label}, arg {arg:?}: unexpected {exc:?}");
+                if let PyVal::Int(want) = v {
+                    let (_, payload) = marker.expect("marker present");
+                    assert_eq!(payload as i64, *want, "{label}, arg {arg:?}");
+                }
+            }
+            PyOutcome::OutOfFuel => panic!("oracle out of fuel"),
+        }
+    }
+}
+
+#[test]
+fn arithmetic_and_for_loops_agree() {
+    let src = r#"
+function f(s)
+  local acc = 0
+  for i = 1, #s do
+    acc = acc + byte(s, i)
+  end
+  return acc % 1000
+end
+"#;
+    for arg in ["", "a", "xyz", "hello!"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn string_functions_agree() {
+    let src = r#"
+function f(s)
+  local p = find(s, "@")
+  if p == 0 then
+    return -1
+  end
+  local head = sub(s, 1, p - 1)
+  return #head * 10 + p
+end
+"#;
+    for arg in ["ab@c", "@x", "none", ""] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn tables_agree() {
+    let src = r#"
+function f(s)
+  local t = {}
+  t["k"] = 1
+  t[s] = 2
+  if #s > 0 and sub(s, 1, 1) == "k" and #s == 1 then
+    return t["k"] * 100
+  end
+  return t["k"]
+end
+"#;
+    for arg in ["k", "q", "kk"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn error_propagates_as_lua_error() {
+    let src = r#"
+function g(s)
+  if #s > 2 then
+    error("too long")
+  end
+  return #s
+end
+
+function f(s)
+  return g(s) + 1
+end
+"#;
+    for arg in ["ab", "abcd"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn concat_and_tostring_agree() {
+    let src = r#"
+function f(s)
+  local out = s .. "-" .. tostring(#s)
+  return #out
+end
+"#;
+    for arg in ["", "ab", "hello"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn comparisons_and_logic_agree() {
+    let src = r#"
+function f(s)
+  local n = #s
+  if n > 1 and n <= 3 or n == 0 then
+    return 1
+  end
+  if not (n == 4) then
+    return 2
+  end
+  return 3
+end
+"#;
+    for arg in ["", "a", "ab", "abc", "abcd", "abcde"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn insert_and_list_agree() {
+    let src = r#"
+function f(s)
+  local l = newlist()
+  for i = 1, #s do
+    insert(l, byte(s, i))
+  end
+  local total = 0
+  for i = 1, #l do
+    total = total + l[i - 1]
+  end
+  return total % 997
+end
+"#;
+    for arg in ["", "abc"] {
+        check_agreement(src, "f", arg);
+    }
+}

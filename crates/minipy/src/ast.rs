@@ -1,0 +1,156 @@
+//! Abstract syntax tree for MiniPy, the Python-subset guest language.
+//!
+//! MiniPy stands in for CPython's target language: indentation-based syntax,
+//! integers, strings, lists, dicts, exceptions, and the string/dict methods
+//! the paper's evaluation packages lean on. Omissions relative to Python are
+//! documented in DESIGN.md (no classes, no bignums, no floats, no closures).
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+` (ints add, strings concatenate).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (integer division, raises `ZeroDivisionError`).
+    Div,
+    /// `%` (modulo, raises `ZeroDivisionError`).
+    Mod,
+    /// `==` (value equality).
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` (ints only).
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `in` (dict key / substring / list membership).
+    In,
+    /// `not in`.
+    NotIn,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// `-`.
+    Neg,
+    /// `not`.
+    Not,
+}
+
+/// An expression with its source line.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// 1-based source line.
+    pub line: u32,
+    /// Node kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// `True`.
+    True,
+    /// `False`.
+    False,
+    /// `None`.
+    None,
+    /// Variable reference.
+    Name(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Short-circuit `and`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `or`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Call of a module-level function or builtin: `f(a, b)`.
+    Call(String, Vec<Expr>),
+    /// Method call: `obj.m(a, b)`.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// Indexing: `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Slicing: `s[a:b]` (both bounds required; clamped like Python).
+    Slice(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// List literal.
+    List(Vec<Expr>),
+    /// Dict literal.
+    Dict(Vec<(Expr, Expr)>),
+}
+
+/// A statement with its source line.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// Node kind.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `x = expr`.
+    Assign(String, Expr),
+    /// `a[i] = expr`.
+    IndexAssign(Expr, Expr, Expr),
+    /// Expression statement (a call evaluated for effect).
+    Expr(Expr),
+    /// `if` / `elif` / `else` chain: conditions with bodies, plus else body.
+    If(Vec<(Expr, Vec<Stmt>)>, Vec<Stmt>),
+    /// `while cond:`.
+    While(Expr, Vec<Stmt>),
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `pass`.
+    Pass,
+    /// `raise Name(args...)` — the arguments are evaluated then discarded
+    /// (MiniPy exceptions carry only a class name).
+    Raise(String, Vec<Expr>),
+    /// `try:` body, `except Name:`/`except:` clauses (None = bare except).
+    Try(Vec<Stmt>, Vec<(Option<String>, Vec<Stmt>)>),
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the `def`.
+    pub line: u32,
+}
+
+/// A parsed module: a sequence of function definitions.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Definitions, in source order.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,366 @@
+//! MiniPy bytecode: the interpreter-specific instruction set the compiler
+//! targets, mirroring CPython's role in the paper (§5.1: "each source
+//! statement is translated into one or more lower-level primitive
+//! instructions").
+//!
+//! Encoding: one opcode byte, followed by operand bytes as documented per
+//! opcode (u16 operands are little-endian).
+
+/// Opcode constants.
+pub mod op {
+    /// No operation.
+    pub const NOP: u8 = 0;
+    /// `LOAD_CONST k:u16` — push constant `k`.
+    pub const LOAD_CONST: u8 = 1;
+    /// `LOAD_LOCAL i:u16` — push local `i`.
+    pub const LOAD_LOCAL: u8 = 2;
+    /// `STORE_LOCAL i:u16` — pop into local `i`.
+    pub const STORE_LOCAL: u8 = 3;
+    /// Pop and discard TOS.
+    pub const POP: u8 = 4;
+    /// `a + b` (ints add; strings concatenate).
+    pub const BIN_ADD: u8 = 5;
+    /// `a - b`.
+    pub const BIN_SUB: u8 = 6;
+    /// `a * b`.
+    pub const BIN_MUL: u8 = 7;
+    /// `a / b` (integer division; raises ZeroDivisionError).
+    pub const BIN_DIV: u8 = 8;
+    /// `a % b` (raises ZeroDivisionError).
+    pub const BIN_MOD: u8 = 9;
+    /// `a == b`.
+    pub const CMP_EQ: u8 = 10;
+    /// `a != b`.
+    pub const CMP_NE: u8 = 11;
+    /// `a < b` (ints).
+    pub const CMP_LT: u8 = 12;
+    /// `a <= b`.
+    pub const CMP_LE: u8 = 13;
+    /// `a > b`.
+    pub const CMP_GT: u8 = 14;
+    /// `a >= b`.
+    pub const CMP_GE: u8 = 15;
+    /// Membership test (dict key / substring / list element).
+    pub const CONTAINS: u8 = 16;
+    /// Logical not.
+    pub const UNARY_NOT: u8 = 17;
+    /// Arithmetic negation.
+    pub const UNARY_NEG: u8 = 18;
+    /// `JUMP t:u16` — unconditional jump to offset `t`.
+    pub const JUMP: u8 = 19;
+    /// `POP_JUMP_IF_FALSE t:u16`.
+    pub const POP_JUMP_IF_FALSE: u8 = 20;
+    /// `POP_JUMP_IF_TRUE t:u16`.
+    pub const POP_JUMP_IF_TRUE: u8 = 21;
+    /// `JUMP_IF_FALSE_OR_POP t:u16` (short-circuit `and`).
+    pub const JUMP_IF_FALSE_OR_POP: u8 = 22;
+    /// `JUMP_IF_TRUE_OR_POP t:u16` (short-circuit `or`).
+    pub const JUMP_IF_TRUE_OR_POP: u8 = 23;
+    /// `CALL f:u16 argc:u8` — call module function `f`.
+    pub const CALL: u8 = 24;
+    /// `CALL_BUILTIN b:u8 argc:u8`.
+    pub const CALL_BUILTIN: u8 = 25;
+    /// `CALL_METHOD m:u8 argc:u8` — method `m` on the receiver below args.
+    pub const CALL_METHOD: u8 = 26;
+    /// Return TOS.
+    pub const RETURN: u8 = 27;
+    /// Return `None`.
+    pub const RETURN_NONE: u8 = 28;
+    /// `RAISE k:u16` — raise exception class named by constant `k`.
+    pub const RAISE: u8 = 29;
+    /// `SETUP_EXCEPT t:u16` — push a handler at offset `t`.
+    pub const SETUP_EXCEPT: u8 = 30;
+    /// Pop the innermost handler (end of protected block).
+    pub const POP_BLOCK: u8 = 31;
+    /// `EXC_MATCH k:u16` — push whether the current exception matches the
+    /// class named by constant `k`.
+    pub const EXC_MATCH: u8 = 32;
+    /// Mark the current exception handled.
+    pub const CLEAR_EXC: u8 = 33;
+    /// Re-raise the current exception (no clause matched).
+    pub const RERAISE: u8 = 34;
+    /// `BUILD_LIST n:u16` — pop `n` items into a new list.
+    pub const BUILD_LIST: u8 = 35;
+    /// `BUILD_DICT n:u16` — pop `n` key/value pairs into a new dict.
+    pub const BUILD_DICT: u8 = 36;
+    /// `a[i]`.
+    pub const INDEX: u8 = 37;
+    /// `a[i] = v` (pops obj, idx, value).
+    pub const STORE_INDEX: u8 = 38;
+    /// `s[lo:hi]` (clamped).
+    pub const SLICE: u8 = 39;
+
+    /// Number of defined opcodes.
+    pub const COUNT: u8 = 40;
+}
+
+/// Builtin function ids for `CALL_BUILTIN`.
+pub mod builtin {
+    /// `len(x)`.
+    pub const LEN: u8 = 0;
+    /// `ord(s)`.
+    pub const ORD: u8 = 1;
+    /// `chr(i)`.
+    pub const CHR: u8 = 2;
+    /// `int(s)`.
+    pub const INT: u8 = 3;
+    /// `str(i)`.
+    pub const STR: u8 = 4;
+    /// `print(...)` — no-op returning `None`.
+    pub const PRINT: u8 = 5;
+
+    /// Resolves a builtin name.
+    pub fn by_name(name: &str) -> Option<(u8, Option<usize>)> {
+        match name {
+            "len" => Some((LEN, Some(1))),
+            "ord" => Some((ORD, Some(1))),
+            "chr" => Some((CHR, Some(1))),
+            "int" => Some((INT, Some(1))),
+            "str" => Some((STR, Some(1))),
+            "print" => Some((PRINT, None)),
+            _ => None,
+        }
+    }
+}
+
+/// Method ids for `CALL_METHOD`.
+pub mod method {
+    /// `s.find(sub)` — first index of `sub` or -1.
+    pub const FIND: u8 = 0;
+    /// `s.startswith(prefix)`.
+    pub const STARTSWITH: u8 = 1;
+    /// `d.get(key)` / `d.get(key, default)`.
+    pub const GET: u8 = 2;
+    /// `l.append(x)`.
+    pub const APPEND: u8 = 3;
+    /// `s.endswith(suffix)`.
+    pub const ENDSWITH: u8 = 4;
+    /// `s.strip()` — remove ASCII whitespace at both ends.
+    pub const STRIP: u8 = 5;
+
+    /// Resolves a method name to (id, allowed argcs).
+    pub fn by_name(name: &str) -> Option<(u8, &'static [usize])> {
+        match name {
+            "find" => Some((FIND, &[1])),
+            "startswith" => Some((STARTSWITH, &[1])),
+            "get" => Some((GET, &[1, 2])),
+            "append" => Some((APPEND, &[1])),
+            "endswith" => Some((ENDSWITH, &[1])),
+            "strip" => Some((STRIP, &[0])),
+            _ => None,
+        }
+    }
+}
+
+/// Width of the operand(s) following an opcode, in bytes.
+pub fn operand_len(opcode: u8) -> usize {
+    use op::*;
+    match opcode {
+        LOAD_CONST | LOAD_LOCAL | STORE_LOCAL | JUMP | POP_JUMP_IF_FALSE | POP_JUMP_IF_TRUE
+        | JUMP_IF_FALSE_OR_POP | JUMP_IF_TRUE_OR_POP | RAISE | SETUP_EXCEPT | EXC_MATCH
+        | BUILD_LIST | BUILD_DICT => 2,
+        CALL => 3,
+        CALL_BUILTIN | CALL_METHOD => 2,
+        _ => 0,
+    }
+}
+
+/// Human-readable opcode name, for the disassembler and reports.
+pub fn opcode_name(opcode: u8) -> &'static str {
+    use op::*;
+    match opcode {
+        NOP => "NOP",
+        LOAD_CONST => "LOAD_CONST",
+        LOAD_LOCAL => "LOAD_LOCAL",
+        STORE_LOCAL => "STORE_LOCAL",
+        POP => "POP",
+        BIN_ADD => "BIN_ADD",
+        BIN_SUB => "BIN_SUB",
+        BIN_MUL => "BIN_MUL",
+        BIN_DIV => "BIN_DIV",
+        BIN_MOD => "BIN_MOD",
+        CMP_EQ => "CMP_EQ",
+        CMP_NE => "CMP_NE",
+        CMP_LT => "CMP_LT",
+        CMP_LE => "CMP_LE",
+        CMP_GT => "CMP_GT",
+        CMP_GE => "CMP_GE",
+        CONTAINS => "CONTAINS",
+        UNARY_NOT => "UNARY_NOT",
+        UNARY_NEG => "UNARY_NEG",
+        JUMP => "JUMP",
+        POP_JUMP_IF_FALSE => "POP_JUMP_IF_FALSE",
+        POP_JUMP_IF_TRUE => "POP_JUMP_IF_TRUE",
+        JUMP_IF_FALSE_OR_POP => "JUMP_IF_FALSE_OR_POP",
+        JUMP_IF_TRUE_OR_POP => "JUMP_IF_TRUE_OR_POP",
+        CALL => "CALL",
+        CALL_BUILTIN => "CALL_BUILTIN",
+        CALL_METHOD => "CALL_METHOD",
+        RETURN => "RETURN",
+        RETURN_NONE => "RETURN_NONE",
+        RAISE => "RAISE",
+        SETUP_EXCEPT => "SETUP_EXCEPT",
+        POP_BLOCK => "POP_BLOCK",
+        EXC_MATCH => "EXC_MATCH",
+        CLEAR_EXC => "CLEAR_EXC",
+        RERAISE => "RERAISE",
+        BUILD_LIST => "BUILD_LIST",
+        BUILD_DICT => "BUILD_DICT",
+        INDEX => "INDEX",
+        STORE_INDEX => "STORE_INDEX",
+        SLICE => "SLICE",
+        _ => "INVALID",
+    }
+}
+
+/// A compiled function body.
+#[derive(Clone, Debug)]
+pub struct CodeObj {
+    /// Function name.
+    pub name: String,
+    /// Parameter count (parameters occupy the first locals).
+    pub n_params: u16,
+    /// Total local slots.
+    pub n_locals: u16,
+    /// Bytecode stream.
+    pub code: Vec<u8>,
+    /// Source line per bytecode byte (same length as `code`).
+    pub lines: Vec<u32>,
+}
+
+impl CodeObj {
+    /// Iterates `(offset, opcode)` pairs.
+    pub fn instructions(&self) -> Vec<(usize, u8)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.code.len() {
+            let opcode = self.code[i];
+            out.push((i, opcode));
+            i += 1 + operand_len(opcode);
+        }
+        out
+    }
+
+    /// Distinct source lines with code in this object.
+    pub fn lines_with_code(&self) -> std::collections::BTreeSet<u32> {
+        self.lines.iter().copied().filter(|&l| l > 0).collect()
+    }
+
+    /// Textual disassembly (for tests and debugging).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (off, opcode) in self.instructions() {
+            let _ = write!(s, "{off:5} {}", opcode_name(opcode));
+            match operand_len(opcode) {
+                2 => {
+                    let v = u16::from_le_bytes([self.code[off + 1], self.code[off + 2]]);
+                    let _ = write!(s, " {v}");
+                }
+                3 => {
+                    let v = u16::from_le_bytes([self.code[off + 1], self.code[off + 2]]);
+                    let argc = self.code[off + 3];
+                    let _ = write!(s, " {v} argc={argc}");
+                }
+                _ => {}
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Constant pool entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Const {
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// `None`.
+    None,
+    /// `True`.
+    True,
+    /// `False`.
+    False,
+}
+
+/// A compiled MiniPy module.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledModule {
+    /// Compiled functions; indices are `CALL` operands.
+    pub funcs: Vec<CodeObj>,
+    /// Shared constant pool.
+    pub consts: Vec<Const>,
+}
+
+impl CompiledModule {
+    /// Index of a function by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Total lines with code across all functions ("coverable LOC" in the
+    /// Table 3 sense, §6.1).
+    pub fn coverable_lines(&self) -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for f in &self.funcs {
+            set.extend(f.lines_with_code());
+        }
+        set.len()
+    }
+
+    /// Maps an HLPC (as constructed by the interpreter: `code_id << 16 |
+    /// offset`) back to a source line.
+    pub fn line_of_hlpc(&self, hlpc: u64) -> Option<u32> {
+        let code_id = (hlpc >> 16) as usize;
+        let offset = (hlpc & 0xffff) as usize;
+        self.funcs
+            .get(code_id)
+            .and_then(|f| f.lines.get(offset))
+            .copied()
+    }
+}
+
+/// Builds the HLPC value the interpreter reports for `(code_id, offset)` —
+/// the concatenation described in §5.1.
+pub fn hlpc(code_id: usize, offset: usize) -> u64 {
+    ((code_id as u64) << 16) | offset as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_lengths_cover_all_opcodes() {
+        for opcode in 0..op::COUNT {
+            let _ = operand_len(opcode);
+            assert_ne!(opcode_name(opcode), "INVALID", "opcode {opcode} named");
+        }
+    }
+
+    #[test]
+    fn hlpc_roundtrip() {
+        let m = CompiledModule {
+            funcs: vec![CodeObj {
+                name: "f".into(),
+                n_params: 0,
+                n_locals: 0,
+                code: vec![op::RETURN_NONE],
+                lines: vec![7],
+            }],
+            consts: vec![],
+        };
+        assert_eq!(m.line_of_hlpc(hlpc(0, 0)), Some(7));
+        assert_eq!(m.line_of_hlpc(hlpc(1, 0)), None);
+    }
+
+    #[test]
+    fn builtin_and_method_lookup() {
+        assert!(builtin::by_name("len").is_some());
+        assert!(builtin::by_name("nope").is_none());
+        assert!(method::by_name("find").is_some());
+        assert!(method::by_name("nope").is_none());
+    }
+}

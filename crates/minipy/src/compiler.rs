@@ -1,0 +1,586 @@
+//! AST → bytecode compiler for MiniPy.
+//!
+//! Compilation runs natively (as CPython's compiler does in the paper — only
+//! the *interpretation* of the resulting bytecode is symbolically executed).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, ExprKind, FuncDef, Module, Stmt, StmtKind, UnOp};
+use crate::bytecode::{builtin, method, op, CodeObj, CompiledModule, Const};
+use crate::parser::{parse, ParseError};
+
+/// A compilation error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses and compiles MiniPy source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on syntax errors, unknown names, or arity
+/// mismatches.
+///
+/// # Examples
+///
+/// ```
+/// let m = chef_minipy::compile("def inc(x):\n    return x + 1\n").unwrap();
+/// assert_eq!(m.funcs.len(), 1);
+/// assert!(m.coverable_lines() >= 1);
+/// ```
+pub fn compile(source: &str) -> Result<CompiledModule, CompileError> {
+    let module = parse(source)?;
+    compile_module(&module)
+}
+
+/// Compiles a parsed [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown names or arity mismatches.
+pub fn compile_module(module: &Module) -> Result<CompiledModule, CompileError> {
+    let mut sigs: HashMap<String, (usize, usize)> = HashMap::new();
+    for (i, f) in module.funcs.iter().enumerate() {
+        if sigs.insert(f.name.clone(), (i, f.params.len())).is_some() {
+            return Err(CompileError {
+                line: f.line,
+                message: format!("function {} defined twice", f.name),
+            });
+        }
+    }
+    let mut consts = ConstPool::default();
+    let mut funcs = Vec::new();
+    for f in &module.funcs {
+        funcs.push(compile_func(f, &sigs, &mut consts)?);
+    }
+    Ok(CompiledModule { funcs, consts: consts.pool })
+}
+
+#[derive(Default)]
+struct ConstPool {
+    pool: Vec<Const>,
+    index: HashMap<Const, u16>,
+}
+
+impl ConstPool {
+    fn intern(&mut self, c: Const) -> u16 {
+        if let Some(&i) = self.index.get(&c) {
+            return i;
+        }
+        let i = self.pool.len() as u16;
+        self.pool.push(c.clone());
+        self.index.insert(c, i);
+        i
+    }
+}
+
+struct FnCompiler<'m> {
+    code: Vec<u8>,
+    lines: Vec<u32>,
+    locals: HashMap<String, u16>,
+    sigs: &'m HashMap<String, (usize, usize)>,
+    consts: &'m mut ConstPool,
+    /// (break patch sites, continue target) per active loop.
+    loops: Vec<(Vec<usize>, usize)>,
+}
+
+fn collect_locals(f: &FuncDef) -> Vec<String> {
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign(n, _) => {
+                    if !out.contains(n) {
+                        out.push(n.clone());
+                    }
+                }
+                StmtKind::If(arms, els) => {
+                    for (_, body) in arms {
+                        walk(body, out);
+                    }
+                    walk(els, out);
+                }
+                StmtKind::While(_, body) => walk(body, out),
+                StmtKind::Try(body, clauses) => {
+                    walk(body, out);
+                    for (_, h) in clauses {
+                        walk(h, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = f.params.clone();
+    walk(&f.body, &mut out);
+    out
+}
+
+fn compile_func(
+    f: &FuncDef,
+    sigs: &HashMap<String, (usize, usize)>,
+    consts: &mut ConstPool,
+) -> Result<CodeObj, CompileError> {
+    let local_names = collect_locals(f);
+    if local_names.len() > u16::MAX as usize {
+        return Err(CompileError { line: f.line, message: "too many locals".into() });
+    }
+    let locals: HashMap<String, u16> = local_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u16))
+        .collect();
+    let mut c = FnCompiler {
+        code: Vec::new(),
+        lines: Vec::new(),
+        locals,
+        sigs,
+        consts,
+        loops: Vec::new(),
+    };
+    c.block(&f.body)?;
+    c.emit(op::RETURN_NONE, f.line);
+    Ok(CodeObj {
+        name: f.name.clone(),
+        n_params: f.params.len() as u16,
+        n_locals: local_names.len() as u16,
+        code: c.code,
+        lines: c.lines,
+    })
+}
+
+impl FnCompiler<'_> {
+    fn emit(&mut self, byte: u8, line: u32) {
+        self.code.push(byte);
+        self.lines.push(line);
+    }
+
+    fn emit_u16(&mut self, v: u16, line: u32) {
+        self.emit((v & 0xff) as u8, line);
+        self.emit((v >> 8) as u8, line);
+    }
+
+    /// Emits a jump-family opcode with a placeholder target; returns the
+    /// patch site.
+    fn emit_jump(&mut self, opcode: u8, line: u32) -> usize {
+        self.emit(opcode, line);
+        let site = self.code.len();
+        self.emit_u16(0xffff, line);
+        site
+    }
+
+    fn patch(&mut self, site: usize, target: usize) {
+        let t = target as u16;
+        self.code[site] = (t & 0xff) as u8;
+        self.code[site + 1] = (t >> 8) as u8;
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn err<T>(&self, line: u32, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError { line, message: message.into() })
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        let line = s.line;
+        match &s.kind {
+            StmtKind::Pass => {}
+            StmtKind::Assign(name, value) => {
+                self.expr(value)?;
+                let slot = self.locals[name]; // collected in pre-pass
+                self.emit(op::STORE_LOCAL, line);
+                self.emit_u16(slot, line);
+            }
+            StmtKind::IndexAssign(obj, idx, value) => {
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.expr(value)?;
+                self.emit(op::STORE_INDEX, line);
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.emit(op::POP, line);
+            }
+            StmtKind::Return(value) => match value {
+                Some(e) => {
+                    self.expr(e)?;
+                    self.emit(op::RETURN, line);
+                }
+                None => self.emit(op::RETURN_NONE, line),
+            },
+            StmtKind::Break => {
+                let Some((breaks, _)) = self.loops.last_mut() else {
+                    return self.err(line, "break outside loop");
+                };
+                let _ = breaks;
+                let site = self.emit_jump(op::JUMP, line);
+                self.loops.last_mut().unwrap().0.push(site);
+            }
+            StmtKind::Continue => {
+                let Some(&(_, target)) = self.loops.last().map(|(b, t)| (b, *t)).as_ref()
+                else {
+                    return self.err(line, "continue outside loop");
+                };
+                let site = self.emit_jump(op::JUMP, line);
+                self.patch(site, target);
+            }
+            StmtKind::While(cond, body) => {
+                let start = self.here();
+                self.expr(cond)?;
+                let exit = self.emit_jump(op::POP_JUMP_IF_FALSE, line);
+                self.loops.push((Vec::new(), start));
+                self.block(body)?;
+                let back = self.emit_jump(op::JUMP, line);
+                self.patch(back, start);
+                let end = self.here();
+                self.patch(exit, end);
+                let (breaks, _) = self.loops.pop().unwrap();
+                for b in breaks {
+                    self.patch(b, end);
+                }
+            }
+            StmtKind::If(arms, els) => {
+                let mut end_sites = Vec::new();
+                for (cond, body) in arms {
+                    self.expr(cond)?;
+                    let next = self.emit_jump(op::POP_JUMP_IF_FALSE, cond.line);
+                    self.block(body)?;
+                    end_sites.push(self.emit_jump(op::JUMP, line));
+                    let here = self.here();
+                    self.patch(next, here);
+                }
+                self.block(els)?;
+                let end = self.here();
+                for s in end_sites {
+                    self.patch(s, end);
+                }
+            }
+            StmtKind::Raise(name, args) => {
+                // Evaluate arguments for their side effects, then discard.
+                for a in args {
+                    self.expr(a)?;
+                    self.emit(op::POP, line);
+                }
+                let k = self.consts.intern(Const::Str(name.clone()));
+                self.emit(op::RAISE, line);
+                self.emit_u16(k, line);
+            }
+            StmtKind::Try(body, clauses) => {
+                let setup = self.emit_jump(op::SETUP_EXCEPT, line);
+                self.block(body)?;
+                self.emit(op::POP_BLOCK, line);
+                let after_body = self.emit_jump(op::JUMP, line);
+                let handler = self.here();
+                self.patch(setup, handler);
+                let mut end_sites = vec![after_body];
+                for (name, hbody) in clauses {
+                    match name {
+                        Some(n) => {
+                            let k = self.consts.intern(Const::Str(n.clone()));
+                            self.emit(op::EXC_MATCH, line);
+                            self.emit_u16(k, line);
+                            let next = self.emit_jump(op::POP_JUMP_IF_FALSE, line);
+                            self.emit(op::CLEAR_EXC, line);
+                            self.block(hbody)?;
+                            end_sites.push(self.emit_jump(op::JUMP, line));
+                            let here = self.here();
+                            self.patch(next, here);
+                        }
+                        None => {
+                            self.emit(op::CLEAR_EXC, line);
+                            self.block(hbody)?;
+                            end_sites.push(self.emit_jump(op::JUMP, line));
+                        }
+                    }
+                }
+                self.emit(op::RERAISE, line);
+                let end = self.here();
+                for site in end_sites {
+                    self.patch(site, end);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let k = self.consts.intern(Const::Int(*v));
+                self.emit(op::LOAD_CONST, line);
+                self.emit_u16(k, line);
+            }
+            ExprKind::Str(s) => {
+                let k = self.consts.intern(Const::Str(s.clone()));
+                self.emit(op::LOAD_CONST, line);
+                self.emit_u16(k, line);
+            }
+            ExprKind::True => {
+                let k = self.consts.intern(Const::True);
+                self.emit(op::LOAD_CONST, line);
+                self.emit_u16(k, line);
+            }
+            ExprKind::False => {
+                let k = self.consts.intern(Const::False);
+                self.emit(op::LOAD_CONST, line);
+                self.emit_u16(k, line);
+            }
+            ExprKind::None => {
+                let k = self.consts.intern(Const::None);
+                self.emit(op::LOAD_CONST, line);
+                self.emit_u16(k, line);
+            }
+            ExprKind::Name(n) => match self.locals.get(n) {
+                Some(&slot) => {
+                    self.emit(op::LOAD_LOCAL, line);
+                    self.emit_u16(slot, line);
+                }
+                None => return self.err(line, format!("unknown variable '{n}'")),
+            },
+            ExprKind::Bin(bop, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                let opcode = match bop {
+                    BinOp::Add => op::BIN_ADD,
+                    BinOp::Sub => op::BIN_SUB,
+                    BinOp::Mul => op::BIN_MUL,
+                    BinOp::Div => op::BIN_DIV,
+                    BinOp::Mod => op::BIN_MOD,
+                    BinOp::Eq => op::CMP_EQ,
+                    BinOp::Ne => op::CMP_NE,
+                    BinOp::Lt => op::CMP_LT,
+                    BinOp::Le => op::CMP_LE,
+                    BinOp::Gt => op::CMP_GT,
+                    BinOp::Ge => op::CMP_GE,
+                    BinOp::In => op::CONTAINS,
+                    BinOp::NotIn => {
+                        self.emit(op::CONTAINS, line);
+                        self.emit(op::UNARY_NOT, line);
+                        return Ok(());
+                    }
+                };
+                self.emit(opcode, line);
+            }
+            ExprKind::Un(uop, a) => {
+                self.expr(a)?;
+                self.emit(
+                    match uop {
+                        UnOp::Not => op::UNARY_NOT,
+                        UnOp::Neg => op::UNARY_NEG,
+                    },
+                    line,
+                );
+            }
+            ExprKind::And(a, b) => {
+                self.expr(a)?;
+                let site = self.emit_jump(op::JUMP_IF_FALSE_OR_POP, line);
+                self.expr(b)?;
+                let here = self.here();
+                self.patch(site, here);
+            }
+            ExprKind::Or(a, b) => {
+                self.expr(a)?;
+                let site = self.emit_jump(op::JUMP_IF_TRUE_OR_POP, line);
+                self.expr(b)?;
+                let here = self.here();
+                self.patch(site, here);
+            }
+            ExprKind::Call(name, args) => {
+                if let Some(&(idx, arity)) = self.sigs.get(name) {
+                    if args.len() != arity {
+                        return self.err(
+                            line,
+                            format!("{name} expects {arity} args, got {}", args.len()),
+                        );
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.emit(op::CALL, line);
+                    self.emit_u16(idx as u16, line);
+                    self.emit(args.len() as u8, line);
+                } else if let Some((bid, arity)) = builtin::by_name(name) {
+                    if let Some(n) = arity {
+                        if args.len() != n {
+                            return self.err(
+                                line,
+                                format!("{name} expects {n} args, got {}", args.len()),
+                            );
+                        }
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.emit(op::CALL_BUILTIN, line);
+                    self.emit(bid, line);
+                    self.emit(args.len() as u8, line);
+                } else {
+                    return self.err(line, format!("unknown function '{name}'"));
+                }
+            }
+            ExprKind::MethodCall(obj, name, args) => {
+                let Some((mid, argcs)) = method::by_name(name) else {
+                    return self.err(line, format!("unknown method '{name}'"));
+                };
+                if !argcs.contains(&args.len()) {
+                    return self.err(
+                        line,
+                        format!("method {name} does not take {} args", args.len()),
+                    );
+                }
+                self.expr(obj)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(op::CALL_METHOD, line);
+                self.emit(mid, line);
+                self.emit(args.len() as u8, line);
+            }
+            ExprKind::Index(obj, idx) => {
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.emit(op::INDEX, line);
+            }
+            ExprKind::Slice(obj, lo, hi) => {
+                self.expr(obj)?;
+                self.expr(lo)?;
+                self.expr(hi)?;
+                self.emit(op::SLICE, line);
+            }
+            ExprKind::List(items) => {
+                for i in items {
+                    self.expr(i)?;
+                }
+                self.emit(op::BUILD_LIST, line);
+                self.emit_u16(items.len() as u16, line);
+            }
+            ExprKind::Dict(items) => {
+                for (k, v) in items {
+                    self.expr(k)?;
+                    self.expr(v)?;
+                }
+                self.emit(op::BUILD_DICT, line);
+                self.emit_u16(items.len() as u16, line);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::op;
+
+    #[test]
+    fn compiles_simple_function() {
+        let m = compile("def add(a, b):\n    return a + b\n").unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(f.n_params, 2);
+        assert_eq!(f.n_locals, 2);
+        let ops: Vec<u8> = f.instructions().iter().map(|&(_, o)| o).collect();
+        assert_eq!(
+            ops,
+            vec![op::LOAD_LOCAL, op::LOAD_LOCAL, op::BIN_ADD, op::RETURN, op::RETURN_NONE]
+        );
+    }
+
+    #[test]
+    fn consts_are_deduplicated() {
+        let m = compile("def f():\n    return 1 + 1 + 1\n").unwrap();
+        let ints = m.consts.iter().filter(|c| matches!(c, Const::Int(1))).count();
+        assert_eq!(ints, 1);
+    }
+
+    #[test]
+    fn while_jumps_are_patched() {
+        let m = compile("def f(n):\n    i = 0\n    while i < n:\n        i = i + 1\n    return i\n")
+            .unwrap();
+        let dis = m.funcs[0].disassemble();
+        assert!(dis.contains("POP_JUMP_IF_FALSE"), "{dis}");
+        assert!(!dis.contains("65535"), "all jumps patched: {dis}");
+    }
+
+    #[test]
+    fn break_and_continue_compile() {
+        let src = "def f():\n    i = 0\n    while True:\n        i += 1\n        if i > 3:\n            break\n        continue\n    return i\n";
+        let m = compile(src).unwrap();
+        assert!(!m.funcs[0].disassemble().contains("65535"));
+    }
+
+    #[test]
+    fn try_except_layout() {
+        let src = "def f():\n    try:\n        g()\n    except ValueError:\n        return 1\n    return 0\ndef g():\n    pass\n";
+        let m = compile(src).unwrap();
+        let dis = m.funcs[0].disassemble();
+        assert!(dis.contains("SETUP_EXCEPT"));
+        assert!(dis.contains("EXC_MATCH"));
+        assert!(dis.contains("RERAISE"));
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let e = compile("def f():\n    return y\n").unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let e = compile("def f():\n    return g()\n").unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let e = compile("def g(a):\n    return a\ndef f():\n    return g(1, 2)\n").unwrap_err();
+        assert!(e.message.contains("expects 1 args"));
+    }
+
+    #[test]
+    fn coverable_lines_counts_distinct_lines() {
+        let m = compile("def f(x):\n    y = x + 1\n    return y\n").unwrap();
+        assert!(m.coverable_lines() >= 2);
+    }
+
+    #[test]
+    fn and_or_shortcircuit_opcodes() {
+        let m = compile("def f(a, b):\n    return a and b or a\n").unwrap();
+        let dis = m.funcs[0].disassemble();
+        assert!(dis.contains("JUMP_IF_FALSE_OR_POP"));
+        assert!(dis.contains("JUMP_IF_TRUE_OR_POP"));
+    }
+
+    #[test]
+    fn method_arity_check() {
+        let e = compile("def f(s):\n    return s.find()\n").unwrap_err();
+        assert!(e.message.contains("does not take"));
+    }
+}

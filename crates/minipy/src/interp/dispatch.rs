@@ -1,0 +1,1084 @@
+//! The bytecode dispatch loop, written in LIR — the analogue of CPython's
+//! `ceval.c`.
+//!
+//! `exec(code_id, args_ptr)` interprets one code object. The head of the
+//! loop calls `log_pc(code_id << 16 | ip, opcode)`, which is exactly the
+//! §4.1 instrumentation: "the log_pc call can be added conveniently at the
+//! head of the interpreter loop".
+
+use chef_lir::{FnBuilder, FuncId, ModuleBuilder, Reg};
+
+use super::layout::{tag, Layout, HANDLER_SLOTS, STACK_SLOTS};
+use super::rt::{norm_tag, payload, Rt};
+use crate::bytecode::{builtin, method, op};
+
+/// Registers threaded through the dispatch loop.
+#[derive(Clone, Copy)]
+struct Ctx {
+    code_id: Reg,
+    code_ptr: Reg,
+    ip: Reg,
+    sp: Reg,
+    hp: Reg,
+    stack: Reg,
+    handlers: Reg,
+    locals: Reg,
+}
+
+fn push(b: &mut FnBuilder, c: Ctx, v: Reg) {
+    let off = b.mul(c.sp, 8u64);
+    let a = b.add(c.stack, off);
+    b.store_u64(a, v);
+    let n = b.add(c.sp, 1u64);
+    b.set(c.sp, n);
+}
+
+fn pop(b: &mut FnBuilder, c: Ctx) -> Reg {
+    let n = b.sub(c.sp, 1u64);
+    b.set(c.sp, n);
+    let off = b.mul(c.sp, 8u64);
+    let a = b.add(c.stack, off);
+    b.load_u64(a)
+}
+
+fn peek(b: &mut FnBuilder, c: Ctx) -> Reg {
+    let n = b.sub(c.sp, 1u64);
+    let off = b.mul(n, 8u64);
+    let a = b.add(c.stack, off);
+    b.load_u64(a)
+}
+
+fn rd_u8(b: &mut FnBuilder, c: Ctx, off: u64) -> Reg {
+    let p = b.add(c.code_ptr, c.ip);
+    let pa = b.add(p, off);
+    b.load_u8(pa)
+}
+
+fn rd_u16(b: &mut FnBuilder, c: Ctx, off: u64) -> Reg {
+    let lo = rd_u8(b, c, off);
+    let hi = rd_u8(b, c, off + 1);
+    let hs = b.shl(hi, 8u64);
+    b.or(lo, hs)
+}
+
+fn advance(b: &mut FnBuilder, c: Ctx, n: u64) {
+    let ni = b.add(c.ip, n);
+    b.set(c.ip, ni);
+}
+
+fn bool_cell(b: &mut FnBuilder, layout: &Layout, cond: Reg) -> Reg {
+    b.select(cond, layout.true_cell, layout.false_cell)
+}
+
+fn raise_named(b: &mut FnBuilder, layout: &Layout, name: &str) {
+    let obj = layout.exc_names[name];
+    b.store_u64(layout.exc_global, obj);
+}
+
+/// Emits the unwind check: if the exception global is set, jump to the
+/// innermost handler (restoring its stack depth) or return to the caller.
+fn check_exc(b: &mut FnBuilder, c: Ctx, layout: &Layout) {
+    let exc = b.load_u64(layout.exc_global);
+    let raised = b.ne(exc, 0u64);
+    let none_cell = layout.none_cell;
+    b.if_(raised, |b| {
+        let has = b.ult(0u64, c.hp);
+        b.if_else(
+            has,
+            |b| {
+                let nh = b.sub(c.hp, 1u64);
+                b.set(c.hp, nh);
+                let off = b.mul(nh, 16u64);
+                let entry = b.add(c.handlers, off);
+                let tip = b.load_u64(entry);
+                let ep = b.add(entry, 8u64);
+                let tsp = b.load_u64(ep);
+                b.set(c.ip, tip);
+                b.set(c.sp, tsp);
+            },
+            |b| {
+                b.ret(none_cell);
+            },
+        );
+    });
+}
+
+/// Defines `exec(code_id, args_ptr) -> value` on the module builder.
+pub fn define_exec(mb: &mut ModuleBuilder, exec: FuncId, rt: &Rt, layout: &Layout) {
+    let rt = *rt;
+    let lay = layout.clone();
+    mb.define(exec, move |b| {
+        let code_id = b.param(0);
+        let args = b.param(1);
+        // Code-object table entry.
+        let toff = b.mul(code_id, 32u64);
+        let entry = b.add(toff, lay.code_table);
+        let code_ptr = b.load_u64(entry);
+        let e1 = b.add(entry, 16u64);
+        let n_params = b.load_u64(e1);
+        let e2 = b.add(entry, 24u64);
+        let n_locals = b.load_u64(e2);
+        // Locals: parameters then None.
+        let lbytes = b.mul(n_locals, 8u64);
+        let locals = b.call(rt.malloc, &[lbytes.into()]);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, n_params),
+            |b| {
+                let off = b.mul(i, 8u64);
+                let sa = b.add(args, off);
+                let v = b.load_u64(sa);
+                let da = b.add(locals, off);
+                b.store_u64(da, v);
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.while_(
+            |b| b.ult(i, n_locals),
+            |b| {
+                let off = b.mul(i, 8u64);
+                let da = b.add(locals, off);
+                b.store_u64(da, lay.none_cell);
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        let stack = b.call(rt.malloc, &[(STACK_SLOTS * 8).into()]);
+        let handlers = b.call(rt.malloc, &[(HANDLER_SLOTS * 16).into()]);
+        let ip = b.const_(0);
+        let sp = b.const_(0);
+        let hp = b.const_(0);
+        let c = Ctx { code_id, code_ptr, ip, sp, hp, stack, handlers, locals };
+
+        b.loop_(|b| {
+            let opcode = rd_u8(b, c, 0);
+            // §4.1: HLPC = code block id ++ instruction offset.
+            let hi = b.shl(c.code_id, 16u64);
+            let hlpc = b.or(hi, c.ip);
+            b.log_pc(hlpc, opcode);
+            let cases: Vec<u64> = (0..op::COUNT as u64).collect();
+            b.switch(
+                opcode,
+                &cases,
+                |b, opcode| emit_case(b, c, &lay, &rt, exec, opcode as u8),
+                |b| b.abort(0xBAD0u64),
+            );
+        });
+        b.ret(lay.none_cell);
+    });
+}
+
+/// Emits one opcode handler (positioned inside the dispatch switch).
+fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opcode: u8) {
+    match opcode {
+        op::NOP => advance(b, c, 1),
+        op::LOAD_CONST => {
+            let k = rd_u16(b, c, 1);
+            let off = b.mul(k, 8u64);
+            let a = b.add(off, lay.const_table);
+            let cell = b.load_u64(a);
+            push(b, c, cell);
+            advance(b, c, 3);
+        }
+        op::LOAD_LOCAL => {
+            let k = rd_u16(b, c, 1);
+            let off = b.mul(k, 8u64);
+            let a = b.add(c.locals, off);
+            let v = b.load_u64(a);
+            push(b, c, v);
+            advance(b, c, 3);
+        }
+        op::STORE_LOCAL => {
+            let k = rd_u16(b, c, 1);
+            let v = pop(b, c);
+            let off = b.mul(k, 8u64);
+            let a = b.add(c.locals, off);
+            b.store_u64(a, v);
+            advance(b, c, 3);
+        }
+        op::POP => {
+            let _ = pop(b, c);
+            advance(b, c, 1);
+        }
+        op::BIN_ADD => {
+            let rb = pop(b, c);
+            let ra = pop(b, c);
+            let ta = norm_tag(b, ra);
+            let tb = norm_tag(b, rb);
+            let ia = b.eq(ta, tag::INT);
+            let ib = b.eq(tb, tag::INT);
+            let both_int = b.and(ia, ib);
+            b.if_else(
+                both_int,
+                |b| {
+                    let pa = payload(b, ra);
+                    let pb = payload(b, rb);
+                    let s = b.add(pa, pb);
+                    let cell = b.call(rt.new_int, &[s.into()]);
+                    push(b, c, cell);
+                },
+                |b| {
+                    let sa = b.eq(ta, tag::STR);
+                    let sb = b.eq(tb, tag::STR);
+                    let both_str = b.and(sa, sb);
+                    b.if_else(
+                        both_str,
+                        |b| {
+                            let pa = payload(b, ra);
+                            let pb = payload(b, rb);
+                            let cell = b.call(rt.str_concat, &[pa.into(), pb.into()]);
+                            push(b, c, cell);
+                        },
+                        |b| {
+                            raise_named(b, lay, "TypeError");
+                            let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                        },
+                    );
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::BIN_SUB | op::BIN_MUL => {
+            let rb = pop(b, c);
+            let ra = pop(b, c);
+            int_binop(b, c, lay, rt, ra, rb, move |b, pa, pb| {
+                if opcode == op::BIN_SUB {
+                    b.sub(pa, pb)
+                } else {
+                    b.mul(pa, pb)
+                }
+            });
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::BIN_DIV | op::BIN_MOD => {
+            let rb = pop(b, c);
+            let ra = pop(b, c);
+            let f = if opcode == op::BIN_DIV { rt.idiv } else { rt.imod };
+            int_binop(b, c, lay, rt, ra, rb, move |b, pa, pb| {
+                b.call(f, &[pa.into(), pb.into()])
+            });
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::CMP_EQ | op::CMP_NE => {
+            let rb = pop(b, c);
+            let ra = pop(b, c);
+            let r = b.call(rt.value_eq, &[ra.into(), rb.into()]);
+            let r = if opcode == op::CMP_NE { b.lnot(r) } else { r };
+            let cell = bool_cell(b, lay, r);
+            push(b, c, cell);
+            advance(b, c, 1);
+        }
+        op::CMP_LT | op::CMP_LE | op::CMP_GT | op::CMP_GE => {
+            let rb = pop(b, c);
+            let ra = pop(b, c);
+            let ta = norm_tag(b, ra);
+            let tb = norm_tag(b, rb);
+            let ia = b.eq(ta, tag::INT);
+            let ib = b.eq(tb, tag::INT);
+            let both = b.and(ia, ib);
+            let lay2 = lay.clone();
+            b.if_else(
+                both,
+                |b| {
+                    let pa = payload(b, ra);
+                    let pb = payload(b, rb);
+                    let r = match opcode {
+                        op::CMP_LT => b.slt(pa, pb),
+                        op::CMP_LE => b.sle(pa, pb),
+                        op::CMP_GT => b.slt(pb, pa),
+                        _ => b.sle(pb, pa),
+                    };
+                    let cell = bool_cell(b, lay, r);
+                    push(b, c, cell);
+                },
+                |b| {
+                    // Python compares strings lexicographically.
+                    let sa = b.eq(ta, tag::STR);
+                    let sb = b.eq(tb, tag::STR);
+                    let both_str = b.and(sa, sb);
+                    b.if_else(
+                        both_str,
+                        |b| {
+                            let pa = payload(b, ra);
+                            let pb = payload(b, rb);
+                            let cmp = b.call(rt.str_cmp, &[pa.into(), pb.into()]);
+                            let r = match opcode {
+                                op::CMP_LT => b.slt(cmp, 0u64),
+                                op::CMP_LE => b.sle(cmp, 0u64),
+                                op::CMP_GT => b.slt(0u64, cmp),
+                                _ => b.sle(0u64, cmp),
+                            };
+                            let cell = bool_cell(b, lay, r);
+                            push(b, c, cell);
+                        },
+                        |b| {
+                            raise_named(b, &lay2, "TypeError");
+                            let nc = b.mov(lay2.none_cell);
+                            push(b, c, nc);
+                        },
+                    );
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::CONTAINS => {
+            let cont = pop(b, c);
+            let item = pop(b, c);
+            let t = b.load_u64(cont);
+            let is_dict = b.eq(t, tag::DICT);
+            let lay2 = lay.clone();
+            b.if_else(
+                is_dict,
+                |b| {
+                    let v = b.call(rt.dict_get, &[cont.into(), item.into()]);
+                    let r = b.ne(v, 0u64);
+                    let cell = bool_cell(b, lay, r);
+                    push(b, c, cell);
+                },
+                |b| {
+                    let is_str = b.eq(t, tag::STR);
+                    b.if_else(
+                        is_str,
+                        |b| {
+                            let ti = b.load_u64(item);
+                            let item_str = b.eq(ti, tag::STR);
+                            b.if_else(
+                                item_str,
+                                |b| {
+                                    let hay = payload(b, cont);
+                                    let nee = payload(b, item);
+                                    let r = b.call(rt.str_find, &[hay.into(), nee.into()]);
+                                    let found = b.sle(0u64, r);
+                                    let cell = bool_cell(b, lay, found);
+                                    push(b, c, cell);
+                                },
+                                |b| {
+                                    raise_named(b, lay, "TypeError");
+                                    let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                                },
+                            );
+                        },
+                        |b| {
+                            let is_list = b.eq(t, tag::LIST);
+                            b.if_else(
+                                is_list,
+                                |b| {
+                                    let r = b.call(
+                                        rt.list_contains,
+                                        &[cont.into(), item.into()],
+                                    );
+                                    let cell = bool_cell(b, &lay2, r);
+                                    push(b, c, cell);
+                                },
+                                |b| {
+                                    raise_named(b, &lay2, "TypeError");
+                                    let nc = b.mov(lay2.none_cell);
+                        push(b, c, nc);
+                                },
+                            );
+                        },
+                    );
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::UNARY_NOT => {
+            let v = pop(b, c);
+            let t = b.call(rt.value_truthy, &[v.into()]);
+            let r = b.lnot(t);
+            let cell = bool_cell(b, lay, r);
+            push(b, c, cell);
+            advance(b, c, 1);
+        }
+        op::UNARY_NEG => {
+            let v = pop(b, c);
+            let t = norm_tag(b, v);
+            let is_int = b.eq(t, tag::INT);
+            b.if_else(
+                is_int,
+                |b| {
+                    let p = payload(b, v);
+                    let n = b.sub(0u64, p);
+                    let cell = b.call(rt.new_int, &[n.into()]);
+                    push(b, c, cell);
+                },
+                |b| {
+                    raise_named(b, lay, "TypeError");
+                    let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::JUMP => {
+            let t = rd_u16(b, c, 1);
+            b.set(c.ip, t);
+        }
+        op::POP_JUMP_IF_FALSE | op::POP_JUMP_IF_TRUE => {
+            let t = rd_u16(b, c, 1);
+            let v = pop(b, c);
+            let tr = b.call(rt.value_truthy, &[v.into()]);
+            let taken = if opcode == op::POP_JUMP_IF_FALSE {
+                b.lnot(tr)
+            } else {
+                tr
+            };
+            let fallthrough = b.add(c.ip, 3u64);
+            let next = b.select(taken, t, fallthrough);
+            b.set(c.ip, next);
+        }
+        op::JUMP_IF_FALSE_OR_POP | op::JUMP_IF_TRUE_OR_POP => {
+            let t = rd_u16(b, c, 1);
+            let v = peek(b, c);
+            let tr = b.call(rt.value_truthy, &[v.into()]);
+            let jump = if opcode == op::JUMP_IF_FALSE_OR_POP {
+                b.lnot(tr)
+            } else {
+                tr
+            };
+            b.if_else(
+                jump,
+                |b| b.set(c.ip, t),
+                |b| {
+                    let n = b.sub(c.sp, 1u64);
+                    b.set(c.sp, n);
+                    advance(b, c, 3);
+                },
+            );
+        }
+        op::CALL => {
+            let f = rd_u16(b, c, 1);
+            let argc = rd_u8(b, c, 3);
+            let bytes = b.mul(argc, 8u64);
+            let arr = b.call(rt.malloc, &[bytes.into()]);
+            let i = b.mov(argc);
+            b.while_(
+                |b| b.ult(0u64, i),
+                |b| {
+                    let ni = b.sub(i, 1u64);
+                    b.set(i, ni);
+                    let v = pop(b, c);
+                    let off = b.mul(i, 8u64);
+                    let a = b.add(arr, off);
+                    b.store_u64(a, v);
+                },
+            );
+            let r = b.call(exec, &[f.into(), arr.into()]);
+            push(b, c, r);
+            advance(b, c, 4);
+            check_exc(b, c, lay);
+        }
+        op::CALL_BUILTIN => {
+            let bid = rd_u8(b, c, 1);
+            let argc = rd_u8(b, c, 2);
+            emit_builtin(b, c, lay, rt, bid, argc);
+            advance(b, c, 3);
+            check_exc(b, c, lay);
+        }
+        op::CALL_METHOD => {
+            let mid = rd_u8(b, c, 1);
+            let argc = rd_u8(b, c, 2);
+            emit_method(b, c, lay, rt, mid, argc);
+            advance(b, c, 3);
+            check_exc(b, c, lay);
+        }
+        op::RETURN => {
+            let v = pop(b, c);
+            b.ret(v);
+        }
+        op::RETURN_NONE => {
+            b.ret(lay.none_cell);
+        }
+        op::RAISE => {
+            let k = rd_u16(b, c, 1);
+            let off = b.mul(k, 8u64);
+            let a = b.add(off, lay.const_table);
+            let cell = b.load_u64(a);
+            let obj = payload(b, cell);
+            b.store_u64(lay.exc_global, obj);
+            advance(b, c, 3);
+            check_exc(b, c, lay);
+        }
+        op::SETUP_EXCEPT => {
+            let t = rd_u16(b, c, 1);
+            let off = b.mul(c.hp, 16u64);
+            let entry = b.add(c.handlers, off);
+            b.store_u64(entry, t);
+            let ep = b.add(entry, 8u64);
+            b.store_u64(ep, c.sp);
+            let nh = b.add(c.hp, 1u64);
+            b.set(c.hp, nh);
+            advance(b, c, 3);
+        }
+        op::POP_BLOCK => {
+            let nh = b.sub(c.hp, 1u64);
+            b.set(c.hp, nh);
+            advance(b, c, 1);
+        }
+        op::EXC_MATCH => {
+            let k = rd_u16(b, c, 1);
+            let off = b.mul(k, 8u64);
+            let a = b.add(off, lay.const_table);
+            let cell = b.load_u64(a);
+            let want = payload(b, cell);
+            let exc = b.load_u64(lay.exc_global);
+            let r = b.call(rt.str_eq, &[exc.into(), want.into()]);
+            let rc = bool_cell(b, lay, r);
+            push(b, c, rc);
+            advance(b, c, 3);
+        }
+        op::CLEAR_EXC => {
+            b.store_u64(lay.exc_global, 0u64);
+            advance(b, c, 1);
+        }
+        op::RERAISE => {
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::BUILD_LIST => {
+            let n = rd_u16(b, c, 1);
+            let cell = b.call(rt.list_new, &[n.into()]);
+            let obj = payload(b, cell);
+            let lp = b.add(obj, 8u64);
+            b.store_u64(lp, n);
+            let i = b.mov(n);
+            b.while_(
+                |b| b.ult(0u64, i),
+                |b| {
+                    let ni = b.sub(i, 1u64);
+                    b.set(i, ni);
+                    let v = pop(b, c);
+                    let off = b.mul(i, 8u64);
+                    let ipt = b.add(obj, 16u64);
+                    let ipa = b.add(ipt, off);
+                    b.store_u64(ipa, v);
+                },
+            );
+            push(b, c, cell);
+            advance(b, c, 3);
+        }
+        op::BUILD_DICT => {
+            let n = rd_u16(b, c, 1);
+            let cell = b.call(rt.dict_new, &[]);
+            let i = b.mov(n);
+            b.while_(
+                |b| b.ult(0u64, i),
+                |b| {
+                    let ni = b.sub(i, 1u64);
+                    b.set(i, ni);
+                    let v = pop(b, c);
+                    let k = pop(b, c);
+                    b.call_void(rt.dict_set, &[cell.into(), k.into(), v.into()]);
+                },
+            );
+            push(b, c, cell);
+            advance(b, c, 3);
+            check_exc(b, c, lay);
+        }
+        op::INDEX => {
+            let idx = pop(b, c);
+            let obj = pop(b, c);
+            let t = b.load_u64(obj);
+            let is_str = b.eq(t, tag::STR);
+            let lay2 = lay.clone();
+            b.if_else(
+                is_str,
+                |b| {
+                    let ti = norm_tag(b, idx);
+                    let int_idx = b.eq(ti, tag::INT);
+                    b.if_else(
+                        int_idx,
+                        |b| {
+                            let s = payload(b, obj);
+                            let len = b.load_u64(s);
+                            let iv = payload(b, idx);
+                            let neg = b.slt(iv, 0u64);
+                            b.if_(neg, |b| {
+                                let f = b.add(iv, len);
+                                b.set(iv, f);
+                            });
+                            let lo = b.slt(iv, 0u64);
+                            let hi = b.sle(len, iv);
+                            let bad = b.or(lo, hi);
+                            b.if_else(
+                                bad,
+                                |b| {
+                                    raise_named(b, lay, "IndexError");
+                                    let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                                },
+                                |b| {
+                                    let p = b.add(s, 8u64);
+                                    let pa = b.add(p, iv);
+                                    let ch = b.load_u8(pa);
+                                    let cell = b.call(rt.char_str, &[ch.into()]);
+                                    push(b, c, cell);
+                                },
+                            );
+                        },
+                        |b| {
+                            raise_named(b, lay, "TypeError");
+                            let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                        },
+                    );
+                },
+                |b| {
+                    let is_list = b.eq(t, tag::LIST);
+                    b.if_else(
+                        is_list,
+                        |b| {
+                            let iv = payload(b, idx);
+                            let r = b.call(rt.list_get, &[obj.into(), iv.into()]);
+                            push(b, c, r);
+                        },
+                        |b| {
+                            let is_dict = b.eq(t, tag::DICT);
+                            b.if_else(
+                                is_dict,
+                                |b| {
+                                    let v = b.call(rt.dict_get, &[obj.into(), idx.into()]);
+                                    let missing = b.eq(v, 0u64);
+                                    b.if_else(
+                                        missing,
+                                        |b| {
+                                            raise_named(b, &lay2, "KeyError");
+                                            let nc = b.mov(lay2.none_cell);
+                        push(b, c, nc);
+                                        },
+                                        |b| push(b, c, v),
+                                    );
+                                },
+                                |b| {
+                                    raise_named(b, &lay2, "TypeError");
+                                    let nc = b.mov(lay2.none_cell);
+                        push(b, c, nc);
+                                },
+                            );
+                        },
+                    );
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::STORE_INDEX => {
+            let v = pop(b, c);
+            let idx = pop(b, c);
+            let obj = pop(b, c);
+            let t = b.load_u64(obj);
+            let is_list = b.eq(t, tag::LIST);
+            b.if_else(
+                is_list,
+                |b| {
+                    let iv = payload(b, idx);
+                    b.call_void(rt.list_set, &[obj.into(), iv.into(), v.into()]);
+                },
+                |b| {
+                    let is_dict = b.eq(t, tag::DICT);
+                    b.if_else(
+                        is_dict,
+                        |b| {
+                            b.call_void(rt.dict_set, &[obj.into(), idx.into(), v.into()]);
+                        },
+                        |b| raise_named(b, lay, "TypeError"),
+                    );
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        op::SLICE => {
+            let hi = pop(b, c);
+            let lo = pop(b, c);
+            let obj = pop(b, c);
+            let t = b.load_u64(obj);
+            let is_str = b.eq(t, tag::STR);
+            b.if_else(
+                is_str,
+                |b| {
+                    let s = payload(b, obj);
+                    let lv = payload(b, lo);
+                    let hv = payload(b, hi);
+                    let cell = b.call(rt.str_slice, &[s.into(), lv.into(), hv.into()]);
+                    push(b, c, cell);
+                },
+                |b| {
+                    raise_named(b, lay, "TypeError");
+                    let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                },
+            );
+            advance(b, c, 1);
+            check_exc(b, c, lay);
+        }
+        _ => {
+            b.abort(0xDEADu64);
+        }
+    }
+}
+
+/// Emits the handler body shared by integer-only binary ops.
+fn int_binop(
+    b: &mut FnBuilder,
+    c: Ctx,
+    lay: &Layout,
+    rt: &Rt,
+    ra: Reg,
+    rb: Reg,
+    compute: impl FnOnce(&mut FnBuilder, Reg, Reg) -> Reg,
+) {
+    let ta = norm_tag(b, ra);
+    let tb = norm_tag(b, rb);
+    let ia = b.eq(ta, tag::INT);
+    let ib = b.eq(tb, tag::INT);
+    let both = b.and(ia, ib);
+    b.if_else(
+        both,
+        |b| {
+            let pa = payload(b, ra);
+            let pb = payload(b, rb);
+            let v = compute(b, pa, pb);
+            let cell = b.call(rt.new_int, &[v.into()]);
+            push(b, c, cell);
+        },
+        |b| {
+            raise_named(b, lay, "TypeError");
+            let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+        },
+    );
+}
+
+fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc: Reg) {
+    let cases = [
+        builtin::LEN as u64,
+        builtin::ORD as u64,
+        builtin::CHR as u64,
+        builtin::INT as u64,
+        builtin::STR as u64,
+        builtin::PRINT as u64,
+    ];
+    b.switch(
+        bid,
+        &cases,
+        |b, which| match which as u8 {
+            builtin::LEN => {
+                let v = pop(b, c);
+                let t = b.load_u64(v);
+                let is_str = b.eq(t, tag::STR);
+                b.if_else(
+                    is_str,
+                    |b| {
+                        let s = payload(b, v);
+                        let len = b.load_u64(s);
+                        let cell = b.call(rt.new_int, &[len.into()]);
+                        push(b, c, cell);
+                    },
+                    |b| {
+                        let is_coll = {
+                            let il = b.eq(t, tag::LIST);
+                            let id = b.eq(t, tag::DICT);
+                            b.or(il, id)
+                        };
+                        b.if_else(
+                            is_coll,
+                            |b| {
+                                let o = payload(b, v);
+                                let lp = b.add(o, 8u64);
+                                let len = b.load_u64(lp);
+                                let cell = b.call(rt.new_int, &[len.into()]);
+                                push(b, c, cell);
+                            },
+                            |b| {
+                                raise_named(b, lay, "TypeError");
+                                let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                            },
+                        );
+                    },
+                );
+            }
+            builtin::ORD => {
+                let v = pop(b, c);
+                let t = b.load_u64(v);
+                let is_str = b.eq(t, tag::STR);
+                b.if_else(
+                    is_str,
+                    |b| {
+                        let s = payload(b, v);
+                        let len = b.load_u64(s);
+                        let one = b.eq(len, 1u64);
+                        b.if_else(
+                            one,
+                            |b| {
+                                let p = b.add(s, 8u64);
+                                let ch = b.load_u8(p);
+                                let cell = b.call(rt.new_int, &[ch.into()]);
+                                push(b, c, cell);
+                            },
+                            |b| {
+                                raise_named(b, lay, "TypeError");
+                                let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                            },
+                        );
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            builtin::CHR => {
+                let v = pop(b, c);
+                let t = norm_tag(b, v);
+                let is_int = b.eq(t, tag::INT);
+                b.if_else(
+                    is_int,
+                    |b| {
+                        let p = payload(b, v);
+                        let byte = b.and(p, 0xffu64);
+                        let cell = b.call(rt.char_str, &[byte.into()]);
+                        push(b, c, cell);
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            builtin::INT => {
+                let v = pop(b, c);
+                let t = b.load_u64(v);
+                let is_str = b.eq(t, tag::STR);
+                b.if_else(
+                    is_str,
+                    |b| {
+                        let s = payload(b, v);
+                        let r = b.call(rt.str_to_int, &[s.into()]);
+                        let cell = b.call(rt.new_int, &[r.into()]);
+                        push(b, c, cell);
+                    },
+                    |b| {
+                        let is_int = b.eq(t, tag::INT);
+                        b.if_else(
+                            is_int,
+                            |b| push(b, c, v),
+                            |b| {
+                                let is_bool = b.eq(t, tag::BOOL);
+                                b.if_else(
+                                    is_bool,
+                                    |b| {
+                                        let p = payload(b, v);
+                                        let cell = b.call(rt.new_int, &[p.into()]);
+                                        push(b, c, cell);
+                                    },
+                                    |b| {
+                                        raise_named(b, lay, "TypeError");
+                                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            }
+            builtin::STR => {
+                let v = pop(b, c);
+                let t = b.load_u64(v);
+                let is_str = b.eq(t, tag::STR);
+                b.if_else(
+                    is_str,
+                    |b| push(b, c, v),
+                    |b| {
+                        let is_int = b.eq(t, tag::INT);
+                        b.if_else(
+                            is_int,
+                            |b| {
+                                let p = payload(b, v);
+                                let cell = b.call(rt.int_to_str, &[p.into()]);
+                                push(b, c, cell);
+                            },
+                            |b| {
+                                let is_bool = b.eq(t, tag::BOOL);
+                                b.if_else(
+                                    is_bool,
+                                    |b| {
+                                        let p = payload(b, v);
+                                        let cell = b.select(
+                                            p,
+                                            lay.str_true_cell,
+                                            lay.str_false_cell,
+                                        );
+                                        push(b, c, cell);
+                                    },
+                                    |b| {
+                                        let nc = b.mov(lay.str_none_cell);
+                        push(b, c, nc);
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            }
+            builtin::PRINT => {
+                let i = b.mov(argc);
+                b.while_(
+                    |b| b.ult(0u64, i),
+                    |b| {
+                        let ni = b.sub(i, 1u64);
+                        b.set(i, ni);
+                        let _ = pop(b, c);
+                    },
+                );
+                let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+            }
+            _ => unreachable!(),
+        },
+        |b| b.abort(0xBEEFu64),
+    );
+}
+
+fn emit_method(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, mid: Reg, argc: Reg) {
+    // Pop up to two arguments, then the receiver.
+    let a2 = b.const_(0);
+    let a1 = b.const_(0);
+    let two = b.eq(argc, 2u64);
+    b.if_(two, |b| {
+        let v = pop(b, c);
+        b.set(a2, v);
+    });
+    let ge1 = b.ule(1u64, argc);
+    b.if_(ge1, |b| {
+        let v = pop(b, c);
+        b.set(a1, v);
+    });
+    let recv = pop(b, c);
+    let cases = [
+        method::FIND as u64,
+        method::STARTSWITH as u64,
+        method::GET as u64,
+        method::APPEND as u64,
+        method::ENDSWITH as u64,
+        method::STRIP as u64,
+    ];
+    b.switch(
+        mid,
+        &cases,
+        |b, which| match which as u8 {
+            method::FIND | method::STARTSWITH | method::ENDSWITH => {
+                let tr = b.load_u64(recv);
+                let ta = b.load_u64(a1);
+                let rs = b.eq(tr, tag::STR);
+                let as_ = b.eq(ta, tag::STR);
+                let both = b.and(rs, as_);
+                b.if_else(
+                    both,
+                    |b| {
+                        let pr = payload(b, recv);
+                        let pa = payload(b, a1);
+                        match which as u8 {
+                            method::FIND => {
+                                let r = b.call(rt.str_find, &[pr.into(), pa.into()]);
+                                let cell = b.call(rt.new_int, &[r.into()]);
+                                push(b, c, cell);
+                            }
+                            method::STARTSWITH => {
+                                let r =
+                                    b.call(rt.str_startswith, &[pr.into(), pa.into()]);
+                                let cell = bool_cell(b, lay, r);
+                                push(b, c, cell);
+                            }
+                            _ => {
+                                let r = b.call(rt.str_endswith, &[pr.into(), pa.into()]);
+                                let cell = bool_cell(b, lay, r);
+                                push(b, c, cell);
+                            }
+                        }
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            method::GET => {
+                let tr = b.load_u64(recv);
+                let is_dict = b.eq(tr, tag::DICT);
+                b.if_else(
+                    is_dict,
+                    |b| {
+                        let v = b.call(rt.dict_get, &[recv.into(), a1.into()]);
+                        let missing = b.eq(v, 0u64);
+                        b.if_else(
+                            missing,
+                            |b| {
+                                let has_default = b.eq(argc, 2u64);
+                                let d = b.select(has_default, a2, lay.none_cell);
+                                push(b, c, d);
+                            },
+                            |b| push(b, c, v),
+                        );
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            method::APPEND => {
+                let tr = b.load_u64(recv);
+                let is_list = b.eq(tr, tag::LIST);
+                b.if_else(
+                    is_list,
+                    |b| {
+                        b.call_void(rt.list_append, &[recv.into(), a1.into()]);
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            method::STRIP => {
+                let tr = b.load_u64(recv);
+                let is_str = b.eq(tr, tag::STR);
+                b.if_else(
+                    is_str,
+                    |b| {
+                        let p = payload(b, recv);
+                        let cell = b.call(rt.str_strip, &[p.into()]);
+                        push(b, c, cell);
+                    },
+                    |b| {
+                        raise_named(b, lay, "TypeError");
+                        let nc = b.mov(lay.none_cell);
+                        push(b, c, nc);
+                    },
+                );
+            }
+            _ => unreachable!(),
+        },
+        |b| b.abort(0xF00Du64),
+    );
+}

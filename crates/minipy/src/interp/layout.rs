@@ -1,0 +1,231 @@
+//! Static guest-memory layout for the MiniPy interpreter.
+//!
+//! The compiled module (bytecode, constants) is serialized into LIR data
+//! segments exactly like CPython's loaded module sits in process memory.
+//! Values are 16-byte cells `[tag][payload]`; strings are `[len][bytes]`.
+
+use chef_lir::ModuleBuilder;
+use std::collections::HashMap;
+
+use crate::bytecode::{CompiledModule, Const};
+
+/// Value tags shared between the LIR runtime and host-side decoding.
+pub mod tag {
+    /// `None`.
+    pub const NONE: u64 = 0;
+    /// `True`/`False` (payload 0/1).
+    pub const BOOL: u64 = 1;
+    /// Integer (payload = i64 bits).
+    pub const INT: u64 = 2;
+    /// String (payload → `[len][bytes]`).
+    pub const STR: u64 = 3;
+    /// List (payload → `[cap][len][items...]`).
+    pub const LIST: u64 = 4;
+    /// Dict (payload → `[nbuckets][count][buckets...]`).
+    pub const DICT: u64 = 5;
+}
+
+/// Number of dict buckets (fixed; CPython's initial table is 8 slots).
+pub const DICT_BUCKETS: u64 = 8;
+/// Operand stack slots per frame.
+pub const STACK_SLOTS: u64 = 128;
+/// Exception-handler stack entries per frame.
+pub const HANDLER_SLOTS: u64 = 16;
+
+/// Exception class names the runtime itself can raise.
+pub const RUNTIME_EXCEPTIONS: &[&str] = &[
+    "TypeError",
+    "ValueError",
+    "IndexError",
+    "KeyError",
+    "ZeroDivisionError",
+];
+
+/// Addresses of everything the interpreter needs from static data.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// The `None` singleton cell.
+    pub none_cell: u64,
+    /// The `True` singleton cell.
+    pub true_cell: u64,
+    /// The `False` singleton cell.
+    pub false_cell: u64,
+    /// Global u64: pointer to the current exception's class-name string
+    /// object, or 0 when no exception is in flight.
+    pub exc_global: u64,
+    /// Array of cell pointers, one per module constant.
+    pub const_table: u64,
+    /// Code-object table; stride 32: `[code_ptr][code_len][n_params][n_locals]`.
+    pub code_table: u64,
+    /// Array of 256 pointers to interned small-int cells.
+    pub int_intern: u64,
+    /// Array of 256 pointers to interned 1-character string cells.
+    pub char_intern: u64,
+    /// Class-name string objects for runtime-raised exceptions.
+    pub exc_names: HashMap<&'static str, u64>,
+    /// Cell for the string `"True"` (the `str()` builtin).
+    pub str_true_cell: u64,
+    /// Cell for the string `"False"`.
+    pub str_false_cell: u64,
+    /// Cell for the string `"None"`.
+    pub str_none_cell: u64,
+}
+
+/// Serializes a compiled module into the builder's data segments.
+pub fn build_layout(mb: &mut ModuleBuilder, module: &CompiledModule) -> Layout {
+    // Singletons.
+    let none_cell = cell(mb, tag::NONE, 0);
+    let true_cell = cell(mb, tag::BOOL, 1);
+    let false_cell = cell(mb, tag::BOOL, 0);
+    let exc_global = mb.global_u64(0);
+
+    // Constants.
+    let mut const_ptrs = Vec::with_capacity(module.consts.len());
+    for c in &module.consts {
+        let ptr = match c {
+            Const::Int(v) => cell(mb, tag::INT, *v as u64),
+            Const::Str(s) => {
+                let obj = str_obj(mb, s.as_bytes());
+                cell(mb, tag::STR, obj)
+            }
+            Const::None => none_cell,
+            Const::True => true_cell,
+            Const::False => false_cell,
+        };
+        const_ptrs.push(ptr);
+    }
+    let const_table = ptr_array(mb, &const_ptrs);
+
+    // Code objects.
+    let mut entries = Vec::with_capacity(module.funcs.len());
+    for f in &module.funcs {
+        let code_ptr = mb.data_bytes(&f.code);
+        entries.push([code_ptr, f.code.len() as u64, f.n_params as u64, f.n_locals as u64]);
+    }
+    let mut table_bytes = Vec::with_capacity(entries.len() * 32);
+    for e in &entries {
+        for v in e {
+            table_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let code_table = mb.data_bytes(&table_bytes);
+
+    // Interning tables.
+    let int_cells: Vec<u64> = (0..256).map(|v| cell(mb, tag::INT, v)).collect();
+    let int_intern = ptr_array(mb, &int_cells);
+    let char_cells: Vec<u64> = (0..=255u8)
+        .map(|b| {
+            let obj = str_obj(mb, &[b]);
+            cell(mb, tag::STR, obj)
+        })
+        .collect();
+    let char_intern = ptr_array(mb, &char_cells);
+
+    // Runtime exception names.
+    let mut exc_names = HashMap::new();
+    for &name in RUNTIME_EXCEPTIONS {
+        exc_names.insert(name, str_obj(mb, name.as_bytes()));
+    }
+
+    // String singletons for `str()` of non-string scalars.
+    let t_obj = str_obj(mb, b"True");
+    let str_true_cell = cell(mb, tag::STR, t_obj);
+    let f_obj = str_obj(mb, b"False");
+    let str_false_cell = cell(mb, tag::STR, f_obj);
+    let n_obj = str_obj(mb, b"None");
+    let str_none_cell = cell(mb, tag::STR, n_obj);
+
+    Layout {
+        none_cell,
+        true_cell,
+        false_cell,
+        exc_global,
+        const_table,
+        code_table,
+        int_intern,
+        char_intern,
+        exc_names,
+        str_true_cell,
+        str_false_cell,
+        str_none_cell,
+    }
+}
+
+/// Lays out a 16-byte value cell in static data.
+pub fn cell(mb: &mut ModuleBuilder, tag: u64, payload: u64) -> u64 {
+    let mut bytes = tag.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&payload.to_le_bytes());
+    mb.data_bytes(&bytes)
+}
+
+/// Lays out a `[len][bytes]` string object in static data.
+pub fn str_obj(mb: &mut ModuleBuilder, s: &[u8]) -> u64 {
+    let mut bytes = (s.len() as u64).to_le_bytes().to_vec();
+    bytes.extend_from_slice(s);
+    mb.data_bytes(&bytes)
+}
+
+/// Lays out an array of u64 pointers in static data.
+pub fn ptr_array(mb: &mut ModuleBuilder, ptrs: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(ptrs.len() * 8);
+    for p in ptrs {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    mb.data_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use chef_lir::{run_concrete, InputMap};
+
+    #[test]
+    fn layout_round_trips_through_concrete_memory() {
+        let module = compile("def f():\n    return \"hi\" + str(42)\n").unwrap();
+        let mut mb = ModuleBuilder::new();
+        let layout = build_layout(&mut mb, &module);
+        let main = mb.declare("main", 0);
+        let none = layout.none_cell;
+        mb.define(main, move |b| {
+            let t = b.load_u64(none);
+            b.halt(t);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 100);
+        assert_eq!(out.status, chef_lir::ConcreteStatus::Halted(tag::NONE));
+    }
+
+    #[test]
+    fn const_table_holds_string_objects() {
+        let module = compile("def f():\n    return \"abc\"\n").unwrap();
+        let k = module
+            .consts
+            .iter()
+            .position(|c| matches!(c, Const::Str(s) if s == "abc"))
+            .unwrap();
+        let mut mb = ModuleBuilder::new();
+        let layout = build_layout(&mut mb, &module);
+        let main = mb.declare("main", 0);
+        let const_table = layout.const_table;
+        mb.define(main, move |b| {
+            let cell_ptr = b.load_u64(const_table + (k as u64) * 8);
+            let tag_v = b.load_u64(cell_ptr);
+            let obj = b.add(cell_ptr, 8u64);
+            let obj_ptr = b.load_u64(obj);
+            let len = b.load_u64(obj_ptr);
+            let bp = b.add(obj_ptr, 8u64);
+            let first = b.load_u8(bp);
+            // halt with tag*10000 + len*100 + first byte
+            let a = b.mul(tag_v, 10_000u64);
+            let c = b.mul(len, 100u64);
+            let s1 = b.add(a, c);
+            let s2 = b.add(s1, first);
+            b.halt(s2);
+        });
+        let prog = mb.finish("main").unwrap();
+        let out = run_concrete(&prog, &InputMap::new(), 100);
+        let expected = tag::STR * 10_000 + 3 * 100 + b'a' as u64;
+        assert_eq!(out.status, chef_lir::ConcreteStatus::Halted(expected));
+    }
+}

@@ -1,0 +1,185 @@
+//! The MiniPy interpreter, compiled to LIR.
+//!
+//! [`build_program`] packages everything the way §4–§5 of the paper
+//! describes preparing CPython for Chef: the compiled module is serialized
+//! into guest memory ([`layout`]), the runtime ([`rt`]) and the dispatch
+//! loop ([`dispatch`]) are emitted as LIR functions with the chosen §4.2
+//! optimizations, and the symbolic test is turned into the guest `main`
+//! that marks inputs symbolic and reports the verdict.
+
+pub mod dispatch;
+pub mod layout;
+pub mod rt;
+
+use std::fmt;
+
+use chef_lir::{trace_kind, ModuleBuilder, Program};
+
+use crate::bytecode::CompiledModule;
+use crate::options::InterpreterOptions;
+use crate::testlib::{SymbolicTest, SymbolicValue};
+
+/// Errors from assembling the interpreter program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The test's entry function does not exist in the module.
+    NoSuchEntry(String),
+    /// The entry function's arity does not match the test's arguments.
+    ArityMismatch {
+        /// Entry function name.
+        entry: String,
+        /// Parameters the function declares.
+        expected: usize,
+        /// Arguments the test supplies.
+        got: usize,
+    },
+    /// LIR-level validation failed (internal error).
+    Lir(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoSuchEntry(n) => write!(f, "entry function '{n}' not found"),
+            BuildError::ArityMismatch { entry, expected, got } => write!(
+                f,
+                "entry '{entry}' takes {expected} parameters but the test supplies {got}"
+            ),
+            BuildError::Lir(m) => write!(f, "LIR assembly failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Status code passed to `end_symbolic` when the guest finished without an
+/// exception.
+pub const STATUS_OK: u64 = 0;
+/// Status code for "an exception escaped to the top level".
+pub const STATUS_EXCEPTION: u64 = 1;
+
+/// Builds the complete LIR program: interpreter + module + symbolic test.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the test does not match the module or LIR
+/// validation fails.
+///
+/// # Examples
+///
+/// ```
+/// use chef_minipy::{compile, build_program, InterpreterOptions, SymbolicTest};
+/// let module = compile("def f(x):\n    return x + 1\n").unwrap();
+/// let test = SymbolicTest::new("f").sym_int("x", 0, 100);
+/// let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+/// assert!(prog.funcs.len() > 10, "runtime + dispatch + main");
+/// ```
+pub fn build_program(
+    module: &CompiledModule,
+    opts: &InterpreterOptions,
+    test: &SymbolicTest,
+) -> Result<Program, BuildError> {
+    let entry_idx = module
+        .func_index(&test.entry)
+        .ok_or_else(|| BuildError::NoSuchEntry(test.entry.clone()))?;
+    let expected = module.funcs[entry_idx].n_params as usize;
+    if expected != test.args.len() {
+        return Err(BuildError::ArityMismatch {
+            entry: test.entry.clone(),
+            expected,
+            got: test.args.len(),
+        });
+    }
+
+    let mut mb = ModuleBuilder::new();
+    let lay = layout::build_layout(&mut mb, module);
+    let rt = rt::declare(&mut mb);
+    let exec = mb.declare("exec", 2);
+    let main = mb.declare("main", 0);
+    rt::define(&mut mb, &rt, &lay, opts);
+    dispatch::define_exec(&mut mb, exec, &rt, &lay);
+
+    // Prepare static homes for the arguments.
+    enum ArgPlan {
+        /// Cell already in static data.
+        Static(u64),
+        /// Symbolic string: (cell addr, bytes addr, len, name id).
+        SymStr(u64, u64, u64, u64),
+        /// Symbolic int: (buffer addr, name id, min, max).
+        SymInt(u64, u64, i64, i64),
+    }
+    let mut plans = Vec::new();
+    for arg in &test.args {
+        let plan = match arg {
+            SymbolicValue::ConcreteStr(s) => {
+                let obj = layout::str_obj(&mut mb, s.as_bytes());
+                ArgPlan::Static(layout::cell(&mut mb, layout::tag::STR, obj))
+            }
+            SymbolicValue::ConcreteInt(v) => {
+                ArgPlan::Static(layout::cell(&mut mb, layout::tag::INT, *v as u64))
+            }
+            SymbolicValue::SymStr { name, len } => {
+                let obj = layout::str_obj(&mut mb, &vec![0u8; *len]);
+                let cell = layout::cell(&mut mb, layout::tag::STR, obj);
+                let name_id = mb.name_id(name);
+                ArgPlan::SymStr(cell, obj + 8, *len as u64, name_id)
+            }
+            SymbolicValue::SymInt { name, min, max } => {
+                let buf = mb.data_zeroed(8);
+                let name_id = mb.name_id(name);
+                ArgPlan::SymInt(buf, name_id, *min, *max)
+            }
+        };
+        plans.push(plan);
+    }
+    let args_arr = mb.data_zeroed((test.args.len().max(1) * 8) as u64);
+    let exc_global = lay.exc_global;
+    let new_int = rt.new_int;
+
+    mb.define(main, move |b| {
+        for (i, plan) in plans.iter().enumerate() {
+            let slot = args_arr + (i as u64) * 8;
+            match plan {
+                ArgPlan::Static(cell) => b.store_u64(slot, *cell),
+                ArgPlan::SymStr(cell, bytes, len, name_id) => {
+                    b.make_symbolic(*bytes, *len, *name_id);
+                    b.store_u64(slot, *cell);
+                }
+                ArgPlan::SymInt(buf, name_id, min, max) => {
+                    b.make_symbolic(*buf, 8u64, *name_id);
+                    let v = b.load_u64(*buf);
+                    let ge = b.sle(*min, v);
+                    b.assume(ge);
+                    let le = b.sle(v, *max);
+                    b.assume(le);
+                    let cell = b.call(new_int, &[v.into()]);
+                    b.store_u64(slot, cell);
+                }
+            }
+        }
+        let r = b.call(exec, &[(entry_idx as u64).into(), args_arr.into()]);
+        let exc = b.load_u64(exc_global);
+        let raised = b.ne(exc, 0u64);
+        b.if_else(
+            raised,
+            |b| {
+                let len = b.load_u64(exc);
+                let bytes = b.add(exc, 8u64);
+                b.trace_event(trace_kind::EXCEPTION, bytes, len);
+                b.end_symbolic(STATUS_EXCEPTION);
+            },
+            |b| {
+                // Report the result's tag and payload so differential tests
+                // can compare scalar return values.
+                let t = b.load_u64(r);
+                let pp = b.add(r, 8u64);
+                let p = b.load_u64(pp);
+                b.trace_event(trace_kind::MARKER, t, p);
+                b.end_symbolic(STATUS_OK);
+            },
+        );
+        b.halt(0u64);
+    });
+
+    mb.finish("main").map_err(BuildError::Lir)
+}

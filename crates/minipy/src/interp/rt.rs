@@ -1,0 +1,1072 @@
+//! The MiniPy runtime, written in LIR.
+//!
+//! These functions are the analogue of CPython's C runtime: they execute on
+//! the low-level engine, so their internal branches fork low-level paths.
+//! Every §4.2 optimization lives here:
+//!
+//! - `malloc` implements the symbolic-size wrapper of Figure 6,
+//! - `new_int`/`char_str` implement (or skip) interning,
+//! - `str_hash`/`int` hashing honor hash neutralization,
+//! - `str_eq` switches between the early-return fast path and the
+//!   single-path full traversal.
+
+use chef_lir::{FnBuilder, FuncId, ModuleBuilder, Reg, HEAP_PTR_ADDR};
+
+use super::layout::{tag, Layout};
+use crate::options::InterpreterOptions;
+
+/// Function ids of the runtime, used by the dispatch loop.
+#[derive(Clone, Copy, Debug)]
+pub struct Rt {
+    /// `malloc(size) -> ptr` (Figure 6 wrapper when enabled).
+    pub malloc: FuncId,
+    /// `new_int(v) -> cell` (interned for 0..255 unless eliminated).
+    pub new_int: FuncId,
+    /// `new_str(len) -> strobj`.
+    pub new_str: FuncId,
+    /// `new_str_cell(strobj) -> cell`.
+    pub new_str_cell: FuncId,
+    /// `char_str(byte) -> cell` (interned unless eliminated).
+    pub char_str: FuncId,
+    /// `str_eq(a_obj, b_obj) -> 0/1`.
+    pub str_eq: FuncId,
+    /// `str_cmp(a_obj, b_obj) -> -1/0/1` lexicographic.
+    pub str_cmp: FuncId,
+    /// `str_hash(obj) -> h` (0 when neutralized).
+    pub str_hash: FuncId,
+    /// `value_hash(cell) -> h`; raises TypeError for unhashable values.
+    pub value_hash: FuncId,
+    /// `value_eq(a, b) -> 0/1`.
+    pub value_eq: FuncId,
+    /// `value_truthy(cell) -> 0/1`.
+    pub value_truthy: FuncId,
+    /// `str_concat(a_obj, b_obj) -> cell`.
+    pub str_concat: FuncId,
+    /// `str_find(hay_obj, needle_obj) -> index or -1`.
+    pub str_find: FuncId,
+    /// `str_startswith(s_obj, p_obj) -> 0/1`.
+    pub str_startswith: FuncId,
+    /// `str_endswith(s_obj, p_obj) -> 0/1`.
+    pub str_endswith: FuncId,
+    /// `str_slice(s_obj, lo, hi) -> cell` (Python clamping).
+    pub str_slice: FuncId,
+    /// `str_strip(s_obj) -> cell`.
+    pub str_strip: FuncId,
+    /// `str_to_int(s_obj) -> v`; raises ValueError on malformed input.
+    pub str_to_int: FuncId,
+    /// `int_to_str(v) -> cell`.
+    pub int_to_str: FuncId,
+    /// `idiv(a, b) -> floor(a/b)`; raises ZeroDivisionError.
+    pub idiv: FuncId,
+    /// `imod(a, b) -> a mod b` (sign of divisor); raises ZeroDivisionError.
+    pub imod: FuncId,
+    /// `list_new(cap_hint) -> cell`.
+    pub list_new: FuncId,
+    /// `list_append(cell, item)`.
+    pub list_append: FuncId,
+    /// `list_get(cell, idx) -> item`; raises IndexError.
+    pub list_get: FuncId,
+    /// `list_set(cell, idx, item)`; raises IndexError.
+    pub list_set: FuncId,
+    /// `list_contains(cell, item) -> 0/1`.
+    pub list_contains: FuncId,
+    /// `dict_new() -> cell`.
+    pub dict_new: FuncId,
+    /// `dict_set(cell, key, val)`; may raise TypeError via hashing.
+    pub dict_set: FuncId,
+    /// `dict_get(cell, key) -> val ptr or 0`.
+    pub dict_get: FuncId,
+}
+
+/// Loads a cell's tag.
+pub fn tag_of(b: &mut FnBuilder, cell: Reg) -> Reg {
+    b.load_u64(cell)
+}
+
+/// Loads a cell's payload.
+pub fn payload(b: &mut FnBuilder, cell: Reg) -> Reg {
+    let a = b.add(cell, 8u64);
+    b.load_u64(a)
+}
+
+/// Normalized tag: `True`/`False` compare as integers, like Python.
+pub fn norm_tag(b: &mut FnBuilder, cell: Reg) -> Reg {
+    let t = tag_of(b, cell);
+    let is_bool = b.eq(t, tag::BOOL);
+    b.select(is_bool, tag::INT, t)
+}
+
+/// Declares all runtime functions (bodies defined by [`define`]).
+pub fn declare(mb: &mut ModuleBuilder) -> Rt {
+    Rt {
+        malloc: mb.declare("rt_malloc", 1),
+        new_int: mb.declare("rt_new_int", 1),
+        new_str: mb.declare("rt_new_str", 1),
+        new_str_cell: mb.declare("rt_new_str_cell", 1),
+        char_str: mb.declare("rt_char_str", 1),
+        str_eq: mb.declare("rt_str_eq", 2),
+        str_cmp: mb.declare("rt_str_cmp", 2),
+        str_hash: mb.declare("rt_str_hash", 1),
+        value_hash: mb.declare("rt_value_hash", 1),
+        value_eq: mb.declare("rt_value_eq", 2),
+        value_truthy: mb.declare("rt_value_truthy", 1),
+        str_concat: mb.declare("rt_str_concat", 2),
+        str_find: mb.declare("rt_str_find", 2),
+        str_startswith: mb.declare("rt_str_startswith", 2),
+        str_endswith: mb.declare("rt_str_endswith", 2),
+        str_slice: mb.declare("rt_str_slice", 3),
+        str_strip: mb.declare("rt_str_strip", 1),
+        str_to_int: mb.declare("rt_str_to_int", 1),
+        int_to_str: mb.declare("rt_int_to_str", 1),
+        idiv: mb.declare("rt_idiv", 2),
+        imod: mb.declare("rt_imod", 2),
+        list_new: mb.declare("rt_list_new", 1),
+        list_append: mb.declare("rt_list_append", 2),
+        list_get: mb.declare("rt_list_get", 2),
+        list_set: mb.declare("rt_list_set", 3),
+        list_contains: mb.declare("rt_list_contains", 2),
+        dict_new: mb.declare("rt_dict_new", 0),
+        dict_set: mb.declare("rt_dict_set", 3),
+        dict_get: mb.declare("rt_dict_get", 2),
+    }
+}
+
+/// Raises a runtime exception by storing its class-name string object into
+/// the exception global.
+fn raise(b: &mut FnBuilder, layout: &Layout, name: &str) {
+    let obj = layout.exc_names[name];
+    b.store_u64(layout.exc_global, obj);
+}
+
+/// Defines all runtime function bodies.
+pub fn define(mb: &mut ModuleBuilder, rt: &Rt, layout: &Layout, opts: &InterpreterOptions) {
+    let lay = layout.clone();
+    let o = *opts;
+
+    // ----- allocator (Figure 6) -----
+    mb.define(rt.malloc, move |b| {
+        let size = b.param(0);
+        if o.avoid_symbolic_pointers {
+            let sym = b.is_symbolic(size);
+            b.if_(sym, |b| {
+                let ub = b.upper_bound(size);
+                b.set(size, ub);
+            });
+        }
+        let seven = b.add(size, 7u64);
+        let aligned = b.and(seven, !7u64);
+        let ptr = b.load_u64(HEAP_PTR_ADDR);
+        let next = b.add(ptr, aligned);
+        b.store_u64(HEAP_PTR_ADDR, next);
+        b.ret(ptr);
+    });
+
+    // ----- integers -----
+    let malloc = rt.malloc;
+    let int_intern = lay.int_intern;
+    mb.define(rt.new_int, move |b| {
+        let v = b.param(0);
+        if !o.eliminate_interning {
+            // Interning: the returned address depends on the value — a
+            // symbolic v forks on the table lookup (§4.2).
+            let small = b.ult(v, 256u64);
+            b.if_(small, |b| {
+                let off = b.mul(v, 8u64);
+                let addr = b.add(off, int_intern);
+                let cell = b.load_u64(addr);
+                b.ret(cell);
+            });
+        }
+        let p = b.call(malloc, &[16u64.into()]);
+        b.store_u64(p, tag::INT);
+        let pp = b.add(p, 8u64);
+        b.store_u64(pp, v);
+        b.ret(p);
+    });
+
+    // ----- strings -----
+    mb.define(rt.new_str, move |b| {
+        let len = b.param(0);
+        let total = b.add(len, 8u64);
+        let p = b.call(malloc, &[total.into()]);
+        b.store_u64(p, len);
+        b.ret(p);
+    });
+
+    mb.define(rt.new_str_cell, move |b| {
+        let obj = b.param(0);
+        let p = b.call(malloc, &[16u64.into()]);
+        b.store_u64(p, tag::STR);
+        let pp = b.add(p, 8u64);
+        b.store_u64(pp, obj);
+        b.ret(p);
+    });
+
+    let char_intern = lay.char_intern;
+    let new_str = rt.new_str;
+    let new_str_cell = rt.new_str_cell;
+    mb.define(rt.char_str, move |b| {
+        let byte = b.param(0);
+        if !o.eliminate_interning {
+            let off = b.mul(byte, 8u64);
+            let addr = b.add(off, char_intern);
+            let cell = b.load_u64(addr);
+            b.ret(cell);
+        } else {
+            let obj = b.call(new_str, &[1u64.into()]);
+            let bp = b.add(obj, 8u64);
+            b.store_u8(bp, byte);
+            let cell = b.call(new_str_cell, &[obj.into()]);
+            b.ret(cell);
+        }
+    });
+
+    mb.define(rt.str_eq, move |b| {
+        let a = b.param(0);
+        let bo = b.param(1);
+        let la = b.load_u64(a);
+        let lb = b.load_u64(bo);
+        if !o.eliminate_fast_paths {
+            // Fast path: unequal lengths return immediately; equal-length
+            // compares early-return on the first differing byte.
+            let ne = b.ne(la, lb);
+            b.if_(ne, |b| b.ret(0u64));
+            let i = b.const_(0);
+            b.while_(
+                |b| b.ult(i, la),
+                |b| {
+                    let pa = b.add(a, 8u64);
+                    let paa = b.add(pa, i);
+                    let ca = b.load_u8(paa);
+                    let pb = b.add(bo, 8u64);
+                    let pbb = b.add(pb, i);
+                    let cb = b.load_u8(pbb);
+                    let d = b.ne(ca, cb);
+                    b.if_(d, |b| b.ret(0u64));
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.ret(1u64);
+        } else {
+            // Single-path version: accumulate differences over the whole
+            // buffer, branch only on the concrete loop bound (§4.2).
+            let a_shorter = b.ult(la, lb);
+            let lmin = b.select(a_shorter, la, lb);
+            let diff = b.ne(la, lb);
+            let i = b.const_(0);
+            b.while_(
+                |b| b.ult(i, lmin),
+                |b| {
+                    let pa = b.add(a, 8u64);
+                    let paa = b.add(pa, i);
+                    let ca = b.load_u8(paa);
+                    let pb = b.add(bo, 8u64);
+                    let pbb = b.add(pb, i);
+                    let cb = b.load_u8(pbb);
+                    let d = b.ne(ca, cb);
+                    let nd = b.or(diff, d);
+                    b.set(diff, nd);
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            let r = b.eq(diff, 0u64);
+            b.ret(r);
+        }
+    });
+
+    mb.define(rt.str_cmp, move |b| {
+        // Lexicographic compare, byte-wise with early exit (like CPython's
+        // memcmp fast path — each symbolic byte comparison forks).
+        let a = b.param(0);
+        let c = b.param(1);
+        let la = b.load_u64(a);
+        let lb = b.load_u64(c);
+        let shorter = b.ult(la, lb);
+        let lmin = b.select(shorter, la, lb);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, lmin),
+            |b| {
+                let pa = b.add(a, 8u64);
+                let paa = b.add(pa, i);
+                let ca = b.load_u8(paa);
+                let pb = b.add(c, 8u64);
+                let pbb = b.add(pb, i);
+                let cb = b.load_u8(pbb);
+                let lt = b.ult(ca, cb);
+                b.if_(lt, |b| b.ret(-1i64));
+                let gt = b.ult(cb, ca);
+                b.if_(gt, |b| b.ret(1u64));
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        // Common prefix equal: shorter string sorts first.
+        let a_short = b.ult(la, lb);
+        b.if_(a_short, |b| b.ret(-1i64));
+        let b_short = b.ult(lb, la);
+        b.if_(b_short, |b| b.ret(1u64));
+        b.ret(0u64);
+    });
+
+    mb.define(rt.str_hash, move |b| {
+        if o.neutralize_hashes {
+            b.ret(0u64);
+        } else {
+            let s = b.param(0);
+            let len = b.load_u64(s);
+            let h = b.const_(5381);
+            let i = b.const_(0);
+            b.while_(
+                |b| b.ult(i, len),
+                |b| {
+                    let p = b.add(s, 8u64);
+                    let pa = b.add(p, i);
+                    let c = b.load_u8(pa);
+                    let h33 = b.mul(h, 33u64);
+                    let nh = b.add(h33, c);
+                    b.set(h, nh);
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.ret(h);
+        }
+    });
+
+    let str_hash = rt.str_hash;
+    let lay2 = lay.clone();
+    mb.define(rt.value_hash, move |b| {
+        let cell = b.param(0);
+        let t = norm_tag(b, cell);
+        let is_int = b.eq(t, tag::INT);
+        b.if_(is_int, |b| {
+            if o.neutralize_hashes {
+                b.ret(0u64);
+            } else {
+                let p = payload(b, cell);
+                b.ret(p);
+            }
+        });
+        let is_str = b.eq(t, tag::STR);
+        b.if_(is_str, |b| {
+            let p = payload(b, cell);
+            let h = b.call(str_hash, &[p.into()]);
+            b.ret(h);
+        });
+        let is_none = b.eq(t, tag::NONE);
+        b.if_(is_none, |b| b.ret(0u64));
+        raise(b, &lay2, "TypeError");
+        b.ret(0u64);
+    });
+
+    let str_eq = rt.str_eq;
+    mb.define(rt.value_eq, move |b| {
+        let a = b.param(0);
+        let c = b.param(1);
+        let same = b.eq(a, c);
+        b.if_(same, |b| b.ret(1u64));
+        let ta = norm_tag(b, a);
+        let tb = norm_tag(b, c);
+        let tne = b.ne(ta, tb);
+        b.if_(tne, |b| b.ret(0u64));
+        let is_int = b.eq(ta, tag::INT);
+        b.if_(is_int, |b| {
+            let pa = payload(b, a);
+            let pb = payload(b, c);
+            let r = b.eq(pa, pb);
+            b.ret(r);
+        });
+        let is_str = b.eq(ta, tag::STR);
+        b.if_(is_str, |b| {
+            let pa = payload(b, a);
+            let pb = payload(b, c);
+            let r = b.call(str_eq, &[pa.into(), pb.into()]);
+            b.ret(r);
+        });
+        let is_none = b.eq(ta, tag::NONE);
+        b.if_(is_none, |b| b.ret(1u64));
+        b.ret(0u64); // lists/dicts compare by identity, checked above
+    });
+
+    mb.define(rt.value_truthy, move |b| {
+        let cell = b.param(0);
+        let t = tag_of(b, cell);
+        let is_none = b.eq(t, tag::NONE);
+        b.if_(is_none, |b| b.ret(0u64));
+        let is_scalar = {
+            let ib = b.eq(t, tag::BOOL);
+            let ii = b.eq(t, tag::INT);
+            b.or(ib, ii)
+        };
+        b.if_(is_scalar, |b| {
+            let p = payload(b, cell);
+            let r = b.ne(p, 0u64);
+            b.ret(r);
+        });
+        let is_str = b.eq(t, tag::STR);
+        b.if_(is_str, |b| {
+            let p = payload(b, cell);
+            let len = b.load_u64(p);
+            let r = b.ne(len, 0u64);
+            b.ret(r);
+        });
+        // list: [cap][len], dict: [nbuckets][count] — length at offset 8.
+        let p = payload(b, cell);
+        let lp = b.add(p, 8u64);
+        let n = b.load_u64(lp);
+        let r = b.ne(n, 0u64);
+        b.ret(r);
+    });
+
+    mb.define(rt.str_concat, move |b| {
+        let a = b.param(0);
+        let c = b.param(1);
+        let la = b.load_u64(a);
+        let lb = b.load_u64(c);
+        let total = b.add(la, lb);
+        let obj = b.call(new_str, &[total.into()]);
+        copy_bytes(b, a, 8, obj, 8, la);
+        let dst_off = b.add(la, 8u64);
+        copy_bytes_reg(b, c, 8, obj, dst_off, lb);
+        let cell = b.call(new_str_cell, &[obj.into()]);
+        b.ret(cell);
+    });
+
+    mb.define(rt.str_find, move |b| {
+        let hay = b.param(0);
+        let nee = b.param(1);
+        let lh = b.load_u64(hay);
+        let ln = b.load_u64(nee);
+        let empty = b.eq(ln, 0u64);
+        b.if_(empty, |b| b.ret(0u64));
+        let i = b.const_(0);
+        let limit = b.sub(lh, ln); // unsigned wrap handled by the guard below
+        let fits = b.ule(ln, lh);
+        b.if_(fits, |b| {
+            b.while_(
+                |b| b.ule(i, limit),
+                |b| {
+                    let j = b.const_(0);
+                    let ok = b.const_(1);
+                    b.while_(
+                        |b| {
+                            let c1 = b.ult(j, ln);
+                            b.and(c1, ok)
+                        },
+                        |b| {
+                            let hi = b.add(i, j);
+                            let hp = b.add(hay, 8u64);
+                            let hpa = b.add(hp, hi);
+                            let hc = b.load_u8(hpa);
+                            let np = b.add(nee, 8u64);
+                            let npa = b.add(np, j);
+                            let nc = b.load_u8(npa);
+                            let d = b.ne(hc, nc);
+                            b.if_(d, |b| b.set(ok, 0u64));
+                            let nj = b.add(j, 1u64);
+                            b.set(j, nj);
+                        },
+                    );
+                    b.if_(ok, |b| b.ret(i));
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+        });
+        b.ret(-1i64);
+    });
+
+    mb.define(rt.str_startswith, move |b| {
+        let s = b.param(0);
+        let p = b.param(1);
+        let ls = b.load_u64(s);
+        let lp = b.load_u64(p);
+        let fits = b.ule(lp, ls);
+        let not_fits = b.lnot(fits);
+        b.if_(not_fits, |b| b.ret(0u64));
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, lp),
+            |b| {
+                let sa = b.add(s, 8u64);
+                let saa = b.add(sa, i);
+                let sc = b.load_u8(saa);
+                let pa = b.add(p, 8u64);
+                let paa = b.add(pa, i);
+                let pc = b.load_u8(paa);
+                let d = b.ne(sc, pc);
+                b.if_(d, |b| b.ret(0u64));
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.ret(1u64);
+    });
+
+    mb.define(rt.str_endswith, move |b| {
+        let s = b.param(0);
+        let p = b.param(1);
+        let ls = b.load_u64(s);
+        let lp = b.load_u64(p);
+        let fits = b.ule(lp, ls);
+        let not_fits = b.lnot(fits);
+        b.if_(not_fits, |b| b.ret(0u64));
+        let base = b.sub(ls, lp);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, lp),
+            |b| {
+                let si = b.add(base, i);
+                let sa = b.add(s, 8u64);
+                let saa = b.add(sa, si);
+                let sc = b.load_u8(saa);
+                let pa = b.add(p, 8u64);
+                let paa = b.add(pa, i);
+                let pc = b.load_u8(paa);
+                let d = b.ne(sc, pc);
+                b.if_(d, |b| b.ret(0u64));
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.ret(1u64);
+    });
+
+    mb.define(rt.str_slice, move |b| {
+        let s = b.param(0);
+        let lo = b.param(1);
+        let hi = b.param(2);
+        let len = b.load_u64(s);
+        clamp_index(b, lo, len);
+        clamp_index(b, hi, len);
+        let rev = b.slt(hi, lo);
+        b.if_(rev, |b| b.set(hi, lo));
+        let n = b.sub(hi, lo);
+        let obj = b.call(new_str, &[n.into()]);
+        let src_off = b.add(lo, 8u64);
+        copy_bytes_reg2(b, s, src_off, obj, 8, n);
+        let cell = b.call(new_str_cell, &[obj.into()]);
+        b.ret(cell);
+    });
+
+    mb.define(rt.str_strip, move |b| {
+        let s = b.param(0);
+        let len = b.load_u64(s);
+        let start = b.const_(0);
+        b.while_(
+            |b| {
+                let inb = b.ult(start, len);
+                let p = b.add(s, 8u64);
+                let pa = b.add(p, start);
+                let c = b.load_u8(pa);
+                let ws = is_space(b, c);
+                b.and(inb, ws)
+            },
+            |b| {
+                let n = b.add(start, 1u64);
+                b.set(start, n);
+            },
+        );
+        let end = b.mov(len);
+        b.while_(
+            |b| {
+                let gt = b.ult(start, end);
+                let e1 = b.sub(end, 1u64);
+                let p = b.add(s, 8u64);
+                let pa = b.add(p, e1);
+                let c = b.load_u8(pa);
+                let ws = is_space(b, c);
+                b.and(gt, ws)
+            },
+            |b| {
+                let n = b.sub(end, 1u64);
+                b.set(end, n);
+            },
+        );
+        let n = b.sub(end, start);
+        let obj = b.call(new_str, &[n.into()]);
+        let src_off = b.add(start, 8u64);
+        copy_bytes_reg2(b, s, src_off, obj, 8, n);
+        let cell = b.call(new_str_cell, &[obj.into()]);
+        b.ret(cell);
+    });
+
+    let lay3 = lay.clone();
+    mb.define(rt.str_to_int, move |b| {
+        let s = b.param(0);
+        let len = b.load_u64(s);
+        let empty = b.eq(len, 0u64);
+        b.if_(empty, |b| {
+            raise(b, &lay3, "ValueError");
+            b.ret(0u64);
+        });
+        let i = b.const_(0);
+        let neg = b.const_(0);
+        let fp = b.add(s, 8u64);
+        let first = b.load_u8(fp);
+        let is_minus = b.eq(first, b'-' as u64);
+        b.if_(is_minus, |b| {
+            b.set(neg, 1u64);
+            b.set(i, 1u64);
+            let only_minus = b.eq(len, 1u64);
+            b.if_(only_minus, |b| {
+                raise(b, &lay3, "ValueError");
+                b.ret(0u64);
+            });
+        });
+        let acc = b.const_(0);
+        b.while_(
+            |b| b.ult(i, len),
+            |b| {
+                let p = b.add(s, 8u64);
+                let pa = b.add(p, i);
+                let c = b.load_u8(pa);
+                let ge0 = b.ule(b'0' as u64, c);
+                let le9 = b.ule(c, b'9' as u64);
+                let is_digit = b.and(ge0, le9);
+                let bad = b.lnot(is_digit);
+                b.if_(bad, |b| {
+                    raise(b, &lay3, "ValueError");
+                    b.ret(0u64);
+                });
+                let ten = b.mul(acc, 10u64);
+                let d = b.sub(c, b'0' as u64);
+                let na = b.add(ten, d);
+                b.set(acc, na);
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.if_(neg, |b| {
+            let z = b.sub(0u64, acc);
+            b.set(acc, z);
+        });
+        b.ret(acc);
+    });
+
+    let char_str_f = rt.char_str;
+    mb.define(rt.int_to_str, move |b| {
+        let v = b.param(0);
+        let zero = b.eq(v, 0u64);
+        b.if_(zero, |b| {
+            let c = b.call(char_str_f, &[(b'0' as u64).into()]);
+            b.ret(c);
+        });
+        let neg = b.slt(v, 0u64);
+        let negv = b.sub(0u64, v);
+        let av = b.select(neg, negv, v);
+        let tmp = b.call(malloc, &[24u64.into()]);
+        let n = b.const_(0);
+        b.while_(
+            |b| b.ne(av, 0u64),
+            |b| {
+                let d = b.urem(av, 10u64);
+                let ch = b.add(d, b'0' as u64);
+                let pa = b.add(tmp, n);
+                b.store_u8(pa, ch);
+                let q = b.udiv(av, 10u64);
+                b.set(av, q);
+                let nn = b.add(n, 1u64);
+                b.set(n, nn);
+            },
+        );
+        let negw = b.select(neg, 1u64, 0u64);
+        let total = b.add(n, negw);
+        let obj = b.call(new_str, &[total.into()]);
+        let w = b.const_(0);
+        b.if_(neg, |b| {
+            let p = b.add(obj, 8u64);
+            b.store_u8(p, b'-' as u64);
+            b.set(w, 1u64);
+        });
+        // Copy digits reversed.
+        let k = b.mov(n);
+        b.while_(
+            |b| b.ne(k, 0u64),
+            |b| {
+                let nk = b.sub(k, 1u64);
+                b.set(k, nk);
+                let pa = b.add(tmp, k);
+                let c = b.load_u8(pa);
+                let dp = b.add(obj, 8u64);
+                let dpa = b.add(dp, w);
+                b.store_u8(dpa, c);
+                let nw = b.add(w, 1u64);
+                b.set(w, nw);
+            },
+        );
+        let cell = b.call(new_str_cell, &[obj.into()]);
+        b.ret(cell);
+    });
+
+    // ----- integer division (Python floor semantics) -----
+    let lay4 = lay.clone();
+    mb.define(rt.idiv, move |b| {
+        let a = b.param(0);
+        let d = b.param(1);
+        let dz = b.eq(d, 0u64);
+        b.if_(dz, |b| {
+            raise(b, &lay4, "ZeroDivisionError");
+            b.ret(0u64);
+        });
+        let sa = b.slt(a, 0u64);
+        let sd = b.slt(d, 0u64);
+        let na = b.sub(0u64, a);
+        let nd = b.sub(0u64, d);
+        let aa = b.select(sa, na, a);
+        let ad = b.select(sd, nd, d);
+        let q = b.udiv(aa, ad);
+        let r = b.urem(aa, ad);
+        let opp = b.xor(sa, sd);
+        let qn = b.sub(0u64, q);
+        let rnz = b.ne(r, 0u64);
+        let adj = b.sub(qn, 1u64);
+        let qneg = b.select(rnz, adj, qn);
+        let res = b.select(opp, qneg, q);
+        b.ret(res);
+    });
+
+    let idiv = rt.idiv;
+    let lay5 = lay.clone();
+    mb.define(rt.imod, move |b| {
+        let a = b.param(0);
+        let d = b.param(1);
+        let dz = b.eq(d, 0u64);
+        b.if_(dz, |b| {
+            raise(b, &lay5, "ZeroDivisionError");
+            b.ret(0u64);
+        });
+        let q = b.call(idiv, &[a.into(), d.into()]);
+        let qd = b.mul(q, d);
+        let r = b.sub(a, qd);
+        b.ret(r);
+    });
+
+    // ----- lists -----
+    mb.define(rt.list_new, move |b| {
+        let hint = b.param(0);
+        let small = b.ult(hint, 4u64);
+        let cap = b.select(small, 4u64, hint);
+        let bytes = b.mul(cap, 8u64);
+        let total = b.add(bytes, 16u64);
+        let obj = b.call(malloc, &[total.into()]);
+        b.store_u64(obj, cap);
+        let lp = b.add(obj, 8u64);
+        b.store_u64(lp, 0u64);
+        let cell = b.call(malloc, &[16u64.into()]);
+        b.store_u64(cell, tag::LIST);
+        let cp = b.add(cell, 8u64);
+        b.store_u64(cp, obj);
+        b.ret(cell);
+    });
+
+    mb.define(rt.list_append, move |b| {
+        let cell = b.param(0);
+        let item = b.param(1);
+        let obj = payload(b, cell);
+        let cap = b.load_u64(obj);
+        let lp = b.add(obj, 8u64);
+        let len = b.load_u64(lp);
+        let full = b.eq(len, cap);
+        b.if_(full, |b| {
+            let ncap = b.mul(cap, 2u64);
+            let bytes = b.mul(ncap, 8u64);
+            let total = b.add(bytes, 16u64);
+            let nobj = b.call(malloc, &[total.into()]);
+            b.store_u64(nobj, ncap);
+            let nlp = b.add(nobj, 8u64);
+            b.store_u64(nlp, len);
+            let i = b.const_(0);
+            b.while_(
+                |b| b.ult(i, len),
+                |b| {
+                    let off = b.mul(i, 8u64);
+                    let sp = b.add(obj, 16u64);
+                    let spa = b.add(sp, off);
+                    let v = b.load_u64(spa);
+                    let dp = b.add(nobj, 16u64);
+                    let dpa = b.add(dp, off);
+                    b.store_u64(dpa, v);
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            let cp = b.add(cell, 8u64);
+            b.store_u64(cp, nobj);
+            b.set(obj, nobj);
+        });
+        let off = b.mul(len, 8u64);
+        let ip = b.add(obj, 16u64);
+        let ipa = b.add(ip, off);
+        b.store_u64(ipa, item);
+        let nlen = b.add(len, 1u64);
+        let lp2 = b.add(obj, 8u64);
+        b.store_u64(lp2, nlen);
+        b.ret_void();
+    });
+
+    let lay6 = lay.clone();
+    let none_cell = lay.none_cell;
+    mb.define(rt.list_get, move |b| {
+        let cell = b.param(0);
+        let idx = b.param(1);
+        let obj = payload(b, cell);
+        let lp = b.add(obj, 8u64);
+        let len = b.load_u64(lp);
+        let neg = b.slt(idx, 0u64);
+        b.if_(neg, |b| {
+            let fixed = b.add(idx, len);
+            b.set(idx, fixed);
+        });
+        let lo = b.slt(idx, 0u64);
+        let hi = b.sle(len, idx);
+        let bad = b.or(lo, hi);
+        b.if_(bad, |b| {
+            raise(b, &lay6, "IndexError");
+            b.ret(none_cell);
+        });
+        let off = b.mul(idx, 8u64);
+        let ip = b.add(obj, 16u64);
+        let ipa = b.add(ip, off);
+        let v = b.load_u64(ipa);
+        b.ret(v);
+    });
+
+    let lay7 = lay.clone();
+    mb.define(rt.list_set, move |b| {
+        let cell = b.param(0);
+        let idx = b.param(1);
+        let item = b.param(2);
+        let obj = payload(b, cell);
+        let lp = b.add(obj, 8u64);
+        let len = b.load_u64(lp);
+        let neg = b.slt(idx, 0u64);
+        b.if_(neg, |b| {
+            let fixed = b.add(idx, len);
+            b.set(idx, fixed);
+        });
+        let lo = b.slt(idx, 0u64);
+        let hi = b.sle(len, idx);
+        let bad = b.or(lo, hi);
+        b.if_(bad, |b| {
+            raise(b, &lay7, "IndexError");
+            b.ret_void();
+        });
+        let off = b.mul(idx, 8u64);
+        let ip = b.add(obj, 16u64);
+        let ipa = b.add(ip, off);
+        b.store_u64(ipa, item);
+        b.ret_void();
+    });
+
+    let value_eq = rt.value_eq;
+    mb.define(rt.list_contains, move |b| {
+        let cell = b.param(0);
+        let item = b.param(1);
+        let obj = payload(b, cell);
+        let lp = b.add(obj, 8u64);
+        let len = b.load_u64(lp);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, len),
+            |b| {
+                let off = b.mul(i, 8u64);
+                let ip = b.add(obj, 16u64);
+                let ipa = b.add(ip, off);
+                let v = b.load_u64(ipa);
+                let eq = b.call(value_eq, &[v.into(), item.into()]);
+                b.if_(eq, |b| b.ret(1u64));
+                let ni = b.add(i, 1u64);
+                b.set(i, ni);
+            },
+        );
+        b.ret(0u64);
+    });
+
+    // ----- dicts -----
+    mb.define(rt.dict_new, move |b| {
+        // [nbuckets][count][bucket x 8]; the heap is fresh, so buckets read 0.
+        let obj = b.call(malloc, &[(16 + super::layout::DICT_BUCKETS * 8).into()]);
+        b.store_u64(obj, super::layout::DICT_BUCKETS);
+        let cp = b.add(obj, 8u64);
+        b.store_u64(cp, 0u64);
+        let cell = b.call(malloc, &[16u64.into()]);
+        b.store_u64(cell, tag::DICT);
+        let pp = b.add(cell, 8u64);
+        b.store_u64(pp, obj);
+        b.ret(cell);
+    });
+
+    let value_hash = rt.value_hash;
+    let exc_global = lay.exc_global;
+    mb.define(rt.dict_set, move |b| {
+        let cell = b.param(0);
+        let key = b.param(1);
+        let val = b.param(2);
+        let h = b.call(value_hash, &[key.into()]);
+        let exc = b.load_u64(exc_global);
+        let raised = b.ne(exc, 0u64);
+        b.if_(raised, |b| b.ret_void());
+        let obj = payload(b, cell);
+        // Bucket index: with a symbolic hash this address is symbolic — the
+        // §4.2 symbolic-pointer pathology in its natural habitat.
+        let bi = b.and(h, super::layout::DICT_BUCKETS - 1);
+        let boff = b.mul(bi, 8u64);
+        let bp = b.add(obj, 16u64);
+        let bucket_addr = b.add(bp, boff);
+        let node = b.load_u64(bucket_addr);
+        b.while_(
+            |b| b.ne(node, 0u64),
+            |b| {
+                let nh = b.load_u64(node);
+                let same_h = b.eq(nh, h);
+                b.if_(same_h, |b| {
+                    let kp = b.add(node, 8u64);
+                    let nk = b.load_u64(kp);
+                    let keq = b.call(value_eq, &[nk.into(), key.into()]);
+                    b.if_(keq, |b| {
+                        let vp = b.add(node, 16u64);
+                        b.store_u64(vp, val);
+                        b.ret_void();
+                    });
+                });
+                let np = b.add(node, 24u64);
+                let next = b.load_u64(np);
+                b.set(node, next);
+            },
+        );
+        let n = b.call(malloc, &[32u64.into()]);
+        b.store_u64(n, h);
+        let kp = b.add(n, 8u64);
+        b.store_u64(kp, key);
+        let vp = b.add(n, 16u64);
+        b.store_u64(vp, val);
+        let head = b.load_u64(bucket_addr);
+        let np = b.add(n, 24u64);
+        b.store_u64(np, head);
+        b.store_u64(bucket_addr, n);
+        let cp = b.add(obj, 8u64);
+        let count = b.load_u64(cp);
+        let nc = b.add(count, 1u64);
+        b.store_u64(cp, nc);
+        b.ret_void();
+    });
+
+    mb.define(rt.dict_get, move |b| {
+        let cell = b.param(0);
+        let key = b.param(1);
+        let h = b.call(value_hash, &[key.into()]);
+        let exc = b.load_u64(exc_global);
+        let raised = b.ne(exc, 0u64);
+        b.if_(raised, |b| b.ret(0u64));
+        let obj = payload(b, cell);
+        let bi = b.and(h, super::layout::DICT_BUCKETS - 1);
+        let boff = b.mul(bi, 8u64);
+        let bp = b.add(obj, 16u64);
+        let bucket_addr = b.add(bp, boff);
+        let node = b.load_u64(bucket_addr);
+        b.while_(
+            |b| b.ne(node, 0u64),
+            |b| {
+                let nh = b.load_u64(node);
+                let same_h = b.eq(nh, h);
+                b.if_(same_h, |b| {
+                    let kp = b.add(node, 8u64);
+                    let nk = b.load_u64(kp);
+                    let keq = b.call(value_eq, &[nk.into(), key.into()]);
+                    b.if_(keq, |b| {
+                        let vp = b.add(node, 16u64);
+                        let v = b.load_u64(vp);
+                        b.ret(v);
+                    });
+                });
+                let np = b.add(node, 24u64);
+                let next = b.load_u64(np);
+                b.set(node, next);
+            },
+        );
+        b.ret(0u64);
+    });
+}
+
+// ----- small emission helpers -----
+
+fn is_space(b: &mut FnBuilder, c: Reg) -> Reg {
+    let sp = b.eq(c, b' ' as u64);
+    let tab = b.eq(c, b'\t' as u64);
+    let nl = b.eq(c, b'\n' as u64);
+    let cr = b.eq(c, b'\r' as u64);
+    let a = b.or(sp, tab);
+    let c2 = b.or(nl, cr);
+    b.or(a, c2)
+}
+
+/// Clamps a (possibly negative) Python slice index in place.
+fn clamp_index(b: &mut FnBuilder, idx: Reg, len: Reg) {
+    let neg = b.slt(idx, 0u64);
+    b.if_(neg, |b| {
+        let fixed = b.add(idx, len);
+        b.set(idx, fixed);
+    });
+    let still_neg = b.slt(idx, 0u64);
+    b.if_(still_neg, |b| b.set(idx, 0u64));
+    let over = b.slt(len, idx);
+    b.if_(over, |b| b.set(idx, len));
+}
+
+/// Copies `n` bytes from `src + src_off_const` to `dst + dst_off_const`.
+fn copy_bytes(b: &mut FnBuilder, src: Reg, src_off: u64, dst: Reg, dst_off: u64, n: Reg) {
+    let i = b.const_(0);
+    b.while_(
+        |b| b.ult(i, n),
+        |b| {
+            let sp = b.add(src, src_off);
+            let spa = b.add(sp, i);
+            let v = b.load_u8(spa);
+            let dp = b.add(dst, dst_off);
+            let dpa = b.add(dp, i);
+            b.store_u8(dpa, v);
+            let ni = b.add(i, 1u64);
+            b.set(i, ni);
+        },
+    );
+}
+
+/// Copies `n` bytes from `src + src_off_const` to `dst + dst_off_reg`.
+fn copy_bytes_reg(b: &mut FnBuilder, src: Reg, src_off: u64, dst: Reg, dst_off: Reg, n: Reg) {
+    let i = b.const_(0);
+    b.while_(
+        |b| b.ult(i, n),
+        |b| {
+            let sp = b.add(src, src_off);
+            let spa = b.add(sp, i);
+            let v = b.load_u8(spa);
+            let dp = b.add(dst, dst_off);
+            let dpa = b.add(dp, i);
+            b.store_u8(dpa, v);
+            let ni = b.add(i, 1u64);
+            b.set(i, ni);
+        },
+    );
+}
+
+/// Copies `n` bytes from `src + src_off_reg` to `dst + dst_off_const`.
+fn copy_bytes_reg2(b: &mut FnBuilder, src: Reg, src_off: Reg, dst: Reg, dst_off: u64, n: Reg) {
+    let i = b.const_(0);
+    b.while_(
+        |b| b.ult(i, n),
+        |b| {
+            let sp = b.add(src, src_off);
+            let spa = b.add(sp, i);
+            let v = b.load_u8(spa);
+            let dp = b.add(dst, dst_off);
+            let dpa = b.add(dp, i);
+            b.store_u8(dpa, v);
+            let ni = b.add(i, 1u64);
+            b.set(i, ni);
+        },
+    );
+}

@@ -1,0 +1,343 @@
+//! Indentation-aware lexer for MiniPy.
+
+use std::fmt;
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Kind and payload.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`Tok::is_kw`]).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Punctuation or operator, e.g. `"=="`, `"("`, `":"`.
+    Punct(&'static str),
+    /// End of a logical line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased (one level).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Whether this token is the given keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Punct(p) => write!(f, "'{p}'"),
+            Tok::Newline => write!(f, "newline"),
+            Tok::Indent => write!(f, "indent"),
+            Tok::Dedent => write!(f, "dedent"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "==", "!=", "<=", ">=", "+=", "-=", "*=", "//", "(", ")", "[", "]", "{", "}", ":", ",",
+    ".", "=", "+", "-", "*", "/", "%", "<", ">",
+];
+
+/// Tokenizes MiniPy source, producing `Indent`/`Dedent` tokens from leading
+/// whitespace like CPython's tokenizer.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals, bad indentation, or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut paren_depth = 0usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno as u32 + 1;
+        // Strip comments (naive: not inside strings — handled below by
+        // scanning characters instead).
+        let mut chars: Vec<char> = raw.chars().collect();
+        // Measure indentation.
+        let mut indent = 0usize;
+        let mut i = 0usize;
+        while i < chars.len() && (chars[i] == ' ' || chars[i] == '\t') {
+            indent += if chars[i] == '\t' { 8 } else { 1 };
+            i += 1;
+        }
+        // Skip blank lines and comment-only lines.
+        if i >= chars.len() || chars[i] == '#' {
+            continue;
+        }
+        if paren_depth == 0 {
+            let cur = *indents.last().unwrap();
+            if indent > cur {
+                indents.push(indent);
+                out.push(Token { line, kind: Tok::Indent });
+            } else if indent < cur {
+                while *indents.last().unwrap() > indent {
+                    indents.pop();
+                    out.push(Token { line, kind: Tok::Dedent });
+                }
+                if *indents.last().unwrap() != indent {
+                    return Err(LexError {
+                        line,
+                        message: "inconsistent dedent".into(),
+                    });
+                }
+            }
+        }
+        // Tokenize the rest of the line.
+        while i < chars.len() {
+            let c = chars[i];
+            if c == ' ' || c == '\t' {
+                i += 1;
+                continue;
+            }
+            if c == '#' {
+                break;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = text.parse::<i64>().map_err(|_| LexError {
+                    line,
+                    message: format!("integer literal {text} out of range"),
+                })?;
+                out.push(Token { line, kind: Tok::Int(v) });
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { line, kind: Tok::Ident(text) });
+                continue;
+            }
+            if c == '"' || c == '\'' {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = chars[i];
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\\' {
+                        i += 1;
+                        if i >= chars.len() {
+                            return Err(LexError {
+                                line,
+                                message: "bad escape at end of line".into(),
+                            });
+                        }
+                        let esc = chars[i];
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '0' => '\0',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            'x' => {
+                                if i + 2 >= chars.len() {
+                                    return Err(LexError {
+                                        line,
+                                        message: "bad \\x escape".into(),
+                                    });
+                                }
+                                let hex: String = chars[i + 1..=i + 2].iter().collect();
+                                i += 2;
+                                u8::from_str_radix(&hex, 16).map_err(|_| LexError {
+                                    line,
+                                    message: "bad \\x escape".into(),
+                                })? as char
+                            }
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unknown escape \\{other}"),
+                                })
+                            }
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    s.push(ch);
+                    i += 1;
+                }
+                out.push(Token { line, kind: Tok::Str(s) });
+                continue;
+            }
+            // Punctuation, longest match first.
+            let rest: String = chars[i..].iter().collect();
+            let mut matched = None;
+            for p in PUNCTS {
+                if rest.starts_with(p) {
+                    matched = Some(*p);
+                    break;
+                }
+            }
+            match matched {
+                Some(p) => {
+                    match p {
+                        "(" | "[" | "{" => paren_depth += 1,
+                        ")" | "]" | "}" => paren_depth = paren_depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    out.push(Token { line, kind: Tok::Punct(p) });
+                    i += p.len();
+                }
+                None => {
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected character '{c}'"),
+                    })
+                }
+            }
+        }
+        if paren_depth == 0 {
+            out.push(Token { line, kind: Tok::Newline });
+        }
+        let _ = chars.len();
+        chars.clear();
+    }
+    let last_line = source.lines().count() as u32;
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(Token { line: last_line, kind: Tok::Dedent });
+    }
+    out.push(Token { line: last_line, kind: Tok::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_line() {
+        let ks = kinds("x = 1 + 2\n");
+        assert_eq!(
+            ks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(1),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        let ks = kinds("def f():\n    return 1\n");
+        assert!(ks.contains(&Tok::Indent));
+        assert!(ks.contains(&Tok::Dedent));
+    }
+
+    #[test]
+    fn nested_indentation() {
+        let src = "def f():\n    if x:\n        y = 1\n    return y\n";
+        let ks = kinds(src);
+        let indents = ks.iter().filter(|k| **k == Tok::Indent).count();
+        let dedents = ks.iter().filter(|k| **k == Tok::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ks = kinds(r#"s = "a\n\t\x41""#);
+        assert!(ks.contains(&Tok::Str("a\n\tA".into())));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let ks = kinds("# comment\n\nx = 1  # trailing\n");
+        assert_eq!(ks.iter().filter(|k| **k == Tok::Newline).count(), 1);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let ks = kinds("a == b != c <= d >= e\n");
+        assert!(ks.contains(&Tok::Punct("==")));
+        assert!(ks.contains(&Tok::Punct("!=")));
+        assert!(ks.contains(&Tok::Punct("<=")));
+        assert!(ks.contains(&Tok::Punct(">=")));
+    }
+
+    #[test]
+    fn parens_allow_continuation() {
+        let ks = kinds("f(a,\n  b)\n");
+        // No Newline until the closing paren's line ends.
+        let newline_count = ks.iter().filter(|k| **k == Tok::Newline).count();
+        assert_eq!(newline_count, 1);
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        let src = "def f():\n        x = 1\n    y = 2\n";
+        assert!(lex(src).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("s = \"abc\n").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! # chef-minipy — the Python-subset interpreter (the CPython substitute)
+//!
+//! MiniPy is the "target language" of this Chef reproduction's Python
+//! engine. Following §5.1 of the paper:
+//!
+//! 1. Source is compiled natively to stack bytecode ([`compile`]),
+//! 2. the *interpreter* for that bytecode — dispatch loop and runtime
+//!    (strings, dicts, lists, exceptions, allocator) — is emitted as LIR
+//!    and runs on the low-level engine ([`build_program`]),
+//! 3. the interpreter loop reports `log_pc(code_id ++ offset, opcode)`,
+//! 4. a [`SymbolicTest`] describes the symbolic inputs (§4.3),
+//! 5. [`InterpreterOptions`] toggles the §4.2 optimizations (hash
+//!    neutralization, symbolic-pointer avoidance, interning and fast-path
+//!    elimination).
+//!
+//! A native reference evaluator ([`pyref`]) provides the differential
+//! oracle: LIR interpretation and direct AST evaluation must agree on all
+//! concrete runs.
+//!
+//! # Examples
+//!
+//! Symbolically execute a tiny validator and get test cases for both
+//! outcomes:
+//!
+//! ```
+//! use chef_core::{Chef, ChefConfig};
+//! use chef_minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+//!
+//! let src = "def check(s):\n    if s == \"ok\":\n        return 1\n    return 0\n";
+//! let module = compile(src).unwrap();
+//! let test = SymbolicTest::new("check").sym_str("s", 2);
+//! let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+//! let report = Chef::new(&prog, ChefConfig::default()).run();
+//! assert!(report.tests.iter().any(|t| t.inputs["s"] == b"ok"));
+//! ```
+
+pub mod ast;
+pub mod bytecode;
+pub mod compiler;
+pub mod interp;
+pub mod lexer;
+pub mod options;
+pub mod parser;
+pub mod pyref;
+pub mod testlib;
+
+pub use bytecode::{hlpc, CodeObj, CompiledModule, Const};
+pub use compiler::{compile, compile_module, CompileError};
+pub use interp::{build_program, BuildError, STATUS_EXCEPTION, STATUS_OK};
+pub use options::InterpreterOptions;
+pub use parser::{parse, ParseError};
+pub use testlib::{SymbolicTest, SymbolicValue};

@@ -1,0 +1,109 @@
+//! Interpreter build options: the symbolic-execution optimizations of §4.2.
+//!
+//! These correspond to the paper's `--with-symbex` configure flag and the
+//! cumulative builds of Figure 11 / Figure 12: each flag changes how the
+//! interpreter *runtime* is compiled to LIR, never what it computes.
+
+/// Which §4.2 optimizations are compiled into the interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct InterpreterOptions {
+    /// Replace string/int hash functions with a degenerate constant
+    /// ("Neutralizing Hash Functions"): dict lookups become list traversals
+    /// instead of asking the solver to invert a hash.
+    pub neutralize_hashes: bool,
+    /// Wrap the guest allocator so symbolic sizes are replaced by their
+    /// `upper_bound` (Figure 6), keeping the heap pointer concrete.
+    pub avoid_symbolic_pointers: bool,
+    /// Disable small-int and 1-character-string interning ("caching and
+    /// interning can be eliminated"): interning makes a value's address
+    /// depend on the value, creating symbolic pointers.
+    pub eliminate_interning: bool,
+    /// Replace early-return fast paths (e.g. string equality's length
+    /// shortcut) with single-path full traversals ("Avoiding Fast Paths").
+    pub eliminate_fast_paths: bool,
+}
+
+impl InterpreterOptions {
+    /// The vanilla interpreter: no symbex optimizations (the paper's
+    /// baseline build).
+    pub fn vanilla() -> Self {
+        Self::default()
+    }
+
+    /// All optimizations on (the paper's `--with-symbex` build).
+    pub fn all() -> Self {
+        InterpreterOptions {
+            neutralize_hashes: true,
+            avoid_symbolic_pointers: true,
+            eliminate_interning: true,
+            eliminate_fast_paths: true,
+        }
+    }
+
+    /// The cumulative builds of Figure 11/12, in the paper's order:
+    /// none → +symbolic-pointer avoidance → +hash neutralization →
+    /// +fast-path elimination.
+    ///
+    /// (Interning elimination rides with symbolic-pointer avoidance, as both
+    /// target value-address dependence.)
+    pub fn cumulative() -> [(&'static str, Self); 4] {
+        let none = Self::vanilla();
+        let symptr = InterpreterOptions {
+            avoid_symbolic_pointers: true,
+            eliminate_interning: true,
+            ..none
+        };
+        let hash = InterpreterOptions { neutralize_hashes: true, ..symptr };
+        let fast = InterpreterOptions { eliminate_fast_paths: true, ..hash };
+        [
+            ("none", none),
+            ("+symptr", symptr),
+            ("+hash", hash),
+            ("+fastpath", fast),
+        ]
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> String {
+        if *self == Self::all() {
+            return "full".into();
+        }
+        if *self == Self::vanilla() {
+            return "vanilla".into();
+        }
+        let mut parts = Vec::new();
+        if self.avoid_symbolic_pointers {
+            parts.push("symptr");
+        }
+        if self.neutralize_hashes {
+            parts.push("hash");
+        }
+        if self.eliminate_interning {
+            parts.push("intern");
+        }
+        if self.eliminate_fast_paths {
+            parts.push("fastpath");
+        }
+        parts.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_builds_are_monotone() {
+        let builds = InterpreterOptions::cumulative();
+        assert_eq!(builds[0].1, InterpreterOptions::vanilla());
+        assert!(builds[1].1.avoid_symbolic_pointers);
+        assert!(builds[2].1.neutralize_hashes);
+        assert!(builds[3].1.eliminate_fast_paths);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(InterpreterOptions::vanilla().label(), "vanilla");
+        assert_eq!(InterpreterOptions::all().label(), "full");
+    }
+}

@@ -1,0 +1,691 @@
+//! Recursive-descent parser for MiniPy.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, ExprKind, FuncDef, Module, Stmt, StmtKind, UnOp};
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses MiniPy source into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// let m = chef_minipy::parse("def f(x):\n    return x + 1\n").unwrap();
+/// assert_eq!(m.funcs.len(), 1);
+/// assert_eq!(m.funcs[0].name, "f");
+/// ```
+pub fn parse(source: &str) -> Result<Module, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "def", "if", "elif", "else", "while", "return", "break", "continue", "pass", "raise",
+    "try", "except", "and", "or", "not", "in", "True", "False", "None",
+];
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{p}', found {}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', found {}", self.peek()))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Newline {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected end of line, found {}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut funcs = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                Tok::Ident(s) if s == "def" => funcs.push(self.funcdef()?),
+                other => return self.err(format!("expected 'def', found {other}")),
+            }
+        }
+        Ok(Module { funcs })
+    }
+
+    fn funcdef(&mut self) -> Result<FuncDef, ParseError> {
+        let line = self.line();
+        self.expect_kw("def")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct(":")?;
+        let body = self.suite()?;
+        Ok(FuncDef { name, params, body, line })
+    }
+
+    fn suite(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_newline()?;
+        if *self.peek() != Tok::Indent {
+            return self.err("expected an indented block");
+        }
+        self.bump();
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::Dedent {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // Dedent
+        if stmts.is_empty() {
+            return self.err("empty block");
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "if" => self.if_stmt(),
+            Tok::Ident(s) if s == "while" => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect_punct(":")?;
+                let body = self.suite()?;
+                Ok(Stmt { line, kind: StmtKind::While(cond, body) })
+            }
+            Tok::Ident(s) if s == "try" => self.try_stmt(),
+            Tok::Ident(s) if s == "return" => {
+                self.bump();
+                let value = if *self.peek() == Tok::Newline {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_newline()?;
+                Ok(Stmt { line, kind: StmtKind::Return(value) })
+            }
+            Tok::Ident(s) if s == "break" => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt { line, kind: StmtKind::Break })
+            }
+            Tok::Ident(s) if s == "continue" => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt { line, kind: StmtKind::Continue })
+            }
+            Tok::Ident(s) if s == "pass" => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt { line, kind: StmtKind::Pass })
+            }
+            Tok::Ident(s) if s == "raise" => {
+                self.bump();
+                let name = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat_punct("(") {
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                }
+                self.expect_newline()?;
+                Ok(Stmt { line, kind: StmtKind::Raise(name, args) })
+            }
+            _ => self.simple_stmt(),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_kw("if")?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect_punct(":")?;
+        arms.push((cond, self.suite()?));
+        let mut els = Vec::new();
+        loop {
+            if self.peek().is_kw("elif") {
+                self.bump();
+                let c = self.expr()?;
+                self.expect_punct(":")?;
+                arms.push((c, self.suite()?));
+            } else if self.peek().is_kw("else") {
+                self.bump();
+                self.expect_punct(":")?;
+                els = self.suite()?;
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt { line, kind: StmtKind::If(arms, els) })
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_kw("try")?;
+        self.expect_punct(":")?;
+        let body = self.suite()?;
+        let mut clauses = Vec::new();
+        while self.peek().is_kw("except") {
+            self.bump();
+            let name = if *self.peek() == Tok::Punct(":") {
+                None
+            } else {
+                Some(self.ident()?)
+            };
+            self.expect_punct(":")?;
+            let handler = self.suite()?;
+            clauses.push((name, handler));
+        }
+        if clauses.is_empty() {
+            return self.err("try without except");
+        }
+        Ok(Stmt { line, kind: StmtKind::Try(body, clauses) })
+    }
+
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let e = self.expr()?;
+        // Assignment forms.
+        if *self.peek() == Tok::Punct("=") {
+            self.bump();
+            let value = self.expr()?;
+            self.expect_newline()?;
+            return match e.kind {
+                ExprKind::Name(n) => Ok(Stmt { line, kind: StmtKind::Assign(n, value) }),
+                ExprKind::Index(obj, idx) => {
+                    Ok(Stmt { line, kind: StmtKind::IndexAssign(*obj, *idx, value) })
+                }
+                _ => self.err("invalid assignment target"),
+            };
+        }
+        for (p, op) in [("+=", BinOp::Add), ("-=", BinOp::Sub), ("*=", BinOp::Mul)] {
+            if *self.peek() == Tok::Punct(p) {
+                self.bump();
+                let rhs = self.expr()?;
+                self.expect_newline()?;
+                return match e.kind.clone() {
+                    ExprKind::Name(n) => {
+                        let combined = Expr {
+                            line,
+                            kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+                        };
+                        Ok(Stmt { line, kind: StmtKind::Assign(n, combined) })
+                    }
+                    ExprKind::Index(obj, idx) => {
+                        let combined = Expr {
+                            line,
+                            kind: ExprKind::Bin(op, Box::new(e.clone()), Box::new(rhs)),
+                        };
+                        Ok(Stmt {
+                            line,
+                            kind: StmtKind::IndexAssign(*obj, *idx, combined),
+                        })
+                    }
+                    _ => self.err("invalid augmented assignment target"),
+                };
+            }
+        }
+        self.expect_newline()?;
+        Ok(Stmt { line, kind: StmtKind::Expr(e) })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.peek().is_kw("or") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            e = Expr { line, kind: ExprKind::Or(Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.not_expr()?;
+        while self.peek().is_kw("and") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.not_expr()?;
+            e = Expr { line, kind: ExprKind::And(Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek().is_kw("not") {
+            let line = self.line();
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(inner)) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let e = self.arith()?;
+        let line = self.line();
+        let op = match self.peek().clone() {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            Tok::Ident(s) if s == "in" => Some(BinOp::In),
+            Tok::Ident(s) if s == "not" => {
+                // "not in"
+                self.bump();
+                self.expect_kw("in")?;
+                let rhs = self.arith()?;
+                return Ok(Expr {
+                    line,
+                    kind: ExprKind::Bin(BinOp::NotIn, Box::new(e), Box::new(rhs)),
+                });
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(e),
+            Some(op) => {
+                self.bump();
+                let rhs = self.arith()?;
+                Ok(Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) })
+            }
+        }
+    }
+
+    fn arith(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") | Tok::Punct("//") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Tok::Punct("-") {
+            let line = self.line();
+            self.bump();
+            let inner = self.factor()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(inner)) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::Punct("(") => {
+                    // Only names are callable (module functions/builtins).
+                    let name = match &e.kind {
+                        ExprKind::Name(n) => n.clone(),
+                        _ => return self.err("only named functions can be called"),
+                    };
+                    self.bump();
+                    let args = self.call_args()?;
+                    e = Expr { line, kind: ExprKind::Call(name, args) };
+                }
+                Tok::Punct("[") => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    if self.eat_punct(":") {
+                        let hi = self.expr()?;
+                        self.expect_punct("]")?;
+                        e = Expr {
+                            line,
+                            kind: ExprKind::Slice(Box::new(e), Box::new(idx), Box::new(hi)),
+                        };
+                    } else {
+                        self.expect_punct("]")?;
+                        e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                    }
+                }
+                Tok::Punct(".") => {
+                    self.bump();
+                    let method = self.ident()?;
+                    self.expect_punct("(")?;
+                    let args = self.call_args()?;
+                    e = Expr {
+                        line,
+                        kind: ExprKind::MethodCall(Box::new(e), method, args),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(")") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(args)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Int(v) })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Str(s) })
+            }
+            Tok::Ident(s) if s == "True" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::True })
+            }
+            Tok::Ident(s) if s == "False" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::False })
+            }
+            Tok::Ident(s) if s == "None" => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::None })
+            }
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Name(s) })
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr { line, kind: ExprKind::List(items) })
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let k = self.expr()?;
+                        self.expect_punct(":")?;
+                        let v = self.expr()?;
+                        items.push((k, v));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr { line, kind: ExprKind::Dict(items) })
+            }
+            other => self.err(format!("unexpected {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn parses_function() {
+        let m = parse("def add(a, b):\n    return a + b\n").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_if_elif_else() {
+        let src = "def f(x):\n    if x == 1:\n        return 1\n    elif x == 2:\n        return 2\n    else:\n        return 3\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::If(arms, els) => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_while_with_break_continue() {
+        let src =
+            "def f():\n    while True:\n        if x:\n            break\n        continue\n";
+        let m = parse(src).unwrap();
+        assert!(matches!(m.funcs[0].body[0].kind, StmtKind::While(..)));
+    }
+
+    #[test]
+    fn parses_try_except() {
+        let src = "def f():\n    try:\n        g()\n    except ValueError:\n        return 1\n    except:\n        return 2\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Try(_, clauses) => {
+                assert_eq!(clauses.len(), 2);
+                assert_eq!(clauses[0].0.as_deref(), Some("ValueError"));
+                assert!(clauses[1].0.is_none());
+            }
+            other => panic!("expected try, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_method_calls_and_indexing() {
+        let src = "def f(s):\n    p = s.find(\"@\")\n    c = s[0]\n    t = s[1:3]\n    return p\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_dict_and_list_literals() {
+        let src = "def f():\n    d = {\"a\": 1, \"b\": 2}\n    l = [1, 2, 3]\n    return d\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Assign(_, e) => assert!(matches!(e.kind, ExprKind::Dict(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let src = "def f(d):\n    if \"k\" in d:\n        return 1\n    if \"k\" not in d:\n        return 2\n    return 0\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn augmented_assign_desugars() {
+        let src = "def f(x):\n    x += 1\n    return x\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Assign(n, e) => {
+                assert_eq!(n, "x");
+                assert!(matches!(e.kind, ExprKind::Bin(BinOp::Add, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_or() {
+        let src = "def f(a, b, c):\n    return a or b and c\n";
+        let m = parse(src).unwrap();
+        match &m.funcs[0].body[0].kind {
+            StmtKind::Return(Some(e)) => assert!(matches!(e.kind, ExprKind::Or(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("def f():\n    1 = 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_top_level_statement() {
+        assert!(parse("x = 1\n").is_err());
+    }
+
+    #[test]
+    fn raise_with_message() {
+        let src = "def f():\n    raise ValueError(\"bad\")\n";
+        let m = parse(src).unwrap();
+        assert!(matches!(m.funcs[0].body[0].kind, StmtKind::Raise(..)));
+    }
+}

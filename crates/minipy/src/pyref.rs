@@ -1,0 +1,667 @@
+//! Native reference interpreter for MiniPy.
+//!
+//! A direct AST evaluator used as a *differential-testing oracle* for the
+//! LIR interpreter: both must agree on every concrete execution. Its
+//! semantics deliberately mirror the LIR runtime (i64 wrapping arithmetic,
+//! Python floor division, the same exception names, `chr` masking to a
+//! byte).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Expr, ExprKind, Module, Stmt, StmtKind, UnOp};
+
+/// A MiniPy value.
+#[derive(Clone, Debug)]
+pub enum PyVal {
+    /// `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (i64, wrapping like the LIR runtime).
+    Int(i64),
+    /// Byte string.
+    Str(Rc<Vec<u8>>),
+    /// List (shared, mutable).
+    List(Rc<RefCell<Vec<PyVal>>>),
+    /// Dict as an association list (shared, mutable) — semantics only, no
+    /// hashing.
+    Dict(Rc<RefCell<Vec<(PyVal, PyVal)>>>),
+}
+
+impl PyVal {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<[u8]>) -> Self {
+        PyVal::Str(Rc::new(s.as_ref().to_vec()))
+    }
+
+    /// Truthiness, matching the LIR runtime.
+    pub fn truthy(&self) -> bool {
+        match self {
+            PyVal::None => false,
+            PyVal::Bool(b) => *b,
+            PyVal::Int(v) => *v != 0,
+            PyVal::Str(s) => !s.is_empty(),
+            PyVal::List(l) => !l.borrow().is_empty(),
+            PyVal::Dict(d) => !d.borrow().is_empty(),
+        }
+    }
+
+    /// Value equality, matching the LIR runtime (bools compare as ints,
+    /// lists/dicts by identity).
+    pub fn py_eq(&self, other: &PyVal) -> bool {
+        use PyVal::*;
+        match (self, other) {
+            (None, None) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Bool(a), Int(b)) | (Int(b), Bool(a)) => (*a as i64) == *b,
+            (Int(a), Int(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (List(a), List(b)) => Rc::ptr_eq(a, b),
+            (Dict(a), Dict(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            PyVal::Int(v) => Some(*v),
+            PyVal::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+}
+
+/// How a reference run ended.
+#[derive(Clone, Debug)]
+pub enum PyOutcome {
+    /// Normal return.
+    Value(PyVal),
+    /// An exception escaped, with its class name.
+    Exception(String),
+    /// The step budget ran out (hang analogue).
+    OutOfFuel,
+}
+
+enum Flow {
+    Raise(String),
+    Return(PyVal),
+    Break,
+    Continue,
+    OutOfFuel,
+}
+
+/// Runs `entry(args...)` on the reference interpreter with a step budget.
+///
+/// # Errors
+///
+/// Returns a message for *internal* errors (unknown function, wrong arity) —
+/// conditions the compiler would have rejected.
+pub fn run(
+    module: &Module,
+    entry: &str,
+    args: Vec<PyVal>,
+    fuel: u64,
+) -> Result<PyOutcome, String> {
+    let mut ev = Evaluator { module, fuel };
+    match ev.call(entry, args) {
+        Ok(v) => Ok(PyOutcome::Value(v)),
+        Err(Flow::Raise(name)) => Ok(PyOutcome::Exception(name)),
+        Err(Flow::OutOfFuel) => Ok(PyOutcome::OutOfFuel),
+        Err(Flow::Return(_)) | Err(Flow::Break) | Err(Flow::Continue) => {
+            Err("control flow escaped function".into())
+        }
+    }
+}
+
+struct Evaluator<'m> {
+    module: &'m Module,
+    fuel: u64,
+}
+
+type Locals = HashMap<String, PyVal>;
+
+impl Evaluator<'_> {
+    fn tick(&mut self) -> Result<(), Flow> {
+        if self.fuel == 0 {
+            return Err(Flow::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: Vec<PyVal>) -> Result<PyVal, Flow> {
+        let f = self
+            .module
+            .func(name)
+            .unwrap_or_else(|| panic!("unknown function {name}"));
+        assert_eq!(f.params.len(), args.len(), "arity checked by compiler");
+        let mut locals: Locals = f.params.iter().cloned().zip(args).collect();
+        match self.block(&f.body, &mut locals) {
+            Ok(()) => Ok(PyVal::None),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(other) => Err(other),
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt], locals: &mut Locals) -> Result<(), Flow> {
+        for s in stmts {
+            self.stmt(s, locals)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, locals: &mut Locals) -> Result<(), Flow> {
+        self.tick()?;
+        match &s.kind {
+            StmtKind::Pass => Ok(()),
+            StmtKind::Assign(n, e) => {
+                let v = self.expr(e, locals)?;
+                locals.insert(n.clone(), v);
+                Ok(())
+            }
+            StmtKind::IndexAssign(obj, idx, val) => {
+                let o = self.expr(obj, locals)?;
+                let i = self.expr(idx, locals)?;
+                let v = self.expr(val, locals)?;
+                match o {
+                    PyVal::List(l) => {
+                        let mut l = l.borrow_mut();
+                        let n = l.len() as i64;
+                        let Some(mut iv) = i.as_int() else {
+                            return Err(Flow::Raise("TypeError".into()));
+                        };
+                        if iv < 0 {
+                            iv += n;
+                        }
+                        if iv < 0 || iv >= n {
+                            return Err(Flow::Raise("IndexError".into()));
+                        }
+                        l[iv as usize] = v;
+                        Ok(())
+                    }
+                    PyVal::Dict(d) => {
+                        let mut d = d.borrow_mut();
+                        for (k, slot) in d.iter_mut() {
+                            if k.py_eq(&i) {
+                                *slot = v;
+                                return Ok(());
+                            }
+                        }
+                        hash_check(&i)?;
+                        d.push((i, v));
+                        Ok(())
+                    }
+                    _ => Err(Flow::Raise("TypeError".into())),
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e, locals)?;
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.expr(e, locals)?,
+                    None => PyVal::None,
+                };
+                Err(Flow::Return(v))
+            }
+            StmtKind::Break => Err(Flow::Break),
+            StmtKind::Continue => Err(Flow::Continue),
+            StmtKind::Raise(name, args) => {
+                for a in args {
+                    self.expr(a, locals)?;
+                }
+                Err(Flow::Raise(name.clone()))
+            }
+            StmtKind::If(arms, els) => {
+                for (cond, body) in arms {
+                    if self.expr(cond, locals)?.truthy() {
+                        return self.block(body, locals);
+                    }
+                }
+                self.block(els, locals)
+            }
+            StmtKind::While(cond, body) => {
+                loop {
+                    self.tick()?;
+                    if !self.expr(cond, locals)?.truthy() {
+                        break;
+                    }
+                    match self.block(body, locals) {
+                        Ok(()) => {}
+                        Err(Flow::Break) => break,
+                        Err(Flow::Continue) => continue,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Try(body, clauses) => match self.block(body, locals) {
+                Ok(()) => Ok(()),
+                Err(Flow::Raise(name)) => {
+                    for (want, handler) in clauses {
+                        let matches = match want {
+                            Some(w) => *w == name,
+                            None => true,
+                        };
+                        if matches {
+                            return self.block(handler, locals);
+                        }
+                    }
+                    Err(Flow::Raise(name))
+                }
+                Err(other) => Err(other),
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, locals: &mut Locals) -> Result<PyVal, Flow> {
+        self.tick()?;
+        match &e.kind {
+            ExprKind::Int(v) => Ok(PyVal::Int(*v)),
+            ExprKind::Str(s) => Ok(PyVal::str(s.as_bytes())),
+            ExprKind::True => Ok(PyVal::Bool(true)),
+            ExprKind::False => Ok(PyVal::Bool(false)),
+            ExprKind::None => Ok(PyVal::None),
+            ExprKind::Name(n) => match locals.get(n) {
+                Some(v) => Ok(v.clone()),
+                None => Ok(PyVal::None), // uninitialized locals are None
+            },
+            ExprKind::And(a, b) => {
+                let va = self.expr(a, locals)?;
+                if !va.truthy() {
+                    Ok(va)
+                } else {
+                    self.expr(b, locals)
+                }
+            }
+            ExprKind::Or(a, b) => {
+                let va = self.expr(a, locals)?;
+                if va.truthy() {
+                    Ok(va)
+                } else {
+                    self.expr(b, locals)
+                }
+            }
+            ExprKind::Un(op, a) => {
+                let v = self.expr(a, locals)?;
+                match op {
+                    UnOp::Not => Ok(PyVal::Bool(!v.truthy())),
+                    UnOp::Neg => match v.as_int() {
+                        Some(i) => Ok(PyVal::Int(i.wrapping_neg())),
+                        None => Err(Flow::Raise("TypeError".into())),
+                    },
+                }
+            }
+            ExprKind::Bin(op, a, b) => {
+                let va = self.expr(a, locals)?;
+                let vb = self.expr(b, locals)?;
+                self.binop(*op, va, vb)
+            }
+            ExprKind::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                self.call_any(name, vals)
+            }
+            ExprKind::MethodCall(obj, name, args) => {
+                let recv = self.expr(obj, locals)?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                self.method(recv, name, vals)
+            }
+            ExprKind::Index(obj, idx) => {
+                let o = self.expr(obj, locals)?;
+                let i = self.expr(idx, locals)?;
+                self.index(o, i)
+            }
+            ExprKind::Slice(obj, lo, hi) => {
+                let o = self.expr(obj, locals)?;
+                let l = self.expr(lo, locals)?;
+                let h = self.expr(hi, locals)?;
+                match (o, l.as_int(), h.as_int()) {
+                    (PyVal::Str(s), Some(l), Some(h)) => {
+                        let n = s.len() as i64;
+                        let clamp = |mut x: i64| {
+                            if x < 0 {
+                                x += n;
+                            }
+                            x.clamp(0, n)
+                        };
+                        let (lo, hi) = (clamp(l), clamp(h).max(clamp(l)));
+                        Ok(PyVal::str(&s[lo as usize..hi as usize]))
+                    }
+                    _ => Err(Flow::Raise("TypeError".into())),
+                }
+            }
+            ExprKind::List(items) => {
+                let mut v = Vec::with_capacity(items.len());
+                for i in items {
+                    v.push(self.expr(i, locals)?);
+                }
+                Ok(PyVal::List(Rc::new(RefCell::new(v))))
+            }
+            ExprKind::Dict(items) => {
+                let mut v: Vec<(PyVal, PyVal)> = Vec::with_capacity(items.len());
+                for (k, val) in items {
+                    let kv = self.expr(k, locals)?;
+                    let vv = self.expr(val, locals)?;
+                    hash_check(&kv)?;
+                    if let Some(slot) = v.iter_mut().find(|(ek, _)| ek.py_eq(&kv)) {
+                        slot.1 = vv;
+                    } else {
+                        v.push((kv, vv));
+                    }
+                }
+                Ok(PyVal::Dict(Rc::new(RefCell::new(v))))
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: PyVal, b: PyVal) -> Result<PyVal, Flow> {
+        use BinOp::*;
+        match op {
+            Add => match (&a, &b) {
+                (PyVal::Str(x), PyVal::Str(y)) => {
+                    let mut s = x.as_ref().clone();
+                    s.extend_from_slice(y);
+                    Ok(PyVal::Str(Rc::new(s)))
+                }
+                _ => int_op(a, b, |x, y| Ok(x.wrapping_add(y))),
+            },
+            Sub => int_op(a, b, |x, y| Ok(x.wrapping_sub(y))),
+            Mul => int_op(a, b, |x, y| Ok(x.wrapping_mul(y))),
+            Div => int_op(a, b, |x, y| {
+                if y == 0 {
+                    Err(Flow::Raise("ZeroDivisionError".into()))
+                } else {
+                    Ok(x.div_euclid(y))
+                }
+            }),
+            Mod => int_op(a, b, |x, y| {
+                if y == 0 {
+                    Err(Flow::Raise("ZeroDivisionError".into()))
+                } else {
+                    Ok(x.rem_euclid(y))
+                }
+            }),
+            Eq => Ok(PyVal::Bool(a.py_eq(&b))),
+            Ne => Ok(PyVal::Bool(!a.py_eq(&b))),
+            Lt => ord_op(a, b, |o| o.is_lt()),
+            Le => ord_op(a, b, |o| o.is_le()),
+            Gt => ord_op(a, b, |o| o.is_gt()),
+            Ge => ord_op(a, b, |o| o.is_ge()),
+            In => self.contains(a, b).map(PyVal::Bool),
+            NotIn => self.contains(a, b).map(|r| PyVal::Bool(!r)),
+        }
+    }
+
+    fn contains(&mut self, item: PyVal, container: PyVal) -> Result<bool, Flow> {
+        match container {
+            PyVal::Dict(d) => {
+                hash_check(&item)?;
+                Ok(d.borrow().iter().any(|(k, _)| k.py_eq(&item)))
+            }
+            PyVal::Str(h) => match item {
+                PyVal::Str(n) => Ok(find_sub(&h, &n) >= 0),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            PyVal::List(l) => Ok(l.borrow().iter().any(|v| v.py_eq(&item))),
+            _ => Err(Flow::Raise("TypeError".into())),
+        }
+    }
+
+    fn index(&mut self, obj: PyVal, idx: PyVal) -> Result<PyVal, Flow> {
+        match obj {
+            PyVal::Str(s) => {
+                let Some(mut i) = idx.as_int() else {
+                    return Err(Flow::Raise("TypeError".into()));
+                };
+                let n = s.len() as i64;
+                if i < 0 {
+                    i += n;
+                }
+                if i < 0 || i >= n {
+                    return Err(Flow::Raise("IndexError".into()));
+                }
+                Ok(PyVal::str(&s[i as usize..=i as usize]))
+            }
+            PyVal::List(l) => {
+                let Some(mut i) = idx.as_int() else {
+                    return Err(Flow::Raise("TypeError".into()));
+                };
+                let l = l.borrow();
+                let n = l.len() as i64;
+                if i < 0 {
+                    i += n;
+                }
+                if i < 0 || i >= n {
+                    return Err(Flow::Raise("IndexError".into()));
+                }
+                Ok(l[i as usize].clone())
+            }
+            PyVal::Dict(d) => {
+                hash_check(&idx)?;
+                d.borrow()
+                    .iter()
+                    .find(|(k, _)| k.py_eq(&idx))
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| Flow::Raise("KeyError".into()))
+            }
+            _ => Err(Flow::Raise("TypeError".into())),
+        }
+    }
+
+    fn call_any(&mut self, name: &str, args: Vec<PyVal>) -> Result<PyVal, Flow> {
+        if self.module.func(name).is_some() {
+            return self.call(name, args);
+        }
+        match name {
+            "len" => match &args[0] {
+                PyVal::Str(s) => Ok(PyVal::Int(s.len() as i64)),
+                PyVal::List(l) => Ok(PyVal::Int(l.borrow().len() as i64)),
+                PyVal::Dict(d) => Ok(PyVal::Int(d.borrow().len() as i64)),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            "ord" => match &args[0] {
+                PyVal::Str(s) if s.len() == 1 => Ok(PyVal::Int(s[0] as i64)),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            "chr" => match args[0].as_int() {
+                Some(v) => Ok(PyVal::str([(v & 0xff) as u8])),
+                None => Err(Flow::Raise("TypeError".into())),
+            },
+            "int" => match &args[0] {
+                PyVal::Str(s) => parse_int(s).map(PyVal::Int),
+                PyVal::Int(v) => Ok(PyVal::Int(*v)),
+                PyVal::Bool(b) => Ok(PyVal::Int(*b as i64)),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            "str" => match &args[0] {
+                PyVal::Str(_) => Ok(args[0].clone()),
+                PyVal::Int(v) => Ok(PyVal::str(v.to_string().as_bytes())),
+                PyVal::Bool(b) => Ok(PyVal::str(if *b { "True" } else { "False" })),
+                PyVal::None => Ok(PyVal::str("None")),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            "print" => Ok(PyVal::None),
+            _ => Err(format!("unknown function {name}")).map_err(|m| Flow::Raise(m)),
+        }
+    }
+
+    fn method(&mut self, recv: PyVal, name: &str, args: Vec<PyVal>) -> Result<PyVal, Flow> {
+        match (recv, name) {
+            (PyVal::Str(s), "find") => match &args[0] {
+                PyVal::Str(n) => Ok(PyVal::Int(find_sub(&s, n))),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            (PyVal::Str(s), "startswith") => match &args[0] {
+                PyVal::Str(p) => Ok(PyVal::Bool(s.starts_with(p.as_slice()))),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            (PyVal::Str(s), "endswith") => match &args[0] {
+                PyVal::Str(p) => Ok(PyVal::Bool(s.ends_with(p.as_slice()))),
+                _ => Err(Flow::Raise("TypeError".into())),
+            },
+            (PyVal::Str(s), "strip") => {
+                let is_ws = |c: &u8| matches!(c, b' ' | b'\t' | b'\n' | b'\r');
+                let start = s.iter().position(|c| !is_ws(c)).unwrap_or(s.len());
+                let end = s.iter().rposition(|c| !is_ws(c)).map_or(start, |e| e + 1);
+                Ok(PyVal::str(&s[start..end]))
+            }
+            (PyVal::Dict(d), "get") => {
+                hash_check(&args[0])?;
+                let found = d.borrow().iter().find(|(k, _)| k.py_eq(&args[0])).map(|(_, v)| v.clone());
+                match found {
+                    Some(v) => Ok(v),
+                    None => Ok(args.get(1).cloned().unwrap_or(PyVal::None)),
+                }
+            }
+            (PyVal::List(l), "append") => {
+                l.borrow_mut().push(args[0].clone());
+                Ok(PyVal::None)
+            }
+            _ => Err(Flow::Raise("TypeError".into())),
+        }
+    }
+}
+
+fn hash_check(v: &PyVal) -> Result<(), Flow> {
+    match v {
+        PyVal::List(_) | PyVal::Dict(_) => Err(Flow::Raise("TypeError".into())),
+        _ => Ok(()),
+    }
+}
+
+fn int_op(a: PyVal, b: PyVal, f: impl FnOnce(i64, i64) -> Result<i64, Flow>) -> Result<PyVal, Flow> {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => f(x, y).map(PyVal::Int),
+        _ => Err(Flow::Raise("TypeError".into())),
+    }
+}
+
+fn ord_op(
+    a: PyVal,
+    b: PyVal,
+    f: impl FnOnce(std::cmp::Ordering) -> bool,
+) -> Result<PyVal, Flow> {
+    if let (PyVal::Str(x), PyVal::Str(y)) = (&a, &b) {
+        return Ok(PyVal::Bool(f(x.cmp(y))));
+    }
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => Ok(PyVal::Bool(f(x.cmp(&y)))),
+        _ => Err(Flow::Raise("TypeError".into())),
+    }
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> i64 {
+    if needle.is_empty() {
+        return 0;
+    }
+    if needle.len() > hay.len() {
+        return -1;
+    }
+    for i in 0..=(hay.len() - needle.len()) {
+        if &hay[i..i + needle.len()] == needle {
+            return i as i64;
+        }
+    }
+    -1
+}
+
+fn parse_int(s: &[u8]) -> Result<i64, Flow> {
+    if s.is_empty() {
+        return Err(Flow::Raise("ValueError".into()));
+    }
+    let (neg, digits) = if s[0] == b'-' { (true, &s[1..]) } else { (false, s) };
+    if digits.is_empty() {
+        return Err(Flow::Raise("ValueError".into()));
+    }
+    let mut acc: i64 = 0;
+    for &c in digits {
+        if !c.is_ascii_digit() {
+            return Err(Flow::Raise("ValueError".into()));
+        }
+        acc = acc.wrapping_mul(10).wrapping_add((c - b'0') as i64);
+    }
+    Ok(if neg { acc.wrapping_neg() } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run_src(src: &str, entry: &str, args: Vec<PyVal>) -> PyOutcome {
+        let m = parse(src).unwrap();
+        run(&m, entry, args, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = "def f(n):\n    i = 0\n    acc = 0\n    while i < n:\n        acc += i\n        i += 1\n    return acc\n";
+        match run_src(src, "f", vec![PyVal::Int(10)]) {
+            PyOutcome::Value(PyVal::Int(45)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exceptions_propagate_and_catch() {
+        let src = "def f(x):\n    try:\n        if x == 1:\n            raise ValueError\n        return 0\n    except ValueError:\n        return 7\n";
+        match run_src(src, "f", vec![PyVal::Int(1)]) {
+            PyOutcome::Value(PyVal::Int(7)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncaught_exception_escapes() {
+        let src = "def f():\n    raise KeyError\n";
+        match run_src(src, "f", vec![]) {
+            PyOutcome::Exception(e) => assert_eq!(e, "KeyError"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_methods() {
+        let src = "def f(s):\n    return s.find(\"@\")\n";
+        match run_src(src, "f", vec![PyVal::str("ab@c")]) {
+            PyOutcome::Value(PyVal::Int(2)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_roundtrip() {
+        let src = "def f():\n    d = {}\n    d[\"k\"] = 42\n    return d[\"k\"]\n";
+        match run_src(src, "f", vec![]) {
+            PyOutcome::Value(PyVal::Int(42)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn floor_division_matches_python() {
+        let src = "def f(a, b):\n    return a / b\n";
+        match run_src(src, "f", vec![PyVal::Int(-7), PyVal::Int(2)]) {
+            PyOutcome::Value(PyVal::Int(-4)) => {} // Python: -7 // 2 == -4
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let src = "def f():\n    while True:\n        pass\n";
+        match run_src(src, "f", vec![]) {
+            PyOutcome::OutOfFuel => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Differential tests: the LIR interpreter must agree with the native
+//! reference evaluator (`pyref`) on concrete runs, and with itself across
+//! all §4.2 optimization builds.
+
+use chef_lir::{run_concrete, ConcreteStatus, GuestEvent, InputMap};
+use chef_minipy::interp::layout::tag;
+use chef_minipy::pyref::{self, PyOutcome, PyVal};
+use chef_minipy::{build_program, compile, parse, InterpreterOptions, SymbolicTest};
+
+/// Runs `entry(arg)` on the LIR interpreter with a concrete string argument
+/// and returns (exception name, marker tag/payload).
+fn run_lir(
+    src: &str,
+    entry: &str,
+    arg: &str,
+    opts: &InterpreterOptions,
+) -> (Option<String>, Option<(u64, u64)>) {
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new(entry).sym_str("input", arg.len());
+    let prog = build_program(&module, opts, &test).unwrap();
+    let mut inputs = InputMap::new();
+    inputs.insert("input".into(), arg.as_bytes().to_vec());
+    let out = run_concrete(&prog, &inputs, 50_000_000);
+    assert!(
+        matches!(out.status, ConcreteStatus::EndedSymbolic(_)),
+        "guest must end via end_symbolic, got {:?} (debug: {:?})",
+        out.status,
+        out.debug_output,
+    );
+    let mut exception = None;
+    let mut marker = None;
+    for ev in &out.events {
+        match ev {
+            GuestEvent::Exception(e) => exception = Some(e.clone()),
+            GuestEvent::Marker(a, b) => marker = Some((*a, *b)),
+            GuestEvent::EnterCode(_) => {}
+        }
+    }
+    (exception, marker)
+}
+
+/// Asserts LIR and pyref agree for `entry(arg)` under every §4.2 build.
+fn check_agreement(src: &str, entry: &str, arg: &str) {
+    let module = parse(src).unwrap();
+    let expected = pyref::run(&module, entry, vec![PyVal::str(arg)], 10_000_000).unwrap();
+    for (label, opts) in InterpreterOptions::cumulative() {
+        let (exc, marker) = run_lir(src, entry, arg, &opts);
+        match &expected {
+            PyOutcome::Exception(e) => {
+                assert_eq!(
+                    exc.as_deref(),
+                    Some(e.as_str()),
+                    "build {label}, arg {arg:?}: exception mismatch"
+                );
+            }
+            PyOutcome::Value(v) => {
+                assert!(exc.is_none(), "build {label}, arg {arg:?}: unexpected {exc:?}");
+                if let Some(expected_int) = match v {
+                    PyVal::Int(i) => Some((tag::INT, *i as u64)),
+                    PyVal::Bool(bv) => Some((tag::BOOL, *bv as u64)),
+                    PyVal::None => Some((tag::NONE, 0)),
+                    _ => None,
+                } {
+                    let (mt, mp) = marker.expect("marker event on clean exit");
+                    // Bools may intern as INT cells under interning; compare
+                    // normalized tags.
+                    let norm = |t: u64| if t == tag::BOOL { tag::INT } else { t };
+                    assert_eq!(
+                        (norm(mt), mp),
+                        (norm(expected_int.0), expected_int.1),
+                        "build {label}, arg {arg:?}: return value mismatch"
+                    );
+                }
+            }
+            PyOutcome::OutOfFuel => panic!("oracle ran out of fuel"),
+        }
+    }
+}
+
+#[test]
+fn arithmetic_program_agrees() {
+    let src = "def f(s):\n    n = int(s)\n    return n * 3 + 1\n";
+    for arg in ["0", "7", "-5", "123"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn int_parse_error_agrees() {
+    let src = "def f(s):\n    return int(s)\n";
+    for arg in ["12x", "", "-", "9"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn string_scanning_agrees() {
+    let src = r#"
+def f(s):
+    p = s.find("@")
+    if p < 0:
+        raise ValueError
+    return p
+"#;
+    for arg in ["a@b", "@", "abc", "xy@"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn dict_operations_agree() {
+    let src = r#"
+def f(s):
+    d = {}
+    d["a"] = 1
+    d[s] = 2
+    if "a" in d:
+        return d["a"] + len(d)
+    return 0
+"#;
+    for arg in ["a", "b", "zz"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn missing_key_raises_keyerror() {
+    let src = "def f(s):\n    d = {\"x\": 1}\n    return d[s]\n";
+    for arg in ["x", "y"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn list_operations_agree() {
+    let src = r#"
+def f(s):
+    l = []
+    i = 0
+    while i < len(s):
+        l.append(ord(s[i]))
+        i += 1
+    total = 0
+    i = 0
+    while i < len(l):
+        total += l[i]
+        i += 1
+    return total
+"#;
+    for arg in ["", "a", "hello"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn index_error_agrees() {
+    let src = "def f(s):\n    l = [1, 2]\n    return l[len(s)]\n";
+    for arg in ["", "a", "abc"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn try_except_agrees() {
+    let src = r#"
+def g(s):
+    if len(s) > 2:
+        raise KeyError
+    return len(s)
+
+def f(s):
+    try:
+        return g(s) * 10
+    except KeyError:
+        return -1
+"#;
+    for arg in ["a", "ab", "abc", "abcd"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn nested_exceptions_and_reraise_agree() {
+    let src = r#"
+def f(s):
+    try:
+        try:
+            raise ValueError
+        except KeyError:
+            return 1
+    except ValueError:
+        return 2
+    return 3
+"#;
+    check_agreement(src, "f", "x");
+}
+
+#[test]
+fn division_semantics_agree() {
+    let src = "def f(s):\n    n = int(s)\n    return n / 3 + n % 3\n";
+    for arg in ["10", "-10", "0", "-1"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn zero_division_agrees() {
+    let src = "def f(s):\n    return 1 / (len(s) - 2)\n";
+    for arg in ["ab", "abc"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn string_building_agrees() {
+    let src = r#"
+def f(s):
+    out = ""
+    i = 0
+    while i < len(s):
+        out = out + s[i] + "-"
+        i += 1
+    return len(out)
+"#;
+    for arg in ["", "ab", "xyz"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn slicing_and_strip_agree() {
+    let src = r#"
+def f(s):
+    t = s.strip()
+    u = t[1:3]
+    return len(u)
+"#;
+    for arg in ["  ab  ", "x", "", "  hello"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn startswith_endswith_agree() {
+    let src = r#"
+def f(s):
+    if s.startswith("ab"):
+        return 1
+    if s.endswith("yz"):
+        return 2
+    return 0
+"#;
+    for arg in ["abc", "xyz", "q", ""] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn comparisons_and_boolops_agree() {
+    let src = r#"
+def f(s):
+    n = len(s)
+    if n > 1 and n <= 3 or n == 0:
+        return True
+    return False
+"#;
+    for arg in ["", "a", "ab", "abc", "abcd"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn type_errors_agree() {
+    let src = "def f(s):\n    return s + 1\n";
+    check_agreement(src, "f", "x");
+}
+
+#[test]
+fn chr_ord_str_roundtrip_agrees() {
+    let src = r#"
+def f(s):
+    c = chr(ord(s[0]) + 1)
+    return str(ord(c))
+"#;
+    check_agreement(src, "f", "a");
+}
+
+#[test]
+fn recursion_agrees() {
+    let src = r#"
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def f(s):
+    return fib(len(s))
+"#;
+    for arg in ["", "aaaa", "aaaaaaaa"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn not_in_and_contains_agree() {
+    let src = r#"
+def f(s):
+    if "@" not in s:
+        return -1
+    return s.find("@")
+"#;
+    for arg in ["a@b", "ab"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn string_ordering_agrees() {
+    let src = r#"
+def f(s):
+    if s >= "0" and s <= "9":
+        return 1
+    if s < "A":
+        return 2
+    return 0
+"#;
+    for arg in ["5", "!", "Z", "0", "9", ":"] {
+        check_agreement(src, "f", arg);
+    }
+}
+
+#[test]
+fn multibyte_string_ordering_agrees() {
+    let src = "def f(s):\n    if s > \"ab\":\n        return 1\n    return 0\n";
+    for arg in ["aa", "ab", "ac", "b", "a", ""] {
+        check_agreement(src, "f", arg);
+    }
+}

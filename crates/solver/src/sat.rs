@@ -1,0 +1,578 @@
+//! A CDCL SAT solver (two-watched literals, 1UIP learning, VSIDS-style
+//! activities, phase saving, geometric restarts).
+//!
+//! This is the backend the bit-blaster targets; it plays the role MiniSat
+//! plays inside STP in the paper's stack. It is deliberately self-contained:
+//! no clause deletion or preprocessing, which keeps it predictable for the
+//! query sizes symbolic execution produces.
+
+use std::collections::BinaryHeap;
+
+/// A literal: a propositional variable with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var`, negated if `neg`.
+    pub fn new(var: u32, neg: bool) -> Self {
+        Lit(var << 1 | neg as u32)
+    }
+
+    /// Positive literal for `var`.
+    pub fn pos(var: u32) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// Negative literal for `var`.
+    pub fn neg_of(var: u32) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement literal.
+    #[must_use]
+    pub fn negated(self) -> Self {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+impl Val {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            Val::True
+        } else {
+            Val::False
+        }
+    }
+    fn negate(self) -> Self {
+        match self {
+            Val::Undef => Val::Undef,
+            Val::True => Val::False,
+            Val::False => Val::True,
+        }
+    }
+}
+
+/// Outcome of a SAT query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable; the vector holds one polarity per variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The per-query conflict budget was exhausted (solver timeout).
+    Unknown,
+}
+
+#[derive(Clone, Copy)]
+struct OrderEntry(f64, u32);
+
+impl PartialEq for OrderEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for OrderEntry {}
+impl PartialOrd for OrderEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
+///
+/// # Examples
+///
+/// ```
+/// use chef_solver::sat::{SatSolver, Lit, SatOutcome};
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg_of(a)]);
+/// match s.solve() {
+///     SatOutcome::Sat(model) => assert!(model[b as usize]),
+///     _ => panic!("satisfiable"),
+/// }
+/// ```
+#[derive(Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<u32>>,
+    level: Vec<u32>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: BinaryHeap<OrderEntry>,
+    unsat: bool,
+    /// Give up after this many conflicts in one `solve` call (None =
+    /// unbounded). Symbolic execution treats the resulting
+    /// [`SatOutcome::Unknown`] as an infeasible path, as KLEE/S2E do on
+    /// solver timeouts.
+    pub conflict_budget: Option<u64>,
+    /// Total conflicts encountered across `solve` calls.
+    pub conflicts: u64,
+    /// Total decisions made across `solve` calls.
+    pub decisions: u64,
+    /// Total unit propagations across `solve` calls.
+    pub propagations: u64,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(Val::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(OrderEntry(0.0, v));
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> Val {
+        let v = self.assign[l.var() as usize];
+        if l.is_neg() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    /// Adds a clause; returns `false` if the formula is already trivially
+    /// unsatisfiable (empty clause or conflicting units at level 0).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.value_lit(l) {
+                Val::True => return true, // satisfied at level 0
+                Val::False => continue,   // drop falsified literal
+                Val::Undef => {
+                    if c.contains(&l.negated()) {
+                        return true; // tautology
+                    }
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, c: Vec<Lit>) -> u32 {
+        let ci = self.clauses.len() as u32;
+        self.watches[c[0].index()].push(ci);
+        self.watches[c[1].index()].push(ci);
+        self.clauses.push(c);
+        ci
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value_lit(l), Val::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = Val::from_bool(!l.is_neg());
+        self.phase[v] = !l.is_neg();
+        self.reason[v] = reason;
+        self.level[v] = self.trail_lim.len() as u32;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i] as usize;
+                // Make sure the false literal is at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value_lit(first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut found = false;
+                for k in 2..self.clauses[ci].len() {
+                    let lk = self.clauses[ci][k];
+                    if self.value_lit(lk) != Val::False {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[lk.index()].push(ci as u32);
+                        ws.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                if self.value_lit(first) == Val::False {
+                    // Conflict: restore remaining watches.
+                    self.watches[false_lit.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(ci as u32);
+                }
+                self.enqueue(first, Some(ci as u32));
+                i += 1;
+            }
+            self.watches[false_lit.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.push(OrderEntry(self.activity[v as usize], v));
+    }
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting literal
+        let mut seen = vec![false; self.assign.len()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl as usize;
+        let mut index = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            for k in start..self.clauses[confl].len() {
+                let q = self.clauses[confl][k];
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var() as usize;
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.unwrap().negated();
+                break;
+            }
+            confl = self.reason[pv].expect("non-decision must have a reason") as usize;
+        }
+        // Backjump level = max level among the non-asserting literals.
+        let bl = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of the backjump level to position 1 (watch invariant).
+        if learned.len() > 1 {
+            let mut mi = 1;
+            for k in 2..learned.len() {
+                if self.level[learned[k].var() as usize] > self.level[learned[mi].var() as usize]
+                {
+                    mi = k;
+                }
+            }
+            learned.swap(1, mi);
+        }
+        (learned, bl)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.trail_lim.len() as u32 > lvl {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var() as usize;
+                self.assign[v] = Val::Undef;
+                self.reason[v] = None;
+                self.order
+                    .push(OrderEntry(self.activity[v], l.var()));
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<u32> {
+        while let Some(OrderEntry(_, v)) = self.order.pop() {
+            if self.assign[v as usize] == Val::Undef {
+                return Some(v);
+            }
+        }
+        // Heap may have gone stale; linear fallback.
+        (0..self.assign.len() as u32).find(|&v| self.assign[v as usize] == Val::Undef)
+    }
+
+    /// Runs the CDCL search to completion.
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let mut restart_budget = 128u64;
+        let mut conflicts_here = 0u64;
+        let mut conflicts_total = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                conflicts_total += 1;
+                if let Some(budget) = self.conflict_budget {
+                    if conflicts_total > budget {
+                        self.cancel_until(0);
+                        return SatOutcome::Unknown;
+                    }
+                }
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                let (learned, bl) = self.analyze(confl);
+                self.cancel_until(bl);
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], None);
+                } else {
+                    let asserting = learned[0];
+                    let ci = self.attach_clause(learned);
+                    self.enqueue(asserting, Some(ci));
+                }
+                self.var_inc /= 0.95;
+                if conflicts_here >= restart_budget {
+                    conflicts_here = 0;
+                    restart_budget = restart_budget + restart_budget / 2;
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        let model = self
+                            .assign
+                            .iter()
+                            .map(|v| *v == Val::True)
+                            .collect();
+                        self.cancel_until(0);
+                        return SatOutcome::Sat(model);
+                    }
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, !self.phase[v as usize]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(matches!(s.solve(), SatOutcome::Sat(m) if m[a as usize]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg_of(a)]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn chain_propagation() {
+        let mut s = SatSolver::new();
+        let vars: Vec<u32> = (0..10).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[Lit::neg_of(w[0]), Lit::pos(w[1])]);
+        }
+        s.add_clause(&[Lit::pos(vars[0])]);
+        match s.solve() {
+            SatOutcome::Sat(m) => assert!(vars.iter().all(|&v| m[v as usize])),
+            SatOutcome::Unsat => panic!("should be satisfiable"),
+            SatOutcome::Unknown => panic!("budget hit on tiny instance"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
+        let mut s = SatSolver::new();
+        let v: Vec<u32> = (0..6).map(|_| s.new_var()).collect();
+        for p in 0..3 {
+            s.add_clause(&[Lit::pos(v[p * 2]), Lit::pos(v[p * 2 + 1])]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[Lit::neg_of(v[p1 * 2 + h]), Lit::neg_of(v[p2 * 2 + h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat_with_forced_model() {
+        // (a xor b) and (b xor c) and a  =>  model a=1, b=0, c=1
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // a xor b
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg_of(a), Lit::neg_of(b)]);
+        // b xor c
+        s.add_clause(&[Lit::pos(b), Lit::pos(c)]);
+        s.add_clause(&[Lit::neg_of(b), Lit::neg_of(c)]);
+        s.add_clause(&[Lit::pos(a)]);
+        match s.solve() {
+            SatOutcome::Sat(m) => {
+                assert!(m[a as usize]);
+                assert!(!m[b as usize]);
+                assert!(m[c as usize]);
+            }
+            SatOutcome::Unsat => panic!("satisfiable"),
+            SatOutcome::Unknown => panic!("budget hit on tiny instance"),
+        }
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic pseudo-random 3-SAT instances around the easy regime;
+        // checks models actually satisfy all clauses.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..20 {
+            let nv = 30u32;
+            let nc = 90;
+            let mut s = SatSolver::new();
+            for _ in 0..nv {
+                s.new_var();
+            }
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nv as u64) as u32;
+                    let neg = next() % 2 == 0;
+                    c.push(Lit::new(v, neg));
+                }
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if let SatOutcome::Sat(m) = s.solve() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var() as usize] != l.is_neg()),
+                        "model must satisfy every clause"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The solver facade: feasibility checks, models, caching, and value
+//! maximization (`upper_bound` in the Chef guest API).
+
+use std::collections::HashMap;
+
+use crate::bitblast::BitBlaster;
+use crate::expr::{BinOp, ExprId, ExprPool, VarId};
+use crate::sat::{SatOutcome, SatSolver};
+
+/// A satisfying assignment for the symbolic variables of a query.
+///
+/// Variables absent from the map default to zero; this makes a model a total
+/// assignment, so replaying it through [`ExprPool::eval`] is always defined.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<VarId, u64>,
+}
+
+impl Model {
+    /// Creates an empty (all-zeros) model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value for a variable.
+    pub fn set(&mut self, var: VarId, value: u64) {
+        self.values.insert(var, value);
+    }
+
+    /// The value assigned to `var` (zero if unconstrained).
+    pub fn get(&self, var: VarId) -> u64 {
+        self.values.get(&var).copied().unwrap_or(0)
+    }
+
+    /// Evaluates an expression under this model.
+    pub fn eval(&self, pool: &ExprPool, expr: ExprId) -> u64 {
+        pool.eval(expr, &|v| self.get(v))
+    }
+
+    /// Whether all width-1 assertions evaluate to true under this model.
+    pub fn satisfies(&self, pool: &ExprPool, assertions: &[ExprId]) -> bool {
+        assertions.iter().all(|&a| self.eval(pool, a) == 1)
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable with the given model.
+    Sat(Model),
+    /// No satisfying assignment exists.
+    Unsat,
+    /// The solver gave up (conflict budget exhausted). Callers prune the
+    /// path, as KLEE/S2E prune on solver timeouts.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Extracts the model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat | SatResult::Unknown => None,
+        }
+    }
+}
+
+/// Counters describing solver work; useful in benchmark reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Total queries issued through [`Solver::check`].
+    pub queries: u64,
+    /// Queries answered by the query cache.
+    pub cache_hits: u64,
+    /// Queries answered by re-checking a recent model.
+    pub model_reuse_hits: u64,
+    /// Queries answered by constant folding alone.
+    pub const_hits: u64,
+    /// Queries that reached the SAT backend.
+    pub sat_calls: u64,
+    /// Queries abandoned at the conflict budget.
+    pub unknowns: u64,
+    /// Cumulative time spent inside the SAT backend.
+    pub sat_time: std::time::Duration,
+}
+
+/// Bitvector solver with query cache and model-reuse fast path.
+///
+/// A `Solver` must be used with a single [`ExprPool`]: the query cache is
+/// keyed by expression ids, which are only stable within one pool.
+///
+/// # Examples
+///
+/// ```
+/// use chef_solver::{ExprPool, Solver, BinOp, SatResult};
+/// let mut pool = ExprPool::new();
+/// let mut solver = Solver::new();
+/// let x = pool.fresh_var("x", 8);
+/// let c = pool.constant(8, 10);
+/// let gt = pool.bin(BinOp::Ult, c, x);
+/// match solver.check(&pool, &[gt]) {
+///     SatResult::Sat(m) => assert!(m.eval(&pool, x) > 10),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub struct Solver {
+    cache: HashMap<Vec<ExprId>, SatResult>,
+    model_ring: Vec<Model>,
+    /// Per-query conflict budget handed to the SAT backend.
+    pub conflict_budget: Option<u64>,
+    /// Work counters.
+    pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            cache: HashMap::new(),
+            model_ring: Vec::new(),
+            conflict_budget: Some(DEFAULT_CONFLICT_BUDGET),
+            stats: SolverStats::default(),
+        }
+    }
+}
+
+/// Default per-query conflict budget (bounds one query to well under a
+/// second on commodity hardware).
+pub const DEFAULT_CONFLICT_BUDGET: u64 = 30_000;
+
+/// Number of recent models retained for the reuse fast path.
+const MODEL_RING: usize = 8;
+
+impl Solver {
+    /// Creates a solver with empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks satisfiability of the conjunction of width-1 `assertions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assertion does not have width 1.
+    pub fn check(&mut self, pool: &ExprPool, assertions: &[ExprId]) -> SatResult {
+        self.stats.queries += 1;
+        // Constant filtering.
+        let mut live: Vec<ExprId> = Vec::with_capacity(assertions.len());
+        for &a in assertions {
+            assert_eq!(pool.width(a), 1, "assertions must have width 1");
+            match pool.as_const(a) {
+                Some(1) => continue,
+                Some(_) => {
+                    self.stats.const_hits += 1;
+                    return SatResult::Unsat;
+                }
+                None => live.push(a),
+            }
+        }
+        if live.is_empty() {
+            self.stats.const_hits += 1;
+            return SatResult::Sat(Model::new());
+        }
+        live.sort_unstable();
+        live.dedup();
+        // Query cache.
+        if let Some(res) = self.cache.get(&live) {
+            self.stats.cache_hits += 1;
+            return res.clone();
+        }
+        // Model reuse: try the all-zeros model plus recent models.
+        let zero = Model::new();
+        if zero.satisfies(pool, &live) {
+            self.stats.model_reuse_hits += 1;
+            let res = SatResult::Sat(zero);
+            self.cache.insert(live, res.clone());
+            return res;
+        }
+        for m in self.model_ring.iter().rev() {
+            if m.satisfies(pool, &live) {
+                self.stats.model_reuse_hits += 1;
+                let res = SatResult::Sat(m.clone());
+                self.cache.insert(live, res.clone());
+                return res;
+            }
+        }
+        // Full SAT query.
+        self.stats.sat_calls += 1;
+        let start = std::time::Instant::now();
+        let mut sat = SatSolver::new();
+        sat.conflict_budget = self.conflict_budget;
+        let mut bb = BitBlaster::new(&mut sat);
+        for &a in &live {
+            bb.assert_true(pool, a);
+        }
+        let map = bb.finish();
+        let outcome = sat.solve();
+        self.stats.sat_time += start.elapsed();
+        let res = match outcome {
+            SatOutcome::Unknown => {
+                self.stats.unknowns += 1;
+                SatResult::Unknown
+            }
+            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Sat(bits) => {
+                let mut model = Model::new();
+                let vars: Vec<VarId> = map.blasted_vars().collect();
+                for v in vars {
+                    model.set(v, map.var_value(v, &bits));
+                }
+                debug_assert!(
+                    model.satisfies(pool, &live),
+                    "model must satisfy the query"
+                );
+                self.model_ring.push(model.clone());
+                if self.model_ring.len() > MODEL_RING {
+                    self.model_ring.remove(0);
+                }
+                SatResult::Sat(model)
+            }
+        };
+        self.cache.insert(live, res.clone());
+        res
+    }
+
+    /// Whether the conjunction of `assertions` is satisfiable.
+    pub fn is_feasible(&mut self, pool: &ExprPool, assertions: &[ExprId]) -> bool {
+        self.check(pool, assertions).is_sat()
+    }
+
+    /// A concrete value `expr` can take under `assertions`, if any.
+    pub fn value_of(
+        &mut self,
+        pool: &ExprPool,
+        expr: ExprId,
+        assertions: &[ExprId],
+    ) -> Option<u64> {
+        match self.check(pool, assertions) {
+            SatResult::Sat(m) => Some(m.eval(pool, expr)),
+            SatResult::Unsat | SatResult::Unknown => None,
+        }
+    }
+
+    /// Maximum value of `expr` under `assertions` (the guest API's
+    /// `upper_bound`), found by MSB-first bit fixing.
+    ///
+    /// Returns `None` if the assertions are unsatisfiable.
+    pub fn max_value(
+        &mut self,
+        pool: &mut ExprPool,
+        expr: ExprId,
+        assertions: &[ExprId],
+    ) -> Option<u64> {
+        if let Some(c) = pool.as_const(expr) {
+            return self.is_feasible(pool, assertions).then_some(c);
+        }
+        if !self.is_feasible(pool, assertions) {
+            return None;
+        }
+        let w = pool.width(expr);
+        let mut prefix = 0u64;
+        let mut query: Vec<ExprId> = assertions.to_vec();
+        query.push(pool.true_()); // placeholder slot for the trial constraint
+        for bit in (0..w).rev() {
+            let trial = prefix | (1u64 << bit);
+            // Constrain the already-fixed high bits plus this bit.
+            let hi = pool.extract(w - 1, bit, expr);
+            let want = pool.constant(w - bit, trial >> bit);
+            let cons = pool.eq(hi, want);
+            *query.last_mut().unwrap() = cons;
+            if self.check(pool, &query).is_sat() {
+                prefix = trial;
+            }
+        }
+        Some(prefix)
+    }
+
+    /// Minimum value of `expr` under `assertions`, by MSB-first bit fixing
+    /// toward zero. Returns `None` if unsatisfiable.
+    pub fn min_value(
+        &mut self,
+        pool: &mut ExprPool,
+        expr: ExprId,
+        assertions: &[ExprId],
+    ) -> Option<u64> {
+        if let Some(c) = pool.as_const(expr) {
+            return self.is_feasible(pool, assertions).then_some(c);
+        }
+        if !self.is_feasible(pool, assertions) {
+            return None;
+        }
+        let w = pool.width(expr);
+        let mut prefix = 0u64;
+        let mut query: Vec<ExprId> = assertions.to_vec();
+        query.push(pool.true_());
+        for bit in (0..w).rev() {
+            // Try to keep this bit at zero.
+            let hi = pool.extract(w - 1, bit, expr);
+            let want = pool.constant(w - bit, prefix >> bit);
+            let cons = pool.eq(hi, want);
+            *query.last_mut().unwrap() = cons;
+            if !self.check(pool, &query).is_sat() {
+                prefix |= 1u64 << bit;
+            }
+        }
+        Some(prefix)
+    }
+
+    /// Enumerates up to `limit` distinct feasible values of `expr`.
+    ///
+    /// Used by the symbolic-pointer concretization policy: each value found
+    /// is excluded and the query repeated.
+    pub fn enumerate_values(
+        &mut self,
+        pool: &mut ExprPool,
+        expr: ExprId,
+        assertions: &[ExprId],
+        limit: usize,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut query = assertions.to_vec();
+        while out.len() < limit {
+            match self.check(pool, &query) {
+                SatResult::Unsat | SatResult::Unknown => break,
+                SatResult::Sat(m) => {
+                    let v = m.eval(pool, expr);
+                    out.push(v);
+                    let w = pool.width(expr);
+                    let c = pool.constant(w, v);
+                    let ne = pool.ne(expr, c);
+                    query.push(ne);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience builder: `a > b` unsigned as width-1.
+pub fn ugt(pool: &mut ExprPool, a: ExprId, b: ExprId) -> ExprId {
+    pool.bin(BinOp::Ult, b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_is_sat() {
+        let pool = ExprPool::new();
+        let mut s = Solver::new();
+        assert!(s.check(&pool, &[]).is_sat());
+    }
+
+    #[test]
+    fn const_false_is_unsat_without_sat_call() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let f = pool.false_();
+        assert_eq!(s.check(&pool, &[f]), SatResult::Unsat);
+        assert_eq!(s.stats.sat_calls, 0);
+    }
+
+    #[test]
+    fn cache_avoids_resolving() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.constant(8, 42);
+        let eq = pool.eq(x, c);
+        let zero = pool.constant(8, 0);
+        let ne0 = pool.ne(x, zero);
+        assert!(s.check(&pool, &[eq, ne0]).is_sat());
+        let sat_calls = s.stats.sat_calls;
+        assert!(s.check(&pool, &[ne0, eq]).is_sat(), "order-insensitive");
+        assert_eq!(s.stats.sat_calls, sat_calls, "second query served by cache");
+    }
+
+    #[test]
+    fn model_reuse_fast_path() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.constant(8, 42);
+        let eq = pool.eq(x, c);
+        assert!(s.check(&pool, &[eq]).is_sat());
+        // A weaker query satisfied by the same model should reuse it.
+        let ten = pool.constant(8, 10);
+        let gt = ugt(&mut pool, x, ten);
+        let sat_calls = s.stats.sat_calls;
+        assert!(s.check(&pool, &[gt]).is_sat());
+        assert_eq!(s.stats.sat_calls, sat_calls, "served by model reuse");
+    }
+
+    #[test]
+    fn max_value_bounded_var() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c100 = pool.constant(8, 100);
+        let le = pool.bin(BinOp::Ule, x, c100);
+        assert_eq!(s.max_value(&mut pool, x, &[le]), Some(100));
+        assert_eq!(s.min_value(&mut pool, x, &[le]), Some(0));
+    }
+
+    #[test]
+    fn max_value_of_expression() {
+        // max of 2*x where x <= 10 (8-bit): 20
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let two = pool.constant(8, 2);
+        let dbl = pool.bin(BinOp::Mul, x, two);
+        let c10 = pool.constant(8, 10);
+        let le = pool.bin(BinOp::Ule, x, c10);
+        assert_eq!(s.max_value(&mut pool, dbl, &[le]), Some(20));
+    }
+
+    #[test]
+    fn max_value_unconstrained_is_all_ones() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        assert_eq!(s.max_value(&mut pool, x, &[]), Some(255));
+    }
+
+    #[test]
+    fn enumerate_values_respects_limit_and_distinctness() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c4 = pool.constant(8, 4);
+        let lt = pool.bin(BinOp::Ult, x, c4);
+        let mut vals = s.enumerate_values(&mut pool, x, &[lt], 10);
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        let capped = s.enumerate_values(&mut pool, x, &[], 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn unsat_max_value_is_none() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.constant(8, 1);
+        let eq = pool.eq(x, c);
+        let zero = pool.constant(8, 0);
+        let eq0 = pool.eq(x, zero);
+        assert_eq!(s.max_value(&mut pool, x, &[eq, eq0]), None);
+    }
+}

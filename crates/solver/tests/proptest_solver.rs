@@ -1,0 +1,221 @@
+//! Property-based tests for the solver substrate: random expressions must
+//! evaluate identically under (a) the concrete evaluator, (b) constant
+//! folding, and (c) the bit-blasted SAT encoding.
+
+use proptest::prelude::*;
+
+use chef_solver::{eval_bin, BinOp, ExprId, ExprPool, SatResult, Solver};
+
+const OPS: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::UDiv,
+    BinOp::URem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::LShr,
+    BinOp::AShr,
+    BinOp::Eq,
+    BinOp::Ult,
+    BinOp::Slt,
+    BinOp::Ule,
+    BinOp::Sle,
+];
+
+/// A little expression-recipe language so proptest can shrink nicely.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Var(u8),
+    Const(u64),
+    Bin(usize, Box<Recipe>, Box<Recipe>),
+    Not(Box<Recipe>),
+    Ite(Box<Recipe>, Box<Recipe>, Box<Recipe>),
+    Ext(bool, Box<Recipe>),
+    Extract(Box<Recipe>),
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Recipe::Var),
+        any::<u64>().prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (0..OPS.len(), inner.clone(), inner.clone())
+                .prop_map(|(o, a, b)| Recipe::Bin(o, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Recipe::Not(Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
+                Recipe::Ite(Box::new(c), Box::new(t), Box::new(f))
+            }),
+            (any::<bool>(), inner.clone())
+                .prop_map(|(s, a)| Recipe::Ext(s, Box::new(a))),
+            inner.prop_map(|a| Recipe::Extract(Box::new(a))),
+        ]
+    })
+}
+
+const W: u8 = 8;
+
+/// Builds the recipe in a pool (all intermediate values at width 8).
+fn build(pool: &mut ExprPool, r: &Recipe, vars: &[ExprId]) -> ExprId {
+    match r {
+        Recipe::Var(i) => vars[(*i as usize) % vars.len()],
+        Recipe::Const(v) => pool.constant(W, *v),
+        Recipe::Bin(o, a, b) => {
+            let ea = build(pool, a, vars);
+            let eb = build(pool, b, vars);
+            let op = OPS[*o % OPS.len()];
+            let r = pool.bin(op, ea, eb);
+            if op.is_predicate() {
+                pool.zext(W, r)
+            } else {
+                r
+            }
+        }
+        Recipe::Not(a) => {
+            let ea = build(pool, a, vars);
+            pool.not(ea)
+        }
+        Recipe::Ite(c, t, f) => {
+            let ec = build(pool, c, vars);
+            let cond = pool.is_nonzero(ec);
+            let et = build(pool, t, vars);
+            let ef = build(pool, f, vars);
+            pool.ite(cond, et, ef)
+        }
+        Recipe::Ext(signed, a) => {
+            let ea = build(pool, a, vars);
+            let wide = if *signed { pool.sext(16, ea) } else { pool.zext(16, ea) };
+            pool.extract(7, 0, wide)
+        }
+        Recipe::Extract(a) => {
+            let ea = build(pool, a, vars);
+            let hi = pool.extract(7, 4, ea);
+            let lo = pool.extract(3, 0, ea);
+            pool.concat(hi, lo)
+        }
+    }
+}
+
+/// Direct reference semantics of the recipe.
+fn reference(r: &Recipe, vals: &[u64]) -> u64 {
+    let m = 0xffu64;
+    match r {
+        Recipe::Var(i) => vals[(*i as usize) % vals.len()] & m,
+        Recipe::Const(v) => v & m,
+        Recipe::Bin(o, a, b) => {
+            let op = OPS[*o % OPS.len()];
+            eval_bin(op, W, reference(a, vals), reference(b, vals))
+        }
+        Recipe::Not(a) => !reference(a, vals) & m,
+        Recipe::Ite(c, t, f) => {
+            if reference(c, vals) != 0 {
+                reference(t, vals)
+            } else {
+                reference(f, vals)
+            }
+        }
+        Recipe::Ext(signed, a) => {
+            let v = reference(a, vals);
+            if *signed {
+                // sext to 16 then truncate back to 8 is the identity
+                v
+            } else {
+                v
+            }
+        }
+        Recipe::Extract(a) => reference(a, vals), // swap-halves twice? no: hi:lo order preserved
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Folding + simplification must match direct evaluation.
+    #[test]
+    fn eval_matches_reference(r in recipe(), v0 in any::<u8>(), v1 in any::<u8>(), v2 in any::<u8>()) {
+        let mut pool = ExprPool::new();
+        let vars = [
+            pool.fresh_var("a", W),
+            pool.fresh_var("b", W),
+            pool.fresh_var("c", W),
+        ];
+        let e = build(&mut pool, &r, &vars);
+        let vals = [v0 as u64, v1 as u64, v2 as u64];
+        let got = pool.eval(e, &|v| vals[v.0 as usize]);
+        let want = reference(&r, &vals);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The bit-blasted encoding must admit exactly the values the evaluator
+    /// computes: constraining `expr == eval(expr, vals)` together with the
+    /// variable assignments must be SAT.
+    #[test]
+    fn bitblast_agrees_with_eval(r in recipe(), v0 in any::<u8>(), v1 in any::<u8>(), v2 in any::<u8>()) {
+        let mut pool = ExprPool::new();
+        let vars = [
+            pool.fresh_var("a", W),
+            pool.fresh_var("b", W),
+            pool.fresh_var("c", W),
+        ];
+        let e = build(&mut pool, &r, &vars);
+        let vals = [v0 as u64, v1 as u64, v2 as u64];
+        let want = pool.eval(e, &|v| vals[v.0 as usize]);
+        let mut assertions = Vec::new();
+        for (var, val) in vars.iter().zip(vals.iter()) {
+            let c = pool.constant(W, *val);
+            assertions.push(pool.eq(*var, c));
+        }
+        let cw = pool.constant(W, want);
+        assertions.push(pool.eq(e, cw));
+        let mut solver = Solver::new();
+        prop_assert!(solver.check(&pool, &assertions).is_sat(),
+            "expr must equal its evaluation under the same assignment");
+        // And the opposite value must be UNSAT.
+        let wrong = pool.constant(W, want ^ 1);
+        let last = assertions.len() - 1;
+        assertions[last] = pool.eq(e, wrong);
+        prop_assert_eq!(solver.check(&pool, &assertions), SatResult::Unsat);
+    }
+
+    /// Models returned by the solver satisfy the query by construction.
+    #[test]
+    fn models_satisfy_queries(r in recipe()) {
+        let mut pool = ExprPool::new();
+        let vars = [
+            pool.fresh_var("a", W),
+            pool.fresh_var("b", W),
+            pool.fresh_var("c", W),
+        ];
+        let e = build(&mut pool, &r, &vars);
+        let nz = pool.is_nonzero(e);
+        let mut solver = Solver::new();
+        if let SatResult::Sat(model) = solver.check(&pool, &[nz]) {
+            prop_assert_eq!(model.eval(&pool, nz), 1);
+            prop_assert!(model.eval(&pool, e) != 0);
+        }
+    }
+
+    /// `max_value` is both attainable and an upper bound.
+    #[test]
+    fn max_value_is_tight(bound in 1u64..=255) {
+        let mut pool = ExprPool::new();
+        let mut solver = Solver::new();
+        let x = pool.fresh_var("x", W);
+        let b = pool.constant(W, bound);
+        let le = pool.bin(BinOp::Ule, x, b);
+        let two = pool.constant(W, 2);
+        let dbl = pool.bin(BinOp::Mul, x, two);
+        let max = solver.max_value(&mut pool, dbl, &[le]).unwrap();
+        // Attainable:
+        let c = pool.constant(W, max);
+        let attain = pool.eq(dbl, c);
+        prop_assert!(solver.check(&pool, &[le, attain]).is_sat());
+        // Upper bound: dbl > max must be UNSAT under the constraint.
+        let gt = pool.bin(BinOp::Ult, c, dbl);
+        prop_assert_eq!(solver.check(&pool, &[le, gt]), SatResult::Unsat);
+    }
+}

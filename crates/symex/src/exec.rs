@@ -1,0 +1,879 @@
+//! The low-level symbolic executor: runs LIR programs, forking states at
+//! symbolic branches. This is the S2E stand-in — it knows nothing about the
+//! interpreted language; the Chef layer (`chef-core`) supplies state
+//! selection on top.
+
+use chef_lir::{trace_kind, Inst, Intrinsic, MemSize, Operand, Program, Term};
+use chef_solver::{ExprId, ExprPool, Solver};
+
+use crate::state::{Frame, State, StateId, SymInput, TermStatus};
+
+/// Tunables for the executor.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Maximum concrete values enumerated for a symbolic pointer before the
+    /// remainder are dropped (S2E-style pointer concretization forking).
+    pub max_ptr_values: usize,
+    /// Maximum feasible targets explored for a symbolic `switch`.
+    pub max_switch_targets: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_ptr_values: 8,
+            max_switch_targets: 16,
+        }
+    }
+}
+
+/// Work counters for the executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Low-level instructions executed (all states).
+    pub ll_instructions: u64,
+    /// Branch forks performed.
+    pub forks: u64,
+    /// Forks caused by symbolic pointers.
+    pub symptr_forks: u64,
+    /// Feasible symbolic-pointer values dropped due to `max_ptr_values`.
+    pub dropped_ptr_values: u64,
+    /// States created in total.
+    pub states_created: u64,
+}
+
+/// Structured guest events surfaced to the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuestEvent {
+    /// Exception reached top level (class name resolved from guest memory).
+    Exception(String),
+    /// Guest entered a code object.
+    EnterCode(u64),
+    /// Custom marker.
+    Marker(u64, u64),
+}
+
+/// What happened during one [`Executor::step`].
+#[derive(Debug)]
+pub enum StepEvent {
+    /// Nothing notable; the state advanced.
+    Advanced,
+    /// The guest reported a high-level location (`log_pc`).
+    LogPc {
+        /// High-level program counter.
+        pc: u64,
+        /// High-level opcode.
+        opcode: u64,
+    },
+    /// The state forked; alternates are returned (the stepped state
+    /// continues on its own side).
+    Forked {
+        /// Newly created alternate states.
+        alternates: Vec<State>,
+    },
+    /// The state terminated.
+    Terminated(TermStatus),
+    /// The guest reported a structured event.
+    Guest(GuestEvent),
+}
+
+/// Symbolic executor for one LIR program.
+///
+/// Owns the expression pool and the solver so the Chef layer and the
+/// executor share interning and caches.
+pub struct Executor<'p> {
+    /// Program being executed (the "interpreter binary").
+    pub prog: &'p Program,
+    /// Shared expression pool.
+    pub pool: ExprPool,
+    /// Shared solver.
+    pub solver: Solver,
+    /// Tunables.
+    pub config: ExecConfig,
+    /// Counters.
+    pub stats: ExecStats,
+    next_state_id: u64,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor for `prog`.
+    pub fn new(prog: &'p Program, config: ExecConfig) -> Self {
+        Executor {
+            prog,
+            pool: ExprPool::new(),
+            solver: Solver::new(),
+            config,
+            stats: ExecStats::default(),
+            next_state_id: 1,
+        }
+    }
+
+    /// Builds the initial state (data segments loaded, entry frame pushed).
+    pub fn initial_state(&mut self) -> State {
+        self.stats.states_created += 1;
+        State::initial(&mut self.pool, self.prog)
+    }
+
+    fn fresh_id(&mut self) -> StateId {
+        let id = StateId(self.next_state_id);
+        self.next_state_id += 1;
+        id
+    }
+
+    fn fork(&mut self, base: &State, constraint: Option<ExprId>) -> State {
+        let mut s = base.clone();
+        s.id = self.fresh_id();
+        s.depth += 1;
+        if let Some(c) = constraint {
+            s.path.push(c);
+        }
+        self.stats.states_created += 1;
+        s
+    }
+
+    fn eval(&mut self, state: &State, op: &Operand) -> ExprId {
+        match op {
+            Operand::Reg(r) => state.frame().regs[r.0 as usize],
+            Operand::Imm(v) => self.pool.constant(64, *v),
+        }
+    }
+
+    fn to_bool(&mut self, e: ExprId) -> ExprId {
+        self.pool.is_nonzero(e)
+    }
+
+    fn from_bool(&mut self, e: ExprId) -> ExprId {
+        self.pool.zext(64, e)
+    }
+
+    /// Concretizes `expr` on this path: picks one feasible value, binds the
+    /// path to it, and returns the value. Returns `None` on contradiction.
+    fn concretize_value(&mut self, state: &mut State, expr: ExprId) -> Option<u64> {
+        if let Some(v) = self.pool.as_const(expr) {
+            return Some(v);
+        }
+        let v = self.solver.value_of(&self.pool, expr, &state.path)?;
+        let w = self.pool.width(expr);
+        let c = self.pool.constant(w, v);
+        let eq = self.pool.eq(expr, c);
+        state.path.push(eq);
+        Some(v)
+    }
+
+    /// Resolves a (possibly symbolic) address to one concrete value in the
+    /// current state, forking alternates for other feasible values.
+    fn resolve_pointer(
+        &mut self,
+        state: &mut State,
+        addr: ExprId,
+    ) -> Result<(u64, Vec<State>), TermStatus> {
+        if let Some(v) = self.pool.as_const(addr) {
+            return Ok((v, Vec::new()));
+        }
+        let limit = self.config.max_ptr_values;
+        let vals =
+            self.solver
+                .enumerate_values(&mut self.pool, addr, &state.path, limit + 1);
+        match vals.len() {
+            0 => Err(TermStatus::AssumeFailed),
+            1 => Ok((vals[0], Vec::new())),
+            n => {
+                let dropped = n > limit;
+                let vals = &vals[..n.min(limit)];
+                if dropped {
+                    self.stats.dropped_ptr_values += 1;
+                }
+                let loc = state.ll_loc();
+                let mut alternates = Vec::new();
+                for &v in &vals[1..] {
+                    let c = self.pool.constant(64, v);
+                    let eq = self.pool.eq(addr, c);
+                    let mut alt = self.fork(state, Some(eq));
+                    Self::note_fork(&mut alt, loc);
+                    alternates.push(alt);
+                }
+                let c = self.pool.constant(64, vals[0]);
+                let eq = self.pool.eq(addr, c);
+                state.path.push(eq);
+                Self::note_fork(state, loc);
+                self.stats.symptr_forks += alternates.len() as u64;
+                self.stats.forks += alternates.len() as u64;
+                Ok((vals[0], alternates))
+            }
+        }
+    }
+
+    fn note_fork(state: &mut State, loc: (u32, u32)) {
+        if state.last_fork_loc == Some(loc) {
+            state.consecutive_forks += 1;
+        } else {
+            state.last_fork_loc = Some(loc);
+            state.consecutive_forks = 1;
+        }
+    }
+
+    /// Executes one instruction (or terminator) of `state`.
+    ///
+    /// The state is mutated in place; forked alternates are returned in the
+    /// event. After `StepEvent::Terminated` the state must not be stepped
+    /// again.
+    pub fn step(&mut self, state: &mut State) -> StepEvent {
+        self.stats.ll_instructions += 1;
+        state.ll_steps += 1;
+        let func = self.prog.func(state.frame().func);
+        let block = &func.blocks[state.frame().block];
+        let ip = state.frame().ip;
+        if ip < block.insts.len() {
+            let inst = block.insts[ip].clone();
+            state.frame_mut().ip += 1;
+            return self.exec_inst(state, inst);
+        }
+        let term = block.term.clone();
+        self.exec_term(state, term)
+    }
+
+    fn exec_inst(&mut self, state: &mut State, inst: Inst) -> StepEvent {
+        match inst {
+            Inst::Const { dst, value } => {
+                let e = self.pool.constant(64, value);
+                state.frame_mut().regs[dst.0 as usize] = e;
+                StepEvent::Advanced
+            }
+            Inst::Mov { dst, src } => {
+                let e = self.eval(state, &src);
+                state.frame_mut().regs[dst.0 as usize] = e;
+                StepEvent::Advanced
+            }
+            Inst::Bin { op, dst, a, b } => {
+                let ea = self.eval(state, &a);
+                let eb = self.eval(state, &b);
+                let mut r = self.pool.bin(op, ea, eb);
+                if op.is_predicate() {
+                    r = self.from_bool(r);
+                }
+                state.frame_mut().regs[dst.0 as usize] = r;
+                StepEvent::Advanced
+            }
+            Inst::Not { dst, a } => {
+                let ea = self.eval(state, &a);
+                let r = self.pool.not(ea);
+                state.frame_mut().regs[dst.0 as usize] = r;
+                StepEvent::Advanced
+            }
+            Inst::Select { dst, cond, t, f } => {
+                let ec = self.eval(state, &cond);
+                let c = self.to_bool(ec);
+                let et = self.eval(state, &t);
+                let ef = self.eval(state, &f);
+                let r = self.pool.ite(c, et, ef);
+                state.frame_mut().regs[dst.0 as usize] = r;
+                StepEvent::Advanced
+            }
+            Inst::Load { dst, addr, size } => {
+                let ea = self.eval(state, &addr);
+                let (a, alternates) = match self.resolve_pointer(state, ea) {
+                    Ok(r) => r,
+                    Err(t) => return self.terminate(state, t),
+                };
+                let v = match size {
+                    MemSize::U8 => {
+                        let b = state.mem.read_u8(a);
+                        self.pool.zext(64, b)
+                    }
+                    MemSize::U64 => state.mem.read_u64(&mut self.pool, a),
+                };
+                state.frame_mut().regs[dst.0 as usize] = v;
+                if alternates.is_empty() {
+                    StepEvent::Advanced
+                } else {
+                    // Alternates re-execute the load at their own address.
+                    let mut alts = alternates;
+                    for alt in &mut alts {
+                        alt.frame_mut().ip -= 1;
+                    }
+                    StepEvent::Forked { alternates: alts }
+                }
+            }
+            Inst::Store { addr, value, size } => {
+                let ea = self.eval(state, &addr);
+                let ev = self.eval(state, &value);
+                let (a, alternates) = match self.resolve_pointer(state, ea) {
+                    Ok(r) => r,
+                    Err(t) => return self.terminate(state, t),
+                };
+                match size {
+                    MemSize::U8 => {
+                        let b = self.pool.extract(7, 0, ev);
+                        state.mem.write_u8(&self.pool, a, b);
+                    }
+                    MemSize::U64 => state.mem.write_u64(&mut self.pool, a, ev),
+                }
+                if alternates.is_empty() {
+                    StepEvent::Advanced
+                } else {
+                    let mut alts = alternates;
+                    for alt in &mut alts {
+                        alt.frame_mut().ip -= 1;
+                    }
+                    StepEvent::Forked { alternates: alts }
+                }
+            }
+            Inst::Call { dst, func, args } => {
+                let callee = self.prog.func(func);
+                let zero = self.pool.constant(64, 0);
+                let mut regs = vec![zero; callee.n_regs as usize];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = self.eval(state, a);
+                }
+                state.frames.push(Frame {
+                    func,
+                    block: 0,
+                    ip: 0,
+                    regs,
+                    ret_dst: dst,
+                });
+                StepEvent::Advanced
+            }
+            Inst::Intrinsic { dst, intr, args } => self.exec_intrinsic(state, dst, intr, &args),
+        }
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        state: &mut State,
+        dst: Option<chef_lir::Reg>,
+        intr: Intrinsic,
+        args: &[Operand],
+    ) -> StepEvent {
+        let vals: Vec<ExprId> = args.iter().map(|a| self.eval(state, a)).collect();
+        match intr {
+            Intrinsic::MakeSymbolic => {
+                let addr = match self.concretize_value(state, vals[0]) {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                let len = match self.concretize_value(state, vals[1]) {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                let name_id = self.pool.as_const(vals[2]).expect("name id is an immediate");
+                let name = self.prog.name(name_id).to_string();
+                let mut vars = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    let v = self.pool.fresh_var(format!("{name}[{i}]"), 8);
+                    vars.push(self.pool.as_var(v).expect("fresh var"));
+                    state.mem.write_u8(&self.pool, addr.wrapping_add(i), v);
+                }
+                state.inputs.push(SymInput { name, vars });
+                StepEvent::Advanced
+            }
+            Intrinsic::LogPc => {
+                let pc = match self.concretize_value(state, vals[0]) {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                let opcode = match self.concretize_value(state, vals[1]) {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                state.hlpc = pc;
+                state.hl_opcode = opcode;
+                state.hl_len += 1;
+                StepEvent::LogPc { pc, opcode }
+            }
+            Intrinsic::Assume => {
+                let c = self.to_bool(vals[0]);
+                match self.pool.as_const(c) {
+                    Some(1) => StepEvent::Advanced,
+                    Some(_) => self.terminate(state, TermStatus::AssumeFailed),
+                    None => {
+                        let mut q = state.path.clone();
+                        q.push(c);
+                        if self.solver.is_feasible(&self.pool, &q) {
+                            state.path.push(c);
+                            StepEvent::Advanced
+                        } else {
+                            self.terminate(state, TermStatus::AssumeFailed)
+                        }
+                    }
+                }
+            }
+            Intrinsic::IsSymbolic => {
+                let r = self
+                    .pool
+                    .constant(64, (!self.pool.is_const(vals[0])) as u64);
+                if let Some(d) = dst {
+                    state.frame_mut().regs[d.0 as usize] = r;
+                }
+                StepEvent::Advanced
+            }
+            Intrinsic::UpperBound => {
+                let v = match self
+                    .solver
+                    .max_value(&mut self.pool, vals[0], &state.path)
+                {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                if let Some(d) = dst {
+                    let e = self.pool.constant(64, v);
+                    state.frame_mut().regs[d.0 as usize] = e;
+                }
+                StepEvent::Advanced
+            }
+            Intrinsic::Concretize => {
+                let v = match self.concretize_value(state, vals[0]) {
+                    Some(v) => v,
+                    None => return self.terminate(state, TermStatus::AssumeFailed),
+                };
+                if let Some(d) = dst {
+                    let e = self.pool.constant(64, v);
+                    state.frame_mut().regs[d.0 as usize] = e;
+                }
+                StepEvent::Advanced
+            }
+            Intrinsic::EndSymbolic => {
+                let v = self.concretize_value(state, vals[0]).unwrap_or(0);
+                self.terminate(state, TermStatus::Ended(v))
+            }
+            Intrinsic::Abort => {
+                let v = self.concretize_value(state, vals[0]).unwrap_or(0);
+                self.terminate(state, TermStatus::Aborted(v))
+            }
+            Intrinsic::TraceEvent => {
+                let kind = self.pool.as_const(vals[0]).unwrap_or(0);
+                let ev = match kind {
+                    trace_kind::EXCEPTION => {
+                        let ptr = self.pool.as_const(vals[1]).unwrap_or(0);
+                        let len = self.pool.as_const(vals[2]).unwrap_or(0).min(256);
+                        let mut bytes = Vec::with_capacity(len as usize);
+                        for i in 0..len {
+                            let b = state.mem.read_u8(ptr.wrapping_add(i));
+                            bytes.push(self.pool.as_const(b).unwrap_or(b'?' as u64) as u8);
+                        }
+                        GuestEvent::Exception(String::from_utf8_lossy(&bytes).into_owned())
+                    }
+                    trace_kind::ENTER_CODE => {
+                        GuestEvent::EnterCode(self.pool.as_const(vals[1]).unwrap_or(0))
+                    }
+                    _ => GuestEvent::Marker(
+                        self.pool.as_const(vals[1]).unwrap_or(0),
+                        self.pool.as_const(vals[2]).unwrap_or(0),
+                    ),
+                };
+                StepEvent::Guest(ev)
+            }
+            Intrinsic::DebugPrint => StepEvent::Advanced,
+        }
+    }
+
+    fn exec_term(&mut self, state: &mut State, term: Term) -> StepEvent {
+        match term {
+            Term::Jump(b) => {
+                let f = state.frame_mut();
+                f.block = b.0 as usize;
+                f.ip = 0;
+                StepEvent::Advanced
+            }
+            Term::Branch { cond, then_, else_ } => {
+                let ec = self.eval(state, &cond);
+                let c = self.to_bool(ec);
+                if let Some(v) = self.pool.as_const(c) {
+                    let f = state.frame_mut();
+                    f.block = if v == 1 { then_.0 } else { else_.0 } as usize;
+                    f.ip = 0;
+                    return StepEvent::Advanced;
+                }
+                let nc = self.pool.not(c);
+                let mut q_then = state.path.clone();
+                q_then.push(c);
+                let feas_then = self.solver.is_feasible(&self.pool, &q_then);
+                let mut q_else = state.path.clone();
+                q_else.push(nc);
+                let feas_else = self.solver.is_feasible(&self.pool, &q_else);
+                match (feas_then, feas_else) {
+                    (true, true) => {
+                        let loc = state.ll_loc();
+                        let mut alt = self.fork(state, Some(nc));
+                        Self::note_fork(&mut alt, loc);
+                        {
+                            let f = alt.frame_mut();
+                            f.block = else_.0 as usize;
+                            f.ip = 0;
+                        }
+                        state.path.push(c);
+                        Self::note_fork(state, loc);
+                        let f = state.frame_mut();
+                        f.block = then_.0 as usize;
+                        f.ip = 0;
+                        self.stats.forks += 1;
+                        StepEvent::Forked { alternates: vec![alt] }
+                    }
+                    (true, false) => {
+                        let f = state.frame_mut();
+                        f.block = then_.0 as usize;
+                        f.ip = 0;
+                        StepEvent::Advanced
+                    }
+                    (false, true) => {
+                        let f = state.frame_mut();
+                        f.block = else_.0 as usize;
+                        f.ip = 0;
+                        StepEvent::Advanced
+                    }
+                    (false, false) => self.terminate(state, TermStatus::AssumeFailed),
+                }
+            }
+            Term::Switch { on, cases, default } => {
+                let eo = self.eval(state, &on);
+                if let Some(v) = self.pool.as_const(eo) {
+                    let target = cases
+                        .iter()
+                        .find(|(cv, _)| *cv == v)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(default);
+                    let f = state.frame_mut();
+                    f.block = target.0 as usize;
+                    f.ip = 0;
+                    return StepEvent::Advanced;
+                }
+                // Symbolic dispatch: fork each feasible case plus default.
+                let mut feasible: Vec<(ExprId, u32)> = Vec::new();
+                let mut default_guard: Vec<ExprId> = Vec::new();
+                for (cv, b) in &cases {
+                    let c = self.pool.constant(64, *cv);
+                    let eq = self.pool.eq(eo, c);
+                    let mut q = state.path.clone();
+                    q.push(eq);
+                    if self.solver.is_feasible(&self.pool, &q) {
+                        feasible.push((eq, b.0));
+                    }
+                    let ne = self.pool.not(eq);
+                    default_guard.push(ne);
+                    if feasible.len() >= self.config.max_switch_targets {
+                        break;
+                    }
+                }
+                // Default arm: all cases excluded.
+                let mut q = state.path.clone();
+                q.extend(default_guard.iter().copied());
+                if self.solver.is_feasible(&self.pool, &q) {
+                    // Use conjunction of the negations as one constraint set.
+                    let mut acc = self.pool.true_();
+                    for &g in &default_guard {
+                        acc = self.pool.and1(acc, g);
+                    }
+                    feasible.push((acc, default.0));
+                }
+                if feasible.is_empty() {
+                    return self.terminate(state, TermStatus::AssumeFailed);
+                }
+                let loc = state.ll_loc();
+                let mut alternates = Vec::new();
+                for &(cons, block) in feasible.iter().skip(1) {
+                    let mut alt = self.fork(state, Some(cons));
+                    Self::note_fork(&mut alt, loc);
+                    let f = alt.frame_mut();
+                    f.block = block as usize;
+                    f.ip = 0;
+                    alternates.push(alt);
+                }
+                let (cons, block) = feasible[0];
+                state.path.push(cons);
+                let f = state.frame_mut();
+                f.block = block as usize;
+                f.ip = 0;
+                if alternates.is_empty() {
+                    StepEvent::Advanced
+                } else {
+                    Self::note_fork(state, loc);
+                    self.stats.forks += alternates.len() as u64;
+                    StepEvent::Forked { alternates }
+                }
+            }
+            Term::Ret(val) => {
+                let v = val.map(|op| self.eval(state, &op));
+                let ret_dst = state.frame().ret_dst;
+                state.frames.pop();
+                if state.frames.is_empty() {
+                    return self.terminate_done(state, TermStatus::Returned);
+                }
+                if let (Some(dst), Some(v)) = (ret_dst, v) {
+                    state.frame_mut().regs[dst.0 as usize] = v;
+                }
+                StepEvent::Advanced
+            }
+            Term::Halt { code } => {
+                let e = self.eval(state, &code);
+                let v = self.concretize_value(state, e).unwrap_or(0);
+                self.terminate(state, TermStatus::Halted(v))
+            }
+            Term::Unterminated => unreachable!("validated programs are terminated"),
+        }
+    }
+
+    fn terminate(&mut self, state: &mut State, status: TermStatus) -> StepEvent {
+        state.frames.clear();
+        let _ = state;
+        StepEvent::Terminated(status)
+    }
+
+    fn terminate_done(&mut self, _state: &mut State, status: TermStatus) -> StepEvent {
+        StepEvent::Terminated(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_lir::{InputMap, ModuleBuilder};
+
+    /// Runs all states to completion breadth-first, returning terminal
+    /// statuses and generated inputs.
+    fn explore(prog: &Program, max_steps: u64) -> Vec<(TermStatus, InputMap)> {
+        let mut exec = Executor::new(prog, ExecConfig::default());
+        let mut queue = vec![exec.initial_state()];
+        let mut done = Vec::new();
+        let mut steps = 0u64;
+        while let Some(mut st) = queue.pop() {
+            loop {
+                steps += 1;
+                if steps > max_steps {
+                    panic!("exploration exceeded {max_steps} steps");
+                }
+                match exec.step(&mut st) {
+                    StepEvent::Terminated(t) => {
+                        let inputs = st
+                            .concretize_inputs(&exec.pool, &mut exec.solver)
+                            .unwrap_or_default();
+                        done.push((t, inputs));
+                        break;
+                    }
+                    StepEvent::Forked { alternates } => queue.extend(alternates),
+                    _ => {}
+                }
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn concrete_program_single_path() {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| {
+            let x = b.const_(12);
+            let y = b.mul(x, 3u64);
+            b.halt(y);
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, TermStatus::Halted(36));
+    }
+
+    #[test]
+    fn paper_example_forks_two_paths() {
+        // Figure 1: x symbolic; x = 3*x; if (x > 10) ...
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            let x = b.load_u8(buf);
+            let t = b.mul(x, 3u64);
+            let c = b.ult(10u64, t);
+            b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 10_000);
+        assert_eq!(done.len(), 2, "both branch outcomes explored");
+        let mut saw = [false, false];
+        for (status, inputs) in &done {
+            let x = inputs["x"][0] as u64;
+            match status {
+                TermStatus::Halted(1) => {
+                    assert!(3 * x > 10, "test case must satisfy the path");
+                    saw[0] = true;
+                }
+                TermStatus::Halted(0) => {
+                    assert!(3 * x <= 10);
+                    saw[1] = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn assume_prunes_paths() {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            let x = b.load_u8(buf);
+            let small = b.ult(x, 5u64);
+            b.assume(small);
+            let c = b.ult(x, 100u64); // implied; must not fork
+            b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, TermStatus::Halted(1));
+        assert!((done[0].1["x"][0] as u64) < 5);
+    }
+
+    #[test]
+    fn symbolic_pointer_forks_per_location() {
+        // mem[base + (x % 4)] — classic hash-bucket pattern.
+        let mut mb = ModuleBuilder::new();
+        let table = mb.data_bytes(&[10, 20, 30, 40]);
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            let x = b.load_u8(buf);
+            let idx = b.urem(x, 4u64);
+            let addr = b.add(idx, table);
+            let v = b.load_u8(addr);
+            b.halt(v);
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 100_000);
+        let mut codes: Vec<u64> = done
+            .iter()
+            .map(|(s, _)| match s {
+                TermStatus::Halted(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        codes.sort_unstable();
+        assert_eq!(codes, vec![10, 20, 30, 40], "one path per bucket");
+    }
+
+    #[test]
+    fn upper_bound_is_concrete_max() {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("n");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            let n = b.load_u8(buf);
+            let small = b.ult(n, 17u64);
+            b.assume(small);
+            let ub = b.upper_bound(n);
+            b.halt(ub);
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, TermStatus::Halted(16));
+    }
+
+    #[test]
+    fn switch_on_symbolic_forks_cases_and_default() {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(1);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 1u64, name);
+            let x = b.load_u8(buf);
+            let out = b.reg();
+            b.switch(
+                x,
+                &[0, 1],
+                |b, v| b.set(out, v + 100),
+                |b| b.set(out, 42u64),
+            );
+            b.halt(out);
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 100_000);
+        let mut codes: Vec<u64> = done
+            .iter()
+            .map(|(s, _)| match s {
+                TermStatus::Halted(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        codes.sort_unstable();
+        assert_eq!(codes, vec![42, 100, 101]);
+    }
+
+    #[test]
+    fn string_find_path_explosion() {
+        // The validateEmail example (Figure 2): scanning a 4-byte symbolic
+        // buffer for '@' creates one low-level path per position + not-found.
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(4);
+        let name = mb.name_id("email");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 4u64, name);
+            let i = b.const_(0);
+            let found = b.mov(-1i64);
+            b.while_(
+                |b| b.ult(i, 4u64),
+                |b| {
+                    let a = b.add(i, buf);
+                    let ch = b.load_u8(a);
+                    let hit = b.eq(ch, b'@' as u64);
+                    b.if_(hit, |b| {
+                        b.set(found, i);
+                        b.break_();
+                    });
+                    let ni = b.add(i, 1u64);
+                    b.set(i, ni);
+                },
+            );
+            b.halt(found);
+        });
+        let prog = mb.finish("main").unwrap();
+        let done = explore(&prog, 1_000_000);
+        // Positions 0..3 plus "not found" = 5 low-level paths.
+        assert_eq!(done.len(), 5);
+        for (status, inputs) in &done {
+            let email = &inputs["email"];
+            match status {
+                TermStatus::Halted(p) if *p != u64::MAX => {
+                    assert_eq!(email[*p as usize], b'@');
+                    for &b in &email[..*p as usize] {
+                        assert_ne!(b, b'@');
+                    }
+                }
+                TermStatus::Halted(_) => {
+                    assert!(email.iter().all(|&b| b != b'@'));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn log_pc_updates_state() {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| {
+            b.log_pc(7u64, 3u64);
+            b.halt(0u64);
+        });
+        let prog = mb.finish("main").unwrap();
+        let mut exec = Executor::new(&prog, ExecConfig::default());
+        let mut st = exec.initial_state();
+        let ev = exec.step(&mut st);
+        match ev {
+            StepEvent::LogPc { pc: 7, opcode: 3 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.hlpc, 7);
+        assert_eq!(st.hl_len, 1);
+    }
+}

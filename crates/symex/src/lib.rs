@@ -1,0 +1,60 @@
+//! # chef-symex — the low-level symbolic execution engine
+//!
+//! Executes LIR programs symbolically, forking a [`State`] at every
+//! input-dependent branch, exactly as S2E forks machine-code paths in the
+//! paper. The executor is language-agnostic: it understands registers,
+//! memory, branches, and the Chef guest API (Table 1), but nothing about
+//! the interpreted program — that awareness lives in `chef-core`.
+//!
+//! Key pieces:
+//!
+//! - [`mem::SymMem`] — copy-on-write symbolic memory (cheap state forking)
+//! - [`State`] — path condition + symbolic store + Chef bookkeeping
+//! - [`Executor`] — steps states, forks at branches/symbolic pointers,
+//!   implements `make_symbolic`, `log_pc`, `assume`, `upper_bound`,
+//!   `concretize`, `is_symbolic`, `end_symbolic`
+//!
+//! # Examples
+//!
+//! Symbolically execute the paper's Figure 1 example and collect both paths:
+//!
+//! ```
+//! use chef_lir::ModuleBuilder;
+//! use chef_symex::{Executor, ExecConfig, StepEvent};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let buf = mb.data_zeroed(1);
+//! let name = mb.name_id("x");
+//! let main = mb.declare("main", 0);
+//! mb.define(main, move |b| {
+//!     b.make_symbolic(buf, 1u64, name);
+//!     let x = b.load_u8(buf);
+//!     let t = b.mul(x, 3u64);
+//!     let c = b.ult(10u64, t);
+//!     b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+//! });
+//! let prog = mb.finish("main")?;
+//!
+//! let mut exec = Executor::new(&prog, ExecConfig::default());
+//! let mut queue = vec![exec.initial_state()];
+//! let mut finished = 0;
+//! while let Some(mut st) = queue.pop() {
+//!     loop {
+//!         match exec.step(&mut st) {
+//!             StepEvent::Terminated(_) => { finished += 1; break; }
+//!             StepEvent::Forked { alternates } => queue.extend(alternates),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//! assert_eq!(finished, 2);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod exec;
+pub mod mem;
+pub mod state;
+
+pub use exec::{ExecConfig, ExecStats, Executor, GuestEvent, StepEvent};
+pub use mem::SymMem;
+pub use state::{Frame, State, StateId, SymInput, TermStatus};

@@ -1,0 +1,214 @@
+//! Symbolic execution states.
+
+use chef_lir::{FuncId, InputMap, Program, Reg};
+use chef_solver::{ExprId, ExprPool, Model, Solver, VarId};
+
+use crate::mem::SymMem;
+
+/// Unique identifier of a state within one execution session.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StateId(pub u64);
+
+/// One call frame: position inside a function plus its registers.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Function being executed.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: usize,
+    /// Next instruction index within the block.
+    pub ip: usize,
+    /// Register file (64-bit expressions).
+    pub regs: Vec<ExprId>,
+    /// Register in the caller receiving the return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// A symbolic input buffer created by `make_symbolic`.
+#[derive(Clone, Debug)]
+pub struct SymInput {
+    /// Buffer name (from the guest's name table).
+    pub name: String,
+    /// One 8-bit variable per byte.
+    pub vars: Vec<VarId>,
+}
+
+/// How a path terminated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TermStatus {
+    /// `halt` executed.
+    Halted(u64),
+    /// `end_symbolic(status)` executed (graceful path end).
+    Ended(u64),
+    /// `abort(code)` executed — interpreter crash.
+    Aborted(u64),
+    /// Entry function returned.
+    Returned,
+    /// An `assume` contradicted the path condition.
+    AssumeFailed,
+}
+
+/// A complete symbolic execution state: one path through the interpreter.
+///
+/// Mirrors §2.1 of the paper: a path condition (`path`), a symbolic store
+/// (registers + memory), and bookkeeping for Chef's heuristics (current
+/// HLPC, consecutive-fork counters for fork weight).
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Identifier, unique per session.
+    pub id: StateId,
+    /// Call stack; the last frame is active.
+    pub frames: Vec<Frame>,
+    /// Guest memory.
+    pub mem: SymMem,
+    /// Path condition: conjunction of width-1 expressions.
+    pub path: Vec<ExprId>,
+    /// Symbolic inputs created along this path.
+    pub inputs: Vec<SymInput>,
+    /// Current high-level program counter (last `log_pc` value).
+    pub hlpc: u64,
+    /// Opcode reported with the current HLPC.
+    pub hl_opcode: u64,
+    /// Number of high-level instructions executed (log_pc count).
+    pub hl_len: u64,
+    /// Low-level instructions executed by this state.
+    pub ll_steps: u64,
+    /// Location `(func, block)` of the most recent fork.
+    pub last_fork_loc: Option<(u32, u32)>,
+    /// Consecutive forks at `last_fork_loc` (input for fork weight, §3.4).
+    pub consecutive_forks: u32,
+    /// Generation depth (number of forks since the root).
+    pub depth: u32,
+}
+
+impl State {
+    /// Creates the initial state for `prog`, loading its data segments.
+    pub fn initial(pool: &mut ExprPool, prog: &Program) -> Self {
+        let mut mem = SymMem::new(pool);
+        for seg in &prog.data {
+            mem.write_bytes(pool, seg.addr, &seg.bytes);
+        }
+        let entry = prog.func(prog.entry);
+        let zero = pool.constant(64, 0);
+        State {
+            id: StateId(0),
+            frames: vec![Frame {
+                func: prog.entry,
+                block: 0,
+                ip: 0,
+                regs: vec![zero; entry.n_regs as usize],
+                ret_dst: None,
+            }],
+            mem,
+            path: Vec::new(),
+            inputs: Vec::new(),
+            hlpc: 0,
+            hl_opcode: 0,
+            hl_len: 0,
+            ll_steps: 0,
+            last_fork_loc: None,
+            consecutive_forks: 0,
+            depth: 0,
+        }
+    }
+
+    /// The active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has terminated (no frames).
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("state has no frames")
+    }
+
+    /// The active frame, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has terminated (no frames).
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("state has no frames")
+    }
+
+    /// Low-level program counter of the active frame: `(func, block)`.
+    pub fn ll_loc(&self) -> (u32, u32) {
+        let f = self.frame();
+        (f.func.0, f.block as u32)
+    }
+
+    /// Solves the path condition and maps the model back to concrete input
+    /// bytes, producing a replayable test case.
+    ///
+    /// Returns `None` if the path condition is unsatisfiable (should not
+    /// happen for states produced by feasibility-checked forking).
+    pub fn concretize_inputs(
+        &self,
+        pool: &ExprPool,
+        solver: &mut Solver,
+    ) -> Option<InputMap> {
+        match solver.check(pool, &self.path) {
+            chef_solver::SatResult::Sat(model) => Some(self.inputs_from_model(&model)),
+            chef_solver::SatResult::Unsat | chef_solver::SatResult::Unknown => None,
+        }
+    }
+
+    /// Maps an existing model to concrete input bytes.
+    pub fn inputs_from_model(&self, model: &Model) -> InputMap {
+        let mut out = InputMap::new();
+        for input in &self.inputs {
+            let bytes: Vec<u8> = input.vars.iter().map(|&v| model.get(v) as u8).collect();
+            out.insert(input.name.clone(), bytes);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_lir::ModuleBuilder;
+
+    fn tiny_prog() -> Program {
+        let mut mb = ModuleBuilder::new();
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| b.halt(0u64));
+        mb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn initial_state_loads_data() {
+        let mut mb = ModuleBuilder::new();
+        let addr = mb.data_bytes(b"abc");
+        let main = mb.declare("main", 0);
+        mb.define(main, |b| b.halt(0u64));
+        let prog = mb.finish("main").unwrap();
+        let mut pool = ExprPool::new();
+        let st = State::initial(&mut pool, &prog);
+        assert_eq!(pool.as_const(st.mem.read_u8(addr)), Some(b'a' as u64));
+    }
+
+    #[test]
+    fn concretize_inputs_solves_path() {
+        let prog = tiny_prog();
+        let mut pool = ExprPool::new();
+        let mut solver = Solver::new();
+        let mut st = State::initial(&mut pool, &prog);
+        let v = pool.fresh_var("x_0", 8);
+        st.inputs.push(SymInput { name: "x".into(), vars: vec![pool.as_var(v).unwrap()] });
+        let c = pool.constant(8, 65);
+        let eq = pool.eq(v, c);
+        st.path.push(eq);
+        let inputs = st.concretize_inputs(&pool, &mut solver).unwrap();
+        assert_eq!(inputs["x"], vec![65]);
+    }
+
+    #[test]
+    fn fork_bookkeeping_defaults() {
+        let prog = tiny_prog();
+        let mut pool = ExprPool::new();
+        let st = State::initial(&mut pool, &prog);
+        assert_eq!(st.consecutive_forks, 0);
+        assert!(st.last_fork_loc.is_none());
+        assert_eq!(st.depth, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the symbolic executor: for random branching programs
+//! over a symbolic byte, (1) every generated test case replays concretely
+//! to the path's recorded exit code, and (2) the symbolic exploration
+//! discovers exactly the set of outcomes that brute-force concrete
+//! enumeration finds.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use chef_lir::{run_concrete, ConcreteStatus, InputMap, ModuleBuilder, Program};
+use chef_symex::{ExecConfig, Executor, StepEvent, TermStatus};
+
+/// A tiny decision-program recipe over one symbolic byte: a chain of
+/// threshold tests, each exiting with a distinct code, else falling through.
+#[derive(Clone, Debug)]
+struct Chain {
+    thresholds: Vec<u8>,
+    op_kinds: Vec<u8>,
+}
+
+fn chain() -> impl Strategy<Value = Chain> {
+    (
+        prop::collection::vec(any::<u8>(), 1..6),
+        prop::collection::vec(0u8..3, 1..6),
+    )
+        .prop_map(|(thresholds, op_kinds)| Chain { thresholds, op_kinds })
+}
+
+fn build(chain: &Chain) -> Program {
+    let mut mb = ModuleBuilder::new();
+    let buf = mb.data_zeroed(1);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    let c = chain.clone();
+    mb.define(main, move |b| {
+        b.make_symbolic(buf, 1u64, name);
+        let x = b.load_u8(buf);
+        for (i, (&t, &k)) in c.thresholds.iter().zip(c.op_kinds.iter().cycle()).enumerate()
+        {
+            let cond = match k % 3 {
+                0 => b.ult(x, t as u64),
+                1 => b.eq(x, t as u64),
+                _ => {
+                    let m = b.and(x, 0x0fu64);
+                    b.eq(m, (t & 0x0f) as u64)
+                }
+            };
+            b.if_(cond, move |b| b.halt((i + 1) as u64));
+        }
+        b.halt(0u64);
+    });
+    mb.finish("main").unwrap()
+}
+
+/// Concrete oracle: run all 256 inputs.
+fn oracle(prog: &Program) -> BTreeSet<u64> {
+    let mut outcomes = BTreeSet::new();
+    for v in 0..=255u8 {
+        let mut inputs = InputMap::new();
+        inputs.insert("x".into(), vec![v]);
+        match run_concrete(prog, &inputs, 100_000).status {
+            ConcreteStatus::Halted(c) => {
+                outcomes.insert(c);
+            }
+            other => panic!("oracle run ended with {other:?}"),
+        }
+    }
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn symbolic_exploration_is_sound_and_complete(c in chain()) {
+        let prog = build(&c);
+        let want = oracle(&prog);
+        let mut exec = Executor::new(&prog, ExecConfig::default());
+        let mut queue = vec![exec.initial_state()];
+        let mut found = BTreeSet::new();
+        let mut steps = 0u64;
+        while let Some(mut st) = queue.pop() {
+            loop {
+                steps += 1;
+                prop_assert!(steps < 2_000_000, "exploration diverged");
+                match exec.step(&mut st) {
+                    StepEvent::Terminated(TermStatus::Halted(code)) => {
+                        // Soundness: the generated input replays to the code.
+                        let inputs = st
+                            .concretize_inputs(&exec.pool, &mut exec.solver)
+                            .expect("feasible path has a model");
+                        let out = run_concrete(&prog, &inputs, 100_000);
+                        prop_assert_eq!(
+                            out.status,
+                            ConcreteStatus::Halted(code),
+                            "replay diverged"
+                        );
+                        found.insert(code);
+                        break;
+                    }
+                    StepEvent::Terminated(other) => {
+                        prop_assert!(false, "unexpected termination {other:?}");
+                        break;
+                    }
+                    StepEvent::Forked { alternates } => queue.extend(alternates),
+                    _ => {}
+                }
+            }
+        }
+        // Completeness: exactly the oracle's outcome set.
+        prop_assert_eq!(found, want);
+    }
+}

@@ -1,0 +1,250 @@
+//! # chef-targets — the evaluation workloads
+//!
+//! The packages of Table 3 (six MiniPy, five MiniLua), the MAC-learning
+//! controller of §6.6, and the Table 4 feature probes, together with the
+//! harness ([`Package::run`]) that benchmarks and tests share.
+//!
+//! The packages mirror their namesakes' input languages and failure modes;
+//! `JSON` (Lua) carries the paper's unterminated-comment hang and the
+//! `xlrd` analogue raises the four undocumented exception types of §6.2.
+//!
+//! # Examples
+//!
+//! ```
+//! use chef_targets::{python_packages, RunConfig};
+//! use chef_minipy::InterpreterOptions;
+//!
+//! let pkg = &python_packages()[4]; // unicodecsv
+//! let report = pkg.run(&RunConfig {
+//!     max_ll_instructions: 150_000,
+//!     ..RunConfig::default()
+//! });
+//! assert!(report.hl_paths >= 2, "CSV rows with and without commas");
+//! # let _ = InterpreterOptions::all();
+//! ```
+
+pub mod features;
+pub mod lua;
+pub mod portfolio;
+pub mod python;
+
+use chef_core::{Chef, ChefConfig, Report, StrategyKind};
+use chef_lir::Program;
+use chef_minipy::{
+    build_program, CompileError, CompiledModule, InterpreterOptions, SymbolicTest,
+};
+
+pub use features::{paper_columns, probes, FeatureProbe, Support};
+pub use lua::lua_packages;
+pub use portfolio::{run_portfolio, PortfolioReport};
+pub use python::{mac_controller, python_packages};
+
+/// Guest language of a package.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lang {
+    /// MiniPy (the CPython-substitute engine).
+    Python,
+    /// MiniLua (the Lua-substitute engine).
+    Lua,
+}
+
+/// One evaluation package (a Table 3 row).
+#[derive(Clone, Debug)]
+pub struct Package {
+    /// Package name as reported in the paper.
+    pub name: &'static str,
+    /// Guest language.
+    pub lang: Lang,
+    /// Table 3 "Type" column.
+    pub category: &'static str,
+    /// Table 3 description.
+    pub description: &'static str,
+    /// Guest source code.
+    pub source: &'static str,
+    /// Exception classes the package documents (everything else counts as
+    /// undocumented, §6.2).
+    pub documented_exceptions: &'static [&'static str],
+    /// The symbolic test exercising the package's entry point.
+    pub test: SymbolicTest,
+}
+
+/// Harness configuration shared by tests and benches.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// State selection strategy.
+    pub strategy: StrategyKind,
+    /// Interpreter build (§4.2 optimizations).
+    pub opts: InterpreterOptions,
+    /// Exploration budget in low-level instructions (the "30 minutes").
+    pub max_ll_instructions: u64,
+    /// Per-path budget (the "60 seconds" hang detector).
+    pub per_path_fuel: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Wall-clock cap for the session (see [`chef_core::ChefConfig`]).
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            strategy: StrategyKind::CupaPath,
+            opts: InterpreterOptions::all(),
+            max_ll_instructions: 400_000,
+            per_path_fuel: 150_000,
+            seed: 0,
+            max_wall: Some(std::time::Duration::from_secs(5)),
+        }
+    }
+}
+
+impl Package {
+    /// Compiles the package to the shared bytecode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile (a bug in this crate;
+    /// covered by tests).
+    pub fn compile(&self) -> CompiledModule {
+        self.try_compile()
+            .unwrap_or_else(|e| panic!("package {} failed to compile: {e}", self.name))
+    }
+
+    /// Compiles, reporting errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error for malformed bundled source.
+    pub fn try_compile(&self) -> Result<CompiledModule, CompileError> {
+        match self.lang {
+            Lang::Python => chef_minipy::compile(self.source),
+            Lang::Lua => chef_minilua::compile(self.source),
+        }
+    }
+
+    /// Builds the full interpreter program for this package under the given
+    /// build options.
+    pub fn build(&self, opts: &InterpreterOptions) -> Program {
+        let module = self.compile();
+        build_program(&module, opts, &self.test)
+            .unwrap_or_else(|e| panic!("package {}: {e}", self.name))
+    }
+
+    /// Coverable LOC (Table 3): distinct source lines with compiled code.
+    pub fn coverable_loc(&self) -> usize {
+        self.compile().coverable_lines()
+    }
+
+    /// Total source LOC (non-blank).
+    pub fn source_loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Runs the Chef engine on this package and returns the session report.
+    pub fn run(&self, config: &RunConfig) -> Report {
+        let prog = self.build(&config.opts);
+        let chef_config = ChefConfig {
+            strategy: config.strategy,
+            seed: config.seed,
+            max_ll_instructions: config.max_ll_instructions,
+            per_path_fuel: config.per_path_fuel,
+            max_wall: config.max_wall,
+            ..ChefConfig::default()
+        };
+        Chef::new(&prog, chef_config).run()
+    }
+
+    /// Line coverage of a report's test suite, measured by replaying the
+    /// generated tests concretely (as the paper replays on a vanilla
+    /// interpreter): fraction of coverable lines hit.
+    pub fn line_coverage(&self, report: &Report) -> f64 {
+        let module = self.compile();
+        let covered: std::collections::BTreeSet<u32> = report
+            .covered_hlpcs
+            .iter()
+            .filter_map(|&pc| module.line_of_hlpc(pc))
+            .collect();
+        let total = module.coverable_lines().max(1);
+        covered.len() as f64 / total as f64
+    }
+
+    /// Splits a report's exceptions into (documented, undocumented) class
+    /// name sets (the Table 3 "Exceptions total / undocumented" columns).
+    pub fn classify_exceptions(&self, report: &Report) -> (Vec<String>, Vec<String>) {
+        let mut documented = Vec::new();
+        let mut undocumented = Vec::new();
+        for name in report.exceptions.keys() {
+            if self.documented_exceptions.contains(&name.as_str()) {
+                documented.push(name.clone());
+            } else {
+                undocumented.push(name.clone());
+            }
+        }
+        (documented, undocumented)
+    }
+}
+
+/// All eleven Table 3 packages, Python first.
+pub fn all_packages() -> Vec<Package> {
+    let mut v = python_packages();
+    v.extend(lua_packages());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_packages_compile() {
+        for pkg in all_packages() {
+            let module = pkg
+                .try_compile()
+                .unwrap_or_else(|e| panic!("{}: {e}", pkg.name));
+            assert!(module.coverable_lines() > 5, "{} too trivial", pkg.name);
+        }
+    }
+
+    #[test]
+    fn all_packages_build_under_every_interpreter_build() {
+        for pkg in all_packages() {
+            for (_, opts) in InterpreterOptions::cumulative() {
+                let prog = pkg.build(&opts);
+                assert!(prog.validate().is_ok(), "{}", pkg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn package_tests_match_entry_arity() {
+        for pkg in all_packages() {
+            let module = pkg.compile();
+            let idx = module
+                .func_index(&pkg.test.entry)
+                .unwrap_or_else(|| panic!("{}: no entry {}", pkg.name, pkg.test.entry));
+            assert_eq!(
+                module.funcs[idx].n_params as usize,
+                pkg.test.args.len(),
+                "{}",
+                pkg.name
+            );
+        }
+    }
+
+    #[test]
+    fn feature_probes_compile() {
+        for probe in probes() {
+            if let Some(src) = probe.source {
+                chef_minipy::compile(src)
+                    .unwrap_or_else(|e| panic!("{}: {e}", probe.feature));
+            }
+        }
+    }
+
+    #[test]
+    fn table3_inventory_matches_paper() {
+        let pkgs = all_packages();
+        assert_eq!(pkgs.iter().filter(|p| p.lang == Lang::Python).count(), 6);
+        assert_eq!(pkgs.iter().filter(|p| p.lang == Lang::Lua).count(), 5);
+    }
+}

@@ -1,0 +1,354 @@
+//! The five Lua evaluation packages of Table 3, ported to MiniLua.
+//!
+//! `sb-JSON` carries the paper's star finding (§6.2): comments are not part
+//! of the JSON standard, but the parser accepts them for convenience — and
+//! an unterminated `/*` makes the tokenizer spin forever waiting for the
+//! next token (a denial-of-service an attacker could trigger remotely).
+
+use chef_minipy::SymbolicTest;
+
+use crate::{Lang, Package};
+
+/// `cliargs` analogue: command-line option parser.
+pub const CLIARGS: &str = r##"
+function handle(opts, arg, pos)
+  if #arg == 0 then
+    error("empty argument")
+  end
+  if #arg >= 2 and sub(arg, 1, 2) == "--" then
+    local eq = find(arg, "=")
+    if eq > 0 then
+      if eq < 4 then
+        error("malformed option")
+      end
+      opts[sub(arg, 3, eq - 1)] = sub(arg, eq + 1, #arg)
+    else
+      opts[sub(arg, 3, #arg)] = "true"
+    end
+    return pos
+  end
+  if sub(arg, 1, 1) == "-" then
+    if #arg < 2 then
+      error("bare dash")
+    end
+    opts[sub(arg, 2, #arg)] = "true"
+    return pos
+  end
+  return pos + 1
+end
+
+function parse(a1, a2)
+  local opts = {}
+  local pos = 0
+  pos = handle(opts, a1, pos)
+  pos = handle(opts, a2, pos)
+  return pos
+end
+"##;
+
+/// `lua-haml` analogue: HAML-style markup to HTML.
+pub const HAML: &str = r##"
+function render_line(line)
+  if #line == 0 then
+    return ""
+  end
+  local c = sub(line, 1, 1)
+  if c == "%" then
+    local sp = find(line, " ")
+    if sp == 0 then
+      local tag = sub(line, 2, #line)
+      if #tag == 0 then
+        error("empty tag")
+      end
+      return "<" .. tag .. "/>"
+    end
+    local tag = sub(line, 2, sp - 1)
+    if #tag == 0 then
+      error("empty tag")
+    end
+    return "<" .. tag .. ">" .. sub(line, sp + 1, #line) .. "</" .. tag .. ">"
+  end
+  if c == "=" then
+    error("script tags unsupported")
+  end
+  if c == "-" then
+    return ""
+  end
+  return line
+end
+
+function render(src)
+  local out = ""
+  local line = ""
+  local i = 1
+  local n = #src
+  while i <= n + 1 do
+    local flush = 1
+    if i <= n then
+      local c = sub(src, i, i)
+      if c ~= "\n" then
+        line = line .. c
+        flush = 0
+      end
+    end
+    i = i + 1
+    if flush == 1 then
+      out = out .. render_line(line)
+      line = ""
+    end
+  end
+  return #out
+end
+"##;
+
+/// `sb-JSON` analogue, including the unterminated-comment hang (§6.2).
+pub const JSON_LUA: &str = r##"
+function is_ws(c)
+  if c == " " or c == "\t" or c == "\n" or c == "\r" then
+    return 1
+  end
+  return 0
+end
+
+function skip_junk(s, i)
+  local n = #s
+  while true do
+    while i <= n and is_ws(sub(s, i, i)) == 1 do
+      i = i + 1
+    end
+    if i < n and sub(s, i, i + 1) == "/*" then
+      -- Comments are not JSON, accepted for convenience (the paper's bug).
+      local found = 0
+      local j = i + 2
+      while j < n do
+        if sub(s, j, j + 1) == "*/" then
+          found = j
+          break
+        end
+        j = j + 1
+      end
+      if found > 0 then
+        i = found + 2
+      end
+      -- BUG: when the comment never closes, i is left unchanged and this
+      -- loop spins forever waiting for the next token.
+    else
+      return i
+    end
+  end
+end
+
+function parse(s)
+  local i = 1
+  local n = #s
+  local depth = 0
+  local tokens = 0
+  while true do
+    i = skip_junk(s, i)
+    if i > n then
+      if depth ~= 0 then
+        error("unbalanced brackets")
+      end
+      return tokens
+    end
+    local c = sub(s, i, i)
+    if c == "{" or c == "[" then
+      depth = depth + 1
+    end
+    if c == "}" or c == "]" then
+      depth = depth - 1
+      if depth < 0 then
+        error("unbalanced brackets")
+      end
+    end
+    i = i + 1
+    tokens = tokens + 1
+    if tokens > 64 then
+      error("input too long")
+    end
+  end
+end
+"##;
+
+/// `markdown` analogue: text-to-HTML conversion.
+pub const MARKDOWN: &str = r##"
+function heading_level(line)
+  local lvl = 0
+  local i = 1
+  while i <= #line and sub(line, i, i) == "#" do
+    lvl = lvl + 1
+    i = i + 1
+  end
+  if lvl > 6 then
+    error("heading too deep")
+  end
+  return lvl
+end
+
+function render_line(line)
+  if #line == 0 then
+    return ""
+  end
+  local lvl = heading_level(line)
+  if lvl > 0 then
+    local text = sub(line, lvl + 1, #line)
+    return "<h" .. tostring(lvl) .. ">" .. text .. "</h" .. tostring(lvl) .. ">"
+  end
+  local star = find(line, "*")
+  if star > 0 then
+    local rest = sub(line, star + 1, #line)
+    local close = find(rest, "*")
+    if close == 0 then
+      error("unterminated emphasis")
+    end
+    return "<p>" .. sub(line, 1, star - 1) .. "<em>" .. sub(rest, 1, close - 1) .. "</em></p>"
+  end
+  return "<p>" .. line .. "</p>"
+end
+
+function render(src)
+  local out = ""
+  local line = ""
+  local i = 1
+  local n = #src
+  while i <= n + 1 do
+    local flush = 1
+    if i <= n then
+      local c = sub(src, i, i)
+      if c ~= "\n" then
+        line = line .. c
+        flush = 0
+      end
+    end
+    i = i + 1
+    if flush == 1 then
+      out = out .. render_line(line)
+      line = ""
+    end
+  end
+  return #out
+end
+"##;
+
+/// `moonscript` analogue: a tiny language that compiles to Lua-ish text.
+pub const MOONSCRIPT: &str = r##"
+function compile_line(line, state)
+  if #line == 0 then
+    return ""
+  end
+  if sub(line, 1, 3) == "fn " then
+    local name = sub(line, 4, #line)
+    if #name == 0 then
+      error("function needs a name")
+    end
+    state["depth"] = state["depth"] + 1
+    return "function " .. name .. "()"
+  end
+  if line == "end" then
+    if state["depth"] == 0 then
+      error("unbalanced end")
+    end
+    state["depth"] = state["depth"] - 1
+    return "end"
+  end
+  if sub(line, 1, 4) == "ret " then
+    if state["depth"] == 0 then
+      error("return outside function")
+    end
+    return "return " .. sub(line, 5, #line)
+  end
+  local eq = find(line, "=")
+  if eq > 1 then
+    local name = sub(line, 1, eq - 1)
+    local value = sub(line, eq + 1, #line)
+    if #value == 0 then
+      error("empty expression")
+    end
+    return "local " .. name .. " = " .. value
+  end
+  error("unknown statement")
+end
+
+function compile(src)
+  local state = {}
+  state["depth"] = 0
+  local out = ""
+  local line = ""
+  local i = 1
+  local n = #src
+  while i <= n + 1 do
+    local flush = 1
+    if i <= n then
+      local c = sub(src, i, i)
+      if c ~= "\n" then
+        line = line .. c
+        flush = 0
+      end
+    end
+    i = i + 1
+    if flush == 1 then
+      out = out .. compile_line(line, state) .. "\n"
+      line = ""
+    end
+  end
+  if state["depth"] ~= 0 then
+    error("unclosed function")
+  end
+  return #out
+end
+"##;
+
+/// All five Lua packages with their Table 3 metadata.
+///
+/// Lua has no exception mechanism in the evaluated subset, so (as in the
+/// paper) only crashes and hangs are meaningful for these rows; `error()`
+/// terminations count as graceful script errors.
+pub fn lua_packages() -> Vec<Package> {
+    vec![
+        Package {
+            name: "cliargs",
+            lang: Lang::Lua,
+            category: "System",
+            description: "Command-line interface",
+            source: CLIARGS,
+            documented_exceptions: &["LuaError"],
+            test: SymbolicTest::new("parse").sym_str("a1", 4).sym_str("a2", 4),
+        },
+        Package {
+            name: "lua-haml",
+            lang: Lang::Lua,
+            category: "Web",
+            description: "HTML description markup",
+            source: HAML,
+            documented_exceptions: &["LuaError"],
+            test: SymbolicTest::new("render").sym_str("src", 6),
+        },
+        Package {
+            name: "JSON",
+            lang: Lang::Lua,
+            category: "Web",
+            description: "JSON format parser (accepts /* comments */)",
+            source: JSON_LUA,
+            documented_exceptions: &["LuaError"],
+            test: SymbolicTest::new("parse").sym_str("json", 5),
+        },
+        Package {
+            name: "markdown",
+            lang: Lang::Lua,
+            category: "Web",
+            description: "Text-to-HTML conversion",
+            source: MARKDOWN,
+            documented_exceptions: &["LuaError"],
+            test: SymbolicTest::new("render").sym_str("md", 6),
+        },
+        Package {
+            name: "moonscript",
+            lang: Lang::Lua,
+            category: "System",
+            description: "Language that compiles to Lua",
+            source: MOONSCRIPT,
+            documented_exceptions: &["LuaError"],
+            test: SymbolicTest::new("compile").sym_str("src", 6),
+        },
+    ]
+}

@@ -1,0 +1,450 @@
+//! The six Python evaluation packages of Table 3, ported to MiniPy.
+//!
+//! Each package mirrors its namesake's input language and failure modes:
+//! string/dict-heavy parsing code with documented and (for xlrd) planted
+//! undocumented exceptions, exactly the behaviours §6.2 of the paper mines.
+
+use chef_minipy::SymbolicTest;
+
+use crate::{Lang, Package};
+
+/// `argparse` analogue: command-line interface generator. The symbolic test
+/// mirrors Figure 7: two symbolic option names plus two symbolic arguments
+/// (12 symbolic characters).
+pub const ARGPARSE: &str = r##"
+def add_argument(parser, name):
+    if len(name) == 0:
+        raise ValueError
+    if name.startswith("--"):
+        parser["opt_" + name[2:len(name)]] = 1
+        return 1
+    if name.startswith("-"):
+        parser["flag_" + name[1:len(name)]] = 1
+        return 1
+    npos = parser.get("npos", 0)
+    parser["npos"] = npos + 1
+    return 0
+
+def match_option(parser, arg):
+    if arg.startswith("--"):
+        key = "opt_" + arg[2:len(arg)]
+        if key in parser:
+            return 1
+        raise SystemExit
+    if arg.startswith("-"):
+        key = "flag_" + arg[1:len(arg)]
+        if key in parser:
+            return 1
+        raise SystemExit
+    return 0
+
+def parse_one(parser, arg, got):
+    if match_option(parser, arg) == 1:
+        return got
+    if got >= parser.get("npos", 0):
+        raise SystemExit
+    return got + 1
+
+def parse_args(n1, n2, a1, a2):
+    parser = {}
+    add_argument(parser, n1)
+    add_argument(parser, n2)
+    got = 0
+    got = parse_one(parser, a1, got)
+    got = parse_one(parser, a2, got)
+    return got
+"##;
+
+/// `ConfigParser` analogue: INI configuration file parser.
+pub const CONFIGPARSER: &str = r##"
+def handle_line(cfg, section, s):
+    if len(s) == 0:
+        return section
+    if s.startswith("#") or s.startswith(";"):
+        return section
+    if s.startswith("["):
+        e = s.find("]")
+        if e < 1:
+            raise MissingSectionHeaderError
+        section = s[1:e]
+        cfg[section] = 0
+        return section
+    eq = s.find("=")
+    if eq < 1:
+        raise ParsingError
+    if section == "":
+        raise MissingSectionHeaderError
+    key = s[0:eq].strip()
+    if len(key) == 0:
+        raise ParsingError
+    val = s[eq + 1:len(s)].strip()
+    cfg[section + "." + key] = val
+    cfg[section] = cfg[section] + 1
+    return section
+
+def parse(text):
+    cfg = {}
+    section = ""
+    line = ""
+    i = 0
+    n = len(text)
+    while i <= n:
+        advanced = 0
+        if i < n:
+            c = text[i]
+            if c != "\n":
+                line = line + c
+                i = i + 1
+                advanced = 1
+        if advanced == 0:
+            i = i + 1
+            section = handle_line(cfg, section, line.strip())
+            line = ""
+    return len(cfg)
+"##;
+
+/// `HTMLParser` analogue: tag scanner with depth tracking.
+pub const HTMLPARSER: &str = r##"
+def parse(html):
+    i = 0
+    n = len(html)
+    depth = 0
+    count = 0
+    while i < n:
+        if html[i] == "<":
+            rest = html[i:n]
+            e = rest.find(">")
+            if e < 0:
+                raise HTMLParseError
+            tag = rest[1:e]
+            if len(tag) == 0:
+                raise HTMLParseError
+            if tag.startswith("/"):
+                depth = depth - 1
+                if depth < 0:
+                    raise HTMLParseError
+            else:
+                if not tag.endswith("/"):
+                    depth = depth + 1
+                count = count + 1
+            i = i + e + 1
+        else:
+            i = i + 1
+    if depth != 0:
+        raise HTMLParseError
+    return count
+"##;
+
+/// `simplejson` analogue: JSON decoder (validating recursive descent).
+pub const SIMPLEJSON: &str = r##"
+def skip_ws(s, i):
+    n = len(s)
+    while i < n and (s[i] == " " or s[i] == "\t" or s[i] == "\n"):
+        i = i + 1
+    return i
+
+def parse_string(s, i):
+    n = len(s)
+    i = i + 1
+    while i < n:
+        if s[i] == "\"":
+            return i + 1
+        if s[i] == "\\":
+            i = i + 2
+        else:
+            i = i + 1
+    raise JSONDecodeError
+
+def parse_number(s, i):
+    n = len(s)
+    start = i
+    if i < n and s[i] == "-":
+        i = i + 1
+    digits = 0
+    while i < n and s[i] >= "0" and s[i] <= "9":
+        i = i + 1
+        digits = digits + 1
+    if digits == 0:
+        raise JSONDecodeError
+    return i
+
+def parse_object(s, i):
+    n = len(s)
+    i = skip_ws(s, i + 1)
+    if i < n and s[i] == "}":
+        return i + 1
+    while 1 == 1:
+        i = skip_ws(s, i)
+        if i >= n or s[i] != "\"":
+            raise JSONDecodeError
+        i = parse_string(s, i)
+        i = skip_ws(s, i)
+        if i >= n or s[i] != ":":
+            raise JSONDecodeError
+        i = parse_value(s, i + 1)
+        i = skip_ws(s, i)
+        if i < n and s[i] == ",":
+            i = i + 1
+            continue
+        if i < n and s[i] == "}":
+            return i + 1
+        raise JSONDecodeError
+    return i
+
+def parse_array(s, i):
+    n = len(s)
+    i = skip_ws(s, i + 1)
+    if i < n and s[i] == "]":
+        return i + 1
+    while 1 == 1:
+        i = parse_value(s, i)
+        i = skip_ws(s, i)
+        if i < n and s[i] == ",":
+            i = i + 1
+            continue
+        if i < n and s[i] == "]":
+            return i + 1
+        raise JSONDecodeError
+    return i
+
+def parse_value(s, i):
+    i = skip_ws(s, i)
+    n = len(s)
+    if i >= n:
+        raise JSONDecodeError
+    c = s[i]
+    if c == "{":
+        return parse_object(s, i)
+    if c == "[":
+        return parse_array(s, i)
+    if c == "\"":
+        return parse_string(s, i)
+    if c == "t":
+        if s[i:i + 4] == "true":
+            return i + 4
+        raise JSONDecodeError
+    if c == "f":
+        if s[i:i + 5] == "false":
+            return i + 5
+        raise JSONDecodeError
+    if c == "n":
+        if s[i:i + 4] == "null":
+            return i + 4
+        raise JSONDecodeError
+    return parse_number(s, i)
+
+def loads(s):
+    i = parse_value(s, 0)
+    i = skip_ws(s, i)
+    if i != len(s):
+        raise JSONDecodeError
+    return i
+"##;
+
+/// `unicodecsv` analogue: CSV row parser with quoting.
+pub const UNICODECSV: &str = r##"
+def parse_row(line):
+    fields = []
+    cur = ""
+    i = 0
+    n = len(line)
+    quoted = False
+    while i < n:
+        c = line[i]
+        if quoted:
+            if c == "\"":
+                if i + 1 < n and line[i + 1] == "\"":
+                    cur = cur + "\""
+                    i = i + 2
+                    continue
+                quoted = False
+                i = i + 1
+                continue
+            cur = cur + c
+            i = i + 1
+            continue
+        if c == "\"":
+            if cur != "":
+                raise Error
+            quoted = True
+            i = i + 1
+            continue
+        if c == ",":
+            fields.append(cur)
+            cur = ""
+            i = i + 1
+            continue
+        cur = cur + c
+        i = i + 1
+    if quoted:
+        raise Error
+    fields.append(cur)
+    return len(fields)
+"##;
+
+/// `xlrd` analogue: binary spreadsheet record parser. Besides the
+/// documented `XLRDError`, inner components raise `BadZipfile`, `error`,
+/// `AssertionError`, and `IndexError` — the four undocumented exception
+/// types §6.2 reports for xlrd.
+pub const XLRD: &str = r##"
+def check_magic(data):
+    if len(data) < 2:
+        raise XLRDError
+    if data[0] == "P" and data[1] == "K":
+        raise BadZipfile
+    if data[0] != "X":
+        raise XLRDError
+    return 1
+
+def read_record(data, i, rows):
+    n = len(data)
+    t = data[i]
+    if i + 1 >= n:
+        raise error
+    ln = ord(data[i + 1]) - 48
+    if ln < 0:
+        raise error
+    if ln > 9:
+        raise error
+    if i + 2 + ln > n:
+        raise error
+    if t == "S":
+        j = 0
+        while j < ln:
+            ch = ord(data[i + 2 + j])
+            if ch < 32:
+                raise AssertionError
+            j = j + 1
+    if t == "N":
+        if ln == 0:
+            raise XLRDError
+        val = int(data[i + 2:i + 2 + ln])
+    if t == "R":
+        if ln < 1:
+            raise error
+        idx = ord(data[i + 2]) - 48
+        rows[idx] = 1
+    return i + 2 + ln
+
+def open_workbook(data):
+    check_magic(data)
+    rows = [0, 0, 0, 0]
+    i = 1
+    n = len(data)
+    count = 0
+    while i < n:
+        i = read_record(data, i, rows)
+        count = count + 1
+        if count > 8:
+            raise XLRDError
+    return count
+"##;
+
+/// The OpenFlow MAC-learning controller of §6.6 / Figure 12: receives a
+/// sequence of 3-byte Ethernet frames `(src, dst, type)` and maintains a
+/// forwarding table in a dict (the structure that makes the vanilla build
+/// explode on symbolic hashes).
+pub const MAC_CONTROLLER: &str = r##"
+def controller(packets):
+    table = {}
+    sent = 0
+    flooded = 0
+    i = 0
+    n = len(packets)
+    while i + 3 <= n:
+        src = packets[i]
+        dst = packets[i + 1]
+        ptype = ord(packets[i + 2])
+        table[src] = 1
+        if ptype >= 128:
+            i = i + 3
+            continue
+        if dst in table:
+            sent = sent + 1
+        else:
+            flooded = flooded + 1
+        i = i + 3
+    return sent * 100 + flooded
+"##;
+
+/// All six Python packages with their Table 3 metadata.
+pub fn python_packages() -> Vec<Package> {
+    vec![
+        Package {
+            name: "argparse",
+            lang: Lang::Python,
+            category: "System",
+            description: "Command-line interface",
+            source: ARGPARSE,
+            documented_exceptions: &["SystemExit", "ValueError"],
+            test: SymbolicTest::new("parse_args")
+                .sym_str("arg1_name", 3)
+                .sym_str("arg2_name", 3)
+                .sym_str("arg1", 3)
+                .sym_str("arg2", 3),
+        },
+        Package {
+            name: "ConfigParser",
+            lang: Lang::Python,
+            category: "System",
+            description: "Configuration file parser",
+            source: CONFIGPARSER,
+            documented_exceptions: &["MissingSectionHeaderError", "ParsingError"],
+            test: SymbolicTest::new("parse").sym_str("config", 6),
+        },
+        Package {
+            name: "HTMLParser",
+            lang: Lang::Python,
+            category: "Web",
+            description: "HTML parser",
+            source: HTMLPARSER,
+            documented_exceptions: &["HTMLParseError"],
+            test: SymbolicTest::new("parse").sym_str("html", 6),
+        },
+        Package {
+            name: "simplejson",
+            lang: Lang::Python,
+            category: "Web",
+            description: "JSON format parser",
+            source: SIMPLEJSON,
+            documented_exceptions: &["JSONDecodeError", "ValueError"],
+            test: SymbolicTest::new("loads").sym_str("json", 6),
+        },
+        Package {
+            name: "unicodecsv",
+            lang: Lang::Python,
+            category: "Office",
+            description: "CSV file parser",
+            source: UNICODECSV,
+            documented_exceptions: &["Error"],
+            test: SymbolicTest::new("parse_row").sym_str("row", 6),
+        },
+        Package {
+            name: "xlrd",
+            lang: Lang::Python,
+            category: "Office",
+            description: "Microsoft Excel reader",
+            source: XLRD,
+            documented_exceptions: &["XLRDError", "ValueError"],
+            test: SymbolicTest::new("open_workbook").sym_str("xls", 6),
+        },
+    ]
+}
+
+/// The MAC-learning controller package (not part of Table 3; used by the
+/// Figure 12 overhead comparison).
+pub fn mac_controller(frames: usize) -> (Package, SymbolicTest) {
+    let test = SymbolicTest::new("controller").sym_str("packets", frames * 3);
+    (
+        Package {
+            name: "mac_controller",
+            lang: Lang::Python,
+            category: "Network",
+            description: "OpenFlow MAC-learning controller (NICE's workload)",
+            source: MAC_CONTROLLER,
+            documented_exceptions: &[],
+            test: test.clone(),
+        },
+        test,
+    )
+}

@@ -1,0 +1,123 @@
+//! End-to-end checks that the engine rediscovers the paper's §6.2 findings
+//! on the bundled packages.
+
+use chef_core::{StrategyKind, TestStatus};
+use chef_minipy::InterpreterOptions;
+use chef_targets::{all_packages, lua_packages, python_packages, RunConfig};
+
+fn cfg(budget: u64) -> RunConfig {
+    RunConfig {
+        strategy: StrategyKind::CupaPath,
+        opts: InterpreterOptions::all(),
+        max_ll_instructions: budget,
+        per_path_fuel: 120_000,
+        seed: 1,
+        max_wall: Some(std::time::Duration::from_secs(30)),
+    }
+}
+
+#[test]
+fn lua_json_comment_hang_is_found() {
+    // §6.2: "we discovered a bug in the Lua JSON package that causes the
+    // parser to hang in an infinite loop" on an unterminated comment.
+    let pkg = lua_packages().into_iter().find(|p| p.name == "JSON").unwrap();
+    let report = pkg.run(&cfg(2_500_000));
+    assert!(report.hangs > 0, "the unterminated-comment hang must be found");
+    let hang = report
+        .tests
+        .iter()
+        .find(|t| t.status == TestStatus::Hang)
+        .unwrap();
+    let input = String::from_utf8_lossy(&hang.inputs["json"]).into_owned();
+    assert!(
+        input.contains("/*") && !input.contains("*/"),
+        "hang input should open a comment and never close it: {input:?}"
+    );
+}
+
+#[test]
+fn xlrd_undocumented_exceptions_are_found() {
+    // §6.2: xlrd raises BadZipfile, IndexError, error, AssertionError from
+    // inner components — all undocumented.
+    let pkg = python_packages().into_iter().find(|p| p.name == "xlrd").unwrap();
+    let report = pkg.run(&cfg(3_000_000));
+    let (_, undocumented) = pkg.classify_exceptions(&report);
+    assert!(
+        undocumented.len() >= 2,
+        "expected several undocumented exception types, got {undocumented:?} \
+         (all: {:?})",
+        report.exceptions
+    );
+    assert!(
+        report.exceptions.contains_key("BadZipfile"),
+        "the zip-magic probe input PK... must be generated: {:?}",
+        report.exceptions
+    );
+}
+
+#[test]
+fn no_package_crashes_the_interpreter() {
+    // §6.2's second implicit specification: the interpreter must never
+    // terminate non-gracefully while running the packages.
+    for pkg in all_packages() {
+        let report = pkg.run(&cfg(400_000));
+        assert_eq!(
+            report.crashes, 0,
+            "{}: interpreter crash (guest abort) detected",
+            pkg.name
+        );
+        assert!(report.ll_paths > 0, "{}: nothing explored", pkg.name);
+    }
+}
+
+#[test]
+fn generated_tests_replay_faithfully() {
+    // Replaying each generated test on the concrete VM reproduces the
+    // recorded outcome (the paper's replay step).
+    for pkg in python_packages() {
+        let report = pkg.run(&cfg(300_000));
+        let prog = pkg.build(&InterpreterOptions::all());
+        for t in report.tests.iter().take(20) {
+            let out = chef_core::replay(&prog, &t.inputs, 2_000_000);
+            match &t.status {
+                TestStatus::Ok(code) => {
+                    assert_eq!(
+                        out.status,
+                        chef_lir::ConcreteStatus::EndedSymbolic(*code),
+                        "{}: test {} diverged on replay",
+                        pkg.name,
+                        t.id
+                    );
+                    match &t.exception {
+                        Some(name) => assert!(
+                            out.events.iter().any(|e| matches!(
+                                e,
+                                chef_lir::GuestEvent::Exception(n) if n == name
+                            )),
+                            "{}: exception {name} not reproduced",
+                            pkg.name
+                        ),
+                        None => assert!(
+                            !out
+                                .events
+                                .iter()
+                                .any(|e| matches!(e, chef_lir::GuestEvent::Exception(_))),
+                            "{}: unexpected exception on replay",
+                            pkg.name
+                        ),
+                    }
+                }
+                TestStatus::Hang => {
+                    // Hangs replay as fuel exhaustion.
+                    assert!(
+                        matches!(out.status, chef_lir::ConcreteStatus::OutOfFuel),
+                        "{}: hang test {} terminated on replay",
+                        pkg.name,
+                        t.id
+                    );
+                }
+                TestStatus::Crash(_) => unreachable!("checked above"),
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Use the Chef-generated engine as a *reference implementation* to find
+//! bugs in a hand-written engine (§6.6).
+//!
+//! The paper: "we found a bug in the NICE implementation ... in the way
+//! NICE handled `if not <expr>` statements, causing the engine to select
+//! for exploration the wrong branch alternate". Here we run the same
+//! differential comparison: Chef's test cases vs NICE's, with the NICE bug
+//! emulation on and off.
+//!
+//! Run with: `cargo run --release --example cross_check`
+
+use std::collections::BTreeSet;
+
+use chef_core::{Chef, ChefConfig, StrategyKind};
+use chef_minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+use chef_nice::{NiceConfig, NiceEngine};
+
+fn main() {
+    // A target using `if not` — the construct NICE mishandled.
+    let source = r#"
+def classify(n):
+    big = n > 50
+    if not big:
+        if n > 10:
+            return 1
+        return 0
+    return 2
+"#;
+    let module = compile(source).unwrap();
+    let test = SymbolicTest::new("classify").sym_int("n", 0, 100);
+
+    // Reference: the Chef-generated engine.
+    let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+    let chef_report = Chef::new(
+        &prog,
+        ChefConfig {
+            strategy: StrategyKind::CupaPath,
+            max_ll_instructions: 500_000,
+            ..ChefConfig::default()
+        },
+    )
+    .run();
+    let chef_outcomes: BTreeSet<String> = chef_report
+        .tests
+        .iter()
+        .filter(|t| t.new_hl_path)
+        .map(|t| {
+            let n = i64::from_le_bytes(chef_input(&t.inputs["n"]));
+            outcome(n)
+        })
+        .collect();
+
+    for (label, bug) in [("correct NICE", false), ("buggy NICE (if-not bug)", true)] {
+        let report = NiceEngine::new(
+            &module,
+            NiceConfig { emulate_ifnot_bug: bug, ..Default::default() },
+        )
+        .run(&test);
+        let nice_outcomes: BTreeSet<String> = report
+            .tests
+            .iter()
+            .map(|t| outcome(i64::from_le_bytes(chef_input(&t.inputs["n"]))))
+            .collect();
+        let missed: Vec<&String> = chef_outcomes.difference(&nice_outcomes).collect();
+        println!(
+            "{label:<26} paths={} distinct outcomes={:?}",
+            report.paths, nice_outcomes
+        );
+        if missed.is_empty() {
+            println!("{:<26} agrees with the Chef reference", "");
+        } else {
+            println!(
+                "{:<26} BUG: misses feasible outcomes {missed:?} that Chef covers",
+                ""
+            );
+        }
+    }
+    println!();
+    println!(
+        "Chef reference covers {} outcomes: {:?}",
+        chef_outcomes.len(),
+        chef_outcomes
+    );
+}
+
+fn chef_input(bytes: &[u8]) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    b[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+    b
+}
+
+fn outcome(n: i64) -> String {
+    if !(n > 50) {
+        if n > 10 {
+            "returns 1".into()
+        } else {
+            "returns 0".into()
+        }
+    } else {
+        "returns 2".into()
+    }
+}

@@ -1,0 +1,186 @@
+//! Command-line front-end: point Chef at a MiniPy/MiniLua source file and
+//! generate a test suite.
+//!
+//! ```console
+//! $ chef-cli run program.py --entry validate --sym-str email:8
+//! $ chef-cli run script.lua --entry parse --sym-str json:5 --strategy cupa-cov
+//! $ chef-cli disasm program.py
+//! ```
+
+use std::process::ExitCode;
+
+use chef::core::{Chef, ChefConfig, StrategyKind, TestStatus};
+use chef::minipy::{build_program, CompiledModule, InterpreterOptions, SymbolicTest};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  chef-cli run <file.py|file.lua> --entry <fn> [--sym-str name:len]...
+           [--sym-int name:min:max]... [--strategy random|cupa|cupa-cov|dfs]
+           [--budget <ll-instructions>] [--vanilla] [--seed <n>]
+  chef-cli disasm <file.py|file.lua>"
+    );
+    ExitCode::from(2)
+}
+
+fn compile_file(path: &str) -> Result<CompiledModule, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".lua") {
+        chef::minilua::compile(&source).map_err(|e| format!("{path}: {e}"))
+    } else {
+        chef::minipy::compile(&source).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn disasm(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    match compile_file(path) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(module) => {
+            for (i, f) in module.funcs.iter().enumerate() {
+                println!("code object #{i}: {} ({} params, {} locals)", f.name, f.n_params, f.n_locals);
+                print!("{}", f.disassemble());
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let mut entry = None;
+    let mut test_args: Vec<(String, String)> = Vec::new();
+    let mut strategy = StrategyKind::CupaPath;
+    let mut budget = 2_000_000u64;
+    let mut opts = InterpreterOptions::all();
+    let mut seed = 0u64;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--entry" => entry = it.next().cloned(),
+            "--sym-str" | "--sym-int" => {
+                let Some(spec) = it.next() else { return usage() };
+                test_args.push((flag.clone(), spec.clone()));
+            }
+            "--strategy" => {
+                strategy = match it.next().map(String::as_str) {
+                    Some("random") => StrategyKind::Random,
+                    Some("cupa") => StrategyKind::CupaPath,
+                    Some("cupa-cov") => StrategyKind::CupaCoverage,
+                    Some("dfs") => StrategyKind::Dfs,
+                    _ => return usage(),
+                };
+            }
+            "--budget" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                budget = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seed = v;
+            }
+            "--vanilla" => opts = InterpreterOptions::vanilla(),
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(entry) = entry else {
+        eprintln!("--entry is required");
+        return usage();
+    };
+    let mut test = SymbolicTest::new(&entry);
+    for (kind, spec) in &test_args {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match (kind.as_str(), parts.as_slice()) {
+            ("--sym-str", [name, len]) => match len.parse::<usize>() {
+                Ok(len) => test = test.sym_str(*name, len),
+                Err(_) => return usage(),
+            },
+            ("--sym-int", [name, min, max]) => {
+                match (min.parse::<i64>(), max.parse::<i64>()) {
+                    (Ok(min), Ok(max)) => test = test.sym_int(*name, min, max),
+                    _ => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+
+    let module = match compile_file(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match build_program(&module, &opts, &test) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = Chef::new(
+        &prog,
+        ChefConfig {
+            strategy,
+            seed,
+            max_ll_instructions: budget,
+            per_path_fuel: budget / 8,
+            ..ChefConfig::default()
+        },
+    )
+    .run();
+    println!(
+        "strategy={} build={} ll-instructions={} elapsed={:?}",
+        report.strategy,
+        opts.label(),
+        report.ll_instructions,
+        report.elapsed
+    );
+    println!(
+        "{} low-level paths, {} high-level paths, {} tests, {} hangs, {} crashes",
+        report.ll_paths,
+        report.hl_paths,
+        report.tests.len(),
+        report.hangs,
+        report.crashes
+    );
+    if !report.exceptions.is_empty() {
+        println!("exceptions: {:?}", report.exceptions);
+    }
+    for t in report.tests.iter().filter(|t| t.new_hl_path) {
+        let mut parts = Vec::new();
+        for (name, bytes) in &t.inputs {
+            parts.push(format!("{name}={:?}", String::from_utf8_lossy(bytes)));
+        }
+        let status = match (&t.status, &t.exception) {
+            (TestStatus::Hang, _) => "HANG".to_string(),
+            (_, Some(e)) => format!("raises {e}"),
+            (TestStatus::Ok(c), None) => format!("ok({c})"),
+            (TestStatus::Crash(c), None) => format!("CRASH({c})"),
+        };
+        println!("  [{}] {} -> {}", t.id, parts.join(" "), status);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,37 @@
+//! # chef — reproduction of "Prototyping Symbolic Execution Engines for
+//! Interpreted Languages" (Bucur, Kinder, Candea — ASPLOS 2014)
+//!
+//! This facade re-exports the whole stack; see README.md for the layout and
+//! DESIGN.md for the substitution map against the paper's artifacts.
+//!
+//! - [`solver`] — QF_BV constraint solving (STP substitute)
+//! - [`lir`] — the low-level IR "machine code" + concrete reference VM
+//! - [`symex`] — the low-level symbolic executor (S2E substitute)
+//! - [`core`] — the Chef layer: HLPC tracing, CUPA, test generation
+//! - [`minipy`] — the Python-subset interpreter, compiled to LIR
+//! - [`minilua`] — the Lua-subset front-end
+//! - [`nice`] — the hand-made baseline engine (NICE-PySE substitute)
+//! - [`targets`] — the Table 3 packages, MAC controller, feature probes
+//!
+//! # Examples
+//!
+//! ```
+//! use chef::core::{Chef, ChefConfig};
+//! use chef::minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+//!
+//! let module = compile("def f(x):\n    if x == \"ab\":\n        return 1\n    return 0\n")?;
+//! let test = SymbolicTest::new("f").sym_str("x", 2);
+//! let prog = build_program(&module, &InterpreterOptions::all(), &test)?;
+//! let report = Chef::new(&prog, ChefConfig::default()).run();
+//! assert!(report.tests.iter().any(|t| t.inputs["x"] == b"ab"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use chef_core as core;
+pub use chef_lir as lir;
+pub use chef_minilua as minilua;
+pub use chef_minipy as minipy;
+pub use chef_nice as nice;
+pub use chef_solver as solver;
+pub use chef_symex as symex;
+pub use chef_targets as targets;

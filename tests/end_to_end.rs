@@ -1,0 +1,193 @@
+//! Workspace-level integration tests: the full pipeline from guest source
+//! through the LIR interpreter, the symbolic engine, test generation, and
+//! concrete replay — spanning every crate.
+
+use chef::core::{replay, Chef, ChefConfig, StrategyKind, TestStatus};
+use chef::minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+use chef::nice::{NiceConfig, NiceEngine};
+
+#[test]
+fn chef_engine_covers_all_outcomes_of_a_state_machine() {
+    // A small protocol parser with 4 distinct outcomes.
+    let src = r#"
+def parse(msg):
+    if len(msg) < 2:
+        raise TruncatedError
+    kind = msg[0]
+    if kind == "G":
+        if msg[1] == "0":
+            return 1
+        return 2
+    if kind == "P":
+        return 3
+    raise UnknownKindError
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("parse").sym_str("msg", 3);
+    let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+    let report = Chef::new(
+        &prog,
+        ChefConfig {
+            strategy: StrategyKind::CupaPath,
+            max_ll_instructions: 600_000,
+            ..ChefConfig::default()
+        },
+    )
+    .run();
+    // Outcomes: G0 / G other / P / unknown kind (+TruncatedError is
+    // unreachable with a fixed 3-byte buffer).
+    assert!(report.hl_paths >= 4, "got {}", report.hl_paths);
+    assert!(report
+        .tests
+        .iter()
+        .any(|t| t.exception.as_deref() == Some("UnknownKindError")));
+    let g0 = report.tests.iter().find(|t| t.inputs["msg"].starts_with(b"G0"));
+    assert!(g0.is_some(), "the nested G0 path needs two solved bytes");
+}
+
+#[test]
+fn every_strategy_replays_cleanly_on_minilua() {
+    let src = r#"
+function f(s)
+  if sub(s, 1, 1) == "{" then
+    if sub(s, 2, 2) == "}" then
+      return 2
+    end
+    error("unclosed")
+  end
+  return 0
+end
+"#;
+    let module = chef::minilua::compile(src).unwrap();
+    let test = SymbolicTest::new("f").sym_str("s", 2);
+    for strategy in [
+        StrategyKind::Random,
+        StrategyKind::CupaPath,
+        StrategyKind::CupaCoverage,
+        StrategyKind::Dfs,
+    ] {
+        let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+        let report = Chef::new(
+            &prog,
+            ChefConfig { strategy, max_ll_instructions: 400_000, ..ChefConfig::default() },
+        )
+        .run();
+        assert!(report.hl_paths >= 3, "{strategy:?}: got {}", report.hl_paths);
+        for t in &report.tests {
+            let out = replay(&prog, &t.inputs, 1_000_000);
+            if let TestStatus::Ok(code) = t.status {
+                assert_eq!(
+                    out.status,
+                    chef::lir::ConcreteStatus::EndedSymbolic(code),
+                    "{strategy:?} test {} replay mismatch",
+                    t.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chef_and_nice_agree_on_supported_programs() {
+    // Where NICE's wrapper types fully support a program, both engines must
+    // discover the same outcome set (the §6.6 cross-check use case).
+    let src = r#"
+def f(n):
+    if n < 10:
+        return 0
+    if n < 20:
+        return 1
+    return 2
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("f").sym_int("n", 0, 30);
+
+    let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+    let chef_report = Chef::new(
+        &prog,
+        ChefConfig { max_ll_instructions: 400_000, ..ChefConfig::default() },
+    )
+    .run();
+    let nice_report = NiceEngine::new(&module, NiceConfig::default()).run(&test);
+
+    assert_eq!(chef_report.hl_paths, 3);
+    assert_eq!(nice_report.paths, 3);
+    // Outcome classification of each engine's witnesses must agree.
+    let classify = |bytes: &[u8]| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[..8]);
+        let n = i64::from_le_bytes(b);
+        if n < 10 {
+            0
+        } else if n < 20 {
+            1
+        } else {
+            2
+        }
+    };
+    let chef_outcomes: std::collections::BTreeSet<i32> = chef_report
+        .tests
+        .iter()
+        .filter(|t| t.new_hl_path)
+        .map(|t| classify(&t.inputs["n"]))
+        .collect();
+    let nice_outcomes: std::collections::BTreeSet<i32> =
+        nice_report.tests.iter().map(|t| classify(&t.inputs["n"])).collect();
+    assert_eq!(chef_outcomes, nice_outcomes);
+}
+
+#[test]
+fn interpreter_options_do_not_change_semantics_under_exploration() {
+    // The §4.2 builds must explore the same *high-level* outcome sets —
+    // optimizations may change speed and path counts, never semantics.
+    let src = r#"
+def f(s):
+    d = {}
+    d[s[0]] = 1
+    if s[1] in d:
+        return 1
+    return 0
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("f").sym_str("s", 2);
+    let mut outcome_sets = Vec::new();
+    for (label, opts) in InterpreterOptions::cumulative() {
+        let prog = build_program(&module, &opts, &test).unwrap();
+        let report = Chef::new(
+            &prog,
+            ChefConfig { max_ll_instructions: 1_200_000, ..ChefConfig::default() },
+        )
+        .run();
+        // Classify outcomes semantically by replaying.
+        let mut outcomes = std::collections::BTreeSet::new();
+        for t in &report.tests {
+            let s = &t.inputs["s"];
+            outcomes.insert(s[0] == s[1]);
+        }
+        outcome_sets.push((label, outcomes));
+    }
+    let first = outcome_sets[0].1.clone();
+    assert_eq!(first.len(), 2, "both equal and unequal byte pairs reachable");
+    for (label, set) in &outcome_sets {
+        assert_eq!(set, &first, "build {label} changed reachable outcomes");
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The re-exported layers interoperate without referring to the
+    // underlying crates by name.
+    let mut pool = chef::solver::ExprPool::new();
+    let mut solver = chef::solver::Solver::new();
+    let x = pool.fresh_var("x", 16);
+    let c = pool.constant(16, 999);
+    let eq = pool.eq(x, c);
+    assert!(solver.check(&pool, &[eq]).is_sat());
+
+    let mut mb = chef::lir::ModuleBuilder::new();
+    let main = mb.declare("main", 0);
+    mb.define(main, |b| b.halt(7u64));
+    let prog = mb.finish("main").unwrap();
+    let out = chef::lir::run_concrete(&prog, &Default::default(), 100);
+    assert_eq!(out.status, chef::lir::ConcreteStatus::Halted(7));
+}
