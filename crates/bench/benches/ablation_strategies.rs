@@ -6,7 +6,7 @@
 //! adds DFS and coverage-optimized CUPA, plus the portfolio suggestion of
 //! §6.5 under an equal total budget.
 
-use chef_bench::{banner, mean, run_averaged, rule};
+use chef_bench::{banner, mean, rule, run_averaged};
 use chef_core::StrategyKind;
 use chef_minipy::InterpreterOptions;
 use chef_targets::{python_packages, run_portfolio, RunConfig};
@@ -33,8 +33,7 @@ fn main() {
     for pkg in python_packages() {
         let mut cells = Vec::new();
         for (_, strategy) in strategies {
-            let reports =
-                run_averaged(&pkg, strategy, InterpreterOptions::all(), BUDGET, SEEDS);
+            let reports = run_averaged(&pkg, strategy, InterpreterOptions::all(), BUDGET, SEEDS);
             cells.push(format!("{:8.1}", mean(&reports, |r| r.hl_paths as f64)));
         }
         println!(

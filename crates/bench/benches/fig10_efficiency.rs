@@ -28,8 +28,8 @@ fn main() {
     rule();
     for (label, strategy, opts) in four_configs(StrategyKind::CupaPath) {
         // ratio[bucket] accumulated over packages
-        let mut sums = vec![0.0f64; BUCKETS];
-        let mut counts = vec![0usize; BUCKETS];
+        let mut sums = [0.0f64; BUCKETS];
+        let mut counts = [0usize; BUCKETS];
         for pkg in &packages {
             let report = pkg.run(&RunConfig {
                 strategy,

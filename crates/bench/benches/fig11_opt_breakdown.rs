@@ -3,7 +3,7 @@
 //! +hash neutralization → +fast-path elimination, as the number of
 //! high-level paths relative to the fully optimized build.
 
-use chef_bench::{banner, mean, run_averaged, rule};
+use chef_bench::{banner, mean, rule, run_averaged};
 use chef_core::StrategyKind;
 use chef_minipy::InterpreterOptions;
 use chef_targets::python_packages;
@@ -25,8 +25,7 @@ fn main() {
     for pkg in python_packages() {
         let mut counts = Vec::new();
         for (_, opts) in builds {
-            let reports =
-                run_averaged(&pkg, StrategyKind::CupaPath, opts, BUDGET, SEEDS);
+            let reports = run_averaged(&pkg, StrategyKind::CupaPath, opts, BUDGET, SEEDS);
             counts.push(mean(&reports, |r| r.hl_paths as f64));
         }
         let full = counts[3].max(1.0);

@@ -30,8 +30,7 @@ fn main() {
         let module = compile(pkg.source).unwrap();
         // NICE side.
         let nice = NiceEngine::new(&module, NiceConfig::default()).run(&test);
-        let nice_per_path =
-            nice.elapsed.as_secs_f64() / nice.paths.max(1) as f64;
+        let nice_per_path = nice.elapsed.as_secs_f64() / nice.paths.max(1) as f64;
         let mut cells = Vec::new();
         let mut chef_paths = 0usize;
         for (_, opts) in builds {
@@ -44,12 +43,14 @@ fn main() {
                     per_path_fuel: CHEF_BUDGET / 4,
                     seed: 3,
                     max_wall: Some(WALL_CAP),
+                    // Match the RunConfig-based harnesses: witness inputs
+                    // only, so the timed region excludes canonicalization.
+                    canonical_inputs: false,
                     ..ChefConfig::default()
                 },
             )
             .run();
-            let chef_per_path =
-                report.elapsed.as_secs_f64() / report.hl_paths.max(1) as f64;
+            let chef_per_path = report.elapsed.as_secs_f64() / report.hl_paths.max(1) as f64;
             chef_paths = report.hl_paths;
             cells.push(format!("{:10.1}x", chef_per_path / nice_per_path.max(1e-9)));
         }

@@ -19,7 +19,14 @@ fn main() {
     );
     rule();
     for lang in [Lang::Python, Lang::Lua] {
-        println!("[{}]", if lang == Lang::Python { "Python" } else { "Lua" });
+        println!(
+            "[{}]",
+            if lang == Lang::Python {
+                "Python"
+            } else {
+                "Lua"
+            }
+        );
         for pkg in all_packages().into_iter().filter(|p| p.lang == lang) {
             let mut cells = Vec::new();
             for (_, strategy, opts) in four_configs(StrategyKind::CupaCoverage) {

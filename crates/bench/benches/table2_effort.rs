@@ -69,7 +69,9 @@ fn main() {
     rule();
     println!(
         "{:<38} {:>12} {:>12}",
-        "Interpreter core size (LoC)", py_core, format!("{py_core}*")
+        "Interpreter core size (LoC)",
+        py_core,
+        format!("{py_core}*")
     );
     println!(
         "{:<38} {:>12} {:>12}",

@@ -16,7 +16,11 @@ pub fn four_configs(
         ("CUPA+opts", strategy, InterpreterOptions::all()),
         ("opts only", StrategyKind::Random, InterpreterOptions::all()),
         ("CUPA only", strategy, InterpreterOptions::vanilla()),
-        ("baseline", StrategyKind::Random, InterpreterOptions::vanilla()),
+        (
+            "baseline",
+            StrategyKind::Random,
+            InterpreterOptions::vanilla(),
+        ),
     ]
 }
 
@@ -57,8 +61,7 @@ pub fn stddev(reports: &[Report], f: impl Fn(&Report) -> f64) -> f64 {
         return 0.0;
     }
     let m = mean(reports, &f);
-    let var = reports.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>()
-        / (reports.len() - 1) as f64;
+    let var = reports.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>() / (reports.len() - 1) as f64;
     var.sqrt()
 }
 

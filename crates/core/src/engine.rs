@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
+use crate::seed::WorkSeed;
 use crate::strategy::{fork_weight, Candidate, SearchStrategy, StrategyKind};
 
 /// Configuration of a Chef exploration session.
@@ -41,6 +42,13 @@ pub struct ChefConfig {
     /// clock; solver-heavy configurations get fewer paths per budget, which
     /// is part of the measured effect). `None` = unbounded.
     pub max_wall: Option<std::time::Duration>,
+    /// Concretize test inputs canonically (each byte pinned to its minimum
+    /// feasible value in order) rather than from an arbitrary solver model.
+    /// Canonical inputs are a pure function of the explored path, so
+    /// parallel workers with independent solvers generate byte-identical
+    /// test cases for the same path — which is what lets `chef-fleet`
+    /// deduplicate across workers and match single-threaded runs exactly.
+    pub canonical_inputs: bool,
 }
 
 impl Default for ChefConfig {
@@ -55,6 +63,7 @@ impl Default for ChefConfig {
             exec: ExecConfig::default(),
             timeline_resolution: 50_000,
             max_wall: None,
+            canonical_inputs: true,
         }
     }
 }
@@ -84,6 +93,11 @@ pub struct TestCase {
     /// Terminal node in the high-level execution tree (identifies the
     /// high-level path).
     pub hl_path: HlNodeId,
+    /// Hash of the high-level path's HLPC sequence. Unlike [`HlNodeId`],
+    /// which only names a node in one engine's tree, the signature is
+    /// stable across engines — fleet workers use it to merge high-level
+    /// path counts.
+    pub hl_sig: u64,
     /// Whether this test covers a high-level path no earlier test covered
     /// (the paper's "relevant high-level test case").
     pub new_hl_path: bool,
@@ -91,6 +105,20 @@ pub struct TestCase {
     pub ll_steps: u64,
     /// Global low-level instruction counter when the test was generated.
     pub at_ll_instructions: u64,
+}
+
+impl TestCase {
+    /// The test's identity for cross-engine comparison and fleet
+    /// deduplication: its input map as ordered `(name, bytes)` pairs.
+    pub fn canonical_key(&self) -> Vec<(String, Vec<u8>)> {
+        let mut k: Vec<(String, Vec<u8>)> = self
+            .inputs
+            .iter()
+            .map(|(n, b)| (n.clone(), b.clone()))
+            .collect();
+        k.sort();
+        k
+    }
 }
 
 /// A sample of exploration progress (drives Figure 10).
@@ -137,6 +165,10 @@ pub struct Report {
     pub dropped_states: u64,
     /// Paths discarded as infeasible (assume contradictions).
     pub infeasible_paths: u64,
+    /// Work seeds exported to other engines (fleet work sharing).
+    pub seeds_exported: u64,
+    /// Work seeds injected from other engines (fleet work sharing).
+    pub seeds_imported: u64,
 }
 
 impl Report {
@@ -148,6 +180,31 @@ impl Report {
             self.hl_paths as f64 / self.ll_paths as f64
         }
     }
+
+    /// Fraction of the session's wall clock spent inside the SAT backend —
+    /// the paper's "time attributable to constraint solving"; the rest is
+    /// interpretation and bookkeeping.
+    pub fn sat_share(&self) -> f64 {
+        let wall = self.elapsed.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (self.solver_stats.sat_time.as_secs_f64() / wall).min(1.0)
+        }
+    }
+}
+
+/// Stable hash of a high-level path (its HLPC sequence), comparable across
+/// engines. FNV-1a.
+pub fn hl_path_signature(pcs: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &pc in pcs {
+        for b in pc.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[derive(Clone, Debug)]
@@ -161,6 +218,20 @@ enum SliceOutcome {
     Reinsert(State, Meta),
     Forked(State, Meta, Vec<(State, Meta)>),
     Finalized,
+}
+
+/// What a call to [`Chef::step_round`] accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// A state was selected and executed for one slice; more work may
+    /// remain.
+    Running,
+    /// No live states remain. The engine can continue if work is injected
+    /// ([`Chef::inject_seed`]).
+    OutOfWork,
+    /// An exploration budget (instructions, wall clock, or test cap) is
+    /// exhausted.
+    Exhausted,
 }
 
 /// The Chef engine (Figure 4): a language-agnostic symbolic execution
@@ -211,13 +282,39 @@ pub struct Chef<'p> {
     exceptions: BTreeMap<String, usize>,
     dropped_states: u64,
     infeasible_paths: u64,
+    seeds_exported: u64,
+    seeds_imported: u64,
+    started: Instant,
 }
 
 impl<'p> Chef<'p> {
     /// Creates an engine for the given interpreter program.
     pub fn new(prog: &'p Program, config: ChefConfig) -> Self {
-        let mut exec = Executor::new(prog, config.exec);
-        let initial = exec.initial_state();
+        let mut chef = Self::without_states(prog, config);
+        let initial = chef.exec.initial_state();
+        chef.live.push((
+            initial,
+            Meta {
+                hl_node: HL_ROOT,
+                prev_hlpc: None,
+                last_exception: None,
+            },
+        ));
+        chef
+    }
+
+    /// Creates an engine whose initial work is the given seeds instead of
+    /// the program root (a fleet worker starts empty and steals).
+    pub fn from_seeds(prog: &'p Program, config: ChefConfig, seeds: &[WorkSeed]) -> Self {
+        let mut chef = Self::without_states(prog, config);
+        for seed in seeds {
+            chef.inject_seed(seed);
+        }
+        chef
+    }
+
+    fn without_states(prog: &'p Program, config: ChefConfig) -> Self {
+        let exec = Executor::new(prog, config.exec);
         let strategy = config.strategy.build();
         let rng = StdRng::seed_from_u64(config.seed);
         let next_timeline = config.timeline_resolution;
@@ -228,10 +325,7 @@ impl<'p> Chef<'p> {
             rng,
             tree: HlTree::new(),
             cfg: HlCfg::new(),
-            live: vec![(
-                initial,
-                Meta { hl_node: HL_ROOT, prev_hlpc: None, last_exception: None },
-            )],
+            live: Vec::new(),
             seen_hl_paths: HashSet::new(),
             tests: Vec::new(),
             covered_hlpcs: HashSet::new(),
@@ -243,6 +337,9 @@ impl<'p> Chef<'p> {
             exceptions: BTreeMap::new(),
             dropped_states: 0,
             infeasible_paths: 0,
+            seeds_exported: 0,
+            seeds_imported: 0,
+            started: Instant::now(),
         }
     }
 
@@ -254,6 +351,72 @@ impl<'p> Chef<'p> {
     /// Shared access to the high-level execution tree.
     pub fn hl_tree(&self) -> &HlTree {
         &self.tree
+    }
+
+    /// Number of live (selectable) states.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Low-level instructions executed so far.
+    pub fn ll_instructions(&self) -> u64 {
+        self.exec.stats.ll_instructions
+    }
+
+    /// Test cases generated so far.
+    pub fn tests_generated(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Injects a portable work seed: the state it encodes becomes live
+    /// after prefix replay (which happens lazily as the state is stepped).
+    pub fn inject_seed(&mut self, seed: &WorkSeed) {
+        let state = self.exec.seeded_state(&seed.choices);
+        self.live.push((
+            state,
+            Meta {
+                hl_node: HL_ROOT,
+                prev_hlpc: None,
+                last_exception: None,
+            },
+        ));
+        self.seeds_imported += 1;
+    }
+
+    /// Exports up to `max` live states as portable seeds, removing them
+    /// from this engine. The deepest states (longest recorded prefixes —
+    /// the engine's deepest unexplored forks) are shipped first, and at
+    /// least one live state is always retained, so an engine never starves
+    /// itself.
+    pub fn export_work(&mut self, max: usize) -> Vec<WorkSeed> {
+        if self.live.len() <= 1 {
+            return Vec::new();
+        }
+        let n = max.min(self.live.len() - 1);
+        let mut order: Vec<usize> = (0..self.live.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &self.live[i].0;
+            std::cmp::Reverse(s.trace.len() + s.replay.len())
+        });
+        let mut picked: Vec<usize> = order[..n].to_vec();
+        // Remove from the back so earlier indices stay valid.
+        picked.sort_unstable_by(|a, b| b.cmp(a));
+        let mut seeds = Vec::with_capacity(n);
+        for i in picked {
+            let (state, _) = self.live.swap_remove(i);
+            seeds.push(WorkSeed::from_state(&state));
+        }
+        self.seeds_exported += seeds.len() as u64;
+        seeds
+    }
+
+    /// Merges high-level CFG edges observed by another engine, sharpening
+    /// this engine's coverage-optimized CUPA weights (fleet portfolio mode
+    /// shares one coverage map this way).
+    pub fn absorb_cfg_edges<I: IntoIterator<Item = (u64, u64, u64)>>(&mut self, edges: I) {
+        for (from, to, opcode) in edges {
+            self.cfg.observe(Some(from), to, opcode);
+        }
     }
 
     fn build_candidates(&mut self) -> Vec<Candidate> {
@@ -284,52 +447,81 @@ impl<'p> Chef<'p> {
                         fork_weight(state.consecutive_forks),
                     ),
                 };
-                Candidate { id: state.id, keys, class_weights, state_weight }
+                Candidate {
+                    id: state.id,
+                    keys,
+                    class_weights,
+                    state_weight,
+                }
             })
             .collect()
     }
 
-    /// Runs the session to completion and produces the report.
-    pub fn run(mut self) -> Report {
-        let start = Instant::now();
-        loop {
-            if self.live.is_empty()
-                || self.exec.stats.ll_instructions >= self.config.max_ll_instructions
-            {
-                break;
+    /// Performs one scheduling round: select a state, run it for a slice.
+    ///
+    /// Returns what happened, so callers can drive the engine
+    /// incrementally — `chef-fleet` workers interleave rounds with work
+    /// stealing and statistics publication. [`Chef::run`] is the
+    /// run-to-completion wrapper.
+    pub fn step_round(&mut self) -> EngineStatus {
+        if self.exec.stats.ll_instructions >= self.config.max_ll_instructions {
+            return EngineStatus::Exhausted;
+        }
+        if let Some(cap) = self.config.max_wall {
+            if self.started.elapsed() >= cap {
+                return EngineStatus::Exhausted;
             }
-            if let Some(cap) = self.config.max_wall {
-                if start.elapsed() >= cap {
-                    break;
-                }
+        }
+        if let Some(max) = self.config.max_tests {
+            if self.tests.len() >= max {
+                return EngineStatus::Exhausted;
             }
-            if let Some(max) = self.config.max_tests {
-                if self.tests.len() >= max {
-                    break;
-                }
-            }
-            let candidates = self.build_candidates();
-            let Some(idx) = self.strategy.select(&candidates, &mut self.rng) else {
-                break;
-            };
-            // Map candidate index back to the live vector (same order).
-            let (state, meta) = self.live.swap_remove(idx);
-            match self.run_slice(state, meta) {
-                SliceOutcome::Reinsert(s, m) => self.live.push((s, m)),
-                SliceOutcome::Forked(s, m, alts) => {
-                    self.live.push((s, m));
-                    for (alt_s, alt_m) in alts {
-                        if self.live.len() >= self.config.max_live_states {
-                            self.dropped_states += 1;
-                        } else {
-                            self.live.push((alt_s, alt_m));
-                        }
+        }
+        if self.live.is_empty() {
+            return EngineStatus::OutOfWork;
+        }
+        let candidates = self.build_candidates();
+        let Some(idx) = self.strategy.select(&candidates, &mut self.rng) else {
+            return EngineStatus::OutOfWork;
+        };
+        // Map candidate index back to the live vector (same order).
+        let (state, meta) = self.live.swap_remove(idx);
+        match self.run_slice(state, meta) {
+            SliceOutcome::Reinsert(s, m) => self.live.push((s, m)),
+            SliceOutcome::Forked(s, m, alts) => {
+                self.live.push((s, m));
+                for (alt_s, alt_m) in alts {
+                    if self.live.len() >= self.config.max_live_states {
+                        self.dropped_states += 1;
+                    } else {
+                        self.live.push((alt_s, alt_m));
                     }
                 }
-                SliceOutcome::Finalized => {}
             }
-            self.sample_timeline();
+            SliceOutcome::Finalized => {}
         }
+        self.sample_timeline();
+        EngineStatus::Running
+    }
+
+    /// Runs the session to completion and produces the report.
+    pub fn run(mut self) -> Report {
+        while self.step_round() == EngineStatus::Running {}
+        self.into_report()
+    }
+
+    /// Resumes exploration from a shipped work seed instead of the program
+    /// root: the engine's initial work becomes the seed's replayed state,
+    /// and the session runs to completion. Combined with
+    /// [`Chef::export_work`] this makes exploration resumable anywhere.
+    pub fn run_from(mut self, seed: &WorkSeed) -> Report {
+        self.live.clear();
+        self.inject_seed(seed);
+        self.run()
+    }
+
+    /// Finishes the session, producing the report.
+    pub fn into_report(mut self) -> Report {
         self.sample_timeline_forced();
         Report {
             hl_paths: self.seen_hl_paths.len(),
@@ -339,7 +531,7 @@ impl<'p> Chef<'p> {
             timeline: self.timeline,
             exec_stats: self.exec.stats,
             solver_stats: self.exec.solver.stats,
-            elapsed: start.elapsed(),
+            elapsed: self.started.elapsed(),
             hangs: self.hangs,
             crashes: self.crashes,
             exceptions: self.exceptions,
@@ -347,6 +539,8 @@ impl<'p> Chef<'p> {
             ll_instructions: self.exec.stats.ll_instructions,
             dropped_states: self.dropped_states,
             infeasible_paths: self.infeasible_paths,
+            seeds_exported: self.seeds_exported,
+            seeds_imported: self.seeds_imported,
         }
     }
 
@@ -371,10 +565,8 @@ impl<'p> Chef<'p> {
                 }
                 StepEvent::Guest(_) => {}
                 StepEvent::Forked { alternates } => {
-                    let alts: Vec<(State, Meta)> = alternates
-                        .into_iter()
-                        .map(|s| (s, meta.clone()))
-                        .collect();
+                    let alts: Vec<(State, Meta)> =
+                        alternates.into_iter().map(|s| (s, meta.clone())).collect();
                     return SliceOutcome::Forked(state, meta, alts);
                 }
                 StepEvent::Terminated(status) => {
@@ -399,13 +591,19 @@ impl<'p> Chef<'p> {
     }
 
     fn finalize(&mut self, state: State, meta: Meta, status: TestStatus) {
-        let Some(inputs) = state.concretize_inputs(&self.exec.pool, &mut self.exec.solver)
-        else {
+        let inputs = if self.config.canonical_inputs {
+            state.concretize_inputs_canonical(&mut self.exec.pool, &mut self.exec.solver)
+        } else {
+            state.concretize_inputs(&self.exec.pool, &mut self.exec.solver)
+        };
+        let Some(inputs) = inputs else {
             self.infeasible_paths += 1;
             return;
         };
         self.ll_paths += 1;
-        for pc in self.tree.path_to(meta.hl_node) {
+        let hl_pcs = self.tree.path_to(meta.hl_node);
+        let hl_sig = hl_path_signature(&hl_pcs);
+        for pc in hl_pcs {
             self.covered_hlpcs.insert(pc);
         }
         let new_hl_path = self.seen_hl_paths.insert(meta.hl_node);
@@ -423,6 +621,7 @@ impl<'p> Chef<'p> {
             status,
             exception: meta.last_exception,
             hl_path: meta.hl_node,
+            hl_sig,
             new_hl_path,
             ll_steps: state.ll_steps,
             at_ll_instructions: self.exec.stats.ll_instructions,
@@ -437,8 +636,7 @@ impl<'p> Chef<'p> {
                 ll_paths: self.ll_paths,
                 hl_paths: self.seen_hl_paths.len(),
             });
-            self.next_timeline =
-                self.exec.stats.ll_instructions + self.config.timeline_resolution;
+            self.next_timeline = self.exec.stats.ll_instructions + self.config.timeline_resolution;
         }
     }
 
@@ -553,8 +751,22 @@ mod tests {
     #[test]
     fn strategies_are_deterministic_per_seed() {
         let prog = demo_program();
-        let r1 = Chef::new(&prog, ChefConfig { seed: 42, ..Default::default() }).run();
-        let r2 = Chef::new(&prog, ChefConfig { seed: 42, ..Default::default() }).run();
+        let r1 = Chef::new(
+            &prog,
+            ChefConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        )
+        .run();
+        let r2 = Chef::new(
+            &prog,
+            ChefConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        )
+        .run();
         assert_eq!(r1.tests.len(), r2.tests.len());
         assert_eq!(r1.ll_instructions, r2.ll_instructions);
     }
@@ -564,10 +776,16 @@ mod tests {
         let prog = demo_program();
         let report = Chef::new(
             &prog,
-            ChefConfig { max_ll_instructions: 100, ..Default::default() },
+            ChefConfig {
+                max_ll_instructions: 100,
+                ..Default::default()
+            },
         )
         .run();
-        assert!(report.ll_instructions <= 110, "budget respected (one slice)");
+        assert!(
+            report.ll_instructions <= 110,
+            "budget respected (one slice)"
+        );
     }
 
     #[test]
@@ -586,7 +804,10 @@ mod tests {
         let prog = mb.finish("main").unwrap();
         let report = Chef::new(
             &prog,
-            ChefConfig { per_path_fuel: 5_000, ..Default::default() },
+            ChefConfig {
+                per_path_fuel: 5_000,
+                ..Default::default()
+            },
         )
         .run();
         assert_eq!(report.hangs, 1, "the looping path is reported as a hang");
@@ -603,7 +824,10 @@ mod tests {
         let prog = demo_program();
         let report = Chef::new(
             &prog,
-            ChefConfig { max_tests: Some(1), ..Default::default() },
+            ChefConfig {
+                max_tests: Some(1),
+                ..Default::default()
+            },
         )
         .run();
         assert_eq!(report.tests.len(), 1);
@@ -620,7 +844,10 @@ mod tests {
         ] {
             let report = Chef::new(
                 &prog,
-                ChefConfig { strategy: kind, ..Default::default() },
+                ChefConfig {
+                    strategy: kind,
+                    ..Default::default()
+                },
             )
             .run();
             assert_eq!(report.hl_paths, 2, "{kind:?} must find both HL paths");
@@ -642,6 +869,77 @@ mod tests {
         let report = Chef::new(&prog, ChefConfig::default()).run();
         let replayed = replay_coverage(&prog, &report.tests, 1_000_000);
         assert_eq!(replayed, report.covered_hlpcs);
+    }
+
+    fn input_set(report: &Report) -> std::collections::BTreeSet<Vec<(String, Vec<u8>)>> {
+        report.tests.iter().map(|t| t.canonical_key()).collect()
+    }
+
+    #[test]
+    fn exported_seed_partitions_the_exploration() {
+        // Splitting a run into (engine minus one exported state) plus
+        // (a fresh engine resuming that seed) must cover exactly the test
+        // set of an unsplit run — the work-shipping invariant chef-fleet
+        // relies on.
+        let prog = demo_program();
+        let full = input_set(&Chef::new(&prog, ChefConfig::default()).run());
+
+        let mut chef = Chef::new(&prog, ChefConfig::default());
+        while chef.live_count() < 2 {
+            assert_eq!(chef.step_round(), EngineStatus::Running);
+        }
+        let seeds = chef.export_work(1);
+        assert_eq!(seeds.len(), 1);
+        assert!(seeds[0].depth() > 0, "the exported state sits below a fork");
+        let rest = chef.run();
+        let shipped = Chef::new(&prog, ChefConfig::default()).run_from(&seeds[0]);
+        assert_eq!(rest.seeds_exported, 1);
+        assert_eq!(shipped.seeds_imported, 1);
+        assert!(!shipped.tests.is_empty(), "the shipped subtree has paths");
+
+        let rest_set = input_set(&rest);
+        let shipped_set = input_set(&shipped);
+        assert!(
+            rest_set.is_disjoint(&shipped_set),
+            "subtrees partition the input space"
+        );
+        let union: std::collections::BTreeSet<_> = rest_set.union(&shipped_set).cloned().collect();
+        assert_eq!(union, full, "no path lost or duplicated by shipping");
+    }
+
+    #[test]
+    fn export_work_never_starves_the_engine() {
+        let prog = demo_program();
+        let mut chef = Chef::new(&prog, ChefConfig::default());
+        assert!(
+            chef.export_work(8).is_empty(),
+            "a single state is never shipped"
+        );
+        while chef.live_count() < 2 {
+            assert_eq!(chef.step_round(), EngineStatus::Running);
+        }
+        let n = chef.live_count();
+        let seeds = chef.export_work(usize::MAX);
+        assert_eq!(seeds.len(), n - 1, "everything but one state shipped");
+        assert_eq!(chef.live_count(), 1);
+    }
+
+    #[test]
+    fn canonical_inputs_are_stable_across_runs_and_strategies() {
+        let prog = demo_program();
+        let a = input_set(&Chef::new(&prog, ChefConfig::default()).run());
+        let b = input_set(
+            &Chef::new(
+                &prog,
+                ChefConfig {
+                    strategy: StrategyKind::Dfs,
+                    seed: 99,
+                    ..Default::default()
+                },
+            )
+            .run(),
+        );
+        assert_eq!(a, b, "full exploration yields one canonical test set");
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl HlTree {
     /// Creates a tree holding only the root.
     pub fn new() -> Self {
         HlTree {
-            nodes: vec![HlNode { parent: HL_ROOT, hlpc: u64::MAX, depth: 0 }],
+            nodes: vec![HlNode {
+                parent: HL_ROOT,
+                hlpc: u64::MAX,
+                depth: 0,
+            }],
             children: HashMap::new(),
         }
     }
@@ -59,7 +63,11 @@ impl HlTree {
         }
         let id = HlNodeId(self.nodes.len() as u32);
         let depth = self.nodes[parent.0 as usize].depth + 1;
-        self.nodes.push(HlNode { parent, hlpc, depth });
+        self.nodes.push(HlNode {
+            parent,
+            hlpc,
+            depth,
+        });
         self.children.insert((parent, hlpc), id);
         id
     }
@@ -152,6 +160,18 @@ impl HlCfg {
         self.nodes.get(&hlpc).map_or(0, |n| n.succs.len())
     }
 
+    /// All discovered edges as `(from, to, to_opcode)` triples — the
+    /// portable form of the coverage map, which fleet workers exchange so
+    /// each engine's §3.4 weights see the union of everyone's exploration.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.nodes.iter().flat_map(move |(&from, n)| {
+            n.succs.iter().map(move |&to| {
+                let op = self.nodes.get(&to).map_or(0, |t| t.opcode);
+                (from, to, op)
+            })
+        })
+    }
+
     /// Recomputes branching opcodes, potential branching points, and
     /// distances if anything changed since the last call.
     pub fn refresh(&mut self) {
@@ -202,8 +222,8 @@ impl HlCfg {
             let d = self.distances[&pc];
             if let Some(ps) = preds.get(&pc) {
                 for &p in ps.clone().iter() {
-                    if !self.distances.contains_key(&p) {
-                        self.distances.insert(p, d + 1);
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.distances.entry(p) {
+                        e.insert(d + 1);
                         queue.push_back(p);
                     }
                 }

@@ -42,13 +42,15 @@
 
 pub mod engine;
 pub mod hl;
+pub mod seed;
 pub mod strategy;
 
 pub use engine::{
-    exceptions_by_name, replay, replay_coverage, Chef, ChefConfig, Report, TestCase, TestStatus,
-    TimelinePoint,
+    exceptions_by_name, hl_path_signature, replay, replay_coverage, Chef, ChefConfig, EngineStatus,
+    Report, TestCase, TestStatus, TimelinePoint,
 };
 pub use hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
+pub use seed::WorkSeed;
 pub use strategy::{
     fork_weight, Candidate, CupaStrategy, DfsStrategy, RandomStrategy, SearchStrategy,
     StrategyKind, FORK_WEIGHT_P,

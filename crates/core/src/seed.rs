@@ -1,0 +1,58 @@
+//! Shippable units of exploration work.
+//!
+//! States cannot move between engines directly: expression ids, solver
+//! caches, and the high-level tree are only meaningful inside the engine
+//! that created them. What *is* portable is the sequence of
+//! nondeterministic decisions a state took since the root — branch sides,
+//! switch arms, resolved pointer values, concretization values (see
+//! [`chef_symex::State::trace`]). A [`WorkSeed`] packages that sequence;
+//! any engine for the same program re-derives the state by deterministic
+//! prefix replay and continues exploring the subtree below it.
+//!
+//! This is the Cloud9-style job encoding the Chef authors used to scale
+//! out: ship the path, not the state.
+
+use chef_symex::State;
+
+/// A portable exploration job: replay `choices` from the program entry,
+/// then explore the subtree below the resulting state.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct WorkSeed {
+    /// Recorded nondeterministic events, in execution order.
+    pub choices: Vec<u64>,
+}
+
+impl WorkSeed {
+    /// The seed of the whole exploration tree (no recorded decisions).
+    pub fn root() -> Self {
+        WorkSeed::default()
+    }
+
+    /// Captures the replayable identity of a live state.
+    ///
+    /// If the state is itself still replaying a shipped prefix, the
+    /// unconsumed remainder is appended, so re-exporting a mid-replay
+    /// state loses nothing.
+    pub fn from_state(state: &State) -> Self {
+        let mut choices = state.trace.clone();
+        choices.extend(state.replay.iter().copied());
+        WorkSeed { choices }
+    }
+
+    /// Number of recorded decisions; deeper seeds replay longer prefixes
+    /// but hand over smaller subtrees.
+    pub fn depth(&self) -> usize {
+        self.choices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_seed_is_empty() {
+        assert_eq!(WorkSeed::root().depth(), 0);
+        assert_eq!(WorkSeed::root(), WorkSeed::default());
+    }
+}

@@ -95,12 +95,7 @@ impl SearchStrategy for DfsStrategy {
 pub struct CupaStrategy;
 
 impl CupaStrategy {
-    fn pick_class(
-        live: &[usize],
-        candidates: &[Candidate],
-        level: usize,
-        rng: &mut StdRng,
-    ) -> u64 {
+    fn pick_class(live: &[usize], candidates: &[Candidate], level: usize, rng: &mut StdRng) -> u64 {
         // Collect distinct classes and their weights at this level.
         let mut classes: Vec<(u64, f64)> = Vec::new();
         for &i in live {

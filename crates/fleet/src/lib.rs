@@ -1,0 +1,439 @@
+//! # chef-fleet — parallel, work-sharing symbolic execution
+//!
+//! Runs one Chef exploration across N worker threads. A worker owns a full
+//! engine stack ([`chef_core::Chef`] with its own expression pool, solver,
+//! and high-level tree), because expression ids and solver caches are only
+//! valid within one pool — states cannot migrate directly. What migrates
+//! instead is a [`WorkSeed`]: the recorded sequence of nondeterministic
+//! decisions from the program root (see [`chef_symex::State::trace`]).
+//! A receiving worker re-derives the state by deterministic prefix replay
+//! and explores the subtree below it. This is the Cloud9-style job
+//! shipping the Chef authors used to scale out: ship the path, not the
+//! state.
+//!
+//! The coordinator provides:
+//!
+//! - a shared injector queue seeded with the root job; idle workers steal
+//!   exported fork prefixes from busy ones (work stealing),
+//! - global deduplication of generated test cases by canonical input
+//!   bytes, so the merged suite equals a single-threaded run's,
+//! - merged coverage, timelines, and per-worker executor/solver statistics
+//!   ([`FleetReport`]),
+//! - a portfolio mode running a different [`StrategyKind`] on each worker
+//!   against a shared coverage map (workers exchange high-level CFG edges,
+//!   sharpening each other's §3.4 weights).
+//!
+//! # Examples
+//!
+//! A fleet of four workers generates exactly the test suite of a
+//! single-threaded run, deduplicated across workers:
+//!
+//! ```
+//! use chef_core::ChefConfig;
+//! use chef_fleet::{run_fleet, FleetConfig};
+//! use chef_minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+//!
+//! let src = "def f(s):\n    if s == \"ok\":\n        return 1\n    return 0\n";
+//! let module = compile(src)?;
+//! let test = SymbolicTest::new("f").sym_str("s", 2);
+//! let prog = build_program(&module, &InterpreterOptions::all(), &test)?;
+//!
+//! let config = FleetConfig { jobs: 4, base: ChefConfig::default(), ..Default::default() };
+//! let report = run_fleet(&prog, config);
+//! assert!(report.tests.iter().any(|t| t.inputs["s"] == b"ok"));
+//! assert_eq!(report.per_worker.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use chef_core::{Chef, ChefConfig, EngineStatus, Report, StrategyKind, TestCase, WorkSeed};
+use chef_lir::Program;
+use chef_solver::SolverStats;
+use chef_symex::ExecStats;
+
+/// Configuration of a fleet exploration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of worker threads.
+    pub jobs: usize,
+    /// Per-worker engine configuration. `max_ll_instructions` and
+    /// `max_tests` are treated as *fleet-wide* budgets (matching the
+    /// single-engine semantics; the merged, deduplicated suite is capped
+    /// at `max_tests`); the RNG seed is diversified per worker.
+    pub base: ChefConfig,
+    /// Portfolio mode: run these strategies round-robin across workers
+    /// (worker `i` gets `portfolio[i % len]`) against a shared coverage
+    /// map. `None` runs `base.strategy` everywhere.
+    pub portfolio: Option<Vec<StrategyKind>>,
+    /// Maximum seeds a busy worker exports per sharing opportunity.
+    pub steal_batch: usize,
+    /// Low-level instructions between coverage-map synchronizations
+    /// (portfolio mode only).
+    pub sync_interval_ll: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            jobs: 1,
+            base: ChefConfig::default(),
+            portfolio: None,
+            steal_batch: 4,
+            sync_interval_ll: 25_000,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The default strategy portfolio: the paper's two CUPA instantiations
+    /// plus the random baseline and DFS, round-robin across workers.
+    pub fn default_portfolio() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::CupaPath,
+            StrategyKind::CupaCoverage,
+            StrategyKind::Random,
+            StrategyKind::Dfs,
+        ]
+    }
+}
+
+/// Merged outcome of a fleet exploration.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Deduplicated test cases (by canonical input bytes), in a
+    /// deterministic order, with ids and `new_hl_path` reassigned.
+    pub tests: Vec<TestCase>,
+    /// Tests discarded as duplicates of another worker's.
+    pub duplicates: usize,
+    /// Distinct high-level paths across the fleet (by path signature).
+    pub hl_paths: usize,
+    /// Low-level paths terminated across the fleet (duplicates included).
+    pub ll_paths: usize,
+    /// Union of covered high-level locations.
+    pub covered_hlpcs: HashSet<u64>,
+    /// Summed executor counters.
+    pub exec_stats: ExecStats,
+    /// Summed solver counters (including SAT time, for attributing fleet
+    /// time to solving vs. interpretation).
+    pub solver_stats: SolverStats,
+    /// Exception class name → count over deduplicated tests.
+    pub exceptions: BTreeMap<String, usize>,
+    /// Hang tests after deduplication.
+    pub hangs: usize,
+    /// Crash tests after deduplication.
+    pub crashes: usize,
+    /// Wall-clock duration of the whole fleet session.
+    pub elapsed: Duration,
+    /// Number of workers.
+    pub jobs: usize,
+    /// Work seeds shipped between workers.
+    pub seeds_shipped: u64,
+    /// Each worker's full single-engine report (per-worker `ExecStats`,
+    /// `SolverStats`, strategy, and timeline).
+    pub per_worker: Vec<Report>,
+}
+
+impl FleetReport {
+    /// Low-level paths terminated per second of fleet wall clock.
+    pub fn paths_per_sec(&self) -> f64 {
+        self.ll_paths as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Deduplicated tests generated per second of fleet wall clock.
+    pub fn tests_per_sec(&self) -> f64 {
+        self.tests.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of summed worker wall clock spent in the SAT backend.
+    pub fn sat_share(&self) -> f64 {
+        let wall: f64 = self
+            .per_worker
+            .iter()
+            .map(|r| r.elapsed.as_secs_f64())
+            .sum();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (self.solver_stats.sat_time.as_secs_f64() / wall).min(1.0)
+        }
+    }
+}
+
+struct Injector {
+    seeds: VecDeque<WorkSeed>,
+    idle: usize,
+}
+
+struct Shared {
+    injector: Mutex<Injector>,
+    cv: Condvar,
+    /// Mirror of `Injector::idle` readable without the lock; busy workers
+    /// use it to decide when to export seeds.
+    waiting: AtomicUsize,
+    done: AtomicBool,
+    ll_total: AtomicU64,
+    tests_total: AtomicUsize,
+    cfg_edges: Mutex<HashSet<(u64, u64, u64)>>,
+}
+
+impl Shared {
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+/// Runs a fleet exploration of `prog` and merges the results.
+///
+/// With `jobs = 1` this is behaviorally identical to
+/// [`Chef::run`](chef_core::Chef::run) on the same configuration (the
+/// single worker steals the root seed and explores everything).
+pub fn run_fleet(prog: &Program, config: FleetConfig) -> FleetReport {
+    let started = Instant::now();
+    let jobs = config.jobs.max(1);
+    let shared = Shared {
+        injector: Mutex::new(Injector {
+            seeds: VecDeque::from([WorkSeed::root()]),
+            idle: 0,
+        }),
+        cv: Condvar::new(),
+        waiting: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        ll_total: AtomicU64::new(0),
+        tests_total: AtomicUsize::new(0),
+        cfg_edges: Mutex::new(HashSet::new()),
+    };
+    let reports: Vec<Report> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let shared = &shared;
+                let config = &config;
+                s.spawn(move || worker(w, prog, config, jobs, shared))
+            })
+            .collect();
+        // Worker index order, so the merge is deterministic regardless of
+        // thread scheduling.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    merge(reports, jobs, config.base.max_tests, started.elapsed())
+}
+
+fn worker(w: usize, prog: &Program, config: &FleetConfig, jobs: usize, shared: &Shared) -> Report {
+    let mut cfg = config.base.clone();
+    // Diversify per-worker RNG streams; budgets are enforced fleet-wide.
+    cfg.seed = cfg
+        .seed
+        .wrapping_add((w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let max_tests = cfg.max_tests.take();
+    let share_coverage = config.portfolio.is_some();
+    if let Some(portfolio) = &config.portfolio {
+        if !portfolio.is_empty() {
+            cfg.strategy = portfolio[w % portfolio.len()];
+        }
+    }
+    let budget = cfg.max_ll_instructions;
+    let mut chef = Chef::from_seeds(prog, cfg, &[]);
+    let mut last_ll = 0u64;
+    let mut last_tests = 0usize;
+    let mut last_cov_sync = 0u64;
+    let mut known_edges: HashSet<(u64, u64, u64)> = HashSet::new();
+    'work: loop {
+        if shared.done.load(Ordering::SeqCst) {
+            break;
+        }
+        match chef.step_round() {
+            EngineStatus::Running => {
+                let ll = chef.ll_instructions();
+                let delta = ll - last_ll;
+                last_ll = ll;
+                let total = shared.ll_total.fetch_add(delta, Ordering::SeqCst) + delta;
+                if total >= budget {
+                    shared.finish();
+                    break;
+                }
+                let tests = chef.tests_generated();
+                if tests > last_tests {
+                    let delta_t = tests - last_tests;
+                    last_tests = tests;
+                    let t = shared.tests_total.fetch_add(delta_t, Ordering::SeqCst) + delta_t;
+                    if max_tests.is_some_and(|m| t >= m) {
+                        shared.finish();
+                        break;
+                    }
+                }
+                // Work sharing: feed idle workers from our fork frontier.
+                if shared.waiting.load(Ordering::SeqCst) > 0 && chef.live_count() > 1 {
+                    let seeds = chef.export_work(config.steal_batch);
+                    if !seeds.is_empty() {
+                        let mut inj = shared.injector.lock().unwrap();
+                        inj.seeds.extend(seeds);
+                        drop(inj);
+                        shared.cv.notify_all();
+                    }
+                }
+                if share_coverage && ll - last_cov_sync >= config.sync_interval_ll {
+                    last_cov_sync = ll;
+                    sync_coverage(&mut chef, &mut known_edges, shared);
+                }
+            }
+            EngineStatus::Exhausted => {
+                // Budgets are fleet-wide: one exhausted worker ends the run.
+                shared.finish();
+                break;
+            }
+            EngineStatus::OutOfWork => {
+                let mut inj = shared.injector.lock().unwrap();
+                loop {
+                    if shared.done.load(Ordering::SeqCst) {
+                        break 'work;
+                    }
+                    if let Some(seed) = inj.seeds.pop_front() {
+                        drop(inj);
+                        chef.inject_seed(&seed);
+                        continue 'work;
+                    }
+                    inj.idle += 1;
+                    shared.waiting.store(inj.idle, Ordering::SeqCst);
+                    if inj.idle == jobs {
+                        // Everyone idle over an empty queue: exploration
+                        // is complete.
+                        shared.finish();
+                        break 'work;
+                    }
+                    // Timed wait as a lost-wakeup safety net.
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(inj, Duration::from_millis(50))
+                        .unwrap();
+                    inj = guard;
+                    inj.idle -= 1;
+                    shared.waiting.store(inj.idle, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+    if share_coverage {
+        sync_coverage(&mut chef, &mut known_edges, shared);
+    }
+    chef.into_report()
+}
+
+/// Two-way exchange with the shared coverage map: publish locally observed
+/// CFG edges, absorb everyone else's.
+fn sync_coverage(chef: &mut Chef, known: &mut HashSet<(u64, u64, u64)>, shared: &Shared) {
+    let mine: Vec<(u64, u64, u64)> = chef
+        .hl_cfg()
+        .edges()
+        .filter(|e| !known.contains(e))
+        .collect();
+    let mut global = shared.cfg_edges.lock().unwrap();
+    for &e in &mine {
+        known.insert(e);
+        global.insert(e);
+    }
+    let fresh: Vec<(u64, u64, u64)> = global
+        .iter()
+        .filter(|e| !known.contains(*e))
+        .copied()
+        .collect();
+    drop(global);
+    for &e in &fresh {
+        known.insert(e);
+    }
+    chef.absorb_cfg_edges(fresh);
+}
+
+fn merge(
+    mut reports: Vec<Report>,
+    jobs: usize,
+    max_tests: Option<usize>,
+    elapsed: Duration,
+) -> FleetReport {
+    let mut all: Vec<TestCase> = Vec::new();
+    let mut exec_stats = ExecStats::default();
+    let mut solver_stats = SolverStats::default();
+    let mut covered: HashSet<u64> = HashSet::new();
+    let mut ll_paths = 0usize;
+    let mut seeds_shipped = 0u64;
+    for r in reports.iter_mut() {
+        all.extend(r.tests.iter().cloned());
+        add_exec_stats(&mut exec_stats, &r.exec_stats);
+        add_solver_stats(&mut solver_stats, &r.solver_stats);
+        covered.extend(r.covered_hlpcs.iter().copied());
+        ll_paths += r.ll_paths;
+        seeds_shipped += r.seeds_exported;
+    }
+    // Deterministic order, then dedup by canonical input bytes.
+    all.sort_by_cached_key(|t| (t.canonical_key(), t.hl_sig));
+    let mut seen_inputs: HashSet<Vec<(String, Vec<u8>)>> = HashSet::new();
+    let mut seen_sigs: HashSet<u64> = HashSet::new();
+    let mut tests: Vec<TestCase> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut exceptions: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hangs = 0usize;
+    let mut crashes = 0usize;
+    for mut t in all {
+        // Workers stop soon after the shared test counter passes the cap,
+        // but rounds in flight can overshoot it; the merge enforces the
+        // single-engine semantics on the deduplicated suite.
+        if max_tests.is_some_and(|m| tests.len() >= m) {
+            break;
+        }
+        if !seen_inputs.insert(t.canonical_key()) {
+            duplicates += 1;
+            continue;
+        }
+        t.id = tests.len();
+        t.new_hl_path = seen_sigs.insert(t.hl_sig);
+        match &t.status {
+            chef_core::TestStatus::Hang => hangs += 1,
+            chef_core::TestStatus::Crash(_) => crashes += 1,
+            chef_core::TestStatus::Ok(_) => {}
+        }
+        if let Some(e) = &t.exception {
+            *exceptions.entry(e.clone()).or_insert(0) += 1;
+        }
+        tests.push(t);
+    }
+    FleetReport {
+        tests,
+        duplicates,
+        hl_paths: seen_sigs.len(),
+        ll_paths,
+        covered_hlpcs: covered,
+        exec_stats,
+        solver_stats,
+        exceptions,
+        hangs,
+        crashes,
+        elapsed,
+        jobs,
+        seeds_shipped,
+        per_worker: reports,
+    }
+}
+
+fn add_exec_stats(acc: &mut ExecStats, s: &ExecStats) {
+    acc.ll_instructions += s.ll_instructions;
+    acc.forks += s.forks;
+    acc.symptr_forks += s.symptr_forks;
+    acc.dropped_ptr_values += s.dropped_ptr_values;
+    acc.states_created += s.states_created;
+}
+
+fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {
+    acc.queries += s.queries;
+    acc.cache_hits += s.cache_hits;
+    acc.model_reuse_hits += s.model_reuse_hits;
+    acc.const_hits += s.const_hits;
+    acc.sat_calls += s.sat_calls;
+    acc.unknowns += s.unknowns;
+    acc.sat_time += s.sat_time;
+}

@@ -1,0 +1,213 @@
+//! Fleet determinism: a parallel exploration must generate exactly the
+//! test suite of a single-threaded one — same canonical input bytes, same
+//! high-level path count — regardless of worker count, scheduling, or
+//! strategy portfolio. These are the acceptance tests of the work-shipping
+//! design: prefix replay plus canonical input concretization make the test
+//! suite a pure function of the program.
+
+use std::collections::BTreeSet;
+
+use chef_core::{Chef, ChefConfig};
+use chef_fleet::{run_fleet, FleetConfig, FleetReport};
+use chef_lir::Program;
+use chef_minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+
+type InputSet = BTreeSet<Vec<(String, Vec<u8>)>>;
+
+fn fleet_inputs(r: &FleetReport) -> InputSet {
+    r.tests.iter().map(|t| t.canonical_key()).collect()
+}
+
+fn chef_inputs(r: &chef_core::Report) -> InputSet {
+    r.tests.iter().map(|t| t.canonical_key()).collect()
+}
+
+/// A fork-heavy MiniPy protocol parser (several outcomes, nested solving).
+fn minipy_target() -> Program {
+    let src = r#"
+def parse(msg):
+    if len(msg) < 2:
+        raise TruncatedError
+    kind = msg[0]
+    if kind == "G":
+        if msg[1] == "0":
+            return 1
+        return 2
+    if kind == "P":
+        return 3
+    raise UnknownKindError
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("parse").sym_str("msg", 3);
+    build_program(&module, &InterpreterOptions::all(), &test).unwrap()
+}
+
+/// A MiniLua bracket matcher with an error path.
+fn minilua_target() -> Program {
+    let src = r#"
+function f(s)
+  if sub(s, 1, 1) == "{" then
+    if sub(s, 2, 2) == "}" then
+      return 2
+    end
+    error("unclosed")
+  end
+  return 0
+end
+"#;
+    let module = chef_minilua::compile(src).unwrap();
+    let test = SymbolicTest::new("f").sym_str("s", 2);
+    build_program(&module, &InterpreterOptions::all(), &test).unwrap()
+}
+
+fn config() -> ChefConfig {
+    // Generous budget: both targets explore completely well within it, so
+    // the generated set is budget-independent.
+    ChefConfig {
+        max_ll_instructions: 5_000_000,
+        ..ChefConfig::default()
+    }
+}
+
+#[test]
+fn minipy_fleet_of_four_matches_single_threaded_run() {
+    let prog = minipy_target();
+    let single = Chef::new(&prog, config()).run();
+    let one = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: config(),
+            ..Default::default()
+        },
+    );
+    let four = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 4,
+            base: config(),
+            ..Default::default()
+        },
+    );
+
+    let want = chef_inputs(&single);
+    assert!(!want.is_empty());
+    assert_eq!(fleet_inputs(&one), want, "jobs=1 equals Chef::run");
+    assert_eq!(fleet_inputs(&four), want, "jobs=4 equals Chef::run");
+    assert_eq!(four.hl_paths, single.hl_paths);
+    assert_eq!(four.hangs, single.hangs);
+    assert_eq!(four.crashes, single.crashes);
+    assert_eq!(four.per_worker.len(), 4);
+    assert_eq!(
+        four.exceptions, single.exceptions,
+        "exception census survives the merge"
+    );
+}
+
+#[test]
+fn minilua_fleet_of_four_matches_single_threaded_run() {
+    let prog = minilua_target();
+    let single = Chef::new(&prog, config()).run();
+    let four = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 4,
+            base: config(),
+            ..Default::default()
+        },
+    );
+    let want = chef_inputs(&single);
+    assert!(!want.is_empty());
+    assert_eq!(
+        fleet_inputs(&four),
+        want,
+        "jobs=4 equals Chef::run on minilua"
+    );
+    assert_eq!(four.hl_paths, single.hl_paths);
+}
+
+#[test]
+fn portfolio_mode_matches_too() {
+    // Different strategies per worker change the exploration *order*, never
+    // the explored *set* (the budget does not bind on this target).
+    let prog = minipy_target();
+    let single = Chef::new(&prog, config()).run();
+    let portfolio = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 4,
+            base: config(),
+            portfolio: Some(FleetConfig::default_portfolio()),
+            ..Default::default()
+        },
+    );
+    assert_eq!(fleet_inputs(&portfolio), chef_inputs(&single));
+    // Workers genuinely ran different strategies.
+    let names: BTreeSet<&str> = portfolio.per_worker.iter().map(|r| r.strategy).collect();
+    assert!(
+        names.len() >= 2,
+        "portfolio spread strategies across workers: {names:?}"
+    );
+}
+
+#[test]
+fn fleet_wide_max_tests_cap_holds() {
+    // Rounds in flight may overshoot the shared counter; the merged suite
+    // must still respect the single-engine cap.
+    let prog = minipy_target();
+    let base = ChefConfig {
+        max_tests: Some(2),
+        ..config()
+    };
+    let capped = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 4,
+            base,
+            ..Default::default()
+        },
+    );
+    assert!(capped.tests.len() <= 2, "got {}", capped.tests.len());
+    assert!(!capped.tests.is_empty());
+}
+
+#[test]
+fn fleet_runs_are_reproducible() {
+    let prog = minipy_target();
+    let cfg = FleetConfig {
+        jobs: 4,
+        base: config(),
+        ..Default::default()
+    };
+    let a = run_fleet(&prog, cfg.clone());
+    let b = run_fleet(&prog, cfg);
+    assert_eq!(fleet_inputs(&a), fleet_inputs(&b));
+    assert_eq!(a.hl_paths, b.hl_paths);
+}
+
+#[test]
+fn merged_statistics_cover_all_workers() {
+    let prog = minipy_target();
+    let four = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 4,
+            base: config(),
+            ..Default::default()
+        },
+    );
+    let summed: u64 = four
+        .per_worker
+        .iter()
+        .map(|r| r.exec_stats.ll_instructions)
+        .sum();
+    assert_eq!(four.exec_stats.ll_instructions, summed);
+    let queries: u64 = four.per_worker.iter().map(|r| r.solver_stats.queries).sum();
+    assert_eq!(four.solver_stats.queries, queries);
+    assert!(four.solver_stats.sat_time <= four.per_worker.iter().map(|r| r.elapsed).sum());
+    // seeds_shipped is scheduling-dependent (a fast first worker can finish
+    // the target before anyone registers as idle), so only check that the
+    // merged counter agrees with the per-worker reports.
+    let exported: u64 = four.per_worker.iter().map(|r| r.seeds_exported).sum();
+    assert_eq!(four.seeds_shipped, exported);
+}

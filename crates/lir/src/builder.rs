@@ -107,7 +107,10 @@ impl ModuleBuilder {
     /// Places raw bytes in static data, returning their address.
     pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
         let addr = self.next_data;
-        self.data.push(DataSeg { addr, bytes: bytes.to_vec() });
+        self.data.push(DataSeg {
+            addr,
+            bytes: bytes.to_vec(),
+        });
         self.next_data = (addr + bytes.len() as u64 + 7) & !7;
         addr
     }
@@ -148,7 +151,12 @@ impl ModuleBuilder {
         for (i, f) in self.funcs.into_iter().enumerate() {
             match f {
                 Some(f) => funcs.push(f),
-                None => return Err(format!("function {} declared but never defined", self.sigs[i].0)),
+                None => {
+                    return Err(format!(
+                        "function {} declared but never defined",
+                        self.sigs[i].0
+                    ))
+                }
             }
         }
         self.data.push(DataSeg {
@@ -188,7 +196,10 @@ pub struct FnBuilder {
 impl FnBuilder {
     fn new(n_params: u32) -> Self {
         FnBuilder {
-            blocks: vec![Block { insts: vec![], term: Term::Unterminated }],
+            blocks: vec![Block {
+                insts: vec![],
+                term: Term::Unterminated,
+            }],
             cur: 0,
             terminated: false,
             next_reg: n_params,
@@ -236,7 +247,10 @@ impl FnBuilder {
         if self.terminated {
             // Unreachable code after an early return/break: park it in a
             // fresh dead block so construction still succeeds.
-            self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+            self.blocks.push(Block {
+                insts: vec![],
+                term: Term::Unterminated,
+            });
             self.cur = self.blocks.len() - 1;
             self.terminated = false;
         }
@@ -245,7 +259,10 @@ impl FnBuilder {
 
     fn terminate(&mut self, term: Term) {
         if self.terminated {
-            self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+            self.blocks.push(Block {
+                insts: vec![],
+                term: Term::Unterminated,
+            });
             self.cur = self.blocks.len() - 1;
         }
         self.blocks[self.cur].term = term;
@@ -253,7 +270,10 @@ impl FnBuilder {
     }
 
     fn new_block(&mut self) -> usize {
-        self.blocks.push(Block { insts: vec![], term: Term::Unterminated });
+        self.blocks.push(Block {
+            insts: vec![],
+            term: Term::Unterminated,
+        });
         self.blocks.len() - 1
     }
 
@@ -274,19 +294,30 @@ impl FnBuilder {
     /// Copies `src` into a fresh register.
     pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.emit(Inst::Mov { dst, src: src.into() });
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// Copies `src` into an existing register (mutation).
     pub fn set(&mut self, dst: Reg, src: impl Into<Operand>) {
-        self.emit(Inst::Mov { dst, src: src.into() });
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Binary operation into a fresh register.
     pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.emit(Inst::Bin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -391,25 +422,41 @@ impl FnBuilder {
     /// Loads a zero-extended byte.
     pub fn load_u8(&mut self, addr: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.emit(Inst::Load { dst, addr: addr.into(), size: MemSize::U8 });
+        self.emit(Inst::Load {
+            dst,
+            addr: addr.into(),
+            size: MemSize::U8,
+        });
         dst
     }
 
     /// Loads a little-endian u64.
     pub fn load_u64(&mut self, addr: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.emit(Inst::Load { dst, addr: addr.into(), size: MemSize::U64 });
+        self.emit(Inst::Load {
+            dst,
+            addr: addr.into(),
+            size: MemSize::U64,
+        });
         dst
     }
 
     /// Stores the low byte of `value`.
     pub fn store_u8(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
-        self.emit(Inst::Store { addr: addr.into(), value: value.into(), size: MemSize::U8 });
+        self.emit(Inst::Store {
+            addr: addr.into(),
+            value: value.into(),
+            size: MemSize::U8,
+        });
     }
 
     /// Stores a little-endian u64.
     pub fn store_u64(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
-        self.emit(Inst::Store { addr: addr.into(), value: value.into(), size: MemSize::U64 });
+        self.emit(Inst::Store {
+            addr: addr.into(),
+            value: value.into(),
+            size: MemSize::U64,
+        });
     }
 
     // ----- calls and intrinsics -----
@@ -417,13 +464,21 @@ impl FnBuilder {
     /// Calls a function, returning its value in a fresh register.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Reg {
         let dst = self.reg();
-        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: Some(dst),
+            func,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Calls a function, discarding any return value.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     /// `make_symbolic(addr, len, name_id)` — Table 1 of the paper.
@@ -510,12 +565,7 @@ impl FnBuilder {
     }
 
     /// Report a structured event `(kind, a, b)` to the host.
-    pub fn trace_event(
-        &mut self,
-        kind: u64,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn trace_event(&mut self, kind: u64, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.emit(Inst::Intrinsic {
             dst: None,
             intr: Intrinsic::TraceEvent,
@@ -600,7 +650,10 @@ impl FnBuilder {
             then_: crate::ir::BlockId(bb as u32),
             else_: crate::ir::BlockId(xb as u32),
         });
-        self.loops.push(LoopCtx { continue_to: cb, break_to: xb });
+        self.loops.push(LoopCtx {
+            continue_to: cb,
+            break_to: xb,
+        });
         self.switch_to(bb);
         body_f(self);
         if !self.terminated {
@@ -615,7 +668,10 @@ impl FnBuilder {
         let bb = self.new_block();
         let xb = self.new_block();
         self.terminate(Term::Jump(crate::ir::BlockId(bb as u32)));
-        self.loops.push(LoopCtx { continue_to: bb, break_to: xb });
+        self.loops.push(LoopCtx {
+            continue_to: bb,
+            break_to: xb,
+        });
         self.switch_to(bb);
         body_f(self);
         if !self.terminated {

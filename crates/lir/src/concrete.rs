@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use crate::ir::{
-    FuncId, Inst, InputMap, Intrinsic, MemSize, Operand, Program, Reg, Term, trace_kind,
+    trace_kind, FuncId, InputMap, Inst, Intrinsic, MemSize, Operand, Program, Reg, Term,
 };
 use chef_solver::eval_bin;
 
@@ -62,7 +62,9 @@ impl ConcreteMem {
 
     /// Reads `len` bytes.
     pub fn read_bytes(&self, addr: u64, len: u64) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i)))
+            .collect()
     }
 
     /// Writes a byte slice.
@@ -172,17 +174,13 @@ pub fn run_concrete(prog: &Program, inputs: &InputMap, fuel: u64) -> ConcreteOut
             frame.ip += 1;
             match inst {
                 Inst::Const { dst, value } => frame.regs[dst.0 as usize] = *value,
-                Inst::Mov { dst, src } => {
-                    frame.regs[dst.0 as usize] = eval(&frame.regs, src)
-                }
+                Inst::Mov { dst, src } => frame.regs[dst.0 as usize] = eval(&frame.regs, src),
                 Inst::Bin { op, dst, a, b } => {
                     let va = eval(&frame.regs, a);
                     let vb = eval(&frame.regs, b);
                     frame.regs[dst.0 as usize] = eval_bin(*op, 64, va, vb);
                 }
-                Inst::Not { dst, a } => {
-                    frame.regs[dst.0 as usize] = !eval(&frame.regs, a)
-                }
+                Inst::Not { dst, a } => frame.regs[dst.0 as usize] = !eval(&frame.regs, a),
                 Inst::Select { dst, cond, t, f } => {
                     let c = eval(&frame.regs, cond);
                     frame.regs[dst.0 as usize] = if c != 0 {
@@ -206,7 +204,11 @@ pub fn run_concrete(prog: &Program, inputs: &InputMap, fuel: u64) -> ConcreteOut
                         MemSize::U64 => mem.write_u64(a, v),
                     }
                 }
-                Inst::Call { dst, func: callee, args } => {
+                Inst::Call {
+                    dst,
+                    func: callee,
+                    args,
+                } => {
                     let callee_fn = prog.func(*callee);
                     let mut regs = vec![0u64; callee_fn.n_regs as usize];
                     for (i, a) in args.iter().enumerate() {
@@ -214,7 +216,13 @@ pub fn run_concrete(prog: &Program, inputs: &InputMap, fuel: u64) -> ConcreteOut
                     }
                     let ret_dst = *dst;
                     let callee = *callee;
-                    frames.push(Frame { func: callee, block: 0, ip: 0, regs, ret_dst });
+                    frames.push(Frame {
+                        func: callee,
+                        block: 0,
+                        ip: 0,
+                        regs,
+                        ret_dst,
+                    });
                 }
                 Inst::Intrinsic { dst, intr, args } => {
                     let vals: Vec<u64> = args.iter().map(|a| eval(&frame.regs, a)).collect();

@@ -326,7 +326,10 @@ impl Program {
             };
             let check_block = |b: BlockId| -> Result<(), String> {
                 if b.0 as usize >= f.blocks.len() {
-                    return Err(format!("function {} jumps to missing block {:?}", f.name, b));
+                    return Err(format!(
+                        "function {} jumps to missing block {:?}",
+                        f.name, b
+                    ));
                 }
                 Ok(())
             };
@@ -347,7 +350,12 @@ impl Program {
                             check_op(&Operand::Reg(*dst))?;
                             check_op(a)?;
                         }
-                        Inst::Select { dst, cond, t, f: fo } => {
+                        Inst::Select {
+                            dst,
+                            cond,
+                            t,
+                            f: fo,
+                        } => {
                             check_op(&Operand::Reg(*dst))?;
                             check_op(cond)?;
                             check_op(t)?;
@@ -442,8 +450,13 @@ mod tests {
                 n_params: 0,
                 n_regs: 1,
                 blocks: vec![Block {
-                    insts: vec![Inst::Const { dst: Reg(0), value: 7 }],
-                    term: Term::Halt { code: Operand::Reg(Reg(0)) },
+                    insts: vec![Inst::Const {
+                        dst: Reg(0),
+                        value: 7,
+                    }],
+                    term: Term::Halt {
+                        code: Operand::Reg(Reg(0)),
+                    },
                 }],
             }],
             entry: FuncId(0),
@@ -467,7 +480,10 @@ mod tests {
     #[test]
     fn validate_rejects_bad_register() {
         let mut p = trivial_program();
-        p.funcs[0].blocks[0].insts.push(Inst::Const { dst: Reg(9), value: 0 });
+        p.funcs[0].blocks[0].insts.push(Inst::Const {
+            dst: Reg(9),
+            value: 0,
+        });
         assert!(p.validate().is_err());
     }
 
@@ -478,7 +494,10 @@ mod tests {
             name: "f".into(),
             n_params: 2,
             n_regs: 2,
-            blocks: vec![Block { insts: vec![], term: Term::Ret(None) }],
+            blocks: vec![Block {
+                insts: vec![],
+                term: Term::Ret(None),
+            }],
         });
         p.funcs[0].blocks[0].insts.push(Inst::Call {
             dst: None,

@@ -63,8 +63,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "==", "~=", "<=", ">=", "..", "(", ")", "[", "]", "{", "}", ",", ";", "=", "+", "-", "*",
-    "/", "%", "<", ">", "#", ":", ".",
+    "==", "~=", "<=", ">=", "..", "(", ")", "[", "]", "{", "}", ",", ";", "=", "+", "-", "*", "/",
+    "%", "<", ">", "#", ":", ".",
 ];
 
 /// Tokenizes MiniLua source.
@@ -97,17 +97,22 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     line,
                     message: format!("integer {text} out of range"),
                 })?;
-                out.push(Token { line, kind: Tok::Int(v) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Int(v),
+                });
                 continue;
             }
             if c.is_ascii_alphabetic() || c == '_' {
                 let start = i;
-                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token { line, kind: Tok::Ident(text) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Ident(text),
+                });
                 continue;
             }
             if c == '"' || c == '\'' {
@@ -129,7 +134,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     if ch == '\\' {
                         i += 1;
                         if i >= chars.len() {
-                            return Err(LexError { line, message: "bad escape".into() });
+                            return Err(LexError {
+                                line,
+                                message: "bad escape".into(),
+                            });
                         }
                         s.push(match chars[i] {
                             'n' => '\n',
@@ -152,7 +160,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     s.push(ch);
                     i += 1;
                 }
-                out.push(Token { line, kind: Tok::Str(s) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Str(s),
+                });
                 continue;
             }
             let rest: String = chars[i..].iter().collect();
@@ -165,7 +176,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             match matched {
                 Some(p) => {
-                    out.push(Token { line, kind: Tok::Punct(p) });
+                    out.push(Token {
+                        line,
+                        kind: Tok::Punct(p),
+                    });
                     i += p.len();
                 }
                 None => {
@@ -178,7 +192,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
         }
     }
     let last = source.lines().count() as u32;
-    out.push(Token { line: last, kind: Tok::Eof });
+    out.push(Token {
+        line: last,
+        kind: Tok::Eof,
+    });
     Ok(out)
 }
 

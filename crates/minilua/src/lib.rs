@@ -45,7 +45,10 @@ use chef_minipy::{compile_module, CompileError, CompiledModule};
 ///
 /// Returns a [`CompileError`] on syntax or resolution problems.
 pub fn compile(source: &str) -> Result<CompiledModule, CompileError> {
-    let module = parse(source).map_err(|e| CompileError { line: e.line, message: e.message })?;
+    let module = parse(source).map_err(|e| CompileError {
+        line: e.line,
+        message: e.message,
+    })?;
     compile_module(&module)
 }
 

@@ -38,7 +38,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -59,7 +62,11 @@ pub const LUA_ERROR: &str = "LuaError";
 /// ```
 pub fn parse(source: &str) -> Result<Module, ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0, temp: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        temp: 0,
+    };
     p.module()
 }
 
@@ -70,8 +77,8 @@ struct Parser {
 }
 
 const KEYWORDS: &[&str] = &[
-    "function", "end", "if", "then", "elseif", "else", "while", "do", "for", "return",
-    "break", "local", "and", "or", "not", "true", "false", "nil", "error",
+    "function", "end", "if", "then", "elseif", "else", "while", "do", "for", "return", "break",
+    "local", "and", "or", "not", "true", "false", "nil", "error",
 ];
 
 impl Parser {
@@ -92,7 +99,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &'static str) -> bool {
@@ -167,7 +177,12 @@ impl Parser {
         }
         let body = self.block()?;
         self.expect_kw("end")?;
-        Ok(FuncDef { name, params, body, line })
+        Ok(FuncDef {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     /// Parses statements until a block-terminating keyword.
@@ -176,11 +191,7 @@ impl Parser {
         loop {
             match self.peek() {
                 Tok::Eof => break,
-                Tok::Ident(s)
-                    if matches!(s.as_str(), "end" | "else" | "elseif") =>
-                {
-                    break
-                }
+                Tok::Ident(s) if matches!(s.as_str(), "end" | "else" | "elseif") => break,
                 Tok::Punct(";") => {
                     self.bump();
                 }
@@ -198,7 +209,10 @@ impl Parser {
                 let name = self.ident()?;
                 self.expect_punct("=")?;
                 let value = self.expr()?;
-                Ok(Stmt { line, kind: StmtKind::Assign(name, value) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Assign(name, value),
+                })
             }
             Tok::Ident(s) if s == "if" => self.if_stmt(),
             Tok::Ident(s) if s == "while" => {
@@ -207,25 +221,30 @@ impl Parser {
                 self.expect_kw("do")?;
                 let body = self.block()?;
                 self.expect_kw("end")?;
-                Ok(Stmt { line, kind: StmtKind::While(cond, body) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::While(cond, body),
+                })
             }
             Tok::Ident(s) if s == "for" => self.for_stmt(),
             Tok::Ident(s) if s == "return" => {
                 self.bump();
                 let value = match self.peek() {
                     Tok::Eof => None,
-                    Tok::Ident(k)
-                        if matches!(k.as_str(), "end" | "else" | "elseif") =>
-                    {
-                        None
-                    }
+                    Tok::Ident(k) if matches!(k.as_str(), "end" | "else" | "elseif") => None,
                     _ => Some(self.expr()?),
                 };
-                Ok(Stmt { line, kind: StmtKind::Return(value) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Return(value),
+                })
             }
             Tok::Ident(s) if s == "break" => {
                 self.bump();
-                Ok(Stmt { line, kind: StmtKind::Break })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Break,
+                })
             }
             Tok::Ident(s) if s == "error" => {
                 self.bump();
@@ -240,16 +259,20 @@ impl Parser {
                         self.expect_punct(",")?;
                     }
                 }
-                Ok(Stmt { line, kind: StmtKind::Raise(LUA_ERROR.into(), args) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Raise(LUA_ERROR.into(), args),
+                })
             }
             _ => {
                 let e = self.expr()?;
                 if self.eat_punct("=") {
                     let value = self.expr()?;
                     return match e.kind {
-                        ExprKind::Name(n) => {
-                            Ok(Stmt { line, kind: StmtKind::Assign(n, value) })
-                        }
+                        ExprKind::Name(n) => Ok(Stmt {
+                            line,
+                            kind: StmtKind::Assign(n, value),
+                        }),
                         ExprKind::Index(obj, idx) => Ok(Stmt {
                             line,
                             kind: StmtKind::IndexAssign(*obj, *idx, value),
@@ -257,7 +280,10 @@ impl Parser {
                         _ => self.err("invalid assignment target"),
                     };
                 }
-                Ok(Stmt { line, kind: StmtKind::Expr(e) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Expr(e),
+                })
             }
         }
     }
@@ -278,10 +304,16 @@ impl Parser {
             } else if self.eat_kw("else") {
                 els = self.block()?;
                 self.expect_kw("end")?;
-                return Ok(Stmt { line, kind: StmtKind::If(arms, els) });
+                return Ok(Stmt {
+                    line,
+                    kind: StmtKind::If(arms, els),
+                });
             } else {
                 self.expect_kw("end")?;
-                return Ok(Stmt { line, kind: StmtKind::If(arms, els) });
+                return Ok(Stmt {
+                    line,
+                    kind: StmtKind::If(arms, els),
+                });
             }
         }
     }
@@ -301,14 +333,26 @@ impl Parser {
         self.temp += 1;
         let limit = format!("__limit_{}", self.temp);
         // i = start; __limit = stop; while i <= __limit: body; i += 1
-        let init = Stmt { line, kind: StmtKind::Assign(var.clone(), start) };
-        let set_limit = Stmt { line, kind: StmtKind::Assign(limit.clone(), stop) };
+        let init = Stmt {
+            line,
+            kind: StmtKind::Assign(var.clone(), start),
+        };
+        let set_limit = Stmt {
+            line,
+            kind: StmtKind::Assign(limit.clone(), stop),
+        };
         let cond = Expr {
             line,
             kind: ExprKind::Bin(
                 BinOp::Le,
-                Box::new(Expr { line, kind: ExprKind::Name(var.clone()) }),
-                Box::new(Expr { line, kind: ExprKind::Name(limit) }),
+                Box::new(Expr {
+                    line,
+                    kind: ExprKind::Name(var.clone()),
+                }),
+                Box::new(Expr {
+                    line,
+                    kind: ExprKind::Name(limit),
+                }),
             ),
         };
         body.push(Stmt {
@@ -319,19 +363,31 @@ impl Parser {
                     line,
                     kind: ExprKind::Bin(
                         BinOp::Add,
-                        Box::new(Expr { line, kind: ExprKind::Name(var) }),
-                        Box::new(Expr { line, kind: ExprKind::Int(1) }),
+                        Box::new(Expr {
+                            line,
+                            kind: ExprKind::Name(var),
+                        }),
+                        Box::new(Expr {
+                            line,
+                            kind: ExprKind::Int(1),
+                        }),
                     ),
                 },
             ),
         });
-        let while_stmt = Stmt { line, kind: StmtKind::While(cond, body) };
+        let while_stmt = Stmt {
+            line,
+            kind: StmtKind::While(cond, body),
+        };
         // Wrap the three statements in an always-true if to keep one Stmt.
         Ok(Stmt {
             line,
             kind: StmtKind::If(
                 vec![(
-                    Expr { line, kind: ExprKind::True },
+                    Expr {
+                        line,
+                        kind: ExprKind::True,
+                    },
                     vec![init, set_limit, while_stmt],
                 )],
                 vec![],
@@ -351,7 +407,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.and_expr()?;
-            e = Expr { line, kind: ExprKind::Or(Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Or(Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -362,7 +421,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.cmp_expr()?;
-            e = Expr { line, kind: ExprKind::And(Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::And(Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -384,7 +446,10 @@ impl Parser {
             Some(op) => {
                 self.bump();
                 let rhs = self.concat_expr()?;
-                Ok(Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+                })
             }
         }
     }
@@ -396,7 +461,10 @@ impl Parser {
             self.bump();
             let rhs = self.add_expr()?;
             // String concatenation is `+` in the shared runtime.
-            e = Expr { line, kind: ExprKind::Bin(BinOp::Add, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::Add, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -412,7 +480,10 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -429,7 +500,10 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -439,17 +513,26 @@ impl Parser {
         if self.peek().is_kw("not") {
             self.bump();
             let inner = self.unary_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(inner)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Not, Box::new(inner)),
+            });
         }
         if *self.peek() == Tok::Punct("-") {
             self.bump();
             let inner = self.unary_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(inner)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Neg, Box::new(inner)),
+            });
         }
         if *self.peek() == Tok::Punct("#") {
             self.bump();
             let inner = self.unary_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Call("len".into(), vec![inner]) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Call("len".into(), vec![inner]),
+            });
         }
         self.postfix()
     }
@@ -481,7 +564,10 @@ impl Parser {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect_punct("]")?;
-                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    };
                 }
                 _ => break,
             }
@@ -507,7 +593,10 @@ impl Parser {
                 Ok(())
             }
         };
-        let int1 = || Expr { line, kind: ExprKind::Int(1) };
+        let int1 = || Expr {
+            line,
+            kind: ExprKind::Int(1),
+        };
         let minus1 = |e: Expr| Expr {
             line,
             kind: ExprKind::Bin(BinOp::Sub, Box::new(e), Box::new(int1())),
@@ -547,19 +636,31 @@ impl Parser {
                     line,
                     kind: ExprKind::Index(Box::new(s), Box::new(minus1(i))),
                 };
-                Expr { line, kind: ExprKind::Call("ord".into(), vec![idx]) }
+                Expr {
+                    line,
+                    kind: ExprKind::Call("ord".into(), vec![idx]),
+                }
             }
             "char" => {
                 arity(1, &args)?;
-                Expr { line, kind: ExprKind::Call("chr".into(), args) }
+                Expr {
+                    line,
+                    kind: ExprKind::Call("chr".into(), args),
+                }
             }
             "tostring" => {
                 arity(1, &args)?;
-                Expr { line, kind: ExprKind::Call("str".into(), args) }
+                Expr {
+                    line,
+                    kind: ExprKind::Call("str".into(), args),
+                }
             }
             "tonumber" => {
                 arity(1, &args)?;
-                Expr { line, kind: ExprKind::Call("int".into(), args) }
+                Expr {
+                    line,
+                    kind: ExprKind::Call("int".into(), args),
+                }
             }
             // insert(t, v) -> t.append(v)
             "insert" => {
@@ -574,9 +675,15 @@ impl Parser {
             // newlist() -> []
             "newlist" => {
                 arity(0, &args)?;
-                Expr { line, kind: ExprKind::List(vec![]) }
+                Expr {
+                    line,
+                    kind: ExprKind::List(vec![]),
+                }
             }
-            _ => Expr { line, kind: ExprKind::Call(name.to_string(), args) },
+            _ => Expr {
+                line,
+                kind: ExprKind::Call(name.to_string(), args),
+            },
         })
     }
 
@@ -585,27 +692,45 @@ impl Parser {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Int(v) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Int(v),
+                })
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Str(s) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Str(s),
+                })
             }
             Tok::Ident(s) if s == "true" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::True })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::True,
+                })
             }
             Tok::Ident(s) if s == "false" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::False })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::False,
+                })
             }
             Tok::Ident(s) if s == "nil" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::None })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::None,
+                })
             }
             Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Name(s) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Name(s),
+                })
             }
             Tok::Punct("(") => {
                 self.bump();
@@ -616,7 +741,10 @@ impl Parser {
             Tok::Punct("{") => {
                 self.bump();
                 self.expect_punct("}")?;
-                Ok(Expr { line, kind: ExprKind::Dict(vec![]) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Dict(vec![]),
+                })
             }
             other => self.err(format!("unexpected {other}")),
         }

@@ -29,7 +29,10 @@ impl std::error::Error for CompileError {}
 
 impl From<ParseError> for CompileError {
     fn from(e: ParseError) -> Self {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -72,7 +75,10 @@ pub fn compile_module(module: &Module) -> Result<CompiledModule, CompileError> {
     for f in &module.funcs {
         funcs.push(compile_func(f, &sigs, &mut consts)?);
     }
-    Ok(CompiledModule { funcs, consts: consts.pool })
+    Ok(CompiledModule {
+        funcs,
+        consts: consts.pool,
+    })
 }
 
 #[derive(Default)]
@@ -107,10 +113,8 @@ fn collect_locals(f: &FuncDef) -> Vec<String> {
     fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
         for s in stmts {
             match &s.kind {
-                StmtKind::Assign(n, _) => {
-                    if !out.contains(n) {
-                        out.push(n.clone());
-                    }
+                StmtKind::Assign(n, _) if !out.contains(n) => {
+                    out.push(n.clone());
                 }
                 StmtKind::If(arms, els) => {
                     for (_, body) in arms {
@@ -141,7 +145,10 @@ fn compile_func(
 ) -> Result<CodeObj, CompileError> {
     let local_names = collect_locals(f);
     if local_names.len() > u16::MAX as usize {
-        return Err(CompileError { line: f.line, message: "too many locals".into() });
+        return Err(CompileError {
+            line: f.line,
+            message: "too many locals".into(),
+        });
     }
     let locals: HashMap<String, u16> = local_names
         .iter()
@@ -198,7 +205,10 @@ impl FnCompiler<'_> {
     }
 
     fn err<T>(&self, line: u32, message: impl Into<String>) -> Result<T, CompileError> {
-        Err(CompileError { line, message: message.into() })
+        Err(CompileError {
+            line,
+            message: message.into(),
+        })
     }
 
     fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
@@ -244,8 +254,7 @@ impl FnCompiler<'_> {
                 self.loops.last_mut().unwrap().0.push(site);
             }
             StmtKind::Continue => {
-                let Some(&(_, target)) = self.loops.last().map(|(b, t)| (b, *t)).as_ref()
-                else {
+                let Some(&(_, target)) = self.loops.last().map(|(b, t)| (b, *t)).as_ref() else {
                     return self.err(line, "continue outside loop");
                 };
                 let site = self.emit_jump(op::JUMP, line);
@@ -430,10 +439,8 @@ impl FnCompiler<'_> {
                 } else if let Some((bid, arity)) = builtin::by_name(name) {
                     if let Some(n) = arity {
                         if args.len() != n {
-                            return self.err(
-                                line,
-                                format!("{name} expects {n} args, got {}", args.len()),
-                            );
+                            return self
+                                .err(line, format!("{name} expects {n} args, got {}", args.len()));
                         }
                     }
                     for a in args {
@@ -509,21 +516,32 @@ mod tests {
         let ops: Vec<u8> = f.instructions().iter().map(|&(_, o)| o).collect();
         assert_eq!(
             ops,
-            vec![op::LOAD_LOCAL, op::LOAD_LOCAL, op::BIN_ADD, op::RETURN, op::RETURN_NONE]
+            vec![
+                op::LOAD_LOCAL,
+                op::LOAD_LOCAL,
+                op::BIN_ADD,
+                op::RETURN,
+                op::RETURN_NONE
+            ]
         );
     }
 
     #[test]
     fn consts_are_deduplicated() {
         let m = compile("def f():\n    return 1 + 1 + 1\n").unwrap();
-        let ints = m.consts.iter().filter(|c| matches!(c, Const::Int(1))).count();
+        let ints = m
+            .consts
+            .iter()
+            .filter(|c| matches!(c, Const::Int(1)))
+            .count();
         assert_eq!(ints, 1);
     }
 
     #[test]
     fn while_jumps_are_patched() {
-        let m = compile("def f(n):\n    i = 0\n    while i < n:\n        i = i + 1\n    return i\n")
-            .unwrap();
+        let m =
+            compile("def f(n):\n    i = 0\n    while i < n:\n        i = i + 1\n    return i\n")
+                .unwrap();
         let dis = m.funcs[0].disassemble();
         assert!(dis.contains("POP_JUMP_IF_FALSE"), "{dis}");
         assert!(!dis.contains("65535"), "all jumps patched: {dis}");

@@ -149,7 +149,16 @@ pub fn define_exec(mb: &mut ModuleBuilder, exec: FuncId, rt: &Rt, layout: &Layou
         let ip = b.const_(0);
         let sp = b.const_(0);
         let hp = b.const_(0);
-        let c = Ctx { code_id, code_ptr, ip, sp, hp, stack, handlers, locals };
+        let c = Ctx {
+            code_id,
+            code_ptr,
+            ip,
+            sp,
+            hp,
+            stack,
+            handlers,
+            locals,
+        };
 
         b.loop_(|b| {
             let opcode = rd_u8(b, c, 0);
@@ -233,7 +242,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                         |b| {
                             raise_named(b, lay, "TypeError");
                             let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                            push(b, c, nc);
                         },
                     );
                 },
@@ -257,7 +266,11 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
         op::BIN_DIV | op::BIN_MOD => {
             let rb = pop(b, c);
             let ra = pop(b, c);
-            let f = if opcode == op::BIN_DIV { rt.idiv } else { rt.imod };
+            let f = if opcode == op::BIN_DIV {
+                rt.idiv
+            } else {
+                rt.imod
+            };
             int_binop(b, c, lay, rt, ra, rb, move |b, pa, pb| {
                 b.call(f, &[pa.into(), pb.into()])
             });
@@ -361,7 +374,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                                 |b| {
                                     raise_named(b, lay, "TypeError");
                                     let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                                    push(b, c, nc);
                                 },
                             );
                         },
@@ -370,17 +383,14 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                             b.if_else(
                                 is_list,
                                 |b| {
-                                    let r = b.call(
-                                        rt.list_contains,
-                                        &[cont.into(), item.into()],
-                                    );
+                                    let r = b.call(rt.list_contains, &[cont.into(), item.into()]);
                                     let cell = bool_cell(b, &lay2, r);
                                     push(b, c, cell);
                                 },
                                 |b| {
                                     raise_named(b, &lay2, "TypeError");
                                     let nc = b.mov(lay2.none_cell);
-                        push(b, c, nc);
+                                    push(b, c, nc);
                                 },
                             );
                         },
@@ -413,7 +423,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                 |b| {
                     raise_named(b, lay, "TypeError");
                     let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                    push(b, c, nc);
                 },
             );
             advance(b, c, 1);
@@ -614,7 +624,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                                 |b| {
                                     raise_named(b, lay, "IndexError");
                                     let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                                    push(b, c, nc);
                                 },
                                 |b| {
                                     let p = b.add(s, 8u64);
@@ -628,7 +638,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                         |b| {
                             raise_named(b, lay, "TypeError");
                             let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                            push(b, c, nc);
                         },
                     );
                 },
@@ -653,7 +663,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                                         |b| {
                                             raise_named(b, &lay2, "KeyError");
                                             let nc = b.mov(lay2.none_cell);
-                        push(b, c, nc);
+                                            push(b, c, nc);
                                         },
                                         |b| push(b, c, v),
                                     );
@@ -661,7 +671,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                                 |b| {
                                     raise_named(b, &lay2, "TypeError");
                                     let nc = b.mov(lay2.none_cell);
-                        push(b, c, nc);
+                                    push(b, c, nc);
                                 },
                             );
                         },
@@ -715,7 +725,7 @@ fn emit_case(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, exec: FuncId, opc
                 |b| {
                     raise_named(b, lay, "TypeError");
                     let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                    push(b, c, nc);
                 },
             );
             advance(b, c, 1);
@@ -754,7 +764,7 @@ fn int_binop(
         |b| {
             raise_named(b, lay, "TypeError");
             let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+            push(b, c, nc);
         },
     );
 }
@@ -802,7 +812,7 @@ fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc
                             |b| {
                                 raise_named(b, lay, "TypeError");
                                 let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                                push(b, c, nc);
                             },
                         );
                     },
@@ -829,7 +839,7 @@ fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc
                             |b| {
                                 raise_named(b, lay, "TypeError");
                                 let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                                push(b, c, nc);
                             },
                         );
                     },
@@ -888,7 +898,7 @@ fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc
                                     |b| {
                                         raise_named(b, lay, "TypeError");
                                         let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                                        push(b, c, nc);
                                     },
                                 );
                             },
@@ -918,16 +928,13 @@ fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc
                                     is_bool,
                                     |b| {
                                         let p = payload(b, v);
-                                        let cell = b.select(
-                                            p,
-                                            lay.str_true_cell,
-                                            lay.str_false_cell,
-                                        );
+                                        let cell =
+                                            b.select(p, lay.str_true_cell, lay.str_false_cell);
                                         push(b, c, cell);
                                     },
                                     |b| {
                                         let nc = b.mov(lay.str_none_cell);
-                        push(b, c, nc);
+                                        push(b, c, nc);
                                     },
                                 );
                             },
@@ -946,7 +953,7 @@ fn emit_builtin(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, bid: Reg, argc
                     },
                 );
                 let nc = b.mov(lay.none_cell);
-                        push(b, c, nc);
+                push(b, c, nc);
             }
             _ => unreachable!(),
         },
@@ -999,8 +1006,7 @@ fn emit_method(b: &mut FnBuilder, c: Ctx, lay: &Layout, rt: &Rt, mid: Reg, argc:
                                 push(b, c, cell);
                             }
                             method::STARTSWITH => {
-                                let r =
-                                    b.call(rt.str_startswith, &[pr.into(), pa.into()]);
+                                let r = b.call(rt.str_startswith, &[pr.into(), pa.into()]);
                                 let cell = bool_cell(b, lay, r);
                                 push(b, c, cell);
                             }

@@ -100,7 +100,12 @@ pub fn build_layout(mb: &mut ModuleBuilder, module: &CompiledModule) -> Layout {
     let mut entries = Vec::with_capacity(module.funcs.len());
     for f in &module.funcs {
         let code_ptr = mb.data_bytes(&f.code);
-        entries.push([code_ptr, f.code.len() as u64, f.n_params as u64, f.n_locals as u64]);
+        entries.push([
+            code_ptr,
+            f.code.len() as u64,
+            f.n_params as u64,
+            f.n_locals as u64,
+        ]);
     }
     let mut table_bytes = Vec::with_capacity(entries.len() * 32);
     for e in &entries {

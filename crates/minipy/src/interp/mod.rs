@@ -41,7 +41,11 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::NoSuchEntry(n) => write!(f, "entry function '{n}' not found"),
-            BuildError::ArityMismatch { entry, expected, got } => write!(
+            BuildError::ArityMismatch {
+                entry,
+                expected,
+                got,
+            } => write!(
                 f,
                 "entry '{entry}' takes {expected} parameters but the test supplies {got}"
             ),

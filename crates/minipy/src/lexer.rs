@@ -73,8 +73,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "+=", "-=", "*=", "//", "(", ")", "[", "]", "{", "}", ":", ",",
-    ".", "=", "+", "-", "*", "/", "%", "<", ">",
+    "==", "!=", "<=", ">=", "+=", "-=", "*=", "//", "(", ")", "[", "]", "{", "}", ":", ",", ".",
+    "=", "+", "-", "*", "/", "%", "<", ">",
 ];
 
 /// Tokenizes MiniPy source, producing `Indent`/`Dedent` tokens from leading
@@ -108,11 +108,17 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             let cur = *indents.last().unwrap();
             if indent > cur {
                 indents.push(indent);
-                out.push(Token { line, kind: Tok::Indent });
+                out.push(Token {
+                    line,
+                    kind: Tok::Indent,
+                });
             } else if indent < cur {
                 while *indents.last().unwrap() > indent {
                     indents.pop();
-                    out.push(Token { line, kind: Tok::Dedent });
+                    out.push(Token {
+                        line,
+                        kind: Tok::Dedent,
+                    });
                 }
                 if *indents.last().unwrap() != indent {
                     return Err(LexError {
@@ -142,7 +148,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     line,
                     message: format!("integer literal {text} out of range"),
                 })?;
-                out.push(Token { line, kind: Tok::Int(v) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Int(v),
+                });
                 continue;
             }
             if c.is_ascii_alphabetic() || c == '_' {
@@ -151,7 +160,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token { line, kind: Tok::Ident(text) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Ident(text),
+                });
                 continue;
             }
             if c == '"' || c == '\'' {
@@ -214,7 +226,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     s.push(ch);
                     i += 1;
                 }
-                out.push(Token { line, kind: Tok::Str(s) });
+                out.push(Token {
+                    line,
+                    kind: Tok::Str(s),
+                });
                 continue;
             }
             // Punctuation, longest match first.
@@ -233,7 +248,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         ")" | "]" | "}" => paren_depth = paren_depth.saturating_sub(1),
                         _ => {}
                     }
-                    out.push(Token { line, kind: Tok::Punct(p) });
+                    out.push(Token {
+                        line,
+                        kind: Tok::Punct(p),
+                    });
                     i += p.len();
                 }
                 None => {
@@ -245,7 +263,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
         }
         if paren_depth == 0 {
-            out.push(Token { line, kind: Tok::Newline });
+            out.push(Token {
+                line,
+                kind: Tok::Newline,
+            });
         }
         let _ = chars.len();
         chars.clear();
@@ -253,9 +274,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     let last_line = source.lines().count() as u32;
     while indents.len() > 1 {
         indents.pop();
-        out.push(Token { line: last_line, kind: Tok::Dedent });
+        out.push(Token {
+            line: last_line,
+            kind: Tok::Dedent,
+        });
     }
-    out.push(Token { line: last_line, kind: Tok::Eof });
+    out.push(Token {
+        line: last_line,
+        kind: Tok::Eof,
+    });
     Ok(out)
 }
 

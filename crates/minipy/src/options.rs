@@ -53,8 +53,14 @@ impl InterpreterOptions {
             eliminate_interning: true,
             ..none
         };
-        let hash = InterpreterOptions { neutralize_hashes: true, ..symptr };
-        let fast = InterpreterOptions { eliminate_fast_paths: true, ..hash };
+        let hash = InterpreterOptions {
+            neutralize_hashes: true,
+            ..symptr
+        };
+        let fast = InterpreterOptions {
+            eliminate_fast_paths: true,
+            ..hash
+        };
         [
             ("none", none),
             ("+symptr", symptr),

@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -53,8 +56,8 @@ struct Parser {
 }
 
 const KEYWORDS: &[&str] = &[
-    "def", "if", "elif", "else", "while", "return", "break", "continue", "pass", "raise",
-    "try", "except", "and", "or", "not", "in", "True", "False", "None",
+    "def", "if", "elif", "else", "while", "return", "break", "continue", "pass", "raise", "try",
+    "except", "and", "or", "not", "in", "True", "False", "None",
 ];
 
 impl Parser {
@@ -75,7 +78,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
@@ -156,7 +162,12 @@ impl Parser {
         }
         self.expect_punct(":")?;
         let body = self.suite()?;
-        Ok(FuncDef { name, params, body, line })
+        Ok(FuncDef {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     fn suite(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -188,7 +199,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect_punct(":")?;
                 let body = self.suite()?;
-                Ok(Stmt { line, kind: StmtKind::While(cond, body) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::While(cond, body),
+                })
             }
             Tok::Ident(s) if s == "try" => self.try_stmt(),
             Tok::Ident(s) if s == "return" => {
@@ -199,40 +213,53 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect_newline()?;
-                Ok(Stmt { line, kind: StmtKind::Return(value) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Return(value),
+                })
             }
             Tok::Ident(s) if s == "break" => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt { line, kind: StmtKind::Break })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Break,
+                })
             }
             Tok::Ident(s) if s == "continue" => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt { line, kind: StmtKind::Continue })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Continue,
+                })
             }
             Tok::Ident(s) if s == "pass" => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt { line, kind: StmtKind::Pass })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Pass,
+                })
             }
             Tok::Ident(s) if s == "raise" => {
                 self.bump();
                 let name = self.ident()?;
                 let mut args = Vec::new();
-                if self.eat_punct("(") {
-                    if !self.eat_punct(")") {
-                        loop {
-                            args.push(self.expr()?);
-                            if self.eat_punct(")") {
-                                break;
-                            }
-                            self.expect_punct(",")?;
+                if self.eat_punct("(") && !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_punct(")") {
+                            break;
                         }
+                        self.expect_punct(",")?;
                     }
                 }
                 self.expect_newline()?;
-                Ok(Stmt { line, kind: StmtKind::Raise(name, args) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Raise(name, args),
+                })
             }
             _ => self.simple_stmt(),
         }
@@ -261,7 +288,10 @@ impl Parser {
                 break;
             }
         }
-        Ok(Stmt { line, kind: StmtKind::If(arms, els) })
+        Ok(Stmt {
+            line,
+            kind: StmtKind::If(arms, els),
+        })
     }
 
     fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -284,7 +314,10 @@ impl Parser {
         if clauses.is_empty() {
             return self.err("try without except");
         }
-        Ok(Stmt { line, kind: StmtKind::Try(body, clauses) })
+        Ok(Stmt {
+            line,
+            kind: StmtKind::Try(body, clauses),
+        })
     }
 
     fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -296,10 +329,14 @@ impl Parser {
             let value = self.expr()?;
             self.expect_newline()?;
             return match e.kind {
-                ExprKind::Name(n) => Ok(Stmt { line, kind: StmtKind::Assign(n, value) }),
-                ExprKind::Index(obj, idx) => {
-                    Ok(Stmt { line, kind: StmtKind::IndexAssign(*obj, *idx, value) })
-                }
+                ExprKind::Name(n) => Ok(Stmt {
+                    line,
+                    kind: StmtKind::Assign(n, value),
+                }),
+                ExprKind::Index(obj, idx) => Ok(Stmt {
+                    line,
+                    kind: StmtKind::IndexAssign(*obj, *idx, value),
+                }),
                 _ => self.err("invalid assignment target"),
             };
         }
@@ -314,7 +351,10 @@ impl Parser {
                             line,
                             kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
                         };
-                        Ok(Stmt { line, kind: StmtKind::Assign(n, combined) })
+                        Ok(Stmt {
+                            line,
+                            kind: StmtKind::Assign(n, combined),
+                        })
                     }
                     ExprKind::Index(obj, idx) => {
                         let combined = Expr {
@@ -331,7 +371,10 @@ impl Parser {
             }
         }
         self.expect_newline()?;
-        Ok(Stmt { line, kind: StmtKind::Expr(e) })
+        Ok(Stmt {
+            line,
+            kind: StmtKind::Expr(e),
+        })
     }
 
     // ----- expressions -----
@@ -346,7 +389,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.and_expr()?;
-            e = Expr { line, kind: ExprKind::Or(Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Or(Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -357,7 +403,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.not_expr()?;
-            e = Expr { line, kind: ExprKind::And(Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::And(Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -367,7 +416,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let inner = self.not_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(inner)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Not, Box::new(inner)),
+            });
         }
         self.comparison()
     }
@@ -400,7 +452,10 @@ impl Parser {
             Some(op) => {
                 self.bump();
                 let rhs = self.arith()?;
-                Ok(Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+                })
             }
         }
     }
@@ -416,7 +471,10 @@ impl Parser {
             };
             self.bump();
             let rhs = self.term()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -433,7 +491,10 @@ impl Parser {
             };
             self.bump();
             let rhs = self.factor()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -443,7 +504,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let inner = self.factor()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(inner)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Neg, Box::new(inner)),
+            });
         }
         self.postfix()
     }
@@ -461,7 +525,10 @@ impl Parser {
                     };
                     self.bump();
                     let args = self.call_args()?;
-                    e = Expr { line, kind: ExprKind::Call(name, args) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Call(name, args),
+                    };
                 }
                 Tok::Punct("[") => {
                     self.bump();
@@ -475,7 +542,10 @@ impl Parser {
                         };
                     } else {
                         self.expect_punct("]")?;
-                        e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                        e = Expr {
+                            line,
+                            kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        };
                     }
                 }
                 Tok::Punct(".") => {
@@ -514,27 +584,45 @@ impl Parser {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Int(v) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Int(v),
+                })
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Str(s) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Str(s),
+                })
             }
             Tok::Ident(s) if s == "True" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::True })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::True,
+                })
             }
             Tok::Ident(s) if s == "False" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::False })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::False,
+                })
             }
             Tok::Ident(s) if s == "None" => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::None })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::None,
+                })
             }
             Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Name(s) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Name(s),
+                })
             }
             Tok::Punct("(") => {
                 self.bump();
@@ -554,7 +642,10 @@ impl Parser {
                         self.expect_punct(",")?;
                     }
                 }
-                Ok(Expr { line, kind: ExprKind::List(items) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::List(items),
+                })
             }
             Tok::Punct("{") => {
                 self.bump();
@@ -571,7 +662,10 @@ impl Parser {
                         self.expect_punct(",")?;
                     }
                 }
-                Ok(Expr { line, kind: ExprKind::Dict(items) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Dict(items),
+                })
             }
             other => self.err(format!("unexpected {other}")),
         }
@@ -605,8 +699,7 @@ mod tests {
 
     #[test]
     fn parses_while_with_break_continue() {
-        let src =
-            "def f():\n    while True:\n        if x:\n            break\n        continue\n";
+        let src = "def f():\n    while True:\n        if x:\n            break\n        continue\n";
         let m = parse(src).unwrap();
         assert!(matches!(m.funcs[0].body[0].kind, StmtKind::While(..)));
     }

@@ -98,12 +98,7 @@ enum Flow {
 ///
 /// Returns a message for *internal* errors (unknown function, wrong arity) —
 /// conditions the compiler would have rejected.
-pub fn run(
-    module: &Module,
-    entry: &str,
-    args: Vec<PyVal>,
-    fuel: u64,
-) -> Result<PyOutcome, String> {
+pub fn run(module: &Module, entry: &str, args: Vec<PyVal>, fuel: u64) -> Result<PyOutcome, String> {
     let mut ev = Evaluator { module, fuel };
     match ev.call(entry, args) {
         Ok(v) => Ok(PyOutcome::Value(v)),
@@ -490,7 +485,7 @@ impl Evaluator<'_> {
                 _ => Err(Flow::Raise("TypeError".into())),
             },
             "print" => Ok(PyVal::None),
-            _ => Err(format!("unknown function {name}")).map_err(|m| Flow::Raise(m)),
+            _ => Err(format!("unknown function {name}")).map_err(Flow::Raise),
         }
     }
 
@@ -516,7 +511,11 @@ impl Evaluator<'_> {
             }
             (PyVal::Dict(d), "get") => {
                 hash_check(&args[0])?;
-                let found = d.borrow().iter().find(|(k, _)| k.py_eq(&args[0])).map(|(_, v)| v.clone());
+                let found = d
+                    .borrow()
+                    .iter()
+                    .find(|(k, _)| k.py_eq(&args[0]))
+                    .map(|(_, v)| v.clone());
                 match found {
                     Some(v) => Ok(v),
                     None => Ok(args.get(1).cloned().unwrap_or(PyVal::None)),
@@ -538,18 +537,18 @@ fn hash_check(v: &PyVal) -> Result<(), Flow> {
     }
 }
 
-fn int_op(a: PyVal, b: PyVal, f: impl FnOnce(i64, i64) -> Result<i64, Flow>) -> Result<PyVal, Flow> {
+fn int_op(
+    a: PyVal,
+    b: PyVal,
+    f: impl FnOnce(i64, i64) -> Result<i64, Flow>,
+) -> Result<PyVal, Flow> {
     match (a.as_int(), b.as_int()) {
         (Some(x), Some(y)) => f(x, y).map(PyVal::Int),
         _ => Err(Flow::Raise("TypeError".into())),
     }
 }
 
-fn ord_op(
-    a: PyVal,
-    b: PyVal,
-    f: impl FnOnce(std::cmp::Ordering) -> bool,
-) -> Result<PyVal, Flow> {
+fn ord_op(a: PyVal, b: PyVal, f: impl FnOnce(std::cmp::Ordering) -> bool) -> Result<PyVal, Flow> {
     if let (PyVal::Str(x), PyVal::Str(y)) = (&a, &b) {
         return Ok(PyVal::Bool(f(x.cmp(y))));
     }
@@ -578,7 +577,11 @@ fn parse_int(s: &[u8]) -> Result<i64, Flow> {
     if s.is_empty() {
         return Err(Flow::Raise("ValueError".into()));
     }
-    let (neg, digits) = if s[0] == b'-' { (true, &s[1..]) } else { (false, s) };
+    let (neg, digits) = if s[0] == b'-' {
+        (true, &s[1..])
+    } else {
+        (false, s)
+    };
     if digits.is_empty() {
         return Err(Flow::Raise("ValueError".into()));
     }

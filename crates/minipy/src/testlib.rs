@@ -56,20 +56,30 @@ pub struct SymbolicTest {
 impl SymbolicTest {
     /// Starts a test of the named entry function.
     pub fn new(entry: impl Into<String>) -> Self {
-        SymbolicTest { entry: entry.into(), args: Vec::new() }
+        SymbolicTest {
+            entry: entry.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Adds a symbolic string argument of `len` bytes.
     #[must_use]
     pub fn sym_str(mut self, name: impl Into<String>, len: usize) -> Self {
-        self.args.push(SymbolicValue::SymStr { name: name.into(), len });
+        self.args.push(SymbolicValue::SymStr {
+            name: name.into(),
+            len,
+        });
         self
     }
 
     /// Adds a symbolic integer argument constrained to `min..=max`.
     #[must_use]
     pub fn sym_int(mut self, name: impl Into<String>, min: i64, max: i64) -> Self {
-        self.args.push(SymbolicValue::SymInt { name: name.into(), min, max });
+        self.args.push(SymbolicValue::SymInt {
+            name: name.into(),
+            min,
+            max,
+        });
         self
     }
 

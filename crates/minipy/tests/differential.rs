@@ -54,7 +54,10 @@ fn check_agreement(src: &str, entry: &str, arg: &str) {
                 );
             }
             PyOutcome::Value(v) => {
-                assert!(exc.is_none(), "build {label}, arg {arg:?}: unexpected {exc:?}");
+                assert!(
+                    exc.is_none(),
+                    "build {label}, arg {arg:?}: unexpected {exc:?}"
+                );
                 if let Some(expected_int) = match v {
                     PyVal::Int(i) => Some((tag::INT, *i as u64)),
                     PyVal::Bool(bv) => Some((tag::BOOL, *bv as u64)),

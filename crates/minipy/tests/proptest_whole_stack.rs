@@ -40,7 +40,11 @@ fn render(arms: &[Arm]) -> String {
             1 => "==",
             _ => ">=",
         };
-        out.push_str(&format!("    if {lhs} {op} {}:\n        return {}\n", a.lit, i + 1));
+        out.push_str(&format!(
+            "    if {lhs} {op} {}:\n        return {}\n",
+            a.lit,
+            i + 1
+        ));
     }
     out.push_str("    return 0\n");
     out

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Bencher::iter`] — with a simple mean-of-samples wall-clock measurement
+//! instead of criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bench registry and measurement settings.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+        // Measurement.
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let start = Instant::now();
+        let mut samples = 0;
+        while samples < self.sample_size && start.elapsed() < self.measurement_time {
+            f(&mut b);
+            samples += 1;
+        }
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!(
+            "{name:<50} {per_iter:>12.2?}/iter ({} iters, {samples} samples)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Timing handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 2, "warm-up plus samples each run the body");
+    }
+}

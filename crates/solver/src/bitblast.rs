@@ -108,7 +108,8 @@ impl<'a> BitBlaster<'a> {
             return self.true_lit;
         }
         let y = self.fresh();
-        self.sat.add_clause(&[a.negated(), b.negated(), y.negated()]);
+        self.sat
+            .add_clause(&[a.negated(), b.negated(), y.negated()]);
         self.sat.add_clause(&[a, b, y.negated()]);
         self.sat.add_clause(&[a.negated(), b, y]);
         self.sat.add_clause(&[a, b.negated(), y]);
@@ -218,17 +219,13 @@ impl<'a> BitBlaster<'a> {
                     let mut shifted = vec![fill; w];
                     match op {
                         BinOp::Shl => {
-                            for j in d..w {
-                                shifted[j] = cur[j - d];
-                            }
+                            shifted[d..w].copy_from_slice(&cur[..w - d]);
                             for s in shifted.iter_mut().take(d) {
                                 *s = self.false_lit();
                             }
                         }
                         _ => {
-                            for j in 0..w - d {
-                                shifted[j] = cur[j + d];
-                            }
+                            shifted[..w - d].copy_from_slice(&cur[d..]);
                         }
                     }
                     cur = self.ite_vec(bit, &shifted, &cur);
@@ -385,9 +382,7 @@ impl<'a> BitBlaster<'a> {
                 let fv = self.cache[&f].clone();
                 self.ite_vec(c, &tv, &fv)
             }
-            Node::Extract { hi, lo, a } => {
-                self.cache[&a][lo as usize..=hi as usize].to_vec()
-            }
+            Node::Extract { hi, lo, a } => self.cache[&a][lo as usize..=hi as usize].to_vec(),
             Node::Ext { signed, width, a } => {
                 let av = self.cache[&a].clone();
                 let mut v = av.clone();

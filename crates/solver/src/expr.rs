@@ -187,7 +187,20 @@ impl ExprPool {
     /// Declares a fresh symbolic variable and returns an expression for it.
     pub fn fresh_var(&mut self, name: impl Into<String>, width: u8) -> ExprId {
         let var = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.into(), width });
+        self.vars.push(VarInfo {
+            name: name.into(),
+            width,
+        });
+        self.intern_node(Node::Var { width, var }, width)
+    }
+
+    /// The expression for an already-declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not declared in this pool.
+    pub fn var_expr(&mut self, var: VarId) -> ExprId {
+        let width = self.vars[var.0 as usize].width;
         self.intern_node(Node::Var { width, var }, width)
     }
 
@@ -374,9 +387,7 @@ impl ExprPool {
                 // eq(x, c) where x = ite(p, c1, c2) with distinct constants;
                 // operands may sit on either side after canonicalization.
                 for (cv, ite_side) in [(cb, a), (ca, b)] {
-                    if let (Some(c), Node::Ite { cond, t, f }) =
-                        (cv, self.node(ite_side).clone())
-                    {
+                    if let (Some(c), Node::Ite { cond, t, f }) = (cv, self.node(ite_side).clone()) {
                         if let (Some(ct), Some(cf)) = (self.as_const(t), self.as_const(f)) {
                             if ct == c && cf != c {
                                 return Some(cond);
@@ -422,15 +433,11 @@ impl ExprPool {
                     return Some(self.true_());
                 }
             }
-            BinOp::Slt => {
-                if a == b {
-                    return Some(self.false_());
-                }
+            BinOp::Slt if a == b => {
+                return Some(self.false_());
             }
-            BinOp::Sle => {
-                if a == b {
-                    return Some(self.true_());
-                }
+            BinOp::Sle if a == b => {
+                return Some(self.true_());
             }
             _ => {}
         }
@@ -471,7 +478,10 @@ impl ExprPool {
     /// Panics if `hi < lo` or `hi` exceeds the operand width.
     pub fn extract(&mut self, hi: u8, lo: u8, a: ExprId) -> ExprId {
         let w = self.width(a);
-        assert!(hi >= lo && hi < w, "invalid extract [{hi}:{lo}] of width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "invalid extract [{hi}:{lo}] of width {w}"
+        );
         let rw = hi - lo + 1;
         if rw == w {
             return a;
@@ -480,7 +490,11 @@ impl ExprPool {
             return self.constant(rw, v >> lo);
         }
         // extract of concat: resolve into the matching side when aligned
-        if let Node::Concat { a: hi_part, b: lo_part } = *self.node(a) {
+        if let Node::Concat {
+            a: hi_part,
+            b: lo_part,
+        } = *self.node(a)
+        {
             let lw = self.width(lo_part);
             if hi < lw {
                 return self.extract(hi, lo, lo_part);
@@ -490,12 +504,20 @@ impl ExprPool {
             }
         }
         // extract of extract composes
-        if let Node::Extract { lo: ilo, a: inner, .. } = *self.node(a) {
+        if let Node::Extract {
+            lo: ilo, a: inner, ..
+        } = *self.node(a)
+        {
             return self.extract(hi + ilo, lo + ilo, inner);
         }
         // extract of zext: within the original width it is an extract of the
         // inner value; entirely within the zero padding it is zero.
-        if let Node::Ext { signed: false, a: inner, .. } = *self.node(a) {
+        if let Node::Ext {
+            signed: false,
+            a: inner,
+            ..
+        } = *self.node(a)
+        {
             let iw = self.width(inner);
             if hi < iw {
                 return self.extract(hi, lo, inner);
@@ -521,7 +543,14 @@ impl ExprPool {
         if let Some(v) = self.as_const(a) {
             return self.constant(width, v);
         }
-        self.intern_node(Node::Ext { signed: false, width, a }, width)
+        self.intern_node(
+            Node::Ext {
+                signed: false,
+                width,
+                a,
+            },
+            width,
+        )
     }
 
     /// Sign-extension to `width` (identity if already that width).
@@ -538,7 +567,14 @@ impl ExprPool {
         if let Some(v) = self.as_const(a) {
             return self.constant(width, to_signed(w, v) as u64);
         }
-        self.intern_node(Node::Ext { signed: true, width, a }, width)
+        self.intern_node(
+            Node::Ext {
+                signed: true,
+                width,
+                a,
+            },
+            width,
+        )
     }
 
     /// Concatenation with `a` in the high bits.
@@ -559,8 +595,16 @@ impl ExprPool {
         }
         // Reassemble adjacent extracts of the same source.
         if let (
-            Node::Extract { hi: ah, lo: al, a: src_a },
-            Node::Extract { hi: bh, lo: bl, a: src_b },
+            Node::Extract {
+                hi: ah,
+                lo: al,
+                a: src_a,
+            },
+            Node::Extract {
+                hi: bh,
+                lo: bl,
+                a: src_b,
+            },
         ) = (self.node(a).clone(), self.node(b).clone())
         {
             if src_a == src_b && al == bh + 1 {
@@ -683,9 +727,7 @@ impl ExprPool {
             match self.node(cur) {
                 Node::Const { .. } => {}
                 Node::Var { var, .. } => out.push(*var),
-                Node::Not { a } | Node::Extract { a, .. } | Node::Ext { a, .. } => {
-                    stack.push(*a)
-                }
+                Node::Not { a } | Node::Extract { a, .. } | Node::Ext { a, .. } => stack.push(*a),
                 Node::Bin { a, b, .. } | Node::Concat { a, b } => {
                     stack.push(*a);
                     stack.push(*b);
@@ -710,13 +752,7 @@ pub fn eval_bin(op: BinOp, w: u8, a: u64, b: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b) & m,
         BinOp::Sub => a.wrapping_sub(b) & m,
         BinOp::Mul => a.wrapping_mul(b) & m,
-        BinOp::UDiv => {
-            if b == 0 {
-                m
-            } else {
-                (a / b) & m
-            }
-        }
+        BinOp::UDiv => a.checked_div(b).map_or(m, |q| q & m),
         BinOp::URem => {
             if b == 0 {
                 a

@@ -193,7 +193,10 @@ impl SatSolver {
         if self.unsat {
             return false;
         }
-        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at level 0");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at level 0"
+        );
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
             match self.value_lit(l) {
@@ -357,8 +360,7 @@ impl SatSolver {
         if learned.len() > 1 {
             let mut mi = 1;
             for k in 2..learned.len() {
-                if self.level[learned[k].var() as usize] > self.level[learned[mi].var() as usize]
-                {
+                if self.level[learned[k].var() as usize] > self.level[learned[mi].var() as usize] {
                     mi = k;
                 }
             }
@@ -375,8 +377,7 @@ impl SatSolver {
                 let v = l.var() as usize;
                 self.assign[v] = Val::Undef;
                 self.reason[v] = None;
-                self.order
-                    .push(OrderEntry(self.activity[v], l.var()));
+                self.order.push(OrderEntry(self.activity[v], l.var()));
             }
         }
         self.qhead = self.trail.len();
@@ -437,11 +438,7 @@ impl SatSolver {
             } else {
                 match self.pick_branch_var() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|v| *v == Val::True)
-                            .collect();
+                        let model = self.assign.iter().map(|v| *v == Val::True).collect();
                         self.cancel_until(0);
                         return SatOutcome::Sat(model);
                     }

@@ -212,10 +212,7 @@ impl Solver {
                 for v in vars {
                     model.set(v, map.var_value(v, &bits));
                 }
-                debug_assert!(
-                    model.satisfies(pool, &live),
-                    "model must satisfy the query"
-                );
+                debug_assert!(model.satisfies(pool, &live), "model must satisfy the query");
                 self.model_ring.push(model.clone());
                 if self.model_ring.len() > MODEL_RING {
                     self.model_ring.remove(0);

@@ -44,14 +44,15 @@ fn recipe() -> impl Strategy<Value = Recipe> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (0..OPS.len(), inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Recipe::Bin(o, Box::new(a), Box::new(b))),
+            (0..OPS.len(), inner.clone(), inner.clone()).prop_map(|(o, a, b)| Recipe::Bin(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|a| Recipe::Not(Box::new(a))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
-                Recipe::Ite(Box::new(c), Box::new(t), Box::new(f))
-            }),
-            (any::<bool>(), inner.clone())
-                .prop_map(|(s, a)| Recipe::Ext(s, Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| { Recipe::Ite(Box::new(c), Box::new(t), Box::new(f)) }),
+            (any::<bool>(), inner.clone()).prop_map(|(s, a)| Recipe::Ext(s, Box::new(a))),
             inner.prop_map(|a| Recipe::Extract(Box::new(a))),
         ]
     })
@@ -88,7 +89,11 @@ fn build(pool: &mut ExprPool, r: &Recipe, vars: &[ExprId]) -> ExprId {
         }
         Recipe::Ext(signed, a) => {
             let ea = build(pool, a, vars);
-            let wide = if *signed { pool.sext(16, ea) } else { pool.zext(16, ea) };
+            let wide = if *signed {
+                pool.sext(16, ea)
+            } else {
+                pool.zext(16, ea)
+            };
             pool.extract(7, 0, wide)
         }
         Recipe::Extract(a) => {

@@ -114,6 +114,15 @@ impl<'p> Executor<'p> {
         State::initial(&mut self.pool, self.prog)
     }
 
+    /// Builds an initial state that first replays the recorded event
+    /// prefix `choices` (see [`State::trace`]): stepping it re-derives the
+    /// state that recorded the prefix, without forking along the way.
+    pub fn seeded_state(&mut self, choices: &[u64]) -> State {
+        let mut s = self.initial_state();
+        s.replay = choices.iter().copied().collect();
+        s
+    }
+
     fn fresh_id(&mut self) -> StateId {
         let id = StateId(self.next_state_id);
         self.next_state_id += 1;
@@ -138,21 +147,30 @@ impl<'p> Executor<'p> {
         }
     }
 
-    fn to_bool(&mut self, e: ExprId) -> ExprId {
+    fn truthy(&mut self, e: ExprId) -> ExprId {
         self.pool.is_nonzero(e)
     }
 
-    fn from_bool(&mut self, e: ExprId) -> ExprId {
+    fn widen_bool(&mut self, e: ExprId) -> ExprId {
         self.pool.zext(64, e)
     }
 
     /// Concretizes `expr` on this path: picks one feasible value, binds the
     /// path to it, and returns the value. Returns `None` on contradiction.
+    ///
+    /// The chosen value is recorded in the state's trace (and taken from
+    /// the replay queue during prefix replay): value selection goes through
+    /// solver caches whose answers depend on query history, so replay must
+    /// pin the original choice rather than re-ask.
     fn concretize_value(&mut self, state: &mut State, expr: ExprId) -> Option<u64> {
         if let Some(v) = self.pool.as_const(expr) {
             return Some(v);
         }
-        let v = self.solver.value_of(&self.pool, expr, &state.path)?;
+        let v = match state.take_replay() {
+            Some(v) => v,
+            None => self.solver.value_of(&self.pool, expr, &state.path)?,
+        };
+        state.trace.push(v);
         let w = self.pool.width(expr);
         let c = self.pool.constant(w, v);
         let eq = self.pool.eq(expr, c);
@@ -170,13 +188,32 @@ impl<'p> Executor<'p> {
         if let Some(v) = self.pool.as_const(addr) {
             return Ok((v, Vec::new()));
         }
+        if let Some(v) = state.take_replay() {
+            // Prefix replay: pin the recorded address instead of
+            // re-enumerating; siblings were forked at recording time.
+            state.trace.push(v);
+            let c = self.pool.constant(64, v);
+            let eq = self.pool.eq(addr, c);
+            state.path.push(eq);
+            return Ok((v, Vec::new()));
+        }
         let limit = self.config.max_ptr_values;
-        let vals =
-            self.solver
-                .enumerate_values(&mut self.pool, addr, &state.path, limit + 1);
+        let mut vals = self
+            .solver
+            .enumerate_values(&mut self.pool, addr, &state.path, limit + 1);
+        // Ascending order makes the fork layout independent of solver model
+        // order whenever the value set is complete (the common case). Only
+        // when more than `max_ptr_values` targets exist does the *kept
+        // subset* still depend on enumeration history — that residual
+        // nondeterminism is inherent to the dropping policy and is counted
+        // in `dropped_ptr_values`.
+        vals.sort_unstable();
         match vals.len() {
             0 => Err(TermStatus::AssumeFailed),
-            1 => Ok((vals[0], Vec::new())),
+            1 => {
+                state.trace.push(vals[0]);
+                Ok((vals[0], Vec::new()))
+            }
             n => {
                 let dropped = n > limit;
                 let vals = &vals[..n.min(limit)];
@@ -185,16 +222,24 @@ impl<'p> Executor<'p> {
                 }
                 let loc = state.ll_loc();
                 let mut alternates = Vec::new();
+                // Alternates re-execute the memory access, so their value
+                // goes into the replay queue, not the trace: the
+                // re-execution consumes it and records it exactly once —
+                // and if the alternate is exported before re-executing,
+                // the seed still carries the value (replay remainders are
+                // appended to shipped seeds).
                 for &v in &vals[1..] {
                     let c = self.pool.constant(64, v);
                     let eq = self.pool.eq(addr, c);
                     let mut alt = self.fork(state, Some(eq));
+                    alt.replay.push_back(v);
                     Self::note_fork(&mut alt, loc);
                     alternates.push(alt);
                 }
                 let c = self.pool.constant(64, vals[0]);
                 let eq = self.pool.eq(addr, c);
                 state.path.push(eq);
+                state.trace.push(vals[0]);
                 Self::note_fork(state, loc);
                 self.stats.symptr_forks += alternates.len() as u64;
                 self.stats.forks += alternates.len() as u64;
@@ -249,7 +294,7 @@ impl<'p> Executor<'p> {
                 let eb = self.eval(state, &b);
                 let mut r = self.pool.bin(op, ea, eb);
                 if op.is_predicate() {
-                    r = self.from_bool(r);
+                    r = self.widen_bool(r);
                 }
                 state.frame_mut().regs[dst.0 as usize] = r;
                 StepEvent::Advanced
@@ -262,7 +307,7 @@ impl<'p> Executor<'p> {
             }
             Inst::Select { dst, cond, t, f } => {
                 let ec = self.eval(state, &cond);
-                let c = self.to_bool(ec);
+                let c = self.truthy(ec);
                 let et = self.eval(state, &t);
                 let ef = self.eval(state, &f);
                 let r = self.pool.ite(c, et, ef);
@@ -356,7 +401,10 @@ impl<'p> Executor<'p> {
                     Some(v) => v,
                     None => return self.terminate(state, TermStatus::AssumeFailed),
                 };
-                let name_id = self.pool.as_const(vals[2]).expect("name id is an immediate");
+                let name_id = self
+                    .pool
+                    .as_const(vals[2])
+                    .expect("name id is an immediate");
                 let name = self.prog.name(name_id).to_string();
                 let mut vars = Vec::with_capacity(len as usize);
                 for i in 0..len {
@@ -382,10 +430,16 @@ impl<'p> Executor<'p> {
                 StepEvent::LogPc { pc, opcode }
             }
             Intrinsic::Assume => {
-                let c = self.to_bool(vals[0]);
+                let c = self.truthy(vals[0]);
                 match self.pool.as_const(c) {
                     Some(1) => StepEvent::Advanced,
                     Some(_) => self.terminate(state, TermStatus::AssumeFailed),
+                    None if state.is_replaying() => {
+                        // Prefix replay: the assumption held when the prefix
+                        // was recorded, so re-checking is redundant.
+                        state.path.push(c);
+                        StepEvent::Advanced
+                    }
                     None => {
                         let mut q = state.path.clone();
                         q.push(c);
@@ -408,10 +462,7 @@ impl<'p> Executor<'p> {
                 StepEvent::Advanced
             }
             Intrinsic::UpperBound => {
-                let v = match self
-                    .solver
-                    .max_value(&mut self.pool, vals[0], &state.path)
-                {
+                let v = match self.solver.max_value(&mut self.pool, vals[0], &state.path) {
                     Some(v) => v,
                     None => return self.terminate(state, TermStatus::AssumeFailed),
                 };
@@ -477,7 +528,7 @@ impl<'p> Executor<'p> {
             }
             Term::Branch { cond, then_, else_ } => {
                 let ec = self.eval(state, &cond);
-                let c = self.to_bool(ec);
+                let c = self.truthy(ec);
                 if let Some(v) = self.pool.as_const(c) {
                     let f = state.frame_mut();
                     f.block = if v == 1 { then_.0 } else { else_.0 } as usize;
@@ -485,6 +536,18 @@ impl<'p> Executor<'p> {
                     return StepEvent::Advanced;
                 }
                 let nc = self.pool.not(c);
+                if let Some(choice) = state.take_replay() {
+                    // Prefix replay: take the recorded side without
+                    // feasibility checks (it was feasible when recorded)
+                    // and without forking the sibling.
+                    let (cons, target) = if choice == 0 { (c, then_) } else { (nc, else_) };
+                    state.trace.push(choice.min(1));
+                    state.path.push(cons);
+                    let f = state.frame_mut();
+                    f.block = target.0 as usize;
+                    f.ip = 0;
+                    return StepEvent::Advanced;
+                }
                 let mut q_then = state.path.clone();
                 q_then.push(c);
                 let feas_then = self.solver.is_feasible(&self.pool, &q_then);
@@ -495,6 +558,7 @@ impl<'p> Executor<'p> {
                     (true, true) => {
                         let loc = state.ll_loc();
                         let mut alt = self.fork(state, Some(nc));
+                        alt.trace.push(1);
                         Self::note_fork(&mut alt, loc);
                         {
                             let f = alt.frame_mut();
@@ -502,20 +566,25 @@ impl<'p> Executor<'p> {
                             f.ip = 0;
                         }
                         state.path.push(c);
+                        state.trace.push(0);
                         Self::note_fork(state, loc);
                         let f = state.frame_mut();
                         f.block = then_.0 as usize;
                         f.ip = 0;
                         self.stats.forks += 1;
-                        StepEvent::Forked { alternates: vec![alt] }
+                        StepEvent::Forked {
+                            alternates: vec![alt],
+                        }
                     }
                     (true, false) => {
+                        state.trace.push(0);
                         let f = state.frame_mut();
                         f.block = then_.0 as usize;
                         f.ip = 0;
                         StepEvent::Advanced
                     }
                     (false, true) => {
+                        state.trace.push(1);
                         let f = state.frame_mut();
                         f.block = else_.0 as usize;
                         f.ip = 0;
@@ -537,16 +606,45 @@ impl<'p> Executor<'p> {
                     f.ip = 0;
                     return StepEvent::Advanced;
                 }
+                if let Some(arm) = state.take_replay() {
+                    // Prefix replay: rebuild the recorded arm's constraint.
+                    // Arm codes < cases.len() name a case; codes >=
+                    // cases.len() name the default arm, with the excess
+                    // encoding how many case negations guarded it when it
+                    // was recorded (the scan below can stop early).
+                    state.trace.push(arm);
+                    let (cons, target) = if (arm as usize) < cases.len() {
+                        let (cv, b) = cases[arm as usize];
+                        let c = self.pool.constant(64, cv);
+                        (self.pool.eq(eo, c), b)
+                    } else {
+                        let guards = (arm as usize - cases.len()).min(cases.len());
+                        let mut acc = self.pool.true_();
+                        for &(cv, _) in &cases[..guards] {
+                            let c = self.pool.constant(64, cv);
+                            let eq = self.pool.eq(eo, c);
+                            let ne = self.pool.not(eq);
+                            acc = self.pool.and1(acc, ne);
+                        }
+                        (acc, default)
+                    };
+                    state.path.push(cons);
+                    let f = state.frame_mut();
+                    f.block = target.0 as usize;
+                    f.ip = 0;
+                    return StepEvent::Advanced;
+                }
                 // Symbolic dispatch: fork each feasible case plus default.
-                let mut feasible: Vec<(ExprId, u32)> = Vec::new();
+                // Each feasible arm carries its replay code (see above).
+                let mut feasible: Vec<(u64, ExprId, u32)> = Vec::new();
                 let mut default_guard: Vec<ExprId> = Vec::new();
-                for (cv, b) in &cases {
+                for (i, (cv, b)) in cases.iter().enumerate() {
                     let c = self.pool.constant(64, *cv);
                     let eq = self.pool.eq(eo, c);
                     let mut q = state.path.clone();
                     q.push(eq);
                     if self.solver.is_feasible(&self.pool, &q) {
-                        feasible.push((eq, b.0));
+                        feasible.push((i as u64, eq, b.0));
                     }
                     let ne = self.pool.not(eq);
                     default_guard.push(ne);
@@ -554,7 +652,7 @@ impl<'p> Executor<'p> {
                         break;
                     }
                 }
-                // Default arm: all cases excluded.
+                // Default arm: all scanned cases excluded.
                 let mut q = state.path.clone();
                 q.extend(default_guard.iter().copied());
                 if self.solver.is_feasible(&self.pool, &q) {
@@ -563,23 +661,25 @@ impl<'p> Executor<'p> {
                     for &g in &default_guard {
                         acc = self.pool.and1(acc, g);
                     }
-                    feasible.push((acc, default.0));
+                    feasible.push(((cases.len() + default_guard.len()) as u64, acc, default.0));
                 }
                 if feasible.is_empty() {
                     return self.terminate(state, TermStatus::AssumeFailed);
                 }
                 let loc = state.ll_loc();
                 let mut alternates = Vec::new();
-                for &(cons, block) in feasible.iter().skip(1) {
+                for &(code, cons, block) in feasible.iter().skip(1) {
                     let mut alt = self.fork(state, Some(cons));
+                    alt.trace.push(code);
                     Self::note_fork(&mut alt, loc);
                     let f = alt.frame_mut();
                     f.block = block as usize;
                     f.ip = 0;
                     alternates.push(alt);
                 }
-                let (cons, block) = feasible[0];
+                let (code, cons, block) = feasible[0];
                 state.path.push(cons);
+                state.trace.push(code);
                 let f = state.frame_mut();
                 f.block = block as usize;
                 f.ip = 0;
@@ -855,6 +955,110 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    /// Explores a program fully, returning each terminal state's
+    /// `(status, recorded trace)`.
+    fn explore_traces(prog: &Program) -> Vec<(TermStatus, Vec<u64>)> {
+        let mut exec = Executor::new(prog, ExecConfig::default());
+        let mut queue = vec![exec.initial_state()];
+        let mut done = Vec::new();
+        while let Some(mut st) = queue.pop() {
+            loop {
+                match exec.step(&mut st) {
+                    StepEvent::Terminated(t) => {
+                        done.push((t, st.trace.clone()));
+                        break;
+                    }
+                    StepEvent::Forked { alternates } => queue.extend(alternates),
+                    _ => {}
+                }
+            }
+        }
+        done
+    }
+
+    /// A program exercising every nondeterministic event class: symbolic
+    /// branches, a symbolic pointer, and a symbolic switch.
+    fn every_fork_kind_program() -> Program {
+        let mut mb = ModuleBuilder::new();
+        let table = mb.data_bytes(&[1, 2, 3, 4]);
+        let buf = mb.data_zeroed(2);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 2u64, name);
+            let x = b.load_u8(buf);
+            let idx = b.urem(x, 4u64);
+            let addr = b.add(idx, table);
+            let v = b.load_u8(addr); // symbolic pointer: 4-way fork
+            let addr2 = b.add(buf, 1u64);
+            let y = b.load_u8(addr2);
+            let out = b.reg();
+            b.switch(
+                y,
+                &[7, 9],
+                |b, case| b.set(out, case + 50),
+                |b| b.set(out, 0u64),
+            ); // symbolic switch: 3-way fork
+            let big = b.ult(200u64, y);
+            b.if_(big, |b| b.halt(99u64)); // symbolic branch
+            let r = b.add(v, out);
+            b.halt(r);
+        });
+        mb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn prefix_replay_rederives_every_terminal_state() {
+        let prog = every_fork_kind_program();
+        let done = explore_traces(&prog);
+        assert!(done.len() >= 10, "got {} paths", done.len());
+        for (status, trace) in &done {
+            // Replay the recorded prefix in a completely fresh executor.
+            let mut exec = Executor::new(&prog, ExecConfig::default());
+            let mut st = exec.seeded_state(trace);
+            let replayed_status = loop {
+                match exec.step(&mut st) {
+                    StepEvent::Terminated(t) => break t,
+                    StepEvent::Forked { .. } => {
+                        panic!("replay of a full trace must never fork")
+                    }
+                    _ => {}
+                }
+            };
+            assert_eq!(&replayed_status, status, "replay reaches the same outcome");
+            assert_eq!(&st.trace, trace, "replay re-records the identical trace");
+            assert!(st.replay.is_empty(), "the whole prefix was consumed");
+        }
+    }
+
+    #[test]
+    fn partial_prefix_replay_resumes_forking_below_the_prefix() {
+        let prog = every_fork_kind_program();
+        let done = explore_traces(&prog);
+        let total = done.len();
+        // Replay only the first recorded event of some terminal trace; the
+        // subtree below that one decision must be re-explored by forking.
+        let (_, trace) = done.iter().find(|(_, t)| t.len() >= 2).unwrap();
+        let prefix = &trace[..1];
+        let mut exec = Executor::new(&prog, ExecConfig::default());
+        let mut queue = vec![exec.seeded_state(prefix)];
+        let mut finished = 0usize;
+        while let Some(mut st) = queue.pop() {
+            loop {
+                match exec.step(&mut st) {
+                    StepEvent::Terminated(_) => {
+                        finished += 1;
+                        break;
+                    }
+                    StepEvent::Forked { alternates } => queue.extend(alternates),
+                    _ => {}
+                }
+            }
+        }
+        assert!(finished > 1, "subtree below the prefix still forks");
+        assert!(finished < total, "a strict subtree, not the whole tree");
     }
 
     #[test]

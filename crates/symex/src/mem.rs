@@ -53,10 +53,11 @@ impl SymMem {
     pub fn write_u8(&mut self, pool: &ExprPool, addr: u64, value: ExprId) {
         debug_assert_eq!(pool.width(value), 8, "memory cells are bytes");
         let zero = self.zero_byte;
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Arc::new(Page { bytes: [zero; PAGE_SIZE] }));
+        let page = self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| {
+            Arc::new(Page {
+                bytes: [zero; PAGE_SIZE],
+            })
+        });
         Arc::make_mut(page).bytes[(addr & (PAGE_SIZE as u64 - 1)) as usize] = value;
     }
 

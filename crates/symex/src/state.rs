@@ -1,5 +1,7 @@
 //! Symbolic execution states.
 
+use std::collections::VecDeque;
+
 use chef_lir::{FuncId, InputMap, Program, Reg};
 use chef_solver::{ExprId, ExprPool, Model, Solver, VarId};
 
@@ -79,6 +81,18 @@ pub struct State {
     pub consecutive_forks: u32,
     /// Generation depth (number of forks since the root).
     pub depth: u32,
+    /// Recorded nondeterministic events along this path, in execution
+    /// order: branch sides, switch arms, resolved pointer values, and
+    /// concretization values. Because execution is deterministic between
+    /// events, this sequence is the state's portable identity — replaying
+    /// it from the initial state through [`crate::Executor::step`]
+    /// re-derives the state in any executor for the same program
+    /// (prefix-replay state shipping).
+    pub trace: Vec<u64>,
+    /// Pending recorded events to consume during prefix replay (front
+    /// first). While non-empty, the executor applies recorded decisions
+    /// instead of forking or asking the solver to pick values.
+    pub replay: VecDeque<u64>,
 }
 
 impl State {
@@ -109,7 +123,19 @@ impl State {
             last_fork_loc: None,
             consecutive_forks: 0,
             depth: 0,
+            trace: Vec::new(),
+            replay: VecDeque::new(),
         }
+    }
+
+    /// Pops the next recorded event if the state is replaying a prefix.
+    pub fn take_replay(&mut self) -> Option<u64> {
+        self.replay.pop_front()
+    }
+
+    /// Whether the state is still consuming a recorded prefix.
+    pub fn is_replaying(&self) -> bool {
+        !self.replay.is_empty()
     }
 
     /// The active frame.
@@ -141,14 +167,96 @@ impl State {
     ///
     /// Returns `None` if the path condition is unsatisfiable (should not
     /// happen for states produced by feasibility-checked forking).
-    pub fn concretize_inputs(
-        &self,
-        pool: &ExprPool,
-        solver: &mut Solver,
-    ) -> Option<InputMap> {
+    pub fn concretize_inputs(&self, pool: &ExprPool, solver: &mut Solver) -> Option<InputMap> {
         match solver.check(pool, &self.path) {
             chef_solver::SatResult::Sat(model) => Some(self.inputs_from_model(&model)),
             chef_solver::SatResult::Unsat | chef_solver::SatResult::Unknown => None,
+        }
+    }
+
+    /// Solves the path condition into the *canonical* concrete inputs: each
+    /// input byte is pinned, in declaration order, to the smallest value
+    /// feasible given the path and the bytes already pinned.
+    ///
+    /// Unlike [`State::concretize_inputs`], whose bytes come from whatever
+    /// model the solver's caches happen to produce, the canonical inputs
+    /// are a pure function of the path-condition semantics — so the same
+    /// explored path yields byte-identical test cases in any executor.
+    /// That property is what lets a parallel fleet (`chef-fleet`) compare
+    /// and deduplicate test cases generated by workers with independent
+    /// expression pools.
+    ///
+    /// One caveat: a sub-query hitting the solver's conflict budget
+    /// (`Unknown`) can perturb the minimization, and whether that happens
+    /// may depend on solver cache history. The pinned assignment is
+    /// therefore re-checked by direct evaluation; if it does not satisfy
+    /// the path (possible only under `Unknown`), the witness model's
+    /// inputs are returned instead — always valid, possibly non-minimal.
+    ///
+    /// Returns `None` if the path condition is unsatisfiable.
+    pub fn concretize_inputs_canonical(
+        &self,
+        pool: &mut ExprPool,
+        solver: &mut Solver,
+    ) -> Option<InputMap> {
+        let model = match solver.check(pool, &self.path) {
+            chef_solver::SatResult::Sat(m) => m,
+            chef_solver::SatResult::Unsat | chef_solver::SatResult::Unknown => return None,
+        };
+        let mut query = self.path.clone();
+        // While every pin so far matches `model`, the model itself witnesses
+        // feasibility of further model-valued pins — so a byte the model
+        // already sets to 0 (the common, unconstrained case) is pinned
+        // without any solver query.
+        let mut model_valid = true;
+        let mut out = InputMap::new();
+        for input in &self.inputs {
+            let mut bytes = Vec::with_capacity(input.vars.len());
+            for &var in &input.vars {
+                let e = pool.var_expr(var);
+                let w = pool.width(e);
+                let mv = model.get(var);
+                let zero = pool.constant(w, 0);
+                let eq0 = pool.eq(e, zero);
+                if model_valid && mv == 0 {
+                    query.push(eq0);
+                    bytes.push(0);
+                    continue;
+                }
+                // Try the minimum directly before per-bit minimization.
+                query.push(eq0);
+                if solver.is_feasible(pool, &query) {
+                    bytes.push(0);
+                    model_valid = model_valid && mv == 0;
+                    continue;
+                }
+                query.pop();
+                // The witness model proves the path feasible, so a sub-query
+                // lost to the conflict budget must not drop the test.
+                let Some(v) = solver.min_value(pool, e, &query) else {
+                    return Some(self.inputs_from_model(&model));
+                };
+                let c = pool.constant(w, v);
+                let eq = pool.eq(e, c);
+                query.push(eq);
+                bytes.push(v as u8);
+                model_valid = model_valid && mv == v;
+            }
+            out.insert(input.name.clone(), bytes);
+        }
+        // Exact, solver-free validation of the pinned assignment: evaluate
+        // the path condition under it. All path variables come from
+        // `make_symbolic`, so `out` is a total assignment.
+        let mut pinned = Model::new();
+        for input in &self.inputs {
+            for (&var, &byte) in input.vars.iter().zip(&out[&input.name]) {
+                pinned.set(var, byte as u64);
+            }
+        }
+        if pinned.satisfies(pool, &self.path) {
+            Some(out)
+        } else {
+            Some(self.inputs_from_model(&model))
         }
     }
 
@@ -194,7 +302,10 @@ mod tests {
         let mut solver = Solver::new();
         let mut st = State::initial(&mut pool, &prog);
         let v = pool.fresh_var("x_0", 8);
-        st.inputs.push(SymInput { name: "x".into(), vars: vec![pool.as_var(v).unwrap()] });
+        st.inputs.push(SymInput {
+            name: "x".into(),
+            vars: vec![pool.as_var(v).unwrap()],
+        });
         let c = pool.constant(8, 65);
         let eq = pool.eq(v, c);
         st.path.push(eq);

@@ -24,7 +24,10 @@ fn chain() -> impl Strategy<Value = Chain> {
         prop::collection::vec(any::<u8>(), 1..6),
         prop::collection::vec(0u8..3, 1..6),
     )
-        .prop_map(|(thresholds, op_kinds)| Chain { thresholds, op_kinds })
+        .prop_map(|(thresholds, op_kinds)| Chain {
+            thresholds,
+            op_kinds,
+        })
 }
 
 fn build(chain: &Chain) -> Program {
@@ -36,7 +39,11 @@ fn build(chain: &Chain) -> Program {
     mb.define(main, move |b| {
         b.make_symbolic(buf, 1u64, name);
         let x = b.load_u8(buf);
-        for (i, (&t, &k)) in c.thresholds.iter().zip(c.op_kinds.iter().cycle()).enumerate()
+        for (i, (&t, &k)) in c
+            .thresholds
+            .iter()
+            .zip(c.op_kinds.iter().cycle())
+            .enumerate()
         {
             let cond = match k % 3 {
                 0 => b.ult(x, t as u64),

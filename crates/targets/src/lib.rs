@@ -30,9 +30,7 @@ pub mod python;
 
 use chef_core::{Chef, ChefConfig, Report, StrategyKind};
 use chef_lir::Program;
-use chef_minipy::{
-    build_program, CompileError, CompiledModule, InterpreterOptions, SymbolicTest,
-};
+use chef_minipy::{build_program, CompileError, CompiledModule, InterpreterOptions, SymbolicTest};
 
 pub use features::{paper_columns, probes, FeatureProbe, Support};
 pub use lua::lua_packages;
@@ -83,6 +81,12 @@ pub struct RunConfig {
     pub seed: u64,
     /// Wall-clock cap for the session (see [`chef_core::ChefConfig`]).
     pub max_wall: Option<std::time::Duration>,
+    /// Canonical (minimum-model) test inputs. Off by default here: the
+    /// evaluation harness only needs witness inputs, and canonicalization
+    /// costs extra solver queries per test. The engine default
+    /// ([`chef_core::ChefConfig`]) keeps it on, which is what `chef-fleet`
+    /// relies on for cross-worker deduplication.
+    pub canonical_inputs: bool,
 }
 
 impl Default for RunConfig {
@@ -94,6 +98,7 @@ impl Default for RunConfig {
             per_path_fuel: 150_000,
             seed: 0,
             max_wall: Some(std::time::Duration::from_secs(5)),
+            canonical_inputs: false,
         }
     }
 }
@@ -149,6 +154,7 @@ impl Package {
             max_ll_instructions: config.max_ll_instructions,
             per_path_fuel: config.per_path_fuel,
             max_wall: config.max_wall,
+            canonical_inputs: config.canonical_inputs,
             ..ChefConfig::default()
         };
         Chef::new(&prog, chef_config).run()
@@ -235,8 +241,7 @@ mod tests {
     fn feature_probes_compile() {
         for probe in probes() {
             if let Some(src) = probe.source {
-                chef_minipy::compile(src)
-                    .unwrap_or_else(|e| panic!("{}: {e}", probe.feature));
+                chef_minipy::compile(src).unwrap_or_else(|e| panic!("{}: {e}", probe.feature));
             }
         }
     }

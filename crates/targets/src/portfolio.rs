@@ -51,16 +51,18 @@ pub fn run_portfolio(
     assert!(!builds.is_empty(), "portfolio needs at least one build");
     let share = RunConfig {
         max_ll_instructions: config.max_ll_instructions / builds.len() as u64,
-        max_wall: config
-            .max_wall
-            .map(|w| w / builds.len() as u32),
+        max_wall: config.max_wall.map(|w| w / builds.len() as u32),
         ..config.clone()
     };
     let mut runs = Vec::new();
     let mut merged_tests: Vec<TestCase> = Vec::new();
     let mut seen: BTreeSet<(String, Option<String>, Vec<u64>)> = BTreeSet::new();
     for (i, &opts) in builds.iter().enumerate() {
-        let report = pkg.run(&RunConfig { opts, seed: config.seed + i as u64, ..share.clone() });
+        let report = pkg.run(&RunConfig {
+            opts,
+            seed: config.seed + i as u64,
+            ..share.clone()
+        });
         for t in report.tests.iter().filter(|t| t.new_hl_path) {
             let sig = signature(pkg, t);
             if seen.insert(sig) {
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn portfolio_merges_at_least_the_best_single_build() {
-        let pkg = python_packages().into_iter().find(|p| p.name == "xlrd").unwrap();
+        let pkg = python_packages()
+            .into_iter()
+            .find(|p| p.name == "xlrd")
+            .unwrap();
         let config = RunConfig {
             max_ll_instructions: 400_000,
             max_wall: Some(std::time::Duration::from_secs(8)),

@@ -13,6 +13,7 @@ fn cfg(budget: u64) -> RunConfig {
         per_path_fuel: 120_000,
         seed: 1,
         max_wall: Some(std::time::Duration::from_secs(30)),
+        canonical_inputs: false,
     }
 }
 
@@ -20,9 +21,15 @@ fn cfg(budget: u64) -> RunConfig {
 fn lua_json_comment_hang_is_found() {
     // §6.2: "we discovered a bug in the Lua JSON package that causes the
     // parser to hang in an infinite loop" on an unterminated comment.
-    let pkg = lua_packages().into_iter().find(|p| p.name == "JSON").unwrap();
+    let pkg = lua_packages()
+        .into_iter()
+        .find(|p| p.name == "JSON")
+        .unwrap();
     let report = pkg.run(&cfg(2_500_000));
-    assert!(report.hangs > 0, "the unterminated-comment hang must be found");
+    assert!(
+        report.hangs > 0,
+        "the unterminated-comment hang must be found"
+    );
     let hang = report
         .tests
         .iter()
@@ -39,7 +46,10 @@ fn lua_json_comment_hang_is_found() {
 fn xlrd_undocumented_exceptions_are_found() {
     // §6.2: xlrd raises BadZipfile, IndexError, error, AssertionError from
     // inner components — all undocumented.
-    let pkg = python_packages().into_iter().find(|p| p.name == "xlrd").unwrap();
+    let pkg = python_packages()
+        .into_iter()
+        .find(|p| p.name == "xlrd")
+        .unwrap();
     let report = pkg.run(&cfg(3_000_000));
     let (_, undocumented) = pkg.classify_exceptions(&report);
     assert!(
@@ -98,8 +108,7 @@ fn generated_tests_replay_faithfully() {
                             pkg.name
                         ),
                         None => assert!(
-                            !out
-                                .events
+                            !out.events
                                 .iter()
                                 .any(|e| matches!(e, chef_lir::GuestEvent::Exception(_))),
                             "{}: unexpected exception on replay",

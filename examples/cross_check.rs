@@ -53,7 +53,10 @@ def classify(n):
     for (label, bug) in [("correct NICE", false), ("buggy NICE (if-not bug)", true)] {
         let report = NiceEngine::new(
             &module,
-            NiceConfig { emulate_ifnot_bug: bug, ..Default::default() },
+            NiceConfig {
+                emulate_ifnot_bug: bug,
+                ..Default::default()
+            },
         )
         .run(&test);
         let nice_outcomes: BTreeSet<String> = report
@@ -90,7 +93,7 @@ fn chef_input(bytes: &[u8]) -> [u8; 8] {
 }
 
 fn outcome(n: i64) -> String {
-    if !(n > 50) {
+    if n <= 50 {
         if n > 10 {
             "returns 1".into()
         } else {

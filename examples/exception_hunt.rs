@@ -35,7 +35,11 @@ fn main() {
         report.hl_paths,
         report.tests.len()
     );
-    println!("exception types found: {} documented, {} undocumented", documented.len(), undocumented.len());
+    println!(
+        "exception types found: {} documented, {} undocumented",
+        documented.len(),
+        undocumented.len()
+    );
     for name in &undocumented {
         // Show a witness input for each undocumented exception.
         let witness = report

@@ -25,8 +25,8 @@ def validate(email):
 
     // 3. Package the interpreter: bytecode + runtime + dispatch loop are
     //    emitted as LIR with the --with-symbex optimizations (§4.2).
-    let program = build_program(&module, &InterpreterOptions::all(), &test)
-        .expect("interpreter assembles");
+    let program =
+        build_program(&module, &InterpreterOptions::all(), &test).expect("interpreter assembles");
 
     // 4. Run Chef with path-optimized CUPA (§3.3).
     let config = ChefConfig {

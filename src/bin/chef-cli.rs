@@ -9,7 +9,8 @@
 
 use std::process::ExitCode;
 
-use chef::core::{Chef, ChefConfig, StrategyKind, TestStatus};
+use chef::core::{Chef, ChefConfig, StrategyKind, TestCase, TestStatus};
+use chef::fleet::{run_fleet, FleetConfig};
 use chef::minipy::{build_program, CompiledModule, InterpreterOptions, SymbolicTest};
 
 fn usage() -> ExitCode {
@@ -18,14 +19,18 @@ fn usage() -> ExitCode {
   chef-cli run <file.py|file.lua> --entry <fn> [--sym-str name:len]...
            [--sym-int name:min:max]... [--strategy random|cupa|cupa-cov|dfs]
            [--budget <ll-instructions>] [--vanilla] [--seed <n>]
-  chef-cli disasm <file.py|file.lua>"
+           [--jobs <n>] [--portfolio]
+  chef-cli disasm <file.py|file.lua>
+
+  --jobs n      explore with n parallel workers (chef-fleet)
+  --portfolio   run a strategy portfolio across the workers against a
+                shared coverage map (implies --jobs >= 2 unless given)"
     );
     ExitCode::from(2)
 }
 
 fn compile_file(path: &str) -> Result<CompiledModule, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".lua") {
         chef::minilua::compile(&source).map_err(|e| format!("{path}: {e}"))
     } else {
@@ -43,7 +48,9 @@ fn main() -> ExitCode {
 }
 
 fn disasm(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     match compile_file(path) {
         Err(e) => {
             eprintln!("error: {e}");
@@ -51,7 +58,10 @@ fn disasm(args: &[String]) -> ExitCode {
         }
         Ok(module) => {
             for (i, f) in module.funcs.iter().enumerate() {
-                println!("code object #{i}: {} ({} params, {} locals)", f.name, f.n_params, f.n_locals);
+                println!(
+                    "code object #{i}: {} ({} params, {} locals)",
+                    f.name, f.n_params, f.n_locals
+                );
                 print!("{}", f.disassemble());
                 println!();
             }
@@ -61,19 +71,25 @@ fn disasm(args: &[String]) -> ExitCode {
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let mut entry = None;
     let mut test_args: Vec<(String, String)> = Vec::new();
     let mut strategy = StrategyKind::CupaPath;
     let mut budget = 2_000_000u64;
     let mut opts = InterpreterOptions::all();
     let mut seed = 0u64;
+    let mut jobs: Option<usize> = None;
+    let mut portfolio = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--entry" => entry = it.next().cloned(),
             "--sym-str" | "--sym-int" => {
-                let Some(spec) = it.next() else { return usage() };
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
                 test_args.push((flag.clone(), spec.clone()));
             }
             "--strategy" => {
@@ -97,6 +113,16 @@ fn run(args: &[String]) -> ExitCode {
                 };
                 seed = v;
             }
+            "--jobs" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                if v == 0 {
+                    return usage();
+                }
+                jobs = Some(v);
+            }
+            "--portfolio" => portfolio = true,
             "--vanilla" => opts = InterpreterOptions::vanilla(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -116,12 +142,10 @@ fn run(args: &[String]) -> ExitCode {
                 Ok(len) => test = test.sym_str(*name, len),
                 Err(_) => return usage(),
             },
-            ("--sym-int", [name, min, max]) => {
-                match (min.parse::<i64>(), max.parse::<i64>()) {
-                    (Ok(min), Ok(max)) => test = test.sym_int(*name, min, max),
-                    _ => return usage(),
-                }
-            }
+            ("--sym-int", [name, min, max]) => match (min.parse::<i64>(), max.parse::<i64>()) {
+                (Ok(min), Ok(max)) => test = test.sym_int(*name, min, max),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -140,17 +164,61 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = Chef::new(
-        &prog,
-        ChefConfig {
-            strategy,
-            seed,
-            max_ll_instructions: budget,
-            per_path_fuel: budget / 8,
-            ..ChefConfig::default()
-        },
-    )
-    .run();
+    let chef_config = ChefConfig {
+        strategy,
+        seed,
+        max_ll_instructions: budget,
+        per_path_fuel: budget / 8,
+        ..ChefConfig::default()
+    };
+    // --portfolio alone spreads the default portfolio across as many
+    // workers; an explicit --jobs (even 1) is respected.
+    let jobs = match (jobs, portfolio) {
+        (Some(n), _) => n,
+        (None, true) => FleetConfig::default_portfolio().len(),
+        (None, false) => 1,
+    };
+    if jobs > 1 || portfolio {
+        let fleet_config = FleetConfig {
+            jobs,
+            base: chef_config,
+            portfolio: portfolio.then(FleetConfig::default_portfolio),
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&prog, fleet_config);
+        let strategies: Vec<&str> = report.per_worker.iter().map(|r| r.strategy).collect();
+        println!(
+            "fleet jobs={} strategies={:?} build={} ll-instructions={} elapsed={:?}",
+            report.jobs,
+            strategies,
+            opts.label(),
+            report.exec_stats.ll_instructions,
+            report.elapsed
+        );
+        println!(
+            "{} low-level paths, {} high-level paths, {} tests ({} duplicates dropped), \
+             {} hangs, {} crashes, {} seeds shipped",
+            report.ll_paths,
+            report.hl_paths,
+            report.tests.len(),
+            report.duplicates,
+            report.hangs,
+            report.crashes,
+            report.seeds_shipped
+        );
+        println!(
+            "{:.0} paths/s, {:.0} tests/s, {:.1}% of worker time in SAT",
+            report.paths_per_sec(),
+            report.tests_per_sec(),
+            report.sat_share() * 100.0
+        );
+        if !report.exceptions.is_empty() {
+            println!("exceptions: {:?}", report.exceptions);
+        }
+        print_tests(report.tests.iter().filter(|t| t.new_hl_path));
+        return ExitCode::SUCCESS;
+    }
+    let report = Chef::new(&prog, chef_config).run();
     println!(
         "strategy={} build={} ll-instructions={} elapsed={:?}",
         report.strategy,
@@ -169,7 +237,12 @@ fn run(args: &[String]) -> ExitCode {
     if !report.exceptions.is_empty() {
         println!("exceptions: {:?}", report.exceptions);
     }
-    for t in report.tests.iter().filter(|t| t.new_hl_path) {
+    print_tests(report.tests.iter().filter(|t| t.new_hl_path));
+    ExitCode::SUCCESS
+}
+
+fn print_tests<'a>(tests: impl Iterator<Item = &'a TestCase>) {
+    for t in tests {
         let mut parts = Vec::new();
         for (name, bytes) in &t.inputs {
             parts.push(format!("{name}={:?}", String::from_utf8_lossy(bytes)));
@@ -182,5 +255,4 @@ fn run(args: &[String]) -> ExitCode {
         };
         println!("  [{}] {} -> {}", t.id, parts.join(" "), status);
     }
-    ExitCode::SUCCESS
 }

@@ -8,6 +8,7 @@
 //! - [`lir`] — the low-level IR "machine code" + concrete reference VM
 //! - [`symex`] — the low-level symbolic executor (S2E substitute)
 //! - [`core`] — the Chef layer: HLPC tracing, CUPA, test generation
+//! - [`fleet`] — parallel work-sharing exploration (prefix-replay shipping)
 //! - [`minipy`] — the Python-subset interpreter, compiled to LIR
 //! - [`minilua`] — the Lua-subset front-end
 //! - [`nice`] — the hand-made baseline engine (NICE-PySE substitute)
@@ -28,6 +29,7 @@
 //! ```
 
 pub use chef_core as core;
+pub use chef_fleet as fleet;
 pub use chef_lir as lir;
 pub use chef_minilua as minilua;
 pub use chef_minipy as minipy;

@@ -3,6 +3,7 @@
 //! concrete replay — spanning every crate.
 
 use chef::core::{replay, Chef, ChefConfig, StrategyKind, TestStatus};
+use chef::fleet::{run_fleet, FleetConfig};
 use chef::minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
 use chef::nice::{NiceConfig, NiceEngine};
 
@@ -41,7 +42,10 @@ def parse(msg):
         .tests
         .iter()
         .any(|t| t.exception.as_deref() == Some("UnknownKindError")));
-    let g0 = report.tests.iter().find(|t| t.inputs["msg"].starts_with(b"G0"));
+    let g0 = report
+        .tests
+        .iter()
+        .find(|t| t.inputs["msg"].starts_with(b"G0"));
     assert!(g0.is_some(), "the nested G0 path needs two solved bytes");
 }
 
@@ -69,10 +73,18 @@ end
         let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
         let report = Chef::new(
             &prog,
-            ChefConfig { strategy, max_ll_instructions: 400_000, ..ChefConfig::default() },
+            ChefConfig {
+                strategy,
+                max_ll_instructions: 400_000,
+                ..ChefConfig::default()
+            },
         )
         .run();
-        assert!(report.hl_paths >= 3, "{strategy:?}: got {}", report.hl_paths);
+        assert!(
+            report.hl_paths >= 3,
+            "{strategy:?}: got {}",
+            report.hl_paths
+        );
         for t in &report.tests {
             let out = replay(&prog, &t.inputs, 1_000_000);
             if let TestStatus::Ok(code) = t.status {
@@ -105,7 +117,10 @@ def f(n):
     let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
     let chef_report = Chef::new(
         &prog,
-        ChefConfig { max_ll_instructions: 400_000, ..ChefConfig::default() },
+        ChefConfig {
+            max_ll_instructions: 400_000,
+            ..ChefConfig::default()
+        },
     )
     .run();
     let nice_report = NiceEngine::new(&module, NiceConfig::default()).run(&test);
@@ -131,8 +146,11 @@ def f(n):
         .filter(|t| t.new_hl_path)
         .map(|t| classify(&t.inputs["n"]))
         .collect();
-    let nice_outcomes: std::collections::BTreeSet<i32> =
-        nice_report.tests.iter().map(|t| classify(&t.inputs["n"])).collect();
+    let nice_outcomes: std::collections::BTreeSet<i32> = nice_report
+        .tests
+        .iter()
+        .map(|t| classify(&t.inputs["n"]))
+        .collect();
     assert_eq!(chef_outcomes, nice_outcomes);
 }
 
@@ -155,7 +173,10 @@ def f(s):
         let prog = build_program(&module, &opts, &test).unwrap();
         let report = Chef::new(
             &prog,
-            ChefConfig { max_ll_instructions: 1_200_000, ..ChefConfig::default() },
+            ChefConfig {
+                max_ll_instructions: 1_200_000,
+                ..ChefConfig::default()
+            },
         )
         .run();
         // Classify outcomes semantically by replaying.
@@ -167,9 +188,52 @@ def f(s):
         outcome_sets.push((label, outcomes));
     }
     let first = outcome_sets[0].1.clone();
-    assert_eq!(first.len(), 2, "both equal and unequal byte pairs reachable");
+    assert_eq!(
+        first.len(),
+        2,
+        "both equal and unequal byte pairs reachable"
+    );
     for (label, set) in &outcome_sets {
         assert_eq!(set, &first, "build {label} changed reachable outcomes");
+    }
+}
+
+#[test]
+fn fleet_replays_cleanly_through_the_facade() {
+    // A parallel fleet's merged, deduplicated suite replays concretely just
+    // like a single engine's, and matches it test-for-test.
+    let src = r#"
+def route(pkt):
+    if pkt[0] == "H":
+        if pkt[1] == "i":
+            return 1
+        return 2
+    if pkt[0] == "Q":
+        raise QuitError
+    return 0
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("route").sym_str("pkt", 2);
+    let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
+    let single = Chef::new(&prog, ChefConfig::default()).run();
+    let fleet = run_fleet(
+        &prog,
+        FleetConfig {
+            jobs: 3,
+            base: ChefConfig::default(),
+            ..Default::default()
+        },
+    );
+    let keyed = |tests: &[chef::core::TestCase]| -> std::collections::BTreeSet<Vec<u8>> {
+        tests.iter().map(|t| t.inputs["pkt"].clone()).collect()
+    };
+    assert_eq!(keyed(&fleet.tests), keyed(&single.tests));
+    assert_eq!(fleet.hl_paths, single.hl_paths);
+    for t in &fleet.tests {
+        let out = replay(&prog, &t.inputs, 1_000_000);
+        if let TestStatus::Ok(code) = t.status {
+            assert_eq!(out.status, chef::lir::ConcreteStatus::EndedSymbolic(code));
+        }
     }
 }
 
