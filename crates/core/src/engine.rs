@@ -181,6 +181,13 @@ impl Report {
         }
     }
 
+    /// Solver queries answered per second of session wall clock (all fast
+    /// paths included). The incremental solver core exists to push this up;
+    /// the `solver_incremental` bench measures it in isolation.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.solver_stats.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
     /// Fraction of the session's wall clock spent inside the SAT backend —
     /// the paper's "time attributable to constraint solving"; the rest is
     /// interpretation and bookkeeping.

@@ -431,9 +431,15 @@ fn add_exec_stats(acc: &mut ExecStats, s: &ExecStats) {
 fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {
     acc.queries += s.queries;
     acc.cache_hits += s.cache_hits;
+    acc.cache_evictions += s.cache_evictions;
     acc.model_reuse_hits += s.model_reuse_hits;
     acc.const_hits += s.const_hits;
     acc.sat_calls += s.sat_calls;
+    acc.assumption_solves += s.assumption_solves;
+    acc.blast_cache_hits += s.blast_cache_hits;
+    acc.blast_cache_misses += s.blast_cache_misses;
+    acc.clauses_deleted += s.clauses_deleted;
+    acc.components += s.components;
     acc.unknowns += s.unknowns;
     acc.sat_time += s.sat_time;
 }

@@ -4,34 +4,68 @@
 //! encodings follow the classic hardware constructions: ripple-carry adders,
 //! shift-add multipliers, barrel shifters, and division by introducing fresh
 //! quotient/remainder variables constrained by `q*b + r = a ∧ r < b`.
+//!
+//! The blaster is **long-lived**: it owns the persistent [`SatSolver`] and
+//! memoizes the CNF encoding of every expression it has ever seen, keyed by
+//! the pool's stable ids (hash-consing makes structurally equal expressions
+//! share an id, so shared subterms across *queries* — not just within one —
+//! are encoded exactly once per solver lifetime). Top-level assertions are
+//! guarded by activation literals ([`BitBlaster::guard`]): the clause
+//! `¬g ∨ bit(e)` is permanent, and a query enables exactly the assertions it
+//! needs by passing their guards to
+//! [`SatSolver::solve_under_assumptions`]. This is the KLEE/STP-style
+//! incremental discipline: bit-blast once, toggle via assumptions forever.
 
 use std::collections::HashMap;
 
 use crate::expr::{BinOp, ExprId, ExprPool, Node, VarId};
 use crate::sat::{Lit, SatSolver};
 
-/// Bit-blasting context over a [`SatSolver`].
-///
-/// The blaster caches per-expression bit vectors, so shared subterms are
-/// encoded once per query.
-pub struct BitBlaster<'a> {
-    sat: &'a mut SatSolver,
+/// Persistent bit-blasting context owning its [`SatSolver`].
+pub struct BitBlaster {
+    sat: SatSolver,
     cache: HashMap<ExprId, Vec<Lit>>,
     var_bits: HashMap<VarId, Vec<Lit>>,
+    guards: HashMap<ExprId, Lit>,
     true_lit: Lit,
+    /// Assertions whose guard (and CNF) already existed when requested.
+    pub guard_hits: u64,
+    /// Assertions blasted and guarded for the first time.
+    pub guards_created: u64,
 }
 
-impl<'a> BitBlaster<'a> {
-    /// Creates a blaster writing clauses into `sat`.
-    pub fn new(sat: &'a mut SatSolver) -> Self {
+impl Default for BitBlaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitBlaster {
+    /// Creates a blaster with a fresh solver.
+    pub fn new() -> Self {
+        let mut sat = SatSolver::new();
         let t = sat.new_var();
         sat.add_clause(&[Lit::pos(t)]);
         BitBlaster {
             sat,
             cache: HashMap::new(),
             var_bits: HashMap::new(),
+            guards: HashMap::new(),
             true_lit: Lit::pos(t),
+            guard_hits: 0,
+            guards_created: 0,
         }
+    }
+
+    /// The underlying SAT solver.
+    pub fn sat(&self) -> &SatSolver {
+        &self.sat
+    }
+
+    /// Mutable access to the underlying SAT solver (to set budgets and run
+    /// queries).
+    pub fn sat_mut(&mut self) -> &mut SatSolver {
+        &mut self.sat
     }
 
     fn false_lit(&self) -> Lit {
@@ -272,7 +306,8 @@ impl<'a> BitBlaster<'a> {
         (qres, rres)
     }
 
-    /// Blasts `id` and returns its bits (LSB first).
+    /// Blasts `id` and returns its bits (LSB first). Encodings are memoized
+    /// for the blaster's lifetime.
     pub fn blast(&mut self, pool: &ExprPool, id: ExprId) -> Vec<Lit> {
         if let Some(bits) = self.cache.get(&id) {
             return bits.clone();
@@ -402,7 +437,25 @@ impl<'a> BitBlaster<'a> {
         }
     }
 
-    /// Asserts that a width-1 expression is true.
+    /// The activation literal `g` for a width-1 assertion: the permanent
+    /// clause `¬g ∨ e` makes assuming `g` enforce the assertion, while an
+    /// unassumed `g` leaves it disabled. Each assertion is bit-blasted once
+    /// per blaster lifetime; later requests return the memoized guard.
+    pub fn guard(&mut self, pool: &ExprPool, id: ExprId) -> Lit {
+        if let Some(&g) = self.guards.get(&id) {
+            self.guard_hits += 1;
+            return g;
+        }
+        debug_assert_eq!(pool.width(id), 1);
+        let bits = self.blast(pool, id);
+        let g = self.fresh();
+        self.sat.add_clause(&[g.negated(), bits[0]]);
+        self.guards.insert(id, g);
+        self.guards_created += 1;
+        g
+    }
+
+    /// Asserts that a width-1 expression is true, permanently (no guard).
     pub fn assert_true(&mut self, pool: &ExprPool, id: ExprId) {
         debug_assert_eq!(pool.width(id), 1);
         let bits = self.blast(pool, id);
@@ -411,64 +464,26 @@ impl<'a> BitBlaster<'a> {
 
     /// Extracts the value of a declared variable from a SAT model.
     ///
-    /// Variables that never occurred in an asserted expression default to 0.
+    /// Variables that never occurred in a blasted expression default to 0.
     pub fn var_value(&self, var: VarId, model: &[bool]) -> u64 {
-        var_value_from(&self.var_bits, self.true_lit, var, model)
-    }
-
-    /// Variables that appeared during blasting.
-    pub fn blasted_vars(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.var_bits.keys().copied()
-    }
-
-    /// Releases the borrow on the SAT solver, keeping what is needed to
-    /// decode models afterwards.
-    pub fn finish(self) -> BlastMap {
-        BlastMap {
-            var_bits: self.var_bits,
-            true_lit: self.true_lit,
+        match self.var_bits.get(&var) {
+            None => 0,
+            Some(bits) => bits.iter().enumerate().fold(0u64, |acc, (i, l)| {
+                let val = if *l == self.true_lit {
+                    true
+                } else if *l == self.true_lit.negated() {
+                    false
+                } else {
+                    model[l.var() as usize] != l.is_neg()
+                };
+                acc | ((val as u64) << i)
+            }),
         }
     }
-}
-
-/// The variable-to-literal mapping produced by a [`BitBlaster`], detached
-/// from the solver borrow so models can be decoded after `solve`.
-#[derive(Clone, Debug)]
-pub struct BlastMap {
-    var_bits: HashMap<VarId, Vec<Lit>>,
-    true_lit: Lit,
-}
-
-impl BlastMap {
-    /// Extracts the value of a declared variable from a SAT model.
-    pub fn var_value(&self, var: VarId, model: &[bool]) -> u64 {
-        var_value_from(&self.var_bits, self.true_lit, var, model)
-    }
 
     /// Variables that appeared during blasting.
     pub fn blasted_vars(&self) -> impl Iterator<Item = VarId> + '_ {
         self.var_bits.keys().copied()
-    }
-}
-
-fn var_value_from(
-    var_bits: &HashMap<VarId, Vec<Lit>>,
-    true_lit: Lit,
-    var: VarId,
-    model: &[bool],
-) -> u64 {
-    match var_bits.get(&var) {
-        None => 0,
-        Some(bits) => bits.iter().enumerate().fold(0u64, |acc, (i, l)| {
-            let val = if *l == true_lit {
-                true
-            } else if *l == true_lit.negated() {
-                false
-            } else {
-                model[l.var() as usize] != l.is_neg()
-            };
-            acc | ((val as u64) << i)
-        }),
     }
 }
 
@@ -479,16 +494,14 @@ mod tests {
 
     /// Checks that asserting `expr == expected(x)` round-trips through SAT.
     fn solve_for(pool: &mut ExprPool, assertion: ExprId) -> Option<Vec<u64>> {
-        let mut sat = SatSolver::new();
-        let mut bb = BitBlaster::new(&mut sat);
+        let mut bb = BitBlaster::new();
         bb.assert_true(pool, assertion);
-        let map = bb.finish();
-        match sat.solve() {
+        match bb.sat_mut().solve() {
             SatOutcome::Sat(m) => {
                 let n = pool.vars().len();
                 Some(
                     (0..n as u32)
-                        .map(|i| map.var_value(crate::expr::VarId(i), &m))
+                        .map(|i| bb.var_value(crate::expr::VarId(i), &m))
                         .collect(),
                 )
             }
@@ -616,5 +629,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn guarded_assertions_toggle_via_assumptions() {
+        // One persistent blaster; two contradictory assertions, each usable
+        // alone, and the CNF for each is built exactly once.
+        let mut p = ExprPool::new();
+        let x = p.fresh_var("x", 8);
+        let c1 = p.constant(8, 1);
+        let c2 = p.constant(8, 2);
+        let e1 = p.eq(x, c1);
+        let e2 = p.eq(x, c2);
+        let mut bb = BitBlaster::new();
+        let g1 = bb.guard(&p, e1);
+        let g2 = bb.guard(&p, e2);
+        assert_eq!(bb.guards_created, 2);
+        match bb.sat_mut().solve_under_assumptions(&[g1]) {
+            SatOutcome::Sat(m) => assert_eq!(bb.var_value(crate::expr::VarId(0), &m), 1),
+            other => panic!("x==1 alone is sat, got {other:?}"),
+        }
+        match bb.sat_mut().solve_under_assumptions(&[g2]) {
+            SatOutcome::Sat(m) => assert_eq!(bb.var_value(crate::expr::VarId(0), &m), 2),
+            other => panic!("x==2 alone is sat, got {other:?}"),
+        }
+        assert_eq!(
+            bb.sat_mut().solve_under_assumptions(&[g1, g2]),
+            SatOutcome::Unsat
+        );
+        // Re-requesting guards is a pure memo lookup.
+        let clauses_before = bb.sat().num_clauses();
+        assert_eq!(bb.guard(&p, e1), g1);
+        assert_eq!(bb.guard(&p, e2), g2);
+        assert_eq!(bb.guard_hits, 2);
+        assert_eq!(bb.sat().num_clauses(), clauses_before, "no re-blasting");
     }
 }

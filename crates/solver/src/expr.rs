@@ -655,18 +655,39 @@ impl ExprPool {
     /// truncated to the variable width. This is the reference semantics the
     /// bit-blaster is tested against.
     pub fn eval(&self, id: ExprId, lookup: &impl Fn(VarId) -> u64) -> u64 {
-        // Iterative post-order evaluation with memoization to avoid stack
-        // overflows on deep expressions (path conditions grow linearly).
         let mut memo: HashMap<ExprId, u64> = HashMap::new();
+        self.eval_memo(id, lookup, &mut memo)
+    }
+
+    /// Evaluates a conjunction of width-1 assertions under one shared memo,
+    /// short-circuiting on the first false one. Path-condition assertions
+    /// share most of their sub-DAG, so one memo across the conjunction is
+    /// substantially cheaper than per-assertion evaluation.
+    pub fn eval_conjunction(&self, ids: &[ExprId], lookup: &impl Fn(VarId) -> u64) -> bool {
+        let mut memo: HashMap<ExprId, u64> = HashMap::new();
+        ids.iter()
+            .all(|&id| self.eval_memo(id, lookup, &mut memo) == 1)
+    }
+
+    fn eval_memo(
+        &self,
+        id: ExprId,
+        lookup: &impl Fn(VarId) -> u64,
+        memo: &mut HashMap<ExprId, u64>,
+    ) -> u64 {
+        // Iterative post-order evaluation (explicit worklist) with
+        // memoization: path conditions grow linearly with executed branches,
+        // so recursing here would overflow the stack during
+        // `Model::satisfies` on the deep expression chains long guest loops
+        // produce. Nodes are visited by reference, never cloned.
         let mut stack = vec![(id, false)];
         while let Some((cur, ready)) = stack.pop() {
             if memo.contains_key(&cur) {
                 continue;
             }
-            let node = self.node(cur).clone();
             if !ready {
                 stack.push((cur, true));
-                match &node {
+                match self.node(cur) {
                     Node::Const { .. } | Node::Var { .. } => {}
                     Node::Not { a } | Node::Extract { a, .. } | Node::Ext { a, .. } => {
                         stack.push((*a, false));
@@ -683,31 +704,31 @@ impl ExprPool {
                 }
                 continue;
             }
-            let v = match node {
-                Node::Const { bits, .. } => bits,
-                Node::Var { width, var } => lookup(var) & mask(width),
-                Node::Not { a } => !memo[&a] & mask(self.width(cur)),
-                Node::Bin { op, a, b } => eval_bin(op, self.width(a), memo[&a], memo[&b]),
+            let v = match self.node(cur) {
+                Node::Const { bits, .. } => *bits,
+                Node::Var { width, var } => lookup(*var) & mask(*width),
+                Node::Not { a } => !memo[a] & mask(self.width(cur)),
+                Node::Bin { op, a, b } => eval_bin(*op, self.width(*a), memo[a], memo[b]),
                 Node::Ite { cond, t, f } => {
-                    if memo[&cond] == 1 {
-                        memo[&t]
+                    if memo[cond] == 1 {
+                        memo[t]
                     } else {
-                        memo[&f]
+                        memo[f]
                     }
                 }
-                Node::Extract { hi, lo, a } => (memo[&a] >> lo) & mask(hi - lo + 1),
+                Node::Extract { hi, lo, a } => (memo[a] >> lo) & mask(hi - lo + 1),
                 Node::Ext { signed, width, a } => {
-                    let iw = self.width(a);
-                    let v = memo[&a];
-                    if signed {
-                        (to_signed(iw, v) as u64) & mask(width)
+                    let iw = self.width(*a);
+                    let v = memo[a];
+                    if *signed {
+                        (to_signed(iw, v) as u64) & mask(*width)
                     } else {
                         v
                     }
                 }
                 Node::Concat { a, b } => {
-                    let wb = self.width(b);
-                    ((memo[&a] << wb) | memo[&b]) & mask(self.width(cur))
+                    let wb = self.width(*b);
+                    ((memo[a] << wb) | memo[b]) & mask(self.width(cur))
                 }
             };
             memo.insert(cur, v);
@@ -917,6 +938,35 @@ mod tests {
         assert_eq!(eval_bin(BinOp::AShr, 8, 0x40, 8), 0);
         assert_eq!(eval_bin(BinOp::UDiv, 8, 7, 0), 0xff);
         assert_eq!(eval_bin(BinOp::URem, 8, 7, 0), 7);
+    }
+
+    #[test]
+    fn eval_survives_very_deep_chains() {
+        // A 200k-deep alternating add/xor chain: recursion would overflow
+        // the default thread stack; the worklist evaluator must not.
+        let mut p = ExprPool::new();
+        let x = p.fresh_var("x", 64);
+        let one = p.constant(64, 1);
+        let mut e = x;
+        for i in 0..200_000u64 {
+            e = if i % 2 == 0 {
+                p.bin(BinOp::Add, e, one)
+            } else {
+                p.bin(BinOp::Xor, e, x)
+            };
+        }
+        // Just computing it without a stack overflow is the property; also
+        // sanity-check against a direct fold.
+        let got = p.eval(e, &|_| 3);
+        let mut want = 3u64;
+        for i in 0..200_000u64 {
+            want = if i % 2 == 0 {
+                want.wrapping_add(1)
+            } else {
+                want ^ 3
+            };
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //!
 //! Bitvector (QF_BV) constraint solving for the Chef reproduction, standing
 //! in for STP in the paper's stack: hash-consed expression DAGs with eager
-//! constant folding ([`ExprPool`]), Tseitin bit-blasting
-//! ([`bitblast::BitBlaster`]), a CDCL SAT backend ([`sat::SatSolver`]), and a
-//! caching facade ([`Solver`]) that answers the queries symbolic execution
-//! issues: branch feasibility, test-case models, `upper_bound` maximization,
-//! and bounded value enumeration for symbolic pointers.
+//! constant folding ([`ExprPool`]), memoizing Tseitin bit-blasting
+//! ([`bitblast::BitBlaster`]), an incremental CDCL SAT backend
+//! ([`sat::SatSolver`], with assumption-based solving and learned-clause
+//! deletion), and a caching facade ([`Solver`]) that answers the queries
+//! symbolic execution issues: branch feasibility, test-case models,
+//! `upper_bound` maximization, and bounded value enumeration for symbolic
+//! pointers. The facade keeps one persistent SAT instance per solver
+//! lifetime: assertions are bit-blasted once, guarded by activation
+//! literals, partitioned into independent components by shared variables,
+//! and toggled per query via assumptions.
 //!
 //! # Examples
 //!

@@ -1,10 +1,17 @@
 //! A CDCL SAT solver (two-watched literals, 1UIP learning, VSIDS-style
-//! activities, phase saving, geometric restarts).
+//! activities, phase saving, geometric restarts) with **assumption-based
+//! incremental solving** and LBD-tracked learned-clause deletion.
 //!
 //! This is the backend the bit-blaster targets; it plays the role MiniSat
-//! plays inside STP in the paper's stack. It is deliberately self-contained:
-//! no clause deletion or preprocessing, which keeps it predictable for the
-//! query sizes symbolic execution produces.
+//! plays inside STP in the paper's stack. Unlike the original fresh-per-query
+//! design, the clause database is persistent: callers keep one solver alive,
+//! add clauses between queries, and select which guarded constraints are
+//! active per query via [`SatSolver::solve_under_assumptions`]. Learned
+//! clauses, variable activities, and saved phases all survive across queries
+//! — which is where symbolic execution wins, because consecutive
+//! path-condition queries differ by a single constraint. The learned-clause
+//! database is kept bounded by periodically deleting high-LBD clauses
+//! (glucose-style), so a long-lived solver does not grow without limit.
 
 use std::collections::BinaryHeap;
 
@@ -78,7 +85,7 @@ impl Val {
 pub enum SatOutcome {
     /// Satisfiable; the vector holds one polarity per variable.
     Sat(Vec<bool>),
-    /// Unsatisfiable.
+    /// Unsatisfiable (under the query's assumptions, if any).
     Unsat,
     /// The per-query conflict budget was exhausted (solver timeout).
     Unknown,
@@ -106,6 +113,20 @@ impl Ord for OrderEntry {
     }
 }
 
+/// A stored clause plus the metadata clause deletion needs.
+struct Clause {
+    lits: Vec<Lit>,
+    /// Conflict-derived (deletable) vs. problem clause (permanent).
+    learned: bool,
+    /// Literal-block distance at learn time: the number of distinct
+    /// decision levels in the clause. Low-LBD ("glue") clauses are the ones
+    /// worth keeping forever.
+    lbd: u32,
+}
+
+/// Minimum learned-clause count before the first database reduction.
+const MIN_LEARNED_CAP: usize = 2_000;
+
 /// CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
 ///
 /// # Examples
@@ -121,10 +142,16 @@ impl Ord for OrderEntry {
 ///     SatOutcome::Sat(model) => assert!(model[b as usize]),
 ///     _ => panic!("satisfiable"),
 /// }
+/// // Incremental use: the same instance answers queries under assumptions
+/// // without touching the clause database.
+/// match s.solve_under_assumptions(&[Lit::neg_of(b)]) {
+///     SatOutcome::Unsat => {}
+///     _ => panic!("b is forced"),
+/// }
+/// assert!(matches!(s.solve(), SatOutcome::Sat(_)), "database unchanged");
 /// ```
-#[derive(Default)]
 pub struct SatSolver {
-    clauses: Vec<Vec<Lit>>,
+    clauses: Vec<Clause>,
     watches: Vec<Vec<u32>>,
     assign: Vec<Val>,
     phase: Vec<bool>,
@@ -137,6 +164,10 @@ pub struct SatSolver {
     var_inc: f64,
     order: BinaryHeap<OrderEntry>,
     unsat: bool,
+    num_learned: usize,
+    /// Learned clauses allowed before the next database reduction; grows
+    /// geometrically after each reduction.
+    learned_cap: usize,
     /// Give up after this many conflicts in one `solve` call (None =
     /// unbounded). Symbolic execution treats the resulting
     /// [`SatOutcome::Unknown`] as an infeasible path, as KLEE/S2E do on
@@ -148,20 +179,61 @@ pub struct SatSolver {
     pub decisions: u64,
     /// Total unit propagations across `solve` calls.
     pub propagations: u64,
+    /// Learned clauses deleted by database reductions.
+    pub clauses_deleted: u64,
+    /// Scratch for LBD computation: per-decision-level epoch stamps.
+    lbd_stamp: Vec<u64>,
+    lbd_epoch: u64,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SatSolver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             var_inc: 1.0,
-            ..Default::default()
+            order: BinaryHeap::new(),
+            unsat: false,
+            num_learned: 0,
+            learned_cap: MIN_LEARNED_CAP,
+            conflict_budget: None,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            clauses_deleted: 0,
+            lbd_stamp: Vec::new(),
+            lbd_epoch: 0,
         }
     }
 
     /// Number of variables allocated so far.
     pub fn num_vars(&self) -> u32 {
         self.assign.len() as u32
+    }
+
+    /// Number of clauses currently stored (problem + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learned clauses currently retained.
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -226,17 +298,20 @@ impl SatSolver {
                 true
             }
             _ => {
-                self.attach_clause(c);
+                self.attach_clause(c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, c: Vec<Lit>) -> u32 {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool, lbd: u32) -> u32 {
         let ci = self.clauses.len() as u32;
-        self.watches[c[0].index()].push(ci);
-        self.watches[c[1].index()].push(ci);
-        self.clauses.push(c);
+        self.watches[lits[0].index()].push(ci);
+        self.watches[lits[1].index()].push(ci);
+        if learned {
+            self.num_learned += 1;
+        }
+        self.clauses.push(Clause { lits, learned, lbd });
         ci
     }
 
@@ -261,20 +336,20 @@ impl SatSolver {
             while i < ws.len() {
                 let ci = ws[i] as usize;
                 // Make sure the false literal is at position 1.
-                if self.clauses[ci][0] == false_lit {
-                    self.clauses[ci].swap(0, 1);
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
                 }
-                let first = self.clauses[ci][0];
+                let first = self.clauses[ci].lits[0];
                 if self.value_lit(first) == Val::True {
                     i += 1;
                     continue;
                 }
                 // Look for a replacement watch.
                 let mut found = false;
-                for k in 2..self.clauses[ci].len() {
-                    let lk = self.clauses[ci][k];
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
                     if self.value_lit(lk) != Val::False {
-                        self.clauses[ci].swap(1, k);
+                        self.clauses[ci].lits.swap(1, k);
                         self.watches[lk.index()].push(ci as u32);
                         ws.swap_remove(i);
                         found = true;
@@ -319,8 +394,8 @@ impl SatSolver {
         let cur_level = self.trail_lim.len() as u32;
         loop {
             let start = if p.is_none() { 0 } else { 1 };
-            for k in start..self.clauses[confl].len() {
-                let q = self.clauses[confl][k];
+            for k in start..self.clauses[confl].lits.len() {
+                let q = self.clauses[confl].lits[k];
                 let v = q.var() as usize;
                 if !seen[v] && self.level[v] > 0 {
                     seen[v] = true;
@@ -369,6 +444,25 @@ impl SatSolver {
         (learned, bl)
     }
 
+    /// Literal-block distance of a clause whose literals are all assigned:
+    /// the number of distinct decision levels it spans. Runs once per
+    /// conflict, so it uses epoch-stamped scratch instead of allocating.
+    fn clause_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_epoch += 1;
+        if self.lbd_stamp.len() <= self.trail_lim.len() {
+            self.lbd_stamp.resize(self.trail_lim.len() + 1, 0);
+        }
+        let mut n = 0u32;
+        for l in lits {
+            let lvl = self.level[l.var() as usize] as usize;
+            if self.lbd_stamp[lvl] != self.lbd_epoch {
+                self.lbd_stamp[lvl] = self.lbd_epoch;
+                n += 1;
+            }
+        }
+        n
+    }
+
     fn cancel_until(&mut self, lvl: u32) {
         while self.trail_lim.len() as u32 > lvl {
             let lim = self.trail_lim.pop().unwrap();
@@ -393,15 +487,106 @@ impl SatSolver {
         (0..self.assign.len() as u32).find(|&v| self.assign[v as usize] == Val::Undef)
     }
 
-    /// Runs the CDCL search to completion.
+    /// Deletes the worst half of the deletable learned clauses (by LBD,
+    /// then length) once the learned database outgrows its cap. Glue
+    /// clauses (LBD ≤ 2) are always kept. Must run at decision level 0.
+    fn maybe_reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty());
+        if self.num_learned <= self.learned_cap {
+            return;
+        }
+        // Clause indices are about to be remapped; level-0 reasons are never
+        // resolved on (analyze skips level-0 literals), so drop them rather
+        // than remap.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var() as usize;
+            self.reason[v] = None;
+        }
+        let mut cand: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learned && c.lbd > 2
+            })
+            .collect();
+        // Worst first: highest LBD, then longest, then oldest last (stable
+        // deterministic order).
+        cand.sort_by_key(|&i| {
+            let c = &self.clauses[i as usize];
+            (std::cmp::Reverse(c.lbd), std::cmp::Reverse(c.lits.len()), i)
+        });
+        let drop_n = cand.len() / 2;
+        if drop_n == 0 {
+            // Nothing deletable (all glue): raise the cap so the check does
+            // not run on every solve.
+            self.learned_cap += self.learned_cap / 2;
+            return;
+        }
+        let mut drop = vec![false; self.clauses.len()];
+        for &i in &cand[..drop_n] {
+            drop[i as usize] = true;
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let old = std::mem::take(&mut self.clauses);
+        self.clauses.reserve(old.len() - drop_n);
+        for (i, mut c) in old.into_iter().enumerate() {
+            if drop[i] {
+                continue;
+            }
+            // Re-establish the watch invariant: watch two literals that are
+            // not falsified at level 0 (rank True < Undef < False). A kept
+            // clause always has either a true literal or two non-false ones,
+            // because level-0 propagation is complete.
+            let rank = |s: &Self, l: Lit| match s.value_lit(l) {
+                Val::True => 0u8,
+                Val::Undef => 1,
+                Val::False => 2,
+            };
+            let mut best = 0;
+            for k in 1..c.lits.len() {
+                if rank(self, c.lits[k]) < rank(self, c.lits[best]) {
+                    best = k;
+                }
+            }
+            c.lits.swap(0, best);
+            let mut best2 = 1;
+            for k in 2..c.lits.len() {
+                if rank(self, c.lits[k]) < rank(self, c.lits[best2]) {
+                    best2 = k;
+                }
+            }
+            c.lits.swap(1, best2);
+            let ci = self.clauses.len() as u32;
+            self.watches[c.lits[0].index()].push(ci);
+            self.watches[c.lits[1].index()].push(ci);
+            self.clauses.push(c);
+        }
+        self.num_learned -= drop_n;
+        self.clauses_deleted += drop_n as u64;
+        self.learned_cap += self.learned_cap / 2;
+    }
+
+    /// Runs the CDCL search to completion with no assumptions.
     pub fn solve(&mut self) -> SatOutcome {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Runs the CDCL search with `assumptions` decided (in order) before any
+    /// free decision. Returns [`SatOutcome::Unsat`] if the formula is
+    /// unsatisfiable *under the assumptions*; the clause database, learned
+    /// clauses, activities, and saved phases persist either way, so the next
+    /// query starts from everything this one discovered.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
         if self.unsat {
             return SatOutcome::Unsat;
         }
+        debug_assert!(self.trail_lim.is_empty(), "solve must start at level 0");
         if self.propagate().is_some() {
             self.unsat = true;
             return SatOutcome::Unsat;
         }
+        self.maybe_reduce_db();
         let mut restart_budget = 128u64;
         let mut conflicts_here = 0u64;
         let mut conflicts_total = 0u64;
@@ -421,12 +606,15 @@ impl SatSolver {
                     return SatOutcome::Unsat;
                 }
                 let (learned, bl) = self.analyze(confl);
+                // LBD is computed at conflict time, while every literal of
+                // the learned clause is still assigned.
+                let lbd = self.clause_lbd(&learned);
                 self.cancel_until(bl);
                 if learned.len() == 1 {
                     self.enqueue(learned[0], None);
                 } else {
                     let asserting = learned[0];
-                    let ci = self.attach_clause(learned);
+                    let ci = self.attach_clause(learned, true, lbd);
                     self.enqueue(asserting, Some(ci));
                 }
                 self.var_inc /= 0.95;
@@ -434,6 +622,28 @@ impl SatSolver {
                     conflicts_here = 0;
                     restart_budget = restart_budget + restart_budget / 2;
                     self.cancel_until(0);
+                }
+            } else if self.trail_lim.len() < assumptions.len() {
+                // Next assumption becomes the next decision.
+                let a = assumptions[self.trail_lim.len()];
+                match self.value_lit(a) {
+                    Val::True => {
+                        // Already implied: open an (empty) decision level so
+                        // the remaining assumptions keep their positions.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Val::False => {
+                        // The formula (plus earlier assumptions) forces the
+                        // complement: unsatisfiable under the assumptions,
+                        // but the formula itself stays live.
+                        self.cancel_until(0);
+                        return SatOutcome::Unsat;
+                    }
+                    Val::Undef => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, None);
+                    }
                 }
             } else {
                 match self.pick_branch_var() {
@@ -570,6 +780,160 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn assumptions_select_among_guarded_constraints() {
+        // Guard g1 -> a, guard g2 -> !a: each guard alone is satisfiable,
+        // both together are not, and no query damages the database.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let g1 = s.new_var();
+        let g2 = s.new_var();
+        s.add_clause(&[Lit::neg_of(g1), Lit::pos(a)]);
+        s.add_clause(&[Lit::neg_of(g2), Lit::neg_of(a)]);
+        match s.solve_under_assumptions(&[Lit::pos(g1)]) {
+            SatOutcome::Sat(m) => assert!(m[a as usize]),
+            other => panic!("g1 alone is sat, got {other:?}"),
+        }
+        match s.solve_under_assumptions(&[Lit::pos(g2)]) {
+            SatOutcome::Sat(m) => assert!(!m[a as usize]),
+            other => panic!("g2 alone is sat, got {other:?}"),
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g1), Lit::pos(g2)]),
+            SatOutcome::Unsat
+        );
+        // The assumption failure must not have poisoned the formula.
+        assert!(matches!(
+            s.solve_under_assumptions(&[Lit::pos(g1)]),
+            SatOutcome::Sat(_)
+        ));
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn assumption_unsat_requires_learning() {
+        // A pigeonhole instance activated by a guard: refuting it requires
+        // real conflict analysis below the assumption level, and afterwards
+        // the unguarded formula must still be satisfiable.
+        let mut s = SatSolver::new();
+        let g = s.new_var();
+        let v: Vec<u32> = (0..6).map(|_| s.new_var()).collect();
+        for p in 0..3 {
+            s.add_clause(&[Lit::neg_of(g), Lit::pos(v[p * 2]), Lit::pos(v[p * 2 + 1])]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[
+                        Lit::neg_of(g),
+                        Lit::neg_of(v[p1 * 2 + h]),
+                        Lit::neg_of(v[p2 * 2 + h]),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve_under_assumptions(&[Lit::pos(g)]), SatOutcome::Unsat);
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+        // Repeating the refuted query is answered again (typically faster,
+        // via the learned unit on g).
+        assert_eq!(s.solve_under_assumptions(&[Lit::pos(g)]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn incremental_solves_accumulate_learned_clauses() {
+        // xorshift random 3-SAT under rotating assumptions: results must be
+        // internally consistent and the database must survive many queries.
+        let mut seed = 0xdeadbeefu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s = SatSolver::new();
+        let nv = 24u32;
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for _ in 0..70 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| Lit::new((next() % nv as u64) as u32, next() % 2 == 0))
+                .collect();
+            s.add_clause(&c);
+        }
+        let baseline = matches!(s.solve(), SatOutcome::Sat(_));
+        for v in 0..nv {
+            for neg in [false, true] {
+                let out = s.solve_under_assumptions(&[Lit::new(v, neg)]);
+                if let SatOutcome::Sat(m) = &out {
+                    assert_eq!(m[v as usize], !neg, "assumption must hold in model");
+                }
+                if !baseline {
+                    assert_eq!(
+                        out,
+                        SatOutcome::Unsat,
+                        "unsat stays unsat under assumptions"
+                    );
+                }
+            }
+        }
+        // And the unassumed query still agrees with the baseline.
+        assert_eq!(matches!(s.solve(), SatOutcome::Sat(_)), baseline);
+    }
+
+    #[test]
+    fn reduce_db_keeps_answers_correct() {
+        // Force many conflicts (hard random instances) with a tiny learned
+        // cap by solving repeatedly; clause deletion must never change
+        // answers. We drive deletion indirectly: many queries over guarded
+        // subformulas accumulate learned clauses past the cap.
+        let mut seed = 0x5eed5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s = SatSolver::new();
+        s.learned_cap = 8; // tiny cap so reduction actually triggers
+        let nv = 26u32;
+        for _ in 0..nv {
+            s.new_var();
+        }
+        let mut clauses = Vec::new();
+        for _ in 0..104 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| Lit::new((next() % nv as u64) as u32, next() % 2 == 0))
+                .collect();
+            clauses.push(c.clone());
+            s.add_clause(&c);
+        }
+        let mut outcomes = Vec::new();
+        for round in 0..40 {
+            let a = Lit::new(round % nv, round % 3 == 0);
+            let out = s.solve_under_assumptions(&[a]);
+            if let SatOutcome::Sat(m) = &out {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var() as usize] != l.is_neg()),
+                        "model must satisfy every clause even after reduction"
+                    );
+                }
+            }
+            outcomes.push(matches!(out, SatOutcome::Sat(_)));
+        }
+        // Determinism of repeated identical queries.
+        for round in 0..40u32 {
+            let a = Lit::new(round % nv, round % 3 == 0);
+            let out = s.solve_under_assumptions(&[a]);
+            assert_eq!(
+                matches!(out, SatOutcome::Sat(_)),
+                outcomes[round as usize],
+                "sat/unsat answers are stable across the solver's lifetime"
+            );
         }
     }
 }

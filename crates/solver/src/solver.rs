@@ -1,11 +1,30 @@
 //! The solver facade: feasibility checks, models, caching, and value
 //! maximization (`upper_bound` in the Chef guest API).
+//!
+//! # Incremental architecture
+//!
+//! Symbolic execution queries are overwhelmingly *incremental*: each branch
+//! adds one constraint to a path condition the solver just saw. The facade
+//! is built around that shape:
+//!
+//! 1. **Persistent backend** — one [`BitBlaster`] (owning one
+//!    [`crate::sat::SatSolver`]) lives as long as the `Solver`. Each
+//!    assertion is bit-blasted once, guarded by an activation literal, and
+//!    every query is a [`solve_under_assumptions`] call that just selects
+//!    guards — learned clauses, activities, and phases carry over.
+//! 2. **Independence partitioning** — the live assertion set is split into
+//!    connected components by shared [`VarId`]s (KLEE's independent
+//!    solver). Each component is solved — and cached — separately, so
+//!    unrelated path-condition growth never invalidates a cached answer.
+//! 3. **Bounded query cache** — per-component results with FIFO eviction.
+//!
+//! [`solve_under_assumptions`]: crate::sat::SatSolver::solve_under_assumptions
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::bitblast::BitBlaster;
 use crate::expr::{BinOp, ExprId, ExprPool, VarId};
-use crate::sat::{SatOutcome, SatSolver};
+use crate::sat::SatOutcome;
 
 /// A satisfying assignment for the symbolic variables of a query.
 ///
@@ -38,8 +57,10 @@ impl Model {
     }
 
     /// Whether all width-1 assertions evaluate to true under this model.
+    /// One evaluation memo is shared across the conjunction, so heavily
+    /// shared path-condition sub-DAGs are evaluated once.
     pub fn satisfies(&self, pool: &ExprPool, assertions: &[ExprId]) -> bool {
-        assertions.iter().all(|&a| self.eval(pool, a) == 1)
+        pool.eval_conjunction(assertions, &|v| self.get(v))
     }
 }
 
@@ -52,6 +73,14 @@ pub enum SatResult {
     Unsat,
     /// The solver gave up (conflict budget exhausted). Callers prune the
     /// path, as KLEE/S2E prune on solver timeouts.
+    ///
+    /// Note that with the persistent backend, whether a near-budget query
+    /// lands on `Unknown` can depend on the learned clauses accumulated
+    /// from earlier queries — i.e. on query history, like the caches
+    /// before it. `chef_symex` pins every history-sensitive choice in the
+    /// state trace and validates canonical test inputs by direct
+    /// evaluation, so this only perturbs which paths get pruned at the
+    /// budget boundary, never the correctness of emitted tests.
     Unknown,
 }
 
@@ -75,24 +104,87 @@ impl SatResult {
 pub struct SolverStats {
     /// Total queries issued through [`Solver::check`].
     pub queries: u64,
-    /// Queries answered by the query cache.
+    /// Component sub-queries answered by the query cache.
     pub cache_hits: u64,
+    /// Entries evicted from the bounded query cache.
+    pub cache_evictions: u64,
     /// Queries answered by re-checking a recent model.
     pub model_reuse_hits: u64,
     /// Queries answered by constant folding alone.
     pub const_hits: u64,
-    /// Queries that reached the SAT backend.
+    /// Component sub-queries that reached the SAT backend.
     pub sat_calls: u64,
+    /// Backend calls issued as assumption-based incremental solves (all of
+    /// them, in the incremental architecture).
+    pub assumption_solves: u64,
+    /// Assertions whose CNF was reused from the blast cache instead of
+    /// being re-encoded.
+    pub blast_cache_hits: u64,
+    /// Assertions bit-blasted for the first time (blast-cache misses).
+    pub blast_cache_misses: u64,
+    /// Learned clauses deleted by the backend's database reductions.
+    pub clauses_deleted: u64,
+    /// Independent components across all queries that reached partitioning
+    /// (queries served by constant folding or model reuse contribute none).
+    pub components: u64,
     /// Queries abandoned at the conflict budget.
     pub unknowns: u64,
     /// Cumulative time spent inside the SAT backend.
     pub sat_time: std::time::Duration,
 }
 
-/// Bitvector solver with query cache and model-reuse fast path.
+impl SolverStats {
+    /// Fraction of guard requests whose CNF came from the blast cache
+    /// (assertion blasted once per solver lifetime, then toggled).
+    pub fn blast_hit_rate(&self) -> f64 {
+        let total = self.blast_cache_hits + self.blast_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.blast_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean independent components per issued query. Queries served by the
+    /// constant or model-reuse fast paths contribute zero components, so
+    /// this undercounts the partition width of the queries that actually
+    /// reached the component solver.
+    pub fn components_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.components as f64 / self.queries as f64
+        }
+    }
+
+    /// One-line human-readable digest for CLI/bench reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries ({} const, {} model-reuse, {} cache hits, {} SAT), \
+             {} assumption solves, {} blast-cache hits, {} components, \
+             {} learned deleted, {} evictions, {} unknowns, {:?} in SAT",
+            self.queries,
+            self.const_hits,
+            self.model_reuse_hits,
+            self.cache_hits,
+            self.sat_calls,
+            self.assumption_solves,
+            self.blast_cache_hits,
+            self.components,
+            self.clauses_deleted,
+            self.cache_evictions,
+            self.unknowns,
+            self.sat_time,
+        )
+    }
+}
+
+/// Bitvector solver with a persistent incremental backend, an
+/// independence-partitioned query cache, and a model-reuse fast path.
 ///
-/// A `Solver` must be used with a single [`ExprPool`]: the query cache is
-/// keyed by expression ids, which are only stable within one pool.
+/// A `Solver` must be used with a single [`ExprPool`]: the blast and query
+/// caches are keyed by expression ids, which are only stable within one
+/// pool.
 ///
 /// # Examples
 ///
@@ -109,10 +201,21 @@ pub struct SolverStats {
 /// }
 /// ```
 pub struct Solver {
+    blaster: BitBlaster,
     cache: HashMap<Vec<ExprId>, SatResult>,
-    model_ring: Vec<Model>,
+    /// Insertion order of cache keys, for FIFO eviction.
+    cache_order: VecDeque<Vec<ExprId>>,
+    model_ring: VecDeque<Model>,
+    /// Memoized variable set per assertion id.
+    vars_of: HashMap<ExprId, Vec<VarId>>,
     /// Per-query conflict budget handed to the SAT backend.
     pub conflict_budget: Option<u64>,
+    /// Maximum entries in the query cache before FIFO eviction.
+    pub cache_capacity: usize,
+    /// When set, every non-trivial query's live assertion set is appended:
+    /// a replayable path-condition growth trace (the `solver_incremental`
+    /// bench feeds these back through fresh and incremental solvers).
+    pub query_log: Option<Vec<Vec<ExprId>>>,
     /// Work counters.
     pub stats: SolverStats,
 }
@@ -120,9 +223,14 @@ pub struct Solver {
 impl Default for Solver {
     fn default() -> Self {
         Solver {
+            blaster: BitBlaster::new(),
             cache: HashMap::new(),
-            model_ring: Vec::new(),
+            cache_order: VecDeque::new(),
+            model_ring: VecDeque::new(),
+            vars_of: HashMap::new(),
             conflict_budget: Some(DEFAULT_CONFLICT_BUDGET),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            query_log: None,
             stats: SolverStats::default(),
         }
     }
@@ -131,6 +239,9 @@ impl Default for Solver {
 /// Default per-query conflict budget (bounds one query to well under a
 /// second on commodity hardware).
 pub const DEFAULT_CONFLICT_BUDGET: u64 = 30_000;
+
+/// Default capacity of the query cache (entries, per-component keys).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 15;
 
 /// Number of recent models retained for the reuse fast path.
 const MODEL_RING: usize = 8;
@@ -167,39 +278,125 @@ impl Solver {
         }
         live.sort_unstable();
         live.dedup();
-        // Query cache.
-        if let Some(res) = self.cache.get(&live) {
-            self.stats.cache_hits += 1;
-            return res.clone();
+        if let Some(log) = &mut self.query_log {
+            log.push(live.clone());
         }
         // Model reuse: try the all-zeros model plus recent models.
         let zero = Model::new();
         if zero.satisfies(pool, &live) {
             self.stats.model_reuse_hits += 1;
-            let res = SatResult::Sat(zero);
-            self.cache.insert(live, res.clone());
-            return res;
+            return SatResult::Sat(zero);
         }
-        for m in self.model_ring.iter().rev() {
-            if m.satisfies(pool, &live) {
-                self.stats.model_reuse_hits += 1;
-                let res = SatResult::Sat(m.clone());
-                self.cache.insert(live, res.clone());
-                return res;
+        if let Some(m) = self
+            .model_ring
+            .iter()
+            .rev()
+            .find(|m| m.satisfies(pool, &live))
+        {
+            self.stats.model_reuse_hits += 1;
+            return SatResult::Sat(m.clone());
+        }
+        // Independence partitioning: each connected component (assertions
+        // linked by shared variables) is solved and cached on its own.
+        let components = self.partition(pool, &live);
+        self.stats.components += components.len() as u64;
+        let mut merged = Model::new();
+        let mut unknown = false;
+        for comp in &components {
+            match self.check_component(pool, comp) {
+                SatResult::Unsat => return SatResult::Unsat,
+                SatResult::Unknown => unknown = true,
+                SatResult::Sat(m) => {
+                    for (&var, &val) in &m.values {
+                        merged.set(var, val);
+                    }
+                }
             }
         }
-        // Full SAT query.
-        self.stats.sat_calls += 1;
-        let start = std::time::Instant::now();
-        let mut sat = SatSolver::new();
-        sat.conflict_budget = self.conflict_budget;
-        let mut bb = BitBlaster::new(&mut sat);
-        for &a in &live {
-            bb.assert_true(pool, a);
+        if unknown {
+            return SatResult::Unknown;
         }
-        let map = bb.finish();
-        let outcome = sat.solve();
+        debug_assert!(
+            merged.satisfies(pool, &live),
+            "model must satisfy the query"
+        );
+        self.model_ring.push_back(merged.clone());
+        if self.model_ring.len() > MODEL_RING {
+            self.model_ring.pop_front();
+        }
+        SatResult::Sat(merged)
+    }
+
+    /// Splits sorted, deduplicated assertions into connected components by
+    /// shared variables. Components are ordered by their smallest assertion
+    /// id, and each component's assertions stay sorted — so component keys
+    /// are canonical.
+    fn partition(&mut self, pool: &ExprPool, live: &[ExprId]) -> Vec<Vec<ExprId>> {
+        // Union-find over assertion indices.
+        let mut parent: Vec<usize> = (0..live.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut owner: HashMap<VarId, usize> = HashMap::new();
+        for (i, &a) in live.iter().enumerate() {
+            let vars = self.vars_of.entry(a).or_insert_with(|| {
+                let mut v = Vec::new();
+                pool.collect_vars(a, &mut v);
+                v
+            });
+            for &v in vars.iter() {
+                match owner.entry(v) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let ra = find(&mut parent, i);
+                        let rb = find(&mut parent, *e.get());
+                        if ra != rb {
+                            parent[ra.max(rb)] = ra.min(rb);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                    }
+                }
+            }
+        }
+        // Group by root, in first-appearance (= smallest index) order.
+        let mut comp_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut comps: Vec<Vec<ExprId>> = Vec::new();
+        for (i, &a) in live.iter().enumerate() {
+            let r = find(&mut parent, i);
+            let ci = *comp_of_root.entry(r).or_insert_with(|| {
+                comps.push(Vec::new());
+                comps.len() - 1
+            });
+            comps[ci].push(a);
+        }
+        comps
+    }
+
+    /// Solves one independent component: cache lookup, then an
+    /// assumption-based incremental solve over the persistent instance.
+    fn check_component(&mut self, pool: &ExprPool, comp: &[ExprId]) -> SatResult {
+        if let Some(res) = self.cache.get(comp) {
+            self.stats.cache_hits += 1;
+            return res.clone();
+        }
+        self.stats.sat_calls += 1;
+        self.stats.assumption_solves += 1;
+        let start = std::time::Instant::now();
+        let mut assumptions = Vec::with_capacity(comp.len());
+        for &a in comp {
+            assumptions.push(self.blaster.guard(pool, a));
+        }
+        self.blaster.sat_mut().conflict_budget = self.conflict_budget;
+        let outcome = self.blaster.sat_mut().solve_under_assumptions(&assumptions);
         self.stats.sat_time += start.elapsed();
+        self.stats.blast_cache_hits = self.blaster.guard_hits;
+        self.stats.blast_cache_misses = self.blaster.guards_created;
+        self.stats.clauses_deleted = self.blaster.sat().clauses_deleted;
         let res = match outcome {
             SatOutcome::Unknown => {
                 self.stats.unknowns += 1;
@@ -208,20 +405,34 @@ impl Solver {
             SatOutcome::Unsat => SatResult::Unsat,
             SatOutcome::Sat(bits) => {
                 let mut model = Model::new();
-                let vars: Vec<VarId> = map.blasted_vars().collect();
-                for v in vars {
-                    model.set(v, map.var_value(v, &bits));
+                for &a in comp {
+                    for &v in &self.vars_of[&a] {
+                        model.set(v, self.blaster.var_value(v, &bits));
+                    }
                 }
-                debug_assert!(model.satisfies(pool, &live), "model must satisfy the query");
-                self.model_ring.push(model.clone());
-                if self.model_ring.len() > MODEL_RING {
-                    self.model_ring.remove(0);
-                }
+                debug_assert!(
+                    model.satisfies(pool, comp),
+                    "component model must satisfy its component"
+                );
                 SatResult::Sat(model)
             }
         };
-        self.cache.insert(live, res.clone());
+        self.cache_insert(comp.to_vec(), res.clone());
         res
+    }
+
+    fn cache_insert(&mut self, key: Vec<ExprId>, val: SatResult) {
+        while self.cache.len() >= self.cache_capacity {
+            let Some(old) = self.cache_order.pop_front() else {
+                break;
+            };
+            if self.cache.remove(&old).is_some() {
+                self.stats.cache_evictions += 1;
+            }
+        }
+        if self.cache.insert(key.clone(), val).is_none() {
+            self.cache_order.push_back(key);
+        }
     }
 
     /// Whether the conjunction of `assertions` is satisfiable.
@@ -245,7 +456,17 @@ impl Solver {
     /// Maximum value of `expr` under `assertions` (the guest API's
     /// `upper_bound`), found by MSB-first bit fixing.
     ///
-    /// Returns `None` if the assertions are unsatisfiable.
+    /// Each of the `w` trial constraints is one assumption-driven solve on
+    /// the persistent instance: the base assertions are never re-blasted,
+    /// only the trial constraint's guard changes between iterations.
+    ///
+    /// Returns `None` if the assertions are unsatisfiable. A trial query
+    /// lost to the conflict budget ([`SatResult::Unknown`]) is treated as
+    /// infeasible, which can make the bound conservative (too small here,
+    /// too large in [`Solver::min_value`]); callers that need an exact
+    /// bound under budget pressure must re-validate it (as
+    /// `chef_symex::State::concretize_inputs_canonical` does by direct
+    /// evaluation).
     pub fn max_value(
         &mut self,
         pool: &mut ExprPool,
@@ -277,7 +498,8 @@ impl Solver {
     }
 
     /// Minimum value of `expr` under `assertions`, by MSB-first bit fixing
-    /// toward zero. Returns `None` if unsatisfiable.
+    /// toward zero (same assumption-driven loop as [`Solver::max_value`]).
+    /// Returns `None` if unsatisfiable.
     pub fn min_value(
         &mut self,
         pool: &mut ExprPool,
@@ -310,7 +532,8 @@ impl Solver {
     /// Enumerates up to `limit` distinct feasible values of `expr`.
     ///
     /// Used by the symbolic-pointer concretization policy: each value found
-    /// is excluded and the query repeated.
+    /// is excluded and the query repeated — each exclusion is one more
+    /// guarded constraint on the persistent instance, not a re-blast.
     pub fn enumerate_values(
         &mut self,
         pool: &mut ExprPool,
@@ -449,5 +672,105 @@ mod tests {
         let zero = pool.constant(8, 0);
         let eq0 = pool.eq(x, zero);
         assert_eq!(s.max_value(&mut pool, x, &[eq, eq0]), None);
+    }
+
+    #[test]
+    fn incremental_growth_reuses_blasted_assertions() {
+        // Push-style growth: each check re-sends the whole path; with the
+        // persistent backend every previously seen assertion is a blast
+        // cache hit, and repeating the final query is a pure cache hit.
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 32);
+        let mut path = Vec::new();
+        // Each step pins one more byte of x to a nonzero value, so neither
+        // the zero model nor any earlier model can serve the new query —
+        // every step reaches the backend, re-sending the whole path.
+        for k in 0..4u8 {
+            let b = pool.extract(8 * k + 7, 8 * k, x);
+            let c = pool.constant(8, (k + 1) as u64);
+            path.push(pool.eq(b, c));
+            assert!(s.check(&pool, &path).is_sat());
+        }
+        assert_eq!(s.stats.sat_calls, 4, "each growth step reaches the backend");
+        assert!(
+            s.stats.blast_cache_hits > 0,
+            "repeated assertions must hit the blast cache"
+        );
+        let calls = s.stats.sat_calls;
+        assert!(s.check(&pool, &path).is_sat());
+        assert_eq!(
+            s.stats.sat_calls, calls,
+            "repeating the query never re-solves"
+        );
+    }
+
+    #[test]
+    fn independent_components_are_cached_separately() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let y = pool.fresh_var("y", 8);
+        let c7 = pool.constant(8, 7);
+        let c9 = pool.constant(8, 9);
+        let cx = pool.eq(x, c7); // component {x}
+        let cy = pool.eq(y, c9); // component {y}
+        let res = s.check(&pool, &[cx, cy]);
+        let SatResult::Sat(m) = res else {
+            panic!("sat")
+        };
+        assert_eq!(m.eval(&pool, x), 7);
+        assert_eq!(m.eval(&pool, y), 9);
+        assert_eq!(s.stats.components, 2, "two independent components");
+        let sat_calls = s.stats.sat_calls;
+        // Changing the y-side must not invalidate the cached x-component
+        // (the new y-constraint also defeats the model-reuse fast path).
+        let c12 = pool.constant(8, 12);
+        let cy2 = pool.eq(y, c12);
+        let hits_before = s.stats.cache_hits;
+        let SatResult::Sat(m2) = s.check(&pool, &[cx, cy2]) else {
+            panic!("sat")
+        };
+        assert_eq!(m2.eval(&pool, x), 7);
+        assert_eq!(m2.eval(&pool, y), 12);
+        assert!(
+            s.stats.cache_hits > hits_before,
+            "the untouched x-component is a cache hit"
+        );
+        // Only the y-component needed the backend.
+        assert_eq!(s.stats.sat_calls, sat_calls + 1);
+    }
+
+    #[test]
+    fn unsat_in_one_component_fails_the_query() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let y = pool.fresh_var("y", 8);
+        let c1 = pool.constant(8, 1);
+        let c2 = pool.constant(8, 2);
+        let cx = pool.eq(x, c1);
+        let y1 = pool.eq(y, c1);
+        let y2 = pool.eq(y, c2);
+        assert_eq!(s.check(&pool, &[cx, y1, y2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn query_cache_is_bounded_and_counts_evictions() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        s.cache_capacity = 4;
+        let x = pool.fresh_var("x", 8);
+        for k in 1..=12u64 {
+            let c = pool.constant(8, k);
+            let eq = pool.eq(x, c);
+            assert!(s.check(&pool, &[eq]).is_sat());
+        }
+        assert!(s.cache.len() <= 4, "cache stays within capacity");
+        assert!(s.stats.cache_evictions > 0, "evictions are counted");
+        assert_eq!(s.cache.len() + s.stats.cache_evictions as usize, {
+            // every distinct solved component was inserted exactly once
+            s.stats.sat_calls as usize
+        });
     }
 }

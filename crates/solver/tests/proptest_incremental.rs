@@ -1,0 +1,182 @@
+//! Property tests for the incremental solver core: a single persistent
+//! [`Solver`] answering a growing (push-style) assertion sequence must be
+//! indistinguishable from a fresh solver constructed for every query.
+//!
+//! Satisfiability outcomes are compared exactly; models are compared
+//! semantically (each side's model must satisfy the query — the literal
+//! assignments may legitimately differ, since the incremental instance
+//! carries learned clauses and saved phases across queries). The canonical
+//! optimization entry points (`max_value`, `min_value`, `enumerate_values`)
+//! have history-independent answers, so those are compared for equality.
+
+use proptest::prelude::*;
+
+use chef_solver::{BinOp, ExprId, ExprPool, SatResult, Solver};
+
+const W: u8 = 8;
+
+const ARITH: [BinOp; 6] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+];
+
+const PREDS: [BinOp; 5] = [BinOp::Eq, BinOp::Ult, BinOp::Ule, BinOp::Slt, BinOp::Sle];
+
+/// One randomly shaped width-8 term over three variables.
+#[derive(Clone, Debug)]
+enum Term {
+    Var(u8),
+    Const(u64),
+    Bin(u8, Box<Term>, Box<Term>),
+}
+
+/// One width-1 constraint: `a <pred> b`, optionally negated.
+#[derive(Clone, Debug)]
+struct Constraint {
+    pred: u8,
+    neg: bool,
+    a: Term,
+    b: Term,
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Term::Var),
+        any::<u64>().prop_map(Term::Const),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        (0u8..ARITH.len() as u8, inner.clone(), inner)
+            .prop_map(|(o, a, b)| Term::Bin(o, Box::new(a), Box::new(b)))
+    })
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (0u8..PREDS.len() as u8, any::<bool>(), term(), term())
+        .prop_map(|(pred, neg, a, b)| Constraint { pred, neg, a, b })
+}
+
+fn build_term(pool: &mut ExprPool, t: &Term, vars: &[ExprId]) -> ExprId {
+    match t {
+        Term::Var(i) => vars[(*i as usize) % vars.len()],
+        Term::Const(v) => pool.constant(W, *v),
+        Term::Bin(o, a, b) => {
+            let ea = build_term(pool, a, vars);
+            let eb = build_term(pool, b, vars);
+            pool.bin(ARITH[(*o as usize) % ARITH.len()], ea, eb)
+        }
+    }
+}
+
+fn build_constraint(pool: &mut ExprPool, c: &Constraint, vars: &[ExprId]) -> ExprId {
+    let a = build_term(pool, &c.a, vars);
+    let b = build_term(pool, &c.b, vars);
+    let p = pool.bin(PREDS[(c.pred as usize) % PREDS.len()], a, b);
+    if c.neg {
+        pool.bool_not(p)
+    } else {
+        p
+    }
+}
+
+fn kind(r: &SatResult) -> &'static str {
+    match r {
+        SatResult::Sat(_) => "sat",
+        SatResult::Unsat => "unsat",
+        SatResult::Unknown => "unknown",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Push-style growth: after each pushed constraint, the persistent
+    /// incremental solver and a fresh-per-query solver agree on
+    /// satisfiability, and both models (when Sat) satisfy the query.
+    #[test]
+    fn incremental_matches_fresh_over_growing_paths(
+        cs in proptest::collection::vec(constraint(), 1..7)
+    ) {
+        let mut pool = ExprPool::new();
+        let vars = [
+            pool.fresh_var("a", W),
+            pool.fresh_var("b", W),
+            pool.fresh_var("c", W),
+        ];
+        let mut incremental = Solver::new();
+        let mut path: Vec<ExprId> = Vec::new();
+        for c in &cs {
+            let e = build_constraint(&mut pool, c, &vars);
+            path.push(e);
+            let inc = incremental.check(&pool, &path);
+            let fresh = Solver::new().check(&pool, &path);
+            prop_assert_eq!(
+                kind(&inc), kind(&fresh),
+                "incremental and fresh answers diverge on {:?}", path
+            );
+            if let SatResult::Sat(m) = &inc {
+                prop_assert!(m.satisfies(&pool, &path), "incremental model invalid");
+            }
+            if let SatResult::Sat(m) = &fresh {
+                prop_assert!(m.satisfies(&pool, &path), "fresh model invalid");
+            }
+        }
+        // Shrinking back down (popping) must also be served consistently:
+        // re-query every prefix against a fresh solver.
+        while path.pop().is_some() {
+            let inc = incremental.check(&pool, &path);
+            let fresh = Solver::new().check(&pool, &path);
+            prop_assert_eq!(kind(&inc), kind(&fresh));
+        }
+    }
+
+    /// The optimization loops have canonical answers: the persistent
+    /// instance (with all its accumulated guards and learned clauses) and a
+    /// fresh solver must return identical `max_value` / `min_value` /
+    /// `enumerate_values`.
+    #[test]
+    fn optimization_answers_are_history_independent(
+        cs in proptest::collection::vec(constraint(), 1..5),
+        t in term()
+    ) {
+        let mut pool = ExprPool::new();
+        let vars = [
+            pool.fresh_var("a", W),
+            pool.fresh_var("b", W),
+            pool.fresh_var("c", W),
+        ];
+        let mut incremental = Solver::new();
+        let mut path: Vec<ExprId> = Vec::new();
+        for c in &cs {
+            let e = build_constraint(&mut pool, c, &vars);
+            path.push(e);
+            // Warm the incremental solver's caches with every prefix.
+            let _ = incremental.check(&pool, &path);
+        }
+        let expr = build_term(&mut pool, &t, &vars);
+        let inc_max = incremental.max_value(&mut pool, expr, &path);
+        let fresh_max = Solver::new().max_value(&mut pool, expr, &path);
+        prop_assert_eq!(inc_max, fresh_max, "max_value diverges");
+        let inc_min = incremental.min_value(&mut pool, expr, &path);
+        let fresh_min = Solver::new().min_value(&mut pool, expr, &path);
+        prop_assert_eq!(inc_min, fresh_min, "min_value diverges");
+        // Enumerate a slice of the value space. When either side came back
+        // under the limit it enumerated the *complete* feasible set, so the
+        // other side must return the same set (order is model-dependent);
+        // when both hit the limit, the kept subsets may legitimately differ
+        // but their size may not.
+        const LIMIT: usize = 6;
+        let mut inc_vals = incremental.enumerate_values(&mut pool, expr, &path, LIMIT);
+        let mut fresh_vals = Solver::new().enumerate_values(&mut pool, expr, &path, LIMIT);
+        inc_vals.sort_unstable();
+        fresh_vals.sort_unstable();
+        if inc_vals.len() < LIMIT || fresh_vals.len() < LIMIT {
+            prop_assert_eq!(inc_vals, fresh_vals, "complete value sets diverge");
+        } else {
+            prop_assert_eq!(inc_vals.len(), fresh_vals.len());
+        }
+    }
+}

@@ -248,6 +248,18 @@ impl<'p> Executor<'p> {
         }
     }
 
+    /// Feasibility of `state.path ∧ extra` without cloning the path: the
+    /// trial constraint is pushed, checked, and popped. With the
+    /// incremental solver the check itself is an assumption solve over the
+    /// persistent instance, so this makes the whole branch-feasibility path
+    /// allocation-light.
+    fn feasible_with(&mut self, state: &mut State, extra: ExprId) -> bool {
+        state.path.push(extra);
+        let ok = self.solver.is_feasible(&self.pool, &state.path);
+        state.path.pop();
+        ok
+    }
+
     fn note_fork(state: &mut State, loc: (u32, u32)) {
         if state.last_fork_loc == Some(loc) {
             state.consecutive_forks += 1;
@@ -441,9 +453,7 @@ impl<'p> Executor<'p> {
                         StepEvent::Advanced
                     }
                     None => {
-                        let mut q = state.path.clone();
-                        q.push(c);
-                        if self.solver.is_feasible(&self.pool, &q) {
+                        if self.feasible_with(state, c) {
                             state.path.push(c);
                             StepEvent::Advanced
                         } else {
@@ -548,12 +558,8 @@ impl<'p> Executor<'p> {
                     f.ip = 0;
                     return StepEvent::Advanced;
                 }
-                let mut q_then = state.path.clone();
-                q_then.push(c);
-                let feas_then = self.solver.is_feasible(&self.pool, &q_then);
-                let mut q_else = state.path.clone();
-                q_else.push(nc);
-                let feas_else = self.solver.is_feasible(&self.pool, &q_else);
+                let feas_then = self.feasible_with(state, c);
+                let feas_else = self.feasible_with(state, nc);
                 match (feas_then, feas_else) {
                     (true, true) => {
                         let loc = state.ll_loc();
@@ -641,9 +647,7 @@ impl<'p> Executor<'p> {
                 for (i, (cv, b)) in cases.iter().enumerate() {
                     let c = self.pool.constant(64, *cv);
                     let eq = self.pool.eq(eo, c);
-                    let mut q = state.path.clone();
-                    q.push(eq);
-                    if self.solver.is_feasible(&self.pool, &q) {
+                    if self.feasible_with(state, eq) {
                         feasible.push((i as u64, eq, b.0));
                     }
                     let ne = self.pool.not(eq);
@@ -653,9 +657,11 @@ impl<'p> Executor<'p> {
                     }
                 }
                 // Default arm: all scanned cases excluded.
-                let mut q = state.path.clone();
-                q.extend(default_guard.iter().copied());
-                if self.solver.is_feasible(&self.pool, &q) {
+                let depth = state.path.len();
+                state.path.extend(default_guard.iter().copied());
+                let default_feasible = self.solver.is_feasible(&self.pool, &state.path);
+                state.path.truncate(depth);
+                if default_feasible {
                     // Use conjunction of the negations as one constraint set.
                     let mut acc = self.pool.true_();
                     for &g in &default_guard {

@@ -212,6 +212,7 @@ fn run(args: &[String]) -> ExitCode {
             report.tests_per_sec(),
             report.sat_share() * 100.0
         );
+        println!("solver: {}", report.solver_stats.summary());
         if !report.exceptions.is_empty() {
             println!("exceptions: {:?}", report.exceptions);
         }
@@ -234,6 +235,7 @@ fn run(args: &[String]) -> ExitCode {
         report.hangs,
         report.crashes
     );
+    println!("solver: {}", report.solver_stats.summary());
     if !report.exceptions.is_empty() {
         println!("exceptions: {:?}", report.exceptions);
     }
