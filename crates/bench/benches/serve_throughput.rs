@@ -1,0 +1,241 @@
+//! chef-serve throughput: jobs/sec through the daemon protocol, and
+//! resume-vs-fresh exploration rates (not a paper figure — this measures
+//! the PR-4 service layer; the paper's analogue is the long-lived
+//! engine-as-a-service discipline Chef inherits from Cloud9/S2E).
+//!
+//! Two measurements:
+//!
+//! 1. **jobs/sec** — an in-process daemon on a loopback port takes a batch
+//!    of distinct small MiniPy jobs end to end: submit over TCP, schedule
+//!    onto the fleet, explore, persist to the corpus, settle. This prices
+//!    the whole service path, not just the engine.
+//! 2. **resume vs fresh paths/sec** — the same target explored (a) fresh
+//!    from the root in one uninterrupted run, and (b) interrupted at
+//!    roughly half its budget, then resumed from the serialized frontier
+//!    checkpoint. The resumed rate includes the prefix-replay tax (every
+//!    shipped seed re-executes the interpreter prologue), which is exactly
+//!    what a `chef-serve` operator pays per checkpoint slice.
+//!
+//! Emits `BENCH_serve.json` at the workspace root.
+
+use std::time::{Duration, Instant};
+
+use chef_bench::{banner, rule};
+use chef_core::{Wire, WorkSeed};
+use chef_fleet::{run_fleet_with, FleetConfig};
+use chef_serve::{Client, JobLang, JobSpec, ServeConfig, Server};
+
+/// Jobs submitted for the jobs/sec measurement.
+const SUBMIT_JOBS: usize = 8;
+
+/// The fork-heavy target used for the resume-vs-fresh comparison.
+const RESUME_SRC: &str = r#"
+def parse(msg):
+    n = 0
+    i = 0
+    while i < 5:
+        if msg[i] == "@":
+            n = n + 1
+        i = i + 1
+    kind = msg[0]
+    if kind == "A":
+        if msg[1] == "1":
+            return 7
+        return 3
+    if kind == "B":
+        if msg[1] == msg[2]:
+            return 8
+        return 5
+    return n
+"#;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chef-serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Distinct tiny jobs (a varying constant defeats target-key sharing, so
+/// every job compiles, explores, and persists its own corpus entry).
+fn small_job(i: usize) -> JobSpec {
+    let source = format!(
+        "def f(s):\n    if s[0] == \"{}\":\n        return 1\n    if s[1] == \"x\":\n        return 2\n    return 0\n",
+        (b'a' + (i as u8 % 26)) as char
+    );
+    let mut spec = JobSpec::new(JobLang::Python, source, "f").sym_str("s", 2);
+    spec.budget = 200_000;
+    spec
+}
+
+/// End-to-end daemon throughput: submit a batch, poll all to completion.
+fn measure_jobs_per_sec() -> (f64, usize) {
+    let dir = tmpdir("jobs");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.clone(),
+        ..Default::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+
+    let start = Instant::now();
+    let sessions: Vec<String> = (0..SUBMIT_JOBS)
+        .map(|i| client.submit(&small_job(i)).expect("submit"))
+        .collect();
+    let mut tests_total = 0u64;
+    for s in &sessions {
+        let st = client
+            .wait_settled(s, Duration::from_secs(300))
+            .expect("settle");
+        assert_eq!(st.state, "done", "bench jobs run to completion");
+        tests_total += st.corpus_tests;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+    (SUBMIT_JOBS as f64 / elapsed, tests_total as usize)
+}
+
+struct ResumeNumbers {
+    fresh_paths_per_sec: f64,
+    resume_paths_per_sec: f64,
+    fresh_paths: usize,
+    resumed_paths: usize,
+    frontier_size: usize,
+}
+
+/// Fresh-vs-resumed exploration rate on one target.
+fn measure_resume_vs_fresh() -> ResumeNumbers {
+    let spec = {
+        let mut s = JobSpec::new(JobLang::Python, RESUME_SRC, "parse").sym_str("msg", 5);
+        s.budget = 50_000_000;
+        s
+    };
+    let prog = spec.build().expect("build target");
+    let base = spec.chef_config();
+
+    // Uninterrupted baseline.
+    let start = Instant::now();
+    let fresh = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: base.clone(),
+            ..FleetConfig::default()
+        },
+        vec![WorkSeed::root()],
+        None,
+    );
+    let fresh_elapsed = start.elapsed().as_secs_f64();
+    assert!(fresh.frontier.is_empty(), "baseline runs to completion");
+    let full_work = fresh.report.exec_stats.ll_instructions;
+
+    // Interrupt at roughly half the work, round-tripping the checkpoint
+    // through its wire encoding like the daemon does.
+    let mut half_cfg = base.clone();
+    half_cfg.max_ll_instructions = (full_work / 2).max(1);
+    let first = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: half_cfg,
+            ..FleetConfig::default()
+        },
+        vec![WorkSeed::root()],
+        None,
+    );
+    assert!(
+        !first.frontier.is_empty(),
+        "half-budget run must leave a frontier"
+    );
+    let mut checkpoint = Vec::new();
+    for seed in &first.frontier {
+        checkpoint.extend_from_slice(&seed.to_frame());
+    }
+    let frontier = WorkSeed::decode_stream(&checkpoint).expect("checkpoint decodes");
+
+    let start = Instant::now();
+    let resumed = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: base.clone(),
+            ..FleetConfig::default()
+        },
+        frontier,
+        None,
+    );
+    let resumed_elapsed = start.elapsed().as_secs_f64();
+    assert!(resumed.frontier.is_empty(), "resumed run completes");
+
+    ResumeNumbers {
+        fresh_paths_per_sec: fresh.report.ll_paths as f64 / fresh_elapsed.max(1e-9),
+        resume_paths_per_sec: resumed.report.ll_paths as f64 / resumed_elapsed.max(1e-9),
+        fresh_paths: fresh.report.ll_paths,
+        resumed_paths: resumed.report.ll_paths,
+        frontier_size: first.frontier.len(),
+    }
+}
+
+fn main() {
+    banner(
+        "serve_throughput — daemon jobs/sec and resume-vs-fresh paths/sec",
+        "the PR-4 persistent exploration service (corpus + checkpoints)",
+    );
+
+    let (jobs_per_sec, tests_total) = measure_jobs_per_sec();
+    let resume = measure_resume_vs_fresh();
+
+    println!("{:<34} {:>12} {:>14}", "measurement", "value", "detail");
+    rule();
+    println!(
+        "{:<34} {:>12.2} {:>14}",
+        "daemon jobs/sec", jobs_per_sec, SUBMIT_JOBS
+    );
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "corpus tests persisted", tests_total, ""
+    );
+    println!(
+        "{:<34} {:>12.0} {:>14}",
+        "fresh paths/sec", resume.fresh_paths_per_sec, resume.fresh_paths
+    );
+    println!(
+        "{:<34} {:>12.0} {:>14}",
+        "resumed paths/sec", resume.resume_paths_per_sec, resume.resumed_paths
+    );
+    println!(
+        "{:<34} {:>12.2} {:>14}",
+        "resume/fresh ratio",
+        resume.resume_paths_per_sec / resume.fresh_paths_per_sec.max(1e-9),
+        resume.frontier_size
+    );
+    rule();
+    assert!(jobs_per_sec > 0.0);
+    assert!(
+        resume.resumed_paths > 0,
+        "resume explored the leftover half"
+    );
+
+    let json = format!(
+        "{{\n  \"submit_jobs\": {},\n  \"jobs_per_sec\": {:.3},\n  \
+         \"corpus_tests\": {},\n  \"fresh_paths_per_sec\": {:.1},\n  \
+         \"resume_paths_per_sec\": {:.1},\n  \"resume_fresh_ratio\": {:.3},\n  \
+         \"checkpoint_frontier_size\": {}\n}}\n",
+        SUBMIT_JOBS,
+        jobs_per_sec,
+        tests_total,
+        resume.fresh_paths_per_sec,
+        resume.resume_paths_per_sec,
+        resume.resume_paths_per_sec / resume.fresh_paths_per_sec.max(1e-9),
+        resume.frontier_size,
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\ncould not write {json_path}: {e}"),
+    }
+}

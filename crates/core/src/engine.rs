@@ -417,6 +417,36 @@ impl<'p> Chef<'p> {
         seeds
     }
 
+    /// Snapshot of the whole live frontier as portable seeds, without
+    /// disturbing the engine — this is what a session checkpoint stores:
+    /// replaying these seeds (plus the already-generated tests) recovers
+    /// exactly the exploration state. Sorted by recorded prefix for a
+    /// deterministic, scheduling-independent serialization.
+    pub fn frontier(&self) -> Vec<WorkSeed> {
+        let mut seeds: Vec<WorkSeed> = self
+            .live
+            .iter()
+            .map(|(state, _)| WorkSeed::from_state(state))
+            .collect();
+        seeds.sort_by(|a, b| a.choices.cmp(&b.choices));
+        seeds
+    }
+
+    /// Removes and returns the whole live frontier as portable seeds,
+    /// leaving the engine out of work. Unlike [`Chef::export_work`] this
+    /// keeps nothing back: it is the terminal export a pausing session
+    /// performs before shutting its engine down.
+    pub fn drain_frontier(&mut self) -> Vec<WorkSeed> {
+        let mut seeds: Vec<WorkSeed> = self
+            .live
+            .drain(..)
+            .map(|(state, _)| WorkSeed::from_state(&state))
+            .collect();
+        seeds.sort_by(|a, b| a.choices.cmp(&b.choices));
+        self.seeds_exported += seeds.len() as u64;
+        seeds
+    }
+
     /// Merges high-level CFG edges observed by another engine, sharpening
     /// this engine's coverage-optimized CUPA weights (fleet portfolio mode
     /// shares one coverage map this way).
@@ -673,6 +703,31 @@ pub fn replay_coverage(prog: &Program, tests: &[TestCase], fuel: u64) -> HashSet
         }
     }
     covered
+}
+
+/// Replays stored test cases concretely and returns the distinct
+/// high-level CFG edges `(from, to, opcode)` they exercise.
+///
+/// This is the corpus warm-start path: a new session for a previously-seen
+/// target feeds these edges to [`Chef::absorb_cfg_edges`], pre-populating
+/// the HL-CFG (and with it the §3.4 coverage-optimized CUPA weights)
+/// before the first symbolic state is ever selected.
+pub fn replay_cfg_edges(prog: &Program, tests: &[TestCase], fuel: u64) -> Vec<(u64, u64, u64)> {
+    let mut seen: HashSet<(u64, u64, u64)> = HashSet::new();
+    let mut out = Vec::new();
+    for t in tests {
+        let res = chef_lir::run_concrete(prog, &t.inputs, fuel);
+        let mut prev: Option<u64> = None;
+        for (pc, opcode) in res.hl_trace {
+            if let Some(from) = prev {
+                if seen.insert((from, pc, opcode)) {
+                    out.push((from, pc, opcode));
+                }
+            }
+            prev = Some(pc);
+        }
+    }
+    out
 }
 
 /// Groups tests by the exception they raised (used by the Table 3 harness).

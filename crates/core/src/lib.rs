@@ -44,10 +44,11 @@ pub mod engine;
 pub mod hl;
 pub mod seed;
 pub mod strategy;
+pub mod wire;
 
 pub use engine::{
-    exceptions_by_name, hl_path_signature, replay, replay_coverage, Chef, ChefConfig, EngineStatus,
-    Report, TestCase, TestStatus, TimelinePoint,
+    exceptions_by_name, hl_path_signature, replay, replay_cfg_edges, replay_coverage, Chef,
+    ChefConfig, EngineStatus, Report, TestCase, TestStatus, TimelinePoint,
 };
 pub use hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
 pub use seed::WorkSeed;
@@ -55,3 +56,4 @@ pub use strategy::{
     fork_weight, Candidate, CupaStrategy, DfsStrategy, RandomStrategy, SearchStrategy,
     StrategyKind, FORK_WEIGHT_P,
 };
+pub use wire::{Wire, WireError};

@@ -1,0 +1,657 @@
+//! Hand-rolled binary codec for shippable exploration artifacts.
+//!
+//! The environment has no serde, so `chef-serve`'s on-disk corpus format
+//! and network payloads use this small versioned little-endian framing
+//! instead. A frame is
+//!
+//! ```text
+//! magic "CHWR" (4) | version u16 | tag u8 | payload length u32 | payload
+//! ```
+//!
+//! with every multi-byte integer little-endian. Decoding is total: any
+//! truncated, corrupted, or oversized input yields a [`WireError`], never a
+//! panic — corpus files are read back after crashes, and network bytes are
+//! untrusted.
+//!
+//! [`Wire`] is implemented for the three portable artifacts of the stack:
+//! [`WorkSeed`] (a session checkpoint is a frontier of these),
+//! [`TestCase`] (the corpus stores deduplicated streams of them), and
+//! [`Report`] (shipped whole to `results` clients).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::time::Duration;
+
+use chef_solver::SolverStats;
+use chef_symex::ExecStats;
+
+use crate::engine::{Report, TestCase, TestStatus, TimelinePoint};
+use crate::hl::HlNodeId;
+use crate::seed::WorkSeed;
+
+/// Frame magic: "CHWR" (CHef WiRe).
+pub const MAGIC: [u8; 4] = *b"CHWR";
+
+/// Current codec version; bumped on any layout change.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a single frame payload (guards against allocating
+/// gigabytes for a corrupted length field).
+pub const MAX_FRAME: usize = 1 << 28; // 256 MiB
+
+/// Fixed bytes before the payload: magic + version + tag + length.
+pub const FRAME_HEADER: usize = 4 + 2 + 1 + 4;
+
+/// Decoding failure. Encoding is infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the declared structure did.
+    Truncated,
+    /// Frame does not start with [`MAGIC`].
+    BadMagic,
+    /// Frame was written by an incompatible codec version.
+    BadVersion(u16),
+    /// Frame carries a different artifact than the caller asked for.
+    BadTag { expected: u8, got: u8 },
+    /// A declared length exceeds [`MAX_FRAME`] or the remaining input.
+    BadLength(u64),
+    /// An enum discriminant or invariant did not decode to a known value.
+    Invalid(&'static str),
+    /// A string field was not valid UTF-8.
+    Utf8,
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag { expected, got } => {
+                write!(f, "expected frame tag {expected}, got {got}")
+            }
+            WireError::BadLength(n) => write!(f, "implausible length {n}"),
+            WireError::Invalid(what) => write!(f, "invalid {what}"),
+            WireError::Utf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian encoder over a growable buffer.
+#[derive(Default)]
+pub struct Writer {
+    /// Encoded bytes.
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a duration as seconds + subsecond nanos.
+    pub fn duration(&mut self, d: Duration) {
+        self.u64(d.as_secs());
+        self.u32(d.subsec_nanos());
+    }
+}
+
+/// Checked little-endian decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a one-byte bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool")),
+        }
+    }
+
+    /// Reads a length, validating it against the remaining input so
+    /// corrupted prefixes cannot trigger huge allocations.
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Utf8)
+    }
+
+    /// Reads a duration (seconds + subsecond nanos).
+    pub fn duration(&mut self) -> Result<Duration, WireError> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(WireError::Invalid("duration nanos"));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+/// A type with a stable binary wire representation.
+pub trait Wire: Sized {
+    /// Frame tag distinguishing this artifact.
+    const TAG: u8;
+
+    /// Writes the payload (no framing).
+    fn encode_body(&self, w: &mut Writer);
+
+    /// Reads the payload (no framing).
+    fn decode_body(r: &mut Reader) -> Result<Self, WireError>;
+
+    /// Encodes a complete framed artifact (magic, version, tag, length,
+    /// payload).
+    fn to_frame(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        self.encode_body(&mut body);
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u16(VERSION);
+        w.u8(Self::TAG);
+        w.u32(body.buf.len() as u32);
+        w.buf.extend_from_slice(&body.buf);
+        w.buf
+    }
+
+    /// Decodes one framed artifact from the front of `buf`, returning it
+    /// and the number of bytes consumed.
+    fn from_frame_prefix(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let mut r = Reader::new(buf);
+        if r.take(4)? != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = r.u8()?;
+        if tag != Self::TAG {
+            return Err(WireError::BadTag {
+                expected: Self::TAG,
+                got: tag,
+            });
+        }
+        let len = r.u32()? as usize;
+        if len > MAX_FRAME || len > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let payload = r.take(len)?;
+        let mut pr = Reader::new(payload);
+        let v = Self::decode_body(&mut pr)?;
+        if pr.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok((v, FRAME_HEADER + len))
+    }
+
+    /// Decodes one framed artifact that must span the whole input.
+    fn from_frame(buf: &[u8]) -> Result<Self, WireError> {
+        let (v, used) = Self::from_frame_prefix(buf)?;
+        if used != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(v)
+    }
+
+    /// Decodes a concatenation of frames (the corpus's append-only file
+    /// layout) until the input is exhausted.
+    fn decode_stream(buf: &[u8]) -> Result<Vec<Self>, WireError> {
+        let mut out = Vec::new();
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let (v, used) = Self::from_frame_prefix(rest)?;
+            out.push(v);
+            rest = &rest[used..];
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for WorkSeed {
+    const TAG: u8 = 1;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u32(self.choices.len() as u32);
+        for &c in &self.choices {
+            w.u64(c);
+        }
+    }
+
+    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+        let n = r.u32()? as usize;
+        if n > r.remaining() / 8 {
+            return Err(WireError::BadLength(n as u64));
+        }
+        let mut choices = Vec::with_capacity(n);
+        for _ in 0..n {
+            choices.push(r.u64()?);
+        }
+        Ok(WorkSeed { choices })
+    }
+}
+
+fn encode_status(status: &TestStatus, w: &mut Writer) {
+    match status {
+        TestStatus::Ok(c) => {
+            w.u8(0);
+            w.u64(*c);
+        }
+        TestStatus::Crash(c) => {
+            w.u8(1);
+            w.u64(*c);
+        }
+        TestStatus::Hang => {
+            w.u8(2);
+            w.u64(0);
+        }
+    }
+}
+
+fn decode_status(r: &mut Reader) -> Result<TestStatus, WireError> {
+    let tag = r.u8()?;
+    let code = r.u64()?;
+    match tag {
+        0 => Ok(TestStatus::Ok(code)),
+        1 => Ok(TestStatus::Crash(code)),
+        2 => Ok(TestStatus::Hang),
+        _ => Err(WireError::Invalid("test status")),
+    }
+}
+
+impl Wire for TestCase {
+    const TAG: u8 = 2;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.id as u64);
+        // Sorted for a canonical byte representation (InputMap is a
+        // HashMap; corpus files must not depend on iteration order).
+        let mut inputs: Vec<(&String, &Vec<u8>)> = self.inputs.iter().collect();
+        inputs.sort();
+        w.u32(inputs.len() as u32);
+        for (name, bytes) in inputs {
+            w.str(name);
+            w.bytes(bytes);
+        }
+        encode_status(&self.status, w);
+        match &self.exception {
+            None => w.bool(false),
+            Some(e) => {
+                w.bool(true);
+                w.str(e);
+            }
+        }
+        w.u64(self.hl_path.0 as u64);
+        w.u64(self.hl_sig);
+        w.bool(self.new_hl_path);
+        w.u64(self.ll_steps);
+        w.u64(self.at_ll_instructions);
+    }
+
+    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+        let id = r.u64()? as usize;
+        let n = r.u32()? as usize;
+        if n > r.remaining() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        let mut inputs = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let bytes = r.bytes()?.to_vec();
+            inputs.insert(name, bytes);
+        }
+        let status = decode_status(r)?;
+        let exception = if r.bool()? { Some(r.str()?) } else { None };
+        let hl_path = HlNodeId(u32::try_from(r.u64()?).map_err(|_| WireError::Invalid("hl node"))?);
+        let hl_sig = r.u64()?;
+        let new_hl_path = r.bool()?;
+        let ll_steps = r.u64()?;
+        let at_ll_instructions = r.u64()?;
+        Ok(TestCase {
+            id,
+            inputs,
+            status,
+            exception,
+            hl_path,
+            hl_sig,
+            new_hl_path,
+            ll_steps,
+            at_ll_instructions,
+        })
+    }
+}
+
+fn encode_exec_stats(s: &ExecStats, w: &mut Writer) {
+    w.u64(s.ll_instructions);
+    w.u64(s.forks);
+    w.u64(s.symptr_forks);
+    w.u64(s.dropped_ptr_values);
+    w.u64(s.states_created);
+}
+
+fn decode_exec_stats(r: &mut Reader) -> Result<ExecStats, WireError> {
+    Ok(ExecStats {
+        ll_instructions: r.u64()?,
+        forks: r.u64()?,
+        symptr_forks: r.u64()?,
+        dropped_ptr_values: r.u64()?,
+        states_created: r.u64()?,
+    })
+}
+
+fn encode_solver_stats(s: &SolverStats, w: &mut Writer) {
+    w.u64(s.queries);
+    w.u64(s.cache_hits);
+    w.u64(s.cache_evictions);
+    w.u64(s.model_reuse_hits);
+    w.u64(s.const_hits);
+    w.u64(s.sat_calls);
+    w.u64(s.assumption_solves);
+    w.u64(s.blast_cache_hits);
+    w.u64(s.blast_cache_misses);
+    w.u64(s.clauses_deleted);
+    w.u64(s.guards_recycled);
+    w.u64(s.components);
+    w.u64(s.unknowns);
+    w.duration(s.sat_time);
+}
+
+fn decode_solver_stats(r: &mut Reader) -> Result<SolverStats, WireError> {
+    Ok(SolverStats {
+        queries: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_evictions: r.u64()?,
+        model_reuse_hits: r.u64()?,
+        const_hits: r.u64()?,
+        sat_calls: r.u64()?,
+        assumption_solves: r.u64()?,
+        blast_cache_hits: r.u64()?,
+        blast_cache_misses: r.u64()?,
+        clauses_deleted: r.u64()?,
+        guards_recycled: r.u64()?,
+        components: r.u64()?,
+        unknowns: r.u64()?,
+        sat_time: r.duration()?,
+    })
+}
+
+/// Known strategy names, so a decoded [`Report`] round-trips its
+/// `&'static str` label; anything else becomes `"unknown"`.
+fn intern_strategy(name: &str) -> &'static str {
+    match name {
+        "random" => "random",
+        "dfs" => "dfs",
+        "cupa" => "cupa",
+        _ => "unknown",
+    }
+}
+
+impl Wire for Report {
+    const TAG: u8 = 3;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u32(self.tests.len() as u32);
+        for t in &self.tests {
+            t.encode_body(w);
+        }
+        w.u64(self.hl_paths as u64);
+        w.u64(self.ll_paths as u64);
+        let mut covered: Vec<u64> = self.covered_hlpcs.iter().copied().collect();
+        covered.sort_unstable();
+        w.u32(covered.len() as u32);
+        for pc in covered {
+            w.u64(pc);
+        }
+        w.u32(self.timeline.len() as u32);
+        for p in &self.timeline {
+            w.u64(p.ll_instructions);
+            w.u64(p.ll_paths as u64);
+            w.u64(p.hl_paths as u64);
+        }
+        encode_exec_stats(&self.exec_stats, w);
+        encode_solver_stats(&self.solver_stats, w);
+        w.duration(self.elapsed);
+        w.u64(self.hangs as u64);
+        w.u64(self.crashes as u64);
+        w.u32(self.exceptions.len() as u32);
+        for (name, count) in &self.exceptions {
+            w.str(name);
+            w.u64(*count as u64);
+        }
+        w.str(self.strategy);
+        w.u64(self.ll_instructions);
+        w.u64(self.dropped_states);
+        w.u64(self.infeasible_paths);
+        w.u64(self.seeds_exported);
+        w.u64(self.seeds_imported);
+    }
+
+    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+        let n_tests = r.u32()? as usize;
+        if n_tests > r.remaining() {
+            return Err(WireError::BadLength(n_tests as u64));
+        }
+        let mut tests = Vec::with_capacity(n_tests);
+        for _ in 0..n_tests {
+            tests.push(TestCase::decode_body(r)?);
+        }
+        let hl_paths = r.u64()? as usize;
+        let ll_paths = r.u64()? as usize;
+        let n_cov = r.u32()? as usize;
+        if n_cov > r.remaining() / 8 {
+            return Err(WireError::BadLength(n_cov as u64));
+        }
+        let mut covered_hlpcs = HashSet::with_capacity(n_cov);
+        for _ in 0..n_cov {
+            covered_hlpcs.insert(r.u64()?);
+        }
+        let n_tl = r.u32()? as usize;
+        if n_tl > r.remaining() / 24 {
+            return Err(WireError::BadLength(n_tl as u64));
+        }
+        let mut timeline = Vec::with_capacity(n_tl);
+        for _ in 0..n_tl {
+            timeline.push(TimelinePoint {
+                ll_instructions: r.u64()?,
+                ll_paths: r.u64()? as usize,
+                hl_paths: r.u64()? as usize,
+            });
+        }
+        let exec_stats = decode_exec_stats(r)?;
+        let solver_stats = decode_solver_stats(r)?;
+        let elapsed = r.duration()?;
+        let hangs = r.u64()? as usize;
+        let crashes = r.u64()? as usize;
+        let n_exc = r.u32()? as usize;
+        if n_exc > r.remaining() {
+            return Err(WireError::BadLength(n_exc as u64));
+        }
+        let mut exceptions = BTreeMap::new();
+        for _ in 0..n_exc {
+            let name = r.str()?;
+            let count = r.u64()? as usize;
+            exceptions.insert(name, count);
+        }
+        let strategy = intern_strategy(&r.str()?);
+        Ok(Report {
+            tests,
+            hl_paths,
+            ll_paths,
+            covered_hlpcs,
+            timeline,
+            exec_stats,
+            solver_stats,
+            elapsed,
+            hangs,
+            crashes,
+            exceptions,
+            strategy,
+            ll_instructions: r.u64()?,
+            dropped_states: r.u64()?,
+            infeasible_paths: r.u64()?,
+            seeds_exported: r.u64()?,
+            seeds_imported: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workseed_roundtrip() {
+        let seed = WorkSeed {
+            choices: vec![0, 1, u64::MAX, 42],
+        };
+        let frame = seed.to_frame();
+        assert_eq!(WorkSeed::from_frame(&frame).unwrap(), seed);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let seeds = vec![
+            WorkSeed::root(),
+            WorkSeed { choices: vec![7] },
+            WorkSeed {
+                choices: vec![1, 2, 3],
+            },
+        ];
+        let mut buf = Vec::new();
+        for s in &seeds {
+            buf.extend_from_slice(&s.to_frame());
+        }
+        assert_eq!(WorkSeed::decode_stream(&buf).unwrap(), seeds);
+    }
+
+    #[test]
+    fn bad_magic_and_version_and_tag_are_rejected() {
+        let frame = WorkSeed::root().to_frame();
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(WorkSeed::from_frame(&bad), Err(WireError::BadMagic));
+        let mut bad = frame.clone();
+        bad[4] = 0xff;
+        assert!(matches!(
+            WorkSeed::from_frame(&bad),
+            Err(WireError::BadVersion(_))
+        ));
+        let mut bad = frame;
+        bad[6] = TestCase::TAG;
+        assert!(matches!(
+            WorkSeed::from_frame(&bad),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let seed = WorkSeed {
+            choices: vec![1, 2, 3, 4, 5],
+        };
+        let frame = seed.to_frame();
+        for cut in 0..frame.len() {
+            assert!(
+                WorkSeed::from_frame(&frame[..cut]).is_err(),
+                "every strict prefix must fail cleanly (cut at {cut})"
+            );
+        }
+    }
+}

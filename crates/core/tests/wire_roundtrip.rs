@@ -1,0 +1,231 @@
+//! Property tests for the `chef_core::wire` binary codec: arbitrary
+//! artifacts must round-trip exactly, and arbitrary byte mutilation —
+//! truncation, bit flips, random garbage — must yield a [`WireError`],
+//! never a panic. The corpus reads these frames back after crashes and the
+//! daemon reads them off the network, so decoding has to be total.
+//!
+//! [`WireError`]: chef_core::wire::WireError
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use chef_core::wire::{Wire, WireError};
+use chef_core::{hl_path_signature, Report, TestCase, TestStatus, TimelinePoint, WorkSeed};
+use chef_solver::SolverStats;
+use chef_symex::ExecStats;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(b'a'..=b'z', 1..7).prop_map(|b| String::from_utf8(b).unwrap())
+}
+
+fn arb_status() -> impl Strategy<Value = TestStatus> {
+    prop_oneof![
+        any::<u64>().prop_map(TestStatus::Ok),
+        any::<u64>().prop_map(TestStatus::Crash),
+        Just(TestStatus::Hang),
+    ]
+}
+
+fn arb_inputs() -> impl Strategy<Value = HashMap<String, Vec<u8>>> {
+    prop::collection::vec((arb_name(), prop::collection::vec(any::<u8>(), 0..8)), 0..4)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn arb_exception() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), arb_name().prop_map(Some)]
+}
+
+fn arb_test_case() -> impl Strategy<Value = TestCase> {
+    (
+        (any::<u32>(), arb_inputs(), arb_status(), arb_exception()),
+        (any::<u32>(), any::<bool>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((id, inputs, status, exception), (hl_node, new_hl_path, ll_steps, at_ll))| TestCase {
+                id: id as usize,
+                inputs,
+                status,
+                exception,
+                hl_path: chef_core::HlNodeId(hl_node),
+                hl_sig: hl_path_signature(&[hl_node as u64, ll_steps]),
+                new_hl_path,
+                ll_steps,
+                at_ll_instructions: at_ll,
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (
+        (
+            prop::collection::vec(arb_test_case(), 0..4),
+            prop::collection::vec(any::<u64>(), 0..6),
+            prop::collection::vec((any::<u64>(), 0usize..50, 0usize..50), 0..4),
+            prop::collection::vec((arb_name(), 1usize..100), 0..3),
+        ),
+        (
+            prop_oneof![Just("random"), Just("dfs"), Just("cupa")],
+            prop::collection::vec(any::<u64>(), 6..7),
+        ),
+    )
+        .prop_map(|((tests, covered, tl, exc), (strategy, nums))| Report {
+            hl_paths: tests.len(),
+            ll_paths: tests.len() + 1,
+            hangs: tests
+                .iter()
+                .filter(|t| t.status == TestStatus::Hang)
+                .count(),
+            crashes: tests
+                .iter()
+                .filter(|t| matches!(t.status, TestStatus::Crash(_)))
+                .count(),
+            tests,
+            covered_hlpcs: covered.into_iter().collect(),
+            timeline: tl
+                .into_iter()
+                .map(|(a, b, c)| TimelinePoint {
+                    ll_instructions: a,
+                    ll_paths: b,
+                    hl_paths: c,
+                })
+                .collect(),
+            exec_stats: ExecStats {
+                ll_instructions: nums[0],
+                forks: nums[1],
+                symptr_forks: nums[2],
+                dropped_ptr_values: nums[3],
+                states_created: nums[4],
+            },
+            solver_stats: SolverStats {
+                queries: nums[5],
+                sat_time: Duration::new(nums[0] % 10_000, (nums[1] % 1_000_000_000) as u32),
+                ..Default::default()
+            },
+            elapsed: Duration::new(nums[2] % 10_000, (nums[3] % 1_000_000_000) as u32),
+            exceptions: exc.into_iter().collect(),
+            strategy,
+            ll_instructions: nums[0],
+            dropped_states: nums[1],
+            infeasible_paths: nums[2],
+            seeds_exported: nums[3],
+            seeds_imported: nums[4],
+        })
+}
+
+fn assert_tests_eq(a: &TestCase, b: &TestCase) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.inputs, b.inputs);
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.exception, b.exception);
+    assert_eq!(a.hl_path, b.hl_path);
+    assert_eq!(a.hl_sig, b.hl_sig);
+    assert_eq!(a.new_hl_path, b.new_hl_path);
+    assert_eq!(a.ll_steps, b.ll_steps);
+    assert_eq!(a.at_ll_instructions, b.at_ll_instructions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn workseed_roundtrips(choices in prop::collection::vec(any::<u64>(), 0..64)) {
+        let seed = WorkSeed { choices };
+        let decoded = WorkSeed::from_frame(&seed.to_frame()).unwrap();
+        prop_assert_eq!(decoded, seed);
+    }
+
+    #[test]
+    fn testcase_roundtrips(t in arb_test_case()) {
+        let decoded = TestCase::from_frame(&t.to_frame()).unwrap();
+        assert_tests_eq(&decoded, &t);
+        prop_assert_eq!(decoded.canonical_key(), t.canonical_key());
+    }
+
+    #[test]
+    fn report_roundtrips(r in arb_report()) {
+        let decoded = Report::from_frame(&r.to_frame()).unwrap();
+        prop_assert_eq!(decoded.tests.len(), r.tests.len());
+        for (a, b) in decoded.tests.iter().zip(&r.tests) {
+            assert_tests_eq(a, b);
+        }
+        prop_assert_eq!(decoded.hl_paths, r.hl_paths);
+        prop_assert_eq!(decoded.ll_paths, r.ll_paths);
+        prop_assert_eq!(&decoded.covered_hlpcs, &r.covered_hlpcs);
+        prop_assert_eq!(decoded.timeline.len(), r.timeline.len());
+        prop_assert_eq!(decoded.exec_stats.ll_instructions, r.exec_stats.ll_instructions);
+        prop_assert_eq!(decoded.exec_stats.states_created, r.exec_stats.states_created);
+        prop_assert_eq!(decoded.solver_stats.queries, r.solver_stats.queries);
+        prop_assert_eq!(decoded.solver_stats.sat_time, r.solver_stats.sat_time);
+        prop_assert_eq!(decoded.elapsed, r.elapsed);
+        prop_assert_eq!(&decoded.exceptions, &r.exceptions);
+        prop_assert_eq!(decoded.strategy, r.strategy);
+        prop_assert_eq!(decoded.hangs, r.hangs);
+        prop_assert_eq!(decoded.crashes, r.crashes);
+        prop_assert_eq!(decoded.dropped_states, r.dropped_states);
+        prop_assert_eq!(decoded.seeds_exported, r.seeds_exported);
+        prop_assert_eq!(decoded.seeds_imported, r.seeds_imported);
+    }
+
+    #[test]
+    fn seed_stream_roundtrips(raw in prop::collection::vec(
+        prop::collection::vec(any::<u64>(), 0..16),
+        0..8,
+    )) {
+        let seeds: Vec<WorkSeed> = raw.into_iter().map(|choices| WorkSeed { choices }).collect();
+        let mut buf = Vec::new();
+        for s in &seeds {
+            buf.extend_from_slice(&s.to_frame());
+        }
+        prop_assert_eq!(WorkSeed::decode_stream(&buf).unwrap(), seeds);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(t in arb_test_case(), cut in any::<usize>()) {
+        let frame = t.to_frame();
+        let cut = cut % frame.len();
+        // Every strict prefix must be rejected without panicking.
+        prop_assert!(TestCase::from_frame(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        t in arb_test_case(),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut frame = t.to_frame();
+        let pos = pos % frame.len();
+        frame[pos] ^= xor;
+        // A flipped byte deep in the payload may still decode to *some*
+        // value, but it must never panic, and a header flip must error.
+        let res = TestCase::from_frame(&frame);
+        if pos < 7 {
+            prop_assert!(res.is_err(), "header corruption must be detected");
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = WorkSeed::from_frame(&bytes);
+        let _ = TestCase::from_frame(&bytes);
+        let _ = Report::from_frame(&bytes);
+        let _ = WorkSeed::decode_stream(&bytes);
+    }
+}
+
+/// A frame with its declared payload length corrupted to a huge value must
+/// be rejected without attempting the allocation.
+#[test]
+fn oversized_length_is_rejected() {
+    let mut frame = WorkSeed {
+        choices: vec![1, 2, 3],
+    }
+    .to_frame();
+    frame[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        WorkSeed::from_frame(&frame),
+        Err(WireError::Truncated)
+    ));
+}

@@ -74,6 +74,10 @@ pub struct FleetConfig {
     /// Low-level instructions between coverage-map synchronizations
     /// (portfolio mode only).
     pub sync_interval_ll: u64,
+    /// High-level CFG edges every worker absorbs before exploring —
+    /// `chef-serve`'s corpus warm start: edges recovered by concretely
+    /// replaying stored tests pre-populate the §3.4 coverage weights.
+    pub seed_cfg_edges: Vec<(u64, u64, u64)>,
 }
 
 impl Default for FleetConfig {
@@ -84,8 +88,62 @@ impl Default for FleetConfig {
             portfolio: None,
             steal_batch: 4,
             sync_interval_ll: 25_000,
+            seed_cfg_edges: Vec::new(),
         }
     }
+}
+
+/// External control surface of a resumable fleet run (see
+/// [`run_fleet_with`]): a pause request flag plus live progress gauges a
+/// monitoring thread (the `chef-serve` status endpoint) can read without
+/// touching the workers.
+#[derive(Debug, Default)]
+pub struct FleetControl {
+    pause: AtomicBool,
+    /// Fleet-wide low-level instructions executed so far (gauge).
+    pub ll_instructions: AtomicU64,
+    /// Fleet-wide test cases generated so far, pre-deduplication (gauge).
+    pub tests_generated: AtomicUsize,
+}
+
+impl FleetControl {
+    /// Creates a control block with no pause requested.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asks the fleet to stop at the next scheduling round and export its
+    /// remaining frontier instead of finishing the exploration.
+    pub fn request_pause(&self) {
+        self.pause.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a pause has been requested.
+    pub fn pause_requested(&self) -> bool {
+        self.pause.load(Ordering::SeqCst)
+    }
+
+    /// Clears a previous pause request, so the control block can drive the
+    /// resumed continuation of the same session.
+    pub fn clear_pause(&self) {
+        self.pause.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of a resumable fleet run: the merged report plus whatever work
+/// was left unexplored when the run stopped.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Merged, deduplicated results of the explored part.
+    pub report: FleetReport,
+    /// The unexplored frontier as portable seeds — empty iff the
+    /// exploration ran to natural completion. Re-running with these seeds
+    /// continues exactly where this run stopped; serialized (via
+    /// `chef_core::wire`) they are a session checkpoint.
+    pub frontier: Vec<chef_core::WorkSeed>,
+    /// Whether the run stopped because of a pause request (as opposed to
+    /// exhausting a budget or completing).
+    pub paused: bool,
 }
 
 impl FleetConfig {
@@ -175,6 +233,7 @@ struct Shared {
     /// use it to decide when to export seeds.
     waiting: AtomicUsize,
     done: AtomicBool,
+    paused: AtomicBool,
     ll_total: AtomicU64,
     tests_total: AtomicUsize,
     cfg_edges: Mutex<HashSet<(u64, u64, u64)>>,
@@ -193,26 +252,44 @@ impl Shared {
 /// [`Chef::run`](chef_core::Chef::run) on the same configuration (the
 /// single worker steals the root seed and explores everything).
 pub fn run_fleet(prog: &Program, config: FleetConfig) -> FleetReport {
+    run_fleet_with(prog, config, vec![WorkSeed::root()], None).report
+}
+
+/// Runs a resumable fleet exploration: the initial work is `seeds`
+/// (typically `[WorkSeed::root()]` for a fresh run, or a checkpointed
+/// frontier for a resumed one), and an optional [`FleetControl`] can pause
+/// the run. Whatever remains unexplored when the run stops — because of a
+/// pause request or an exhausted budget — comes back as
+/// [`FleetOutcome::frontier`]; feeding it to another `run_fleet_with` call
+/// continues the exploration, and the union of the runs' deduplicated
+/// tests equals what one uninterrupted run would have generated.
+pub fn run_fleet_with(
+    prog: &Program,
+    config: FleetConfig,
+    seeds: Vec<WorkSeed>,
+    ctl: Option<&FleetControl>,
+) -> FleetOutcome {
     let started = Instant::now();
     let jobs = config.jobs.max(1);
     let shared = Shared {
         injector: Mutex::new(Injector {
-            seeds: VecDeque::from([WorkSeed::root()]),
+            seeds: VecDeque::from(seeds),
             idle: 0,
         }),
         cv: Condvar::new(),
         waiting: AtomicUsize::new(0),
         done: AtomicBool::new(false),
+        paused: AtomicBool::new(false),
         ll_total: AtomicU64::new(0),
         tests_total: AtomicUsize::new(0),
         cfg_edges: Mutex::new(HashSet::new()),
     };
-    let reports: Vec<Report> = std::thread::scope(|s| {
+    let results: Vec<(Report, Vec<WorkSeed>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let shared = &shared;
                 let config = &config;
-                s.spawn(move || worker(w, prog, config, jobs, shared))
+                s.spawn(move || worker(w, prog, config, jobs, shared, ctl))
             })
             .collect();
         // Worker index order, so the merge is deterministic regardless of
@@ -222,10 +299,31 @@ pub fn run_fleet(prog: &Program, config: FleetConfig) -> FleetReport {
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
-    merge(reports, jobs, config.base.max_tests, started.elapsed())
+    let mut frontier: Vec<WorkSeed> = Vec::new();
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, worker_frontier) in results {
+        frontier.extend(worker_frontier);
+        reports.push(report);
+    }
+    // Seeds still queued in the injector are unexplored work too.
+    frontier.extend(shared.injector.into_inner().unwrap().seeds);
+    frontier.sort_by(|a, b| a.choices.cmp(&b.choices));
+    frontier.dedup();
+    FleetOutcome {
+        report: merge(reports, jobs, config.base.max_tests, started.elapsed()),
+        frontier,
+        paused: shared.paused.into_inner(),
+    }
 }
 
-fn worker(w: usize, prog: &Program, config: &FleetConfig, jobs: usize, shared: &Shared) -> Report {
+fn worker(
+    w: usize,
+    prog: &Program,
+    config: &FleetConfig,
+    jobs: usize,
+    shared: &Shared,
+    ctl: Option<&FleetControl>,
+) -> (Report, Vec<WorkSeed>) {
     let mut cfg = config.base.clone();
     // Diversify per-worker RNG streams; budgets are enforced fleet-wide.
     cfg.seed = cfg
@@ -240,12 +338,20 @@ fn worker(w: usize, prog: &Program, config: &FleetConfig, jobs: usize, shared: &
     }
     let budget = cfg.max_ll_instructions;
     let mut chef = Chef::from_seeds(prog, cfg, &[]);
+    if !config.seed_cfg_edges.is_empty() {
+        chef.absorb_cfg_edges(config.seed_cfg_edges.iter().copied());
+    }
     let mut last_ll = 0u64;
     let mut last_tests = 0usize;
     let mut last_cov_sync = 0u64;
     let mut known_edges: HashSet<(u64, u64, u64)> = HashSet::new();
     'work: loop {
         if shared.done.load(Ordering::SeqCst) {
+            break;
+        }
+        if ctl.is_some_and(|c| c.pause_requested()) {
+            shared.paused.store(true, Ordering::SeqCst);
+            shared.finish();
             break;
         }
         match chef.step_round() {
@@ -267,6 +373,13 @@ fn worker(w: usize, prog: &Program, config: &FleetConfig, jobs: usize, shared: &
                         shared.finish();
                         break;
                     }
+                }
+                if let Some(ctl) = ctl {
+                    ctl.ll_instructions.store(total, Ordering::Relaxed);
+                    ctl.tests_generated.store(
+                        shared.tests_total.load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
                 }
                 // Work sharing: feed idle workers from our fork frontier.
                 if shared.waiting.load(Ordering::SeqCst) > 0 && chef.live_count() > 1 {
@@ -322,7 +435,11 @@ fn worker(w: usize, prog: &Program, config: &FleetConfig, jobs: usize, shared: &
     if share_coverage {
         sync_coverage(&mut chef, &mut known_edges, shared);
     }
-    chef.into_report()
+    // Whatever is still live was never explored: hand it back as the
+    // worker's share of the resumable frontier (empty on natural
+    // completion, since completion requires every live list to drain).
+    let frontier = chef.drain_frontier();
+    (chef.into_report(), frontier)
 }
 
 /// Two-way exchange with the shared coverage map: publish locally observed
@@ -439,6 +556,7 @@ fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {
     acc.blast_cache_hits += s.blast_cache_hits;
     acc.blast_cache_misses += s.blast_cache_misses;
     acc.clauses_deleted += s.clauses_deleted;
+    acc.guards_recycled += s.guards_recycled;
     acc.components += s.components;
     acc.unknowns += s.unknowns;
     acc.sat_time += s.sat_time;

@@ -211,3 +211,90 @@ fn merged_statistics_cover_all_workers() {
     let exported: u64 = four.per_worker.iter().map(|r| r.seeds_exported).sum();
     assert_eq!(four.seeds_shipped, exported);
 }
+
+/// Budget-sliced resumable runs: repeatedly running with a small budget and
+/// feeding the returned frontier back must, across all slices, generate
+/// exactly the test set of one uninterrupted run — the invariant
+/// `chef-serve` checkpointing is built on.
+#[test]
+fn budget_sliced_runs_union_to_the_full_set() {
+    use chef_core::WorkSeed;
+    use chef_fleet::run_fleet_with;
+
+    let prog = minipy_target();
+    let want = chef_inputs(&Chef::new(&prog, config()).run());
+
+    let mut seeds = vec![WorkSeed::root()];
+    let mut got = InputSet::new();
+    let mut slices = 0;
+    loop {
+        let cfg = ChefConfig {
+            max_ll_instructions: 1_200, // far below the full exploration
+            ..config()
+        };
+        let outcome = run_fleet_with(
+            &prog,
+            FleetConfig {
+                jobs: 1,
+                base: cfg,
+                ..Default::default()
+            },
+            seeds,
+            None,
+        );
+        got.extend(fleet_inputs(&outcome.report));
+        assert!(!outcome.paused, "no pause was requested");
+        if outcome.frontier.is_empty() {
+            break;
+        }
+        seeds = outcome.frontier;
+        slices += 1;
+        assert!(slices < 500, "sliced exploration must converge");
+    }
+    assert!(slices >= 2, "the budget actually sliced the run");
+    assert_eq!(got, want, "slices union to the uninterrupted test set");
+}
+
+/// A pause request stops the fleet early and exports a frontier; resuming
+/// from it completes the exploration with nothing lost or duplicated.
+#[test]
+fn pause_and_resume_loses_nothing() {
+    use chef_fleet::{run_fleet_with, FleetControl};
+
+    let prog = minilua_target();
+    let want = chef_inputs(&Chef::new(&prog, config()).run());
+
+    let ctl = FleetControl::new();
+    ctl.request_pause(); // pause immediately: worst case, nothing explored
+    let first = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 2,
+            base: config(),
+            ..Default::default()
+        },
+        vec![chef_core::WorkSeed::root()],
+        Some(&ctl),
+    );
+    assert!(first.paused);
+    assert!(
+        !first.frontier.is_empty(),
+        "a paused run must export its pending work"
+    );
+
+    let resumed = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 2,
+            base: config(),
+            ..Default::default()
+        },
+        first.frontier,
+        None,
+    );
+    assert!(!resumed.paused);
+    assert!(resumed.frontier.is_empty(), "resumed run completes");
+    let mut got = fleet_inputs(&first.report);
+    got.extend(fleet_inputs(&resumed.report));
+    assert_eq!(got, want, "pause/resume preserves the canonical test set");
+}

@@ -1,0 +1,377 @@
+//! The disk-backed corpus: durable artifacts of every exploration the
+//! daemon has ever run.
+//!
+//! Layout under the daemon's data directory:
+//!
+//! ```text
+//! data_dir/
+//!   next_session            — persistent session-id counter
+//!   corpus/<target_key>/
+//!     tests.bin             — append-only TestCase frames, deduplicated
+//!                             by canonical input bytes
+//!     coverage.bin          — union of covered HLPCs (little-endian u64s)
+//!   sessions/<session_id>/
+//!     spec.json             — the JobSpec, so the daemon can rebuild the
+//!                             program after a restart
+//!     checkpoint.bin        — the unexplored frontier as WorkSeed frames
+//!     state                 — "running" | "paused" | "exhausted" |
+//!                             "done" | "failed: <msg>"
+//! ```
+//!
+//! All binary files use the versioned `chef_core::wire` framing; reads
+//! tolerate a truncated final frame (the signature of a crash mid-append)
+//! by keeping every complete frame before it. Checkpoint and state writes
+//! go through a temp-file rename so a kill can't leave a half-written
+//! checkpoint behind.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use chef_core::wire::Wire;
+use chef_core::{TestCase, WorkSeed};
+
+/// Handle on a daemon data directory.
+///
+/// One `Corpus` instance (the daemon's) must own a data directory at a
+/// time; *within* the process it is safe to share across threads — the
+/// read-modify-write operations (id allocation, test dedup, coverage
+/// union) serialize on an internal lock.
+#[derive(Debug)]
+pub struct Corpus {
+    root: PathBuf,
+    /// Serializes read-modify-write file operations: concurrent sessions
+    /// can target the same corpus entry, and dedup/union semantics only
+    /// hold if load→write is atomic with respect to other writers.
+    write_lock: std::sync::Mutex<()>,
+}
+
+impl Corpus {
+    /// Opens (creating if needed) a corpus rooted at `data_dir`.
+    pub fn open(data_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = data_dir.into();
+        fs::create_dir_all(root.join("corpus"))?;
+        fs::create_dir_all(root.join("sessions"))?;
+        Ok(Corpus {
+            root,
+            write_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// The data directory this corpus lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn target_dir(&self, target: &str) -> PathBuf {
+        self.root.join("corpus").join(safe_component(target))
+    }
+
+    fn session_dir(&self, session: &str) -> PathBuf {
+        self.root.join("sessions").join(safe_component(session))
+    }
+
+    /// Allocates the next session id (`s1`, `s2`, …), persisting the
+    /// counter so ids stay unique across daemon restarts. Concurrent
+    /// submits serialize on the corpus write lock.
+    pub fn next_session_id(&self) -> io::Result<String> {
+        let _guard = self.write_lock.lock().unwrap();
+        let path = self.root.join("next_session");
+        let n: u64 = fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1);
+        write_atomic(&path, (n + 1).to_string().as_bytes())?;
+        Ok(format!("s{n}"))
+    }
+
+    /// All session ids present on disk, in numeric order.
+    pub fn session_ids(&self) -> io::Result<Vec<String>> {
+        let mut ids: Vec<String> = Vec::new();
+        for entry in fs::read_dir(self.root.join("sessions"))? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                ids.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        ids.sort_by_key(|id| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        Ok(ids)
+    }
+
+    /// Loads the deduplicated test cases stored for a target (empty if the
+    /// target was never explored). A truncated trailing frame — a crash
+    /// mid-append — is dropped silently; everything before it survives.
+    pub fn load_tests(&self, target: &str) -> io::Result<Vec<TestCase>> {
+        let path = self.target_dir(target).join("tests.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        Ok(decode_prefix::<TestCase>(&bytes))
+    }
+
+    /// Appends tests to a target's corpus, deduplicating against what is
+    /// already stored (and within the batch) by canonical input bytes.
+    /// Returns how many were actually new. Two sessions on the same
+    /// target can append concurrently; the write lock keeps the dedup
+    /// invariant.
+    pub fn append_tests(&self, target: &str, tests: &[TestCase]) -> io::Result<usize> {
+        if tests.is_empty() {
+            return Ok(0);
+        }
+        let _guard = self.write_lock.lock().unwrap();
+        let dir = self.target_dir(target);
+        fs::create_dir_all(&dir)?;
+        let mut seen: HashSet<Vec<(String, Vec<u8>)>> = self
+            .load_tests(target)?
+            .iter()
+            .map(|t| t.canonical_key())
+            .collect();
+        let mut buf = Vec::new();
+        let mut added = 0usize;
+        for t in tests {
+            if seen.insert(t.canonical_key()) {
+                buf.extend_from_slice(&t.to_frame());
+                added += 1;
+            }
+        }
+        if added > 0 {
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("tests.bin"))?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        Ok(added)
+    }
+
+    /// Loads a target's covered-HLPC set.
+    pub fn load_coverage(&self, target: &str) -> io::Result<HashSet<u64>> {
+        let path = self.target_dir(target).join("coverage.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashSet::new()),
+            Err(e) => return Err(e),
+        };
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Merges `covered` into a target's coverage map; returns the union's
+    /// size. Serialized on the write lock so concurrent sessions' unions
+    /// compose instead of last-writer-wins.
+    pub fn merge_coverage(&self, target: &str, covered: &HashSet<u64>) -> io::Result<usize> {
+        let _guard = self.write_lock.lock().unwrap();
+        let mut all = self.load_coverage(target)?;
+        all.extend(covered.iter().copied());
+        let dir = self.target_dir(target);
+        fs::create_dir_all(&dir)?;
+        let mut sorted: Vec<u64> = all.iter().copied().collect();
+        sorted.sort_unstable();
+        let mut bytes = Vec::with_capacity(sorted.len() * 8);
+        for pc in sorted {
+            bytes.extend_from_slice(&pc.to_le_bytes());
+        }
+        write_atomic(&dir.join("coverage.bin"), &bytes)?;
+        Ok(all.len())
+    }
+
+    /// Persists a session's job spec.
+    pub fn save_spec(&self, session: &str, spec_json: &str) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("spec.json"), spec_json.as_bytes())
+    }
+
+    /// Loads a session's job spec JSON, if the session exists.
+    pub fn load_spec(&self, session: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.session_dir(session).join("spec.json")) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically replaces a session's checkpoint with `frontier`.
+    pub fn save_checkpoint(&self, session: &str, frontier: &[WorkSeed]) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        let mut bytes = Vec::new();
+        for seed in frontier {
+            bytes.extend_from_slice(&seed.to_frame());
+        }
+        write_atomic(&dir.join("checkpoint.bin"), &bytes)
+    }
+
+    /// Loads a session's checkpointed frontier. `None` means the session
+    /// never checkpointed (fresh start from the root); `Some(vec![])`
+    /// means it checkpointed an exhausted frontier (exploration finished).
+    pub fn load_checkpoint(&self, session: &str) -> io::Result<Option<Vec<WorkSeed>>> {
+        let path = self.session_dir(session).join("checkpoint.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Some(decode_prefix::<WorkSeed>(&bytes)))
+    }
+
+    /// Records a session's lifecycle state.
+    pub fn save_state(&self, session: &str, state: &str) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("state"), state.as_bytes())
+    }
+
+    /// Reads a session's recorded lifecycle state.
+    pub fn load_state(&self, session: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.session_dir(session).join("state")) {
+            Ok(s) => Ok(Some(s.trim().to_string())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Decodes as many complete frames as the buffer holds, dropping a
+/// truncated or corrupted tail (the crash-mid-append case).
+fn decode_prefix<T: Wire>(bytes: &[u8]) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        match T::from_frame_prefix(rest) {
+            Ok((v, used)) => {
+                out.push(v);
+                rest = &rest[used..];
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Restricts file-name components to a conservative character set so a
+/// malicious session/target string cannot traverse directories.
+fn safe_component(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Writes via a temp file + rename, so readers never observe a partial
+/// write even if the daemon dies mid-flight.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chef-serve-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tc(id: usize, byte: u8) -> TestCase {
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), vec![byte]);
+        TestCase {
+            id,
+            inputs,
+            status: chef_core::TestStatus::Ok(0),
+            exception: None,
+            hl_path: chef_core::HlNodeId(id as u32),
+            hl_sig: byte as u64,
+            new_hl_path: true,
+            ll_steps: 10,
+            at_ll_instructions: 100,
+        }
+    }
+
+    #[test]
+    fn tests_dedup_across_appends() {
+        let corpus = Corpus::open(tmpdir("dedup")).unwrap();
+        assert_eq!(corpus.append_tests("k", &[tc(0, 1), tc(1, 2)]).unwrap(), 2);
+        assert_eq!(
+            corpus.append_tests("k", &[tc(2, 2), tc(3, 3)]).unwrap(),
+            1,
+            "byte 2 is already stored"
+        );
+        let stored = corpus.load_tests("k").unwrap();
+        assert_eq!(stored.len(), 3);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let corpus = Corpus::open(tmpdir("trunc")).unwrap();
+        corpus.append_tests("k", &[tc(0, 1), tc(1, 2)]).unwrap();
+        // Simulate a crash mid-append: chop bytes off the end.
+        let path = corpus.root().join("corpus/k/tests.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        fs::write(&path, &bytes).unwrap();
+        let stored = corpus.load_tests("k").unwrap();
+        assert_eq!(stored.len(), 1, "complete frames survive");
+        // And appending after the crash re-adds the lost test.
+        assert_eq!(corpus.append_tests("k", &[tc(1, 2)]).unwrap(), 1);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_states() {
+        let corpus = Corpus::open(tmpdir("ckpt")).unwrap();
+        assert_eq!(corpus.load_checkpoint("s1").unwrap(), None);
+        let frontier = vec![
+            WorkSeed {
+                choices: vec![1, 2],
+            },
+            WorkSeed::root(),
+        ];
+        corpus.save_checkpoint("s1", &frontier).unwrap();
+        assert_eq!(corpus.load_checkpoint("s1").unwrap(), Some(frontier));
+        corpus.save_checkpoint("s1", &[]).unwrap();
+        assert_eq!(corpus.load_checkpoint("s1").unwrap(), Some(Vec::new()));
+        corpus.save_state("s1", "paused").unwrap();
+        assert_eq!(corpus.load_state("s1").unwrap().as_deref(), Some("paused"));
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn session_ids_are_monotonic_and_persistent() {
+        let root = tmpdir("ids");
+        let corpus = Corpus::open(&root).unwrap();
+        assert_eq!(corpus.next_session_id().unwrap(), "s1");
+        assert_eq!(corpus.next_session_id().unwrap(), "s2");
+        drop(corpus);
+        let corpus = Corpus::open(&root).unwrap();
+        assert_eq!(corpus.next_session_id().unwrap(), "s3", "counter persists");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn hostile_names_cannot_escape_the_data_dir() {
+        let corpus = Corpus::open(tmpdir("esc")).unwrap();
+        corpus.save_state("../../evil", "x").unwrap();
+        assert!(corpus.root().join("sessions/______evil/state").exists());
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+}

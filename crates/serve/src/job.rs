@@ -1,0 +1,421 @@
+//! Job specifications: what a client asks the daemon to explore.
+//!
+//! A [`JobSpec`] carries the guest source, entry point, and symbolic
+//! argument layout — everything needed to rebuild the instrumented LIR
+//! program — plus the exploration configuration. The *target key*
+//! ([`JobSpec::target_key`]) hashes only the program-defining parts
+//! (language, source, entry, arguments), so different budgets or
+//! strategies against the same code share one corpus entry.
+
+use chef_core::{ChefConfig, StrategyKind};
+use chef_lir::Program;
+use chef_minipy::{build_program, InterpreterOptions, SymbolicTest};
+
+use crate::json::Value;
+
+/// Guest language of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobLang {
+    /// MiniPy source.
+    Python,
+    /// MiniLua source.
+    Lua,
+}
+
+impl JobLang {
+    /// Protocol name of the language.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobLang::Python => "python",
+            JobLang::Lua => "lua",
+        }
+    }
+
+    /// Parses a protocol name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "python" | "py" => Some(JobLang::Python),
+            "lua" => Some(JobLang::Lua),
+            _ => None,
+        }
+    }
+
+    /// Guesses the language from a file name.
+    pub fn from_path(path: &str) -> Self {
+        if path.ends_with(".lua") {
+            JobLang::Lua
+        } else {
+            JobLang::Python
+        }
+    }
+}
+
+/// One symbolic argument of the entry function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobArg {
+    /// A symbolic string of fixed length.
+    Str {
+        /// Input buffer name.
+        name: String,
+        /// Byte length.
+        len: usize,
+    },
+    /// A symbolic integer constrained to `min..=max`.
+    Int {
+        /// Input buffer name.
+        name: String,
+        /// Lower bound (inclusive).
+        min: i64,
+        /// Upper bound (inclusive).
+        max: i64,
+    },
+    /// A fixed string argument (not symbolic).
+    ConcreteStr(String),
+    /// A fixed integer argument (not symbolic).
+    ConcreteInt(i64),
+}
+
+/// A complete exploration job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Guest language.
+    pub lang: JobLang,
+    /// Guest source code.
+    pub source: String,
+    /// Entry function name.
+    pub entry: String,
+    /// Symbolic arguments, in call order.
+    pub args: Vec<JobArg>,
+    /// State-selection strategy.
+    pub strategy: StrategyKind,
+    /// Exploration budget in low-level instructions.
+    pub budget: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for the session's fleet.
+    pub jobs: usize,
+}
+
+impl JobSpec {
+    /// Creates a spec with default exploration settings.
+    pub fn new(lang: JobLang, source: impl Into<String>, entry: impl Into<String>) -> Self {
+        JobSpec {
+            lang,
+            source: source.into(),
+            entry: entry.into(),
+            args: Vec::new(),
+            strategy: StrategyKind::CupaPath,
+            budget: 2_000_000,
+            seed: 0,
+            jobs: 1,
+        }
+    }
+
+    /// Adds a symbolic string argument.
+    #[must_use]
+    pub fn sym_str(mut self, name: impl Into<String>, len: usize) -> Self {
+        self.args.push(JobArg::Str {
+            name: name.into(),
+            len,
+        });
+        self
+    }
+
+    /// Adds a bounded symbolic integer argument.
+    #[must_use]
+    pub fn sym_int(mut self, name: impl Into<String>, min: i64, max: i64) -> Self {
+        self.args.push(JobArg::Int {
+            name: name.into(),
+            min,
+            max,
+        });
+        self
+    }
+
+    /// Adds a fixed (concrete) string argument.
+    #[must_use]
+    pub fn concrete_str(mut self, s: impl Into<String>) -> Self {
+        self.args.push(JobArg::ConcreteStr(s.into()));
+        self
+    }
+
+    /// Adds a fixed (concrete) integer argument.
+    #[must_use]
+    pub fn concrete_int(mut self, v: i64) -> Self {
+        self.args.push(JobArg::ConcreteInt(v));
+        self
+    }
+
+    /// The corpus identity of this job's *target*: an FNV-1a hash over the
+    /// program-defining fields only (language, source, entry, symbolic
+    /// layout). Sessions with different budgets, seeds, or strategies
+    /// against the same target share corpus tests and coverage.
+    pub fn target_key(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff; // field separator
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(self.lang.as_str().as_bytes());
+        eat(self.source.as_bytes());
+        eat(self.entry.as_bytes());
+        for arg in &self.args {
+            match arg {
+                JobArg::Str { name, len } => {
+                    eat(b"str");
+                    eat(name.as_bytes());
+                    eat(&(*len as u64).to_le_bytes());
+                }
+                JobArg::Int { name, min, max } => {
+                    eat(b"int");
+                    eat(name.as_bytes());
+                    eat(&min.to_le_bytes());
+                    eat(&max.to_le_bytes());
+                }
+                JobArg::ConcreteStr(s) => {
+                    eat(b"cstr");
+                    eat(s.as_bytes());
+                }
+                JobArg::ConcreteInt(v) => {
+                    eat(b"cint");
+                    eat(&v.to_le_bytes());
+                }
+            }
+        }
+        format!("t{h:016x}")
+    }
+
+    /// The entry + argument layout as the interpreter builders consume it.
+    pub fn symbolic_test(&self) -> SymbolicTest {
+        let mut test = SymbolicTest::new(&self.entry);
+        for arg in &self.args {
+            test = match arg {
+                JobArg::Str { name, len } => test.sym_str(name.clone(), *len),
+                JobArg::Int { name, min, max } => test.sym_int(name.clone(), *min, *max),
+                JobArg::ConcreteStr(s) => test.concrete_str(s.clone()),
+                JobArg::ConcreteInt(v) => test.concrete_int(*v),
+            };
+        }
+        test
+    }
+
+    /// Compiles the guest source to the shared bytecode.
+    pub fn compile(&self) -> Result<chef_minipy::CompiledModule, String> {
+        match self.lang {
+            JobLang::Python => {
+                chef_minipy::compile(&self.source).map_err(|e| format!("minipy: {e}"))
+            }
+            JobLang::Lua => {
+                chef_minilua::compile(&self.source).map_err(|e| format!("minilua: {e}"))
+            }
+        }
+    }
+
+    /// Compiles the guest source and builds the instrumented LIR program.
+    pub fn build(&self) -> Result<Program, String> {
+        let module = self.compile()?;
+        build_program(&module, &InterpreterOptions::all(), &self.symbolic_test())
+            .map_err(|e| e.to_string())
+    }
+
+    /// The per-slice engine configuration this spec asks for.
+    pub fn chef_config(&self) -> ChefConfig {
+        ChefConfig {
+            strategy: self.strategy,
+            seed: self.seed,
+            max_ll_instructions: self.budget,
+            per_path_fuel: (self.budget / 8).max(10_000),
+            ..ChefConfig::default()
+        }
+    }
+
+    /// Serializes to the protocol/spec-file JSON object.
+    pub fn to_value(&self) -> Value {
+        let args = self
+            .args
+            .iter()
+            .map(|a| match a {
+                JobArg::Str { name, len } => Value::obj(vec![
+                    ("kind", Value::Str("str".into())),
+                    ("name", Value::Str(name.clone())),
+                    ("len", Value::Int(*len as i64)),
+                ]),
+                JobArg::Int { name, min, max } => Value::obj(vec![
+                    ("kind", Value::Str("int".into())),
+                    ("name", Value::Str(name.clone())),
+                    ("min", Value::Int(*min)),
+                    ("max", Value::Int(*max)),
+                ]),
+                JobArg::ConcreteStr(s) => Value::obj(vec![
+                    ("kind", Value::Str("cstr".into())),
+                    ("value", Value::Str(s.clone())),
+                ]),
+                JobArg::ConcreteInt(v) => Value::obj(vec![
+                    ("kind", Value::Str("cint".into())),
+                    ("value", Value::Int(*v)),
+                ]),
+            })
+            .collect();
+        Value::obj(vec![
+            ("lang", Value::Str(self.lang.as_str().into())),
+            ("source", Value::Str(self.source.clone())),
+            ("entry", Value::Str(self.entry.clone())),
+            ("args", Value::Arr(args)),
+            ("strategy", Value::Str(strategy_name(self.strategy).into())),
+            ("budget", Value::Int(self.budget as i64)),
+            ("seed", Value::Int(self.seed as i64)),
+            ("jobs", Value::Int(self.jobs as i64)),
+        ])
+    }
+
+    /// Deserializes from the protocol/spec-file JSON object.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let lang = v
+            .get("lang")
+            .and_then(Value::as_str)
+            .and_then(JobLang::parse)
+            .ok_or("missing or invalid 'lang'")?;
+        let source = v
+            .get("source")
+            .and_then(Value::as_str)
+            .ok_or("missing 'source'")?
+            .to_string();
+        let entry = v
+            .get("entry")
+            .and_then(Value::as_str)
+            .ok_or("missing 'entry'")?
+            .to_string();
+        let mut args = Vec::new();
+        for a in v.get("args").and_then(Value::as_arr).unwrap_or(&[]) {
+            let name = || {
+                a.get("name")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or("arg missing 'name'")
+            };
+            match a.get("kind").and_then(Value::as_str) {
+                Some("str") => args.push(JobArg::Str {
+                    name: name()?,
+                    len: a
+                        .get("len")
+                        .and_then(Value::as_u64)
+                        .ok_or("str arg missing 'len'")? as usize,
+                }),
+                Some("int") => args.push(JobArg::Int {
+                    name: name()?,
+                    min: a
+                        .get("min")
+                        .and_then(Value::as_i64)
+                        .ok_or("missing 'min'")?,
+                    max: a
+                        .get("max")
+                        .and_then(Value::as_i64)
+                        .ok_or("missing 'max'")?,
+                }),
+                Some("cstr") => args.push(JobArg::ConcreteStr(
+                    a.get("value")
+                        .and_then(Value::as_str)
+                        .ok_or("cstr arg missing 'value'")?
+                        .to_string(),
+                )),
+                Some("cint") => args.push(JobArg::ConcreteInt(
+                    a.get("value")
+                        .and_then(Value::as_i64)
+                        .ok_or("cint arg missing 'value'")?,
+                )),
+                _ => return Err("arg missing 'kind'".into()),
+            }
+        }
+        let strategy = match v.get("strategy").and_then(Value::as_str) {
+            None => StrategyKind::CupaPath,
+            Some(s) => parse_strategy(s).ok_or("invalid 'strategy'")?,
+        };
+        Ok(JobSpec {
+            lang,
+            source,
+            entry,
+            args,
+            strategy,
+            budget: v.get("budget").and_then(Value::as_u64).unwrap_or(2_000_000),
+            seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            jobs: v.get("jobs").and_then(Value::as_u64).unwrap_or(1).max(1) as usize,
+        })
+    }
+}
+
+/// Canonical protocol name of a strategy.
+pub fn strategy_name(kind: StrategyKind) -> &'static str {
+    match kind {
+        StrategyKind::Random => "random",
+        StrategyKind::CupaPath => "cupa-path",
+        StrategyKind::CupaCoverage => "cupa-coverage",
+        StrategyKind::Dfs => "dfs",
+    }
+}
+
+/// Parses a strategy name; accepts both the canonical spellings and the
+/// CLI's historical short forms (`cupa`, `cupa-cov`).
+pub fn parse_strategy(s: &str) -> Option<StrategyKind> {
+    match s {
+        "random" => Some(StrategyKind::Random),
+        "dfs" => Some(StrategyKind::Dfs),
+        "cupa" | "cupa-path" => Some(StrategyKind::CupaPath),
+        "cupa-cov" | "cupa-coverage" => Some(StrategyKind::CupaCoverage),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> JobSpec {
+        JobSpec::new(JobLang::Python, "def f(s, n, tag, k):\n    return n\n", "f")
+            .sym_str("s", 3)
+            .sym_int("n", -4, 9)
+            .concrete_str("T")
+            .concrete_int(5)
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let mut spec = demo_spec();
+        spec.strategy = StrategyKind::CupaCoverage;
+        spec.budget = 123_456;
+        spec.seed = 7;
+        spec.jobs = 2;
+        let v = spec.to_value();
+        let text = v.to_json();
+        let back = JobSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn target_key_ignores_exploration_config() {
+        let a = demo_spec();
+        let mut b = demo_spec();
+        b.budget = 1;
+        b.seed = 99;
+        b.strategy = StrategyKind::Dfs;
+        b.jobs = 8;
+        assert_eq!(a.target_key(), b.target_key());
+        let mut c = demo_spec();
+        c.source.push('\n');
+        assert_ne!(a.target_key(), c.target_key());
+        let mut d = demo_spec();
+        d.args.pop();
+        assert_ne!(a.target_key(), d.target_key());
+    }
+
+    #[test]
+    fn build_produces_a_program() {
+        assert!(demo_spec().build().is_ok());
+        let mut bad = demo_spec();
+        bad.source = "def f(".into();
+        assert!(bad.build().is_err());
+    }
+}

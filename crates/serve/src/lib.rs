@@ -1,0 +1,566 @@
+//! # chef-serve — the persistent exploration service
+//!
+//! The one-shot CLI re-explores every target from scratch and its results
+//! die with the process. `chef-serve` turns the stack into a *system*: a
+//! long-running daemon that accepts exploration jobs over a std-only TCP +
+//! length-prefixed JSON protocol ([`proto`]), schedules them onto
+//! [`chef_fleet`] workers, and persists everything to a disk-backed
+//! [`corpus`]:
+//!
+//! - generated [`TestCase`]s, deduplicated by canonical input bytes and
+//!   stored as `chef_core::wire` frames,
+//! - per-target coverage maps,
+//! - session checkpoints: the unexplored frontier serialized as
+//!   [`WorkSeed`] frames, so a paused — or killed — session resumes by
+//!   prefix replay instead of restarting.
+//!
+//! New sessions against a previously-seen target warm-start from the
+//! corpus: stored tests are replayed *concretely* to pre-populate the
+//! HL-CFG (and thereby the §3.4 coverage-optimized CUPA weights) before
+//! the first symbolic state is selected.
+//!
+//! # Examples
+//!
+//! An in-process daemon on a loopback port, driven through the client:
+//!
+//! ```
+//! use chef_serve::{Client, JobLang, JobSpec, ServeConfig, Server};
+//! use std::time::Duration;
+//!
+//! let dir = std::env::temp_dir().join(format!("chef-serve-doc-{}", std::process::id()));
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     data_dir: dir.clone(),
+//!     ..Default::default()
+//! })?;
+//! let addr = server.local_addr()?;
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let client = Client::new(addr.to_string());
+//! let spec = JobSpec::new(JobLang::Python, "def f(s):\n    return len(s)\n", "f")
+//!     .sym_str("s", 1);
+//! let session = client.submit(&spec)?;
+//! let status = client.wait_settled(&session, Duration::from_secs(60))?;
+//! assert_eq!(status.state, "done");
+//! assert!(!client.results(&session)?.is_empty());
+//! client.shutdown()?;
+//! handle.join().unwrap()?;
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod corpus;
+pub mod job;
+pub mod json;
+pub mod proto;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use chef_core::wire::Wire;
+use chef_core::{replay_cfg_edges, WorkSeed};
+use chef_fleet::{run_fleet_with, FleetConfig, FleetControl};
+
+pub use corpus::Corpus;
+pub use job::{parse_strategy, strategy_name, JobArg, JobLang, JobSpec};
+pub use proto::{Client, ServeError, SessionStatus};
+
+use json::Value;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:4455` (port 0 picks one).
+    pub addr: String,
+    /// Data directory for the corpus and session store.
+    pub data_dir: PathBuf,
+    /// Low-level instructions between automatic checkpoints: sessions run
+    /// as budget slices of this size, checkpointing the frontier after
+    /// each, so a killed daemon loses at most one slice of work.
+    pub checkpoint_interval_ll: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:4455".into(),
+            data_dir: PathBuf::from("chef-data"),
+            checkpoint_interval_ll: 250_000,
+        }
+    }
+}
+
+/// In-memory state of one session (mirrored to disk by the [`Corpus`]).
+struct SessionState {
+    id: String,
+    spec: JobSpec,
+    target: String,
+    ctl: FleetControl,
+    /// `running` / `paused` / `exhausted` / `done` / `failed: …`.
+    state: Mutex<String>,
+    new_tests: AtomicU64,
+    seeded_tests: AtomicU64,
+    spent_ll: AtomicU64,
+}
+
+impl SessionState {
+    fn set_state(&self, corpus: &Corpus, state: &str) {
+        *self.state.lock().unwrap() = state.to_string();
+        // Disk write is best-effort: an unwritable data dir should not
+        // take the daemon down mid-session.
+        let _ = corpus.save_state(&self.id, state);
+    }
+
+    fn status_value(&self, corpus: &Corpus) -> Value {
+        let corpus_tests = corpus
+            .load_tests(&self.target)
+            .map(|t| t.len())
+            .unwrap_or(0);
+        let covered = corpus
+            .load_coverage(&self.target)
+            .map(|c| c.len())
+            .unwrap_or(0);
+        // The fleet gauges advance within the current slice; the `spent`
+        // counters advance as slices complete. Their sum is live session
+        // progress, mid-slice included.
+        let live_ll = self.ctl.ll_instructions.load(Ordering::Relaxed);
+        let live_tests = self.ctl.tests_generated.load(Ordering::Relaxed);
+        Value::obj(vec![
+            ("session", Value::Str(self.id.clone())),
+            ("target", Value::Str(self.target.clone())),
+            ("state", Value::Str(self.state.lock().unwrap().clone())),
+            ("corpus_tests", Value::Int(corpus_tests as i64)),
+            (
+                "new_tests",
+                Value::Int(self.new_tests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "seeded_tests",
+                Value::Int(self.seeded_tests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "ll_instructions",
+                Value::Int((self.spent_ll.load(Ordering::Relaxed) + live_ll) as i64),
+            ),
+            ("live_tests", Value::Int(live_tests as i64)),
+            ("covered_hlpcs", Value::Int(covered as i64)),
+        ])
+    }
+}
+
+struct Inner {
+    config: ServeConfig,
+    corpus: Corpus,
+    sessions: Mutex<HashMap<String, Arc<SessionState>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stop: AtomicBool,
+}
+
+/// The daemon: a bound listener plus the session registry.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listen socket and opens the data directory. Sessions that
+    /// were `running` when a previous daemon died are re-marked `paused`,
+    /// so their last checkpoint is resumable.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let corpus = Corpus::open(&config.data_dir)?;
+        // Orphan recovery: a state file saying "running" with no daemon
+        // behind it means we were killed; the checkpoint stands.
+        for id in corpus.session_ids()? {
+            if corpus.load_state(&id)?.as_deref() == Some("running") {
+                corpus.save_state(&id, "paused")?;
+            }
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                config,
+                corpus,
+                sessions: Mutex::new(HashMap::new()),
+                threads: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The actually bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives. On
+    /// shutdown, running sessions are asked to pause and their threads are
+    /// joined, so every session ends checkpointed.
+    pub fn run(self) -> io::Result<()> {
+        while !self.inner.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::spawn(move || handle_connection(inner, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Graceful drain: pause everything, then wait for the session
+        // threads to finish their final checkpoint. Looped because a
+        // submit/resume racing the shutdown can spawn a session thread
+        // after one pause sweep (`spawn_session` refuses once it observes
+        // the stop flag under the threads lock, so the loop terminates).
+        loop {
+            for sess in self.inner.sessions.lock().unwrap().values() {
+                sess.ctl.request_pause();
+            }
+            let threads: Vec<_> = self.inner.threads.lock().unwrap().drain(..).collect();
+            if threads.is_empty() {
+                break;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    loop {
+        let req = match proto::read_message(&mut stream) {
+            Ok(Some(v)) => v,
+            Ok(None) => return, // clean close
+            Err(_) => return,   // protocol garbage: drop the connection
+        };
+        let resp = dispatch(&inner, &req);
+        if proto::write_message(&mut stream, &resp).is_err() {
+            return;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn ok(mut fields: Vec<(&str, Value)>) -> Value {
+    fields.insert(0, ("ok", Value::Bool(true)));
+    Value::obj(fields)
+}
+
+fn err(msg: impl Into<String>) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(msg.into())),
+    ])
+}
+
+fn dispatch(inner: &Arc<Inner>, req: &Value) -> Value {
+    match req.get("cmd").and_then(Value::as_str) {
+        Some("submit") => cmd_submit(inner, req),
+        Some("status") => cmd_status(inner, req),
+        Some("list") => cmd_list(inner),
+        Some("results") => cmd_results(inner, req),
+        Some("pause") => cmd_pause(inner, req),
+        Some("resume") => cmd_resume(inner, req),
+        Some("shutdown") => {
+            inner.stop.store(true, Ordering::SeqCst);
+            ok(vec![])
+        }
+        Some(other) => err(format!("unknown command '{other}'")),
+        None => err("request missing 'cmd'"),
+    }
+}
+
+fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
+    let spec = match JobSpec::from_value(req) {
+        Ok(s) => s,
+        Err(e) => return err(e),
+    };
+    // Reject uncompilable sources up front, so the client hears about it
+    // synchronously instead of polling a failed session.
+    if let Err(e) = spec.build() {
+        return err(e);
+    }
+    let id = match inner.corpus.next_session_id() {
+        Ok(id) => id,
+        Err(e) => return err(format!("session allocation: {e}")),
+    };
+    if let Err(e) = inner.corpus.save_spec(&id, &spec.to_value().to_json()) {
+        return err(format!("spec persistence: {e}"));
+    }
+    let target = spec.target_key();
+    let sess = Arc::new(SessionState {
+        id: id.clone(),
+        spec,
+        target: target.clone(),
+        ctl: FleetControl::new(),
+        state: Mutex::new("running".to_string()),
+        new_tests: AtomicU64::new(0),
+        seeded_tests: AtomicU64::new(0),
+        spent_ll: AtomicU64::new(0),
+    });
+    let _ = inner.corpus.save_state(&id, "running");
+    inner
+        .sessions
+        .lock()
+        .unwrap()
+        .insert(id.clone(), Arc::clone(&sess));
+    spawn_session(inner, sess);
+    ok(vec![
+        ("session", Value::Str(id)),
+        ("target", Value::Str(target)),
+    ])
+}
+
+fn session_of(inner: &Arc<Inner>, req: &Value) -> Result<Arc<SessionState>, Value> {
+    let id = req
+        .get("session")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("request missing 'session'"))?;
+    if let Some(sess) = inner.sessions.lock().unwrap().get(id) {
+        return Ok(Arc::clone(sess));
+    }
+    // Unknown in memory: maybe a session from before a daemon restart.
+    let spec_json = match inner.corpus.load_spec(id) {
+        Ok(Some(s)) => s,
+        Ok(None) => return Err(err(format!("unknown session '{id}'"))),
+        Err(e) => return Err(err(format!("session load: {e}"))),
+    };
+    let spec = json::parse(&spec_json)
+        .map_err(|e| err(format!("stored spec corrupt: {e}")))
+        .and_then(|v| JobSpec::from_value(&v).map_err(err))?;
+    let state = inner
+        .corpus
+        .load_state(id)
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| "paused".to_string());
+    let target = spec.target_key();
+    let sess = Arc::new(SessionState {
+        id: id.to_string(),
+        spec,
+        target,
+        ctl: FleetControl::new(),
+        state: Mutex::new(state),
+        new_tests: AtomicU64::new(0),
+        seeded_tests: AtomicU64::new(0),
+        spent_ll: AtomicU64::new(0),
+    });
+    inner
+        .sessions
+        .lock()
+        .unwrap()
+        .insert(id.to_string(), Arc::clone(&sess));
+    Ok(sess)
+}
+
+fn cmd_status(inner: &Arc<Inner>, req: &Value) -> Value {
+    match session_of(inner, req) {
+        Ok(sess) => match sess.status_value(&inner.corpus) {
+            Value::Obj(fields) => ok(fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect()),
+            _ => err("internal status shape"),
+        },
+        Err(e) => e,
+    }
+}
+
+fn cmd_list(inner: &Arc<Inner>) -> Value {
+    let ids = match inner.corpus.session_ids() {
+        Ok(ids) => ids,
+        Err(e) => return err(format!("session scan: {e}")),
+    };
+    let mut sessions = Vec::new();
+    for id in ids {
+        let req = Value::obj(vec![("session", Value::Str(id))]);
+        if let Ok(sess) = session_of(inner, &req) {
+            sessions.push(sess.status_value(&inner.corpus));
+        }
+    }
+    ok(vec![("sessions", Value::Arr(sessions))])
+}
+
+fn cmd_results(inner: &Arc<Inner>, req: &Value) -> Value {
+    let sess = match session_of(inner, req) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let tests = match inner.corpus.load_tests(&sess.target) {
+        Ok(t) => t,
+        Err(e) => return err(format!("corpus read: {e}")),
+    };
+    let frames: Vec<Value> = tests
+        .iter()
+        .map(|t| Value::Str(proto::to_hex(&t.to_frame())))
+        .collect();
+    ok(vec![
+        ("target", Value::Str(sess.target.clone())),
+        ("count", Value::Int(frames.len() as i64)),
+        ("tests", Value::Arr(frames)),
+    ])
+}
+
+fn cmd_pause(inner: &Arc<Inner>, req: &Value) -> Value {
+    match session_of(inner, req) {
+        Ok(sess) => {
+            sess.ctl.request_pause();
+            ok(vec![(
+                "state",
+                Value::Str(sess.state.lock().unwrap().clone()),
+            )])
+        }
+        Err(e) => e,
+    }
+}
+
+fn cmd_resume(inner: &Arc<Inner>, req: &Value) -> Value {
+    let sess = match session_of(inner, req) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    {
+        let mut state = sess.state.lock().unwrap();
+        match state.as_str() {
+            "running" => return err(format!("session {} is already running", sess.id)),
+            "done" => return err(format!("session {} already completed", sess.id)),
+            _ => {}
+        }
+        *state = "running".to_string();
+    }
+    let _ = inner.corpus.save_state(&sess.id, "running");
+    sess.ctl.clear_pause();
+    spawn_session(inner, sess);
+    ok(vec![])
+}
+
+fn spawn_session(inner: &Arc<Inner>, sess: Arc<SessionState>) {
+    // The stop check happens under the threads lock: either this spawn's
+    // handle lands in the vector before the shutdown drain empties it, or
+    // the stop flag is already visible and the session parks as paused
+    // (its checkpoint — if any — stands). Never both, never neither.
+    let mut threads = inner.threads.lock().unwrap();
+    if inner.stop.load(Ordering::SeqCst) {
+        sess.set_state(&inner.corpus, "paused");
+        return;
+    }
+    let inner2 = Arc::clone(inner);
+    let sess2 = Arc::clone(&sess);
+    threads.push(std::thread::spawn(move || run_session(inner2, sess2)));
+}
+
+/// Drives one session to a rest state: run the fleet in checkpoint-sized
+/// budget slices, persisting new tests, coverage, and the frontier after
+/// every slice, until the exploration completes, the budget runs out, or a
+/// pause request lands.
+fn run_session(inner: Arc<Inner>, sess: Arc<SessionState>) {
+    let outcome = drive_session(&inner, &sess);
+    match outcome {
+        Ok(final_state) => sess.set_state(&inner.corpus, final_state),
+        Err(e) => sess.set_state(&inner.corpus, &format!("failed: {e}")),
+    }
+}
+
+fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'static str, String> {
+    let spec = &sess.spec;
+    let prog = spec.build()?;
+    let base = spec.chef_config();
+
+    // Corpus warm start: replay stored tests concretely; their HL-CFG
+    // edges pre-populate every worker's coverage weights.
+    let stored = inner
+        .corpus
+        .load_tests(&sess.target)
+        .map_err(|e| format!("corpus read: {e}"))?;
+    let seed_cfg_edges = replay_cfg_edges(&prog, &stored, base.per_path_fuel);
+    sess.seeded_tests
+        .store(stored.len() as u64, Ordering::Relaxed);
+
+    // Fresh session starts at the root; a resumed one at its checkpoint.
+    let mut seeds = match inner
+        .corpus
+        .load_checkpoint(&sess.id)
+        .map_err(|e| format!("checkpoint read: {e}"))?
+    {
+        None => vec![WorkSeed::root()],
+        Some(frontier) if frontier.is_empty() => return Ok("done"),
+        Some(frontier) => frontier,
+    };
+
+    let budget = base.max_ll_instructions;
+    let mut spent = 0u64;
+    loop {
+        let slice = inner
+            .config
+            .checkpoint_interval_ll
+            .min(budget.saturating_sub(spent))
+            .max(1);
+        let mut cfg = base.clone();
+        cfg.max_ll_instructions = slice;
+        let fleet_cfg = FleetConfig {
+            jobs: spec.jobs,
+            base: cfg,
+            seed_cfg_edges: seed_cfg_edges.clone(),
+            ..FleetConfig::default()
+        };
+        let outcome = run_fleet_with(&prog, fleet_cfg, seeds, Some(&sess.ctl));
+        // Zero the live gauges before folding the slice into the
+        // completed counters, so a concurrent status read never
+        // over-counts (it can momentarily under-count, which is harmless).
+        sess.ctl.ll_instructions.store(0, Ordering::Relaxed);
+        sess.ctl.tests_generated.store(0, Ordering::Relaxed);
+        spent += outcome.report.exec_stats.ll_instructions;
+        sess.spent_ll.store(spent, Ordering::Relaxed);
+
+        let added = inner
+            .corpus
+            .append_tests(&sess.target, &outcome.report.tests)
+            .map_err(|e| format!("corpus append: {e}"))?;
+        sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
+        inner
+            .corpus
+            .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
+            .map_err(|e| format!("coverage write: {e}"))?;
+        inner
+            .corpus
+            .save_checkpoint(&sess.id, &outcome.frontier)
+            .map_err(|e| format!("checkpoint write: {e}"))?;
+
+        if outcome.paused {
+            return Ok("paused");
+        }
+        if outcome.frontier.is_empty() {
+            return Ok("done");
+        }
+        if spent >= budget {
+            // Budget exhausted with work remaining: resumable.
+            return Ok("exhausted");
+        }
+        seeds = outcome.frontier;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.checkpoint_interval_ll > 0);
+        assert!(!c.addr.is_empty());
+    }
+}

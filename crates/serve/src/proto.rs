@@ -1,0 +1,323 @@
+//! The wire protocol between `chef-cli` clients and the daemon, plus the
+//! blocking [`Client`].
+//!
+//! Control messages are length-prefixed JSON: a 4-byte little-endian
+//! payload length followed by one UTF-8 JSON object. Requests carry a
+//! `"cmd"` field; responses carry `"ok": true` plus command-specific
+//! fields, or `"ok": false` with an `"error"` string. Bulk artifacts
+//! (test cases) ride inside the JSON as hex-encoded `chef_core::wire`
+//! frames — the same binary representation the on-disk corpus uses.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use chef_core::wire::Wire;
+use chef_core::TestCase;
+
+use crate::job::JobSpec;
+use crate::json::{self, Value};
+
+/// Hard cap on one protocol frame (hex-encoded corpora can be large, but
+/// not unbounded).
+pub const MAX_MESSAGE: usize = 64 << 20;
+
+/// A failure talking to (or reported by) the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent something that is not valid protocol JSON.
+    Protocol(String),
+    /// The daemon processed the request and reported an error.
+    Server(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServeError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed JSON message.
+pub fn write_message(stream: &mut impl Write, v: &Value) -> io::Result<()> {
+    let text = v.to_json();
+    let bytes = text.as_bytes();
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed JSON message. `Ok(None)` means the peer
+/// closed the connection cleanly before a new message started.
+pub fn read_message(stream: &mut impl Read) -> Result<Option<Value>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_MESSAGE {
+        return Err(ServeError::Protocol(format!("message of {len} bytes")));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    let text =
+        String::from_utf8(buf).map_err(|_| ServeError::Protocol("non-utf8 message".into()))?;
+    json::parse(&text)
+        .map(Some)
+        .map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Hex-encodes bytes (lowercase).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes lowercase/uppercase hex.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
+}
+
+/// A point-in-time view of one session, as reported by `status`.
+#[derive(Clone, Debug)]
+pub struct SessionStatus {
+    /// Session id.
+    pub session: String,
+    /// Corpus/target key the session explores.
+    pub target: String,
+    /// Lifecycle state: `running`, `paused`, `exhausted`, `done`, or
+    /// `failed: …`.
+    pub state: String,
+    /// Tests stored in the target's corpus so far.
+    pub corpus_tests: u64,
+    /// New tests this session added to the corpus.
+    pub new_tests: u64,
+    /// Corpus tests replayed to warm-start this session.
+    pub seeded_tests: u64,
+    /// Low-level instructions this session has executed, including live
+    /// progress within the current checkpoint slice.
+    pub ll_instructions: u64,
+    /// Tests generated so far in the current slice (pre-deduplication;
+    /// folded into `new_tests`/`corpus_tests` when the slice checkpoints).
+    pub live_tests: u64,
+    /// Covered high-level locations recorded for the target.
+    pub covered_hlpcs: u64,
+}
+
+impl SessionStatus {
+    /// Whether the session has reached a terminal or resumable rest state.
+    pub fn is_settled(&self) -> bool {
+        self.state != "running"
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ServeError> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServeError::Protocol(format!("status missing '{k}'")))
+        };
+        let num = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Ok(SessionStatus {
+            session: field("session")?,
+            target: field("target")?,
+            state: field("state")?,
+            corpus_tests: num("corpus_tests"),
+            new_tests: num("new_tests"),
+            seeded_tests: num("seeded_tests"),
+            ll_instructions: num("ll_instructions"),
+            live_tests: num("live_tests"),
+            covered_hlpcs: num("covered_hlpcs"),
+        })
+    }
+}
+
+/// Blocking client for the daemon: one TCP connection per request.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client that talks to `addr` (e.g. `127.0.0.1:4455`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    fn call(&self, req: Value) -> Result<Value, ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        write_message(&mut stream, &req)?;
+        let resp = read_message(&mut stream)?
+            .ok_or_else(|| ServeError::Protocol("connection closed before reply".into()))?;
+        match resp.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(ServeError::Server(
+                resp.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            )),
+            None => Err(ServeError::Protocol("reply missing 'ok'".into())),
+        }
+    }
+
+    /// Submits a job; returns the new session id.
+    pub fn submit(&self, spec: &JobSpec) -> Result<String, ServeError> {
+        let mut req = match spec.to_value() {
+            Value::Obj(pairs) => pairs,
+            _ => unreachable!("JobSpec::to_value returns an object"),
+        };
+        req.insert(0, ("cmd".into(), Value::Str("submit".into())));
+        let resp = self.call(Value::Obj(req))?;
+        resp.get("session")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("submit reply missing 'session'".into()))
+    }
+
+    /// Queries one session's status.
+    pub fn status(&self, session: &str) -> Result<SessionStatus, ServeError> {
+        let resp = self.call(Value::obj(vec![
+            ("cmd", Value::Str("status".into())),
+            ("session", Value::Str(session.into())),
+        ]))?;
+        SessionStatus::from_value(&resp)
+    }
+
+    /// Lists all sessions the daemon knows about.
+    pub fn list(&self) -> Result<Vec<SessionStatus>, ServeError> {
+        let resp = self.call(Value::obj(vec![("cmd", Value::Str("list".into()))]))?;
+        let mut out = Vec::new();
+        for v in resp.get("sessions").and_then(Value::as_arr).unwrap_or(&[]) {
+            out.push(SessionStatus::from_value(v)?);
+        }
+        Ok(out)
+    }
+
+    /// Fetches the corpus test cases for a session's target, decoded from
+    /// their binary wire frames.
+    pub fn results(&self, session: &str) -> Result<Vec<TestCase>, ServeError> {
+        let resp = self.call(Value::obj(vec![
+            ("cmd", Value::Str("results".into())),
+            ("session", Value::Str(session.into())),
+        ]))?;
+        let mut out = Vec::new();
+        for v in resp.get("tests").and_then(Value::as_arr).unwrap_or(&[]) {
+            let hex = v
+                .as_str()
+                .ok_or_else(|| ServeError::Protocol("test entry is not a string".into()))?;
+            let bytes =
+                from_hex(hex).ok_or_else(|| ServeError::Protocol("bad hex in results".into()))?;
+            let t = TestCase::from_frame(&bytes)
+                .map_err(|e| ServeError::Protocol(format!("bad test frame: {e}")))?;
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Asks a running session to pause and checkpoint.
+    pub fn pause(&self, session: &str) -> Result<(), ServeError> {
+        self.call(Value::obj(vec![
+            ("cmd", Value::Str("pause".into())),
+            ("session", Value::Str(session.into())),
+        ]))
+        .map(|_| ())
+    }
+
+    /// Resumes a paused (or daemon-restart-orphaned) session from its
+    /// checkpoint.
+    pub fn resume(&self, session: &str) -> Result<(), ServeError> {
+        self.call(Value::obj(vec![
+            ("cmd", Value::Str("resume".into())),
+            ("session", Value::Str(session.into())),
+        ]))
+        .map(|_| ())
+    }
+
+    /// Asks the daemon to shut down (pausing running sessions first).
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        self.call(Value::obj(vec![("cmd", Value::Str("shutdown".into()))]))
+            .map(|_| ())
+    }
+
+    /// Polls `status` until the session settles (or the deadline passes).
+    pub fn wait_settled(
+        &self,
+        session: &str,
+        timeout: Duration,
+    ) -> Result<SessionStatus, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.status(session)?;
+            if st.is_settled() {
+                return Ok(st);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::Server(format!(
+                    "session {session} still {} after {timeout:?}",
+                    st.state
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("0"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn message_framing_roundtrip() {
+        let v = Value::obj(vec![("cmd", Value::Str("status".into()))]);
+        let mut buf = Vec::new();
+        write_message(&mut buf, &v).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_message(&mut cursor).unwrap(), Some(v));
+        assert_eq!(read_message(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! The acceptance test of the checkpoint design: a session killed
+//! mid-exploration and resumed from its disk checkpoint must reach exactly
+//! the canonical test set of an uninterrupted `Chef::run` — nothing lost,
+//! nothing duplicated. Exercised at two levels:
+//!
+//! 1. library level — drive slices and kill between them by dropping the
+//!    engine, resuming from the serialized frontier;
+//! 2. daemon level — over the TCP protocol, with a pause landing at an
+//!    arbitrary point and the corpus deduplicating across the resumed run.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use chef_core::wire::Wire;
+use chef_core::{Chef, WorkSeed};
+use chef_fleet::{run_fleet_with, FleetConfig};
+use chef_serve::{Client, Corpus, JobLang, JobSpec, ServeConfig, Server};
+
+type InputSet = BTreeSet<Vec<(String, Vec<u8>)>>;
+
+/// A MiniPy target with enough forking that small budget slices genuinely
+/// interrupt it (scanning loop + multi-way dispatch).
+const TARGET_SRC: &str = r#"
+def parse(msg):
+    n = 0
+    i = 0
+    while i < 4:
+        if msg[i] == "@":
+            n = n + 1
+        i = i + 1
+    kind = msg[0]
+    if kind == "A":
+        if msg[1] == "1":
+            return 7
+        return 3
+    if kind == "B":
+        return 5
+    raise UnknownKindError
+"#;
+
+fn spec() -> JobSpec {
+    let mut s = JobSpec::new(JobLang::Python, TARGET_SRC, "parse").sym_str("msg", 4);
+    s.budget = 50_000_000; // effectively unbounded: explore to completion
+    s
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chef-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn uninterrupted_set(spec: &JobSpec) -> InputSet {
+    let prog = spec.build().unwrap();
+    let report = Chef::new(&prog, spec.chef_config()).run();
+    report.tests.iter().map(|t| t.canonical_key()).collect()
+}
+
+/// Library level: run in small slices, "kill" the engine after each slice
+/// (everything in memory is dropped; only the wire-serialized checkpoint
+/// survives), resume from the deserialized checkpoint, and compare.
+#[test]
+fn killed_session_resumes_to_the_same_test_set() {
+    let spec = spec();
+    let want = uninterrupted_set(&spec);
+    assert!(want.len() >= 4, "target has real breadth: {}", want.len());
+
+    let dir = tmpdir("kill-lib");
+    let corpus = Corpus::open(&dir).unwrap();
+    let target = spec.target_key();
+    let mut slices = 0usize;
+    let mut checkpoint: Option<Vec<u8>> = None; // serialized frontier bytes
+
+    loop {
+        // A fresh program + engine every slice: nothing carries over except
+        // the corpus files and the checkpoint bytes, exactly like a daemon
+        // restarted after a kill.
+        let prog = spec.build().unwrap();
+        let seeds = match &checkpoint {
+            None => vec![WorkSeed::root()],
+            Some(bytes) => WorkSeed::decode_stream(bytes).unwrap(),
+        };
+        assert!(!seeds.is_empty(), "loop exits before an empty checkpoint");
+        let mut cfg = spec.chef_config();
+        // Small enough to interrupt the ~30k-instruction exploration
+        // several times, but well above the per-seed replay cost (each
+        // injected seed re-executes the interpreter prologue, ~3k
+        // instructions, before reaching its fork frontier).
+        cfg.max_ll_instructions = 12_000;
+        let outcome = run_fleet_with(
+            &prog,
+            FleetConfig {
+                jobs: 1,
+                base: cfg,
+                ..FleetConfig::default()
+            },
+            seeds,
+            None,
+        );
+        corpus.append_tests(&target, &outcome.report.tests).unwrap();
+        let mut bytes = Vec::new();
+        for seed in &outcome.frontier {
+            bytes.extend_from_slice(&seed.to_frame());
+        }
+        // Round-trip the checkpoint through disk like the daemon does.
+        corpus.save_checkpoint("s1", &outcome.frontier).unwrap();
+        let reread = corpus.load_checkpoint("s1").unwrap().unwrap();
+        assert_eq!(reread, outcome.frontier, "checkpoint survives the disk");
+        if outcome.frontier.is_empty() {
+            break;
+        }
+        checkpoint = Some(bytes);
+        slices += 1;
+        assert!(slices < 1000, "sliced exploration must converge");
+    }
+
+    assert!(
+        slices >= 2,
+        "the session was actually interrupted mid-flight"
+    );
+    let got: InputSet = corpus
+        .load_tests(&target)
+        .unwrap()
+        .iter()
+        .map(|t| t.canonical_key())
+        .collect();
+    assert_eq!(got, want, "kill/resume reaches the uninterrupted test set");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Daemon level: submit over TCP, pause at an arbitrary moment, verify the
+/// session settles checkpointed, resume it, and compare the final corpus
+/// against the uninterrupted engine run. Robust to scheduling: if the
+/// session finishes before the pause lands, the assertions still hold.
+#[test]
+fn daemon_pause_resume_over_tcp_matches_uninterrupted_run() {
+    let spec = spec();
+    let want = uninterrupted_set(&spec);
+
+    let dir = tmpdir("kill-daemon");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.clone(),
+        // Small checkpoint slices (but above the per-seed replay cost):
+        // the pause request lands between slices.
+        checkpoint_interval_ll: 15_000,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+
+    let session = client.submit(&spec).unwrap();
+    client.pause(&session).unwrap();
+    let settled = client
+        .wait_settled(&session, Duration::from_secs(120))
+        .unwrap();
+    assert!(
+        ["paused", "done", "exhausted"].contains(&settled.state.as_str()),
+        "settled state: {}",
+        settled.state
+    );
+
+    if settled.state == "paused" {
+        client.resume(&session).unwrap();
+        let finished = client
+            .wait_settled(&session, Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(finished.state, "done", "resumed session completes");
+    }
+
+    let got: InputSet = client
+        .results(&session)
+        .unwrap()
+        .iter()
+        .map(|t| t.canonical_key())
+        .collect();
+    assert_eq!(got, want, "daemon corpus equals the uninterrupted test set");
+
+    // Status reflects the corpus.
+    let st = client.status(&session).unwrap();
+    assert_eq!(st.corpus_tests as usize, want.len());
+    assert!(st.covered_hlpcs > 0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corpus warm start: a second session on the same target generates no new
+/// tests (everything is already stored) and reports the seeded count.
+#[test]
+fn second_session_on_same_target_warm_starts_from_corpus() {
+    let spec = spec();
+    let want = uninterrupted_set(&spec);
+    let dir = tmpdir("warm");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.clone(),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+
+    let first = client.submit(&spec).unwrap();
+    let st1 = client
+        .wait_settled(&first, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(st1.state, "done");
+    assert_eq!(st1.seeded_tests, 0, "first session starts cold");
+    assert_eq!(st1.new_tests as usize, want.len());
+
+    // Different strategy, same target: shares the corpus entry.
+    let mut second_spec = spec.clone();
+    second_spec.strategy = chef_core::StrategyKind::CupaCoverage;
+    let second = client.submit(&second_spec).unwrap();
+    let st2 = client
+        .wait_settled(&second, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(st2.state, "done");
+    assert_eq!(st2.target, st1.target, "same corpus entry");
+    assert_eq!(
+        st2.seeded_tests as usize,
+        want.len(),
+        "second session warm-started from the stored tests"
+    );
+    assert_eq!(st2.new_tests, 0, "nothing new to add");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

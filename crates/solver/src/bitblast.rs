@@ -21,6 +21,15 @@ use std::collections::HashMap;
 use crate::expr::{BinOp, ExprId, ExprPool, Node, VarId};
 use crate::sat::{Lit, SatSolver};
 
+/// Journal of one open guard-recycling frame: the map entries inserted
+/// since the frame opened, so the pop can evict exactly those.
+#[derive(Default)]
+struct GuardFrame {
+    cache_added: Vec<ExprId>,
+    vars_added: Vec<VarId>,
+    guards_added: Vec<ExprId>,
+}
+
 /// Persistent bit-blasting context owning its [`SatSolver`].
 pub struct BitBlaster {
     sat: SatSolver,
@@ -28,10 +37,13 @@ pub struct BitBlaster {
     var_bits: HashMap<VarId, Vec<Lit>>,
     guards: HashMap<ExprId, Lit>,
     true_lit: Lit,
+    frames: Vec<GuardFrame>,
     /// Assertions whose guard (and CNF) already existed when requested.
     pub guard_hits: u64,
     /// Assertions blasted and guarded for the first time.
     pub guards_created: u64,
+    /// Guards (and their CNF) freed by popped recycling frames.
+    pub guards_recycled: u64,
 }
 
 impl Default for BitBlaster {
@@ -52,9 +64,44 @@ impl BitBlaster {
             var_bits: HashMap::new(),
             guards: HashMap::new(),
             true_lit: Lit::pos(t),
+            frames: Vec::new(),
             guard_hits: 0,
             guards_created: 0,
+            guards_recycled: 0,
         }
+    }
+
+    /// Opens a scoped guard-recycling frame. Every expression blasted, SAT
+    /// variable allocated, and guard created until the matching
+    /// [`BitBlaster::pop_guard_frame`] is transient: the pop deletes its
+    /// CNF from the backend and evicts the corresponding memo entries, so
+    /// transient constraint blocks (max/min trial bits, enumeration
+    /// exclusions) do not grow the persistent instance. Frames nest.
+    pub fn push_guard_frame(&mut self) {
+        self.sat.push_frame();
+        self.frames.push(GuardFrame::default());
+    }
+
+    /// Closes the innermost guard-recycling frame, freeing the clauses and
+    /// memo entries it introduced (counted in
+    /// [`BitBlaster::guards_recycled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is open.
+    pub fn pop_guard_frame(&mut self) {
+        let frame = self.frames.pop().expect("pop without push_guard_frame");
+        for id in &frame.cache_added {
+            self.cache.remove(id);
+        }
+        for var in &frame.vars_added {
+            self.var_bits.remove(var);
+        }
+        for id in &frame.guards_added {
+            self.guards.remove(id);
+        }
+        self.guards_recycled += frame.guards_added.len() as u64;
+        self.sat.pop_frame();
     }
 
     /// The underlying SAT solver.
@@ -327,6 +374,9 @@ impl BitBlaster {
             if missing.is_empty() {
                 let bits = self.blast_node(pool, cur);
                 self.cache.insert(cur, bits);
+                if let Some(frame) = self.frames.last_mut() {
+                    frame.cache_added.push(cur);
+                }
                 stack.pop();
             } else {
                 stack.extend(missing);
@@ -355,6 +405,9 @@ impl BitBlaster {
                 }
                 let bits: Vec<Lit> = (0..width).map(|_| self.fresh()).collect();
                 self.var_bits.insert(var, bits.clone());
+                if let Some(frame) = self.frames.last_mut() {
+                    frame.vars_added.push(var);
+                }
                 bits
             }
             Node::Not { a } => self.cache[&a].iter().map(|l| l.negated()).collect(),
@@ -451,6 +504,9 @@ impl BitBlaster {
         let g = self.fresh();
         self.sat.add_clause(&[g.negated(), bits[0]]);
         self.guards.insert(id, g);
+        if let Some(frame) = self.frames.last_mut() {
+            frame.guards_added.push(id);
+        }
         self.guards_created += 1;
         g
     }
@@ -663,5 +719,78 @@ mod tests {
         assert_eq!(bb.guard(&p, e2), g2);
         assert_eq!(bb.guard_hits, 2);
         assert_eq!(bb.sat().num_clauses(), clauses_before, "no re-blasting");
+    }
+
+    #[test]
+    fn guard_frames_recycle_transient_clauses() {
+        // A guard created inside a frame disappears with the frame: its
+        // clauses and variables are freed, the memo forgets it, and the
+        // persistent constraints still answer correctly afterwards.
+        let mut p = ExprPool::new();
+        let x = p.fresh_var("x", 8);
+        let c10 = p.constant(8, 10);
+        let base = p.bin(BinOp::Ult, x, c10); // x < 10, persistent
+        let mut bb = BitBlaster::new();
+        let gb = bb.guard(&p, base);
+        let clauses0 = bb.sat().num_clauses();
+        let vars0 = bb.sat().num_vars();
+
+        bb.push_guard_frame();
+        let c3 = p.constant(8, 3);
+        let trial = p.eq(x, c3); // transient trial constraint
+        let gt = bb.guard(&p, trial);
+        assert!(bb.sat().num_clauses() > clauses0, "trial CNF was added");
+        match bb.sat_mut().solve_under_assumptions(&[gb, gt]) {
+            SatOutcome::Sat(m) => assert_eq!(bb.var_value(crate::expr::VarId(0), &m), 3),
+            other => panic!("x<10 and x==3 is sat, got {other:?}"),
+        }
+        bb.pop_guard_frame();
+
+        assert_eq!(bb.sat().num_clauses(), clauses0, "trial clauses freed");
+        assert_eq!(bb.sat().num_vars(), vars0, "trial variables freed");
+        assert_eq!(bb.guards_recycled, 1);
+        // The persistent assertion still works, and re-guarding the trial
+        // re-blasts it (the memo entry is gone).
+        match bb.sat_mut().solve_under_assumptions(&[gb]) {
+            SatOutcome::Sat(m) => assert!(bb.var_value(crate::expr::VarId(0), &m) < 10),
+            other => panic!("x<10 is sat, got {other:?}"),
+        }
+        let created = bb.guards_created;
+        let gt2 = bb.guard(&p, trial);
+        assert_eq!(bb.guards_created, created + 1, "recycled guard re-blasts");
+        match bb.sat_mut().solve_under_assumptions(&[gb, gt2]) {
+            SatOutcome::Sat(m) => assert_eq!(bb.var_value(crate::expr::VarId(0), &m), 3),
+            other => panic!("x<10 and x==3 is still sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_guard_frames_pop_in_order() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_var("x", 8);
+        let mut bb = BitBlaster::new();
+        let c1 = p.constant(8, 1);
+        let c2 = p.constant(8, 2);
+        let e1 = p.eq(x, c1);
+        let e2 = p.eq(x, c2);
+        bb.push_guard_frame();
+        let g1 = bb.guard(&p, e1);
+        let inner_mark = bb.sat().num_clauses();
+        bb.push_guard_frame();
+        let g2 = bb.guard(&p, e2);
+        assert_eq!(
+            bb.sat_mut().solve_under_assumptions(&[g1, g2]),
+            SatOutcome::Unsat
+        );
+        bb.pop_guard_frame();
+        assert_eq!(bb.sat().num_clauses(), inner_mark, "inner frame freed");
+        // Outer frame's guard still live and satisfiable.
+        match bb.sat_mut().solve_under_assumptions(&[g1]) {
+            SatOutcome::Sat(m) => assert_eq!(bb.var_value(crate::expr::VarId(0), &m), 1),
+            other => panic!("x==1 is sat, got {other:?}"),
+        }
+        bb.pop_guard_frame();
+        assert_eq!(bb.guards_recycled, 2);
+        assert!(matches!(bb.sat_mut().solve(), SatOutcome::Sat(_)));
     }
 }

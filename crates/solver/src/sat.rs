@@ -127,6 +127,16 @@ struct Clause {
 /// Minimum learned-clause count before the first database reduction.
 const MIN_LEARNED_CAP: usize = 2_000;
 
+/// Snapshot of the solver's level-0 extent, taken by
+/// [`SatSolver::push_frame`] and restored by [`SatSolver::pop_frame`].
+struct FrameMark {
+    clauses: usize,
+    trail: usize,
+    vars: usize,
+    num_learned: usize,
+    unsat: bool,
+}
+
 /// CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
 ///
 /// # Examples
@@ -184,6 +194,8 @@ pub struct SatSolver {
     /// Scratch for LBD computation: per-decision-level epoch stamps.
     lbd_stamp: Vec<u64>,
     lbd_epoch: u64,
+    /// Active recycling frames (see [`SatSolver::push_frame`]).
+    frames: Vec<FrameMark>,
 }
 
 impl Default for SatSolver {
@@ -218,6 +230,7 @@ impl SatSolver {
             clauses_deleted: 0,
             lbd_stamp: Vec::new(),
             lbd_epoch: 0,
+            frames: Vec::new(),
         }
     }
 
@@ -479,7 +492,9 @@ impl SatSolver {
 
     fn pick_branch_var(&mut self) -> Option<u32> {
         while let Some(OrderEntry(_, v)) = self.order.pop() {
-            if self.assign[v as usize] == Val::Undef {
+            // Entries can outlive their variable when a frame pop truncates
+            // the variable arrays; skip those.
+            if (v as usize) < self.assign.len() && self.assign[v as usize] == Val::Undef {
                 return Some(v);
             }
         }
@@ -492,7 +507,9 @@ impl SatSolver {
     /// clauses (LBD ≤ 2) are always kept. Must run at decision level 0.
     fn maybe_reduce_db(&mut self) {
         debug_assert!(self.trail_lim.is_empty());
-        if self.num_learned <= self.learned_cap {
+        // Reduction remaps clause indices, which would invalidate the marks
+        // of any open frame; frames are short-lived, so just wait them out.
+        if self.num_learned <= self.learned_cap || !self.frames.is_empty() {
             return;
         }
         // Clause indices are about to be remapped; level-0 reasons are never
@@ -565,6 +582,83 @@ impl SatSolver {
         self.num_learned -= drop_n;
         self.clauses_deleted += drop_n as u64;
         self.learned_cap += self.learned_cap / 2;
+    }
+
+    /// Opens a recycling frame: everything added after this point —
+    /// variables, clauses (problem and learned), and level-0 implications —
+    /// is removed again by the matching [`SatSolver::pop_frame`]. Frames
+    /// nest. Must be called at decision level 0 (i.e. between queries).
+    ///
+    /// This is how transient constraint blocks (the trial constraints of a
+    /// max/min search, the exclusion clauses of value enumeration) stay
+    /// bounded: their CNF lives only for the duration of the frame instead
+    /// of accumulating in the persistent database forever.
+    pub fn push_frame(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "frames open at level 0");
+        self.frames.push(FrameMark {
+            clauses: self.clauses.len(),
+            trail: self.trail.len(),
+            vars: self.assign.len(),
+            num_learned: self.num_learned,
+            unsat: self.unsat,
+        });
+    }
+
+    /// Closes the innermost recycling frame, deleting every clause and
+    /// variable added since the matching [`SatSolver::push_frame`] and
+    /// undoing level-0 implications derived in between. Learned clauses
+    /// from the frame are dropped wholesale — they may resolve on removed
+    /// clauses, so none of them is guaranteed to remain implied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is open.
+    pub fn pop_frame(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "frames close at level 0");
+        let mark = self.frames.pop().expect("pop_frame without push_frame");
+        // Undo level-0 assignments enqueued during the frame.
+        while self.trail.len() > mark.trail {
+            let l = self.trail.pop().unwrap();
+            let v = l.var() as usize;
+            self.assign[v] = Val::Undef;
+            self.reason[v] = None;
+            if v < mark.vars {
+                self.order.push(OrderEntry(self.activity[v], l.var()));
+            }
+        }
+        self.qhead = self.trail.len();
+        // Drop frame clauses and any watch-list references to them.
+        // Propagation moves watches between lists, so the frame's clause
+        // indices can sit anywhere: this sweeps every list (O(total watch
+        // entries) per pop — about one propagate pass's worth of work,
+        // paid once per bounds query). Journaling watch positions would
+        // make pops O(frame), at bookkeeping cost on the propagate hot
+        // path; see the ROADMAP note.
+        for c in self.clauses.drain(mark.clauses..) {
+            if c.learned {
+                self.num_learned -= 1;
+            }
+        }
+        debug_assert_eq!(self.num_learned, mark.num_learned);
+        let cap = mark.clauses as u32;
+        for w in self.watches.iter_mut() {
+            w.retain(|&ci| ci < cap);
+        }
+        // Drop frame variables. Kept clauses predate the frame and can only
+        // reference pre-frame variables, so truncation is safe; stale order
+        // heap entries are skipped by `pick_branch_var`.
+        self.assign.truncate(mark.vars);
+        self.phase.truncate(mark.vars);
+        self.reason.truncate(mark.vars);
+        self.level.truncate(mark.vars);
+        self.activity.truncate(mark.vars);
+        self.watches.truncate(2 * mark.vars);
+        self.unsat = mark.unsat;
+    }
+
+    /// Number of open recycling frames.
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
     }
 
     /// Runs the CDCL search to completion with no assumptions.

@@ -124,6 +124,9 @@ pub struct SolverStats {
     pub blast_cache_misses: u64,
     /// Learned clauses deleted by the backend's database reductions.
     pub clauses_deleted: u64,
+    /// Transient guards (max/min trial bits, enumeration exclusions) whose
+    /// clauses were freed by a popped guard-recycling frame.
+    pub guards_recycled: u64,
     /// Independent components across all queries that reached partitioning
     /// (queries served by constant folding or model reuse contribute none).
     pub components: u64,
@@ -162,7 +165,8 @@ impl SolverStats {
         format!(
             "{} queries ({} const, {} model-reuse, {} cache hits, {} SAT), \
              {} assumption solves, {} blast-cache hits, {} components, \
-             {} learned deleted, {} evictions, {} unknowns, {:?} in SAT",
+             {} learned deleted, {} guards recycled, {} evictions, \
+             {} unknowns, {:?} in SAT",
             self.queries,
             self.const_hits,
             self.model_reuse_hits,
@@ -172,6 +176,7 @@ impl SolverStats {
             self.blast_cache_hits,
             self.components,
             self.clauses_deleted,
+            self.guards_recycled,
             self.cache_evictions,
             self.unknowns,
             self.sat_time,
@@ -397,6 +402,7 @@ impl Solver {
         self.stats.blast_cache_hits = self.blaster.guard_hits;
         self.stats.blast_cache_misses = self.blaster.guards_created;
         self.stats.clauses_deleted = self.blaster.sat().clauses_deleted;
+        self.stats.guards_recycled = self.blaster.guards_recycled;
         let res = match outcome {
             SatOutcome::Unknown => {
                 self.stats.unknowns += 1;
@@ -479,6 +485,9 @@ impl Solver {
         if !self.is_feasible(pool, assertions) {
             return None;
         }
+        // The w trial constraints are transient: scope their CNF to a
+        // guard-recycling frame so long sessions don't accumulate it.
+        self.blaster.push_guard_frame();
         let w = pool.width(expr);
         let mut prefix = 0u64;
         let mut query: Vec<ExprId> = assertions.to_vec();
@@ -494,7 +503,15 @@ impl Solver {
                 prefix = trial;
             }
         }
+        self.pop_guard_frame();
         Some(prefix)
+    }
+
+    /// Closes the innermost backend recycling frame and refreshes the
+    /// recycling counter in [`SolverStats`].
+    fn pop_guard_frame(&mut self) {
+        self.blaster.pop_guard_frame();
+        self.stats.guards_recycled = self.blaster.guards_recycled;
     }
 
     /// Minimum value of `expr` under `assertions`, by MSB-first bit fixing
@@ -512,6 +529,7 @@ impl Solver {
         if !self.is_feasible(pool, assertions) {
             return None;
         }
+        self.blaster.push_guard_frame();
         let w = pool.width(expr);
         let mut prefix = 0u64;
         let mut query: Vec<ExprId> = assertions.to_vec();
@@ -526,6 +544,7 @@ impl Solver {
                 prefix |= 1u64 << bit;
             }
         }
+        self.pop_guard_frame();
         Some(prefix)
     }
 
@@ -542,6 +561,14 @@ impl Solver {
         limit: usize,
     ) -> Vec<u64> {
         let mut out = Vec::new();
+        if limit == 0 || !self.is_feasible(pool, assertions) {
+            return out;
+        }
+        // Exclusion constraints are transient; recycle their clauses when
+        // the enumeration finishes. The pre-check above keeps the base
+        // assertions' guards outside the frame, so path conditions stay in
+        // the persistent instance.
+        self.blaster.push_guard_frame();
         let mut query = assertions.to_vec();
         while out.len() < limit {
             match self.check(pool, &query) {
@@ -556,6 +583,7 @@ impl Solver {
                 }
             }
         }
+        self.pop_guard_frame();
         out
     }
 }
@@ -753,6 +781,35 @@ mod tests {
         let y1 = pool.eq(y, c1);
         let y2 = pool.eq(y, c2);
         assert_eq!(s.check(&pool, &[cx, y1, y2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn optimization_loops_recycle_their_guards() {
+        // max/min/enumerate create transient trial guards; after each call
+        // the backend clause count must return to its pre-call level, so
+        // long sessions issuing many bounds queries stay bounded.
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c100 = pool.constant(8, 100);
+        let le = pool.bin(BinOp::Ule, x, c100);
+        // Materialize the persistent part first.
+        assert!(s.check(&pool, &[le]).is_sat());
+        assert_eq!(s.max_value(&mut pool, x, &[le]), Some(100));
+        let clauses_after_first = s.blaster.sat().num_clauses();
+        assert!(s.stats.guards_recycled > 0, "trial guards were recycled");
+        for _ in 0..5 {
+            assert_eq!(s.max_value(&mut pool, x, &[le]), Some(100));
+            assert_eq!(s.min_value(&mut pool, x, &[le]), Some(0));
+            let mut vals = s.enumerate_values(&mut pool, x, &[le], 3);
+            vals.sort_unstable();
+            assert_eq!(vals.len(), 3);
+        }
+        assert_eq!(
+            s.blaster.sat().num_clauses(),
+            clauses_after_first,
+            "repeated optimization calls must not grow the clause database"
+        );
     }
 
     #[test]

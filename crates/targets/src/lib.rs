@@ -135,6 +135,28 @@ impl Package {
             .unwrap_or_else(|e| panic!("package {}: {e}", self.name))
     }
 
+    /// The package as a `chef-serve` job, so evaluation workloads can be
+    /// submitted to the persistent daemon: same source, entry, and
+    /// argument layout as [`Package::run`] explores, with the session
+    /// budget filled in by the caller.
+    pub fn job_spec(&self) -> chef_serve::JobSpec {
+        use chef_minipy::SymbolicValue;
+        let lang = match self.lang {
+            Lang::Python => chef_serve::JobLang::Python,
+            Lang::Lua => chef_serve::JobLang::Lua,
+        };
+        let mut spec = chef_serve::JobSpec::new(lang, self.source, &self.test.entry);
+        for arg in &self.test.args {
+            spec = match arg {
+                SymbolicValue::SymStr { name, len } => spec.sym_str(name.clone(), *len),
+                SymbolicValue::SymInt { name, min, max } => spec.sym_int(name.clone(), *min, *max),
+                SymbolicValue::ConcreteStr(s) => spec.concrete_str(s.clone()),
+                SymbolicValue::ConcreteInt(v) => spec.concrete_int(*v),
+            };
+        }
+        spec
+    }
+
     /// Coverable LOC (Table 3): distinct source lines with compiled code.
     pub fn coverable_loc(&self) -> usize {
         self.compile().coverable_lines()
@@ -208,6 +230,27 @@ mod tests {
                 .try_compile()
                 .unwrap_or_else(|e| panic!("{}: {e}", pkg.name));
             assert!(module.coverable_lines() > 5, "{} too trivial", pkg.name);
+        }
+    }
+
+    #[test]
+    fn every_package_is_daemon_servable() {
+        // Each Table 3 package converts to a chef-serve job whose spec
+        // round-trips through the protocol JSON and rebuilds the same
+        // instrumented program shape the local harness uses.
+        for pkg in all_packages() {
+            let spec = pkg.job_spec();
+            let text = spec.to_value().to_json();
+            let parsed = chef_serve::json::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: spec json: {e}", pkg.name));
+            let back = chef_serve::JobSpec::from_value(&parsed)
+                .unwrap_or_else(|e| panic!("{}: spec decode: {e}", pkg.name));
+            assert_eq!(back, spec, "{}: spec round-trips", pkg.name);
+            assert_eq!(back.target_key(), spec.target_key(), "{}", pkg.name);
+            let prog = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: job build: {e}", pkg.name));
+            assert!(prog.validate().is_ok(), "{}", pkg.name);
         }
     }
 

@@ -1,30 +1,55 @@
 //! Command-line front-end: point Chef at a MiniPy/MiniLua source file and
-//! generate a test suite.
+//! generate a test suite — one-shot, or through the persistent `chef-serve`
+//! daemon.
 //!
 //! ```console
 //! $ chef-cli run program.py --entry validate --sym-str email:8
-//! $ chef-cli run script.lua --entry parse --sym-str json:5 --strategy cupa-cov
+//! $ chef-cli run script.lua --entry parse --sym-str json:5 --strategy cupa-coverage
+//! $ chef-cli serve --addr 127.0.0.1:4455 --data-dir ./chef-data
+//! $ chef-cli submit program.py --entry validate --sym-str email:8
+//! $ chef-cli status s1 && chef-cli results s1
 //! $ chef-cli disasm program.py
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use chef::core::{Chef, ChefConfig, StrategyKind, TestCase, TestStatus};
 use chef::fleet::{run_fleet, FleetConfig};
-use chef::minipy::{build_program, CompiledModule, InterpreterOptions, SymbolicTest};
+use chef::minipy::{build_program, CompiledModule, InterpreterOptions};
+use chef::serve::{parse_strategy, Client, JobLang, JobSpec, ServeConfig, Server, SessionStatus};
+
+/// Default daemon address shared by `serve` and the client subcommands.
+const DEFAULT_ADDR: &str = "127.0.0.1:4455";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
   chef-cli run <file.py|file.lua> --entry <fn> [--sym-str name:len]...
-           [--sym-int name:min:max]... [--strategy random|cupa|cupa-cov|dfs]
+           [--sym-int name:min:max]...
+           [--strategy random|dfs|cupa-path|cupa-coverage]
            [--budget <ll-instructions>] [--vanilla] [--seed <n>]
            [--jobs <n>] [--portfolio]
   chef-cli disasm <file.py|file.lua>
 
+  chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
+                  [--checkpoint-interval <ll-instructions>]
+  chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
+                  [--sym-int name:min:max]... [--strategy <s>]
+                  [--budget <n>] [--seed <n>] [--jobs <n>]
+                  [--addr <host:port>] [--wait]
+  chef-cli status   <session> [--addr <host:port>]
+  chef-cli sessions [--addr <host:port>]
+  chef-cli results  <session> [--addr <host:port>]
+  chef-cli pause    <session> [--addr <host:port>]
+  chef-cli resume   <session> [--addr <host:port>]
+  chef-cli shutdown [--addr <host:port>]
+
   --jobs n      explore with n parallel workers (chef-fleet)
   --portfolio   run a strategy portfolio across the workers against a
-                shared coverage map (implies --jobs >= 2 unless given)"
+                shared coverage map (implies --jobs >= 2 unless given)
+  --wait        block until the submitted session settles, then print its
+                status"
     );
     ExitCode::from(2)
 }
@@ -43,6 +68,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("status") => session_cmd(&args[1..], SessionCmd::Status),
+        Some("results") => session_cmd(&args[1..], SessionCmd::Results),
+        Some("pause") => session_cmd(&args[1..], SessionCmd::Pause),
+        Some("resume") => session_cmd(&args[1..], SessionCmd::Resume),
+        Some("sessions") => sessions(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
         _ => usage(),
     }
 }
@@ -70,6 +103,35 @@ fn disasm(args: &[String]) -> ExitCode {
     }
 }
 
+/// Builds the job specification `run` and `submit` share: source file,
+/// entry, and the `--sym-str name:len` / `--sym-int name:min:max` flags.
+/// This is the single place the argument grammar is parsed, and the
+/// source is read exactly once — the corpus key and the explored program
+/// always describe the same bytes.
+fn spec_from_cli(
+    path: &str,
+    entry: &str,
+    test_args: &[(String, String)],
+) -> Result<JobSpec, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spec = JobSpec::new(JobLang::from_path(path), source, entry);
+    for (kind, raw) in test_args {
+        let parts: Vec<&str> = raw.split(':').collect();
+        match (kind.as_str(), parts.as_slice()) {
+            ("--sym-str", [name, len]) => match len.parse::<usize>() {
+                Ok(len) => spec = spec.sym_str(*name, len),
+                Err(_) => return Err(format!("bad --sym-str spec '{raw}'")),
+            },
+            ("--sym-int", [name, min, max]) => match (min.parse::<i64>(), max.parse::<i64>()) {
+                (Ok(min), Ok(max)) => spec = spec.sym_int(*name, min, max),
+                _ => return Err(format!("bad --sym-int spec '{raw}'")),
+            },
+            _ => return Err(format!("bad symbolic argument spec '{raw}'")),
+        }
+    }
+    Ok(spec)
+}
+
 fn run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
@@ -93,13 +155,10 @@ fn run(args: &[String]) -> ExitCode {
                 test_args.push((flag.clone(), spec.clone()));
             }
             "--strategy" => {
-                strategy = match it.next().map(String::as_str) {
-                    Some("random") => StrategyKind::Random,
-                    Some("cupa") => StrategyKind::CupaPath,
-                    Some("cupa-cov") => StrategyKind::CupaCoverage,
-                    Some("dfs") => StrategyKind::Dfs,
-                    _ => return usage(),
+                let Some(s) = it.next().map(String::as_str).and_then(parse_strategy) else {
+                    return usage();
                 };
+                strategy = s;
             }
             "--budget" => {
                 let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
@@ -134,30 +193,25 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("--entry is required");
         return usage();
     };
-    let mut test = SymbolicTest::new(&entry);
-    for (kind, spec) in &test_args {
-        let parts: Vec<&str> = spec.split(':').collect();
-        match (kind.as_str(), parts.as_slice()) {
-            ("--sym-str", [name, len]) => match len.parse::<usize>() {
-                Ok(len) => test = test.sym_str(*name, len),
-                Err(_) => return usage(),
-            },
-            ("--sym-int", [name, min, max]) => match (min.parse::<i64>(), max.parse::<i64>()) {
-                (Ok(min), Ok(max)) => test = test.sym_int(*name, min, max),
-                _ => return usage(),
-            },
-            _ => return usage(),
-        }
-    }
-
-    let module = match compile_file(path) {
-        Ok(m) => m,
+    // One spec describes the job: its target_key is the corpus identity
+    // (the same key `chef-serve` files tests under, so one-shot runs and
+    // daemon sessions line up) and its source/test build the program.
+    let spec = match spec_from_cli(path, &entry, &test_args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let corpus_id = spec.target_key();
+    let module = match spec.compile() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let prog = match build_program(&module, &opts, &test) {
+    let prog = match build_program(&module, &opts, &spec.symbolic_test()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -188,7 +242,7 @@ fn run(args: &[String]) -> ExitCode {
         let report = run_fleet(&prog, fleet_config);
         let strategies: Vec<&str> = report.per_worker.iter().map(|r| r.strategy).collect();
         println!(
-            "fleet jobs={} strategies={:?} build={} ll-instructions={} elapsed={:?}",
+            "corpus={corpus_id} fleet jobs={} strategies={:?} build={} ll-instructions={} elapsed={:?}",
             report.jobs,
             strategies,
             opts.label(),
@@ -221,7 +275,7 @@ fn run(args: &[String]) -> ExitCode {
     }
     let report = Chef::new(&prog, chef_config).run();
     println!(
-        "strategy={} build={} ll-instructions={} elapsed={:?}",
+        "corpus={corpus_id} strategy={} build={} ll-instructions={} elapsed={:?}",
         report.strategy,
         opts.label(),
         report.ll_instructions,
@@ -256,5 +310,259 @@ fn print_tests<'a>(tests: impl Iterator<Item = &'a TestCase>) {
             (TestStatus::Crash(c), None) => format!("CRASH({c})"),
         };
         println!("  [{}] {} -> {}", t.id, parts.join(" "), status);
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig {
+        addr: DEFAULT_ADDR.into(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let Some(a) = it.next() else { return usage() };
+                config.addr = a.clone();
+            }
+            "--data-dir" => {
+                let Some(d) = it.next() else { return usage() };
+                config.data_dir = d.into();
+            }
+            "--checkpoint-interval" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                config.checkpoint_interval_ll = v;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!(
+            "chef-serve listening on {addr}, data in {}",
+            config.data_dir.display()
+        ),
+        Err(_) => println!("chef-serve listening"),
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("chef-serve stopped (sessions checkpointed)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: daemon failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut entry = None;
+    let mut test_args: Vec<(String, String)> = Vec::new();
+    let mut strategy = StrategyKind::CupaPath;
+    let mut budget = 2_000_000u64;
+    let mut seed = 0u64;
+    let mut jobs = 1usize;
+    let mut wait = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--entry" => entry = it.next().cloned(),
+            "--sym-str" | "--sym-int" => {
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
+                test_args.push((flag.clone(), spec.clone()));
+            }
+            "--strategy" => {
+                let Some(s) = it.next().map(String::as_str).and_then(parse_strategy) else {
+                    return usage();
+                };
+                strategy = s;
+            }
+            "--budget" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                budget = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seed = v;
+            }
+            "--jobs" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                jobs = v;
+            }
+            "--addr" => {
+                let Some(a) = it.next() else { return usage() };
+                addr = a.clone();
+            }
+            "--wait" => wait = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(entry) = entry else {
+        eprintln!("--entry is required");
+        return usage();
+    };
+    let mut spec = match spec_from_cli(path, &entry, &test_args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    spec.strategy = strategy;
+    spec.budget = budget;
+    spec.seed = seed;
+    spec.jobs = jobs.max(1);
+    let client = Client::new(addr);
+    match client.submit(&spec) {
+        Ok(session) => {
+            println!("session={session} corpus={}", spec.target_key());
+            if wait {
+                match client.wait_settled(&session, Duration::from_secs(24 * 3600)) {
+                    Ok(st) => print_status(&st),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum SessionCmd {
+    Status,
+    Results,
+    Pause,
+    Resume,
+}
+
+fn parse_addr(args: &[String]) -> Option<String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next()?.clone(),
+            _ => return None,
+        }
+    }
+    Some(addr)
+}
+
+fn print_status(st: &SessionStatus) {
+    let live = if st.state == "running" {
+        format!(" live-tests={}", st.live_tests)
+    } else {
+        String::new()
+    };
+    println!(
+        "session={} state={} corpus={} corpus-tests={} new-tests={} seeded={} \
+         ll-instructions={} covered-hlpcs={}{live}",
+        st.session,
+        st.state,
+        st.target,
+        st.corpus_tests,
+        st.new_tests,
+        st.seeded_tests,
+        st.ll_instructions,
+        st.covered_hlpcs
+    );
+}
+
+fn session_cmd(args: &[String], cmd: SessionCmd) -> ExitCode {
+    let Some(session) = args.first() else {
+        return usage();
+    };
+    let Some(addr) = parse_addr(&args[1..]) else {
+        return usage();
+    };
+    let client = Client::new(addr);
+    let result = match cmd {
+        SessionCmd::Status => client.status(session).map(|st| print_status(&st)),
+        SessionCmd::Results => client.results(session).map(|tests| {
+            println!("{} corpus tests:", tests.len());
+            print_tests(tests.iter());
+        }),
+        SessionCmd::Pause => client.pause(session).map(|()| {
+            println!("pause requested for {session}");
+        }),
+        SessionCmd::Resume => client.resume(session).map(|()| {
+            println!("resumed {session}");
+        }),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sessions(args: &[String]) -> ExitCode {
+    let Some(addr) = parse_addr(args) else {
+        return usage();
+    };
+    match Client::new(addr).list() {
+        Ok(list) => {
+            for st in &list {
+                print_status(st);
+            }
+            if list.is_empty() {
+                println!("no sessions");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn shutdown(args: &[String]) -> ExitCode {
+    let Some(addr) = parse_addr(args) else {
+        return usage();
+    };
+    match Client::new(addr).shutdown() {
+        Ok(()) => {
+            println!("daemon asked to shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

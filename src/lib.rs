@@ -9,6 +9,8 @@
 //! - [`symex`] — the low-level symbolic executor (S2E substitute)
 //! - [`core`] — the Chef layer: HLPC tracing, CUPA, test generation
 //! - [`fleet`] — parallel work-sharing exploration (prefix-replay shipping)
+//! - [`serve`] — persistent exploration service (daemon, disk-backed
+//!   corpus, resumable sessions)
 //! - [`minipy`] — the Python-subset interpreter, compiled to LIR
 //! - [`minilua`] — the Lua-subset front-end
 //! - [`nice`] — the hand-made baseline engine (NICE-PySE substitute)
@@ -34,6 +36,7 @@ pub use chef_lir as lir;
 pub use chef_minilua as minilua;
 pub use chef_minipy as minipy;
 pub use chef_nice as nice;
+pub use chef_serve as serve;
 pub use chef_solver as solver;
 pub use chef_symex as symex;
 pub use chef_targets as targets;
