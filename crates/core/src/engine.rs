@@ -3,11 +3,14 @@
 //! terminated paths into replayable test cases (§3.1, Figure 4).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chef_lir::{ConcreteOutcome, InputMap, Program};
 use chef_solver::SolverStats;
-use chef_symex::{ExecConfig, ExecStats, Executor, GuestEvent, State, StepEvent, TermStatus};
+use chef_symex::{
+    ExecConfig, ExecStats, Executor, GuestEvent, Snapshot, State, StepEvent, TermStatus,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -221,6 +224,16 @@ struct Meta {
     last_exception: Option<String>,
 }
 
+/// Restore-base identity for grouping pending seeds: the snapshot
+/// fingerprint the seed can restore from, or `None` for full replay from
+/// the program root.
+fn seed_group_key(seed: &WorkSeed) -> Option<u64> {
+    seed.snapshot
+        .as_ref()
+        .filter(|sn| seed.suffix(sn).is_some())
+        .map(|sn| sn.fingerprint)
+}
+
 enum SliceOutcome {
     Reinsert(State, Meta),
     Forked(State, Meta, Vec<(State, Meta)>),
@@ -278,6 +291,16 @@ pub struct Chef<'p> {
     tree: HlTree,
     cfg: HlCfg,
     live: Vec<(State, Meta)>,
+    /// Queued frontier seeds awaiting lazy activation, grouped by restore
+    /// base and sorted so consecutive seeds share decision prefixes.
+    pending: std::collections::VecDeque<WorkSeed>,
+    /// Copy-on-write clones along the most recently activated seed's
+    /// replay path: `(decisions consumed, state, meta)`. The next pending
+    /// seed starts from the deepest entry matching its prefix.
+    replay_stack: Vec<(usize, State, Meta)>,
+    /// Restore base (snapshot fingerprint, `None` = root) the stack's
+    /// entries descend from; `None` when the stack is invalid.
+    replay_stack_key: Option<Option<u64>>,
     seen_hl_paths: HashSet<HlNodeId>,
     tests: Vec<TestCase>,
     covered_hlpcs: HashSet<u64>,
@@ -311,12 +334,12 @@ impl<'p> Chef<'p> {
     }
 
     /// Creates an engine whose initial work is the given seeds instead of
-    /// the program root (a fleet worker starts empty and steals).
+    /// the program root (a fleet worker starts empty and steals). Seeds
+    /// are injected as one group ([`Chef::inject_frontier`]), so shared
+    /// replay prefixes are walked once.
     pub fn from_seeds(prog: &'p Program, config: ChefConfig, seeds: &[WorkSeed]) -> Self {
         let mut chef = Self::without_states(prog, config);
-        for seed in seeds {
-            chef.inject_seed(seed);
-        }
+        chef.inject_frontier(seeds);
         chef
     }
 
@@ -333,6 +356,9 @@ impl<'p> Chef<'p> {
             tree: HlTree::new(),
             cfg: HlCfg::new(),
             live: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            replay_stack: Vec::new(),
+            replay_stack_key: None,
             seen_hl_paths: HashSet::new(),
             tests: Vec::new(),
             covered_hlpcs: HashSet::new(),
@@ -375,19 +401,225 @@ impl<'p> Chef<'p> {
         self.tests.len()
     }
 
-    /// Injects a portable work seed: the state it encodes becomes live
-    /// after prefix replay (which happens lazily as the state is stepped).
+    /// Injects a portable work seed. With a matching fork-point snapshot
+    /// attached, the state is restored from it and only the post-snapshot
+    /// decision suffix is queued for replay — the interpreter prologue is
+    /// never re-executed. Otherwise (no snapshot, fingerprint-only seed,
+    /// or a snapshot that fails validation) the seed falls back to full
+    /// prefix replay from the program entry, which stays the equivalence
+    /// oracle for the snapshot path.
     pub fn inject_seed(&mut self, seed: &WorkSeed) {
-        let state = self.exec.seeded_state(&seed.choices);
-        self.live.push((
-            state,
-            Meta {
-                hl_node: HL_ROOT,
-                prev_hlpc: None,
-                last_exception: None,
-            },
-        ));
+        let (state, meta) = self.seed_state(seed);
+        self.live.push((state, meta));
         self.seeds_imported += 1;
+    }
+
+    fn seed_state(&mut self, seed: &WorkSeed) -> (State, Meta) {
+        let root_meta = Meta {
+            hl_node: HL_ROOT,
+            prev_hlpc: None,
+            last_exception: None,
+        };
+        if let Some(sn) = &seed.snapshot {
+            if let Some(suffix) = seed.suffix(sn) {
+                if let Some(mut state) = self.exec.restore_state(sn) {
+                    state.replay = suffix.iter().copied().collect();
+                    // Adopt the snapshot so this engine's own exports can
+                    // reference it even if it never runs the prologue.
+                    if self.exec.fork_snapshot.is_none() {
+                        self.exec.fork_snapshot = Some(Arc::clone(sn));
+                    }
+                    // Replay the captured high-level prefix into the tree
+                    // and CFG — exactly what the skipped prologue's
+                    // `log_pc` events would have done — so restored states
+                    // carry the same high-level path identity as fully
+                    // replayed ones.
+                    let mut meta = root_meta;
+                    for &(pc, opcode) in &sn.hl_events {
+                        meta.hl_node = self.tree.child(meta.hl_node, pc);
+                        self.cfg.observe(meta.prev_hlpc, pc, opcode);
+                        meta.prev_hlpc = Some(pc);
+                    }
+                    return (state, meta);
+                }
+            }
+        }
+        (self.exec.seeded_state(&seed.choices), root_meta)
+    }
+
+    /// The fork-point snapshot this engine holds: captured by its own
+    /// executor before the first symbolic event, or adopted from an
+    /// injected seed.
+    pub fn fork_snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.exec.fork_snapshot.clone()
+    }
+
+    /// Queues a whole frontier for injection, sharing replay work across
+    /// seeds.
+    ///
+    /// A checkpointed frontier is the leaf set of a fork tree: seeds with
+    /// a common decision prefix would each re-execute that prefix under
+    /// one-at-a-time injection. Queued as a sorted group they walk the
+    /// decision trie instead — when a seed is activated, it starts from a
+    /// copy-on-write clone its predecessor left at their divergence point,
+    /// replaying only the difference. Combined with snapshot restore
+    /// (which already removes the pre-fork-point prologue) this makes
+    /// resume cost proportional to the *tree* below the fork point, not
+    /// the sum of root-to-leaf path lengths.
+    ///
+    /// Activation is lazy: a pending seed becomes a live state only when
+    /// the engine runs out of live work ([`Chef::step_round`]), so budget
+    /// slices interleave injection with exploration exactly as
+    /// injector-fed engines always did. Replay itself performs the same
+    /// steps, under the same budget/fuel rules, as one-at-a-time
+    /// injection — canonical test sets are unchanged.
+    pub fn inject_frontier(&mut self, seeds: &[WorkSeed]) {
+        // Group by restore base (snapshot identity or root); sort within
+        // each group so shared prefixes are adjacent in activation order.
+        let mut groups: Vec<(Option<u64>, Vec<WorkSeed>)> = Vec::new();
+        for seed in seeds {
+            let key = seed_group_key(seed);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(seed.clone()),
+                None => groups.push((key, vec![seed.clone()])),
+            }
+        }
+        for (_, mut group) in groups {
+            group.sort_by(|a, b| a.choices.cmp(&b.choices));
+            self.pending.extend(group);
+        }
+    }
+
+    /// Pending (queued, not yet activated) seeds. They count as this
+    /// engine's work alongside live states.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Activates the next pending seed: start from the deepest divergence
+    /// clone its predecessor left behind (or a snapshot restore / full
+    /// replay when none applies), then walk forward to the divergence
+    /// point with the seed after it, leaving clones for that one in turn.
+    fn activate_next_pending(&mut self) -> bool {
+        let Some(seed) = self.pending.pop_front() else {
+            return false;
+        };
+        self.seeds_imported += 1;
+        let key = seed_group_key(&seed);
+        if self.replay_stack_key != Some(key) {
+            self.replay_stack.clear();
+            self.replay_stack_key = Some(key);
+        }
+        // A stack entry at depth d is usable iff its consumed decisions
+        // (its trace) are a prefix of this seed's choices.
+        while self
+            .replay_stack
+            .last()
+            .is_some_and(|(d, st, _)| seed.choices.len() < *d || seed.choices[..*d] != st.trace[..])
+        {
+            self.replay_stack.pop();
+        }
+        let (state, meta) = match self.replay_stack.last() {
+            Some((d, st, meta)) => {
+                let mut st = st.clone();
+                self.exec.adopt_clone(&mut st);
+                st.replay = seed.choices[*d..].iter().copied().collect();
+                (st, meta.clone())
+            }
+            None => self.seed_state(&seed),
+        };
+        let target = self
+            .pending
+            .front()
+            .filter(|next| seed_group_key(next) == key)
+            .map(|next| {
+                seed.choices
+                    .iter()
+                    .zip(&next.choices)
+                    .take_while(|(a, b)| a == b)
+                    .count()
+            })
+            .unwrap_or(0);
+        let mut stack = std::mem::take(&mut self.replay_stack);
+        let walked = self.walk_prefix(state, meta, target, &mut stack);
+        self.replay_stack = stack;
+        if let Some((state, meta)) = walked {
+            self.live.push((state, meta));
+        }
+        if self.pending.is_empty() {
+            self.replay_stack.clear();
+            self.replay_stack_key = None;
+        }
+        true
+    }
+
+    /// Steps a replaying state until it has consumed `target` decisions,
+    /// pushing a copy-on-write clone onto `stack` after each consumed
+    /// decision (the divergence bases sibling seeds start from). Performs
+    /// exactly the steps lazy replay would — same budget, fuel, and
+    /// finalization rules — and returns the state unless it terminated
+    /// along the way.
+    fn walk_prefix(
+        &mut self,
+        mut state: State,
+        mut meta: Meta,
+        target: usize,
+        stack: &mut Vec<(usize, State, Meta)>,
+    ) -> Option<(State, Meta)> {
+        loop {
+            if state.trace.len() >= target
+                || !state.is_replaying()
+                || self.exec.stats.ll_instructions >= self.config.max_ll_instructions
+            {
+                return Some((state, meta));
+            }
+            if state.ll_steps >= self.config.per_path_fuel {
+                self.finalize(state, meta, TestStatus::Hang);
+                return None;
+            }
+            let before = state.trace.len();
+            match self.exec.step(&mut state) {
+                StepEvent::Advanced => {}
+                StepEvent::LogPc { pc, opcode } => {
+                    meta.hl_node = self.tree.child(meta.hl_node, pc);
+                    self.cfg.observe(meta.prev_hlpc, pc, opcode);
+                    meta.prev_hlpc = Some(pc);
+                }
+                StepEvent::Guest(GuestEvent::Exception(name)) => {
+                    meta.last_exception = Some(name);
+                }
+                StepEvent::Guest(_) => {}
+                StepEvent::Forked { .. } => unreachable!("replaying states never fork"),
+                StepEvent::Terminated(status) => {
+                    match status {
+                        TermStatus::AssumeFailed => self.infeasible_paths += 1,
+                        TermStatus::Halted(c) | TermStatus::Ended(c) => {
+                            self.finalize(state, meta, TestStatus::Ok(c))
+                        }
+                        TermStatus::Returned => self.finalize(state, meta, TestStatus::Ok(0)),
+                        TermStatus::Aborted(c) => self.finalize(state, meta, TestStatus::Crash(c)),
+                    }
+                    return None;
+                }
+            }
+            // A single step can consume several decisions (e.g. the two
+            // concretizations of a `make_symbolic`); clone only at depths
+            // that future seeds can actually branch from.
+            if state.trace.len() > before && state.trace.len() <= target {
+                stack.push((state.trace.len(), state.clone(), meta.clone()));
+            }
+        }
+    }
+
+    /// Packages a state for shipping, referencing the engine's fork-point
+    /// snapshot when the state descends from it (always, once a snapshot
+    /// exists — every explored state passes through the fork point).
+    fn seed_of(snapshot: &Option<Arc<Snapshot>>, state: &State) -> WorkSeed {
+        let mut seed = WorkSeed::from_state(state);
+        if let Some(sn) = snapshot {
+            seed.attach_snapshot(sn);
+        }
+        seed
     }
 
     /// Exports up to `max` live states as portable seeds, removing them
@@ -396,10 +628,24 @@ impl<'p> Chef<'p> {
     /// least one live state is always retained, so an engine never starves
     /// itself.
     pub fn export_work(&mut self, max: usize) -> Vec<WorkSeed> {
-        if self.live.len() <= 1 {
+        let total = self.live.len() + self.pending.len();
+        if total <= 1 {
             return Vec::new();
         }
-        let n = max.min(self.live.len() - 1);
+        let mut n = max.min(total - 1);
+        let mut seeds = Vec::with_capacity(n);
+        // Pending seeds ship first: no replay has been invested in them
+        // yet, so handing them off costs this engine nothing. Taken from
+        // the back so the front (whose divergence clones are warm) stays.
+        while n > 0 && !self.pending.is_empty() && self.live.len() + self.pending.len() > 1 {
+            seeds.push(self.pending.pop_back().expect("checked non-empty"));
+            n -= 1;
+        }
+        if n == 0 || self.live.len() <= 1 {
+            self.seeds_exported += seeds.len() as u64;
+            return seeds;
+        }
+        let n = n.min(self.live.len() - 1);
         let mut order: Vec<usize> = (0..self.live.len()).collect();
         order.sort_by_key(|&i| {
             let s = &self.live[i].0;
@@ -408,10 +654,10 @@ impl<'p> Chef<'p> {
         let mut picked: Vec<usize> = order[..n].to_vec();
         // Remove from the back so earlier indices stay valid.
         picked.sort_unstable_by(|a, b| b.cmp(a));
-        let mut seeds = Vec::with_capacity(n);
+        let snapshot = self.exec.fork_snapshot.clone();
         for i in picked {
             let (state, _) = self.live.swap_remove(i);
-            seeds.push(WorkSeed::from_state(&state));
+            seeds.push(Self::seed_of(&snapshot, &state));
         }
         self.seeds_exported += seeds.len() as u64;
         seeds
@@ -423,11 +669,14 @@ impl<'p> Chef<'p> {
     /// exactly the exploration state. Sorted by recorded prefix for a
     /// deterministic, scheduling-independent serialization.
     pub fn frontier(&self) -> Vec<WorkSeed> {
+        let snapshot = self.exec.fork_snapshot.clone();
         let mut seeds: Vec<WorkSeed> = self
             .live
             .iter()
-            .map(|(state, _)| WorkSeed::from_state(state))
+            .map(|(state, _)| Self::seed_of(&snapshot, state))
             .collect();
+        // Queued-but-unactivated seeds are unexplored work too.
+        seeds.extend(self.pending.iter().cloned());
         seeds.sort_by(|a, b| a.choices.cmp(&b.choices));
         seeds
     }
@@ -437,11 +686,15 @@ impl<'p> Chef<'p> {
     /// keeps nothing back: it is the terminal export a pausing session
     /// performs before shutting its engine down.
     pub fn drain_frontier(&mut self) -> Vec<WorkSeed> {
+        let snapshot = self.exec.fork_snapshot.clone();
         let mut seeds: Vec<WorkSeed> = self
             .live
             .drain(..)
-            .map(|(state, _)| WorkSeed::from_state(&state))
+            .map(|(state, _)| Self::seed_of(&snapshot, &state))
             .collect();
+        seeds.extend(self.pending.drain(..));
+        self.replay_stack.clear();
+        self.replay_stack_key = None;
         seeds.sort_by(|a, b| a.choices.cmp(&b.choices));
         self.seeds_exported += seeds.len() as u64;
         seeds
@@ -515,6 +768,11 @@ impl<'p> Chef<'p> {
             }
         }
         if self.live.is_empty() {
+            // Activate queued frontier seeds lazily, one per round, so
+            // budget slices interleave replay with exploration.
+            if self.activate_next_pending() {
+                return EngineStatus::Running;
+            }
             return EngineStatus::OutOfWork;
         }
         let candidates = self.build_candidates();
@@ -553,6 +811,9 @@ impl<'p> Chef<'p> {
     /// [`Chef::export_work`] this makes exploration resumable anywhere.
     pub fn run_from(mut self, seed: &WorkSeed) -> Report {
         self.live.clear();
+        self.pending.clear();
+        self.replay_stack.clear();
+        self.replay_stack_key = None;
         self.inject_seed(seed);
         self.run()
     }

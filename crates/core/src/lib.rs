@@ -52,6 +52,9 @@ pub use engine::{
 };
 pub use hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
 pub use seed::WorkSeed;
+// The fork-point snapshot type seeds and corpora reference; re-exported so
+// service layers need not depend on `chef-symex` directly.
+pub use chef_symex::Snapshot;
 pub use strategy::{
     fork_weight, Candidate, CupaStrategy, DfsStrategy, RandomStrategy, SearchStrategy,
     StrategyKind, FORK_WEIGHT_P,

@@ -9,23 +9,71 @@
 //! any engine for the same program re-derives the state by deterministic
 //! prefix replay and continues exploring the subtree below it.
 //!
-//! This is the Cloud9-style job encoding the Chef authors used to scale
-//! out: ship the path, not the state.
+//! Since the fork-point snapshot refactor a seed is really
+//! `(snapshot_ref, suffix)`: when a [`Snapshot`] of the post-`make_symbolic`
+//! state is attached (or resolvable through [`WorkSeed::snapshot_fp`]),
+//! the consumer restores it and replays only the decisions *after* the
+//! snapshot's recorded prefix — skipping the interpreter prologue
+//! entirely. The full decision sequence is still shipped, so a missing or
+//! corrupt snapshot degrades to replay-from-instruction-0, never to a lost
+//! seed. This mirrors how the Chef authors scaled out: Cloud9-style job
+//! encodings for portability, fork-point VM snapshots to avoid re-running
+//! the interpreter prologue per job.
 
-use chef_symex::State;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// A portable exploration job: replay `choices` from the program entry,
-/// then explore the subtree below the resulting state.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+use chef_symex::{Snapshot, State};
+
+/// A portable exploration job: replay `choices` from the program entry —
+/// or restore `snapshot` and replay only the suffix — then explore the
+/// subtree below the resulting state.
+#[derive(Clone, Debug, Default)]
 pub struct WorkSeed {
-    /// Recorded nondeterministic events, in execution order.
+    /// Recorded nondeterministic events, in execution order, from the
+    /// program entry (the snapshot-independent identity of the seed).
     pub choices: Vec<u64>,
+    /// Fingerprint of the fork-point snapshot this seed can restore from,
+    /// if one existed when it was exported. This is what the wire encoding
+    /// carries; consumers resolve it against a snapshot shipped once per
+    /// fleet / stored once per corpus target.
+    pub snapshot_fp: Option<u64>,
+    /// The resolved snapshot itself (in-memory attachment; not part of the
+    /// seed's wire frame — snapshots are shipped/stored once, not per
+    /// seed).
+    pub snapshot: Option<Arc<Snapshot>>,
+}
+
+impl PartialEq for WorkSeed {
+    fn eq(&self, other: &Self) -> bool {
+        // The attachment is a cache of the fingerprint resolution, not
+        // identity.
+        self.choices == other.choices && self.snapshot_fp == other.snapshot_fp
+    }
+}
+
+impl Eq for WorkSeed {}
+
+impl Hash for WorkSeed {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.choices.hash(state);
+        self.snapshot_fp.hash(state);
+    }
 }
 
 impl WorkSeed {
     /// The seed of the whole exploration tree (no recorded decisions).
     pub fn root() -> Self {
         WorkSeed::default()
+    }
+
+    /// A seed replaying `choices` from the program entry, with no snapshot
+    /// reference.
+    pub fn from_choices(choices: Vec<u64>) -> Self {
+        WorkSeed {
+            choices,
+            ..WorkSeed::default()
+        }
     }
 
     /// Captures the replayable identity of a live state.
@@ -36,13 +84,49 @@ impl WorkSeed {
     pub fn from_state(state: &State) -> Self {
         let mut choices = state.trace.clone();
         choices.extend(state.replay.iter().copied());
-        WorkSeed { choices }
+        WorkSeed::from_choices(choices)
     }
 
     /// Number of recorded decisions; deeper seeds replay longer prefixes
     /// but hand over smaller subtrees.
     pub fn depth(&self) -> usize {
         self.choices.len()
+    }
+
+    /// Attaches `snapshot` if this seed can use it: its fingerprint must
+    /// match the seed's reference (or the seed must carry no reference
+    /// yet) and the snapshot's recorded prefix must be a prefix of the
+    /// seed's choices. Returns whether the attachment happened.
+    pub fn attach_snapshot(&mut self, snapshot: &Arc<Snapshot>) -> bool {
+        if let Some(fp) = self.snapshot_fp {
+            if fp != snapshot.fingerprint {
+                return false;
+            }
+        }
+        if !self.starts_with_snapshot(snapshot) {
+            return false;
+        }
+        self.snapshot_fp = Some(snapshot.fingerprint);
+        self.snapshot = Some(Arc::clone(snapshot));
+        true
+    }
+
+    /// Whether the snapshot's recorded event prefix is a prefix of this
+    /// seed's choices — the precondition for suffix-only replay.
+    pub fn starts_with_snapshot(&self, snapshot: &Snapshot) -> bool {
+        self.choices.len() >= snapshot.trace.len()
+            && self.choices[..snapshot.trace.len()] == snapshot.trace[..]
+    }
+
+    /// The decisions remaining after the snapshot's recorded prefix — what
+    /// a consumer replays after restoring. `None` if the snapshot does not
+    /// match this seed (full-prefix replay is then the only option).
+    pub fn suffix<'a>(&'a self, snapshot: &Snapshot) -> Option<&'a [u64]> {
+        if self.starts_with_snapshot(snapshot) {
+            Some(&self.choices[snapshot.trace.len()..])
+        } else {
+            None
+        }
     }
 }
 
@@ -54,5 +138,14 @@ mod tests {
     fn root_seed_is_empty() {
         assert_eq!(WorkSeed::root().depth(), 0);
         assert_eq!(WorkSeed::root(), WorkSeed::default());
+    }
+
+    #[test]
+    fn equality_ignores_the_attachment_but_not_the_reference() {
+        let a = WorkSeed::from_choices(vec![1, 2]);
+        let mut b = WorkSeed::from_choices(vec![1, 2]);
+        assert_eq!(a, b);
+        b.snapshot_fp = Some(7);
+        assert_ne!(a, b);
     }
 }

@@ -13,17 +13,24 @@
 //! panic — corpus files are read back after crashes, and network bytes are
 //! untrusted.
 //!
-//! [`Wire`] is implemented for the three portable artifacts of the stack:
+//! [`Wire`] is implemented for the four portable artifacts of the stack:
 //! [`WorkSeed`] (a session checkpoint is a frontier of these),
-//! [`TestCase`] (the corpus stores deduplicated streams of them), and
-//! [`Report`] (shipped whole to `results` clients).
+//! [`TestCase`] (the corpus stores deduplicated streams of them),
+//! [`Report`] (shipped whole to `results` clients), and — since wire
+//! version 2 — [`Snapshot`] (the fork-point state image stored once per
+//! corpus target; seeds reference it by fingerprint).
+//!
+//! Version 2 frames additionally extend [`WorkSeed`] with the snapshot
+//! fingerprint and [`ExecStats`] with the snapshot counters; version 1
+//! frames still decode (the new fields default), so corpora written by
+//! earlier daemons stay readable.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::time::Duration;
 
 use chef_solver::SolverStats;
-use chef_symex::ExecStats;
+use chef_symex::{ExecStats, SnapFrame, SnapNode, Snapshot};
 
 use crate::engine::{Report, TestCase, TestStatus, TimelinePoint};
 use crate::hl::HlNodeId;
@@ -32,8 +39,13 @@ use crate::seed::WorkSeed;
 /// Frame magic: "CHWR" (CHef WiRe).
 pub const MAGIC: [u8; 4] = *b"CHWR";
 
-/// Current codec version; bumped on any layout change.
-pub const VERSION: u16 = 1;
+/// Current codec version; bumped on any layout change. Version 2 added
+/// snapshot frames, the [`WorkSeed`] snapshot fingerprint, and the
+/// snapshot [`ExecStats`] counters.
+pub const VERSION: u16 = 2;
+
+/// Oldest version frames are still decoded from.
+pub const MIN_VERSION: u16 = 1;
 
 /// Upper bound on a single frame payload (guards against allocating
 /// gigabytes for a corrupted length field).
@@ -231,11 +243,12 @@ pub trait Wire: Sized {
     /// Frame tag distinguishing this artifact.
     const TAG: u8;
 
-    /// Writes the payload (no framing).
+    /// Writes the payload (no framing), always at [`VERSION`].
     fn encode_body(&self, w: &mut Writer);
 
-    /// Reads the payload (no framing).
-    fn decode_body(r: &mut Reader) -> Result<Self, WireError>;
+    /// Reads the payload (no framing) as laid out by codec `version`
+    /// (guaranteed within `MIN_VERSION..=VERSION` by the framing layer).
+    fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError>;
 
     /// Encodes a complete framed artifact (magic, version, tag, length,
     /// payload).
@@ -259,7 +272,7 @@ pub trait Wire: Sized {
             return Err(WireError::BadMagic);
         }
         let version = r.u16()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
         let tag = r.u8()?;
@@ -275,11 +288,37 @@ pub trait Wire: Sized {
         }
         let payload = r.take(len)?;
         let mut pr = Reader::new(payload);
-        let v = Self::decode_body(&mut pr)?;
+        let v = Self::decode_body(&mut pr, version)?;
         if pr.remaining() != 0 {
             return Err(WireError::TrailingBytes);
         }
         Ok((v, FRAME_HEADER + len))
+    }
+
+    /// Length of the frame at the front of `buf` (header + payload),
+    /// validating the header only — the payload is not decoded. Lets
+    /// readers skip over frames in O(1) per frame (paged corpus reads).
+    fn frame_span(buf: &[u8]) -> Result<usize, WireError> {
+        let mut r = Reader::new(buf);
+        if r.take(4)? != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u16()?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = r.u8()?;
+        if tag != Self::TAG {
+            return Err(WireError::BadTag {
+                expected: Self::TAG,
+                got: tag,
+            });
+        }
+        let len = r.u32()? as usize;
+        if len > MAX_FRAME || len > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(FRAME_HEADER + len)
     }
 
     /// Decodes one framed artifact that must span the whole input.
@@ -313,9 +352,18 @@ impl Wire for WorkSeed {
         for &c in &self.choices {
             w.u64(c);
         }
+        // v2: the snapshot *reference*. The snapshot itself travels in its
+        // own frame (stored once per corpus target), never per seed.
+        match self.snapshot_fp {
+            None => w.bool(false),
+            Some(fp) => {
+                w.bool(true);
+                w.u64(fp);
+            }
+        }
     }
 
-    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+    fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError> {
         let n = r.u32()? as usize;
         if n > r.remaining() / 8 {
             return Err(WireError::BadLength(n as u64));
@@ -324,7 +372,291 @@ impl Wire for WorkSeed {
         for _ in 0..n {
             choices.push(r.u64()?);
         }
-        Ok(WorkSeed { choices })
+        let snapshot_fp = if version >= 2 {
+            if r.bool()? {
+                Some(r.u64()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(WorkSeed {
+            choices,
+            snapshot_fp,
+            snapshot: None,
+        })
+    }
+}
+
+impl Wire for Snapshot {
+    const TAG: u8 = 4;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.fingerprint);
+        w.u32(self.vars.len() as u32);
+        for (name, width) in &self.vars {
+            w.str(name);
+            w.u8(*width);
+        }
+        w.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            match n {
+                SnapNode::Const { width, bits } => {
+                    w.u8(0);
+                    w.u8(*width);
+                    w.u64(*bits);
+                }
+                SnapNode::Var { var } => {
+                    w.u8(1);
+                    w.u32(*var);
+                }
+                SnapNode::Not { a } => {
+                    w.u8(2);
+                    w.u32(*a);
+                }
+                SnapNode::Bin { op, a, b } => {
+                    w.u8(3);
+                    w.u8(*op);
+                    w.u32(*a);
+                    w.u32(*b);
+                }
+                SnapNode::Ite { cond, t, f } => {
+                    w.u8(4);
+                    w.u32(*cond);
+                    w.u32(*t);
+                    w.u32(*f);
+                }
+                SnapNode::Extract { hi, lo, a } => {
+                    w.u8(5);
+                    w.u8(*hi);
+                    w.u8(*lo);
+                    w.u32(*a);
+                }
+                SnapNode::Ext { signed, width, a } => {
+                    w.u8(6);
+                    w.bool(*signed);
+                    w.u8(*width);
+                    w.u32(*a);
+                }
+                SnapNode::Concat { a, b } => {
+                    w.u8(7);
+                    w.u32(*a);
+                    w.u32(*b);
+                }
+            }
+        }
+        w.u32(self.frames.len() as u32);
+        for f in &self.frames {
+            w.u32(f.func);
+            w.u32(f.block);
+            w.u32(f.ip);
+            w.u32(f.regs.len() as u32);
+            for &r in &f.regs {
+                w.u32(r);
+            }
+            match f.ret_dst {
+                None => w.bool(false),
+                Some(r) => {
+                    w.bool(true);
+                    w.u32(r);
+                }
+            }
+        }
+        w.u32(self.pages.len() as u32);
+        for (k, bytes) in &self.pages {
+            w.u64(*k);
+            w.u32(bytes.len() as u32);
+            for &b in bytes {
+                w.u32(b);
+            }
+        }
+        w.u32(self.path.len() as u32);
+        for &p in &self.path {
+            w.u32(p);
+        }
+        w.u32(self.inputs.len() as u32);
+        for (name, vars) in &self.inputs {
+            w.str(name);
+            w.u32(vars.len() as u32);
+            for &v in vars {
+                w.u32(v);
+            }
+        }
+        w.u32(self.trace.len() as u32);
+        for &t in &self.trace {
+            w.u64(t);
+        }
+        w.u32(self.hl_events.len() as u32);
+        for &(pc, opcode) in &self.hl_events {
+            w.u64(pc);
+            w.u64(opcode);
+        }
+        w.u64(self.hlpc);
+        w.u64(self.hl_opcode);
+        w.u64(self.hl_len);
+        w.u64(self.ll_steps);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, WireError> {
+        let fingerprint = r.u64()?;
+        let n_vars = r.u32()? as usize;
+        if n_vars > r.remaining() {
+            return Err(WireError::BadLength(n_vars as u64));
+        }
+        let mut vars = Vec::with_capacity(n_vars);
+        for _ in 0..n_vars {
+            let name = r.str()?;
+            vars.push((name, r.u8()?));
+        }
+        let n_nodes = r.u32()? as usize;
+        if n_nodes > r.remaining() {
+            return Err(WireError::BadLength(n_nodes as u64));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(match r.u8()? {
+                0 => SnapNode::Const {
+                    width: r.u8()?,
+                    bits: r.u64()?,
+                },
+                1 => SnapNode::Var { var: r.u32()? },
+                2 => SnapNode::Not { a: r.u32()? },
+                3 => SnapNode::Bin {
+                    op: r.u8()?,
+                    a: r.u32()?,
+                    b: r.u32()?,
+                },
+                4 => SnapNode::Ite {
+                    cond: r.u32()?,
+                    t: r.u32()?,
+                    f: r.u32()?,
+                },
+                5 => SnapNode::Extract {
+                    hi: r.u8()?,
+                    lo: r.u8()?,
+                    a: r.u32()?,
+                },
+                6 => SnapNode::Ext {
+                    signed: r.bool()?,
+                    width: r.u8()?,
+                    a: r.u32()?,
+                },
+                7 => SnapNode::Concat {
+                    a: r.u32()?,
+                    b: r.u32()?,
+                },
+                _ => return Err(WireError::Invalid("snapshot node tag")),
+            });
+        }
+        let n_frames = r.u32()? as usize;
+        if n_frames > r.remaining() {
+            return Err(WireError::BadLength(n_frames as u64));
+        }
+        let mut frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let func = r.u32()?;
+            let block = r.u32()?;
+            let ip = r.u32()?;
+            let n_regs = r.u32()? as usize;
+            if n_regs > r.remaining() / 4 {
+                return Err(WireError::BadLength(n_regs as u64));
+            }
+            let mut regs = Vec::with_capacity(n_regs);
+            for _ in 0..n_regs {
+                regs.push(r.u32()?);
+            }
+            let ret_dst = if r.bool()? { Some(r.u32()?) } else { None };
+            frames.push(SnapFrame {
+                func,
+                block,
+                ip,
+                regs,
+                ret_dst,
+            });
+        }
+        let n_pages = r.u32()? as usize;
+        if n_pages > r.remaining() {
+            return Err(WireError::BadLength(n_pages as u64));
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let k = r.u64()?;
+            let n_bytes = r.u32()? as usize;
+            if n_bytes > r.remaining() / 4 {
+                return Err(WireError::BadLength(n_bytes as u64));
+            }
+            let mut bytes = Vec::with_capacity(n_bytes);
+            for _ in 0..n_bytes {
+                bytes.push(r.u32()?);
+            }
+            pages.push((k, bytes));
+        }
+        let n_path = r.u32()? as usize;
+        if n_path > r.remaining() / 4 {
+            return Err(WireError::BadLength(n_path as u64));
+        }
+        let mut path = Vec::with_capacity(n_path);
+        for _ in 0..n_path {
+            path.push(r.u32()?);
+        }
+        let n_inputs = r.u32()? as usize;
+        if n_inputs > r.remaining() {
+            return Err(WireError::BadLength(n_inputs as u64));
+        }
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            let name = r.str()?;
+            let n_vs = r.u32()? as usize;
+            if n_vs > r.remaining() / 4 {
+                return Err(WireError::BadLength(n_vs as u64));
+            }
+            let mut vs = Vec::with_capacity(n_vs);
+            for _ in 0..n_vs {
+                vs.push(r.u32()?);
+            }
+            inputs.push((name, vs));
+        }
+        let n_trace = r.u32()? as usize;
+        if n_trace > r.remaining() / 8 {
+            return Err(WireError::BadLength(n_trace as u64));
+        }
+        let mut trace = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            trace.push(r.u64()?);
+        }
+        let n_hl = r.u32()? as usize;
+        if n_hl > r.remaining() / 16 {
+            return Err(WireError::BadLength(n_hl as u64));
+        }
+        let mut hl_events = Vec::with_capacity(n_hl);
+        for _ in 0..n_hl {
+            let pc = r.u64()?;
+            hl_events.push((pc, r.u64()?));
+        }
+        let snap = Snapshot {
+            fingerprint,
+            vars,
+            nodes,
+            frames,
+            pages,
+            path,
+            inputs,
+            trace,
+            hl_events,
+            hlpc: r.u64()?,
+            hl_opcode: r.u64()?,
+            hl_len: r.u64()?,
+            ll_steps: r.u64()?,
+        };
+        // Integrity gate: the fingerprint commits to every field, so any
+        // bit flip in the payload (or in the stored fingerprint itself) is
+        // rejected here instead of surfacing as a wrong-but-restorable
+        // state.
+        if snap.compute_fingerprint() != snap.fingerprint {
+            return Err(WireError::Invalid("snapshot fingerprint"));
+        }
+        Ok(snap)
     }
 }
 
@@ -385,7 +717,7 @@ impl Wire for TestCase {
         w.u64(self.at_ll_instructions);
     }
 
-    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, WireError> {
         let id = r.u64()? as usize;
         let n = r.u32()? as usize;
         if n > r.remaining() {
@@ -424,16 +756,29 @@ fn encode_exec_stats(s: &ExecStats, w: &mut Writer) {
     w.u64(s.symptr_forks);
     w.u64(s.dropped_ptr_values);
     w.u64(s.states_created);
+    // v2 fields.
+    w.u64(s.snapshots_captured);
+    w.u64(s.snapshot_restores);
+    w.u64(s.prologue_ll_skipped);
+    w.u64(s.full_replays);
 }
 
-fn decode_exec_stats(r: &mut Reader) -> Result<ExecStats, WireError> {
-    Ok(ExecStats {
+fn decode_exec_stats(r: &mut Reader, version: u16) -> Result<ExecStats, WireError> {
+    let mut s = ExecStats {
         ll_instructions: r.u64()?,
         forks: r.u64()?,
         symptr_forks: r.u64()?,
         dropped_ptr_values: r.u64()?,
         states_created: r.u64()?,
-    })
+        ..ExecStats::default()
+    };
+    if version >= 2 {
+        s.snapshots_captured = r.u64()?;
+        s.snapshot_restores = r.u64()?;
+        s.prologue_ll_skipped = r.u64()?;
+        s.full_replays = r.u64()?;
+    }
+    Ok(s)
 }
 
 fn encode_solver_stats(s: &SolverStats, w: &mut Writer) {
@@ -523,14 +868,14 @@ impl Wire for Report {
         w.u64(self.seeds_imported);
     }
 
-    fn decode_body(r: &mut Reader) -> Result<Self, WireError> {
+    fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError> {
         let n_tests = r.u32()? as usize;
         if n_tests > r.remaining() {
             return Err(WireError::BadLength(n_tests as u64));
         }
         let mut tests = Vec::with_capacity(n_tests);
         for _ in 0..n_tests {
-            tests.push(TestCase::decode_body(r)?);
+            tests.push(TestCase::decode_body(r, version)?);
         }
         let hl_paths = r.u64()? as usize;
         let ll_paths = r.u64()? as usize;
@@ -554,7 +899,7 @@ impl Wire for Report {
                 hl_paths: r.u64()? as usize,
             });
         }
-        let exec_stats = decode_exec_stats(r)?;
+        let exec_stats = decode_exec_stats(r, version)?;
         let solver_stats = decode_solver_stats(r)?;
         let elapsed = r.duration()?;
         let hangs = r.u64()? as usize;
@@ -598,9 +943,8 @@ mod tests {
 
     #[test]
     fn workseed_roundtrip() {
-        let seed = WorkSeed {
-            choices: vec![0, 1, u64::MAX, 42],
-        };
+        let mut seed = WorkSeed::from_choices(vec![0, 1, u64::MAX, 42]);
+        seed.snapshot_fp = Some(0xdead_beef);
         let frame = seed.to_frame();
         assert_eq!(WorkSeed::from_frame(&frame).unwrap(), seed);
     }
@@ -609,10 +953,8 @@ mod tests {
     fn stream_roundtrip() {
         let seeds = vec![
             WorkSeed::root(),
-            WorkSeed { choices: vec![7] },
-            WorkSeed {
-                choices: vec![1, 2, 3],
-            },
+            WorkSeed::from_choices(vec![7]),
+            WorkSeed::from_choices(vec![1, 2, 3]),
         ];
         let mut buf = Vec::new();
         for s in &seeds {
@@ -642,10 +984,26 @@ mod tests {
     }
 
     #[test]
+    fn v1_frames_still_decode_without_the_snapshot_reference() {
+        // Hand-build a version-1 WorkSeed frame: no snapshot flag byte.
+        let mut body = Writer::new();
+        body.u32(2);
+        body.u64(11);
+        body.u64(22);
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u16(1);
+        w.u8(WorkSeed::TAG);
+        w.u32(body.buf.len() as u32);
+        w.buf.extend_from_slice(&body.buf);
+        let seed = WorkSeed::from_frame(&w.buf).unwrap();
+        assert_eq!(seed.choices, vec![11, 22]);
+        assert_eq!(seed.snapshot_fp, None);
+    }
+
+    #[test]
     fn truncation_is_an_error_not_a_panic() {
-        let seed = WorkSeed {
-            choices: vec![1, 2, 3, 4, 5],
-        };
+        let seed = WorkSeed::from_choices(vec![1, 2, 3, 4, 5]);
         let frame = seed.to_frame();
         for cut in 0..frame.len() {
             assert!(

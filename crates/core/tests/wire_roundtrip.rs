@@ -12,7 +12,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use chef_core::wire::{Wire, WireError};
-use chef_core::{hl_path_signature, Report, TestCase, TestStatus, TimelinePoint, WorkSeed};
+use chef_core::{
+    hl_path_signature, Report, Snapshot, TestCase, TestStatus, TimelinePoint, WorkSeed,
+};
 use chef_solver::SolverStats;
 use chef_symex::ExecStats;
 
@@ -97,6 +99,10 @@ fn arb_report() -> impl Strategy<Value = Report> {
                 symptr_forks: nums[2],
                 dropped_ptr_values: nums[3],
                 states_created: nums[4],
+                snapshots_captured: nums[5] % 7,
+                snapshot_restores: nums[5] % 11,
+                prologue_ll_skipped: nums[5],
+                full_replays: nums[5] % 13,
             },
             solver_stats: SolverStats {
                 queries: nums[5],
@@ -130,8 +136,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn workseed_roundtrips(choices in prop::collection::vec(any::<u64>(), 0..64)) {
-        let seed = WorkSeed { choices };
+    fn workseed_roundtrips(
+        choices in prop::collection::vec(any::<u64>(), 0..64),
+        fp in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+    ) {
+        let mut seed = WorkSeed::from_choices(choices);
+        seed.snapshot_fp = fp;
         let decoded = WorkSeed::from_frame(&seed.to_frame()).unwrap();
         prop_assert_eq!(decoded, seed);
     }
@@ -173,7 +183,7 @@ proptest! {
         prop::collection::vec(any::<u64>(), 0..16),
         0..8,
     )) {
-        let seeds: Vec<WorkSeed> = raw.into_iter().map(|choices| WorkSeed { choices }).collect();
+        let seeds: Vec<WorkSeed> = raw.into_iter().map(WorkSeed::from_choices).collect();
         let mut buf = Vec::new();
         for s in &seeds {
             buf.extend_from_slice(&s.to_frame());
@@ -211,18 +221,71 @@ proptest! {
         let _ = WorkSeed::from_frame(&bytes);
         let _ = TestCase::from_frame(&bytes);
         let _ = Report::from_frame(&bytes);
+        let _ = Snapshot::from_frame(&bytes);
         let _ = WorkSeed::decode_stream(&bytes);
     }
+
+    #[test]
+    fn truncated_snapshot_frames_error_cleanly(cut in any::<usize>()) {
+        let frame = fork_point_snapshot().to_frame();
+        let cut = cut % frame.len();
+        prop_assert!(Snapshot::from_frame(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_snapshot_frames_never_decode(pos in any::<usize>(), xor in 1u8..=255) {
+        // Stronger than "never panic": the snapshot fingerprint commits to
+        // the whole payload, so *any* single-byte corruption is rejected —
+        // a corrupt snapshot.bin can never restore a wrong state.
+        let mut frame = fork_point_snapshot().to_frame();
+        let pos = pos % frame.len();
+        frame[pos] ^= xor;
+        prop_assert!(Snapshot::from_frame(&frame).is_err());
+    }
+}
+
+/// A real fork-point snapshot, captured from a tiny program right after
+/// `make_symbolic` (fabricating a structurally valid snapshot by hand
+/// would bypass the capture invariants the codec protects).
+fn fork_point_snapshot() -> Snapshot {
+    use chef_symex::{ExecConfig, Executor, StepEvent};
+    let mut mb = chef_lir::ModuleBuilder::new();
+    let buf = mb.data_zeroed(2);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    mb.define(main, move |b| {
+        b.make_symbolic(buf, 2u64, name);
+        let x = b.load_u8(buf);
+        let c = b.ult(x, 7u64);
+        b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+    });
+    let prog = mb.finish("main").unwrap();
+    let mut exec = Executor::new(&prog, ExecConfig::default());
+    let mut st = exec.initial_state();
+    while exec.fork_snapshot.is_none() {
+        if let StepEvent::Terminated(_) = exec.step(&mut st) {
+            panic!("program has a fork point");
+        }
+    }
+    let snap = exec.fork_snapshot.as_ref().unwrap();
+    Snapshot::clone(snap)
+}
+
+#[test]
+fn snapshot_frame_roundtrips_and_restores() {
+    let snap = fork_point_snapshot();
+    let frame = snap.to_frame();
+    let decoded = Snapshot::from_frame(&frame).unwrap();
+    assert_eq!(decoded, snap);
+    assert_eq!(decoded.fingerprint, snap.compute_fingerprint());
+    assert!(decoded.restore(&mut chef_solver::ExprPool::new()).is_some());
 }
 
 /// A frame with its declared payload length corrupted to a huge value must
 /// be rejected without attempting the allocation.
 #[test]
 fn oversized_length_is_rejected() {
-    let mut frame = WorkSeed {
-        choices: vec![1, 2, 3],
-    }
-    .to_frame();
+    let mut frame = WorkSeed::from_choices(vec![1, 2, 3]).to_frame();
     frame[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
     assert!(matches!(
         WorkSeed::from_frame(&frame),

@@ -5,11 +5,17 @@
 //! and high-level tree), because expression ids and solver caches are only
 //! valid within one pool — states cannot migrate directly. What migrates
 //! instead is a [`WorkSeed`]: the recorded sequence of nondeterministic
-//! decisions from the program root (see [`chef_symex::State::trace`]).
-//! A receiving worker re-derives the state by deterministic prefix replay
-//! and explores the subtree below it. This is the Cloud9-style job
-//! shipping the Chef authors used to scale out: ship the path, not the
-//! state.
+//! decisions from the program root (see [`chef_symex::State::trace`]),
+//! paired with a reference to the fleet's shared fork-point [`Snapshot`].
+//! A receiving worker restores the snapshot — skipping the interpreter
+//! prologue — and replays only the post-snapshot decision suffix (full
+//! prefix replay remains the fallback when no snapshot exists). The
+//! snapshot ships once per fleet: the first worker to execute
+//! `make_symbolic` captures it, and every seed thereafter carries an
+//! `Arc` to the same image. This is the Cloud9-style job shipping the
+//! Chef authors used to scale out, with the paper's fork-point snapshot
+//! discipline on top: ship the path *and* the snapshot, never the
+//! prologue.
 //!
 //! The coordinator provides:
 //!
@@ -47,10 +53,12 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use chef_core::{Chef, ChefConfig, EngineStatus, Report, StrategyKind, TestCase, WorkSeed};
+use chef_core::{
+    Chef, ChefConfig, EngineStatus, Report, Snapshot, StrategyKind, TestCase, WorkSeed,
+};
 use chef_lir::Program;
 use chef_solver::SolverStats;
 use chef_symex::ExecStats;
@@ -144,6 +152,11 @@ pub struct FleetOutcome {
     /// Whether the run stopped because of a pause request (as opposed to
     /// exhausting a budget or completing).
     pub paused: bool,
+    /// The fleet's shared fork-point snapshot, if any worker reached
+    /// `make_symbolic`. `chef-serve` persists it once per corpus target so
+    /// checkpoint resume restores from instruction ~N instead of 0; the
+    /// frontier seeds reference it by fingerprint.
+    pub snapshot: Option<Arc<Snapshot>>,
 }
 
 impl FleetConfig {
@@ -271,9 +284,19 @@ pub fn run_fleet_with(
 ) -> FleetOutcome {
     let started = Instant::now();
     let jobs = config.jobs.max(1);
+    // Initial seeds are handed to workers in contiguous sorted chunks and
+    // injected as a group (`Chef::inject_frontier`), so seeds sharing a
+    // decision prefix replay it once instead of once each — the dominant
+    // cost of resuming a deep checkpointed frontier. The injector starts
+    // empty and only carries stolen work.
+    let mut seeds = seeds;
+    seeds.sort_by(|a, b| a.choices.cmp(&b.choices));
+    let chunk = seeds.len().div_ceil(jobs).max(1);
+    let mut initial: Vec<Vec<WorkSeed>> = seeds.chunks(chunk).map(<[WorkSeed]>::to_vec).collect();
+    initial.resize(jobs, Vec::new());
     let shared = Shared {
         injector: Mutex::new(Injector {
-            seeds: VecDeque::from(seeds),
+            seeds: VecDeque::new(),
             idle: 0,
         }),
         cv: Condvar::new(),
@@ -284,12 +307,14 @@ pub fn run_fleet_with(
         tests_total: AtomicUsize::new(0),
         cfg_edges: Mutex::new(HashSet::new()),
     };
-    let results: Vec<(Report, Vec<WorkSeed>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| {
+    let results: Vec<(Report, Vec<WorkSeed>, Option<Arc<Snapshot>>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = initial
+            .into_iter()
+            .enumerate()
+            .map(|(w, mine)| {
                 let shared = &shared;
                 let config = &config;
-                s.spawn(move || worker(w, prog, config, jobs, shared, ctl))
+                s.spawn(move || worker(w, prog, config, jobs, mine, shared, ctl))
             })
             .collect();
         // Worker index order, so the merge is deterministic regardless of
@@ -301,18 +326,35 @@ pub fn run_fleet_with(
     });
     let mut frontier: Vec<WorkSeed> = Vec::new();
     let mut reports = Vec::with_capacity(results.len());
-    for (report, worker_frontier) in results {
+    // All workers capture the same deterministic fork-point image; keep
+    // the first (identical fingerprints — the snapshot is shared content,
+    // not per-worker state).
+    let mut snapshot: Option<Arc<Snapshot>> = None;
+    for (report, worker_frontier, worker_snap) in results {
         frontier.extend(worker_frontier);
         reports.push(report);
+        if snapshot.is_none() {
+            snapshot = worker_snap;
+        }
     }
     // Seeds still queued in the injector are unexplored work too.
     frontier.extend(shared.injector.into_inner().unwrap().seeds);
+    if let Some(sn) = &snapshot {
+        // A queued seed exported before the capture (or the root seed a
+        // resume passed in) may lack the reference; attach where it fits.
+        for seed in &mut frontier {
+            if seed.snapshot.is_none() {
+                seed.attach_snapshot(sn);
+            }
+        }
+    }
     frontier.sort_by(|a, b| a.choices.cmp(&b.choices));
     frontier.dedup();
     FleetOutcome {
         report: merge(reports, jobs, config.base.max_tests, started.elapsed()),
         frontier,
         paused: shared.paused.into_inner(),
+        snapshot,
     }
 }
 
@@ -321,9 +363,10 @@ fn worker(
     prog: &Program,
     config: &FleetConfig,
     jobs: usize,
+    mine: Vec<WorkSeed>,
     shared: &Shared,
     ctl: Option<&FleetControl>,
-) -> (Report, Vec<WorkSeed>) {
+) -> (Report, Vec<WorkSeed>, Option<Arc<Snapshot>>) {
     let mut cfg = config.base.clone();
     // Diversify per-worker RNG streams; budgets are enforced fleet-wide.
     cfg.seed = cfg
@@ -337,7 +380,7 @@ fn worker(
         }
     }
     let budget = cfg.max_ll_instructions;
-    let mut chef = Chef::from_seeds(prog, cfg, &[]);
+    let mut chef = Chef::from_seeds(prog, cfg, &mine);
     if !config.seed_cfg_edges.is_empty() {
         chef.absorb_cfg_edges(config.seed_cfg_edges.iter().copied());
     }
@@ -381,8 +424,12 @@ fn worker(
                         Ordering::Relaxed,
                     );
                 }
-                // Work sharing: feed idle workers from our fork frontier.
-                if shared.waiting.load(Ordering::SeqCst) > 0 && chef.live_count() > 1 {
+                // Work sharing: feed idle workers from our fork frontier
+                // (queued-but-unactivated seeds ship first — they cost
+                // nothing to hand off).
+                if shared.waiting.load(Ordering::SeqCst) > 0
+                    && chef.live_count() + chef.pending_count() > 1
+                {
                     let seeds = chef.export_work(config.steal_batch);
                     if !seeds.is_empty() {
                         let mut inj = shared.injector.lock().unwrap();
@@ -439,7 +486,8 @@ fn worker(
     // worker's share of the resumable frontier (empty on natural
     // completion, since completion requires every live list to drain).
     let frontier = chef.drain_frontier();
-    (chef.into_report(), frontier)
+    let snapshot = chef.fork_snapshot();
+    (chef.into_report(), frontier, snapshot)
 }
 
 /// Two-way exchange with the shared coverage map: publish locally observed
@@ -543,6 +591,10 @@ fn add_exec_stats(acc: &mut ExecStats, s: &ExecStats) {
     acc.symptr_forks += s.symptr_forks;
     acc.dropped_ptr_values += s.dropped_ptr_values;
     acc.states_created += s.states_created;
+    acc.snapshots_captured += s.snapshots_captured;
+    acc.snapshot_restores += s.snapshot_restores;
+    acc.prologue_ll_skipped += s.prologue_ll_skipped;
+    acc.full_replays += s.full_replays;
 }
 
 fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {

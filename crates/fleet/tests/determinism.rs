@@ -221,7 +221,31 @@ fn budget_sliced_runs_union_to_the_full_set() {
     use chef_core::WorkSeed;
     use chef_fleet::run_fleet_with;
 
-    let prog = minipy_target();
+    // A scan loop over the whole buffer: enough post-fork-point breadth
+    // (dozens of low-level paths) that small budget slices genuinely
+    // interrupt the run several times — even now that resumed seeds
+    // restore at the fork point for free instead of replaying the
+    // prologue, which used to pad every slice.
+    let src = r#"
+def parse(msg):
+    n = 0
+    i = 0
+    while i < 4:
+        if msg[i] == "@":
+            n = n + 1
+        i = i + 1
+    kind = msg[0]
+    if kind == "A":
+        if msg[1] == "1":
+            return 7
+        return 3
+    if kind == "B":
+        return 5
+    return n
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("parse").sym_str("msg", 4);
+    let prog = build_program(&module, &InterpreterOptions::all(), &test).unwrap();
     let want = chef_inputs(&Chef::new(&prog, config()).run());
 
     let mut seeds = vec![WorkSeed::root()];
@@ -229,7 +253,12 @@ fn budget_sliced_runs_union_to_the_full_set() {
     let mut slices = 0;
     loop {
         let cfg = ChefConfig {
-            max_ll_instructions: 1_200, // far below the full exploration
+            // Far below the ~29k-instruction full exploration, comfortably
+            // above the ~600-instruction prologue (the first slice must
+            // reach the fork point for the snapshot to be captured) and
+            // above the frontier's per-slice suffix-replay cost (so every
+            // slice makes durable progress).
+            max_ll_instructions: 6_000,
             ..config()
         };
         let outcome = run_fleet_with(

@@ -1,0 +1,263 @@
+//! The acceptance property of fork-point snapshots: restoring a shipped
+//! seed from the snapshot and replaying only its decision suffix must
+//! produce **byte-identical** canonical test sets to replaying the full
+//! prefix from instruction 0 — on MiniPy and MiniLua targets exercising
+//! every fork kind (symbolic branches, symbolic pointers from symbolic
+//! indexing, multi-way dispatch) — while actually skipping the interpreter
+//! prologue. Full-prefix replay is the equivalence oracle here, exactly as
+//! the fallback path documents.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use chef_core::{Chef, ChefConfig, EngineStatus, Report, StrategyKind, WorkSeed};
+use chef_lir::Program;
+use chef_minipy::{build_program, compile, InterpreterOptions, SymbolicTest};
+
+type InputSet = BTreeSet<Vec<(String, Vec<u8>)>>;
+
+fn inputs(r: &Report) -> InputSet {
+    r.tests.iter().map(|t| t.canonical_key()).collect()
+}
+
+fn sigs(r: &Report) -> BTreeSet<u64> {
+    r.tests.iter().map(|t| t.hl_sig).collect()
+}
+
+/// MiniPy: symbolic string scanning (low-level path explosion), a symbolic
+/// integer driving indexing (symbolic-pointer forks in the interpreter's
+/// string access), and a dispatch chain (branch forks).
+fn minipy_target() -> Program {
+    let src = r#"
+def parse(msg, k):
+    c = msg[k]
+    if c == "@":
+        return 9
+    kind = msg[0]
+    if kind == "A":
+        if msg[1] == "1":
+            return 1
+        return 2
+    if kind == "B":
+        return 3
+    raise UnknownKindError
+"#;
+    let module = compile(src).unwrap();
+    let test = SymbolicTest::new("parse")
+        .sym_str("msg", 3)
+        .sym_int("k", 0, 2);
+    build_program(&module, &InterpreterOptions::all(), &test).unwrap()
+}
+
+/// MiniLua: branches over substring comparisons plus an error path.
+fn minilua_target() -> Program {
+    let src = r#"
+function f(s)
+  if sub(s, 1, 1) == "{" then
+    if sub(s, 2, 2) == "}" then
+      return 2
+    end
+    error("unclosed")
+  end
+  if sub(s, 1, 1) == "[" then
+    return 1
+  end
+  return 0
+end
+"#;
+    let module = chef_minilua::compile(src).unwrap();
+    let test = SymbolicTest::new("f").sym_str("s", 2);
+    build_program(&module, &InterpreterOptions::all(), &test).unwrap()
+}
+
+fn config(strategy: StrategyKind, seed: u64) -> ChefConfig {
+    ChefConfig {
+        strategy,
+        seed,
+        max_ll_instructions: 20_000_000, // both targets complete well within
+        ..ChefConfig::default()
+    }
+}
+
+fn strip(seed: &WorkSeed) -> WorkSeed {
+    WorkSeed::from_choices(seed.choices.clone())
+}
+
+/// Splits an exploration at an arbitrary point, ships some seeds, and
+/// checks: (1) snapshot-restored runs and full-replay runs of the same
+/// seeds generate byte-identical canonical test sets and high-level path
+/// signatures; (2) the snapshot runs actually restored (and skipped
+/// prologue work); (3) nothing is lost against the unsplit reference run.
+fn check_target(prog: &Program, strategy: StrategyKind, rng_seed: u64, extra_rounds: usize) {
+    let reference = Chef::new(prog, config(strategy, rng_seed)).run();
+    let want = inputs(&reference);
+    assert!(!want.is_empty());
+
+    let mut chef = Chef::new(prog, config(strategy, rng_seed));
+    while chef.live_count() < 2 {
+        assert_eq!(chef.step_round(), EngineStatus::Running);
+    }
+    for _ in 0..extra_rounds {
+        if chef.step_round() != EngineStatus::Running {
+            break;
+        }
+    }
+    if chef.live_count() < 2 {
+        // The extra rounds drained the frontier (or finished the target);
+        // take the first fork as the split point instead.
+        chef = Chef::new(prog, config(strategy, rng_seed));
+        while chef.live_count() < 2 {
+            assert_eq!(chef.step_round(), EngineStatus::Running);
+        }
+    }
+    let seeds = chef.export_work(2);
+    assert!(!seeds.is_empty(), "a forked engine can export work");
+    let snapshot: Arc<_> = chef
+        .fork_snapshot()
+        .expect("make_symbolic ran, so a snapshot was captured");
+    assert!(snapshot.ll_steps > 0, "the prologue has nonzero length");
+    for seed in &seeds {
+        assert_eq!(
+            seed.snapshot_fp,
+            Some(snapshot.fingerprint),
+            "exported seeds reference the fork-point snapshot"
+        );
+    }
+    let rest = chef.run();
+
+    let mut shipped_union = InputSet::new();
+    for seed in &seeds {
+        // Snapshot path: restore + suffix replay.
+        let via_snapshot = Chef::new(prog, config(strategy, rng_seed)).run_from(seed);
+        assert_eq!(
+            via_snapshot.exec_stats.snapshot_restores, 1,
+            "the seed was materialized from the snapshot"
+        );
+        assert_eq!(
+            via_snapshot.exec_stats.prologue_ll_skipped, snapshot.ll_steps,
+            "restore skipped exactly the prologue"
+        );
+
+        assert_eq!(via_snapshot.exec_stats.full_replays, 0);
+
+        // Oracle: full prefix replay of the identical decision sequence.
+        let via_replay = Chef::new(prog, config(strategy, rng_seed)).run_from(&strip(seed));
+        assert_eq!(via_replay.exec_stats.snapshot_restores, 0);
+        assert_eq!(via_replay.exec_stats.full_replays, 1);
+
+        assert_eq!(
+            inputs(&via_snapshot),
+            inputs(&via_replay),
+            "snapshot restore and full replay generate byte-identical tests"
+        );
+        assert_eq!(
+            sigs(&via_snapshot),
+            sigs(&via_replay),
+            "and identical high-level path signatures"
+        );
+        // The whole point: the restored run does strictly less low-level
+        // work than the replay-from-zero run.
+        assert!(
+            via_snapshot.exec_stats.ll_instructions < via_replay.exec_stats.ll_instructions,
+            "snapshot run must skip prologue instructions ({} vs {})",
+            via_snapshot.exec_stats.ll_instructions,
+            via_replay.exec_stats.ll_instructions
+        );
+        shipped_union.extend(inputs(&via_snapshot));
+    }
+
+    let mut got = inputs(&rest);
+    got.extend(shipped_union);
+    assert_eq!(got, want, "shipping via snapshots loses nothing");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn minipy_snapshot_suffix_equals_full_replay(
+        strategy in prop_oneof![
+            Just(StrategyKind::CupaPath),
+            Just(StrategyKind::CupaCoverage),
+            Just(StrategyKind::Random),
+            Just(StrategyKind::Dfs),
+        ],
+        rng_seed in 0u64..1000,
+        extra_rounds in 0usize..6,
+    ) {
+        check_target(&minipy_target(), strategy, rng_seed, extra_rounds);
+    }
+
+    #[test]
+    fn minilua_snapshot_suffix_equals_full_replay(
+        strategy in prop_oneof![Just(StrategyKind::CupaPath), Just(StrategyKind::Dfs)],
+        rng_seed in 0u64..1000,
+        extra_rounds in 0usize..6,
+    ) {
+        check_target(&minilua_target(), strategy, rng_seed, extra_rounds);
+    }
+}
+
+/// Every fork kind at the LIR level (branch, symbolic pointer, symbolic
+/// switch): ship every state of a partially-explored tree both ways and
+/// compare, so the suffix-replay paths through `Branch`, `Switch`, and
+/// pointer resolution are each exercised against the oracle.
+#[test]
+fn every_fork_kind_ships_identically_both_ways() {
+    use chef_lir::ModuleBuilder;
+
+    let mut mb = ModuleBuilder::new();
+    let table = mb.data_bytes(&[1, 2, 3, 4]);
+    let buf = mb.data_zeroed(2);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    mb.define(main, move |b| {
+        b.make_symbolic(buf, 2u64, name);
+        b.log_pc(1u64, 0u64);
+        let x = b.load_u8(buf);
+        let idx = b.urem(x, 4u64);
+        let addr = b.add(idx, table);
+        let v = b.load_u8(addr); // symbolic pointer: 4-way fork
+        let addr2 = b.add(buf, 1u64);
+        let y = b.load_u8(addr2);
+        let out = b.reg();
+        b.switch(
+            y,
+            &[7, 9],
+            |b, case| b.set(out, case + 50),
+            |b| b.set(out, 0u64),
+        ); // symbolic switch: 3-way fork
+        b.log_pc(2u64, 1u64);
+        let big = b.ult(200u64, y);
+        b.if_(big, |b| b.halt(99u64)); // symbolic branch
+        let r = b.add(v, out);
+        b.halt(r);
+    });
+    let prog = mb.finish("main").unwrap();
+
+    let reference = Chef::new(&prog, config(StrategyKind::CupaPath, 0)).run();
+    let want = inputs(&reference);
+
+    let mut chef = Chef::new(&prog, config(StrategyKind::CupaPath, 0));
+    while chef.live_count() < 4 {
+        assert_eq!(chef.step_round(), EngineStatus::Running);
+    }
+    let seeds = chef.drain_frontier();
+    assert!(seeds.len() >= 4);
+
+    let mut via_snapshot = InputSet::new();
+    let mut via_replay = InputSet::new();
+    for seed in &seeds {
+        assert!(seed.snapshot.is_some(), "frontier seeds carry the snapshot");
+        let a = Chef::new(&prog, config(StrategyKind::CupaPath, 0)).run_from(seed);
+        assert_eq!(a.exec_stats.snapshot_restores, 1);
+        via_snapshot.extend(inputs(&a));
+        let b = Chef::new(&prog, config(StrategyKind::CupaPath, 0)).run_from(&strip(seed));
+        assert_eq!(b.exec_stats.snapshot_restores, 0);
+        via_replay.extend(inputs(&b));
+    }
+    assert_eq!(via_snapshot, via_replay);
+    assert_eq!(via_snapshot, want, "the frontier partitions the whole tree");
+}

@@ -10,6 +10,11 @@
 //!     tests.bin             — append-only TestCase frames, deduplicated
 //!                             by canonical input bytes
 //!     coverage.bin          — union of covered HLPCs (little-endian u64s)
+//!     snapshot.bin          — the target's fork-point Snapshot frame
+//!                             (written once; checkpointed seeds reference
+//!                             it by fingerprint, so resume restores from
+//!                             instruction ~N instead of replaying the
+//!                             interpreter prologue per seed)
 //!   sessions/<session_id>/
 //!     spec.json             — the JobSpec, so the daemon can rebuild the
 //!                             program after a restart
@@ -28,9 +33,10 @@ use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use chef_core::wire::Wire;
-use chef_core::{TestCase, WorkSeed};
+use chef_core::{Snapshot, TestCase, WorkSeed};
 
 /// Handle on a daemon data directory.
 ///
@@ -148,6 +154,42 @@ impl Corpus {
         Ok(added)
     }
 
+    /// One page of a target's stored tests plus the total count. Frames
+    /// before the window are *skipped by their headers*, not decoded, so
+    /// serving page k of a large corpus costs one header scan plus one
+    /// page of decoding — not a full-corpus decode per request. The
+    /// truncated-tail tolerance of [`Corpus::load_tests`] applies.
+    pub fn load_tests_page(
+        &self,
+        target: &str,
+        after: usize,
+        limit: usize,
+    ) -> io::Result<(Vec<TestCase>, usize)> {
+        let path = self.target_dir(target).join("tests.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        let mut rest = bytes.as_slice();
+        while !rest.is_empty() {
+            let Ok(span) = TestCase::frame_span(rest) else {
+                break; // truncated/corrupt tail: keep what precedes it
+            };
+            if total >= after && out.len() < limit {
+                match TestCase::from_frame_prefix(rest) {
+                    Ok((t, _)) => out.push(t),
+                    Err(_) => break,
+                }
+            }
+            total += 1;
+            rest = &rest[span..];
+        }
+        Ok((out, total))
+    }
+
     /// Loads a target's covered-HLPC set.
     pub fn load_coverage(&self, target: &str) -> io::Result<HashSet<u64>> {
         let path = self.target_dir(target).join("coverage.bin");
@@ -179,6 +221,39 @@ impl Corpus {
         }
         write_atomic(&dir.join("coverage.bin"), &bytes)?;
         Ok(all.len())
+    }
+
+    /// Persists a target's fork-point snapshot, if none is stored yet.
+    /// The snapshot is a pure function of the target program, so the first
+    /// session to capture one writes it for every later session; a stored
+    /// snapshot with a different fingerprint (e.g. from an older engine
+    /// build) is replaced.
+    pub fn save_snapshot(&self, target: &str, snapshot: &Snapshot) -> io::Result<()> {
+        let _guard = self.write_lock.lock().unwrap();
+        let dir = self.target_dir(target);
+        fs::create_dir_all(&dir)?;
+        let path = dir.join("snapshot.bin");
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(existing) = Snapshot::from_frame(&bytes) {
+                if existing.fingerprint == snapshot.fingerprint {
+                    return Ok(());
+                }
+            }
+        }
+        write_atomic(&path, &snapshot.to_frame())
+    }
+
+    /// Loads a target's fork-point snapshot. A missing, truncated, or
+    /// corrupt `snapshot.bin` yields `Ok(None)` — resume then falls back
+    /// to full prefix replay, it never fails.
+    pub fn load_snapshot(&self, target: &str) -> io::Result<Option<Arc<Snapshot>>> {
+        let path = self.target_dir(target).join("snapshot.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Snapshot::from_frame(&bytes).ok().map(Arc::new))
     }
 
     /// Persists a session's job spec.
@@ -340,12 +415,7 @@ mod tests {
     fn checkpoint_roundtrip_and_states() {
         let corpus = Corpus::open(tmpdir("ckpt")).unwrap();
         assert_eq!(corpus.load_checkpoint("s1").unwrap(), None);
-        let frontier = vec![
-            WorkSeed {
-                choices: vec![1, 2],
-            },
-            WorkSeed::root(),
-        ];
+        let frontier = vec![WorkSeed::from_choices(vec![1, 2]), WorkSeed::root()];
         corpus.save_checkpoint("s1", &frontier).unwrap();
         assert_eq!(corpus.load_checkpoint("s1").unwrap(), Some(frontier));
         corpus.save_checkpoint("s1", &[]).unwrap();

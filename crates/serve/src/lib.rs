@@ -10,9 +10,15 @@
 //! - generated [`TestCase`]s, deduplicated by canonical input bytes and
 //!   stored as `chef_core::wire` frames,
 //! - per-target coverage maps,
+//! - one fork-point [`chef_core::Snapshot`] per target (`snapshot.bin`),
 //! - session checkpoints: the unexplored frontier serialized as
-//!   [`WorkSeed`] frames, so a paused — or killed — session resumes by
-//!   prefix replay instead of restarting.
+//!   [`WorkSeed`] frames referencing the snapshot by fingerprint, so a
+//!   paused — or killed — session resumes by restoring the snapshot and
+//!   replaying only each seed's post-fork-point decision suffix. Full
+//!   prefix replay remains the fallback when `snapshot.bin` is missing or
+//!   corrupt.
+//!
+//! [`TestCase`]: chef_core::TestCase
 //!
 //! New sessions against a previously-seen target warm-start from the
 //! corpus: stored tests are replayed *concretely* to pre-populate the
@@ -68,7 +74,7 @@ use chef_fleet::{run_fleet_with, FleetConfig, FleetControl};
 
 pub use corpus::Corpus;
 pub use job::{parse_strategy, strategy_name, JobArg, JobLang, JobSpec};
-pub use proto::{Client, ServeError, SessionStatus};
+pub use proto::{Client, ResultsPage, ServeError, SessionStatus};
 
 use json::Value;
 
@@ -106,9 +112,32 @@ struct SessionState {
     new_tests: AtomicU64,
     seeded_tests: AtomicU64,
     spent_ll: AtomicU64,
+    /// Checkpoint seeds this run restored through the fork-point snapshot.
+    resume_snapshot_seeds: AtomicU64,
+    /// Checkpoint seeds that had to fall back to full prefix replay.
+    resume_full_seeds: AtomicU64,
+    /// Milli-tests/sec over the last checkpoint slice, derived from the
+    /// [`FleetControl`] gauges sampled when the slice completes.
+    tests_per_sec_milli: AtomicU64,
 }
 
 impl SessionState {
+    fn new(id: String, spec: JobSpec, target: String, state: String) -> Self {
+        SessionState {
+            id,
+            spec,
+            target,
+            ctl: FleetControl::new(),
+            state: Mutex::new(state),
+            new_tests: AtomicU64::new(0),
+            seeded_tests: AtomicU64::new(0),
+            spent_ll: AtomicU64::new(0),
+            resume_snapshot_seeds: AtomicU64::new(0),
+            resume_full_seeds: AtomicU64::new(0),
+            tests_per_sec_milli: AtomicU64::new(0),
+        }
+    }
+
     fn set_state(&self, corpus: &Corpus, state: &str) {
         *self.state.lock().unwrap() = state.to_string();
         // Disk write is best-effort: an unwritable data dir should not
@@ -149,6 +178,21 @@ impl SessionState {
             ),
             ("live_tests", Value::Int(live_tests as i64)),
             ("covered_hlpcs", Value::Int(covered as i64)),
+            (
+                "tests_per_sec",
+                Value::Str(format!(
+                    "{:.2}",
+                    self.tests_per_sec_milli.load(Ordering::Relaxed) as f64 / 1000.0
+                )),
+            ),
+            (
+                "resume_snapshot_seeds",
+                Value::Int(self.resume_snapshot_seeds.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "resume_full_seeds",
+                Value::Int(self.resume_full_seeds.load(Ordering::Relaxed) as i64),
+            ),
         ])
     }
 }
@@ -301,16 +345,12 @@ fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
         return err(format!("spec persistence: {e}"));
     }
     let target = spec.target_key();
-    let sess = Arc::new(SessionState {
-        id: id.clone(),
+    let sess = Arc::new(SessionState::new(
+        id.clone(),
         spec,
-        target: target.clone(),
-        ctl: FleetControl::new(),
-        state: Mutex::new("running".to_string()),
-        new_tests: AtomicU64::new(0),
-        seeded_tests: AtomicU64::new(0),
-        spent_ll: AtomicU64::new(0),
-    });
+        target.clone(),
+        "running".to_string(),
+    ));
     let _ = inner.corpus.save_state(&id, "running");
     inner
         .sessions
@@ -348,16 +388,7 @@ fn session_of(inner: &Arc<Inner>, req: &Value) -> Result<Arc<SessionState>, Valu
         .flatten()
         .unwrap_or_else(|| "paused".to_string());
     let target = spec.target_key();
-    let sess = Arc::new(SessionState {
-        id: id.to_string(),
-        spec,
-        target,
-        ctl: FleetControl::new(),
-        state: Mutex::new(state),
-        new_tests: AtomicU64::new(0),
-        seeded_tests: AtomicU64::new(0),
-        spent_ll: AtomicU64::new(0),
-    });
+    let sess = Arc::new(SessionState::new(id.to_string(), spec, target, state));
     inner
         .sessions
         .lock()
@@ -394,23 +425,38 @@ fn cmd_list(inner: &Arc<Inner>) -> Value {
     ok(vec![("sessions", Value::Arr(sessions))])
 }
 
+/// Default (and maximum) tests per `results` response. Clients page with
+/// `{"after": <cursor>}`; the full-corpus-per-request behavior is gone so
+/// large corpora are streamed in bounded batches.
+pub const RESULTS_PAGE: usize = 512;
+
 fn cmd_results(inner: &Arc<Inner>, req: &Value) -> Value {
     let sess = match session_of(inner, req) {
         Ok(s) => s,
         Err(e) => return e,
     };
-    let tests = match inner.corpus.load_tests(&sess.target) {
-        Ok(t) => t,
+    let after = req.get("after").and_then(Value::as_u64).unwrap_or(0) as usize;
+    let limit = req
+        .get("limit")
+        .and_then(Value::as_u64)
+        .map(|v| (v as usize).clamp(1, RESULTS_PAGE))
+        .unwrap_or(RESULTS_PAGE);
+    let (tests, total) = match inner.corpus.load_tests_page(&sess.target, after, limit) {
+        Ok(page) => page,
         Err(e) => return err(format!("corpus read: {e}")),
     };
     let frames: Vec<Value> = tests
         .iter()
         .map(|t| Value::Str(proto::to_hex(&t.to_frame())))
         .collect();
+    let next = after.saturating_add(frames.len()).min(total);
     ok(vec![
         ("target", Value::Str(sess.target.clone())),
+        ("total", Value::Int(total as i64)),
         ("count", Value::Int(frames.len() as i64)),
         ("tests", Value::Arr(frames)),
+        ("next", Value::Int(next as i64)),
+        ("done", Value::Bool(next >= total)),
     ])
 }
 
@@ -500,6 +546,31 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
         Some(frontier) => frontier,
     };
 
+    // Checkpointed seeds carry snapshot fingerprints; resolve them against
+    // the target's stored fork-point snapshot so resume restores from
+    // instruction ~N instead of replaying the prologue per seed. A
+    // missing/corrupt snapshot.bin (or a fingerprint mismatch) leaves the
+    // seed on the full-prefix-replay fallback — slower, never wrong.
+    let mut stored_snapshot = inner
+        .corpus
+        .load_snapshot(&sess.target)
+        .map_err(|e| format!("snapshot read: {e}"))?;
+    let mut via_snapshot = 0u64;
+    let mut via_full = 0u64;
+    for seed in &mut seeds {
+        let attached = stored_snapshot
+            .as_ref()
+            .is_some_and(|sn| seed.attach_snapshot(sn));
+        if attached {
+            via_snapshot += 1;
+        } else if seed.depth() > 0 {
+            via_full += 1;
+        }
+    }
+    sess.resume_snapshot_seeds
+        .store(via_snapshot, Ordering::Relaxed);
+    sess.resume_full_seeds.store(via_full, Ordering::Relaxed);
+
     let budget = base.max_ll_instructions;
     let mut spent = 0u64;
     loop {
@@ -516,7 +587,16 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
             seed_cfg_edges: seed_cfg_edges.clone(),
             ..FleetConfig::default()
         };
+        let slice_started = std::time::Instant::now();
         let outcome = run_fleet_with(&prog, fleet_cfg, seeds, Some(&sess.ctl));
+        // Sample the slice's generation rate from the fleet gauges before
+        // zeroing them: this is the live tests/sec figure `status` serves.
+        let slice_tests = sess.ctl.tests_generated.load(Ordering::Relaxed) as f64;
+        let slice_secs = slice_started.elapsed().as_secs_f64().max(1e-9);
+        sess.tests_per_sec_milli.store(
+            (slice_tests / slice_secs * 1000.0) as u64,
+            Ordering::Relaxed,
+        );
         // Zero the live gauges before folding the slice into the
         // completed counters, so a concurrent status read never
         // over-counts (it can momentarily under-count, which is harmless).
@@ -524,6 +604,18 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
         sess.ctl.tests_generated.store(0, Ordering::Relaxed);
         spent += outcome.report.exec_stats.ll_instructions;
         sess.spent_ll.store(spent, Ordering::Relaxed);
+
+        // First slice to capture the fork-point snapshot persists it for
+        // the whole target (sessions and restarts alike).
+        if stored_snapshot.is_none() {
+            if let Some(sn) = &outcome.snapshot {
+                inner
+                    .corpus
+                    .save_snapshot(&sess.target, sn)
+                    .map_err(|e| format!("snapshot write: {e}"))?;
+                stored_snapshot = Some(Arc::clone(sn));
+            }
+        }
 
         let added = inner
             .corpus

@@ -126,6 +126,14 @@ pub struct SessionStatus {
     pub live_tests: u64,
     /// Covered high-level locations recorded for the target.
     pub covered_hlpcs: u64,
+    /// Tests/sec over the session's last checkpoint slice, derived from
+    /// the fleet's live gauges.
+    pub tests_per_sec: f64,
+    /// Checkpoint seeds this run restored through the fork-point snapshot
+    /// (resume skipped the interpreter prologue for them).
+    pub resume_snapshot_seeds: u64,
+    /// Checkpoint seeds that fell back to full prefix replay.
+    pub resume_full_seeds: u64,
 }
 
 impl SessionStatus {
@@ -152,8 +160,28 @@ impl SessionStatus {
             ll_instructions: num("ll_instructions"),
             live_tests: num("live_tests"),
             covered_hlpcs: num("covered_hlpcs"),
+            tests_per_sec: v
+                .get("tests_per_sec")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
+            resume_snapshot_seeds: num("resume_snapshot_seeds"),
+            resume_full_seeds: num("resume_full_seeds"),
         })
     }
+}
+
+/// One `results` batch from the since-cursor pagination protocol.
+#[derive(Clone, Debug)]
+pub struct ResultsPage {
+    /// Tests in this batch, in corpus order.
+    pub tests: Vec<TestCase>,
+    /// Total tests stored for the target.
+    pub total: u64,
+    /// Cursor for the next batch (`{"after": next}`).
+    pub next: u64,
+    /// Whether the cursor has reached the end of the corpus.
+    pub done: bool,
 }
 
 /// Blocking client for the daemon: one TCP connection per request.
@@ -219,14 +247,41 @@ impl Client {
         Ok(out)
     }
 
-    /// Fetches the corpus test cases for a session's target, decoded from
-    /// their binary wire frames.
+    /// Fetches the corpus test cases for a session's target, paging with
+    /// the since-cursor protocol until the whole corpus has streamed.
     pub fn results(&self, session: &str) -> Result<Vec<TestCase>, ServeError> {
-        let resp = self.call(Value::obj(vec![
+        let mut out = Vec::new();
+        let mut after = 0u64;
+        loop {
+            let page = self.results_page(session, after, None)?;
+            let got = page.tests.len();
+            out.extend(page.tests);
+            if page.done || got == 0 {
+                return Ok(out);
+            }
+            after = page.next;
+        }
+    }
+
+    /// Fetches one batch of corpus tests starting at cursor `after`
+    /// (`limit` caps the batch; the daemon clamps it to its page size).
+    /// Use [`ResultsPage::next`] as the next call's cursor.
+    pub fn results_page(
+        &self,
+        session: &str,
+        after: u64,
+        limit: Option<u64>,
+    ) -> Result<ResultsPage, ServeError> {
+        let mut req = vec![
             ("cmd", Value::Str("results".into())),
             ("session", Value::Str(session.into())),
-        ]))?;
-        let mut out = Vec::new();
+            ("after", Value::Int(after as i64)),
+        ];
+        if let Some(l) = limit {
+            req.push(("limit", Value::Int(l as i64)));
+        }
+        let resp = self.call(Value::obj(req))?;
+        let mut tests = Vec::new();
         for v in resp.get("tests").and_then(Value::as_arr).unwrap_or(&[]) {
             let hex = v
                 .as_str()
@@ -235,9 +290,19 @@ impl Client {
                 from_hex(hex).ok_or_else(|| ServeError::Protocol("bad hex in results".into()))?;
             let t = TestCase::from_frame(&bytes)
                 .map_err(|e| ServeError::Protocol(format!("bad test frame: {e}")))?;
-            out.push(t);
+            tests.push(t);
         }
-        Ok(out)
+        let next = resp.get("next").and_then(Value::as_u64).unwrap_or(0);
+        Ok(ResultsPage {
+            total: resp.get("total").and_then(Value::as_u64).unwrap_or(0),
+            done: resp
+                .get("done")
+                .and_then(Value::as_bool)
+                // Pre-pagination daemons ship everything in one reply.
+                .unwrap_or(true),
+            next,
+            tests,
+        })
     }
 
     /// Asks a running session to pause and checkpoint.

@@ -76,16 +76,37 @@ fn killed_session_resumes_to_the_same_test_set() {
         // the corpus files and the checkpoint bytes, exactly like a daemon
         // restarted after a kill.
         let prog = spec.build().unwrap();
-        let seeds = match &checkpoint {
+        let mut seeds = match &checkpoint {
             None => vec![WorkSeed::root()],
             Some(bytes) => WorkSeed::decode_stream(bytes).unwrap(),
         };
         assert!(!seeds.is_empty(), "loop exits before an empty checkpoint");
+        // Resolve the seeds' snapshot fingerprints against the stored
+        // fork-point snapshot, like the daemon does on resume. From the
+        // second slice on, every seed must restore through it — that is
+        // the whole point of the snapshot refactor.
+        let stored = corpus.load_snapshot(&target).unwrap();
+        let mut attached = 0usize;
+        for seed in &mut seeds {
+            if let Some(sn) = &stored {
+                if seed.attach_snapshot(sn) {
+                    attached += 1;
+                }
+            }
+        }
+        if checkpoint.is_some() {
+            assert_eq!(
+                attached,
+                seeds.len(),
+                "every checkpointed seed resumes via the snapshot"
+            );
+        }
+        let seed_count = seeds.len();
         let mut cfg = spec.chef_config();
         // Small enough to interrupt the ~30k-instruction exploration
-        // several times, but well above the per-seed replay cost (each
-        // injected seed re-executes the interpreter prologue, ~3k
-        // instructions, before reaching its fork frontier).
+        // several times. (Before fork-point snapshots this also had to
+        // stay well above the per-seed full-replay cost; restored seeds
+        // skip the prologue, so the constraint is gone.)
         cfg.max_ll_instructions = 12_000;
         let outcome = run_fleet_with(
             &prog,
@@ -97,6 +118,35 @@ fn killed_session_resumes_to_the_same_test_set() {
             seeds,
             None,
         );
+        if checkpoint.is_some() {
+            // The budget can end the slice before every queued seed was
+            // activated (the rest return in the frontier untouched) — but
+            // whatever was activated went through the snapshot (group
+            // bases restore, siblings start from divergence clones) and
+            // nothing fell back to replay-from-instruction-0.
+            let imported: u64 = outcome
+                .report
+                .per_worker
+                .iter()
+                .map(|r| r.seeds_imported)
+                .sum();
+            assert!(imported >= 1 && imported <= seed_count as u64);
+            assert!(
+                outcome.report.exec_stats.snapshot_restores >= 1,
+                "resume restored through the snapshot"
+            );
+            assert_eq!(
+                outcome.report.exec_stats.full_replays, 0,
+                "no resumed seed replayed the prologue from instruction 0"
+            );
+            assert!(outcome.report.exec_stats.prologue_ll_skipped > 0);
+        }
+        // Persist the snapshot the first slice captured (daemon behavior).
+        if stored.is_none() {
+            if let Some(sn) = &outcome.snapshot {
+                corpus.save_snapshot(&target, sn).unwrap();
+            }
+        }
         corpus.append_tests(&target, &outcome.report.tests).unwrap();
         let mut bytes = Vec::new();
         for seed in &outcome.frontier {
@@ -167,6 +217,10 @@ fn daemon_pause_resume_over_tcp_matches_uninterrupted_run() {
             .wait_settled(&session, Duration::from_secs(120))
             .unwrap();
         assert_eq!(finished.state, "done", "resumed session completes");
+        assert_eq!(
+            finished.resume_full_seeds, 0,
+            "resume never falls back to full prefix replay"
+        );
     }
 
     let got: InputSet = client
@@ -184,6 +238,84 @@ fn daemon_pause_resume_over_tcp_matches_uninterrupted_run() {
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt `snapshot.bin` (truncated mid-write, bit-flipped, whatever)
+/// must degrade resume to full prefix replay — slower, byte-identical
+/// results, never a failure. This is the snapshot fallback contract plus
+/// the corpus's truncated-tail tolerance in one.
+#[test]
+fn corrupt_snapshot_falls_back_to_full_replay() {
+    let spec = spec();
+    let want = uninterrupted_set(&spec);
+    let dir = tmpdir("corrupt-snap");
+    let corpus = Corpus::open(&dir).unwrap();
+    let target = spec.target_key();
+    let prog = spec.build().unwrap();
+
+    // First slice: interrupt and checkpoint, persisting the snapshot.
+    let mut cfg = spec.chef_config();
+    cfg.max_ll_instructions = 12_000;
+    let first = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: cfg.clone(),
+            ..FleetConfig::default()
+        },
+        vec![WorkSeed::root()],
+        None,
+    );
+    assert!(!first.frontier.is_empty(), "slice interrupts the target");
+    corpus
+        .save_snapshot(&target, first.snapshot.as_ref().unwrap())
+        .unwrap();
+    corpus.save_checkpoint("s1", &first.frontier).unwrap();
+
+    // Mangle the stored snapshot: chop its tail.
+    let snap_path = corpus
+        .root()
+        .join("corpus")
+        .join(&target)
+        .join("snapshot.bin");
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&snap_path, &bytes).unwrap();
+    assert!(
+        corpus.load_snapshot(&target).unwrap().is_none(),
+        "corruption is detected, not restored"
+    );
+
+    // Resume without the snapshot: seeds decode with a dangling
+    // fingerprint and replay their full prefixes.
+    let mut seeds = corpus.load_checkpoint("s1").unwrap().unwrap();
+    assert!(seeds.iter().all(|s| s.snapshot_fp.is_some()));
+    for seed in &mut seeds {
+        assert!(seed.snapshot.is_none(), "nothing to attach");
+    }
+    cfg.max_ll_instructions = u64::MAX;
+    let resumed = run_fleet_with(
+        &prog,
+        FleetConfig {
+            jobs: 1,
+            base: cfg,
+            ..FleetConfig::default()
+        },
+        seeds,
+        None,
+    );
+    assert_eq!(resumed.report.exec_stats.snapshot_restores, 0);
+    assert!(resumed.frontier.is_empty());
+
+    let mut got: InputSet = first
+        .report
+        .tests
+        .iter()
+        .map(|t| t.canonical_key())
+        .collect();
+    got.extend(resumed.report.tests.iter().map(|t| t.canonical_key()));
+    assert_eq!(got, want, "fallback loses nothing");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -211,6 +343,28 @@ fn second_session_on_same_target_warm_starts_from_corpus() {
     assert_eq!(st1.state, "done");
     assert_eq!(st1.seeded_tests, 0, "first session starts cold");
     assert_eq!(st1.new_tests as usize, want.len());
+
+    // Since-cursor pagination: single-test pages stitch to the one-shot
+    // result, cursors advance, and the final page reports done.
+    let all = client.results(&first).unwrap();
+    assert_eq!(all.len(), want.len());
+    let mut paged = Vec::new();
+    let mut after = 0u64;
+    loop {
+        let page = client.results_page(&first, after, Some(1)).unwrap();
+        assert_eq!(page.total as usize, want.len());
+        assert!(page.tests.len() <= 1);
+        paged.extend(page.tests);
+        if page.done {
+            break;
+        }
+        assert_eq!(page.next, after + 1, "cursor advances one test per page");
+        after = page.next;
+    }
+    assert_eq!(paged.len(), all.len(), "pages stitch to the whole corpus");
+    for (a, b) in paged.iter().zip(&all) {
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
 
     // Different strategy, same target: shares the corpus entry.
     let mut second_spec = spec.clone();

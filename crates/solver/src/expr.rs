@@ -22,6 +22,15 @@ impl fmt::Debug for ExprId {
     }
 }
 
+impl ExprId {
+    /// The raw pool index (creation order). Only meaningful together with
+    /// the owning pool; serializers (`chef_symex::Snapshot`) use it as a
+    /// stable node reference.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
 /// Identifier of a symbolic input variable.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct VarId(pub u32);
@@ -172,6 +181,16 @@ impl ExprPool {
     /// The node behind `id`.
     pub fn node(&self, id: ExprId) -> &Node {
         &self.nodes[id.0 as usize]
+    }
+
+    /// The id of the `i`-th interned node, in creation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn id_at(&self, i: usize) -> ExprId {
+        assert!(i < self.nodes.len(), "node index out of range");
+        ExprId(i as u32)
     }
 
     /// Width in bits of the expression.

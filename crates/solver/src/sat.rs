@@ -135,6 +135,8 @@ struct FrameMark {
     vars: usize,
     num_learned: usize,
     unsat: bool,
+    /// Length of the watch-position journal when the frame opened.
+    journal: usize,
 }
 
 /// CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
@@ -196,6 +198,11 @@ pub struct SatSolver {
     lbd_epoch: u64,
     /// Active recycling frames (see [`SatSolver::push_frame`]).
     frames: Vec<FrameMark>,
+    /// Watch-position journal: every watch-list index pushed to while a
+    /// frame is open. [`SatSolver::pop_frame`] purges frame clauses from
+    /// exactly these lists instead of sweeping every list, making pops
+    /// O(frame work). Empty whenever no frame is open.
+    watch_journal: Vec<u32>,
 }
 
 impl Default for SatSolver {
@@ -231,6 +238,7 @@ impl SatSolver {
             lbd_stamp: Vec::new(),
             lbd_epoch: 0,
             frames: Vec::new(),
+            watch_journal: Vec::new(),
         }
     }
 
@@ -317,8 +325,20 @@ impl SatSolver {
         }
     }
 
+    /// Records a watch-list push in the journal while a frame is open (a
+    /// single predictable branch on the propagate hot path; no cost when
+    /// no frame is active).
+    #[inline]
+    fn journal_watch(&mut self, list: usize) {
+        if !self.frames.is_empty() {
+            self.watch_journal.push(list as u32);
+        }
+    }
+
     fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool, lbd: u32) -> u32 {
         let ci = self.clauses.len() as u32;
+        self.journal_watch(lits[0].index());
+        self.journal_watch(lits[1].index());
         self.watches[lits[0].index()].push(ci);
         self.watches[lits[1].index()].push(ci);
         if learned {
@@ -363,6 +383,7 @@ impl SatSolver {
                     let lk = self.clauses[ci].lits[k];
                     if self.value_lit(lk) != Val::False {
                         self.clauses[ci].lits.swap(1, k);
+                        self.journal_watch(lk.index());
                         self.watches[lk.index()].push(ci as u32);
                         ws.swap_remove(i);
                         found = true;
@@ -601,6 +622,7 @@ impl SatSolver {
             vars: self.assign.len(),
             num_learned: self.num_learned,
             unsat: self.unsat,
+            journal: self.watch_journal.len(),
         });
     }
 
@@ -627,13 +649,12 @@ impl SatSolver {
             }
         }
         self.qhead = self.trail.len();
-        // Drop frame clauses and any watch-list references to them.
+        // Drop frame clauses and the watch-list references to them.
         // Propagation moves watches between lists, so the frame's clause
-        // indices can sit anywhere: this sweeps every list (O(total watch
-        // entries) per pop — about one propagate pass's worth of work,
-        // paid once per bounds query). Journaling watch positions would
-        // make pops O(frame), at bookkeeping cost on the propagate hot
-        // path; see the ROADMAP note.
+        // indices can sit anywhere — but every *push* since the frame
+        // opened is in the journal, so purging exactly the journaled lists
+        // is enough: pops cost O(watch work done during the frame), not
+        // O(total watch entries).
         for c in self.clauses.drain(mark.clauses..) {
             if c.learned {
                 self.num_learned -= 1;
@@ -641,9 +662,21 @@ impl SatSolver {
         }
         debug_assert_eq!(self.num_learned, mark.num_learned);
         let cap = mark.clauses as u32;
-        for w in self.watches.iter_mut() {
-            w.retain(|&ci| ci < cap);
+        let mut touched: Vec<u32> = self.watch_journal[mark.journal..].to_vec();
+        touched.sort_unstable();
+        touched.dedup();
+        for &list in &touched {
+            if let Some(w) = self.watches.get_mut(list as usize) {
+                w.retain(|&ci| ci < cap);
+            }
         }
+        if self.frames.is_empty() {
+            self.watch_journal.clear();
+        }
+        // With frames still open, the popped region's entries stay in the
+        // journal: a pre-frame clause whose watch moved during this frame
+        // may sit in a list only this region names, and an outer pop must
+        // rescan it to purge *outer*-frame clauses from it.
         // Drop frame variables. Kept clauses predate the frame and can only
         // reference pre-frame variables, so truncation is safe; stale order
         // heap entries are skipped by `pick_branch_var`.
@@ -1028,6 +1061,96 @@ mod tests {
                 outcomes[round as usize],
                 "sat/unsat answers are stable across the solver's lifetime"
             );
+        }
+    }
+
+    /// Propagation stays correct after heavy (and nested) push/pop churn:
+    /// the watch-position journal must purge every reference to a popped
+    /// clause — including watches that migrated across lists during frame
+    /// propagation — while leaving pre-frame watches intact wherever they
+    /// moved.
+    #[test]
+    fn propagate_correct_after_push_pop_churn() {
+        let mut seed = 0xc0ffee11u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s = SatSolver::new();
+        let nv = 18u32;
+        for _ in 0..nv {
+            s.new_var();
+        }
+        // A persistent random 3-SAT base, solved once as the reference.
+        let mut base: Vec<Vec<Lit>> = Vec::new();
+        for _ in 0..60 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| Lit::new((next() % nv as u64) as u32, next() % 2 == 0))
+                .collect();
+            base.push(c.clone());
+            s.add_clause(&c);
+        }
+        let reference: Vec<bool> = (0..nv)
+            .map(|v| {
+                matches!(
+                    s.solve_under_assumptions(&[Lit::pos(v)]),
+                    SatOutcome::Sat(_)
+                )
+            })
+            .collect();
+        // Churn: frames add transient vars and clauses that tangle with the
+        // base (forcing watch migrations on base clauses), solve under
+        // assumptions (learning inside the frame), then pop. Every third
+        // round nests a second frame.
+        for round in 0..50u64 {
+            let clauses_before = s.num_clauses();
+            s.push_frame();
+            let t1 = s.new_var();
+            let t2 = s.new_var();
+            let b = (next() % nv as u64) as u32;
+            s.add_clause(&[Lit::pos(t1), Lit::pos(t2), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg_of(t1), Lit::neg_of(b)]);
+            let _ = s.solve_under_assumptions(&[Lit::pos(t1)]);
+            if round % 3 == 0 {
+                s.push_frame();
+                let t3 = s.new_var();
+                s.add_clause(&[Lit::neg_of(t3), Lit::pos(t1)]);
+                s.add_clause(&[Lit::pos(t3), Lit::neg_of(t2)]);
+                let _ = s.solve_under_assumptions(&[Lit::neg_of(t3)]);
+                s.pop_frame();
+            }
+            let _ = s.solve();
+            s.pop_frame();
+            assert_eq!(s.num_clauses(), clauses_before, "no clause leaks");
+            assert_eq!(s.num_vars(), nv, "no variable leaks");
+        }
+        // After churn every query answers exactly as before, and models
+        // satisfy the base (i.e. no base watch was lost and no stale watch
+        // poisons propagation).
+        for v in 0..nv {
+            let out = s.solve_under_assumptions(&[Lit::pos(v)]);
+            assert_eq!(
+                matches!(out, SatOutcome::Sat(_)),
+                reference[v as usize],
+                "churn must not change answers (var {v})"
+            );
+            if let SatOutcome::Sat(m) = out {
+                for c in &base {
+                    assert!(
+                        c.iter().any(|l| m[l.var() as usize] != l.is_neg()),
+                        "model violates a base clause after churn"
+                    );
+                }
+            }
+        }
+        // And fresh unit clauses still propagate through the base chains.
+        let probe = (0..nv).find(|&v| reference[v as usize]).unwrap();
+        s.add_clause(&[Lit::pos(probe)]);
+        match s.solve() {
+            SatOutcome::Sat(m) => assert!(m[probe as usize]),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 }

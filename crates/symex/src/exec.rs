@@ -3,9 +3,13 @@
 //! interpreted language; the Chef layer (`chef-core`) supplies state
 //! selection on top.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use chef_lir::{trace_kind, Inst, Intrinsic, MemSize, Operand, Program, Term};
 use chef_solver::{ExprId, ExprPool, Solver};
 
+use crate::snapshot::Snapshot;
 use crate::state::{Frame, State, StateId, SymInput, TermStatus};
 
 /// Tunables for the executor.
@@ -27,6 +31,12 @@ impl Default for ExecConfig {
     }
 }
 
+/// Cap on the recorded pre-capture `log_pc` prefix. Real prologues are a
+/// few hundred events; a path that exceeds this is never going to be a
+/// useful fork point, so recording stops and capture is forgone rather
+/// than letting the log grow with the run.
+const HL_LOG_CAP: usize = 1 << 20;
+
 /// Work counters for the executor.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecStats {
@@ -40,6 +50,17 @@ pub struct ExecStats {
     pub dropped_ptr_values: u64,
     /// States created in total.
     pub states_created: u64,
+    /// Fork-point snapshots captured (at `make_symbolic`).
+    pub snapshots_captured: u64,
+    /// States materialized from a snapshot instead of full prefix replay.
+    pub snapshot_restores: u64,
+    /// Low-level prologue instructions snapshot restores skipped — work a
+    /// replay-from-zero consumer would have re-executed.
+    pub prologue_ll_skipped: u64,
+    /// Seeded states that fell back to full prefix replay from the
+    /// program entry (no usable snapshot). The snapshot resume path keeps
+    /// this at zero; tests and CI assert on it.
+    pub full_replays: u64,
 }
 
 /// Structured guest events surfaced to the engine.
@@ -92,6 +113,17 @@ pub struct Executor<'p> {
     pub config: ExecConfig,
     /// Counters.
     pub stats: ExecStats,
+    /// The fork-point snapshot: captured at the last step boundary before
+    /// the first symbolic-consuming event (see
+    /// [`Executor::should_capture`]), so it includes the whole
+    /// deterministic prologue — `make_symbolic` *and* the interpreter
+    /// setup after it — and every explored state descends from it.
+    /// Engines attach it to exported seeds; [`Executor::restore_state`]
+    /// consumes it.
+    pub fork_snapshot: Option<Arc<Snapshot>>,
+    /// Restored-state templates by snapshot fingerprint: the first restore
+    /// decodes, later ones clone (copy-on-write memory makes that cheap).
+    snap_cache: HashMap<u64, State>,
     next_state_id: u64,
 }
 
@@ -104,6 +136,8 @@ impl<'p> Executor<'p> {
             solver: Solver::new(),
             config,
             stats: ExecStats::default(),
+            fork_snapshot: None,
+            snap_cache: HashMap::new(),
             next_state_id: 1,
         }
     }
@@ -118,15 +152,109 @@ impl<'p> Executor<'p> {
     /// prefix `choices` (see [`State::trace`]): stepping it re-derives the
     /// state that recorded the prefix, without forking along the way.
     pub fn seeded_state(&mut self, choices: &[u64]) -> State {
+        if !choices.is_empty() {
+            self.stats.full_replays += 1;
+        }
         let mut s = self.initial_state();
         s.replay = choices.iter().copied().collect();
         s
+    }
+
+    /// Materializes a state from a fork-point snapshot instead of
+    /// replaying the interpreter prologue. The returned state's trace
+    /// equals the snapshot's; the caller queues the seed's remaining
+    /// choices as the replay suffix.
+    ///
+    /// Returns `None` if the snapshot fails validation — the caller falls
+    /// back to full prefix replay ([`Executor::seeded_state`]).
+    pub fn restore_state(&mut self, snap: &Snapshot) -> Option<State> {
+        if !self.snap_cache.contains_key(&snap.fingerprint) {
+            let mut template = snap.restore(&mut self.pool)?;
+            // The engine replays `snap.hl_events` itself; keeping the
+            // prefix on the state would just be cloned on every fork.
+            template.hl_log = Vec::new();
+            self.snap_cache.insert(snap.fingerprint, template);
+        }
+        let mut s = self.snap_cache[&snap.fingerprint].clone();
+        s.id = self.fresh_id();
+        self.stats.states_created += 1;
+        self.stats.snapshot_restores += 1;
+        self.stats.prologue_ll_skipped += snap.ll_steps;
+        Some(s)
+    }
+
+    /// Whether the fork-point snapshot should be captured at the current
+    /// step boundary: no snapshot yet, the state is still on the unique
+    /// pre-fork prologue path, symbolic inputs exist, and the *next*
+    /// instruction is the first to consume symbolic data (fork, solver
+    /// query, or concretization). Capturing at the last clean boundary
+    /// before that event skips the maximum shared prologue — including the
+    /// interpreter setup that runs *after* `make_symbolic` — while every
+    /// explored state still descends from the capture point (everything
+    /// before it is deterministic and shared).
+    fn should_capture(&self, state: &State) -> bool {
+        self.fork_snapshot.is_none()
+            && !state.inputs.is_empty()
+            && state.last_fork_loc.is_none()
+            && !state.saw_guest_exception
+            && !state.hl_log_overflow
+            && self.peek_consumes_symbolic(state)
+    }
+
+    /// Peeks at the instruction (or terminator) the next step will
+    /// execute: does it consume a symbolic value in a way that forks,
+    /// queries the solver, or records a trace event?
+    fn peek_consumes_symbolic(&self, state: &State) -> bool {
+        let Some(frame) = state.frames.last() else {
+            return false;
+        };
+        let func = self.prog.func(frame.func);
+        let block = &func.blocks[frame.block];
+        let sym_op = |op: &Operand| match op {
+            Operand::Imm(_) => false,
+            Operand::Reg(r) => !self.pool.is_const(frame.regs[r.0 as usize]),
+        };
+        if frame.ip < block.insts.len() {
+            match &block.insts[frame.ip] {
+                // Symbolic pointers fork; symbolic stored values don't.
+                Inst::Load { addr, .. } | Inst::Store { addr, .. } => sym_op(addr),
+                Inst::Intrinsic { intr, args, .. } => {
+                    matches!(
+                        intr,
+                        Intrinsic::MakeSymbolic
+                            | Intrinsic::LogPc
+                            | Intrinsic::Assume
+                            | Intrinsic::UpperBound
+                            | Intrinsic::Concretize
+                            | Intrinsic::EndSymbolic
+                            | Intrinsic::Abort
+                    ) && args.iter().any(sym_op)
+                }
+                _ => false,
+            }
+        } else {
+            match &block.term {
+                Term::Branch { cond, .. } => sym_op(cond),
+                Term::Switch { on, .. } => sym_op(on),
+                Term::Halt { code } => sym_op(code),
+                _ => false,
+            }
+        }
     }
 
     fn fresh_id(&mut self) -> StateId {
         let id = StateId(self.next_state_id);
         self.next_state_id += 1;
         id
+    }
+
+    /// Gives a cloned state its own identity and counts it. Engines use
+    /// this when they materialize states by cloning (e.g. the shared
+    /// replay-prefix clones of grouped frontier injection) rather than
+    /// through [`Executor::fork`] or a restore.
+    pub fn adopt_clone(&mut self, state: &mut State) {
+        state.id = self.fresh_id();
+        self.stats.states_created += 1;
     }
 
     fn fork(&mut self, base: &State, constraint: Option<ExprId>) -> State {
@@ -275,6 +403,14 @@ impl<'p> Executor<'p> {
     /// event. After `StepEvent::Terminated` the state must not be stepped
     /// again.
     pub fn step(&mut self, state: &mut State) -> StepEvent {
+        if self.should_capture(state) {
+            let snap = Snapshot::capture(state, &self.pool);
+            self.stats.snapshots_captured += 1;
+            self.fork_snapshot = Some(Arc::new(snap));
+            // The snapshot owns the prefix now; dropping it from the state
+            // keeps every future fork from cloning it along.
+            state.hl_log = Vec::new();
+        }
         self.stats.ll_instructions += 1;
         state.ll_steps += 1;
         let func = self.prog.func(state.frame().func);
@@ -439,6 +575,20 @@ impl<'p> Executor<'p> {
                 state.hlpc = pc;
                 state.hl_opcode = opcode;
                 state.hl_len += 1;
+                // Pre-capture prologue prefix for the fork-point snapshot;
+                // recording stops once a snapshot exists or the state
+                // forks. A target that never reaches a capture point
+                // (e.g. no symbolic input ever consumed) would otherwise
+                // record forever, so past a generous prologue bound the
+                // log is dropped and capture is forgone for this path.
+                if self.fork_snapshot.is_none() && state.last_fork_loc.is_none() {
+                    if state.hl_log.len() < HL_LOG_CAP {
+                        state.hl_log.push((pc, opcode));
+                    } else {
+                        state.hl_log = Vec::new();
+                        state.hl_log_overflow = true;
+                    }
+                }
                 StepEvent::LogPc { pc, opcode }
             }
             Intrinsic::Assume => {
@@ -512,6 +662,7 @@ impl<'p> Executor<'p> {
                             let b = state.mem.read_u8(ptr.wrapping_add(i));
                             bytes.push(self.pool.as_const(b).unwrap_or(b'?' as u64) as u8);
                         }
+                        state.saw_guest_exception = true;
                         GuestEvent::Exception(String::from_utf8_lossy(&bytes).into_owned())
                     }
                     trace_kind::ENTER_CODE => {

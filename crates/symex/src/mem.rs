@@ -94,6 +94,32 @@ impl SymMem {
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
+
+    /// Bytes per page — the fixed page payload size snapshots serialize.
+    pub const PAGE_BYTES: usize = PAGE_SIZE;
+
+    /// Materialized pages as `(page_index, bytes)`, ascending by index —
+    /// the deterministic form [`crate::Snapshot`] serializes.
+    pub fn snapshot_pages(&self) -> Vec<(u64, Vec<ExprId>)> {
+        let mut out: Vec<(u64, Vec<ExprId>)> = self
+            .pages
+            .iter()
+            .map(|(k, p)| (*k, p.bytes.to_vec()))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Rebuilds memory from serialized pages. Returns `None` if any page
+    /// does not hold exactly [`SymMem::PAGE_BYTES`] entries.
+    pub fn from_pages(pool: &mut ExprPool, pages: &[(u64, Vec<ExprId>)]) -> Option<Self> {
+        let mut mem = SymMem::new(pool);
+        for (k, bytes) in pages {
+            let cells: [ExprId; PAGE_SIZE] = bytes.as_slice().try_into().ok()?;
+            mem.pages.insert(*k, Arc::new(Page { bytes: cells }));
+        }
+        Some(mem)
+    }
 }
 
 impl std::fmt::Debug for SymMem {

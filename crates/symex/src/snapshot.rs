@@ -1,0 +1,764 @@
+//! Fork-point snapshots: a serializable image of a [`State`].
+//!
+//! Prefix-replay state shipping re-executes the interpreter prologue —
+//! every low-level instruction from the program entry to the symbolic fork
+//! point — once per shipped seed. For real interpreters that prologue is
+//! thousands of instructions of entirely deterministic setup. The paper's
+//! systems avoid this with VM snapshots taken at the fork point; this
+//! module is that discipline for our stack: a [`Snapshot`] is a compact,
+//! deterministic, pool-independent serialization of a state captured right
+//! after `make_symbolic`, and [`Snapshot::restore`] re-materializes it into
+//! any [`chef_solver::ExprPool`] so replay can start at instruction ~N
+//! instead of 0.
+//!
+//! # What is captured
+//!
+//! Everything that defines the state semantically — the call stack (frames,
+//! register files), the materialized memory pages, the path condition, the
+//! symbolic input table, and the recorded event trace — plus the *entire*
+//! expression-pool node table in creation order. Serializing the whole
+//! table rather than just the reachable slice is deliberate: the prologue's
+//! folded-away intermediates occupy id slots, and ids decide
+//! commutative-operand canonicalization for everything built later.
+//!
+//! # Determinism contract
+//!
+//! The prologue is deterministic, so the pool at the fork point is a pure
+//! function of the program — and the node table is its creation-order
+//! transcript. Restore replays that transcript through the same
+//! canonicalizing constructors that produced it (every interned node is a
+//! fixed point of its constructor), declaring variables at their original
+//! positions. Into a fresh pool this reproduces the pool *identically*,
+//! ids included; into a pool that has already explored, it interns exactly
+//! the node sequence a full prefix replay of the prologue would have
+//! interned, in the same order. Either way a restored state is
+//! structurally indistinguishable from its replayed-from-zero twin, and
+//! byte-identical canonical test sets follow. Two engines executing the
+//! same program capture byte-identical snapshots with equal fingerprints.
+//!
+//! # Fallback
+//!
+//! A snapshot is an accelerator, never a requirement: shipped seeds keep
+//! their full decision prefix, so a missing, corrupt, or non-validating
+//! snapshot simply drops the consumer back to replay-from-instruction-0
+//! (which doubles as the equivalence oracle in tests).
+
+use chef_lir::{FuncId, Reg};
+use chef_solver::{BinOp, ExprId, ExprPool, Node, VarId};
+
+use crate::mem::SymMem;
+use crate::state::{Frame, State, StateId, SymInput};
+
+/// A serialized expression node. Child references are indices into the
+/// snapshot's own node table and always point at earlier entries.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SnapNode {
+    /// Constant with the low `width` bits of `bits` significant.
+    Const {
+        /// Width in bits (1..=64).
+        width: u8,
+        /// Constant bits.
+        bits: u64,
+    },
+    /// Symbolic variable, as an index into [`Snapshot::vars`].
+    Var {
+        /// Variable table index.
+        var: u32,
+    },
+    /// Bitwise complement.
+    Not {
+        /// Operand node index.
+        a: u32,
+    },
+    /// Binary operation; `op` is a [`BinOp`] code (see [`binop_code`]).
+    Bin {
+        /// Operator code.
+        op: u8,
+        /// Left operand node index.
+        a: u32,
+        /// Right operand node index.
+        b: u32,
+    },
+    /// If-then-else on a width-1 condition.
+    Ite {
+        /// Condition node index.
+        cond: u32,
+        /// Then node index.
+        t: u32,
+        /// Else node index.
+        f: u32,
+    },
+    /// Bit slice `[hi:lo]` inclusive.
+    Extract {
+        /// High bit (inclusive).
+        hi: u8,
+        /// Low bit (inclusive).
+        lo: u8,
+        /// Operand node index.
+        a: u32,
+    },
+    /// Zero- or sign-extension to `width`.
+    Ext {
+        /// Sign-extension if true.
+        signed: bool,
+        /// Result width in bits.
+        width: u8,
+        /// Operand node index.
+        a: u32,
+    },
+    /// Concatenation: `a` high bits, `b` low bits.
+    Concat {
+        /// High operand node index.
+        a: u32,
+        /// Low operand node index.
+        b: u32,
+    },
+}
+
+/// A serialized call frame.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SnapFrame {
+    /// Function id.
+    pub func: u32,
+    /// Current basic block.
+    pub block: u32,
+    /// Next instruction index within the block.
+    pub ip: u32,
+    /// Register file as node-table indices.
+    pub regs: Vec<u32>,
+    /// Caller register receiving the return value.
+    pub ret_dst: Option<u32>,
+}
+
+/// A portable, deterministic serialization of a symbolic execution state,
+/// captured at the symbolic fork point (right after `make_symbolic`).
+///
+/// See the [module docs](self) for the capture/restore/determinism
+/// contract. Wire framing lives in `chef_core::wire` (a `Snapshot` frame
+/// is the payload of `snapshot.bin` in a `chef-serve` corpus).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Snapshot {
+    /// Content fingerprint (FNV-1a over every other field). Snapshot
+    /// references in shipped seeds and checkpoints use this as identity.
+    pub fingerprint: u64,
+    /// Declared symbolic variables, in declaration order: `(name, width)`.
+    pub vars: Vec<(String, u8)>,
+    /// The full expression-pool node table in creation order (a
+    /// topological order by construction: children are interned before
+    /// parents). `Var` nodes appear at their declaration positions, in
+    /// variable-table order.
+    pub nodes: Vec<SnapNode>,
+    /// Call stack; the last frame is active.
+    pub frames: Vec<SnapFrame>,
+    /// Materialized memory pages: `(page_index, byte node indices)`,
+    /// ascending by page index; every page holds exactly
+    /// [`SymMem::PAGE_BYTES`] entries.
+    pub pages: Vec<(u64, Vec<u32>)>,
+    /// Path condition as node indices.
+    pub path: Vec<u32>,
+    /// Symbolic inputs: `(name, variable table indices)` per buffer.
+    pub inputs: Vec<(String, Vec<u32>)>,
+    /// Recorded nondeterministic events up to the capture point. This is
+    /// the prefix every seed shipped against this snapshot starts with;
+    /// the seed's remaining choices are the suffix replayed after restore.
+    pub trace: Vec<u64>,
+    /// High-level `(pc, opcode)` events logged before the capture point.
+    /// Engines replay these into their high-level tree/CFG when injecting
+    /// a restored state, so high-level path identities match full prefix
+    /// replay exactly.
+    pub hl_events: Vec<(u64, u64)>,
+    /// High-level program counter at capture.
+    pub hlpc: u64,
+    /// High-level opcode at capture.
+    pub hl_opcode: u64,
+    /// High-level instructions executed at capture.
+    pub hl_len: u64,
+    /// Low-level instructions the captured state had executed — exactly
+    /// the per-restore replay work a snapshot saves.
+    pub ll_steps: u64,
+}
+
+/// Stable code of a [`BinOp`] for serialization.
+pub fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::UDiv => 3,
+        BinOp::URem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::LShr => 9,
+        BinOp::AShr => 10,
+        BinOp::Eq => 11,
+        BinOp::Ult => 12,
+        BinOp::Slt => 13,
+        BinOp::Ule => 14,
+        BinOp::Sle => 15,
+    }
+}
+
+/// Inverse of [`binop_code`].
+pub fn binop_from_code(code: u8) -> Option<BinOp> {
+    Some(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::UDiv,
+        4 => BinOp::URem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::LShr,
+        10 => BinOp::AShr,
+        11 => BinOp::Eq,
+        12 => BinOp::Ult,
+        13 => BinOp::Slt,
+        14 => BinOp::Ule,
+        15 => BinOp::Sle,
+        _ => return None,
+    })
+}
+
+impl Snapshot {
+    /// Captures `state` against its pool.
+    ///
+    /// The caller is responsible for picking a sound capture point: every
+    /// state the consumer will ship against this snapshot must descend
+    /// from it ([`crate::Executor`] captures right after `make_symbolic`,
+    /// before the first fork).
+    pub fn capture(state: &State, pool: &ExprPool) -> Snapshot {
+        // The whole node table, in creation order. Node references inside
+        // the snapshot are then simply raw pool indices, and children
+        // always precede parents (hash-consing interns bottom-up).
+        let nodes: Vec<SnapNode> = (0..pool.len())
+            .map(|i| match *pool.node(pool.id_at(i)) {
+                Node::Const { width, bits } => SnapNode::Const { width, bits },
+                Node::Var { var, .. } => SnapNode::Var { var: var.0 },
+                Node::Not { a } => SnapNode::Not { a: a.raw() },
+                Node::Bin { op, a, b } => SnapNode::Bin {
+                    op: binop_code(op),
+                    a: a.raw(),
+                    b: b.raw(),
+                },
+                Node::Ite { cond, t, f } => SnapNode::Ite {
+                    cond: cond.raw(),
+                    t: t.raw(),
+                    f: f.raw(),
+                },
+                Node::Extract { hi, lo, a } => SnapNode::Extract { hi, lo, a: a.raw() },
+                Node::Ext { signed, width, a } => SnapNode::Ext {
+                    signed,
+                    width,
+                    a: a.raw(),
+                },
+                Node::Concat { a, b } => SnapNode::Concat {
+                    a: a.raw(),
+                    b: b.raw(),
+                },
+            })
+            .collect();
+        let mut snap = Snapshot {
+            fingerprint: 0,
+            vars: pool
+                .vars()
+                .iter()
+                .map(|v| (v.name.clone(), v.width))
+                .collect(),
+            nodes,
+            frames: state
+                .frames
+                .iter()
+                .map(|f| SnapFrame {
+                    func: f.func.0,
+                    block: f.block as u32,
+                    ip: f.ip as u32,
+                    regs: f.regs.iter().map(|r| r.raw()).collect(),
+                    ret_dst: f.ret_dst.map(|r| r.0),
+                })
+                .collect(),
+            pages: state
+                .mem
+                .snapshot_pages()
+                .iter()
+                .map(|(k, bytes)| (*k, bytes.iter().map(|b| b.raw()).collect()))
+                .collect(),
+            path: state.path.iter().map(|e| e.raw()).collect(),
+            inputs: state
+                .inputs
+                .iter()
+                .map(|i| (i.name.clone(), i.vars.iter().map(|v| v.0).collect()))
+                .collect(),
+            trace: state.trace.clone(),
+            hl_events: state.hl_log.clone(),
+            hlpc: state.hlpc,
+            hl_opcode: state.hl_opcode,
+            hl_len: state.hl_len,
+            ll_steps: state.ll_steps,
+        };
+        snap.fingerprint = snap.compute_fingerprint();
+        snap
+    }
+
+    /// FNV-1a over every field except [`Snapshot::fingerprint`] itself.
+    /// Capture stores it; decoders recompute it to reject corruption.
+    pub fn compute_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.usize(self.vars.len());
+        for (name, w) in &self.vars {
+            h.bytes(name.as_bytes());
+            h.u8(*w);
+        }
+        h.usize(self.nodes.len());
+        for n in &self.nodes {
+            match n {
+                SnapNode::Const { width, bits } => {
+                    h.u8(0);
+                    h.u8(*width);
+                    h.u64(*bits);
+                }
+                SnapNode::Var { var } => {
+                    h.u8(1);
+                    h.u32(*var);
+                }
+                SnapNode::Not { a } => {
+                    h.u8(2);
+                    h.u32(*a);
+                }
+                SnapNode::Bin { op, a, b } => {
+                    h.u8(3);
+                    h.u8(*op);
+                    h.u32(*a);
+                    h.u32(*b);
+                }
+                SnapNode::Ite { cond, t, f } => {
+                    h.u8(4);
+                    h.u32(*cond);
+                    h.u32(*t);
+                    h.u32(*f);
+                }
+                SnapNode::Extract { hi, lo, a } => {
+                    h.u8(5);
+                    h.u8(*hi);
+                    h.u8(*lo);
+                    h.u32(*a);
+                }
+                SnapNode::Ext { signed, width, a } => {
+                    h.u8(6);
+                    h.u8(*signed as u8);
+                    h.u8(*width);
+                    h.u32(*a);
+                }
+                SnapNode::Concat { a, b } => {
+                    h.u8(7);
+                    h.u32(*a);
+                    h.u32(*b);
+                }
+            }
+        }
+        h.usize(self.frames.len());
+        for f in &self.frames {
+            h.u32(f.func);
+            h.u32(f.block);
+            h.u32(f.ip);
+            h.usize(f.regs.len());
+            for &r in &f.regs {
+                h.u32(r);
+            }
+            match f.ret_dst {
+                None => h.u8(0),
+                Some(r) => {
+                    h.u8(1);
+                    h.u32(r);
+                }
+            }
+        }
+        h.usize(self.pages.len());
+        for (k, bytes) in &self.pages {
+            h.u64(*k);
+            h.usize(bytes.len());
+            for &b in bytes {
+                h.u32(b);
+            }
+        }
+        h.usize(self.path.len());
+        for &p in &self.path {
+            h.u32(p);
+        }
+        h.usize(self.inputs.len());
+        for (name, vars) in &self.inputs {
+            h.bytes(name.as_bytes());
+            h.usize(vars.len());
+            for &v in vars {
+                h.u32(v);
+            }
+        }
+        h.usize(self.trace.len());
+        for &t in &self.trace {
+            h.u64(t);
+        }
+        h.usize(self.hl_events.len());
+        for &(pc, opcode) in &self.hl_events {
+            h.u64(pc);
+            h.u64(opcode);
+        }
+        h.u64(self.hlpc);
+        h.u64(self.hl_opcode);
+        h.u64(self.hl_len);
+        h.u64(self.ll_steps);
+        h.finish()
+    }
+
+    /// Structural and width validation: every node reference in range,
+    /// every width rule of the expression language respected, every page
+    /// full-sized. A snapshot that fails to validate is unusable (restore
+    /// returns `None`) but never a panic.
+    pub fn validate(&self) -> bool {
+        if self.vars.iter().any(|(_, w)| !(1..=64).contains(w)) {
+            return false;
+        }
+        // Width of each node, computed by the same rules the pool uses.
+        // `Var` nodes must appear exactly once each, in declaration order
+        // (a pool interns a variable's node at its declaration) — restore
+        // relies on this to re-declare variables at the right positions.
+        let mut next_var: u32 = 0;
+        let mut widths: Vec<u8> = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let get = |idx: u32| -> Option<u8> {
+                if (idx as usize) < i {
+                    Some(widths[idx as usize])
+                } else {
+                    None
+                }
+            };
+            let w = match n {
+                SnapNode::Const { width, bits } => {
+                    if !(1..=64).contains(width) || *bits & !chef_solver::mask(*width) != 0 {
+                        return false;
+                    }
+                    *width
+                }
+                SnapNode::Var { var } => {
+                    if *var != next_var {
+                        return false;
+                    }
+                    next_var += 1;
+                    match self.vars.get(*var as usize) {
+                        Some((_, w)) => *w,
+                        None => return false,
+                    }
+                }
+                SnapNode::Not { a } => match get(*a) {
+                    Some(w) => w,
+                    None => return false,
+                },
+                SnapNode::Bin { op, a, b } => {
+                    let (Some(op), Some(wa), Some(wb)) = (binop_from_code(*op), get(*a), get(*b))
+                    else {
+                        return false;
+                    };
+                    if wa != wb {
+                        return false;
+                    }
+                    if op.is_predicate() {
+                        1
+                    } else {
+                        wa
+                    }
+                }
+                SnapNode::Ite { cond, t, f } => {
+                    let (Some(wc), Some(wt), Some(wf)) = (get(*cond), get(*t), get(*f)) else {
+                        return false;
+                    };
+                    if wc != 1 || wt != wf {
+                        return false;
+                    }
+                    wt
+                }
+                SnapNode::Extract { hi, lo, a } => {
+                    let Some(wa) = get(*a) else { return false };
+                    if hi < lo || *hi >= wa {
+                        return false;
+                    }
+                    hi - lo + 1
+                }
+                SnapNode::Ext { width, a, .. } => {
+                    let Some(wa) = get(*a) else { return false };
+                    if *width < wa || !(1..=64).contains(width) {
+                        return false;
+                    }
+                    *width
+                }
+                SnapNode::Concat { a, b } => {
+                    let (Some(wa), Some(wb)) = (get(*a), get(*b)) else {
+                        return false;
+                    };
+                    if wa as u16 + wb as u16 > 64 {
+                        return false;
+                    }
+                    wa + wb
+                }
+            };
+            widths.push(w);
+        }
+        if next_var as usize != self.vars.len() {
+            return false;
+        }
+        let width_of = |idx: u32| widths.get(idx as usize).copied();
+        for f in &self.frames {
+            if f.regs.iter().any(|&r| width_of(r) != Some(64)) {
+                return false;
+            }
+        }
+        for (_, bytes) in &self.pages {
+            if bytes.len() != SymMem::PAGE_BYTES {
+                return false;
+            }
+            if bytes.iter().any(|&b| width_of(b) != Some(8)) {
+                return false;
+            }
+        }
+        if self.path.iter().any(|&p| width_of(p) != Some(1)) {
+            return false;
+        }
+        for (_, vars) in &self.inputs {
+            if vars.iter().any(|&v| self.vars.get(v as usize).is_none()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Re-materializes the captured state into `pool` by replaying the
+    /// node-table transcript through the pool's canonicalizing
+    /// constructors, declaring variables at their original positions. Into
+    /// a fresh pool this reproduces the capture-time pool identically; see
+    /// the [module docs](self) for the determinism contract.
+    ///
+    /// Returns `None` if the snapshot does not [`validate`](Self::validate)
+    /// — callers fall back to full-prefix replay.
+    pub fn restore(&self, pool: &mut ExprPool) -> Option<State> {
+        if !self.validate() {
+            return None;
+        }
+        let mut vars: Vec<VarId> = Vec::with_capacity(self.vars.len());
+        let mut ids: Vec<ExprId> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let id = match n {
+                SnapNode::Const { width, bits } => pool.constant(*width, *bits),
+                SnapNode::Var { var } => {
+                    // Validation guarantees declaration order.
+                    let (name, w) = &self.vars[*var as usize];
+                    let e = pool.fresh_var(name.clone(), *w);
+                    vars.push(pool.as_var(e).expect("fresh_var returns a variable"));
+                    e
+                }
+                SnapNode::Not { a } => pool.not(ids[*a as usize]),
+                SnapNode::Bin { op, a, b } => {
+                    let op = binop_from_code(*op).expect("validated op code");
+                    pool.bin(op, ids[*a as usize], ids[*b as usize])
+                }
+                SnapNode::Ite { cond, t, f } => {
+                    pool.ite(ids[*cond as usize], ids[*t as usize], ids[*f as usize])
+                }
+                SnapNode::Extract { hi, lo, a } => pool.extract(*hi, *lo, ids[*a as usize]),
+                SnapNode::Ext { signed, width, a } => {
+                    if *signed {
+                        pool.sext(*width, ids[*a as usize])
+                    } else {
+                        pool.zext(*width, ids[*a as usize])
+                    }
+                }
+                SnapNode::Concat { a, b } => pool.concat(ids[*a as usize], ids[*b as usize]),
+            };
+            ids.push(id);
+        }
+        let pages: Vec<(u64, Vec<ExprId>)> = self
+            .pages
+            .iter()
+            .map(|(k, bytes)| (*k, bytes.iter().map(|&b| ids[b as usize]).collect()))
+            .collect();
+        let mem = SymMem::from_pages(pool, &pages)?;
+        Some(State {
+            id: StateId(0),
+            frames: self
+                .frames
+                .iter()
+                .map(|f| Frame {
+                    func: FuncId(f.func),
+                    block: f.block as usize,
+                    ip: f.ip as usize,
+                    regs: f.regs.iter().map(|&r| ids[r as usize]).collect(),
+                    ret_dst: f.ret_dst.map(Reg),
+                })
+                .collect(),
+            mem,
+            path: self.path.iter().map(|&p| ids[p as usize]).collect(),
+            inputs: self
+                .inputs
+                .iter()
+                .map(|(name, vs)| SymInput {
+                    name: name.clone(),
+                    vars: vs.iter().map(|&v| vars[v as usize]).collect(),
+                })
+                .collect(),
+            hlpc: self.hlpc,
+            hl_opcode: self.hl_opcode,
+            hl_len: self.hl_len,
+            ll_steps: self.ll_steps,
+            last_fork_loc: None,
+            consecutive_forks: 0,
+            depth: 0,
+            trace: self.trace.clone(),
+            replay: std::collections::VecDeque::new(),
+            // Kept so re-capturing a restored state reproduces this
+            // snapshot byte for byte.
+            hl_log: self.hl_events.clone(),
+            hl_log_overflow: false,
+            saw_guest_exception: false,
+        })
+    }
+}
+
+/// Minimal FNV-1a accumulator for the fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        for &b in bs {
+            self.u8(b);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_lir::ModuleBuilder;
+    use chef_solver::Solver;
+
+    fn prog_with_input() -> chef_lir::Program {
+        let mut mb = ModuleBuilder::new();
+        let buf = mb.data_zeroed(2);
+        let name = mb.name_id("x");
+        let main = mb.declare("main", 0);
+        mb.define(main, move |b| {
+            b.make_symbolic(buf, 2u64, name);
+            let x = b.load_u8(buf);
+            let c = b.ult(x, 9u64);
+            b.if_else(c, |b| b.halt(1u64), |b| b.halt(0u64));
+        });
+        mb.finish("main").unwrap()
+    }
+
+    /// Steps the initial state up to (and including) `make_symbolic`.
+    fn state_at_fork_point() -> (chef_lir::Program, ExprPool, State) {
+        let prog = prog_with_input();
+        let mut exec = crate::Executor::new(&prog, crate::ExecConfig::default());
+        let mut st = exec.initial_state();
+        while st.inputs.is_empty() {
+            match exec.step(&mut st) {
+                crate::StepEvent::Terminated(_) | crate::StepEvent::Forked { .. } => {
+                    panic!("prologue must be deterministic")
+                }
+                _ => {}
+            }
+        }
+        let pool = std::mem::take(&mut exec.pool);
+        (prog, pool, st)
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_into_a_fresh_pool() {
+        let (_prog, pool, st) = state_at_fork_point();
+        let snap = Snapshot::capture(&st, &pool);
+        assert!(snap.validate());
+        assert_eq!(snap.inputs.len(), 1);
+        assert_eq!(snap.ll_steps, st.ll_steps);
+
+        let mut pool2 = ExprPool::new();
+        let restored = snap.restore(&mut pool2).expect("restores");
+        assert_eq!(restored.frames.len(), st.frames.len());
+        assert_eq!(restored.path.len(), st.path.len());
+        assert_eq!(restored.inputs.len(), 1);
+        assert_eq!(restored.ll_steps, st.ll_steps);
+        assert_eq!(restored.trace, st.trace);
+        // The symbolic byte survives as a variable, concrete bytes as
+        // constants.
+        let v = restored.inputs[0].vars[0];
+        let e = pool2.var_expr(v);
+        assert!(pool2.as_var(e).is_some());
+        // Re-capturing the restored state yields the identical snapshot.
+        let snap2 = Snapshot::capture(&restored, &pool2);
+        assert_eq!(snap2.fingerprint, snap.fingerprint);
+        assert_eq!(snap2, snap);
+    }
+
+    #[test]
+    fn restored_state_is_solvable() {
+        let (_prog, pool, st) = state_at_fork_point();
+        let snap = Snapshot::capture(&st, &pool);
+        let mut pool2 = ExprPool::new();
+        let mut solver = Solver::new();
+        let restored = snap.restore(&mut pool2).unwrap();
+        let inputs = restored
+            .concretize_inputs(&pool2, &mut solver)
+            .expect("fork-point path is feasible");
+        assert_eq!(inputs["x"].len(), 2);
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_validation_not_panic() {
+        let (_prog, pool, st) = state_at_fork_point();
+        let snap = Snapshot::capture(&st, &pool);
+        // Dangling node reference.
+        let mut bad = snap.clone();
+        bad.path.push(u32::MAX);
+        assert!(!bad.validate());
+        assert!(bad.restore(&mut ExprPool::new()).is_none());
+        // Truncated page.
+        let mut bad = snap.clone();
+        if let Some((_, bytes)) = bad.pages.first_mut() {
+            bytes.pop();
+        }
+        assert!(!bad.validate());
+        // Dangling variable reference.
+        let mut bad = snap;
+        bad.inputs.push(("ghost".into(), vec![u32::MAX]));
+        assert!(!bad.validate());
+        assert!(bad.restore(&mut ExprPool::new()).is_none());
+    }
+}

@@ -93,6 +93,21 @@ pub struct State {
     /// first). While non-empty, the executor applies recorded decisions
     /// instead of forking or asking the solver to pick values.
     pub replay: VecDeque<u64>,
+    /// High-level `(pc, opcode)` events logged while the state is still on
+    /// the unique pre-fork prologue path and no fork-point snapshot has
+    /// been captured. A snapshot carries this prefix so engines can
+    /// rebuild their high-level tree for restored states. Recording stops
+    /// as soon as a snapshot exists or the state forks, and is abandoned
+    /// (see [`State::hl_log_overflow`]) past a generous bound, so memory
+    /// stays bounded even on targets that never reach a capture point.
+    pub hl_log: Vec<(u64, u64)>,
+    /// Whether the pre-capture log outgrew its cap and was dropped —
+    /// vetoes snapshot capture on this path.
+    pub hl_log_overflow: bool,
+    /// Whether the guest reported an exception on this path. Pre-fork
+    /// exceptions veto snapshot capture (the engine-side exception
+    /// bookkeeping cannot be reconstructed from a snapshot).
+    pub saw_guest_exception: bool,
 }
 
 impl State {
@@ -125,6 +140,9 @@ impl State {
             depth: 0,
             trace: Vec::new(),
             replay: VecDeque::new(),
+            hl_log: Vec::new(),
+            hl_log_overflow: false,
+            saw_guest_exception: false,
         }
     }
 

@@ -482,13 +482,16 @@ fn parse_addr(args: &[String]) -> Option<String> {
 
 fn print_status(st: &SessionStatus) {
     let live = if st.state == "running" {
-        format!(" live-tests={}", st.live_tests)
+        format!(
+            " live-tests={} tests-per-sec={:.2}",
+            st.live_tests, st.tests_per_sec
+        )
     } else {
         String::new()
     };
     println!(
         "session={} state={} corpus={} corpus-tests={} new-tests={} seeded={} \
-         ll-instructions={} covered-hlpcs={}{live}",
+         ll-instructions={} covered-hlpcs={} resume-snapshot={} resume-full={}{live}",
         st.session,
         st.state,
         st.target,
@@ -496,7 +499,9 @@ fn print_status(st: &SessionStatus) {
         st.new_tests,
         st.seeded_tests,
         st.ll_instructions,
-        st.covered_hlpcs
+        st.covered_hlpcs,
+        st.resume_snapshot_seeds,
+        st.resume_full_seeds
     );
 }
 
