@@ -1,0 +1,238 @@
+//! Multi-tenant chef-serve: eight submitters sharing one 2-worker pool
+//! (not a paper figure — this measures the chef-sched subsystem; the
+//! paper's analogue is Chef's one-engine-many-clients service discipline
+//! inherited from Cloud9/S2E).
+//!
+//! Three claims are measured and asserted:
+//!
+//! 1. **Fairness** — Jain's index over per-tenant instruction rates must
+//!    be ≥ 0.9: stride scheduling gives equal-quota sessions equal shares
+//!    of the pool's instruction throughput.
+//! 2. **Determinism** — every tenant's canonical test set from the
+//!    contended pooled run is byte-identical to the same job run alone on
+//!    a fresh sequential daemon.
+//! 3. **Latency** — p50/p99 submit-to-done latency and aggregate test
+//!    throughput, recorded for regression tracking.
+//!
+//! Merges a `multitenant` section into `BENCH_serve.json` at the
+//! workspace root (the `serve_throughput` bench owns the other section).
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use chef_bench::{banner, jain, percentile, rule, upsert_json_section};
+use chef_serve::{Client, JobLang, JobSpec, ServeConfig, Server};
+
+/// Concurrent submitters sharing the pool.
+const TENANTS: usize = 8;
+/// Pool workers — deliberately oversubscribed 4:1 by the tenants.
+const WORKERS: usize = 2;
+
+type InputSet = BTreeSet<Vec<(String, Vec<u8>)>>;
+
+/// Per-tenant target: identical exploration shape (so fair scheduling
+/// should produce near-identical rates), distinct return literal (so each
+/// tenant owns a distinct corpus target).
+fn tenant_spec(i: usize) -> JobSpec {
+    let src = format!(
+        r#"
+def parse(msg):
+    n = 0
+    i = 0
+    while i < 5:
+        if msg[i] == "@":
+            n = n + 1
+        i = i + 1
+    kind = msg[0]
+    if kind == "A":
+        if msg[1] == "1":
+            return {}
+        return 3
+    if kind == "B":
+        if msg[1] == msg[2]:
+            return 8
+        return 5
+    return n
+"#,
+        100 + i
+    );
+    let mut s = JobSpec::new(JobLang::Python, src, "parse").sym_str("msg", 5);
+    s.budget = 50_000_000; // effectively unbounded: explore to completion
+    s
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chef-mt-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_daemon(dir: &std::path::Path) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: dir.to_path_buf(),
+        // Small slices: tenants preempt each other many times per run.
+        checkpoint_interval_ll: 20_000,
+        workers: WORKERS,
+        max_sessions: TENANTS,
+        ..Default::default()
+    })
+    .expect("bind daemon");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+struct TenantRun {
+    latency_sec: f64,
+    ll_instructions: u64,
+    new_tests: u64,
+    slices: u64,
+    tests: InputSet,
+}
+
+fn run_tenant(addr: &str, i: usize) -> TenantRun {
+    let client = Client::new(addr.to_string());
+    let submitted = Instant::now();
+    let id = client.submit(&tenant_spec(i)).expect("submit");
+    let st = client
+        .wait_settled(&id, Duration::from_secs(600))
+        .expect("settle");
+    assert_eq!(st.state, "done", "tenant jobs run to completion");
+    let latency_sec = submitted.elapsed().as_secs_f64();
+    let tests = client
+        .results(&id)
+        .expect("results")
+        .iter()
+        .map(|t| t.canonical_key())
+        .collect();
+    TenantRun {
+        latency_sec,
+        ll_instructions: st.ll_instructions,
+        new_tests: st.new_tests,
+        slices: st.sched_slices,
+        tests,
+    }
+}
+
+fn main() {
+    banner(
+        "serve_multitenant — fairness and determinism on the shared pool",
+        "the chef-sched worker pool (stride scheduling over LL instructions)",
+    );
+
+    // Contended: all tenants submit at once against the 2-worker pool.
+    let dir = tmpdir("pool");
+    let (addr, handle) = start_daemon(&dir);
+    let barrier = Arc::new(Barrier::new(TENANTS));
+    let wall_start = Instant::now();
+    let threads: Vec<_> = (0..TENANTS)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                run_tenant(&addr, i)
+            })
+        })
+        .collect();
+    let pooled: Vec<TenantRun> = threads
+        .into_iter()
+        .map(|t| t.join().expect("tenant thread"))
+        .collect();
+    let wall = wall_start.elapsed().as_secs_f64();
+    let client = Client::new(addr);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uncontended reference: same jobs, one at a time, fresh daemon.
+    let dir = tmpdir("seq");
+    let (addr, handle) = start_daemon(&dir);
+    let sequential: Vec<TenantRun> = (0..TENANTS).map(|i| run_tenant(&addr, i)).collect();
+    let client = Client::new(addr);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (i, (p, s)) in pooled.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            p.tests, s.tests,
+            "tenant {i}: pooled and sequential canonical test sets differ"
+        );
+        assert!(!p.tests.is_empty(), "tenant {i} generated tests");
+    }
+
+    let rates: Vec<f64> = pooled
+        .iter()
+        .map(|t| t.ll_instructions as f64 / t.latency_sec.max(1e-9))
+        .collect();
+    let fairness = jain(&rates);
+    let latencies: Vec<f64> = pooled.iter().map(|t| t.latency_sec).collect();
+    let (p50, p99) = (percentile(&latencies, 50.0), percentile(&latencies, 99.0));
+    let new_tests: u64 = pooled.iter().map(|t| t.new_tests).sum();
+    let slices: u64 = pooled.iter().map(|t| t.slices).sum();
+    let tests_per_sec = new_tests as f64 / wall.max(1e-9);
+
+    println!("{:<34} {:>12} {:>14}", "measurement", "value", "detail");
+    rule();
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "tenants / pool workers", TENANTS, WORKERS
+    );
+    println!(
+        "{:<34} {:>12.3} {:>14}",
+        "jain fairness (ll rates)", fairness, ""
+    );
+    println!(
+        "{:<34} {:>12.1} {:>14.1}",
+        "submit-to-done p50/p99 (ms)",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+    println!(
+        "{:<34} {:>12.1} {:>14}",
+        "aggregate tests/sec", tests_per_sec, new_tests
+    );
+    println!("{:<34} {:>12} {:>14}", "slices dispatched", slices, "");
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "pooled == sequential test sets", "yes", TENANTS
+    );
+    rule();
+
+    assert!(
+        fairness >= 0.9,
+        "stride scheduling keeps equal-quota tenants within Jain 0.9 (got {fairness:.3})"
+    );
+    assert!(
+        slices > TENANTS as u64,
+        "tenants were actually time-sliced, not run whole"
+    );
+
+    let section = format!(
+        "{{\n    \"tenants\": {},\n    \"workers\": {},\n    \
+         \"jain_fairness\": {:.3},\n    \"latency_p50_ms\": {:.1},\n    \
+         \"latency_p99_ms\": {:.1},\n    \"tests_per_sec\": {:.1},\n    \
+         \"new_tests\": {},\n    \"slices\": {},\n    \
+         \"pooled_matches_sequential\": true\n  }}",
+        TENANTS,
+        WORKERS,
+        fairness,
+        p50 * 1e3,
+        p99 * 1e3,
+        tests_per_sec,
+        new_tests,
+        slices,
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let existing = std::fs::read_to_string(json_path).unwrap_or_default();
+    match std::fs::write(
+        json_path,
+        upsert_json_section(&existing, "multitenant", &section),
+    ) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\ncould not write {json_path}: {e}"),
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 
-use chef_bench::{banner, rule};
+use chef_bench::{banner, percentile, rule, upsert_json_section};
 use chef_core::{Wire, WorkSeed};
 use chef_fleet::{run_fleet_with, FleetConfig};
 use chef_serve::{Client, JobLang, JobSpec, ServeConfig, Server};
@@ -71,7 +71,10 @@ fn small_job(i: usize) -> JobSpec {
 }
 
 /// End-to-end daemon throughput: submit a batch, poll all to completion.
-fn measure_jobs_per_sec() -> (f64, usize) {
+/// Returns jobs/sec, tests persisted, and per-job submit-to-done latency
+/// seconds (measured per session, not per batch, so the worker pool's
+/// queueing shows up in the tail).
+fn measure_jobs_per_sec() -> (f64, usize, Vec<f64>) {
     let dir = tmpdir("jobs");
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".into(),
@@ -84,22 +87,36 @@ fn measure_jobs_per_sec() -> (f64, usize) {
     let client = Client::new(addr);
 
     let start = Instant::now();
-    let sessions: Vec<String> = (0..SUBMIT_JOBS)
-        .map(|i| client.submit(&small_job(i)).expect("submit"))
+    let sessions: Vec<(String, Instant)> = (0..SUBMIT_JOBS)
+        .map(|i| {
+            let submitted = Instant::now();
+            (client.submit(&small_job(i)).expect("submit"), submitted)
+        })
         .collect();
     let mut tests_total = 0u64;
-    for s in &sessions {
-        let st = client
-            .wait_settled(s, Duration::from_secs(300))
-            .expect("settle");
-        assert_eq!(st.state, "done", "bench jobs run to completion");
-        tests_total += st.corpus_tests;
+    let mut latency: Vec<Option<f64>> = vec![None; sessions.len()];
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while latency.iter().any(Option::is_none) {
+        assert!(Instant::now() < deadline, "bench jobs settle within budget");
+        for (i, (s, submitted)) in sessions.iter().enumerate() {
+            if latency[i].is_some() {
+                continue;
+            }
+            let st = client.status(s).expect("status");
+            if st.is_settled() {
+                assert_eq!(st.state, "done", "bench jobs run to completion");
+                tests_total += st.corpus_tests;
+                latency[i] = Some(submitted.elapsed().as_secs_f64());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
     let elapsed = start.elapsed().as_secs_f64();
     client.shutdown().expect("shutdown");
     handle.join().unwrap().expect("daemon exit");
     let _ = std::fs::remove_dir_all(&dir);
-    (SUBMIT_JOBS as f64 / elapsed, tests_total as usize)
+    let latency = latency.into_iter().map(|l| l.expect("settled")).collect();
+    (SUBMIT_JOBS as f64 / elapsed, tests_total as usize, latency)
 }
 
 struct ResumeNumbers {
@@ -233,14 +250,21 @@ fn main() {
         "the PR-4 persistent exploration service (corpus + checkpoints)",
     );
 
-    let (jobs_per_sec, tests_total) = measure_jobs_per_sec();
+    let (jobs_per_sec, tests_total, latency) = measure_jobs_per_sec();
     let resume = measure_resume_vs_fresh();
+    let (p50, p99) = (percentile(&latency, 50.0), percentile(&latency, 99.0));
 
     println!("{:<34} {:>12} {:>14}", "measurement", "value", "detail");
     rule();
     println!(
         "{:<34} {:>12.2} {:>14}",
         "daemon jobs/sec", jobs_per_sec, SUBMIT_JOBS
+    );
+    println!(
+        "{:<34} {:>12.1} {:>14.1}",
+        "submit-to-done p50/p99 (ms)",
+        p50 * 1e3,
+        p99 * 1e3
     );
     println!(
         "{:<34} {:>12} {:>14}",
@@ -271,14 +295,17 @@ fn main() {
         "resume explored the leftover half"
     );
 
-    let json = format!(
-        "{{\n  \"submit_jobs\": {},\n  \"jobs_per_sec\": {:.3},\n  \
-         \"corpus_tests\": {},\n  \"fresh_paths_per_sec\": {:.1},\n  \
-         \"resume_paths_per_sec\": {:.1},\n  \"resume_fresh_ratio\": {:.3},\n  \
-         \"checkpoint_frontier_size\": {},\n  \"snapshot_restores\": {},\n  \
-         \"prologue_ll_skipped\": {}\n}}\n",
+    let section = format!(
+        "{{\n    \"submit_jobs\": {},\n    \"jobs_per_sec\": {:.3},\n    \
+         \"latency_p50_ms\": {:.1},\n    \"latency_p99_ms\": {:.1},\n    \
+         \"corpus_tests\": {},\n    \"fresh_paths_per_sec\": {:.1},\n    \
+         \"resume_paths_per_sec\": {:.1},\n    \"resume_fresh_ratio\": {:.3},\n    \
+         \"checkpoint_frontier_size\": {},\n    \"snapshot_restores\": {},\n    \
+         \"prologue_ll_skipped\": {}\n  }}",
         SUBMIT_JOBS,
         jobs_per_sec,
+        p50 * 1e3,
+        p99 * 1e3,
         tests_total,
         resume.fresh_paths_per_sec,
         resume.resume_paths_per_sec,
@@ -288,7 +315,13 @@ fn main() {
         resume.prologue_ll_skipped,
     );
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    match std::fs::write(json_path, &json) {
+    // Merge into the shared file: the `serve_multitenant` bench owns the
+    // other section, and either may run first.
+    let existing = std::fs::read_to_string(json_path).unwrap_or_default();
+    match std::fs::write(
+        json_path,
+        upsert_json_section(&existing, "throughput", &section),
+    ) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => println!("\ncould not write {json_path}: {e}"),
     }

@@ -65,6 +65,122 @@ pub fn stddev(reports: &[Report], f: impl Fn(&Report) -> f64) -> f64 {
     var.sqrt()
 }
 
+/// Nearest-rank percentile (`p` in `[0, 100]`) of a sample set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((p / 100.0) * s.len() as f64).ceil().max(1.0) as usize - 1;
+    s[rank.min(s.len() - 1)]
+}
+
+/// Jain's fairness index over per-tenant shares: `(Σx)² / (n·Σx²)`.
+/// `1.0` is perfectly fair; `1/n` is one tenant hogging everything.
+pub fn jain(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sq)
+}
+
+/// Splits a JSON object's top-level `"key": value` pairs into raw string
+/// slices. Purely textual on purpose: bench files carry floats, which the
+/// in-tree `chef-serve` JSON reader deliberately rejects, and pulling in a
+/// real JSON dependency is out of scope. Returns `None` when `doc` is not
+/// a braced object.
+pub fn json_sections(doc: &str) -> Option<Vec<(String, String)>> {
+    let t = doc.trim();
+    let inner = t.strip_prefix('{')?.strip_suffix('}')?;
+    let b = inner.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    loop {
+        while i < b.len() && (b[i].is_ascii_whitespace() || b[i] == b',') {
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        if b[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let key_start = i;
+        while i < b.len() && b[i] != b'"' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        if i >= b.len() {
+            return None;
+        }
+        let key = inner[key_start..i].to_string();
+        i += 1;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() || b[i] != b':' {
+            return None;
+        }
+        i += 1;
+        let val_start = i;
+        let mut depth = 0i32;
+        let mut in_str = false;
+        while i < b.len() {
+            let c = b[i];
+            if in_str {
+                if c == b'\\' {
+                    i += 1;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push((key, inner[val_start..i].trim().to_string()));
+    }
+    Some(out)
+}
+
+/// Replaces (or appends) one top-level section of a JSON object document,
+/// preserving every other section verbatim. Unparseable or empty `doc`
+/// starts a fresh object, so benches can share one output file without
+/// ordering constraints.
+pub fn upsert_json_section(doc: &str, key: &str, value: &str) -> String {
+    let mut sections = json_sections(doc).unwrap_or_default();
+    let value = value.trim().to_string();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => sections.push((key.to_string(), value)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(k);
+        out.push_str("\": ");
+        out.push_str(v);
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Prints a banner naming the experiment and its paper counterpart.
 pub fn banner(title: &str, paper_ref: &str) {
     println!();
@@ -97,5 +213,41 @@ mod tests {
         // Degenerate inputs are total.
         assert_eq!(mean(&[], |_| 1.0), 0.0);
         assert_eq!(stddev(&[], |_| 1.0), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 99.0), 5.0);
+        assert_eq!(jain(&[2.0, 2.0, 2.0]), 1.0);
+        // One tenant hogging everything scores 1/n.
+        assert!((jain(&[6.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_section_upsert_preserves_siblings() {
+        // Fresh document.
+        let doc = upsert_json_section("", "a", "{\n  \"x\": 1.5\n}");
+        assert!(doc.contains("\"a\""));
+        assert!(doc.contains("\"x\": 1.5"));
+        // Append a sibling; the existing section (floats and all) survives
+        // byte-for-byte.
+        let doc2 = upsert_json_section(&doc, "b", "[1, 2]");
+        let sections = json_sections(&doc2).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "a");
+        assert!(sections[0].1.contains("\"x\": 1.5"));
+        assert_eq!(sections[1], ("b".into(), "[1, 2]".into()));
+        // Replace in place keeps order and the neighbor.
+        let doc3 = upsert_json_section(&doc2, "a", "7");
+        let sections = json_sections(&doc3).unwrap();
+        assert_eq!(sections[0], ("a".into(), "7".into()));
+        assert_eq!(sections[1], ("b".into(), "[1, 2]".into()));
+        // Keys with escapes and values with nested commas round-trip.
+        let tricky = "{\"k\\\"1\": {\"s\": \"a,b\", \"arr\": [1, {\"z\": 2}]}, \"k2\": 3}";
+        let sections = json_sections(tricky).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[1], ("k2".into(), "3".into()));
+        // Non-object input starts fresh rather than corrupting output.
+        assert!(json_sections("not json").is_none());
+        assert!(upsert_json_section("not json", "a", "1").contains("\"a\": 1"));
     }
 }

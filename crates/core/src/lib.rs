@@ -43,6 +43,7 @@
 pub mod engine;
 pub mod hl;
 pub mod seed;
+pub mod stats;
 pub mod strategy;
 pub mod wire;
 
@@ -52,6 +53,7 @@ pub use engine::{
 };
 pub use hl::{HlCfg, HlNodeId, HlTree, HL_ROOT};
 pub use seed::WorkSeed;
+pub use stats::SchedStats;
 // The fork-point snapshot type seeds and corpora reference; re-exported so
 // service layers need not depend on `chef-symex` directly.
 pub use chef_symex::Snapshot;

@@ -13,12 +13,14 @@
 //! panic — corpus files are read back after crashes, and network bytes are
 //! untrusted.
 //!
-//! [`Wire`] is implemented for the four portable artifacts of the stack:
+//! [`Wire`] is implemented for the portable artifacts of the stack:
 //! [`WorkSeed`] (a session checkpoint is a frontier of these),
 //! [`TestCase`] (the corpus stores deduplicated streams of them),
-//! [`Report`] (shipped whole to `results` clients), and — since wire
+//! [`Report`] (shipped whole to `results` clients), — since wire
 //! version 2 — [`Snapshot`] (the fork-point state image stored once per
-//! corpus target; seeds reference it by fingerprint).
+//! corpus target; seeds reference it by fingerprint), and [`SchedStats`]
+//! (per-session fair-share scheduling counters, persisted next to the
+//! checkpoint so quota accounting survives daemon restarts).
 //!
 //! Version 2 frames additionally extend [`WorkSeed`] with the snapshot
 //! fingerprint and [`ExecStats`] with the snapshot counters; version 1
@@ -35,6 +37,7 @@ use chef_symex::{ExecStats, SnapFrame, SnapNode, Snapshot};
 use crate::engine::{Report, TestCase, TestStatus, TimelinePoint};
 use crate::hl::HlNodeId;
 use crate::seed::WorkSeed;
+use crate::stats::SchedStats;
 
 /// Frame magic: "CHWR" (CHef WiRe).
 pub const MAGIC: [u8; 4] = *b"CHWR";
@@ -815,6 +818,28 @@ fn decode_solver_stats(r: &mut Reader) -> Result<SolverStats, WireError> {
         unknowns: r.u64()?,
         sat_time: r.duration()?,
     })
+}
+
+impl Wire for SchedStats {
+    const TAG: u8 = 5;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.quota);
+        w.u64(self.slices);
+        w.u64(self.preemptions);
+        w.u64(self.wait_ms);
+        w.u64(self.cpu_ll);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, WireError> {
+        Ok(SchedStats {
+            quota: r.u64()?,
+            slices: r.u64()?,
+            preemptions: r.u64()?,
+            wait_ms: r.u64()?,
+            cpu_ll: r.u64()?,
+        })
+    }
 }
 
 /// Known strategy names, so a decoded [`Report`] round-trips its

@@ -276,6 +276,25 @@ pub fn run_fleet(prog: &Program, config: FleetConfig) -> FleetReport {
 /// [`FleetOutcome::frontier`]; feeding it to another `run_fleet_with` call
 /// continues the exploration, and the union of the runs' deduplicated
 /// tests equals what one uninterrupted run would have generated.
+/// Runs exactly one scheduler slice of an exploration: at most `slice_ll`
+/// low-level instructions over `seeds`, returning the outcome with the
+/// unexplored remainder as the frontier. This is the dispatch granularity
+/// of `chef-serve`'s shared worker pool — a pool worker runs one slice of
+/// one session, checkpoints the frontier, and requeues the session behind
+/// its fair-share peers; the slice budget overrides whatever total budget
+/// `config.base` carries (the *caller* accounts the session's cumulative
+/// spend across slices).
+pub fn run_fleet_slice(
+    prog: &Program,
+    mut config: FleetConfig,
+    seeds: Vec<WorkSeed>,
+    ctl: Option<&FleetControl>,
+    slice_ll: u64,
+) -> FleetOutcome {
+    config.base.max_ll_instructions = slice_ll.max(1);
+    run_fleet_with(prog, config, seeds, ctl)
+}
+
 pub fn run_fleet_with(
     prog: &Program,
     config: FleetConfig,

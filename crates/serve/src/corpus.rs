@@ -19,6 +19,8 @@
 //!     spec.json             — the JobSpec, so the daemon can rebuild the
 //!                             program after a restart
 //!     checkpoint.bin        — the unexplored frontier as WorkSeed frames
+//!     sched.bin             — the session's SchedStats frame, so
+//!                             fair-share accounting survives restarts
 //!     state                 — "running" | "paused" | "exhausted" |
 //!                             "done" | "failed: <msg>"
 //! ```
@@ -28,15 +30,24 @@
 //! by keeping every complete frame before it. Checkpoint and state writes
 //! go through a temp-file rename so a kill can't leave a half-written
 //! checkpoint behind.
+//!
+//! Besides durability, the corpus owns its own *lifecycle*: per-target
+//! byte budgets enforced at append time ([`Corpus::set_target_budget`]),
+//! `tests.bin` compaction that rewrites a target's store dropping
+//! crash-truncated tails and over-budget overflow
+//! ([`Corpus::compact_tests`]), and snapshot garbage collection that
+//! deletes `snapshot.bin` files no live checkpoint references by
+//! fingerprint ([`Corpus::gc_snapshots`]).
 
 use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use chef_core::wire::Wire;
-use chef_core::{Snapshot, TestCase, WorkSeed};
+use chef_core::{SchedStats, Snapshot, TestCase, WorkSeed};
 
 /// Handle on a daemon data directory.
 ///
@@ -51,6 +62,10 @@ pub struct Corpus {
     /// can target the same corpus entry, and dedup/union semantics only
     /// hold if load→write is atomic with respect to other writers.
     write_lock: std::sync::Mutex<()>,
+    /// Per-target `tests.bin` byte budget; `None` = unbounded.
+    max_target_bytes: Option<u64>,
+    /// Tests refused at append time because their target was at budget.
+    budget_rejected: AtomicU64,
 }
 
 impl Corpus {
@@ -62,7 +77,24 @@ impl Corpus {
         Ok(Corpus {
             root,
             write_lock: std::sync::Mutex::new(()),
+            max_target_bytes: None,
+            budget_rejected: AtomicU64::new(0),
         })
+    }
+
+    /// Caps each target's `tests.bin` at `budget` bytes: appends that
+    /// would grow a store past it are refused (frame-granular, counted by
+    /// [`Corpus::budget_rejections`]), and [`Corpus::compact_tests`] trims
+    /// stores that were already over. Must be set before the corpus is
+    /// shared across threads.
+    pub fn set_target_budget(&mut self, budget: Option<u64>) {
+        self.max_target_bytes = budget;
+    }
+
+    /// How many tests append-time budget enforcement has refused since the
+    /// corpus was opened.
+    pub fn budget_rejections(&self) -> u64 {
+        self.budget_rejected.load(Ordering::Relaxed)
     }
 
     /// The data directory this corpus lives in.
@@ -135,13 +167,28 @@ impl Corpus {
             .iter()
             .map(|t| t.canonical_key())
             .collect();
+        // Budget enforcement is frame-granular: each new frame must fit in
+        // the target's remaining byte budget or it is refused (the session
+        // keeps exploring; only the archived copy is capped).
+        let mut stored_bytes = fs::metadata(dir.join("tests.bin"))
+            .map(|m| m.len())
+            .unwrap_or(0);
         let mut buf = Vec::new();
         let mut added = 0usize;
         for t in tests {
-            if seen.insert(t.canonical_key()) {
-                buf.extend_from_slice(&t.to_frame());
-                added += 1;
+            if !seen.insert(t.canonical_key()) {
+                continue;
             }
+            let frame = t.to_frame();
+            if let Some(budget) = self.max_target_bytes {
+                if stored_bytes + frame.len() as u64 > budget {
+                    self.budget_rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            stored_bytes += frame.len() as u64;
+            buf.extend_from_slice(&frame);
+            added += 1;
         }
         if added > 0 {
             let mut f = fs::OpenOptions::new()
@@ -311,6 +358,97 @@ impl Corpus {
             Err(e) => Err(e),
         }
     }
+
+    /// Persists a session's scheduling counters (atomically; called once
+    /// per completed slice).
+    pub fn save_sched(&self, session: &str, stats: &SchedStats) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("sched.bin"), &stats.to_frame())
+    }
+
+    /// Loads a session's persisted scheduling counters. Missing or corrupt
+    /// `sched.bin` yields `Ok(None)` — the session just restarts its
+    /// accounting from zero.
+    pub fn load_sched(&self, session: &str) -> io::Result<Option<SchedStats>> {
+        let path = self.session_dir(session).join("sched.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(SchedStats::from_frame(&bytes).ok())
+    }
+
+    /// Rewrites a target's `tests.bin` from its decodable frames: drops a
+    /// crash-truncated tail for good, re-deduplicates by canonical input
+    /// bytes, and trims overflow past the per-target budget (oldest tests
+    /// are kept — they seeded the most coverage). Returns `(bytes_before,
+    /// bytes_after)`; a missing store is a no-op `(0, 0)`.
+    pub fn compact_tests(&self, target: &str) -> io::Result<(u64, u64)> {
+        let _guard = self.write_lock.lock().unwrap();
+        let path = self.target_dir(target).join("tests.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((0, 0)),
+            Err(e) => return Err(e),
+        };
+        let before = bytes.len() as u64;
+        let mut seen: HashSet<Vec<(String, Vec<u8>)>> = HashSet::new();
+        let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+        for t in decode_prefix::<TestCase>(&bytes) {
+            if !seen.insert(t.canonical_key()) {
+                continue;
+            }
+            let frame = t.to_frame();
+            if let Some(budget) = self.max_target_bytes {
+                if out.len() as u64 + frame.len() as u64 > budget {
+                    self.budget_rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            out.extend_from_slice(&frame);
+        }
+        let after = out.len() as u64;
+        if after != before {
+            write_atomic(&path, &out)?;
+        }
+        Ok((before, after))
+    }
+
+    /// Deletes `snapshot.bin` files whose fingerprint no session checkpoint
+    /// references (plus undecodable ones), returning how many were
+    /// removed. Run at daemon startup, after orphan recovery: settled
+    /// sessions have empty checkpoints, so a target whose sessions all
+    /// finished sheds its snapshot — the next session to explore that
+    /// target captures a fresh one on its first slice.
+    pub fn gc_snapshots(&self) -> io::Result<usize> {
+        let _guard = self.write_lock.lock().unwrap();
+        let mut referenced: HashSet<u64> = HashSet::new();
+        for id in self.session_ids()? {
+            for seed in self.load_checkpoint(&id)?.unwrap_or_default() {
+                if let Some(fp) = seed.snapshot_fp {
+                    referenced.insert(fp);
+                }
+            }
+        }
+        let mut removed = 0usize;
+        for entry in fs::read_dir(self.root.join("corpus"))? {
+            let path = entry?.path().join("snapshot.bin");
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let live =
+                Snapshot::from_frame(&bytes).is_ok_and(|sn| referenced.contains(&sn.fingerprint));
+            if !live {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
 }
 
 /// Decodes as many complete frames as the buffer holds, dropping a
@@ -442,6 +580,118 @@ mod tests {
         let corpus = Corpus::open(tmpdir("esc")).unwrap();
         corpus.save_state("../../evil", "x").unwrap();
         assert!(corpus.root().join("sessions/______evil/state").exists());
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn target_budget_caps_appends_at_frame_granularity() {
+        let mut corpus = Corpus::open(tmpdir("budget")).unwrap();
+        let frame_len = tc(0, 0).to_frame().len() as u64;
+        corpus.set_target_budget(Some(frame_len * 2));
+        assert_eq!(
+            corpus
+                .append_tests("k", &[tc(0, 1), tc(1, 2), tc(2, 3), tc(3, 4)])
+                .unwrap(),
+            2,
+            "only two frames fit the budget"
+        );
+        assert_eq!(corpus.budget_rejections(), 2);
+        let size = fs::metadata(corpus.root().join("corpus/k/tests.bin"))
+            .unwrap()
+            .len();
+        assert!(size <= frame_len * 2);
+        // Appends once at budget are refused outright.
+        assert_eq!(corpus.append_tests("k", &[tc(4, 5)]).unwrap(), 0);
+        assert_eq!(corpus.budget_rejections(), 3);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn compaction_drops_truncated_tail_and_trims_to_budget() {
+        let mut corpus = Corpus::open(tmpdir("compact")).unwrap();
+        corpus
+            .append_tests("k", &[tc(0, 1), tc(1, 2), tc(2, 3)])
+            .unwrap();
+        let path = corpus.root().join("corpus/k/tests.bin");
+        // Crash mid-append: a truncated frame lingers on disk until
+        // compaction rewrites the store without it.
+        let mut bytes = fs::read(&path).unwrap();
+        let full = bytes.len() as u64;
+        bytes.extend_from_slice(&bytes.clone()[..7]);
+        fs::write(&path, &bytes).unwrap();
+        let (before, after) = corpus.compact_tests("k").unwrap();
+        assert_eq!(before, full + 7);
+        assert_eq!(after, full);
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 3);
+        // With a one-frame budget, compaction keeps the oldest test.
+        let frame_len = tc(0, 1).to_frame().len() as u64;
+        corpus.set_target_budget(Some(frame_len));
+        let (_, trimmed) = corpus.compact_tests("k").unwrap();
+        assert_eq!(trimmed, frame_len);
+        let kept = corpus.load_tests("k").unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].inputs["x"], vec![1]);
+        // Compacting a never-written target is a no-op.
+        assert_eq!(corpus.compact_tests("nothing").unwrap(), (0, 0));
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    fn snap(tag: u64) -> Snapshot {
+        let mut sn = Snapshot {
+            fingerprint: 0,
+            vars: Vec::new(),
+            nodes: Vec::new(),
+            frames: Vec::new(),
+            pages: Vec::new(),
+            path: Vec::new(),
+            inputs: Vec::new(),
+            trace: vec![tag],
+            hl_events: Vec::new(),
+            hlpc: 0,
+            hl_opcode: 0,
+            hl_len: 0,
+            ll_steps: tag,
+        };
+        sn.fingerprint = sn.compute_fingerprint();
+        sn
+    }
+
+    #[test]
+    fn snapshot_gc_keeps_only_checkpoint_referenced_fingerprints() {
+        let corpus = Corpus::open(tmpdir("gc")).unwrap();
+        let live = snap(1);
+        let dead = snap(2);
+        corpus.save_snapshot("live_t", &live).unwrap();
+        corpus.save_snapshot("dead_t", &dead).unwrap();
+        // s1 is mid-exploration: its checkpoint references the live
+        // snapshot. dead_t's sessions all finished (empty checkpoint).
+        let mut seed = WorkSeed::from_choices(vec![1, 2, 3]);
+        seed.snapshot_fp = Some(live.fingerprint);
+        corpus.save_checkpoint("s1", &[seed]).unwrap();
+        corpus.save_checkpoint("s2", &[]).unwrap();
+        assert_eq!(corpus.gc_snapshots().unwrap(), 1);
+        assert!(corpus.load_snapshot("live_t").unwrap().is_some());
+        assert!(corpus.load_snapshot("dead_t").unwrap().is_none());
+        // Idempotent: nothing left to collect.
+        assert_eq!(corpus.gc_snapshots().unwrap(), 0);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn sched_stats_roundtrip_and_corrupt_tolerance() {
+        let corpus = Corpus::open(tmpdir("sched")).unwrap();
+        assert_eq!(corpus.load_sched("s1").unwrap(), None);
+        let stats = SchedStats {
+            quota: 200,
+            slices: 7,
+            preemptions: 6,
+            wait_ms: 123,
+            cpu_ll: 45_678,
+        };
+        corpus.save_sched("s1", &stats).unwrap();
+        assert_eq!(corpus.load_sched("s1").unwrap(), Some(stats));
+        fs::write(corpus.root().join("sessions/s1/sched.bin"), b"junk").unwrap();
+        assert_eq!(corpus.load_sched("s1").unwrap(), None);
         let _ = fs::remove_dir_all(corpus.root());
     }
 }

@@ -94,6 +94,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Worker threads for the session's fleet.
     pub jobs: usize,
+    /// Fair-share weight in the daemon's scheduler: pool time is
+    /// apportioned proportionally to quotas (100 is the neutral default;
+    /// 200 asks for twice the share). Like budgets, quotas are
+    /// exploration config — not part of the target key.
+    pub quota: u64,
 }
 
 impl JobSpec {
@@ -108,6 +113,7 @@ impl JobSpec {
             budget: 2_000_000,
             seed: 0,
             jobs: 1,
+            quota: 100,
         }
     }
 
@@ -269,6 +275,7 @@ impl JobSpec {
             ("budget", Value::Int(self.budget as i64)),
             ("seed", Value::Int(self.seed as i64)),
             ("jobs", Value::Int(self.jobs as i64)),
+            ("quota", Value::Int(self.quota as i64)),
         ])
     }
 
@@ -343,6 +350,7 @@ impl JobSpec {
             budget: v.get("budget").and_then(Value::as_u64).unwrap_or(2_000_000),
             seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
             jobs: v.get("jobs").and_then(Value::as_u64).unwrap_or(1).max(1) as usize,
+            quota: v.get("quota").and_then(Value::as_u64).unwrap_or(100).max(1),
         })
     }
 }
@@ -388,6 +396,7 @@ mod tests {
         spec.budget = 123_456;
         spec.seed = 7;
         spec.jobs = 2;
+        spec.quota = 250;
         let v = spec.to_value();
         let text = v.to_json();
         let back = JobSpec::from_value(&crate::json::parse(&text).unwrap()).unwrap();
@@ -402,6 +411,7 @@ mod tests {
         b.seed = 99;
         b.strategy = StrategyKind::Dfs;
         b.jobs = 8;
+        b.quota = 400;
         assert_eq!(a.target_key(), b.target_key());
         let mut c = demo_spec();
         c.source.push('\n');

@@ -25,6 +25,20 @@
 //! HL-CFG (and thereby the §3.4 coverage-optimized CUPA weights) before
 //! the first symbolic state is selected.
 //!
+//! ## Multi-tenancy
+//!
+//! The daemon is multi-tenant: sessions do not get a thread each. A fixed
+//! pool of [`ServeConfig::workers`] workers pulls runnable sessions from
+//! the fair-share scheduler in [`sched`] and runs them one checkpoint
+//! slice at a time, so N tenants share the machine at slice granularity in
+//! proportion to their [`JobSpec::quota`]s. Admission control caps the
+//! unsettled-session count ([`ServeConfig::max_sessions`]) and rejects
+//! overflow submits with a typed `retry_after_ms`; concurrent client
+//! connections are bounded by [`ServeConfig::max_connections`]. Because a
+//! slice always ends at a checkpoint, preemption by other tenants
+//! composes with the kill/resume guarantee: an interrupted-and-resumed
+//! session still produces exactly the test set of an uninterrupted one.
+//!
 //! # Examples
 //!
 //! An in-process daemon on a loopback port, driven through the client:
@@ -59,24 +73,28 @@ pub mod corpus;
 pub mod job;
 pub mod json;
 pub mod proto;
+pub mod sched;
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use chef_core::wire::Wire;
-use chef_core::{replay_cfg_edges, WorkSeed};
-use chef_fleet::{run_fleet_with, FleetConfig, FleetControl};
+use chef_core::{replay_cfg_edges, ChefConfig, SchedStats, Snapshot, WorkSeed};
+use chef_fleet::{run_fleet_slice, FleetConfig, FleetControl};
+use chef_lir::Program;
 
 pub use corpus::Corpus;
 pub use job::{parse_strategy, strategy_name, JobArg, JobLang, JobSpec};
 pub use proto::{Client, ResultsPage, ServeError, SessionStatus};
+pub use sched::{SchedConfig, QUOTA_UNIT};
 
 use json::Value;
+use sched::Scheduler;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -87,8 +105,19 @@ pub struct ServeConfig {
     pub data_dir: PathBuf,
     /// Low-level instructions between automatic checkpoints: sessions run
     /// as budget slices of this size, checkpointing the frontier after
-    /// each, so a killed daemon loses at most one slice of work.
+    /// each, so a killed daemon loses at most one slice of work. Slices
+    /// are also the scheduler's preemption granularity.
     pub checkpoint_interval_ll: u64,
+    /// Pool workers executing session slices (session-level concurrency).
+    pub workers: usize,
+    /// Admission-control cap on admitted-and-unsettled sessions; submits
+    /// and resumes beyond it get a typed `retry_after_ms` rejection.
+    pub max_sessions: usize,
+    /// Concurrent client connections; excess connects are dropped at
+    /// accept time.
+    pub max_connections: usize,
+    /// Per-target byte budget for archived tests (`None` = unbounded).
+    pub corpus_budget_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -97,18 +126,51 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:4455".into(),
             data_dir: PathBuf::from("chef-data"),
             checkpoint_interval_ll: 250_000,
+            workers: 2,
+            max_sessions: 32,
+            max_connections: 128,
+            corpus_budget_bytes: None,
         }
     }
 }
 
+/// Everything a session needs between slices, computed once per admission
+/// (and once per resume): the built program, the corpus warm start, and
+/// the live frontier. Holding it across slices is what makes a slice cost
+/// one fleet run instead of one full session setup.
+struct Prepared {
+    prog: Program,
+    base: ChefConfig,
+    seed_cfg_edges: Vec<(u64, u64, u64)>,
+    seeds: Vec<WorkSeed>,
+    stored_snapshot: Option<Arc<Snapshot>>,
+    /// Low-level instructions spent against this *run's* budget (resets on
+    /// resume, like the one-shot engine's budget does).
+    spent: u64,
+}
+
+/// What one scheduled slice concluded about its session.
+pub(crate) enum SliceVerdict {
+    /// Work remains; the scheduler requeues the session.
+    Continue,
+    /// A pause request landed during the slice.
+    Paused,
+    /// The frontier is exhausted: exploration ran to completion.
+    Done,
+    /// The session's own instruction budget ran out with work remaining.
+    Exhausted,
+}
+
 /// In-memory state of one session (mirrored to disk by the [`Corpus`]).
-struct SessionState {
-    id: String,
+pub(crate) struct SessionState {
+    pub(crate) id: String,
     spec: JobSpec,
-    target: String,
-    ctl: FleetControl,
+    pub(crate) target: String,
+    pub(crate) ctl: FleetControl,
     /// `running` / `paused` / `exhausted` / `done` / `failed: …`.
     state: Mutex<String>,
+    /// Fair-share weight (from the spec; [`QUOTA_UNIT`] is the default).
+    pub(crate) quota: u64,
     new_tests: AtomicU64,
     seeded_tests: AtomicU64,
     spent_ll: AtomicU64,
@@ -119,33 +181,62 @@ struct SessionState {
     /// Milli-tests/sec over the last checkpoint slice, derived from the
     /// [`FleetControl`] gauges sampled when the slice completes.
     tests_per_sec_milli: AtomicU64,
+    /// Whether a pool worker is executing a slice of this session now.
+    pub(crate) executing: AtomicBool,
+    /// Slices the pool has dispatched for this session.
+    pub(crate) sched_slices: AtomicU64,
+    /// Slices that ended with work remaining (preempted, not finished).
+    pub(crate) preemptions: AtomicU64,
+    /// Cumulative milliseconds spent runnable in the queue.
+    pub(crate) wait_ms: AtomicU64,
+    /// Between-slice carry state; `None` until the first slice (or after a
+    /// rest state, so resume re-prepares from the checkpoint).
+    prep: Mutex<Option<Prepared>>,
 }
 
 impl SessionState {
     fn new(id: String, spec: JobSpec, target: String, state: String) -> Self {
+        let quota = spec.quota.max(1);
         SessionState {
             id,
             spec,
             target,
             ctl: FleetControl::new(),
             state: Mutex::new(state),
+            quota,
             new_tests: AtomicU64::new(0),
             seeded_tests: AtomicU64::new(0),
             spent_ll: AtomicU64::new(0),
             resume_snapshot_seeds: AtomicU64::new(0),
             resume_full_seeds: AtomicU64::new(0),
             tests_per_sec_milli: AtomicU64::new(0),
+            executing: AtomicBool::new(false),
+            sched_slices: AtomicU64::new(0),
+            preemptions: AtomicU64::new(0),
+            wait_ms: AtomicU64::new(0),
+            prep: Mutex::new(None),
         }
     }
 
-    fn set_state(&self, corpus: &Corpus, state: &str) {
+    pub(crate) fn set_state(&self, corpus: &Corpus, state: &str) {
         *self.state.lock().unwrap() = state.to_string();
         // Disk write is best-effort: an unwritable data dir should not
         // take the daemon down mid-session.
         let _ = corpus.save_state(&self.id, state);
     }
 
-    fn status_value(&self, corpus: &Corpus) -> Value {
+    fn sched_stats(&self) -> SchedStats {
+        SchedStats {
+            quota: self.quota,
+            slices: self.sched_slices.load(Ordering::Relaxed),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+            wait_ms: self.wait_ms.load(Ordering::Relaxed),
+            cpu_ll: self.spent_ll.load(Ordering::Relaxed),
+        }
+    }
+
+    fn status_value(&self, inner: &Inner) -> Value {
+        let corpus = &inner.corpus;
         let corpus_tests = corpus
             .load_tests(&self.target)
             .map(|t| t.len())
@@ -159,6 +250,22 @@ impl SessionState {
         // progress, mid-slice included.
         let live_ll = self.ctl.ll_instructions.load(Ordering::Relaxed);
         let live_tests = self.ctl.tests_generated.load(Ordering::Relaxed);
+        let mine = self.spent_ll.load(Ordering::Relaxed) + live_ll;
+        // cpu-share: this session's lifetime instructions over every known
+        // session's — the quantity the scheduler's quotas apportion.
+        let pool: u64 = inner
+            .sessions
+            .lock()
+            .unwrap()
+            .values()
+            .map(|s| s.spent_ll.load(Ordering::Relaxed))
+            .sum::<u64>()
+            .max(mine);
+        let share = if pool == 0 {
+            0.0
+        } else {
+            mine as f64 / pool as f64
+        };
         Value::obj(vec![
             ("session", Value::Str(self.id.clone())),
             ("target", Value::Str(self.target.clone())),
@@ -172,10 +279,7 @@ impl SessionState {
                 "seeded_tests",
                 Value::Int(self.seeded_tests.load(Ordering::Relaxed) as i64),
             ),
-            (
-                "ll_instructions",
-                Value::Int((self.spent_ll.load(Ordering::Relaxed) + live_ll) as i64),
-            ),
+            ("ll_instructions", Value::Int(mine as i64)),
             ("live_tests", Value::Int(live_tests as i64)),
             ("covered_hlpcs", Value::Int(covered as i64)),
             (
@@ -193,19 +297,38 @@ impl SessionState {
                 "resume_full_seeds",
                 Value::Int(self.resume_full_seeds.load(Ordering::Relaxed) as i64),
             ),
+            ("quota", Value::Int(self.quota as i64)),
+            (
+                "queue_position",
+                Value::Int(inner.sched.queue_position(self)),
+            ),
+            ("cpu_share", Value::Str(format!("{share:.3}"))),
+            (
+                "sched_slices",
+                Value::Int(self.sched_slices.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "preemptions",
+                Value::Int(self.preemptions.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "wait_ms",
+                Value::Int(self.wait_ms.load(Ordering::Relaxed) as i64),
+            ),
         ])
     }
 }
 
-struct Inner {
+pub(crate) struct Inner {
     config: ServeConfig,
-    corpus: Corpus,
+    pub(crate) corpus: Corpus,
     sessions: Mutex<HashMap<String, Arc<SessionState>>>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) sched: Scheduler,
+    conns: AtomicUsize,
     stop: AtomicBool,
 }
 
-/// The daemon: a bound listener plus the session registry.
+/// The daemon: a bound listener plus the session registry and worker pool.
 pub struct Server {
     listener: TcpListener,
     inner: Arc<Inner>,
@@ -214,9 +337,11 @@ pub struct Server {
 impl Server {
     /// Binds the listen socket and opens the data directory. Sessions that
     /// were `running` when a previous daemon died are re-marked `paused`,
-    /// so their last checkpoint is resumable.
+    /// so their last checkpoint is resumable; snapshots no checkpoint
+    /// references anymore are garbage-collected.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
-        let corpus = Corpus::open(&config.data_dir)?;
+        let mut corpus = Corpus::open(&config.data_dir)?;
+        corpus.set_target_budget(config.corpus_budget_bytes);
         // Orphan recovery: a state file saying "running" with no daemon
         // behind it means we were killed; the checkpoint stands.
         for id in corpus.session_ids()? {
@@ -224,15 +349,24 @@ impl Server {
                 corpus.save_state(&id, "paused")?;
             }
         }
+        // Corpus lifecycle: after recovery, every live snapshot is
+        // referenced by some checkpoint; drop the rest.
+        corpus.gc_snapshots()?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let sched = Scheduler::new(SchedConfig {
+            workers: config.workers.max(1),
+            max_sessions: config.max_sessions.max(1),
+            default_quota: QUOTA_UNIT,
+        });
         Ok(Server {
             listener,
             inner: Arc::new(Inner {
                 config,
                 corpus,
                 sessions: Mutex::new(HashMap::new()),
-                threads: Mutex::new(Vec::new()),
+                sched,
+                conns: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
             }),
         })
@@ -243,13 +377,23 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until a `shutdown` request arrives. On
-    /// shutdown, running sessions are asked to pause and their threads are
-    /// joined, so every session ends checkpointed.
+    /// Runs the worker pool and the accept loop until a `shutdown` request
+    /// arrives. On shutdown, every session is asked to pause and the pool
+    /// is drained, so every session ends checkpointed.
     pub fn run(self) -> io::Result<()> {
+        self.inner.sched.start(&self.inner);
         while !self.inner.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Connection cap: beyond it, drop the socket instead of
+                    // spawning an unbounded handler thread. Clients see a
+                    // closed connection and retry.
+                    if self.inner.conns.load(Ordering::SeqCst) >= self.inner.config.max_connections
+                    {
+                        drop(stream);
+                        continue;
+                    }
+                    self.inner.conns.fetch_add(1, Ordering::SeqCst);
                     let inner = Arc::clone(&self.inner);
                     std::thread::spawn(move || handle_connection(inner, stream));
                 }
@@ -259,28 +403,38 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        // Graceful drain: pause everything, then wait for the session
-        // threads to finish their final checkpoint. Looped because a
-        // submit/resume racing the shutdown can spawn a session thread
-        // after one pause sweep (`spawn_session` refuses once it observes
-        // the stop flag under the threads lock, so the loop terminates).
-        loop {
-            for sess in self.inner.sessions.lock().unwrap().values() {
-                sess.ctl.request_pause();
-            }
-            let threads: Vec<_> = self.inner.threads.lock().unwrap().drain(..).collect();
-            if threads.is_empty() {
-                break;
-            }
-            for t in threads {
-                let _ = t.join();
-            }
+        // Graceful drain. Ordering matters: pause-request everything we
+        // know, close admissions, then re-sweep — a submit racing the
+        // first sweep has inserted its session into the map before
+        // enqueueing it, so the second sweep (after admissions closed)
+        // necessarily sees it. Workers park pause-requested queue entries
+        // as `paused` without burning a slice, so the queue drains and
+        // every in-flight slice ends at its next preemption point with
+        // its checkpoint on disk.
+        for sess in self.inner.sessions.lock().unwrap().values() {
+            sess.ctl.request_pause();
         }
+        self.inner.sched.begin_drain();
+        for sess in self.inner.sessions.lock().unwrap().values() {
+            sess.ctl.request_pause();
+        }
+        self.inner.sched.join_workers();
         Ok(())
     }
 }
 
+/// Decrements the connection count when a handler thread exits, however it
+/// exits.
+struct ConnGuard(Arc<Inner>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    let _guard = ConnGuard(Arc::clone(&inner));
     stream.set_nodelay(true).ok();
     loop {
         let req = match proto::read_message(&mut stream) {
@@ -307,6 +461,20 @@ fn err(msg: impl Into<String>) -> Value {
     Value::obj(vec![
         ("ok", Value::Bool(false)),
         ("error", Value::Str(msg.into())),
+    ])
+}
+
+/// The typed admission rejection: `code` lets clients distinguish "try
+/// again later" from real errors, `retry_after_ms` tells them when.
+fn busy(retry_after_ms: u64) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            Value::Str(format!("at capacity; retry in {retry_after_ms}ms")),
+        ),
+        ("code", Value::Str("capacity".into())),
+        ("retry_after_ms", Value::Int(retry_after_ms as i64)),
     ])
 }
 
@@ -337,11 +505,20 @@ fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
     if let Err(e) = spec.build() {
         return err(e);
     }
+    // Admission control: reserve a scheduler slot before any disk state
+    // exists, so a rejected submit leaves no session behind.
+    if let Err(retry_after_ms) = inner.sched.reserve() {
+        return busy(retry_after_ms);
+    }
     let id = match inner.corpus.next_session_id() {
         Ok(id) => id,
-        Err(e) => return err(format!("session allocation: {e}")),
+        Err(e) => {
+            inner.sched.release();
+            return err(format!("session allocation: {e}"));
+        }
     };
     if let Err(e) = inner.corpus.save_spec(&id, &spec.to_value().to_json()) {
+        inner.sched.release();
         return err(format!("spec persistence: {e}"));
     }
     let target = spec.target_key();
@@ -357,7 +534,7 @@ fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
         .lock()
         .unwrap()
         .insert(id.clone(), Arc::clone(&sess));
-    spawn_session(inner, sess);
+    inner.sched.enqueue(sess);
     ok(vec![
         ("session", Value::Str(id)),
         ("target", Value::Str(target)),
@@ -389,6 +566,14 @@ fn session_of(inner: &Arc<Inner>, req: &Value) -> Result<Arc<SessionState>, Valu
         .unwrap_or_else(|| "paused".to_string());
     let target = spec.target_key();
     let sess = Arc::new(SessionState::new(id.to_string(), spec, target, state));
+    // Fair-share accounting survives restarts: rehydrate the scheduling
+    // counters persisted alongside the checkpoint.
+    if let Ok(Some(stats)) = inner.corpus.load_sched(id) {
+        sess.sched_slices.store(stats.slices, Ordering::Relaxed);
+        sess.preemptions.store(stats.preemptions, Ordering::Relaxed);
+        sess.wait_ms.store(stats.wait_ms, Ordering::Relaxed);
+        sess.spent_ll.store(stats.cpu_ll, Ordering::Relaxed);
+    }
     inner
         .sessions
         .lock()
@@ -399,7 +584,7 @@ fn session_of(inner: &Arc<Inner>, req: &Value) -> Result<Arc<SessionState>, Valu
 
 fn cmd_status(inner: &Arc<Inner>, req: &Value) -> Value {
     match session_of(inner, req) {
-        Ok(sess) => match sess.status_value(&inner.corpus) {
+        Ok(sess) => match sess.status_value(inner) {
             Value::Obj(fields) => ok(fields
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
@@ -419,7 +604,7 @@ fn cmd_list(inner: &Arc<Inner>) -> Value {
     for id in ids {
         let req = Value::obj(vec![("session", Value::Str(id))]);
         if let Ok(sess) = session_of(inner, &req) {
-            sessions.push(sess.status_value(&inner.corpus));
+            sessions.push(sess.status_value(inner));
         }
     }
     ok(vec![("sessions", Value::Arr(sessions))])
@@ -479,48 +664,40 @@ fn cmd_resume(inner: &Arc<Inner>, req: &Value) -> Value {
         Err(e) => return e,
     };
     {
-        let mut state = sess.state.lock().unwrap();
+        let state = sess.state.lock().unwrap();
         match state.as_str() {
             "running" => return err(format!("session {} is already running", sess.id)),
             "done" => return err(format!("session {} already completed", sess.id)),
             _ => {}
         }
+    }
+    // Resume competes for admission like a fresh submit: a paused session
+    // re-enters the pool only when there is room for it.
+    if let Err(retry_after_ms) = inner.sched.reserve() {
+        return busy(retry_after_ms);
+    }
+    {
+        let mut state = sess.state.lock().unwrap();
+        // Re-check under the lock: a concurrent resume may have won.
+        if state.as_str() == "running" {
+            inner.sched.release();
+            return err(format!("session {} is already running", sess.id));
+        }
         *state = "running".to_string();
     }
     let _ = inner.corpus.save_state(&sess.id, "running");
     sess.ctl.clear_pause();
-    spawn_session(inner, sess);
+    // Drop any stale carry state so the first slice re-prepares from the
+    // checkpoint (recomputing the snapshot-vs-full-replay resume split).
+    *sess.prep.lock().unwrap() = None;
+    inner.sched.enqueue(sess);
     ok(vec![])
 }
 
-fn spawn_session(inner: &Arc<Inner>, sess: Arc<SessionState>) {
-    // The stop check happens under the threads lock: either this spawn's
-    // handle lands in the vector before the shutdown drain empties it, or
-    // the stop flag is already visible and the session parks as paused
-    // (its checkpoint — if any — stands). Never both, never neither.
-    let mut threads = inner.threads.lock().unwrap();
-    if inner.stop.load(Ordering::SeqCst) {
-        sess.set_state(&inner.corpus, "paused");
-        return;
-    }
-    let inner2 = Arc::clone(inner);
-    let sess2 = Arc::clone(&sess);
-    threads.push(std::thread::spawn(move || run_session(inner2, sess2)));
-}
-
-/// Drives one session to a rest state: run the fleet in checkpoint-sized
-/// budget slices, persisting new tests, coverage, and the frontier after
-/// every slice, until the exploration completes, the budget runs out, or a
-/// pause request lands.
-fn run_session(inner: Arc<Inner>, sess: Arc<SessionState>) {
-    let outcome = drive_session(&inner, &sess);
-    match outcome {
-        Ok(final_state) => sess.set_state(&inner.corpus, final_state),
-        Err(e) => sess.set_state(&inner.corpus, &format!("failed: {e}")),
-    }
-}
-
-fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'static str, String> {
+/// Computes a session's between-slice carry state from its spec, corpus,
+/// and checkpoint. `Ok(None)` means the checkpointed frontier is already
+/// empty — the session is done without running a slice.
+fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared>, String> {
     let spec = &sess.spec;
     let prog = spec.build()?;
     let base = spec.chef_config();
@@ -542,7 +719,7 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
         .map_err(|e| format!("checkpoint read: {e}"))?
     {
         None => vec![WorkSeed::root()],
-        Some(frontier) if frontier.is_empty() => return Ok("done"),
+        Some(frontier) if frontier.is_empty() => return Ok(None),
         Some(frontier) => frontier,
     };
 
@@ -551,7 +728,7 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
     // instruction ~N instead of replaying the prologue per seed. A
     // missing/corrupt snapshot.bin (or a fingerprint mismatch) leaves the
     // seed on the full-prefix-replay fallback — slower, never wrong.
-    let mut stored_snapshot = inner
+    let stored_snapshot = inner
         .corpus
         .load_snapshot(&sess.target)
         .map_err(|e| format!("snapshot read: {e}"))?;
@@ -571,78 +748,117 @@ fn drive_session(inner: &Arc<Inner>, sess: &Arc<SessionState>) -> Result<&'stati
         .store(via_snapshot, Ordering::Relaxed);
     sess.resume_full_seeds.store(via_full, Ordering::Relaxed);
 
-    let budget = base.max_ll_instructions;
-    let mut spent = 0u64;
-    loop {
-        let slice = inner
-            .config
-            .checkpoint_interval_ll
-            .min(budget.saturating_sub(spent))
-            .max(1);
-        let mut cfg = base.clone();
-        cfg.max_ll_instructions = slice;
-        let fleet_cfg = FleetConfig {
-            jobs: spec.jobs,
-            base: cfg,
-            seed_cfg_edges: seed_cfg_edges.clone(),
-            ..FleetConfig::default()
-        };
-        let slice_started = std::time::Instant::now();
-        let outcome = run_fleet_with(&prog, fleet_cfg, seeds, Some(&sess.ctl));
-        // Sample the slice's generation rate from the fleet gauges before
-        // zeroing them: this is the live tests/sec figure `status` serves.
-        let slice_tests = sess.ctl.tests_generated.load(Ordering::Relaxed) as f64;
-        let slice_secs = slice_started.elapsed().as_secs_f64().max(1e-9);
-        sess.tests_per_sec_milli.store(
-            (slice_tests / slice_secs * 1000.0) as u64,
-            Ordering::Relaxed,
-        );
-        // Zero the live gauges before folding the slice into the
-        // completed counters, so a concurrent status read never
-        // over-counts (it can momentarily under-count, which is harmless).
-        sess.ctl.ll_instructions.store(0, Ordering::Relaxed);
-        sess.ctl.tests_generated.store(0, Ordering::Relaxed);
-        spent += outcome.report.exec_stats.ll_instructions;
-        sess.spent_ll.store(spent, Ordering::Relaxed);
+    Ok(Some(Prepared {
+        prog,
+        base,
+        seed_cfg_edges,
+        seeds,
+        stored_snapshot,
+        spent: 0,
+    }))
+}
 
-        // First slice to capture the fork-point snapshot persists it for
-        // the whole target (sessions and restarts alike).
-        if stored_snapshot.is_none() {
-            if let Some(sn) = &outcome.snapshot {
-                inner
-                    .corpus
-                    .save_snapshot(&sess.target, sn)
-                    .map_err(|e| format!("snapshot write: {e}"))?;
-                stored_snapshot = Some(Arc::clone(sn));
-            }
+/// Runs one checkpoint slice of a session on the calling pool worker:
+/// (re)prepare if needed, run the fleet for one slice, persist tests,
+/// coverage, checkpoint, and scheduling counters, and report the verdict
+/// plus the low-level instructions to charge against the session's quota.
+pub(crate) fn session_slice(
+    inner: &Arc<Inner>,
+    sess: &Arc<SessionState>,
+) -> Result<(SliceVerdict, u64), String> {
+    // The carry-state lock is held for the whole slice; that is fine —
+    // a session is out of the run queue while a worker executes it, so
+    // the only contention would be a bug.
+    let mut prep_guard = sess.prep.lock().unwrap();
+    if prep_guard.is_none() {
+        match prepare_session(inner, sess)? {
+            Some(p) => *prep_guard = Some(p),
+            None => return Ok((SliceVerdict::Done, 0)),
         }
-
-        let added = inner
-            .corpus
-            .append_tests(&sess.target, &outcome.report.tests)
-            .map_err(|e| format!("corpus append: {e}"))?;
-        sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
-        inner
-            .corpus
-            .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
-            .map_err(|e| format!("coverage write: {e}"))?;
-        inner
-            .corpus
-            .save_checkpoint(&sess.id, &outcome.frontier)
-            .map_err(|e| format!("checkpoint write: {e}"))?;
-
-        if outcome.paused {
-            return Ok("paused");
-        }
-        if outcome.frontier.is_empty() {
-            return Ok("done");
-        }
-        if spent >= budget {
-            // Budget exhausted with work remaining: resumable.
-            return Ok("exhausted");
-        }
-        seeds = outcome.frontier;
     }
+    let prep = prep_guard.as_mut().expect("prepared above");
+
+    let budget = prep.base.max_ll_instructions;
+    let slice = inner
+        .config
+        .checkpoint_interval_ll
+        .min(budget.saturating_sub(prep.spent))
+        .max(1);
+    let fleet_cfg = FleetConfig {
+        jobs: sess.spec.jobs,
+        base: prep.base.clone(),
+        seed_cfg_edges: prep.seed_cfg_edges.clone(),
+        ..FleetConfig::default()
+    };
+    sess.sched_slices.fetch_add(1, Ordering::Relaxed);
+    let slice_started = std::time::Instant::now();
+    let seeds = std::mem::take(&mut prep.seeds);
+    let outcome = run_fleet_slice(&prep.prog, fleet_cfg, seeds, Some(&sess.ctl), slice);
+    // Sample the slice's generation rate from the fleet gauges before
+    // zeroing them: this is the live tests/sec figure `status` serves.
+    let slice_tests = sess.ctl.tests_generated.load(Ordering::Relaxed) as f64;
+    let slice_secs = slice_started.elapsed().as_secs_f64().max(1e-9);
+    sess.tests_per_sec_milli.store(
+        (slice_tests / slice_secs * 1000.0) as u64,
+        Ordering::Relaxed,
+    );
+    // Zero the live gauges before folding the slice into the
+    // completed counters, so a concurrent status read never
+    // over-counts (it can momentarily under-count, which is harmless).
+    sess.ctl.ll_instructions.store(0, Ordering::Relaxed);
+    sess.ctl.tests_generated.store(0, Ordering::Relaxed);
+    let ll = outcome.report.exec_stats.ll_instructions;
+    prep.spent += ll;
+    sess.spent_ll.fetch_add(ll, Ordering::Relaxed);
+
+    // First slice to capture the fork-point snapshot persists it for
+    // the whole target (sessions and restarts alike).
+    if prep.stored_snapshot.is_none() {
+        if let Some(sn) = &outcome.snapshot {
+            inner
+                .corpus
+                .save_snapshot(&sess.target, sn)
+                .map_err(|e| format!("snapshot write: {e}"))?;
+            prep.stored_snapshot = Some(Arc::clone(sn));
+        }
+    }
+
+    let added = inner
+        .corpus
+        .append_tests(&sess.target, &outcome.report.tests)
+        .map_err(|e| format!("corpus append: {e}"))?;
+    sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
+    inner
+        .corpus
+        .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
+        .map_err(|e| format!("coverage write: {e}"))?;
+    inner
+        .corpus
+        .save_checkpoint(&sess.id, &outcome.frontier)
+        .map_err(|e| format!("checkpoint write: {e}"))?;
+
+    let verdict = if outcome.paused {
+        SliceVerdict::Paused
+    } else if outcome.frontier.is_empty() {
+        SliceVerdict::Done
+    } else if prep.spent >= budget {
+        // Budget exhausted with work remaining: resumable.
+        SliceVerdict::Exhausted
+    } else {
+        prep.seeds = outcome.frontier;
+        SliceVerdict::Continue
+    };
+    if matches!(verdict, SliceVerdict::Continue) {
+        sess.preemptions.fetch_add(1, Ordering::Relaxed);
+    } else {
+        // Rest state: drop the carry state so a later resume re-prepares
+        // from the checkpoint just written.
+        *prep_guard = None;
+    }
+    // Scheduling counters ride along with the checkpoint (best-effort,
+    // like state writes).
+    let _ = inner.corpus.save_sched(&sess.id, &sess.sched_stats());
+    Ok((verdict, ll))
 }
 
 #[cfg(test)]
@@ -654,5 +870,9 @@ mod tests {
         let c = ServeConfig::default();
         assert!(c.checkpoint_interval_ll > 0);
         assert!(!c.addr.is_empty());
+        assert!(c.workers >= 1);
+        assert!(c.max_sessions >= c.workers);
+        assert!(c.max_connections >= 1);
+        assert_eq!(c.corpus_budget_bytes, None);
     }
 }

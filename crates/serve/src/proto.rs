@@ -32,6 +32,12 @@ pub enum ServeError {
     Protocol(String),
     /// The daemon processed the request and reported an error.
     Server(String),
+    /// Admission control refused the request: the pool is at its session
+    /// cap. Not an error in the request itself — retry after the hint.
+    Busy {
+        /// The daemon's backoff hint.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -40,6 +46,9 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io: {e}"),
             ServeError::Protocol(m) => write!(f, "protocol: {m}"),
             ServeError::Server(m) => write!(f, "server: {m}"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "busy: at capacity, retry in {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -134,6 +143,21 @@ pub struct SessionStatus {
     pub resume_snapshot_seeds: u64,
     /// Checkpoint seeds that fell back to full prefix replay.
     pub resume_full_seeds: u64,
+    /// Fair-share weight of the session (100 is the neutral default).
+    pub quota: u64,
+    /// Place in the scheduler's line: `0` while executing on a pool
+    /// worker, `k ≥ 1` as the k-th waiting session, `-1` when the
+    /// scheduler does not hold the session (settled or paused).
+    pub queue_position: i64,
+    /// This session's lifetime share of all sessions' executed low-level
+    /// instructions, in `[0, 1]`.
+    pub cpu_share: f64,
+    /// Checkpoint slices the pool has dispatched for the session.
+    pub sched_slices: u64,
+    /// Slices that ended at the slice budget with work remaining.
+    pub preemptions: u64,
+    /// Cumulative milliseconds spent runnable in the queue.
+    pub wait_ms: u64,
 }
 
 impl SessionStatus {
@@ -167,6 +191,19 @@ impl SessionStatus {
                 .unwrap_or(0.0),
             resume_snapshot_seeds: num("resume_snapshot_seeds"),
             resume_full_seeds: num("resume_full_seeds"),
+            quota: num("quota"),
+            queue_position: v
+                .get("queue_position")
+                .and_then(Value::as_i64)
+                .unwrap_or(-1),
+            cpu_share: v
+                .get("cpu_share")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
+            sched_slices: num("sched_slices"),
+            preemptions: num("preemptions"),
+            wait_ms: num("wait_ms"),
         })
     }
 }
@@ -204,6 +241,14 @@ impl Client {
             .ok_or_else(|| ServeError::Protocol("connection closed before reply".into()))?;
         match resp.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(resp),
+            Some(false) if resp.get("code").and_then(Value::as_str) == Some("capacity") => {
+                Err(ServeError::Busy {
+                    retry_after_ms: resp
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(1_000),
+                })
+            }
             Some(false) => Err(ServeError::Server(
                 resp.get("error")
                     .and_then(Value::as_str)

@@ -194,6 +194,7 @@ fn daemon_pause_resume_over_tcp_matches_uninterrupted_run() {
         // Small checkpoint slices (but above the per-seed replay cost):
         // the pause request lands between slices.
         checkpoint_interval_ll: 15_000,
+        ..Default::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap().to_string();

@@ -34,9 +34,11 @@ fn usage() -> ExitCode {
 
   chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
                   [--checkpoint-interval <ll-instructions>]
+                  [--workers <n>] [--max-sessions <n>] [--max-conns <n>]
+                  [--corpus-budget <bytes>]
   chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
                   [--sym-int name:min:max]... [--strategy <s>]
-                  [--budget <n>] [--seed <n>] [--jobs <n>]
+                  [--budget <n>] [--seed <n>] [--jobs <n>] [--quota <n>]
                   [--addr <host:port>] [--wait]
   chef-cli status   <session> [--addr <host:port>]
   chef-cli sessions [--addr <host:port>]
@@ -49,7 +51,12 @@ fn usage() -> ExitCode {
   --portfolio   run a strategy portfolio across the workers against a
                 shared coverage map (implies --jobs >= 2 unless given)
   --wait        block until the submitted session settles, then print its
-                status"
+                status
+  --workers n      daemon worker pool size (sessions share it fairly)
+  --max-sessions n admission cap: reject submits beyond n live sessions
+  --max-conns n    cap concurrent client connections
+  --corpus-budget b per-target tests.bin byte budget
+  --quota n     fair-share weight of the session (default 100)"
     );
     ExitCode::from(2)
 }
@@ -335,6 +342,30 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 config.checkpoint_interval_ll = v;
             }
+            "--workers" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    return usage();
+                };
+                config.workers = v;
+            }
+            "--max-sessions" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    return usage();
+                };
+                config.max_sessions = v;
+            }
+            "--max-conns" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    return usage();
+                };
+                config.max_connections = v;
+            }
+            "--corpus-budget" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                config.corpus_budget_bytes = Some(v);
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -378,6 +409,7 @@ fn submit(args: &[String]) -> ExitCode {
     let mut budget = 2_000_000u64;
     let mut seed = 0u64;
     let mut jobs = 1usize;
+    let mut quota = 100u64;
     let mut wait = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -413,6 +445,12 @@ fn submit(args: &[String]) -> ExitCode {
                 };
                 jobs = v;
             }
+            "--quota" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()).filter(|v| *v > 0) else {
+                    return usage();
+                };
+                quota = v;
+            }
             "--addr" => {
                 let Some(a) = it.next() else { return usage() };
                 addr = a.clone();
@@ -439,6 +477,7 @@ fn submit(args: &[String]) -> ExitCode {
     spec.budget = budget;
     spec.seed = seed;
     spec.jobs = jobs.max(1);
+    spec.quota = quota;
     let client = Client::new(addr);
     match client.submit(&spec) {
         Ok(session) => {
@@ -482,8 +521,13 @@ fn parse_addr(args: &[String]) -> Option<String> {
 
 fn print_status(st: &SessionStatus) {
     let live = if st.state == "running" {
+        let place = match st.queue_position {
+            0 => " queue-position=executing".to_string(),
+            p if p > 0 => format!(" queue-position={p}"),
+            _ => String::new(),
+        };
         format!(
-            " live-tests={} tests-per-sec={:.2}",
+            " live-tests={} tests-per-sec={:.2}{place}",
             st.live_tests, st.tests_per_sec
         )
     } else {
@@ -491,7 +535,8 @@ fn print_status(st: &SessionStatus) {
     };
     println!(
         "session={} state={} corpus={} corpus-tests={} new-tests={} seeded={} \
-         ll-instructions={} covered-hlpcs={} resume-snapshot={} resume-full={}{live}",
+         ll-instructions={} covered-hlpcs={} resume-snapshot={} resume-full={} \
+         quota={} cpu-share={:.3} slices={} preemptions={} wait-ms={}{live}",
         st.session,
         st.state,
         st.target,
@@ -501,7 +546,12 @@ fn print_status(st: &SessionStatus) {
         st.ll_instructions,
         st.covered_hlpcs,
         st.resume_snapshot_seeds,
-        st.resume_full_seeds
+        st.resume_full_seeds,
+        st.quota,
+        st.cpu_share,
+        st.sched_slices,
+        st.preemptions,
+        st.wait_ms
     );
 }
 
