@@ -1,0 +1,428 @@
+//! chef-fault — a deterministic, seed-reproducible fault-injection plane.
+//!
+//! Chef's durability claims (recover → resume → byte-identical test set)
+//! are only as strong as the failure schedules they were tested under.
+//! This module lets the serve layer interpose *reproducible* faults on
+//! its two I/O surfaces:
+//!
+//! - **Disk** ([`DiskFault`]): torn/short appends, `ENOSPC`, lost
+//!   `fsync`, and post-write bit flips against the corpus files.
+//! - **Network** ([`NetFault`]): mid-frame connection drops, stalled
+//!   reads, and half-closes against serve connections.
+//!
+//! A [`FaultPlan`] is constructed from a `u64` seed plus a [`FaultSpec`]
+//! of per-mille probabilities. Every injection decision is a pure
+//! function of `(seed, op_counter, site)` through a splitmix64 mix, so
+//! the same seed replays the same fault schedule — which is what lets
+//! `tests/chaos.rs` and the CI `chaos-smoke` matrix shrink a failure to
+//! a single reproducible number.
+//!
+//! ## The zero-cost-when-off hook
+//!
+//! Production code consults the plane through [`disk_fault`] /
+//! [`net_fault`]. When no plan is installed these cost one relaxed
+//! atomic load of a static `bool` and return `None` — no lock, no
+//! allocation, no branch into the injection path — so release daemons
+//! pay nothing for carrying the hooks. Installing a plan
+//! ([`install`]) flips the static; clearing it ([`clear`]) restores the
+//! fast path. The hook is process-global, so test suites that install
+//! plans must serialize around it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-mille (0–1000) probabilities for each fault kind. A value of 0
+/// disables the kind; 1000 injects on every eligible operation. Disk
+/// kinds are mutually exclusive per operation (one roll decides which,
+/// weighted by the per-mille values); likewise network kinds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Short write: only a prefix of the buffer reaches the file before
+    /// the write errors out.
+    pub torn_write: u32,
+    /// The write fails up front with `ENOSPC`; nothing reaches the file.
+    pub enospc: u32,
+    /// The write completes but its `fsync` is silently skipped (models a
+    /// power cut before the page cache drains).
+    pub lost_sync: u32,
+    /// The write completes and syncs, then one bit of it flips on the
+    /// medium (silent corruption; only CRCs can catch it).
+    pub bit_flip: u32,
+    /// The connection is severed mid-frame: a prefix of the message is
+    /// written, then the stream errors.
+    pub conn_drop: u32,
+    /// The peer stalls for [`FaultSpec::stall_ms`] before the read
+    /// proceeds (exercises read deadlines).
+    pub stall_read: u32,
+    /// The write side is shut down after the request, so the peer's
+    /// reply hits a closed stream.
+    pub half_close: u32,
+    /// Stall duration for `stall_read`, in milliseconds.
+    pub stall_ms: u64,
+}
+
+impl FaultSpec {
+    /// Torn-write heavy disk profile (plus a little ENOSPC).
+    pub fn torn() -> Self {
+        FaultSpec {
+            torn_write: 180,
+            enospc: 30,
+            lost_sync: 40,
+            ..Default::default()
+        }
+    }
+
+    /// ENOSPC-heavy disk profile.
+    pub fn enospc() -> Self {
+        FaultSpec {
+            enospc: 200,
+            torn_write: 30,
+            ..Default::default()
+        }
+    }
+
+    /// Connection-fault profile (drops, stalls, half-closes).
+    pub fn conn() -> Self {
+        FaultSpec {
+            conn_drop: 180,
+            stall_read: 120,
+            half_close: 80,
+            stall_ms: 40,
+            ..Default::default()
+        }
+    }
+
+    /// Everything at once, at lower rates.
+    pub fn mixed() -> Self {
+        FaultSpec {
+            torn_write: 80,
+            enospc: 40,
+            lost_sync: 40,
+            bit_flip: 0,
+            conn_drop: 80,
+            stall_read: 60,
+            half_close: 40,
+            stall_ms: 25,
+        }
+    }
+
+    /// Named profile lookup for the CLI (`--fault-profile`).
+    pub fn profile(name: &str) -> Option<Self> {
+        match name {
+            "torn" => Some(Self::torn()),
+            "enospc" => Some(Self::enospc()),
+            "conn" => Some(Self::conn()),
+            "mixed" => Some(Self::mixed()),
+            _ => None,
+        }
+    }
+}
+
+/// A fault to inject on a corpus file operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Write only `keep_permille`/1000 of the buffer, then fail.
+    Torn { keep_permille: u32 },
+    /// Fail immediately with an `ENOSPC`-style error.
+    Enospc,
+    /// Complete the write but skip its fsync.
+    LostSync,
+    /// Complete the write, then flip bit `bit_seed % (len*8)` in place.
+    BitFlip { bit_seed: u64 },
+}
+
+/// A fault to inject on a serve connection operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// Write only `keep_permille`/1000 of the frame, then sever.
+    DropMidFrame { keep_permille: u32 },
+    /// Sleep `ms` before proceeding with the read.
+    StallRead { ms: u64 },
+    /// Shut down the write side after sending, dropping the reply path.
+    HalfClose,
+}
+
+/// Snapshot of how many faults a plan has injected, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub torn_writes: u64,
+    pub enospc: u64,
+    pub lost_syncs: u64,
+    pub bit_flips: u64,
+    pub conn_drops: u64,
+    pub stalled_reads: u64,
+    pub half_closes: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.torn_writes
+            + self.enospc
+            + self.lost_syncs
+            + self.bit_flips
+            + self.conn_drops
+            + self.stalled_reads
+            + self.half_closes
+    }
+}
+
+/// A deterministic fault schedule: decisions are a pure function of
+/// `(seed, per-plan op counter, call site)`, so re-running the same
+/// operations against the same seed replays the same faults.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+    ops: AtomicU64,
+    torn_writes: AtomicU64,
+    enospc: AtomicU64,
+    lost_syncs: AtomicU64,
+    bit_flips: AtomicU64,
+    conn_drops: AtomicU64,
+    stalled_reads: AtomicU64,
+    half_closes: AtomicU64,
+}
+
+const SITE_DISK: u64 = 0x6469_736b; // "disk"
+const SITE_NET: u64 = 0x6e65_7400; // "net"
+
+impl FaultPlan {
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            spec,
+            ops: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            enospc: AtomicU64::new(0),
+            lost_syncs: AtomicU64::new(0),
+            bit_flips: AtomicU64::new(0),
+            conn_drops: AtomicU64::new(0),
+            stalled_reads: AtomicU64::new(0),
+            half_closes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// One deterministic roll for this operation at this site.
+    fn roll(&self, site: u64) -> u64 {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ site)
+    }
+
+    /// Decides whether the next disk write should fail, and how.
+    pub fn disk_fault(&self) -> Option<DiskFault> {
+        let s = &self.spec;
+        let total = s.torn_write + s.enospc + s.lost_sync + s.bit_flip;
+        if total == 0 {
+            return None;
+        }
+        let r = self.roll(SITE_DISK);
+        let pick = (r % 1000) as u32;
+        if pick >= total.min(1000) {
+            return None;
+        }
+        // Weighted choice among the enabled kinds; a second mix supplies
+        // the fault's own parameter (tear point / bit index).
+        let param = splitmix64(r);
+        if pick < s.torn_write {
+            self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            Some(DiskFault::Torn {
+                keep_permille: (param % 999) as u32 + 1,
+            })
+        } else if pick < s.torn_write + s.enospc {
+            self.enospc.fetch_add(1, Ordering::Relaxed);
+            Some(DiskFault::Enospc)
+        } else if pick < s.torn_write + s.enospc + s.lost_sync {
+            self.lost_syncs.fetch_add(1, Ordering::Relaxed);
+            Some(DiskFault::LostSync)
+        } else {
+            self.bit_flips.fetch_add(1, Ordering::Relaxed);
+            Some(DiskFault::BitFlip { bit_seed: param })
+        }
+    }
+
+    /// Decides whether the next connection operation should fail.
+    pub fn net_fault(&self) -> Option<NetFault> {
+        let s = &self.spec;
+        let total = s.conn_drop + s.stall_read + s.half_close;
+        if total == 0 {
+            return None;
+        }
+        let r = self.roll(SITE_NET);
+        let pick = (r % 1000) as u32;
+        if pick >= total.min(1000) {
+            return None;
+        }
+        let param = splitmix64(r);
+        if pick < s.conn_drop {
+            self.conn_drops.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::DropMidFrame {
+                keep_permille: (param % 999) as u32 + 1,
+            })
+        } else if pick < s.conn_drop + s.stall_read {
+            self.stalled_reads.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::StallRead { ms: s.stall_ms })
+        } else {
+            self.half_closes.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::HalfClose)
+        }
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            enospc: self.enospc.load(Ordering::Relaxed),
+            lost_syncs: self.lost_syncs.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            conn_drops: self.conn_drops.load(Ordering::Relaxed),
+            stalled_reads: self.stalled_reads.load(Ordering::Relaxed),
+            half_closes: self.half_closes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer-style mixer. Good enough
+/// for fault scheduling and fully deterministic.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs a plan as the process-global fault plane. Replaces any
+/// previous plan.
+pub fn install(plan: Arc<FaultPlan>) {
+    *plan_slot().lock().unwrap() = Some(plan);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the installed plan, restoring the zero-cost fast path.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    *plan_slot().lock().unwrap() = None;
+}
+
+/// The currently installed plan, if any (for stats reporting).
+pub fn installed() -> Option<Arc<FaultPlan>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    plan_slot().lock().unwrap().clone()
+}
+
+/// Hook for corpus file writes. One relaxed atomic load when no plan is
+/// installed.
+#[inline]
+pub fn disk_fault() -> Option<DiskFault> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let plan = plan_slot().lock().unwrap().clone()?;
+    plan.disk_fault()
+}
+
+/// Hook for serve connection I/O. One relaxed atomic load when no plan
+/// is installed.
+#[inline]
+pub fn net_fault() -> Option<NetFault> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let plan = plan_slot().lock().unwrap().clone()?;
+    plan.net_fault()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let a = FaultPlan::new(42, FaultSpec::mixed());
+        let b = FaultPlan::new(42, FaultSpec::mixed());
+        let seq_a: Vec<_> = (0..256).map(|_| a.disk_fault()).collect();
+        let seq_b: Vec<_> = (0..256).map(|_| b.disk_fault()).collect();
+        assert_eq!(seq_a, seq_b);
+        let net_a: Vec<_> = (0..256).map(|_| a.net_fault()).collect();
+        let net_b: Vec<_> = (0..256).map(|_| b.net_fault()).collect();
+        assert_eq!(net_a, net_b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1, FaultSpec::mixed());
+        let b = FaultPlan::new(2, FaultSpec::mixed());
+        let seq_a: Vec<_> = (0..256).map(|_| a.disk_fault()).collect();
+        let seq_b: Vec<_> = (0..256).map(|_| b.disk_fault()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn zero_spec_never_fires_and_counts_nothing() {
+        let p = FaultPlan::new(7, FaultSpec::default());
+        for _ in 0..1000 {
+            assert_eq!(p.disk_fault(), None);
+            assert_eq!(p.net_fault(), None);
+        }
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = FaultPlan::new(
+            9,
+            FaultSpec {
+                enospc: 500,
+                ..Default::default()
+            },
+        );
+        let hits = (0..2000).filter(|_| p.disk_fault().is_some()).count();
+        // 500‰ over 2000 draws: expect ~1000, allow wide slack.
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+        assert_eq!(p.stats().enospc, hits as u64);
+    }
+
+    #[test]
+    fn global_hook_is_none_when_cleared() {
+        clear();
+        assert_eq!(disk_fault(), None);
+        assert_eq!(net_fault(), None);
+        install(Arc::new(FaultPlan::new(
+            3,
+            FaultSpec {
+                enospc: 1000,
+                ..Default::default()
+            },
+        )));
+        assert_eq!(disk_fault(), Some(DiskFault::Enospc));
+        clear();
+        assert_eq!(disk_fault(), None);
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        assert!(FaultSpec::profile("torn").is_some());
+        assert!(FaultSpec::profile("enospc").is_some());
+        assert!(FaultSpec::profile("conn").is_some());
+        assert!(FaultSpec::profile("mixed").is_some());
+        assert!(FaultSpec::profile("nope").is_none());
+    }
+}

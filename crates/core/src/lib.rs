@@ -41,6 +41,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod hl;
 pub mod seed;
 pub mod stats;

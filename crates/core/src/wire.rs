@@ -26,6 +26,17 @@
 //! fingerprint and [`ExecStats`] with the snapshot counters; version 1
 //! frames still decode (the new fields default), so corpora written by
 //! earlier daemons stay readable.
+//!
+//! Version 3 appends a CRC-32 (IEEE) of the header + payload after the
+//! payload of every frame. Corpus files are read back after crashes and
+//! live on real disks: torn appends were already caught by the framing
+//! (truncated tail), but a flipped bit *inside* a stored frame used to
+//! decode as silently wrong data for every artifact except [`Snapshot`]
+//! (which carries its own fingerprint). With the trailing CRC, any
+//! single-bit corruption surfaces as [`WireError::BadCrc`], which the
+//! corpus scrub pass treats as "drop this frame and resync" rather than
+//! trusting it. v1/v2 frames (no CRC) still decode; the golden-bytes
+//! fixtures in `tests/wire_compat.rs` pin that promise.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -44,8 +55,15 @@ pub const MAGIC: [u8; 4] = *b"CHWR";
 
 /// Current codec version; bumped on any layout change. Version 2 added
 /// snapshot frames, the [`WorkSeed`] snapshot fingerprint, and the
-/// snapshot [`ExecStats`] counters.
-pub const VERSION: u16 = 2;
+/// snapshot [`ExecStats`] counters. Version 3 appends a CRC-32 of the
+/// header + payload to every frame.
+pub const VERSION: u16 = 3;
+
+/// First version whose frames carry a trailing CRC-32.
+pub const CRC_VERSION: u16 = 3;
+
+/// Bytes of trailing CRC-32 on frames at [`CRC_VERSION`] and later.
+pub const FRAME_TRAILER: usize = 4;
 
 /// Oldest version frames are still decoded from.
 pub const MIN_VERSION: u16 = 1;
@@ -76,6 +94,9 @@ pub enum WireError {
     Utf8,
     /// The payload decoded cleanly but bytes were left over.
     TrailingBytes,
+    /// The frame's trailing CRC-32 did not match its contents (bit rot or
+    /// in-place corruption; v3+ frames only).
+    BadCrc,
 }
 
 impl fmt::Display for WireError {
@@ -91,6 +112,7 @@ impl fmt::Display for WireError {
             WireError::Invalid(what) => write!(f, "invalid {what}"),
             WireError::Utf8 => write!(f, "invalid utf-8 in string field"),
             WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            WireError::BadCrc => write!(f, "frame crc mismatch"),
         }
     }
 }
@@ -241,6 +263,21 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) over `bytes`.
+/// The bitwise loop keeps the codec dependency-free; frame CRCs cover a
+/// few KiB at most, so table lookup buys nothing measurable here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// A type with a stable binary wire representation.
 pub trait Wire: Sized {
     /// Frame tag distinguishing this artifact.
@@ -254,7 +291,7 @@ pub trait Wire: Sized {
     fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError>;
 
     /// Encodes a complete framed artifact (magic, version, tag, length,
-    /// payload).
+    /// payload, crc32 of everything before it).
     fn to_frame(&self) -> Vec<u8> {
         let mut body = Writer::new();
         self.encode_body(&mut body);
@@ -264,6 +301,8 @@ pub trait Wire: Sized {
         w.u8(Self::TAG);
         w.u32(body.buf.len() as u32);
         w.buf.extend_from_slice(&body.buf);
+        let crc = crc32(&w.buf);
+        w.u32(crc);
         w.buf
     }
 
@@ -290,12 +329,20 @@ pub trait Wire: Sized {
             return Err(WireError::Truncated);
         }
         let payload = r.take(len)?;
+        let mut span = FRAME_HEADER + len;
+        if version >= CRC_VERSION {
+            let stored = r.u32().map_err(|_| WireError::Truncated)?;
+            if crc32(&buf[..FRAME_HEADER + len]) != stored {
+                return Err(WireError::BadCrc);
+            }
+            span += FRAME_TRAILER;
+        }
         let mut pr = Reader::new(payload);
         let v = Self::decode_body(&mut pr, version)?;
         if pr.remaining() != 0 {
             return Err(WireError::TrailingBytes);
         }
-        Ok((v, FRAME_HEADER + len))
+        Ok((v, span))
     }
 
     /// Length of the frame at the front of `buf` (header + payload),
@@ -318,10 +365,15 @@ pub trait Wire: Sized {
             });
         }
         let len = r.u32()? as usize;
-        if len > MAX_FRAME || len > r.remaining() {
+        let trailer = if version >= CRC_VERSION {
+            FRAME_TRAILER
+        } else {
+            0
+        };
+        if len > MAX_FRAME || len + trailer > r.remaining() {
             return Err(WireError::Truncated);
         }
-        Ok(FRAME_HEADER + len)
+        Ok(FRAME_HEADER + len + trailer)
     }
 
     /// Decodes one framed artifact that must span the whole input.
@@ -1024,6 +1076,64 @@ mod tests {
         let seed = WorkSeed::from_frame(&w.buf).unwrap();
         assert_eq!(seed.choices, vec![11, 22]);
         assert_eq!(seed.snapshot_fp, None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn v3_frames_detect_any_single_bit_flip() {
+        let mut seed = WorkSeed::from_choices(vec![3, 1, 4, 1, 5]);
+        seed.snapshot_fp = Some(0x1234);
+        let frame = seed.to_frame();
+        assert_eq!(WorkSeed::from_frame(&frame).unwrap(), seed);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    WorkSeed::from_frame(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_span_includes_the_crc_trailer() {
+        let seed = WorkSeed::from_choices(vec![9]);
+        let frame = seed.to_frame();
+        assert_eq!(WorkSeed::frame_span(&frame).unwrap(), frame.len());
+        // Two concatenated frames: the span of the first lands exactly on
+        // the second.
+        let mut buf = frame.clone();
+        buf.extend_from_slice(&frame);
+        let span = WorkSeed::frame_span(&buf).unwrap();
+        assert_eq!(WorkSeed::from_frame(&buf[span..]).unwrap(), seed);
+    }
+
+    #[test]
+    fn pre_crc_versions_still_decode_without_a_trailer() {
+        // Hand-build a version-2 frame (no trailing CRC).
+        let mut body = Writer::new();
+        body.u32(1);
+        body.u64(77);
+        body.bool(true);
+        body.u64(0xabcd);
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.u16(2);
+        w.u8(WorkSeed::TAG);
+        w.u32(body.buf.len() as u32);
+        w.buf.extend_from_slice(&body.buf);
+        let seed = WorkSeed::from_frame(&w.buf).unwrap();
+        assert_eq!(seed.choices, vec![77]);
+        assert_eq!(seed.snapshot_fp, Some(0xabcd));
+        assert_eq!(WorkSeed::frame_span(&w.buf).unwrap(), w.buf.len());
     }
 
     #[test]

@@ -38,6 +38,21 @@
 //! ([`Corpus::compact_tests`]), and snapshot garbage collection that
 //! deletes `snapshot.bin` files no live checkpoint references by
 //! fingerprint ([`Corpus::gc_snapshots`]).
+//!
+//! ## Crash consistency and the scrub pass
+//!
+//! Every file write funnels through two primitives — `append_with_faults`
+//! (append-only streams) and `write_atomic` (whole-file replaces) — and
+//! both consult the [`chef_core::fault`] plane, so torn writes, `ENOSPC`,
+//! lost fsyncs, and bit flips can be injected deterministically in tests.
+//! [`Corpus::scrub`] is the matching recovery pass, run at daemon startup
+//! before any session resumes: it removes stray `.tmp` files, re-walks
+//! every frame stream (CRC-validating since wire v3) and *resyncs* past
+//! corrupt spans to the next frame magic instead of discarding everything
+//! after the first bad byte, truncates `coverage.bin` to whole records,
+//! drops undecodable snapshots (resume falls back to replay), and moves
+//! sessions whose spec can no longer be parsed into `quarantine/` for
+//! post-mortem rather than wedging startup.
 
 use std::collections::HashSet;
 use std::fs;
@@ -45,9 +60,13 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use chef_core::wire::Wire;
+use chef_core::fault::DiskFault;
+use chef_core::wire::{Wire, MAGIC};
 use chef_core::{SchedStats, Snapshot, TestCase, WorkSeed};
+
+use crate::job::JobSpec;
 
 /// Handle on a daemon data directory.
 ///
@@ -162,17 +181,27 @@ impl Corpus {
         let _guard = self.write_lock.lock().unwrap();
         let dir = self.target_dir(target);
         fs::create_dir_all(&dir)?;
-        let mut seen: HashSet<Vec<(String, Vec<u8>)>> = self
-            .load_tests(target)?
-            .iter()
-            .map(|t| t.canonical_key())
-            .collect();
+        let path = dir.join("tests.bin");
+        let stored = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (existing, valid_len) = decode_prefix_with_len::<TestCase>(&stored);
+        // A crash (or injected torn write) can leave a partial frame at the
+        // file's end; appending after it would orphan every later frame, so
+        // trim the tail to the last complete frame before appending.
+        if valid_len < stored.len() {
+            let f = fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
+        let mut seen: HashSet<Vec<(String, Vec<u8>)>> =
+            existing.iter().map(|t| t.canonical_key()).collect();
         // Budget enforcement is frame-granular: each new frame must fit in
         // the target's remaining byte budget or it is refused (the session
         // keeps exploring; only the archived copy is capped).
-        let mut stored_bytes = fs::metadata(dir.join("tests.bin"))
-            .map(|m| m.len())
-            .unwrap_or(0);
+        let mut stored_bytes = valid_len as u64;
         let mut buf = Vec::new();
         let mut added = 0usize;
         for t in tests {
@@ -191,12 +220,7 @@ impl Corpus {
             added += 1;
         }
         if added > 0 {
-            let mut f = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(dir.join("tests.bin"))?;
-            f.write_all(&buf)?;
-            f.sync_all()?;
+            append_with_faults(&path, &buf)?;
         }
         Ok(added)
     }
@@ -449,23 +473,247 @@ impl Corpus {
         }
         Ok(removed)
     }
+
+    /// Records the client-supplied idempotency token that admitted a
+    /// session, so a retried submit after a daemon restart still maps to
+    /// the same session instead of double-admitting.
+    pub fn save_token(&self, session: &str, token: &str) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("token"), token.as_bytes())
+    }
+
+    /// All `(token, session_id)` pairs on disk, for rebuilding the
+    /// submit-idempotency map at daemon startup.
+    pub fn load_tokens(&self) -> io::Result<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        for id in self.session_ids()? {
+            if let Ok(tok) = fs::read_to_string(self.session_dir(&id).join("token")) {
+                let tok = tok.trim().to_string();
+                if !tok.is_empty() {
+                    out.push((tok, id));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Archives a watchdog-poisoned checkpoint seed to the session's
+    /// `poisoned.bin`. Poisoned seeds leave the frontier but are never
+    /// deleted — an operator (or a fixed engine) can re-adopt them.
+    pub fn quarantine_seed(&self, session: &str, seed: &WorkSeed) -> io::Result<()> {
+        let _guard = self.write_lock.lock().unwrap();
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        append_with_faults(&dir.join("poisoned.bin"), &seed.to_frame())
+    }
+
+    /// Crash-recovery scrub, run at daemon startup before any session
+    /// resumes. Repairs what it can and quarantines what it cannot:
+    ///
+    /// - stray `.tmp` files from interrupted atomic replaces are deleted;
+    /// - `tests.bin` and `checkpoint.bin` are re-walked frame by frame
+    ///   (CRC-validated since wire v3); a corrupt span is dropped and the
+    ///   walk *resyncs* at the next frame magic, so one flipped bit costs
+    ///   one frame, not the rest of the file;
+    /// - `coverage.bin` is truncated to whole 8-byte records;
+    /// - an undecodable `snapshot.bin` is deleted (resume falls back to
+    ///   full prefix replay) and an undecodable `sched.bin` is deleted
+    ///   (fair-share accounting restarts from zero);
+    /// - a session whose `spec.json` no longer parses can never be
+    ///   re-prepared: the whole session directory moves to `quarantine/`
+    ///   for post-mortem instead of wedging startup.
+    pub fn scrub(&self) -> io::Result<ScrubReport> {
+        let _guard = self.write_lock.lock().unwrap();
+        let start = Instant::now();
+        let mut rep = ScrubReport::default();
+        for base in ["corpus", "sessions"] {
+            for entry in fs::read_dir(self.root.join(base))? {
+                let dir = entry?.path();
+                if !dir.is_dir() {
+                    continue;
+                }
+                for file in fs::read_dir(&dir)? {
+                    let p = file?.path();
+                    if p.extension().is_some_and(|e| e == "tmp") {
+                        fs::remove_file(&p)?;
+                        rep.tmp_cleaned += 1;
+                    }
+                }
+            }
+        }
+        for entry in fs::read_dir(self.root.join("corpus"))? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            rep.targets += 1;
+            scrub_frames::<TestCase>(&dir.join("tests.bin"), &mut rep)?;
+            let cov = dir.join("coverage.bin");
+            if let Ok(bytes) = fs::read(&cov) {
+                let keep = bytes.len() - bytes.len() % 8;
+                if keep != bytes.len() {
+                    write_atomic(&cov, &bytes[..keep])?;
+                    rep.bytes_truncated += (bytes.len() - keep) as u64;
+                    rep.frames_repaired += 1;
+                }
+            }
+            let snp = dir.join("snapshot.bin");
+            if let Ok(bytes) = fs::read(&snp) {
+                if Snapshot::from_frame(&bytes).is_err() {
+                    fs::remove_file(&snp)?;
+                    rep.snapshots_dropped += 1;
+                }
+            }
+        }
+        for entry in fs::read_dir(self.root.join("sessions"))? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            rep.sessions += 1;
+            let spec_ok = fs::read_to_string(dir.join("spec.json"))
+                .ok()
+                .and_then(|s| crate::json::parse(&s).ok())
+                .map(|v| JobSpec::from_value(&v).is_ok())
+                .unwrap_or(false);
+            if !spec_ok {
+                self.quarantine(&dir)?;
+                rep.quarantined += 1;
+                continue;
+            }
+            scrub_frames::<WorkSeed>(&dir.join("checkpoint.bin"), &mut rep)?;
+            if let Ok(bytes) = fs::read(dir.join("sched.bin")) {
+                if SchedStats::from_frame(&bytes).is_err() {
+                    fs::remove_file(dir.join("sched.bin"))?;
+                    rep.frames_repaired += 1;
+                }
+            }
+        }
+        rep.scrub_ms = start.elapsed().as_millis() as u64;
+        Ok(rep)
+    }
+
+    /// Moves a session directory into `quarantine/`, keeping its contents
+    /// for post-mortem. Name collisions get a numeric suffix.
+    fn quarantine(&self, dir: &Path) -> io::Result<()> {
+        let qroot = self.root.join("quarantine");
+        fs::create_dir_all(&qroot)?;
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".to_string());
+        let mut dest = qroot.join(&name);
+        let mut n = 1u32;
+        while dest.exists() {
+            dest = qroot.join(format!("{name}.{n}"));
+            n += 1;
+        }
+        fs::rename(dir, &dest)
+    }
+}
+
+/// What [`Corpus::scrub`] found and fixed. Zero everywhere on a clean
+/// startup; surfaced through the daemon's `stats` command and the
+/// `serve_chaos` bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Corpus target directories examined.
+    pub targets: u64,
+    /// Session directories examined (pre-quarantine).
+    pub sessions: u64,
+    /// Corrupt spans dropped-and-resynced across all frame streams (plus
+    /// undecodable `sched.bin`/ragged `coverage.bin` fixes).
+    pub frames_repaired: u64,
+    /// Bytes discarded while repairing streams.
+    pub bytes_truncated: u64,
+    /// Undecodable `snapshot.bin` files deleted.
+    pub snapshots_dropped: u64,
+    /// Sessions moved to `quarantine/` (unparseable spec).
+    pub quarantined: u64,
+    /// Stray `.tmp` files removed.
+    pub tmp_cleaned: u64,
+    /// Wall-clock duration of the pass, in milliseconds.
+    pub scrub_ms: u64,
+}
+
+/// Re-walks the frame stream at `path`, dropping corrupt spans and
+/// resyncing at the next frame magic. Rewrites the file only when
+/// something was dropped; surviving frames keep their original bytes
+/// (old-version frames are preserved, not re-encoded).
+fn scrub_frames<T: Wire>(path: &Path, rep: &mut ScrubReport) -> io::Result<()> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let (kept, repairs, dropped) = repair_stream::<T>(&bytes);
+    if repairs > 0 {
+        write_atomic(path, &kept)?;
+        rep.frames_repaired += repairs;
+        rep.bytes_truncated += dropped;
+    }
+    Ok(())
+}
+
+/// Splits a frame stream into the bytes of its decodable frames plus
+/// `(corrupt spans, bytes dropped)`. After a bad frame the scan resyncs
+/// at the next [`MAGIC`] occurrence instead of giving up.
+fn repair_stream<T: Wire>(bytes: &[u8]) -> (Vec<u8>, u64, u64) {
+    let mut kept = Vec::with_capacity(bytes.len());
+    let mut repairs = 0u64;
+    let mut dropped = 0u64;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match T::from_frame_prefix(&bytes[pos..]) {
+            Ok((_, used)) => {
+                kept.extend_from_slice(&bytes[pos..pos + used]);
+                pos += used;
+            }
+            Err(_) => {
+                repairs += 1;
+                let next = find_magic(bytes, pos + 1);
+                dropped += (next - pos) as u64;
+                pos = next;
+            }
+        }
+    }
+    (kept, repairs, dropped)
+}
+
+/// First offset `>= from` where [`MAGIC`] occurs, or `bytes.len()`.
+fn find_magic(bytes: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i + MAGIC.len() <= bytes.len() {
+        if bytes[i..i + MAGIC.len()] == MAGIC {
+            return i;
+        }
+        i += 1;
+    }
+    bytes.len()
 }
 
 /// Decodes as many complete frames as the buffer holds, dropping a
 /// truncated or corrupted tail (the crash-mid-append case).
 fn decode_prefix<T: Wire>(bytes: &[u8]) -> Vec<T> {
+    decode_prefix_with_len(bytes).0
+}
+
+/// [`decode_prefix`] plus the byte length of the decodable prefix, so
+/// appenders can trim a torn tail before extending the stream.
+fn decode_prefix_with_len<T: Wire>(bytes: &[u8]) -> (Vec<T>, usize) {
     let mut out = Vec::new();
-    let mut rest = bytes;
-    while !rest.is_empty() {
-        match T::from_frame_prefix(rest) {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match T::from_frame_prefix(&bytes[pos..]) {
             Ok((v, used)) => {
                 out.push(v);
-                rest = &rest[used..];
+                pos += used;
             }
             Err(_) => break,
         }
     }
-    out
+    (out, pos)
 }
 
 /// Restricts file-name components to a conservative character set so a
@@ -479,21 +727,110 @@ fn safe_component(s: &str) -> String {
         .collect()
 }
 
+/// Appends `bytes` to the stream at `path`, honoring any injected fault
+/// from the [`chef_core::fault`] plane:
+///
+/// - `Enospc` fails up front, leaving the file untouched;
+/// - `Torn` lands only a prefix and then errors — the torn tail stays on
+///   disk exactly as a real crash would leave it (readers drop it; the
+///   next append trims it);
+/// - `LostSync` lands the bytes but skips the fsync;
+/// - `BitFlip` lands and syncs the bytes, then flips one bit of the file
+///   in place and *reports success* — silent media corruption, detectable
+///   only by the wire CRCs.
+fn append_with_faults(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let fault = chef_core::fault::disk_fault();
+    if fault == Some(DiskFault::Enospc) {
+        return Err(enospc());
+    }
+    let keep = match fault {
+        Some(DiskFault::Torn { keep_permille }) => {
+            (bytes.len() * keep_permille as usize / 1000).min(bytes.len().saturating_sub(1))
+        }
+        _ => bytes.len(),
+    };
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(&bytes[..keep])?;
+    match fault {
+        Some(DiskFault::Torn { .. }) => {
+            let _ = f.sync_all();
+            Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected fault: torn write",
+            ))
+        }
+        Some(DiskFault::LostSync) => Ok(()),
+        Some(DiskFault::BitFlip { bit_seed }) => {
+            f.sync_all()?;
+            drop(f);
+            flip_bit(path, bit_seed)
+        }
+        _ => f.sync_all(),
+    }
+}
+
 /// Writes via a temp file + rename, so readers never observe a partial
-/// write even if the daemon dies mid-flight.
+/// write even if the daemon dies mid-flight. Under the fault plane:
+/// `Enospc` and `Torn` fail before the rename (the destination keeps its
+/// previous contents — atomicity is exactly what the temp file buys), a
+/// `BitFlip` corrupts the renamed file in place, and `LostSync` skips the
+/// pre-rename fsync.
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let fault = chef_core::fault::disk_fault();
+    if fault == Some(DiskFault::Enospc) {
+        return Err(enospc());
+    }
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
+        if let Some(DiskFault::Torn { keep_permille }) = fault {
+            let keep =
+                (bytes.len() * keep_permille as usize / 1000).min(bytes.len().saturating_sub(1));
+            f.write_all(&bytes[..keep])?;
+            let _ = f.sync_all();
+            // The torn temp file stays behind (scrub sweeps it up); the
+            // destination was never touched.
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected fault: torn write",
+            ));
+        }
         f.write_all(bytes)?;
-        f.sync_all()?;
+        if fault != Some(DiskFault::LostSync) {
+            f.sync_all()?;
+        }
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    if let Some(DiskFault::BitFlip { bit_seed }) = fault {
+        flip_bit(path, bit_seed)?;
+    }
+    Ok(())
+}
+
+/// The error `append_with_faults`/`write_atomic` raise for an injected
+/// out-of-space condition.
+fn enospc() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "injected fault: no space")
+}
+
+/// Flips bit `bit_seed % (len * 8)` of the file at `path` in place.
+fn flip_bit(path: &Path, bit_seed: u64) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let bit = bit_seed % (bytes.len() as u64 * 8);
+    bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    fs::write(path, &bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chef_core::wire::FRAME_HEADER;
     use std::collections::HashMap;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -674,6 +1011,204 @@ mod tests {
         assert!(corpus.load_snapshot("dead_t").unwrap().is_none());
         // Idempotent: nothing left to collect.
         assert_eq!(corpus.gc_snapshots().unwrap(), 0);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn append_after_torn_tail_trims_before_extending() {
+        let corpus = Corpus::open(tmpdir("toration")).unwrap();
+        corpus.append_tests("k", &[tc(0, 1), tc(1, 2)]).unwrap();
+        let path = corpus.root().join("corpus/k/tests.bin");
+        // Crash mid-append: a frame header plus a few payload bytes dangle
+        // at the end, with the declared length never arriving.
+        let mut bytes = fs::read(&path).unwrap();
+        let torn = bytes[..FRAME_HEADER + 5].to_vec();
+        bytes.extend_from_slice(&torn);
+        fs::write(&path, &bytes).unwrap();
+        // The next append must not strand its frames behind the garbage.
+        assert_eq!(corpus.append_tests("k", &[tc(2, 3)]).unwrap(), 1);
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 3);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn repair_stream_resyncs_past_a_mid_file_flip() {
+        let corpus = Corpus::open(tmpdir("resync")).unwrap();
+        corpus
+            .append_tests("k", &[tc(0, 1), tc(1, 2), tc(2, 3)])
+            .unwrap();
+        let path = corpus.root().join("corpus/k/tests.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload bit of the FIRST frame: pre-scrub readers lose
+        // everything; scrub must recover frames two and three.
+        bytes[FRAME_HEADER + 2] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 0, "reader stops");
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.frames_repaired, 1);
+        assert!(rep.bytes_truncated > 0);
+        let kept = corpus.load_tests("k").unwrap();
+        assert_eq!(kept.len(), 2, "resync recovers the frames after the flip");
+        assert_eq!(kept[0].inputs["x"], vec![2]);
+        // Idempotent: a second scrub finds nothing.
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.frames_repaired, 0);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn scrub_truncates_ragged_coverage_and_drops_bad_snapshots() {
+        let corpus = Corpus::open(tmpdir("scrubcov")).unwrap();
+        corpus
+            .merge_coverage("k", &[1u64, 2, 3].into_iter().collect())
+            .unwrap();
+        let cov = corpus.root().join("corpus/k/coverage.bin");
+        let mut bytes = fs::read(&cov).unwrap();
+        bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]); // ragged tail
+        fs::write(&cov, &bytes).unwrap();
+        let sn = snap(5);
+        corpus.save_snapshot("k", &sn).unwrap();
+        let snp = corpus.root().join("corpus/k/snapshot.bin");
+        let mut sbytes = fs::read(&snp).unwrap();
+        let mid = sbytes.len() / 2;
+        sbytes[mid] ^= 0xFF;
+        fs::write(&snp, &sbytes).unwrap();
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.bytes_truncated, 3);
+        assert_eq!(rep.snapshots_dropped, 1);
+        assert_eq!(corpus.load_coverage("k").unwrap().len(), 3);
+        assert!(corpus.load_snapshot("k").unwrap().is_none());
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn scrub_quarantines_sessions_with_unparseable_specs() {
+        let corpus = Corpus::open(tmpdir("quar")).unwrap();
+        corpus.save_spec("s1", "{not json at all").unwrap();
+        corpus.save_checkpoint("s1", &[WorkSeed::root()]).unwrap();
+        let good = crate::job::JobSpec::new(
+            crate::job::JobLang::Python,
+            "def f(x):\n    return x\n",
+            "f",
+        )
+        .sym_str("x", 1);
+        corpus.save_spec("s2", &good.to_value().to_json()).unwrap();
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.quarantined, 1);
+        assert!(!corpus.root().join("sessions/s1").exists());
+        assert!(corpus.root().join("quarantine/s1/spec.json").exists());
+        assert!(corpus.root().join("sessions/s2").exists());
+        assert_eq!(corpus.session_ids().unwrap(), vec!["s2"]);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn scrub_sweeps_stray_tmp_files() {
+        let corpus = Corpus::open(tmpdir("tmps")).unwrap();
+        corpus.save_state("s1", "paused").unwrap();
+        fs::write(corpus.root().join("sessions/s1/checkpoint.tmp"), b"half").unwrap();
+        // A session without a spec quarantines; give s1 one to isolate the
+        // tmp sweep.
+        let spec = crate::job::JobSpec::new(
+            crate::job::JobLang::Python,
+            "def f(x):\n    return x\n",
+            "f",
+        )
+        .sym_str("x", 1);
+        corpus.save_spec("s1", &spec.to_value().to_json()).unwrap();
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.tmp_cleaned, 1);
+        assert!(!corpus.root().join("sessions/s1/checkpoint.tmp").exists());
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_recoverable_stream() {
+        use chef_core::fault::{FaultPlan, FaultSpec};
+        let _serial = crate::test_fault_lock().lock().unwrap();
+        let corpus = Corpus::open(tmpdir("faultt")).unwrap();
+        corpus.append_tests("k", &[tc(0, 1)]).unwrap();
+        chef_core::fault::install(std::sync::Arc::new(FaultPlan::new(
+            1,
+            FaultSpec {
+                torn_write: 1000,
+                ..Default::default()
+            },
+        )));
+        let err = corpus.append_tests("k", &[tc(1, 2)]).unwrap_err();
+        chef_core::fault::clear();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // The stored prefix still loads, and retrying lands the test.
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 1);
+        assert_eq!(corpus.append_tests("k", &[tc(1, 2)]).unwrap(), 1);
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 2);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn injected_enospc_keeps_destination_intact_for_atomic_writes() {
+        use chef_core::fault::{FaultPlan, FaultSpec};
+        let _serial = crate::test_fault_lock().lock().unwrap();
+        let corpus = Corpus::open(tmpdir("faulte")).unwrap();
+        let frontier = vec![WorkSeed::from_choices(vec![1])];
+        corpus.save_checkpoint("s1", &frontier).unwrap();
+        chef_core::fault::install(std::sync::Arc::new(FaultPlan::new(
+            2,
+            FaultSpec {
+                enospc: 1000,
+                ..Default::default()
+            },
+        )));
+        let err = corpus
+            .save_checkpoint("s1", &[WorkSeed::root()])
+            .unwrap_err();
+        chef_core::fault::clear();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(
+            corpus.load_checkpoint("s1").unwrap(),
+            Some(frontier),
+            "failed atomic replace preserves the previous checkpoint"
+        );
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn injected_bit_flip_is_caught_by_frame_crcs() {
+        use chef_core::fault::{FaultPlan, FaultSpec};
+        let _serial = crate::test_fault_lock().lock().unwrap();
+        let corpus = Corpus::open(tmpdir("faultb")).unwrap();
+        corpus.append_tests("k", &[tc(0, 1), tc(1, 2)]).unwrap();
+        chef_core::fault::install(std::sync::Arc::new(FaultPlan::new(
+            3,
+            FaultSpec {
+                bit_flip: 1000,
+                ..Default::default()
+            },
+        )));
+        // The flip reports success — silent corruption.
+        corpus.append_tests("k", &[tc(2, 3)]).unwrap();
+        chef_core::fault::clear();
+        let loaded = corpus.load_tests("k").unwrap().len();
+        assert!(loaded < 3, "some frame must have been corrupted");
+        let rep = corpus.scrub().unwrap();
+        assert_eq!(rep.frames_repaired, 1);
+        assert_eq!(corpus.load_tests("k").unwrap().len(), 2);
+        let _ = fs::remove_dir_all(corpus.root());
+    }
+
+    #[test]
+    fn tokens_roundtrip_for_idempotent_submit() {
+        let corpus = Corpus::open(tmpdir("tok")).unwrap();
+        corpus.save_token("s1", "client-abc-1").unwrap();
+        corpus.save_token("s2", "client-abc-2").unwrap();
+        let toks = corpus.load_tokens().unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                ("client-abc-1".to_string(), "s1".to_string()),
+                ("client-abc-2".to_string(), "s2".to_string()),
+            ]
+        );
         let _ = fs::remove_dir_all(corpus.root());
     }
 

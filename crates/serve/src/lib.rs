@@ -81,16 +81,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use chef_core::wire::Wire;
 use chef_core::{replay_cfg_edges, ChefConfig, SchedStats, Snapshot, WorkSeed};
 use chef_fleet::{run_fleet_slice, FleetConfig, FleetControl};
 use chef_lir::Program;
 
-pub use corpus::Corpus;
+pub use corpus::{Corpus, ScrubReport};
 pub use job::{parse_strategy, strategy_name, JobArg, JobLang, JobSpec};
-pub use proto::{Client, ResultsPage, ServeError, SessionStatus};
+pub use proto::{Client, ClientConfig, DaemonStats, ResultsPage, ServeError, SessionStatus};
 pub use sched::{SchedConfig, QUOTA_UNIT};
 
 use json::Value;
@@ -113,11 +113,20 @@ pub struct ServeConfig {
     /// Admission-control cap on admitted-and-unsettled sessions; submits
     /// and resumes beyond it get a typed `retry_after_ms` rejection.
     pub max_sessions: usize,
-    /// Concurrent client connections; excess connects are dropped at
-    /// accept time.
+    /// Concurrent client connections; excess connects receive a typed
+    /// one-frame `{"code":"busy"}` rejection and are closed (counted in
+    /// the daemon `stats`).
     pub max_connections: usize,
     /// Per-target byte budget for archived tests (`None` = unbounded).
     pub corpus_budget_bytes: Option<u64>,
+    /// Watchdog deadline for one scheduled slice, in milliseconds
+    /// (`0` disables the watchdog). A slice that exceeds it — a hung
+    /// solver query, a pathological seed — is aborted at its next safe
+    /// point and the session continues degraded; after
+    /// [`POISON_AFTER_TIMEOUTS`] consecutive timeouts the offending head
+    /// seed is degraded to full replay and then quarantined to
+    /// `poisoned.bin`, so one bad seed cannot wedge a pool worker.
+    pub slice_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -130,9 +139,14 @@ impl Default for ServeConfig {
             max_sessions: 32,
             max_connections: 128,
             corpus_budget_bytes: None,
+            slice_timeout_ms: 30_000,
         }
     }
 }
+
+/// Consecutive watchdog timeouts before the head checkpoint seed is
+/// poisoned (first degraded to full replay, then quarantined).
+pub const POISON_AFTER_TIMEOUTS: u64 = 2;
 
 /// Everything a session needs between slices, computed once per admission
 /// (and once per resume): the built program, the corpus warm start, and
@@ -159,6 +173,28 @@ pub(crate) enum SliceVerdict {
     Done,
     /// The session's own instruction budget ran out with work remaining.
     Exhausted,
+}
+
+/// How a slice failed. The distinction drives the worker's disposition:
+/// transient I/O trouble *pauses* the session (its on-disk checkpoint is
+/// still consistent, so it can resume once the disk recovers), while a
+/// fatal error marks it failed.
+pub(crate) enum SliceError {
+    /// A corpus read/write failed (disk full, torn write, unreadable
+    /// file). Resumable.
+    Io(String),
+    /// The session can never make progress (e.g. its stored source no
+    /// longer builds). Terminal.
+    Fatal(String),
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceError::Io(e) => write!(f, "io: {e}"),
+            SliceError::Fatal(e) => write!(f, "{e}"),
+        }
+    }
 }
 
 /// In-memory state of one session (mirrored to disk by the [`Corpus`]).
@@ -189,6 +225,19 @@ pub(crate) struct SessionState {
     pub(crate) preemptions: AtomicU64,
     /// Cumulative milliseconds spent runnable in the queue.
     pub(crate) wait_ms: AtomicU64,
+    /// Watchdog deadline of the slice currently executing (set by the
+    /// dispatching worker, cleared when the slice returns).
+    pub(crate) slice_deadline: Mutex<Option<Instant>>,
+    /// Set by the watchdog when it pause-aborts an overrunning slice;
+    /// consumed by the worker to tell a watchdog abort from a real pause.
+    pub(crate) watchdog_fired: AtomicBool,
+    /// Watchdog aborts on this session (lifetime).
+    pub(crate) watchdog_aborts: AtomicU64,
+    /// Consecutive watchdog timeouts; reset by any clean slice. At
+    /// [`POISON_AFTER_TIMEOUTS`] the head checkpoint seed is poisoned.
+    pub(crate) consecutive_timeouts: AtomicU64,
+    /// Seeds quarantined to `poisoned.bin` after repeated timeouts.
+    pub(crate) poisoned_seeds: AtomicU64,
     /// Between-slice carry state; `None` until the first slice (or after a
     /// rest state, so resume re-prepares from the checkpoint).
     prep: Mutex<Option<Prepared>>,
@@ -214,6 +263,11 @@ impl SessionState {
             sched_slices: AtomicU64::new(0),
             preemptions: AtomicU64::new(0),
             wait_ms: AtomicU64::new(0),
+            slice_deadline: Mutex::new(None),
+            watchdog_fired: AtomicBool::new(false),
+            watchdog_aborts: AtomicU64::new(0),
+            consecutive_timeouts: AtomicU64::new(0),
+            poisoned_seeds: AtomicU64::new(0),
             prep: Mutex::new(None),
         }
     }
@@ -315,6 +369,14 @@ impl SessionState {
                 "wait_ms",
                 Value::Int(self.wait_ms.load(Ordering::Relaxed) as i64),
             ),
+            (
+                "watchdog_aborts",
+                Value::Int(self.watchdog_aborts.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "poisoned_seeds",
+                Value::Int(self.poisoned_seeds.load(Ordering::Relaxed) as i64),
+            ),
         ])
     }
 }
@@ -326,6 +388,19 @@ pub(crate) struct Inner {
     pub(crate) sched: Scheduler,
     conns: AtomicUsize,
     stop: AtomicBool,
+    /// What the startup scrub pass found and fixed (served by `stats`).
+    scrub: ScrubReport,
+    /// Client idempotency tokens → session ids, so a retried submit maps
+    /// to the session it already admitted. Rebuilt from disk at startup.
+    tokens: Mutex<HashMap<String, String>>,
+    /// Connections rejected at the accept-loop cap.
+    pub(crate) conns_dropped: AtomicU64,
+    /// Sessions paused (not failed) by a slice-level I/O error.
+    pub(crate) io_pauses: AtomicU64,
+    /// Watchdog slice aborts, daemon-wide.
+    pub(crate) watchdog_aborts: AtomicU64,
+    /// Seeds quarantined after repeated timeouts, daemon-wide.
+    pub(crate) poisoned_seeds: AtomicU64,
 }
 
 /// The daemon: a bound listener plus the session registry and worker pool.
@@ -335,13 +410,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listen socket and opens the data directory. Sessions that
-    /// were `running` when a previous daemon died are re-marked `paused`,
-    /// so their last checkpoint is resumable; snapshots no checkpoint
-    /// references anymore are garbage-collected.
+    /// Binds the listen socket and opens the data directory. Startup runs
+    /// the crash-consistency [`Corpus::scrub`] pass first — truncating torn
+    /// frame tails, dropping bit-rotted frames and snapshots, quarantining
+    /// sessions whose specs no longer parse — so everything the daemon
+    /// loads afterwards is known-good. Sessions that were `running` when a
+    /// previous daemon died are then re-marked `paused`, so their last
+    /// checkpoint is resumable; snapshots no checkpoint references anymore
+    /// are garbage-collected.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let mut corpus = Corpus::open(&config.data_dir)?;
         corpus.set_target_budget(config.corpus_budget_bytes);
+        // Scrub before anything reads corpus files: recovery and warm
+        // starts below must only ever see CRC-clean frames.
+        let scrub = corpus.scrub()?;
         // Orphan recovery: a state file saying "running" with no daemon
         // behind it means we were killed; the checkpoint stands.
         for id in corpus.session_ids()? {
@@ -352,6 +434,8 @@ impl Server {
         // Corpus lifecycle: after recovery, every live snapshot is
         // referenced by some checkpoint; drop the rest.
         corpus.gc_snapshots()?;
+        // Idempotency tokens survive restarts with the sessions they name.
+        let tokens = corpus.load_tokens()?.into_iter().collect();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let sched = Scheduler::new(SchedConfig {
@@ -368,6 +452,12 @@ impl Server {
                 sched,
                 conns: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
+                scrub,
+                tokens: Mutex::new(tokens),
+                conns_dropped: AtomicU64::new(0),
+                io_pauses: AtomicU64::new(0),
+                watchdog_aborts: AtomicU64::new(0),
+                poisoned_seeds: AtomicU64::new(0),
             }),
         })
     }
@@ -385,17 +475,28 @@ impl Server {
         while !self.inner.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    // Connection cap: beyond it, drop the socket instead of
-                    // spawning an unbounded handler thread. Clients see a
-                    // closed connection and retry.
+                    // Connection cap: beyond it, send a typed one-frame
+                    // `busy` rejection and close, instead of spawning an
+                    // unbounded handler thread (or silently slamming the
+                    // socket, which clients could not tell from a crash).
                     if self.inner.conns.load(Ordering::SeqCst) >= self.inner.config.max_connections
                     {
-                        drop(stream);
+                        self.inner.conns_dropped.fetch_add(1, Ordering::Relaxed);
+                        reject_busy(stream);
                         continue;
                     }
                     self.inner.conns.fetch_add(1, Ordering::SeqCst);
                     let inner = Arc::clone(&self.inner);
-                    std::thread::spawn(move || handle_connection(inner, stream));
+                    let spawned = std::thread::Builder::new()
+                        .name("chef-conn".into())
+                        .spawn(move || handle_connection(inner, stream));
+                    if let Err(e) = spawned {
+                        // Thread exhaustion is capacity pressure, not a
+                        // daemon-fatal error: count it and keep accepting.
+                        self.inner.conns.fetch_sub(1, Ordering::SeqCst);
+                        self.inner.conns_dropped.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("chef-serve: connection thread spawn failed: {e}");
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -423,6 +524,23 @@ impl Server {
     }
 }
 
+/// Tells an over-cap client *why* it is being disconnected: one typed
+/// `{"code":"busy"}` frame, written under a short deadline so a stalled
+/// peer cannot pin the accept loop, then the socket closes.
+fn reject_busy(mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    let frame = Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str("connection limit reached".into())),
+        ("code", Value::Str("busy".into())),
+        ("retry_after_ms", Value::Int(250)),
+    ]);
+    let _ = proto::write_message(&mut stream, &frame);
+}
+
 /// Decrements the connection count when a handler thread exits, however it
 /// exits.
 struct ConnGuard(Arc<Inner>);
@@ -437,12 +555,39 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     let _guard = ConnGuard(Arc::clone(&inner));
     stream.set_nodelay(true).ok();
     loop {
+        // Deterministic connection-fault injection (inert unless a
+        // `chef_core::fault` plan is installed): each request rolls at
+        // most one fault, exercising the client's retry/idempotency path.
+        let fault = chef_core::fault::net_fault();
+        if let Some(chef_core::fault::NetFault::StallRead { ms }) = fault {
+            // The daemon goes quiet mid-exchange; the client's read
+            // deadline turns the stall into a retryable timeout.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if matches!(fault, Some(chef_core::fault::NetFault::HalfClose)) {
+            // Accept the request but never answer: the client sees a
+            // clean EOF where its reply should be.
+            let _ = proto::read_message(&mut stream);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            return;
+        }
         let req = match proto::read_message(&mut stream) {
             Ok(Some(v)) => v,
             Ok(None) => return, // clean close
             Err(_) => return,   // protocol garbage: drop the connection
         };
         let resp = dispatch(&inner, &req);
+        if let Some(chef_core::fault::NetFault::DropMidFrame { keep_permille }) = fault {
+            // The reply dies partway through its length-prefixed frame.
+            let text = resp.to_json();
+            let mut frame = (text.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(text.as_bytes());
+            let keep = (frame.len() * keep_permille as usize / 1000).min(frame.len() - 1);
+            use std::io::Write as _;
+            let _ = stream.write_all(&frame[..keep]);
+            let _ = stream.flush();
+            return;
+        }
         if proto::write_message(&mut stream, &resp).is_err() {
             return;
         }
@@ -486,6 +631,7 @@ fn dispatch(inner: &Arc<Inner>, req: &Value) -> Value {
         Some("results") => cmd_results(inner, req),
         Some("pause") => cmd_pause(inner, req),
         Some("resume") => cmd_resume(inner, req),
+        Some("stats") => cmd_stats(inner),
         Some("shutdown") => {
             inner.stop.store(true, Ordering::SeqCst);
             ok(vec![])
@@ -495,7 +641,74 @@ fn dispatch(inner: &Arc<Inner>, req: &Value) -> Value {
     }
 }
 
+/// Daemon-wide health and robustness counters: session census, capacity
+/// drops, fault-recovery activity, and what the startup scrub found.
+fn cmd_stats(inner: &Arc<Inner>) -> Value {
+    let (session_count, states) = {
+        let sessions = inner.sessions.lock().unwrap();
+        let mut running = 0i64;
+        for s in sessions.values() {
+            if s.state.lock().unwrap().as_str() == "running" {
+                running += 1;
+            }
+        }
+        (sessions.len() as i64, running)
+    };
+    let scrub = &inner.scrub;
+    let mut fields = vec![
+        ("sessions", Value::Int(session_count)),
+        ("running", Value::Int(states)),
+        (
+            "conns_dropped",
+            Value::Int(inner.conns_dropped.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "io_pauses",
+            Value::Int(inner.io_pauses.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "watchdog_aborts",
+            Value::Int(inner.watchdog_aborts.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "poisoned_seeds",
+            Value::Int(inner.poisoned_seeds.load(Ordering::Relaxed) as i64),
+        ),
+        ("scrub_ms", Value::Int(scrub.scrub_ms as i64)),
+        ("frames_repaired", Value::Int(scrub.frames_repaired as i64)),
+        ("bytes_truncated", Value::Int(scrub.bytes_truncated as i64)),
+        (
+            "snapshots_dropped",
+            Value::Int(scrub.snapshots_dropped as i64),
+        ),
+        ("quarantined", Value::Int(scrub.quarantined as i64)),
+        ("tmp_cleaned", Value::Int(scrub.tmp_cleaned as i64)),
+    ];
+    if let Some(plan) = chef_core::fault::installed() {
+        fields.push(("fault_seed", Value::Int(plan.seed() as i64)));
+        fields.push(("faults_injected", Value::Int(plan.stats().total() as i64)));
+    }
+    ok(fields)
+}
+
 fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
+    // Idempotent submit: a client-supplied token maps a retried request
+    // (e.g. after a connection fault ate the first reply) back onto the
+    // session the first attempt already admitted.
+    let token = req.get("token").and_then(Value::as_str).map(str::to_owned);
+    if let Some(tok) = &token {
+        if let Some(id) = inner.tokens.lock().unwrap().get(tok).cloned() {
+            let req = Value::obj(vec![("session", Value::Str(id.clone()))]);
+            let target = session_of(inner, &req)
+                .map(|s| s.target.clone())
+                .unwrap_or_default();
+            return ok(vec![
+                ("session", Value::Str(id)),
+                ("target", Value::Str(target)),
+                ("resubmit", Value::Bool(true)),
+            ]);
+        }
+    }
     let spec = match JobSpec::from_value(req) {
         Ok(s) => s,
         Err(e) => return err(e),
@@ -529,6 +742,12 @@ fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
         "running".to_string(),
     ));
     let _ = inner.corpus.save_state(&id, "running");
+    if let Some(tok) = &token {
+        // Persist before acknowledging: if the reply is lost and the
+        // daemon restarts, the retried submit must still find the token.
+        let _ = inner.corpus.save_token(&id, tok);
+        inner.tokens.lock().unwrap().insert(tok.clone(), id.clone());
+    }
     inner
         .sessions
         .lock()
@@ -697,9 +916,10 @@ fn cmd_resume(inner: &Arc<Inner>, req: &Value) -> Value {
 /// Computes a session's between-slice carry state from its spec, corpus,
 /// and checkpoint. `Ok(None)` means the checkpointed frontier is already
 /// empty — the session is done without running a slice.
-fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared>, String> {
+fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared>, SliceError> {
     let spec = &sess.spec;
-    let prog = spec.build()?;
+    // A spec that no longer builds can never make progress: terminal.
+    let prog = spec.build().map_err(SliceError::Fatal)?;
     let base = spec.chef_config();
 
     // Corpus warm start: replay stored tests concretely; their HL-CFG
@@ -707,7 +927,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     let stored = inner
         .corpus
         .load_tests(&sess.target)
-        .map_err(|e| format!("corpus read: {e}"))?;
+        .map_err(|e| SliceError::Io(format!("corpus read: {e}")))?;
     let seed_cfg_edges = replay_cfg_edges(&prog, &stored, base.per_path_fuel);
     sess.seeded_tests
         .store(stored.len() as u64, Ordering::Relaxed);
@@ -716,7 +936,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     let mut seeds = match inner
         .corpus
         .load_checkpoint(&sess.id)
-        .map_err(|e| format!("checkpoint read: {e}"))?
+        .map_err(|e| SliceError::Io(format!("checkpoint read: {e}")))?
     {
         None => vec![WorkSeed::root()],
         Some(frontier) if frontier.is_empty() => return Ok(None),
@@ -731,7 +951,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     let stored_snapshot = inner
         .corpus
         .load_snapshot(&sess.target)
-        .map_err(|e| format!("snapshot read: {e}"))?;
+        .map_err(|e| SliceError::Io(format!("snapshot read: {e}")))?;
     let mut via_snapshot = 0u64;
     let mut via_full = 0u64;
     for seed in &mut seeds {
@@ -765,7 +985,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
 pub(crate) fn session_slice(
     inner: &Arc<Inner>,
     sess: &Arc<SessionState>,
-) -> Result<(SliceVerdict, u64), String> {
+) -> Result<(SliceVerdict, u64), SliceError> {
     // The carry-state lock is held for the whole slice; that is fine —
     // a session is out of the run queue while a worker executes it, so
     // the only contention would be a bug.
@@ -818,7 +1038,7 @@ pub(crate) fn session_slice(
             inner
                 .corpus
                 .save_snapshot(&sess.target, sn)
-                .map_err(|e| format!("snapshot write: {e}"))?;
+                .map_err(|e| SliceError::Io(format!("snapshot write: {e}")))?;
             prep.stored_snapshot = Some(Arc::clone(sn));
         }
     }
@@ -826,16 +1046,16 @@ pub(crate) fn session_slice(
     let added = inner
         .corpus
         .append_tests(&sess.target, &outcome.report.tests)
-        .map_err(|e| format!("corpus append: {e}"))?;
+        .map_err(|e| SliceError::Io(format!("corpus append: {e}")))?;
     sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
     inner
         .corpus
         .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
-        .map_err(|e| format!("coverage write: {e}"))?;
+        .map_err(|e| SliceError::Io(format!("coverage write: {e}")))?;
     inner
         .corpus
         .save_checkpoint(&sess.id, &outcome.frontier)
-        .map_err(|e| format!("checkpoint write: {e}"))?;
+        .map_err(|e| SliceError::Io(format!("checkpoint write: {e}")))?;
 
     let verdict = if outcome.paused {
         SliceVerdict::Paused
@@ -859,6 +1079,46 @@ pub(crate) fn session_slice(
     // like state writes).
     let _ = inner.corpus.save_sched(&sess.id, &sess.sched_stats());
     Ok((verdict, ll))
+}
+
+/// Degrades, then quarantines, the checkpoint seed that keeps blowing the
+/// slice watchdog. Stage 1 strips the seed's snapshot fingerprint so the
+/// next attempt runs the *full* prefix replay (a corrupt or pathological
+/// snapshot restore is the most common wedge). Stage 2 — the seed timed
+/// out even under full replay — removes it from the frontier entirely and
+/// archives it to the session's `poisoned.bin`, so exploration continues
+/// without it. Best-effort: any I/O trouble here just leaves the
+/// checkpoint as-is (the watchdog will fire again and we retry).
+pub(crate) fn poison_head_seed(inner: &Inner, sess: &SessionState) {
+    let Ok(Some(mut frontier)) = inner.corpus.load_checkpoint(&sess.id) else {
+        return;
+    };
+    if frontier.is_empty() {
+        return;
+    }
+    if frontier[0].snapshot_fp.take().is_some() {
+        // Stage 1: force the fallback path. The seed keeps its decision
+        // prefix, so nothing is lost — only the fast restore.
+        let _ = inner.corpus.save_checkpoint(&sess.id, &frontier);
+        return;
+    }
+    // Stage 2: quarantine. The seed is archived, never silently deleted,
+    // so an operator (or a fixed engine) can re-adopt it later.
+    let seed = frontier.remove(0);
+    if inner.corpus.quarantine_seed(&sess.id, &seed).is_ok() {
+        sess.poisoned_seeds.fetch_add(1, Ordering::Relaxed);
+        inner.poisoned_seeds.fetch_add(1, Ordering::Relaxed);
+        let _ = inner.corpus.save_checkpoint(&sess.id, &frontier);
+    }
+}
+
+/// Serializes tests that install a global [`chef_core::fault`] plan: the
+/// hook is process-wide, so concurrent fault tests would trample each
+/// other's plans (and see each other's injected failures).
+#[cfg(test)]
+pub(crate) fn test_fault_lock() -> &'static Mutex<()> {
+    static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
 }
 
 #[cfg(test)]

@@ -10,9 +10,11 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
 
+use chef_core::fault::splitmix64;
 use chef_core::wire::Wire;
 use chef_core::TestCase;
 
@@ -158,6 +160,11 @@ pub struct SessionStatus {
     pub preemptions: u64,
     /// Cumulative milliseconds spent runnable in the queue.
     pub wait_ms: u64,
+    /// Slices the watchdog pause-aborted for exceeding the deadline.
+    pub watchdog_aborts: u64,
+    /// Checkpoint seeds quarantined to `poisoned.bin` after repeated
+    /// watchdog timeouts.
+    pub poisoned_seeds: u64,
 }
 
 impl SessionStatus {
@@ -204,6 +211,8 @@ impl SessionStatus {
             sched_slices: num("sched_slices"),
             preemptions: num("preemptions"),
             wait_ms: num("wait_ms"),
+            watchdog_aborts: num("watchdog_aborts"),
+            poisoned_seeds: num("poisoned_seeds"),
         })
     }
 }
@@ -221,27 +230,144 @@ pub struct ResultsPage {
     pub done: bool,
 }
 
-/// Blocking client for the daemon: one TCP connection per request.
+/// Client-side resilience policy: deadlines on every socket operation and
+/// bounded, jittered retries of transient failures.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each read/write on an established connection (a
+    /// stalled daemon shows up as a timeout, not a hang).
+    pub io_timeout: Duration,
+    /// Transient-failure retries after the first attempt (`0` = fail
+    /// fast). I/O errors (connection refused/reset/timeout, reply lost
+    /// mid-frame) are always retried; requests are safe to re-send
+    /// because `submit` carries an idempotency token and every other
+    /// command is naturally idempotent.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt (plus
+    /// deterministic jitter), capped at 2 s.
+    pub backoff_ms: u64,
+    /// Whether [`ServeError::Busy`] admission rejections are also retried
+    /// (honoring the daemon's `retry_after_ms` hint). Off by default:
+    /// callers often want to *see* capacity pushback.
+    pub retry_busy: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff_ms: 50,
+            retry_busy: false,
+        }
+    }
+}
+
+/// Daemon-wide robustness counters, as reported by the `stats` command.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonStats {
+    /// Sessions the daemon currently knows about in memory.
+    pub sessions: u64,
+    /// Of those, how many are `running`.
+    pub running: u64,
+    /// Connections rejected with a typed `busy` frame at the accept-loop
+    /// cap (plus handler-thread spawn failures).
+    pub conns_dropped: u64,
+    /// Sessions paused (not failed) by a slice-level I/O error.
+    pub io_pauses: u64,
+    /// Slices the watchdog pause-aborted, daemon-wide.
+    pub watchdog_aborts: u64,
+    /// Seeds quarantined after repeated watchdog timeouts, daemon-wide.
+    pub poisoned_seeds: u64,
+    /// Milliseconds the startup scrub pass took.
+    pub scrub_ms: u64,
+    /// Corrupt frames dropped-and-resynced by the startup scrub.
+    pub frames_repaired: u64,
+    /// Bytes the scrub discarded repairing streams.
+    pub bytes_truncated: u64,
+    /// Undecodable snapshots the scrub deleted.
+    pub snapshots_dropped: u64,
+    /// Session directories the scrub moved to `quarantine/`.
+    pub quarantined: u64,
+    /// Stray `.tmp` files the scrub swept.
+    pub tmp_cleaned: u64,
+    /// Seed of the installed fault plan, when fault injection is active.
+    pub fault_seed: Option<u64>,
+    /// Faults injected so far by the installed plan.
+    pub faults_injected: u64,
+}
+
+/// Process-unique idempotency token: pid and startup nanos namespace the
+/// process, an atomic counter orders tokens within it, and splitmix64
+/// whitens the result. No token collides with a concurrent or restarted
+/// client's in any realistic scenario.
+fn fresh_token() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let a = splitmix64(nanos ^ (std::process::id() as u64).rotate_left(32));
+    let b = splitmix64(a ^ n);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Blocking client for the daemon: one TCP connection per request, with
+/// deadlines and bounded retries per [`ClientConfig`].
 #[derive(Clone, Debug)]
 pub struct Client {
     addr: String,
+    cfg: ClientConfig,
 }
 
 impl Client {
-    /// A client that talks to `addr` (e.g. `127.0.0.1:4455`).
+    /// A client that talks to `addr` (e.g. `127.0.0.1:4455`) with the
+    /// default resilience policy.
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client::with_config(addr, ClientConfig::default())
     }
 
-    fn call(&self, req: Value) -> Result<Value, ServeError> {
-        let mut stream = TcpStream::connect(&self.addr)?;
+    /// A client with an explicit resilience policy.
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> Self {
+        Client {
+            addr: addr.into(),
+            cfg,
+        }
+    }
+
+    /// One request/response exchange on a fresh connection, under the
+    /// configured deadlines.
+    fn call_once(&self, req: &Value) -> Result<Value, ServeError> {
+        let addr =
+            self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                ServeError::Protocol(format!("unresolvable address {}", self.addr))
+            })?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)?;
         stream.set_nodelay(true).ok();
-        write_message(&mut stream, &req)?;
-        let resp = read_message(&mut stream)?
-            .ok_or_else(|| ServeError::Protocol("connection closed before reply".into()))?;
+        stream.set_read_timeout(Some(self.cfg.io_timeout)).ok();
+        stream.set_write_timeout(Some(self.cfg.io_timeout)).ok();
+        write_message(&mut stream, req)?;
+        // A connection that dies before the reply is transport trouble
+        // (daemon crashed mid-request, fault-injected half-close), not a
+        // protocol violation: surface it as retryable I/O.
+        let resp = read_message(&mut stream)?.ok_or_else(|| {
+            ServeError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ))
+        })?;
         match resp.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(resp),
-            Some(false) if resp.get("code").and_then(Value::as_str) == Some("capacity") => {
+            Some(false)
+                if matches!(
+                    resp.get("code").and_then(Value::as_str),
+                    Some("capacity") | Some("busy")
+                ) =>
+            {
                 Err(ServeError::Busy {
                     retry_after_ms: resp
                         .get("retry_after_ms")
@@ -259,18 +385,78 @@ impl Client {
         }
     }
 
-    /// Submits a job; returns the new session id.
+    /// [`Client::call_once`] with the retry policy applied: transient I/O
+    /// failures back off exponentially with deterministic jitter; `Busy`
+    /// rejections honor the daemon's `retry_after_ms` hint when
+    /// [`ClientConfig::retry_busy`] is set; protocol and server errors
+    /// fail immediately (retrying them cannot help).
+    fn call(&self, req: Value) -> Result<Value, ServeError> {
+        let mut attempt = 0u32;
+        loop {
+            let e = match self.call_once(&req) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let sleep_ms = match &e {
+                ServeError::Io(_) => {
+                    let base = (self.cfg.backoff_ms.max(1) << attempt.min(16)).min(2_000);
+                    // Deterministic jitter: no thundering herd, yet every
+                    // run of a given client is reproducible.
+                    base + splitmix64(((std::process::id() as u64) << 32) ^ attempt as u64)
+                        % (base / 2 + 1)
+                }
+                ServeError::Busy { retry_after_ms } if self.cfg.retry_busy => {
+                    (*retry_after_ms).clamp(1, 5_000)
+                }
+                _ => return Err(e),
+            };
+            if attempt >= self.cfg.retries {
+                return Err(e);
+            }
+            attempt += 1;
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+        }
+    }
+
+    /// Submits a job; returns the new session id. The request carries a
+    /// fresh idempotency token shared by all of its retries, so a reply
+    /// lost to a connection fault cannot double-admit the job: the daemon
+    /// maps the retried token back to the session it already created.
     pub fn submit(&self, spec: &JobSpec) -> Result<String, ServeError> {
         let mut req = match spec.to_value() {
             Value::Obj(pairs) => pairs,
             _ => unreachable!("JobSpec::to_value returns an object"),
         };
         req.insert(0, ("cmd".into(), Value::Str("submit".into())));
+        req.push(("token".into(), Value::Str(fresh_token())));
         let resp = self.call(Value::Obj(req))?;
         resp.get("session")
             .and_then(Value::as_str)
             .map(str::to_string)
             .ok_or_else(|| ServeError::Protocol("submit reply missing 'session'".into()))
+    }
+
+    /// Fetches daemon-wide robustness counters (capacity drops, watchdog
+    /// and I/O-pause activity, startup scrub findings).
+    pub fn stats(&self) -> Result<DaemonStats, ServeError> {
+        let resp = self.call(Value::obj(vec![("cmd", Value::Str("stats".into()))]))?;
+        let num = |k: &str| resp.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Ok(DaemonStats {
+            sessions: num("sessions"),
+            running: num("running"),
+            conns_dropped: num("conns_dropped"),
+            io_pauses: num("io_pauses"),
+            watchdog_aborts: num("watchdog_aborts"),
+            poisoned_seeds: num("poisoned_seeds"),
+            scrub_ms: num("scrub_ms"),
+            frames_repaired: num("frames_repaired"),
+            bytes_truncated: num("bytes_truncated"),
+            snapshots_dropped: num("snapshots_dropped"),
+            quarantined: num("quarantined"),
+            tmp_cleaned: num("tmp_cleaned"),
+            fault_seed: resp.get("fault_seed").and_then(Value::as_u64),
+            faults_injected: num("faults_injected"),
+        })
     }
 
     /// Queries one session's status.

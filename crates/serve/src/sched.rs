@@ -34,9 +34,12 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::{session_slice, Inner, SessionState, SliceVerdict};
+use crate::{
+    poison_head_seed, session_slice, Inner, SessionState, SliceError, SliceVerdict,
+    POISON_AFTER_TIMEOUTS,
+};
 
 /// Pass advance per low-level instruction for a session with the default
 /// quota: `pass += ll * QUOTA_UNIT / quota`. With `quota == QUOTA_UNIT`
@@ -126,7 +129,10 @@ impl Scheduler {
         }
     }
 
-    /// Spawns the pool workers (idempotent; called by `Server::run`).
+    /// Spawns the pool workers and the slice watchdog (idempotent; called
+    /// by `Server::run`). Spawn failures degrade instead of panicking: the
+    /// pool runs with however many workers materialized, as long as that
+    /// is at least one.
     pub(crate) fn start(&self, inner: &Arc<Inner>) {
         let mut workers = self.workers.lock().unwrap();
         if !workers.is_empty() {
@@ -134,13 +140,34 @@ impl Scheduler {
         }
         for w in 0..self.cfg.workers.max(1) {
             let inner = Arc::clone(inner);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("chef-sched-{w}"))
-                    .spawn(move || worker_loop(inner))
-                    .expect("spawn pool worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("chef-sched-{w}"))
+                .spawn(move || worker_loop(inner))
+            {
+                Ok(h) => workers.push(h),
+                Err(e) => eprintln!("chef-serve: pool worker spawn failed: {e}"),
+            }
         }
+        assert!(
+            !workers.is_empty(),
+            "could not spawn any pool worker thread"
+        );
+        if inner.config.slice_timeout_ms > 0 {
+            let inner = Arc::clone(inner);
+            if let Ok(h) = std::thread::Builder::new()
+                .name("chef-watchdog".into())
+                // Watchdog loss is not fatal: slices just lose their
+                // deadline enforcement.
+                .spawn(move || watchdog_loop(inner))
+            {
+                workers.push(h);
+            }
+        }
+    }
+
+    /// Whether the shutdown drain has begun.
+    pub(crate) fn is_draining(&self) -> bool {
+        self.state.lock().unwrap().draining
     }
 
     /// Reserves one admission slot. `Err(retry_after_ms)` means the pool
@@ -292,8 +319,40 @@ fn worker_loop(inner: Arc<Inner>) {
             sess.set_state(&inner.corpus, "paused");
             continue;
         }
-        match session_slice(&inner, &sess) {
+        // Arm the watchdog for this slice. The deadline covers the whole
+        // slice including (re)preparation — a hung snapshot restore counts.
+        if inner.config.slice_timeout_ms > 0 {
+            *sess.slice_deadline.lock().unwrap() =
+                Some(Instant::now() + Duration::from_millis(inner.config.slice_timeout_ms));
+        }
+        let result = session_slice(&inner, &sess);
+        *sess.slice_deadline.lock().unwrap() = None;
+        // Was the pause we may be about to observe a watchdog abort? The
+        // swap also absorbs stale fires (watchdog fired right as the slice
+        // finished on its own) so they cannot leak into the next slice.
+        let fired = sess.watchdog_fired.swap(false, Ordering::SeqCst);
+        match result {
             Ok((SliceVerdict::Continue, ll)) => {
+                sess.consecutive_timeouts.store(0, Ordering::Relaxed);
+                if fired && !inner.sched.is_draining() {
+                    // The watchdog fired in the gap after the slice's last
+                    // preemption check: absorb the stale pause request so
+                    // it cannot park the next (innocent) slice.
+                    sess.ctl.clear_pause();
+                }
+                inner.sched.requeue(entry, ll);
+            }
+            Ok((SliceVerdict::Paused, ll)) if fired && !inner.sched.is_draining() => {
+                // Watchdog abort, not a user pause: degrade and continue.
+                // The slice checkpointed at its abort point, so nothing is
+                // lost; repeated offenders get their head seed poisoned
+                // (snapshot stripped, then quarantined) so one pathological
+                // seed cannot monopolize a pool worker forever.
+                let strikes = sess.consecutive_timeouts.fetch_add(1, Ordering::Relaxed) + 1;
+                if strikes >= POISON_AFTER_TIMEOUTS {
+                    poison_head_seed(&inner, &sess);
+                }
+                sess.ctl.clear_pause();
                 inner.sched.requeue(entry, ll);
             }
             Ok((SliceVerdict::Paused, _)) => {
@@ -312,10 +371,60 @@ fn worker_loop(inner: Arc<Inner>) {
                 // tail and trims to the per-target budget).
                 let _ = inner.corpus.compact_tests(&sess.target);
             }
-            Err(e) => {
+            Err(SliceError::Io(e)) => {
+                // Transient disk trouble pauses, never kills: the previous
+                // checkpoint is still consistent, so the session resumes
+                // (re-preparing from it) once the operator clears the
+                // fault. The failed slice re-executes deterministically.
+                inner.io_pauses.fetch_add(1, Ordering::Relaxed);
+                inner.sched.retire(&entry);
+                eprintln!("chef-serve: session {} paused on io error: {e}", sess.id);
+                sess.set_state(&inner.corpus, "paused");
+            }
+            Err(SliceError::Fatal(e)) => {
                 inner.sched.retire(&entry);
                 sess.set_state(&inner.corpus, &format!("failed: {e}"));
             }
         }
+    }
+}
+
+/// The slice watchdog: periodically sweeps executing sessions and
+/// pause-aborts any whose deadline has passed. The abort lands at the
+/// slice's next preemption check (the same safe point user pauses use), so
+/// the checkpoint written on the way out is consistent; the worker then
+/// requeues the session and exploration continues degraded.
+fn watchdog_loop(inner: Arc<Inner>) {
+    let timeout = inner.config.slice_timeout_ms.max(1);
+    let tick = Duration::from_millis((timeout / 4).clamp(5, 50));
+    loop {
+        if inner.sched.is_draining() {
+            return;
+        }
+        let now = Instant::now();
+        let sessions: Vec<Arc<SessionState>> =
+            inner.sessions.lock().unwrap().values().cloned().collect();
+        for sess in sessions {
+            if !sess.executing.load(Ordering::SeqCst) {
+                continue;
+            }
+            let overdue = sess
+                .slice_deadline
+                .lock()
+                .unwrap()
+                .is_some_and(|d| now >= d);
+            // One fire per slice: the flag stays set until the worker
+            // consumes it, so subsequent ticks do not double-count.
+            if overdue && !sess.watchdog_fired.swap(true, Ordering::SeqCst) {
+                sess.watchdog_aborts.fetch_add(1, Ordering::Relaxed);
+                inner.watchdog_aborts.fetch_add(1, Ordering::Relaxed);
+                sess.ctl.request_pause();
+                eprintln!(
+                    "chef-serve: watchdog aborting overrunning slice of session {}",
+                    sess.id
+                );
+            }
+        }
+        std::thread::sleep(tick);
     }
 }

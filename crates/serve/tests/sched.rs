@@ -243,8 +243,10 @@ fn admission_control_rejects_and_readmits() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The accept loop drops connections beyond `max_connections` instead of
-/// spawning unbounded handler threads, and recovers once they close.
+/// The accept loop rejects connections beyond `max_connections` with a
+/// typed one-frame `busy` response instead of spawning unbounded handler
+/// threads (or silently slamming the socket), and recovers once held
+/// connections close.
 #[test]
 fn connection_cap_bounds_concurrent_connections() {
     let dir = tmpdir("conncap");
@@ -254,10 +256,13 @@ fn connection_cap_bounds_concurrent_connections() {
     let held1 = TcpStream::connect(&addr).unwrap();
     let held2 = TcpStream::connect(&addr).unwrap();
     std::thread::sleep(Duration::from_millis(100));
-    // The third is dropped by the daemon before any protocol exchange.
+    // The third gets the typed rejection, so clients can tell capacity
+    // pushback from a crashed daemon.
     match client.list() {
-        Err(ServeError::Io(_) | ServeError::Protocol(_)) => {}
-        other => panic!("expected dropped connection at cap, got {other:?}"),
+        Err(ServeError::Busy { retry_after_ms }) => {
+            assert!(retry_after_ms > 0, "rejection carries a backoff hint");
+        }
+        other => panic!("expected typed busy rejection at cap, got {other:?}"),
     }
 
     drop(held1);

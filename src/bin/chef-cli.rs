@@ -14,6 +14,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use chef::core::fault::{self, FaultPlan, FaultSpec};
 use chef::core::{Chef, ChefConfig, StrategyKind, TestCase, TestStatus};
 use chef::fleet::{run_fleet, FleetConfig};
 use chef::minipy::{build_program, CompiledModule, InterpreterOptions};
@@ -35,12 +36,14 @@ fn usage() -> ExitCode {
   chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
                   [--checkpoint-interval <ll-instructions>]
                   [--workers <n>] [--max-sessions <n>] [--max-conns <n>]
-                  [--corpus-budget <bytes>]
+                  [--corpus-budget <bytes>] [--slice-timeout-ms <ms>]
+                  [--fault-profile torn|enospc|conn|mixed] [--fault-seed <n>]
   chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
                   [--sym-int name:min:max]... [--strategy <s>]
                   [--budget <n>] [--seed <n>] [--jobs <n>] [--quota <n>]
                   [--addr <host:port>] [--wait]
   chef-cli status   <session> [--addr <host:port>]
+  chef-cli stats    [--addr <host:port>]
   chef-cli sessions [--addr <host:port>]
   chef-cli results  <session> [--addr <host:port>]
   chef-cli pause    <session> [--addr <host:port>]
@@ -56,6 +59,9 @@ fn usage() -> ExitCode {
   --max-sessions n admission cap: reject submits beyond n live sessions
   --max-conns n    cap concurrent client connections
   --corpus-budget b per-target tests.bin byte budget
+  --slice-timeout-ms n  watchdog deadline per scheduler slice (0 disables)
+  --fault-profile p deterministic fault injection: torn, enospc, conn, mixed
+  --fault-seed n    seed for the fault plan (default 1; needs --fault-profile)
   --quota n     fair-share weight of the session (default 100)"
     );
     ExitCode::from(2)
@@ -82,6 +88,7 @@ fn main() -> ExitCode {
         Some("pause") => session_cmd(&args[1..], SessionCmd::Pause),
         Some("resume") => session_cmd(&args[1..], SessionCmd::Resume),
         Some("sessions") => sessions(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("shutdown") => shutdown(&args[1..]),
         _ => usage(),
     }
@@ -325,6 +332,8 @@ fn serve(args: &[String]) -> ExitCode {
         addr: DEFAULT_ADDR.into(),
         ..Default::default()
     };
+    let mut fault_profile: Option<String> = None;
+    let mut fault_seed = 1u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -366,12 +375,35 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 config.corpus_budget_bytes = Some(v);
             }
+            "--slice-timeout-ms" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                config.slice_timeout_ms = v;
+            }
+            "--fault-profile" => {
+                let Some(p) = it.next() else { return usage() };
+                if FaultSpec::profile(p).is_none() {
+                    eprintln!("unknown fault profile {p}");
+                    return usage();
+                }
+                fault_profile = Some(p.clone());
+            }
+            "--fault-seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                fault_seed = v;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
             }
         }
     }
+    // Install the fault plan after the bind: startup scrub and recovery
+    // run clean (a restarting daemon repairs before it re-injects), so a
+    // faulty daemon killed and restarted with the same flags converges.
     let server = match Server::bind(config.clone()) {
         Ok(s) => s,
         Err(e) => {
@@ -379,6 +411,11 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(profile) = &fault_profile {
+        let spec = FaultSpec::profile(profile).expect("profile validated above");
+        fault::install(std::sync::Arc::new(FaultPlan::new(fault_seed, spec)));
+        println!("fault injection active: profile={profile} seed={fault_seed}");
+    }
     match server.local_addr() {
         Ok(addr) => println!(
             "chef-serve listening on {addr}, data in {}",
@@ -597,6 +634,43 @@ fn sessions(args: &[String]) -> ExitCode {
             if list.is_empty() {
                 println!("no sessions");
             }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some(addr) = parse_addr(args) else {
+        return usage();
+    };
+    match Client::new(addr).stats() {
+        Ok(st) => {
+            let fault = match st.fault_seed {
+                Some(seed) => format!(" fault-seed={seed} faults-injected={}", st.faults_injected),
+                None => String::new(),
+            };
+            println!(
+                "sessions={} running={} conns-dropped={} io-pauses={} \
+                 watchdog-aborts={} poisoned-seeds={} scrub-ms={} \
+                 frames-repaired={} bytes-truncated={} snapshots-dropped={} \
+                 quarantined={} tmp-cleaned={}{fault}",
+                st.sessions,
+                st.running,
+                st.conns_dropped,
+                st.io_pauses,
+                st.watchdog_aborts,
+                st.poisoned_seeds,
+                st.scrub_ms,
+                st.frames_repaired,
+                st.bytes_truncated,
+                st.snapshots_dropped,
+                st.quarantined,
+                st.tmp_cleaned
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
