@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use chef_lir::{ConcreteOutcome, InputMap, Program};
 use chef_solver::SolverStats;
 use chef_symex::{
-    ExecConfig, ExecStats, Executor, GuestEvent, Snapshot, State, StepEvent, TermStatus,
+    ExecConfig, ExecStats, Executor, FfEvent, GuestEvent, Snapshot, State, StepEvent, TermStatus,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +52,12 @@ pub struct ChefConfig {
     /// test cases for the same path — which is what lets `chef-fleet`
     /// deduplicate across workers and match single-threaded runs exactly.
     pub canonical_inputs: bool,
+    /// Execute fully-concrete single-path segments on the LIR concrete VM,
+    /// falling back to the symbolic executor only when symbolic data is
+    /// consumed. Pure performance knob: on or off, every run produces
+    /// byte-identical test cases and an identical HL tree (concrete steps
+    /// still count against all instruction budgets). Default on.
+    pub fast_forward: bool,
 }
 
 impl Default for ChefConfig {
@@ -67,6 +73,7 @@ impl Default for ChefConfig {
             timeline_resolution: 50_000,
             max_wall: None,
             canonical_inputs: true,
+            fast_forward: true,
         }
     }
 }
@@ -577,6 +584,26 @@ impl<'p> Chef<'p> {
                 self.finalize(state, meta, TestStatus::Hang);
                 return None;
             }
+            if self.config.fast_forward {
+                let cap = (self.config.max_ll_instructions - self.exec.stats.ll_instructions)
+                    .min(self.config.per_path_fuel - state.ll_steps);
+                if let Some(events) = self.exec.try_fast_forward(&mut state, cap) {
+                    for ev in events {
+                        match ev {
+                            FfEvent::LogPc { pc, opcode } => {
+                                meta.hl_node = self.tree.child(meta.hl_node, pc);
+                                self.cfg.observe(meta.prev_hlpc, pc, opcode);
+                                meta.prev_hlpc = Some(pc);
+                            }
+                            FfEvent::Guest(GuestEvent::Exception(name)) => {
+                                meta.last_exception = Some(name);
+                            }
+                            FfEvent::Guest(_) => {}
+                        }
+                    }
+                    continue;
+                }
+            }
             let before = state.trace.len();
             match self.exec.step(&mut state) {
                 StepEvent::Advanced => {}
@@ -850,6 +877,26 @@ impl<'p> Chef<'p> {
             if state.ll_steps >= self.config.per_path_fuel {
                 self.finalize(state, meta, TestStatus::Hang);
                 return SliceOutcome::Finalized;
+            }
+            if self.config.fast_forward {
+                let cap = (self.config.max_ll_instructions - self.exec.stats.ll_instructions)
+                    .min(self.config.per_path_fuel - state.ll_steps);
+                if let Some(events) = self.exec.try_fast_forward(&mut state, cap) {
+                    for ev in events {
+                        match ev {
+                            FfEvent::LogPc { pc, opcode } => {
+                                meta.hl_node = self.tree.child(meta.hl_node, pc);
+                                self.cfg.observe(meta.prev_hlpc, pc, opcode);
+                                meta.prev_hlpc = Some(pc);
+                            }
+                            FfEvent::Guest(GuestEvent::Exception(name)) => {
+                                meta.last_exception = Some(name);
+                            }
+                            FfEvent::Guest(_) => {}
+                        }
+                    }
+                    continue;
+                }
             }
             match self.exec.step(&mut state) {
                 StepEvent::Advanced => {}

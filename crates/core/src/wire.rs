@@ -56,8 +56,9 @@ pub const MAGIC: [u8; 4] = *b"CHWR";
 /// Current codec version; bumped on any layout change. Version 2 added
 /// snapshot frames, the [`WorkSeed`] snapshot fingerprint, and the
 /// snapshot [`ExecStats`] counters. Version 3 appends a CRC-32 of the
-/// header + payload to every frame.
-pub const VERSION: u16 = 3;
+/// header + payload to every frame. Version 4 appends the concrete
+/// fast-forward [`ExecStats`] counters.
+pub const VERSION: u16 = 4;
 
 /// First version whose frames carry a trailing CRC-32.
 pub const CRC_VERSION: u16 = 3;
@@ -816,6 +817,10 @@ fn encode_exec_stats(s: &ExecStats, w: &mut Writer) {
     w.u64(s.snapshot_restores);
     w.u64(s.prologue_ll_skipped);
     w.u64(s.full_replays);
+    // v4 fields.
+    w.u64(s.concrete_ll_executed);
+    w.u64(s.fast_forwards);
+    w.u64(s.ff_aborts);
 }
 
 fn decode_exec_stats(r: &mut Reader, version: u16) -> Result<ExecStats, WireError> {
@@ -832,6 +837,11 @@ fn decode_exec_stats(r: &mut Reader, version: u16) -> Result<ExecStats, WireErro
         s.snapshot_restores = r.u64()?;
         s.prologue_ll_skipped = r.u64()?;
         s.full_replays = r.u64()?;
+    }
+    if version >= 4 {
+        s.concrete_ll_executed = r.u64()?;
+        s.fast_forwards = r.u64()?;
+        s.ff_aborts = r.u64()?;
     }
     Ok(s)
 }

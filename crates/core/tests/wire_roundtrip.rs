@@ -103,6 +103,9 @@ fn arb_report() -> impl Strategy<Value = Report> {
                 snapshot_restores: nums[5] % 11,
                 prologue_ll_skipped: nums[5],
                 full_replays: nums[5] % 13,
+                concrete_ll_executed: nums[0] % 17,
+                fast_forwards: nums[1] % 19,
+                ff_aborts: nums[2] % 23,
             },
             solver_stats: SolverStats {
                 queries: nums[5],

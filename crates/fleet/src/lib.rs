@@ -614,6 +614,9 @@ fn add_exec_stats(acc: &mut ExecStats, s: &ExecStats) {
     acc.snapshot_restores += s.snapshot_restores;
     acc.prologue_ll_skipped += s.prologue_ll_skipped;
     acc.full_replays += s.full_replays;
+    acc.concrete_ll_executed += s.concrete_ll_executed;
+    acc.fast_forwards += s.fast_forwards;
+    acc.ff_aborts += s.ff_aborts;
 }
 
 fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {

@@ -34,7 +34,10 @@ pub mod concrete;
 pub mod ir;
 
 pub use builder::{FnBuilder, ModuleBuilder};
-pub use concrete::{run_concrete, ConcreteMem, ConcreteOutcome, ConcreteStatus, GuestEvent};
+pub use concrete::{
+    run_concrete, run_segment, ConcreteMem, ConcreteOutcome, ConcreteStatus, FrameSource,
+    GuestEvent, NoCallers, PageSource, SegEvent, SegFrame, SegMem, SegOutcome, SegStop,
+};
 pub use ir::{
     trace_kind, BinOp, Block, BlockId, DataSeg, FuncId, Function, InputMap, Inst, Intrinsic,
     MemSize, Operand, Program, Reg, Term, DATA_BASE, HEAP_BASE, HEAP_PTR_ADDR,

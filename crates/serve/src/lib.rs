@@ -119,6 +119,10 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Per-target byte budget for archived tests (`None` = unbounded).
     pub corpus_budget_bytes: Option<u64>,
+    /// Run concrete fast-forward inside session slices (pure performance
+    /// knob — the corpus is byte-identical either way). Default on;
+    /// `chef-cli serve --no-fast-forward` turns it off.
+    pub fast_forward: bool,
     /// Watchdog deadline for one scheduled slice, in milliseconds
     /// (`0` disables the watchdog). A slice that exceeds it — a hung
     /// solver query, a pathological seed — is aborted at its next safe
@@ -139,6 +143,7 @@ impl Default for ServeConfig {
             max_sessions: 32,
             max_connections: 128,
             corpus_budget_bytes: None,
+            fast_forward: true,
             slice_timeout_ms: 30_000,
         }
     }
@@ -920,7 +925,8 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     let spec = &sess.spec;
     // A spec that no longer builds can never make progress: terminal.
     let prog = spec.build().map_err(SliceError::Fatal)?;
-    let base = spec.chef_config();
+    let mut base = spec.chef_config();
+    base.fast_forward = inner.config.fast_forward;
 
     // Corpus warm start: replay stored tests concretely; their HL-CFG
     // edges pre-populate every worker's coverage weights.

@@ -82,6 +82,7 @@ fn start_daemon(
     max_connections: usize,
 ) -> (Client, String, std::thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
+        fast_forward: true,
         addr: "127.0.0.1:0".into(),
         data_dir: dir.to_path_buf(),
         // Small slices: sessions genuinely interleave on the pool.
@@ -296,6 +297,90 @@ fn results_limit_is_clamped_server_side() {
     );
     assert!(page.done);
 
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fair-share accounting with concrete fast-forward on: fast-forwarded
+/// instructions are charged to `ll_instructions` exactly like symbolic
+/// ones, so equal-quota sessions advance at equal (charged) rates and the
+/// Jain fairness index over their served instructions stays high. If
+/// concrete segments ran off the books, the fast-forwarding session would
+/// race ahead of its fair share and the index would collapse.
+#[test]
+fn fair_share_holds_with_fast_forward_on() {
+    /// Jain's fairness index: 1.0 = perfectly equal shares.
+    fn jain(xs: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n * sq)
+    }
+
+    /// `long_spec` variants: same shape, distinct corpus targets.
+    fn wide_spec(ret: i64) -> JobSpec {
+        let src = format!(
+            r##"
+def scan(msg):
+    n = 0
+    i = 0
+    while i < 8:
+        if msg[i] == "@":
+            n = n + 2
+        if msg[i] == "#":
+            n = n + {ret}
+        i = i + 1
+    return n
+"##
+        );
+        let mut s = JobSpec::new(JobLang::Python, src, "scan").sym_str("msg", 8);
+        s.budget = 50_000_000;
+        s
+    }
+
+    let dir = tmpdir("jain-ff");
+    let (client, _, handle) = start_daemon(&dir, 1, 32, 128);
+    let ids: Vec<String> = [3, 5, 7]
+        .iter()
+        .map(|r| client.submit(&wide_spec(*r)).unwrap())
+        .collect();
+
+    // Let every session accumulate a meaningful number of slices.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let statuses: Vec<_> = ids.iter().map(|id| client.status(id).unwrap()).collect();
+        if statuses.iter().all(|st| st.sched_slices >= 6) {
+            let served: Vec<f64> = statuses
+                .iter()
+                .map(|st| st.ll_instructions as f64)
+                .collect();
+            assert!(
+                served.iter().all(|&x| x > 0.0),
+                "every session made progress: {served:?}"
+            );
+            let index = jain(&served);
+            assert!(
+                index > 0.9,
+                "equal-quota sessions served unequally with fast-forward on: \
+                 jain={index:.3} over {served:?}"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sessions failed to accumulate 6 slices each in time"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    for id in &ids {
+        client.pause(id).unwrap();
+        client.wait_settled(id, Duration::from_secs(120)).unwrap();
+    }
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
     let _ = std::fs::remove_dir_all(&dir);

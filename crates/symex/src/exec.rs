@@ -6,9 +6,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use chef_lir::{trace_kind, Inst, Intrinsic, MemSize, Operand, Program, Term};
+use chef_lir::{
+    run_segment, trace_kind, FrameSource, GuestEvent as LirGuestEvent, Inst, Intrinsic, MemSize,
+    Operand, PageSource, Program, SegEvent, SegFrame, SegMem, SegStop, Term,
+};
 use chef_solver::{ExprId, ExprPool, Solver};
 
+use crate::mem::SymMem;
 use crate::snapshot::Snapshot;
 use crate::state::{Frame, State, StateId, SymInput, TermStatus};
 
@@ -61,6 +65,42 @@ pub struct ExecStats {
     /// program entry (no usable snapshot). The snapshot resume path keeps
     /// this at zero; tests and CI assert on it.
     pub full_replays: u64,
+    /// Low-level instructions executed on the concrete segment VM by
+    /// fast-forward (a subset of `ll_instructions` — every concrete step
+    /// is counted in both, so budgets and fair-share accounting see
+    /// concrete and symbolic work uniformly).
+    pub concrete_ll_executed: u64,
+    /// Fast-forward segments that made progress (≥ 1 concrete step).
+    pub fast_forwards: u64,
+    /// Fast-forward segments cut short mid-stretch: a load hit a
+    /// symbolic-tainted byte, or the segment fuel ran out. The state
+    /// transfers back losslessly either way; this only counts the early
+    /// exits.
+    pub ff_aborts: u64,
+}
+
+/// Below this many concrete steps a fast-forward attempt is considered
+/// degenerate: the transfer overhead outweighs the win, so the state backs
+/// off from further attempts for a while.
+const FF_MIN_WIN: u64 = 32;
+
+/// Attempts skipped after a degenerate fast-forward before trying again.
+const FF_BACKOFF: u32 = 64;
+
+/// Events surfaced by one fast-forward segment, in execution order. The
+/// engine processes them exactly as it would the corresponding
+/// [`StepEvent`]s of an all-symbolic run.
+#[derive(Debug)]
+pub enum FfEvent {
+    /// The guest reported a high-level location (`log_pc`).
+    LogPc {
+        /// High-level program counter.
+        pc: u64,
+        /// High-level opcode.
+        opcode: u64,
+    },
+    /// The guest reported a structured event.
+    Guest(GuestEvent),
 }
 
 /// Structured guest events surfaced to the engine.
@@ -878,6 +918,214 @@ impl<'p> Executor<'p> {
     fn terminate_done(&mut self, _state: &mut State, status: TermStatus) -> StepEvent {
         StepEvent::Terminated(status)
     }
+
+    /// Attempts to fast-forward `state` on the concrete segment VM: runs
+    /// the program concretely from the state's current machine image until
+    /// the next symbolic-consuming instruction (or `max_steps`), then
+    /// transfers the image back. Returns the segment's guest events, or
+    /// `None` if no concrete progress was possible (the caller falls
+    /// through to a normal symbolic [`Executor::step`]).
+    ///
+    /// Equivalence with the all-symbolic run is exact, not approximate:
+    ///
+    /// * Only instructions whose symbolic execution never touches the
+    ///   solver, the trace, or the replay queue are executed concretely
+    ///   (register taint is a per-frame bitmap; memory taint is checked
+    ///   per load). The stopping instruction is left for [`Executor::step`].
+    /// * The segment VM logs every constant the symbolic executor would
+    ///   have interned, in order; replaying that log keeps the expression
+    ///   pool's id allocation — and with it operand canonicalization,
+    ///   snapshots, and solver behavior — byte-identical.
+    /// * Concrete steps are charged to `ll_instructions` and
+    ///   `state.ll_steps` exactly like symbolic ones, so budgets, hang
+    ///   detection, and fair-share scheduling are unchanged.
+    pub fn try_fast_forward(&mut self, state: &mut State, max_steps: u64) -> Option<Vec<FfEvent>> {
+        if state.ff_backoff > 0 {
+            state.ff_backoff -= 1;
+            return None;
+        }
+        if max_steps == 0 || state.frames.is_empty() {
+            return None;
+        }
+        // Symbolic → concrete: only the top frame is converted eagerly
+        // (constant registers carry their value, non-constant ones their
+        // expression id as an opaque token). Deeper caller frames are
+        // materialized on demand when a `ret` pops into them, so a deep
+        // interpreter stack costs nothing per attempt.
+        struct CallerFrames<'a> {
+            frames: &'a [Frame],
+            pool: &'a ExprPool,
+            consumed: usize,
+        }
+        impl FrameSource for CallerFrames<'_> {
+            fn pop_into(&mut self) -> Option<SegFrame> {
+                let idx = self.frames.len().checked_sub(1 + self.consumed)?;
+                self.consumed += 1;
+                Some(to_seg_frame(self.pool, &self.frames[idx]))
+            }
+        }
+        let (callers, top) = state.frames.split_at(state.frames.len() - 1);
+        let mut seg_frames = vec![to_seg_frame(&self.pool, &top[0])];
+        let mut below = CallerFrames {
+            frames: callers,
+            pool: &self.pool,
+            consumed: 0,
+        };
+        /// Lazy concrete view of the CoW symbolic memory.
+        struct SymSource<'a> {
+            mem: &'a SymMem,
+            pool: &'a ExprPool,
+        }
+        impl PageSource for SymSource<'_> {
+            fn byte(&self, addr: u64) -> Option<u8> {
+                self.pool.as_const(self.mem.read_u8(addr)).map(|v| v as u8)
+            }
+        }
+        let src = SymSource {
+            mem: &state.mem,
+            pool: &self.pool,
+        };
+        let mut seg_mem = SegMem::new(&src);
+        let out = run_segment(
+            self.prog,
+            &mut seg_frames,
+            &mut below,
+            &mut seg_mem,
+            max_steps,
+        );
+        let consumed = below.consumed;
+        let dirty = seg_mem.into_dirty();
+        // Backoff policy: short segments ending at a *data* boundary mean
+        // this region is dense with live symbolic values — nearby attempts
+        // will stall the same way, so pause before retrying. One-shot
+        // [`SegStop::Event`] stops (make_symbolic, forks, terminators) are
+        // handled by the next symbolic step, after which the landscape is
+        // fresh; they never trigger backoff.
+        let data_stall = matches!(out.stop, SegStop::Boundary | SegStop::TaintedLoad);
+        if out.steps == 0 {
+            if data_stall {
+                state.ff_backoff = FF_BACKOFF;
+            }
+            return None;
+        }
+        if out.steps < FF_MIN_WIN && data_stall {
+            state.ff_backoff = FF_BACKOFF;
+        }
+        self.stats.ll_instructions += out.steps;
+        self.stats.concrete_ll_executed += out.steps;
+        self.stats.fast_forwards += 1;
+        if matches!(out.stop, SegStop::TaintedLoad | SegStop::OutOfFuel) {
+            self.stats.ff_aborts += 1;
+        }
+        state.ll_steps += out.steps;
+        // Replay the intern log so every constant the skipped symbolic
+        // steps would have interned exists, in the same creation order.
+        // After this, the write-backs below intern nothing new.
+        for &(w, v) in &out.interns {
+            self.pool.constant(w, v);
+        }
+        for &(addr, b) in &dirty {
+            let e = self.pool.constant(8, b as u64);
+            state.mem.write_u8(&self.pool, addr, e);
+        }
+        // Concrete → symbolic: rebuild only what the segment touched. The
+        // frame-stack prefix the segment never reached stays in place
+        // verbatim. Of the caller frames the segment did work in (the
+        // bottom `orig_live` of the working stack), untouched registers
+        // still hold their pre-segment expressions; frames pushed by calls
+        // inside the segment fill untouched registers with the zero
+        // constant `Inst::Call` uses. Written registers round-trip tokens
+        // to their expression ids and concrete values to
+        // (already-interned) constants.
+        let zero = self.pool.constant(64, 0);
+        let first = state.frames.len() - 1 - consumed;
+        let mut rebuilt = std::mem::take(&mut state.frames);
+        let tail: Vec<Frame> = rebuilt.drain(first..).collect();
+        for (wi, sf) in seg_frames.iter().enumerate() {
+            let old = if wi < out.orig_live {
+                Some(&tail[wi])
+            } else {
+                None
+            };
+            let regs = match old {
+                Some(of) if sf.untouched() => of.regs.clone(),
+                _ => sf
+                    .regs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        if !sf.is_written(i as u32) {
+                            match old {
+                                Some(of) => of.regs[i],
+                                None => zero,
+                            }
+                        } else if sf.is_sym(i as u32) {
+                            self.pool.id_at(v as usize)
+                        } else {
+                            self.pool.constant(64, v)
+                        }
+                    })
+                    .collect(),
+            };
+            rebuilt.push(Frame {
+                func: sf.func,
+                block: sf.block,
+                ip: sf.ip,
+                regs,
+                ret_dst: sf.ret_dst,
+            });
+        }
+        state.frames = rebuilt;
+        // Mirror the per-event state updates `exec_intrinsic` performs.
+        let mut events = Vec::with_capacity(out.events.len());
+        for ev in out.events {
+            match ev {
+                SegEvent::LogPc(pc, opcode) => {
+                    state.hlpc = pc;
+                    state.hl_opcode = opcode;
+                    state.hl_len += 1;
+                    if self.fork_snapshot.is_none() && state.last_fork_loc.is_none() {
+                        if state.hl_log.len() < HL_LOG_CAP {
+                            state.hl_log.push((pc, opcode));
+                        } else {
+                            state.hl_log = Vec::new();
+                            state.hl_log_overflow = true;
+                        }
+                    }
+                    events.push(FfEvent::LogPc { pc, opcode });
+                }
+                SegEvent::Guest(g) => {
+                    let g = match g {
+                        LirGuestEvent::Exception(name) => {
+                            state.saw_guest_exception = true;
+                            GuestEvent::Exception(name)
+                        }
+                        LirGuestEvent::EnterCode(c) => GuestEvent::EnterCode(c),
+                        LirGuestEvent::Marker(a, b) => GuestEvent::Marker(a, b),
+                    };
+                    events.push(FfEvent::Guest(g));
+                }
+            }
+        }
+        Some(events)
+    }
+}
+
+/// Converts one symbolic frame into a segment-VM frame: constant registers
+/// carry their value, non-constant ones their expression id as an opaque
+/// token the exit rebuild round-trips via [`ExprPool::id_at`].
+fn to_seg_frame(pool: &ExprPool, f: &Frame) -> SegFrame {
+    let mut sf = SegFrame::new(f.func, f.block, f.ip, f.regs.len(), f.ret_dst);
+    for (i, &e) in f.regs.iter().enumerate() {
+        match pool.as_const(e) {
+            Some(v) => sf.regs[i] = v,
+            None => {
+                sf.regs[i] = e.raw() as u64;
+                sf.set_sym(i as u32, true);
+            }
+        }
+    }
+    sf
 }
 
 #[cfg(test)]

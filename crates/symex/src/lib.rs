@@ -56,7 +56,7 @@ pub mod mem;
 pub mod snapshot;
 pub mod state;
 
-pub use exec::{ExecConfig, ExecStats, Executor, GuestEvent, StepEvent};
+pub use exec::{ExecConfig, ExecStats, Executor, FfEvent, GuestEvent, StepEvent};
 pub use mem::SymMem;
 pub use snapshot::{SnapFrame, SnapNode, Snapshot};
 pub use state::{Frame, State, StateId, SymInput, TermStatus};

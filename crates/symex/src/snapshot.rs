@@ -619,6 +619,7 @@ impl Snapshot {
             hl_log: self.hl_events.clone(),
             hl_log_overflow: false,
             saw_guest_exception: false,
+            ff_backoff: 0,
         })
     }
 }

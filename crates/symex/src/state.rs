@@ -108,6 +108,13 @@ pub struct State {
     /// exceptions veto snapshot capture (the engine-side exception
     /// bookkeeping cannot be reconstructed from a snapshot).
     pub saw_guest_exception: bool,
+    /// Fast-forward backoff: while positive, [`crate::Executor`] skips
+    /// concrete fast-forward attempts for this state (decrementing per
+    /// skipped attempt). Set after an attempt yields a degenerate segment,
+    /// so states parked at a symbolic-consuming hot spot don't pay the
+    /// transfer cost on every slice iteration. Cloned on fork — a child
+    /// parked at the same spot inherits the hint.
+    pub ff_backoff: u32,
 }
 
 impl State {
@@ -143,6 +150,7 @@ impl State {
             hl_log: Vec::new(),
             hl_log_overflow: false,
             saw_guest_exception: false,
+            ff_backoff: 0,
         }
     }
 

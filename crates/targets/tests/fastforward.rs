@@ -1,0 +1,295 @@
+//! Concrete fast-forward equivalence: with `fast_forward` on, the engine
+//! executes fully-concrete single-path segments on the LIR concrete VM and
+//! transfers back into the symbolic state at the next symbolic-consuming
+//! instruction. These tests pin the correctness bar from the issue: for
+//! every target and strategy, the canonical test set with fast-forward on
+//! is *byte-identical* to the all-symbolic run — same inputs, same
+//! statuses, same high-level path signatures, in the same order.
+
+use proptest::prelude::*;
+
+use chef_core::{Chef, ChefConfig, Report, StrategyKind};
+use chef_lir::{ModuleBuilder, Program};
+use chef_targets::{all_packages, Package, RunConfig};
+
+/// Canonical fingerprint of a report's full test set: everything a corpus
+/// consumer can observe, in generation order.
+#[allow(clippy::type_complexity)]
+fn test_set(report: &Report) -> Vec<(Vec<(String, Vec<u8>)>, String, Option<String>, u64)> {
+    report
+        .tests
+        .iter()
+        .map(|t| {
+            // InputMap is a HashMap; sort for a stable fingerprint.
+            let mut inputs: Vec<(String, Vec<u8>)> = t
+                .inputs
+                .iter()
+                .map(|(n, b)| (n.clone(), b.clone()))
+                .collect();
+            inputs.sort();
+            (
+                inputs,
+                format!("{:?}", t.status),
+                t.exception.clone(),
+                t.hl_sig,
+            )
+        })
+        .collect()
+}
+
+fn run_package(pkg: &Package, strategy: StrategyKind, seed: u64, fast_forward: bool) -> Report {
+    pkg.run(&RunConfig {
+        strategy,
+        seed,
+        max_ll_instructions: 150_000,
+        per_path_fuel: 60_000,
+        max_wall: None,
+        fast_forward,
+        canonical_inputs: true,
+        ..RunConfig::default()
+    })
+}
+
+/// Asserts the on/off pair is observationally identical and returns the
+/// fast-forward run for stats checks.
+fn assert_equivalent(on: &Report, off: &Report, label: &str) {
+    assert_eq!(
+        test_set(on),
+        test_set(off),
+        "{label}: canonical test sets diverge with fast-forward on"
+    );
+    assert_eq!(on.hl_paths, off.hl_paths, "{label}: hl path counts diverge");
+    assert_eq!(on.ll_paths, off.ll_paths, "{label}: ll path counts diverge");
+    assert_eq!(
+        on.covered_hlpcs, off.covered_hlpcs,
+        "{label}: coverage diverges"
+    );
+    // Fast-forwarded instructions are charged like symbolic ones, so the
+    // budget is exhausted at the same instruction either way.
+    assert_eq!(
+        on.ll_instructions, off.ll_instructions,
+        "{label}: instruction accounting diverges"
+    );
+    assert_eq!(
+        off.exec_stats.concrete_ll_executed, 0,
+        "{label}: the control run must be all-symbolic"
+    );
+}
+
+fn package(name: &str) -> Package {
+    all_packages()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no package named {name}"))
+}
+
+#[test]
+fn minipy_packages_match_across_strategies_and_seeds() {
+    let strategies = [
+        StrategyKind::CupaPath,
+        StrategyKind::CupaCoverage,
+        StrategyKind::Random,
+        StrategyKind::Dfs,
+    ];
+    let pkg = package("simplejson");
+    let mut engaged = 0u64;
+    for strategy in strategies {
+        for seed in [0u64, 7] {
+            let label = format!("simplejson/{strategy:?}/seed{seed}");
+            let on = run_package(&pkg, strategy, seed, true);
+            let off = run_package(&pkg, strategy, seed, false);
+            assert_equivalent(&on, &off, &label);
+            engaged += on.exec_stats.concrete_ll_executed;
+        }
+    }
+    assert!(
+        engaged > 0,
+        "fast-forward never engaged on any simplejson run"
+    );
+}
+
+#[test]
+fn minilua_package_matches_across_strategies() {
+    let pkg = package("JSON");
+    let mut engaged = 0u64;
+    for strategy in [StrategyKind::CupaPath, StrategyKind::Random] {
+        let label = format!("JSON/{strategy:?}");
+        let on = run_package(&pkg, strategy, 3, true);
+        let off = run_package(&pkg, strategy, 3, false);
+        assert_equivalent(&on, &off, &label);
+        engaged += on.exec_stats.concrete_ll_executed;
+    }
+    assert!(engaged > 0, "fast-forward never engaged on any JSON run");
+}
+
+#[test]
+fn every_package_smoke_matches_under_the_default_strategy() {
+    for pkg in all_packages() {
+        let on = run_package(&pkg, StrategyKind::CupaPath, 0, true);
+        let off = run_package(&pkg, StrategyKind::CupaPath, 0, false);
+        assert_equivalent(&on, &off, pkg.name);
+    }
+}
+
+/// A raw-LIR program whose hot loop is fully concrete but whose exit
+/// condition consumes a symbolic byte: a long concrete checksum loop over
+/// a data buffer (fast-forwardable) followed by a symbolic comparison.
+/// Loads of the symbolic buffer mid-segment force `TaintedLoad` aborts.
+fn mixed_program(taint_mid_loop: bool) -> Program {
+    let mut mb = ModuleBuilder::new();
+    let data = mb.data_bytes(&[7u8; 64]);
+    let sym = mb.data_zeroed(2);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    mb.define(main, move |b| {
+        b.make_symbolic(sym, 2u64, name);
+        // Concrete checksum loop: 64 iterations of pure arithmetic.
+        let acc = b.const_(0);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.ult(i, 64u64),
+            |b| {
+                let p = b.add(data, i);
+                let v = b.load_u8(p);
+                let nx = b.add(acc, v);
+                let nx = b.mul(nx, 31u64);
+                b.set(acc, nx);
+                if taint_mid_loop {
+                    // Reading the symbolic buffer aborts the segment
+                    // (TaintedLoad) without losing the loop's progress.
+                    let s = b.load_u8(sym);
+                    let nx2 = b.add(acc, s);
+                    b.set(acc, nx2);
+                }
+                let n = b.add(i, 1u64);
+                b.set(i, n);
+            },
+        );
+        let s0 = b.load_u8(sym);
+        let cond = b.ult(s0, 0x40u64);
+        b.if_(cond, |b| b.halt(1u64));
+        b.halt(2u64);
+    });
+    mb.finish("main").unwrap()
+}
+
+fn run_raw(prog: &Program, strategy: StrategyKind, seed: u64, fast_forward: bool) -> Report {
+    Chef::new(
+        prog,
+        ChefConfig {
+            strategy,
+            seed,
+            max_ll_instructions: 60_000,
+            per_path_fuel: 20_000,
+            fast_forward,
+            ..ChefConfig::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn raw_lir_checksum_loop_fast_forwards_and_matches() {
+    let prog = mixed_program(false);
+    let on = run_raw(&prog, StrategyKind::CupaPath, 0, true);
+    let off = run_raw(&prog, StrategyKind::CupaPath, 0, false);
+    assert_equivalent(&on, &off, "checksum");
+    assert!(
+        on.exec_stats.concrete_ll_executed > 100,
+        "the concrete loop should fast-forward (got {} concrete instructions)",
+        on.exec_stats.concrete_ll_executed
+    );
+    assert!(on.exec_stats.fast_forwards > 0);
+}
+
+#[test]
+fn tainted_load_aborts_transfer_back_losslessly() {
+    let prog = mixed_program(true);
+    let on = run_raw(&prog, StrategyKind::CupaPath, 0, true);
+    let off = run_raw(&prog, StrategyKind::CupaPath, 0, false);
+    assert_equivalent(&on, &off, "tainted");
+    assert!(
+        on.exec_stats.ff_aborts > 0,
+        "reading the symbolic buffer mid-segment should abort at least one segment"
+    );
+}
+
+/// Random raw-LIR decision programs: a concrete preamble loop, then a
+/// chain of threshold tests over a symbolic byte. Equivalence must hold
+/// for every shape, strategy, and seed.
+#[derive(Clone, Debug)]
+struct Shape {
+    preamble_iters: u8,
+    thresholds: Vec<u8>,
+    strategy: u8,
+    seed: u64,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (
+        1u8..24,
+        prop::collection::vec(any::<u8>(), 1..5),
+        0u8..4,
+        0u64..4,
+    )
+        .prop_map(|(preamble_iters, thresholds, strategy, seed)| Shape {
+            preamble_iters,
+            thresholds,
+            strategy,
+            seed,
+        })
+}
+
+fn build_shape(sh: &Shape) -> Program {
+    let mut mb = ModuleBuilder::new();
+    let data = mb.data_bytes(&[3u8; 32]);
+    let sym = mb.data_zeroed(1);
+    let name = mb.name_id("x");
+    let main = mb.declare("main", 0);
+    let sh = sh.clone();
+    mb.define(main, move |b| {
+        b.make_symbolic(sym, 1u64, name);
+        let acc = b.const_(1);
+        let i = b.const_(0);
+        let iters = sh.preamble_iters as u64;
+        b.while_(
+            |b| b.ult(i, iters),
+            |b| {
+                let p = b.add(data, i);
+                let v = b.load_u8(p);
+                let nx = b.add(acc, v);
+                let nx = b.xor(nx, 0x5au64);
+                b.set(acc, nx);
+                let n = b.add(i, 1u64);
+                b.set(i, n);
+            },
+        );
+        let x = b.load_u8(sym);
+        for (idx, &t) in sh.thresholds.iter().enumerate() {
+            let cond = b.ult(x, t as u64);
+            b.if_(cond, move |b| b.halt((idx + 1) as u64));
+        }
+        b.halt(0u64);
+    });
+    mb.finish("main").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fastforward_equivalence(sh in shape()) {
+        let strategy = match sh.strategy {
+            0 => StrategyKind::CupaPath,
+            1 => StrategyKind::CupaCoverage,
+            2 => StrategyKind::Random,
+            _ => StrategyKind::Dfs,
+        };
+        let prog = build_shape(&sh);
+        let on = run_raw(&prog, strategy, sh.seed, true);
+        let off = run_raw(&prog, strategy, sh.seed, false);
+        prop_assert_eq!(test_set(&on), test_set(&off));
+        prop_assert_eq!(on.ll_instructions, off.ll_instructions);
+        prop_assert_eq!(off.exec_stats.concrete_ll_executed, 0);
+    }
+}

@@ -30,13 +30,14 @@ fn usage() -> ExitCode {
            [--sym-int name:min:max]...
            [--strategy random|dfs|cupa-path|cupa-coverage]
            [--budget <ll-instructions>] [--vanilla] [--seed <n>]
-           [--jobs <n>] [--portfolio]
+           [--jobs <n>] [--portfolio] [--no-fast-forward]
   chef-cli disasm <file.py|file.lua>
 
   chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
                   [--checkpoint-interval <ll-instructions>]
                   [--workers <n>] [--max-sessions <n>] [--max-conns <n>]
                   [--corpus-budget <bytes>] [--slice-timeout-ms <ms>]
+                  [--no-fast-forward]
                   [--fault-profile torn|enospc|conn|mixed] [--fault-seed <n>]
   chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
                   [--sym-int name:min:max]... [--strategy <s>]
@@ -62,7 +63,10 @@ fn usage() -> ExitCode {
   --slice-timeout-ms n  watchdog deadline per scheduler slice (0 disables)
   --fault-profile p deterministic fault injection: torn, enospc, conn, mixed
   --fault-seed n    seed for the fault plan (default 1; needs --fault-profile)
-  --quota n     fair-share weight of the session (default 100)"
+  --quota n     fair-share weight of the session (default 100)
+  --no-fast-forward  disable the concrete fast-forward optimization
+                (single-path segments on the concrete VM); tests are
+                byte-identical either way"
     );
     ExitCode::from(2)
 }
@@ -158,6 +162,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut jobs: Option<usize> = None;
     let mut portfolio = false;
+    let mut fast_forward = true;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -196,6 +201,7 @@ fn run(args: &[String]) -> ExitCode {
                 jobs = Some(v);
             }
             "--portfolio" => portfolio = true,
+            "--no-fast-forward" => fast_forward = false,
             "--vanilla" => opts = InterpreterOptions::vanilla(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -237,6 +243,7 @@ fn run(args: &[String]) -> ExitCode {
         seed,
         max_ll_instructions: budget,
         per_path_fuel: budget / 8,
+        fast_forward,
         ..ChefConfig::default()
     };
     // --portfolio alone spreads the default portfolio across as many
@@ -381,6 +388,7 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 config.slice_timeout_ms = v;
             }
+            "--no-fast-forward" => config.fast_forward = false,
             "--fault-profile" => {
                 let Some(p) = it.next() else { return usage() };
                 if FaultSpec::profile(p).is_none() {
