@@ -179,6 +179,9 @@ pub struct Report {
     pub seeds_exported: u64,
     /// Work seeds injected from other engines (fleet work sharing).
     pub seeds_imported: u64,
+    /// Phase time attribution and fast-forward profile for this run
+    /// (empty unless a `chef_trace` level is enabled).
+    pub trace: chef_trace::TraceStats,
 }
 
 impl Report {
@@ -198,15 +201,31 @@ impl Report {
         self.solver_stats.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Fraction of the session's wall clock spent inside the SAT backend —
-    /// the paper's "time attributable to constraint solving"; the rest is
-    /// interpretation and bookkeeping.
+    /// Ratio of SAT-backend time to session wall clock — the paper's
+    /// "time attributable to constraint solving"; the rest is
+    /// interpretation and bookkeeping. Reported *raw* (not clamped): a
+    /// value above 1.0 means more solver-seconds than wall-seconds were
+    /// burned, which a single engine cannot do but merged multi-worker
+    /// stats can — see [`Report::wall_utilization`].
     pub fn sat_share(&self) -> f64 {
         let wall = self.elapsed.as_secs_f64();
         if wall <= 0.0 {
             0.0
         } else {
-            (self.solver_stats.sat_time.as_secs_f64() / wall).min(1.0)
+            self.solver_stats.sat_time.as_secs_f64() / wall
+        }
+    }
+
+    /// How much of one wall-clock second this report's counters describe:
+    /// 1.0 for a single engine (its elapsed *is* the wall). The fleet
+    /// overrides this with worker-seconds per wall-second, which is the
+    /// denominator that makes an oversubscribed [`Report::sat_share`]
+    /// interpretable.
+    pub fn wall_utilization(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 0.0 {
+            1.0
+        } else {
+            0.0
         }
     }
 }
@@ -548,7 +567,10 @@ impl<'p> Chef<'p> {
             })
             .unwrap_or(0);
         let mut stack = std::mem::take(&mut self.replay_stack);
-        let walked = self.walk_prefix(state, meta, target, &mut stack);
+        let walked = {
+            let _sym = chef_trace::span(chef_trace::Phase::SymStep);
+            self.walk_prefix(state, meta, target, &mut stack)
+        };
         self.replay_stack = stack;
         if let Some((state, meta)) = walked {
             self.live.push((state, meta));
@@ -808,6 +830,10 @@ impl<'p> Chef<'p> {
         };
         // Map candidate index back to the live vector (same order).
         let (state, meta) = self.live.swap_remove(idx);
+        // Everything below is symbolic interpretation unless a nested span
+        // (concrete segment, solver, snapshot) claims it — self-time
+        // accounting keeps the phases non-overlapping.
+        let _sym = chef_trace::span(chef_trace::Phase::SymStep);
         match self.run_slice(state, meta) {
             SliceOutcome::Reinsert(s, m) => self.live.push((s, m)),
             SliceOutcome::Forked(s, m, alts) => {
@@ -866,6 +892,9 @@ impl<'p> Chef<'p> {
             infeasible_paths: self.infeasible_paths,
             seeds_exported: self.seeds_exported,
             seeds_imported: self.seeds_imported,
+            // Drain this thread's accumulated spans/profiles: the engine
+            // runs on one thread, so its report owns them.
+            trace: chef_trace::take_local(),
         }
     }
 

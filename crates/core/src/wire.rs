@@ -44,6 +44,7 @@ use std::time::Duration;
 
 use chef_solver::SolverStats;
 use chef_symex::{ExecStats, SnapFrame, SnapNode, Snapshot};
+use chef_trace::{FfSite, Histogram, TraceStats, PHASE_COUNT};
 
 use crate::engine::{Report, TestCase, TestStatus, TimelinePoint};
 use crate::hl::HlNodeId;
@@ -57,8 +58,10 @@ pub const MAGIC: [u8; 4] = *b"CHWR";
 /// snapshot frames, the [`WorkSeed`] snapshot fingerprint, and the
 /// snapshot [`ExecStats`] counters. Version 3 appends a CRC-32 of the
 /// header + payload to every frame. Version 4 appends the concrete
-/// fast-forward [`ExecStats`] counters.
-pub const VERSION: u16 = 4;
+/// fast-forward [`ExecStats`] counters. Version 5 appends a compact
+/// [`chef_trace::TraceStats`] section to [`Report`] and gives
+/// `TraceStats` its own frame tag (per-session trace persistence).
+pub const VERSION: u16 = 5;
 
 /// First version whose frames carry a trailing CRC-32.
 pub const CRC_VERSION: u16 = 3;
@@ -904,6 +907,97 @@ impl Wire for SchedStats {
     }
 }
 
+fn encode_histogram(h: &Histogram, w: &mut Writer) {
+    // Sparse: only populated log2 buckets travel.
+    let nonzero: Vec<(u8, u64)> = h.nonzero().collect();
+    w.u32(nonzero.len() as u32);
+    for (idx, count) in nonzero {
+        w.u8(idx);
+        w.u64(count);
+    }
+}
+
+fn decode_histogram(r: &mut Reader) -> Result<Histogram, WireError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 9 {
+        return Err(WireError::BadLength(n as u64));
+    }
+    let mut h = Histogram::default();
+    for _ in 0..n {
+        let idx = r.u8()?;
+        // Out-of-range buckets are dropped, not fatal: a future codec may
+        // widen the histogram.
+        h.add_bucket(idx, r.u64()?);
+    }
+    Ok(h)
+}
+
+fn encode_trace_stats(s: &TraceStats, w: &mut Writer) {
+    w.u8(PHASE_COUNT as u8);
+    for i in 0..PHASE_COUNT {
+        w.u64(s.phase_count[i]);
+        w.u64(s.phase_ns[i]);
+    }
+    encode_histogram(&s.span_ns, w);
+    encode_histogram(&s.solver_query_ns, w);
+    w.u32(s.ff_sites.len() as u32);
+    for (pc, site) in &s.ff_sites {
+        w.u64(*pc);
+        w.u64(site.attempts);
+        w.u64(site.retired);
+        w.u64(site.aborts);
+        w.u64(site.steps);
+    }
+}
+
+fn decode_trace_stats(r: &mut Reader) -> Result<TraceStats, WireError> {
+    let n_phases = r.u8()? as usize;
+    if n_phases > r.remaining() / 16 {
+        return Err(WireError::BadLength(n_phases as u64));
+    }
+    let mut s = TraceStats::default();
+    for i in 0..n_phases {
+        let count = r.u64()?;
+        let ns = r.u64()?;
+        // Phases a future codec adds are skipped, not fatal.
+        if i < PHASE_COUNT {
+            s.phase_count[i] = count;
+            s.phase_ns[i] = ns;
+        }
+    }
+    s.span_ns = decode_histogram(r)?;
+    s.solver_query_ns = decode_histogram(r)?;
+    let n_sites = r.u32()? as usize;
+    if n_sites > r.remaining() / 40 {
+        return Err(WireError::BadLength(n_sites as u64));
+    }
+    for _ in 0..n_sites {
+        let pc = r.u64()?;
+        s.ff_sites.insert(
+            pc,
+            FfSite {
+                attempts: r.u64()?,
+                retired: r.u64()?,
+                aborts: r.u64()?,
+                steps: r.u64()?,
+            },
+        );
+    }
+    Ok(s)
+}
+
+impl Wire for TraceStats {
+    const TAG: u8 = 6;
+
+    fn encode_body(&self, w: &mut Writer) {
+        encode_trace_stats(self, w);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, WireError> {
+        decode_trace_stats(r)
+    }
+}
+
 /// Known strategy names, so a decoded [`Report`] round-trips its
 /// `&'static str` label; anything else becomes `"unknown"`.
 fn intern_strategy(name: &str) -> &'static str {
@@ -953,6 +1047,8 @@ impl Wire for Report {
         w.u64(self.infeasible_paths);
         w.u64(self.seeds_exported);
         w.u64(self.seeds_imported);
+        // v5: the trace section.
+        encode_trace_stats(&self.trace, w);
     }
 
     fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError> {
@@ -1020,6 +1116,11 @@ impl Wire for Report {
             infeasible_paths: r.u64()?,
             seeds_exported: r.u64()?,
             seeds_imported: r.u64()?,
+            trace: if version >= 5 {
+                decode_trace_stats(r)?
+            } else {
+                TraceStats::default()
+            },
         })
     }
 }

@@ -78,6 +78,59 @@ fn v2_schedstats_golden_bytes_still_decode() {
     assert_eq!(s.cpu_ll, 45678);
 }
 
+/// Hand-builds a v4 Report frame (the layout the v5 trace section was
+/// appended after): empty collections, distinctive scalar counters, CRC
+/// trailer (v4 ≥ CRC_VERSION). Built with the public `Writer` so the
+/// fixture tracks the documented layout, not the current encoder.
+fn v4_report_frame() -> Vec<u8> {
+    use chef_core::wire::{crc32, Writer};
+    let mut b = Writer::new();
+    b.u32(0); // tests
+    b.u64(4); // hl_paths
+    b.u64(9); // ll_paths
+    b.u32(0); // covered_hlpcs
+    b.u32(0); // timeline
+    for v in [100u64, 1, 2, 3, 4, 5, 6, 7, 8, 50, 10, 2] {
+        b.u64(v); // ExecStats incl. v4 fast-forward counters
+    }
+    for v in [11u64, 0, 0, 0, 0, 3, 3, 0, 0, 0, 0, 2, 0] {
+        b.u64(v); // SolverStats through `unknowns`
+    }
+    b.duration(std::time::Duration::new(1, 500)); // sat_time
+    b.duration(std::time::Duration::new(2, 250)); // elapsed
+    b.u64(1); // hangs
+    b.u64(0); // crashes
+    b.u32(0); // exceptions
+    b.str("cupa");
+    for v in [100u64, 0, 0, 5, 6] {
+        b.u64(v); // ll_instructions..seeds_imported
+    }
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&MAGIC);
+    w.u16(4);
+    w.u8(3); // Report TAG
+    w.u32(b.buf.len() as u32);
+    w.buf.extend_from_slice(&b.buf);
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+#[test]
+fn v4_report_frames_decode_with_an_empty_trace_section() {
+    use chef_core::Report;
+    let report = Report::from_frame(&v4_report_frame()).expect("v4 report must keep decoding");
+    assert_eq!(report.hl_paths, 4);
+    assert_eq!(report.ll_paths, 9);
+    assert_eq!(report.exec_stats.fast_forwards, 10);
+    assert_eq!(report.solver_stats.queries, 11);
+    assert_eq!(report.seeds_imported, 6);
+    assert!(
+        report.trace.is_empty(),
+        "pre-v5 frames carry no trace section"
+    );
+}
+
 #[test]
 fn mixed_version_streams_decode_like_a_post_upgrade_corpus() {
     // A daemon upgrade leaves old-version frames at the front of

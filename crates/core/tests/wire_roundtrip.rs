@@ -120,7 +120,31 @@ fn arb_report() -> impl Strategy<Value = Report> {
             infeasible_paths: nums[2],
             seeds_exported: nums[3],
             seeds_imported: nums[4],
+            trace: arb_trace_stats(&nums),
         })
+}
+
+/// Deterministic-but-varied trace stats derived from the report's number
+/// pool (v5 appends these to the Report frame).
+fn arb_trace_stats(nums: &[u64]) -> chef_trace::TraceStats {
+    let mut t = chef_trace::TraceStats::default();
+    for i in 0..chef_trace::PHASE_COUNT {
+        t.phase_count[i] = nums[i % nums.len()] % 1_000;
+        t.phase_ns[i] = nums[(i + 1) % nums.len()] % 1_000_000_000;
+    }
+    t.span_ns.record(nums[0] % 1_000_000);
+    t.solver_query_ns.record(nums[1] % 1_000_000);
+    t.solver_query_ns.record(nums[2]);
+    t.ff_sites.insert(
+        nums[3] % 97,
+        chef_trace::FfSite {
+            attempts: nums[4] % 50,
+            retired: nums[4] % 29,
+            aborts: nums[5] % 7,
+            steps: nums[5] % 100_000,
+        },
+    );
+    t
 }
 
 fn assert_tests_eq(a: &TestCase, b: &TestCase) {
@@ -179,6 +203,14 @@ proptest! {
         prop_assert_eq!(decoded.dropped_states, r.dropped_states);
         prop_assert_eq!(decoded.seeds_exported, r.seeds_exported);
         prop_assert_eq!(decoded.seeds_imported, r.seeds_imported);
+        prop_assert_eq!(&decoded.trace, &r.trace);
+    }
+
+    #[test]
+    fn trace_stats_roundtrip(r in arb_report()) {
+        let t = r.trace;
+        let decoded = chef_trace::TraceStats::from_frame(&t.to_frame()).unwrap();
+        prop_assert_eq!(decoded, t);
     }
 
     #[test]

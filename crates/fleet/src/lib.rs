@@ -206,6 +206,9 @@ pub struct FleetReport {
     /// Each worker's full single-engine report (per-worker `ExecStats`,
     /// `SolverStats`, strategy, and timeline).
     pub per_worker: Vec<Report>,
+    /// Merged phase time attribution and fast-forward profile across all
+    /// workers (empty unless a `chef_trace` level is enabled).
+    pub trace: chef_trace::TraceStats,
 }
 
 impl FleetReport {
@@ -219,18 +222,36 @@ impl FleetReport {
         self.tests.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Fraction of summed worker wall clock spent in the SAT backend.
+    /// Ratio of summed SAT-backend time to *fleet wall clock*, raw. With
+    /// several workers solving concurrently this legitimately exceeds 1.0
+    /// (more solver-seconds than wall-seconds) — that oversubscription is
+    /// the signal, so it is not clamped away. Divide by
+    /// [`FleetReport::wall_utilization`] × `jobs` for a per-worker share.
     pub fn sat_share(&self) -> f64 {
-        let wall: f64 = self
+        let wall = self.elapsed.as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.solver_stats.sat_time.as_secs_f64() / wall
+        }
+    }
+
+    /// Worker-seconds actually burned per available worker-second:
+    /// `sum(worker elapsed) / (fleet elapsed × jobs)`, in `[0, 1]` up to
+    /// clock skew. Low utilization means workers idled (starved injector,
+    /// early exhaustion); it is the denominator that makes an
+    /// oversubscribed [`FleetReport::sat_share`] interpretable.
+    pub fn wall_utilization(&self) -> f64 {
+        let capacity = self.elapsed.as_secs_f64() * self.jobs.max(1) as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let burned: f64 = self
             .per_worker
             .iter()
             .map(|r| r.elapsed.as_secs_f64())
             .sum();
-        if wall <= 0.0 {
-            0.0
-        } else {
-            (self.solver_stats.sat_time.as_secs_f64() / wall).min(1.0)
-        }
+        burned / capacity
     }
 }
 
@@ -546,10 +567,12 @@ fn merge(
     let mut covered: HashSet<u64> = HashSet::new();
     let mut ll_paths = 0usize;
     let mut seeds_shipped = 0u64;
+    let mut trace = chef_trace::TraceStats::default();
     for r in reports.iter_mut() {
         all.extend(r.tests.iter().cloned());
         add_exec_stats(&mut exec_stats, &r.exec_stats);
         add_solver_stats(&mut solver_stats, &r.solver_stats);
+        trace.merge(&r.trace);
         covered.extend(r.covered_hlpcs.iter().copied());
         ll_paths += r.ll_paths;
         seeds_shipped += r.seeds_exported;
@@ -601,6 +624,7 @@ fn merge(
         jobs,
         seeds_shipped,
         per_worker: reports,
+        trace,
     }
 }
 

@@ -21,6 +21,8 @@
 //!     checkpoint.bin        — the unexplored frontier as WorkSeed frames
 //!     sched.bin             — the session's SchedStats frame, so
 //!                             fair-share accounting survives restarts
+//!     trace.bin             — the session's cumulative TraceStats frame
+//!                             (phase time attribution; reporting-only)
 //!     state                 — "running" | "paused" | "exhausted" |
 //!                             "done" | "failed: <msg>"
 //! ```
@@ -402,6 +404,27 @@ impl Corpus {
             Err(e) => return Err(e),
         };
         Ok(SchedStats::from_frame(&bytes).ok())
+    }
+
+    /// Persists a session's cumulative trace-phase stats (atomically;
+    /// called once per completed slice, like [`Corpus::save_sched`]).
+    pub fn save_trace(&self, session: &str, stats: &chef_trace::TraceStats) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("trace.bin"), &stats.to_frame())
+    }
+
+    /// Loads a session's persisted trace stats. Missing or corrupt
+    /// `trace.bin` yields `Ok(None)` — phase attribution just restarts
+    /// from zero (it is reporting-only state).
+    pub fn load_trace(&self, session: &str) -> io::Result<Option<chef_trace::TraceStats>> {
+        let path = self.session_dir(session).join("trace.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(chef_trace::TraceStats::from_frame(&bytes).ok())
     }
 
     /// Rewrites a target's `tests.bin` from its decodable frames: drops a

@@ -75,7 +75,7 @@ pub mod json;
 pub mod proto;
 pub mod sched;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -152,6 +152,95 @@ impl Default for ServeConfig {
 /// Consecutive watchdog timeouts before the head checkpoint seed is
 /// poisoned (first degraded to full replay, then quarantined).
 pub const POISON_AFTER_TIMEOUTS: u64 = 2;
+
+/// Capacity of the in-daemon event ring: old events are dropped, never
+/// blocked on. Sized so a stalled operator still sees minutes of
+/// scheduling history at typical slice rates.
+pub const EVENT_RING_CAP: usize = 1024;
+
+/// One scheduling-plane event: what happened, to which session, at which
+/// scheduler virtual time, how long after daemon start. Events are
+/// reporting-only — the scheduler never reads them back.
+pub(crate) struct Event {
+    seq: u64,
+    kind: &'static str,
+    session: String,
+    vtime: u64,
+    wall_ms: u64,
+    detail: String,
+}
+
+/// Bounded ring of recent daemon events (slice lifecycle, preemptions,
+/// watchdog aborts, seed poisonings, admission rejects, scrub results),
+/// drained by the `trace` wire command with an `after` cursor. Always on:
+/// the cost is one mutex push per *scheduling* event, never per
+/// instruction, so it does not need a trace level to be cheap.
+pub(crate) struct EventRing {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    started: Instant,
+}
+
+impl EventRing {
+    fn new() -> Self {
+        EventRing {
+            events: VecDeque::new(),
+            next_seq: 1,
+            started: Instant::now(),
+        }
+    }
+
+    fn push(&mut self, kind: &'static str, session: &str, vtime: u64, detail: String) {
+        if self.events.len() >= EVENT_RING_CAP {
+            self.events.pop_front();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(Event {
+            seq,
+            kind,
+            session: session.to_string(),
+            vtime,
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            detail,
+        });
+    }
+
+    /// Events with `seq > after` as protocol JSON, plus the cursor for the
+    /// next drain.
+    fn since(&self, after: u64) -> (Vec<Value>, u64) {
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.seq > after)
+            .map(|e| {
+                Value::obj(vec![
+                    ("seq", Value::Int(e.seq as i64)),
+                    ("kind", Value::Str(e.kind.to_string())),
+                    ("session", Value::Str(e.session.clone())),
+                    ("vtime", Value::Int(e.vtime as i64)),
+                    ("ms", Value::Int(e.wall_ms as i64)),
+                    ("detail", Value::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        (events, self.next_seq.saturating_sub(1))
+    }
+}
+
+/// FNV-1a over a seed's decision prefix: a stable fingerprint operators
+/// can grep across `trace` output, `poisoned.bin`, and logs. Not the wire
+/// snapshot fingerprint — this one identifies the *seed*, not a snapshot.
+pub(crate) fn seed_fingerprint(seed: &WorkSeed) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &choice in &seed.choices {
+        for b in choice.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Everything a session needs between slices, computed once per admission
 /// (and once per resume): the built program, the corpus warm start, and
@@ -243,6 +332,12 @@ pub(crate) struct SessionState {
     pub(crate) consecutive_timeouts: AtomicU64,
     /// Seeds quarantined to `poisoned.bin` after repeated timeouts.
     pub(crate) poisoned_seeds: AtomicU64,
+    /// Cumulative phase time attribution (merged from every slice's fleet
+    /// report plus the pool worker's own corpus I/O spans); persisted to
+    /// `trace.bin` beside the scheduling counters and rehydrated on
+    /// restart, so `status`/`trace` phase percentages span daemon
+    /// lifetimes. Empty unless a `chef_trace` level is enabled.
+    pub(crate) trace: Mutex<chef_trace::TraceStats>,
     /// Between-slice carry state; `None` until the first slice (or after a
     /// rest state, so resume re-prepares from the checkpoint).
     prep: Mutex<Option<Prepared>>,
@@ -273,6 +368,7 @@ impl SessionState {
             watchdog_aborts: AtomicU64::new(0),
             consecutive_timeouts: AtomicU64::new(0),
             poisoned_seeds: AtomicU64::new(0),
+            trace: Mutex::new(chef_trace::TraceStats::default()),
             prep: Mutex::new(None),
         }
     }
@@ -324,6 +420,12 @@ impl SessionState {
             0.0
         } else {
             mine as f64 / pool as f64
+        };
+        // Phase attribution survives restarts with trace.bin, so these
+        // percentages describe the session's lifetime, not just this run.
+        let (phase_summary, trace_busy_us) = {
+            let t = self.trace.lock().unwrap();
+            (t.summary(), t.busy_ns() / 1_000)
         };
         Value::obj(vec![
             ("session", Value::Str(self.id.clone())),
@@ -382,6 +484,8 @@ impl SessionState {
                 "poisoned_seeds",
                 Value::Int(self.poisoned_seeds.load(Ordering::Relaxed) as i64),
             ),
+            ("trace_busy_us", Value::Int(trace_busy_us as i64)),
+            ("phase_summary", Value::Str(phase_summary)),
         ])
     }
 }
@@ -406,6 +510,20 @@ pub(crate) struct Inner {
     pub(crate) watchdog_aborts: AtomicU64,
     /// Seeds quarantined after repeated timeouts, daemon-wide.
     pub(crate) poisoned_seeds: AtomicU64,
+    /// Recent scheduling-plane events, drained by the `trace` command.
+    pub(crate) ring: Mutex<EventRing>,
+    /// Daemon-side wire time (response serialization + send), merged from
+    /// every connection thread's local accumulator after each request.
+    pub(crate) wire_trace: Mutex<chef_trace::TraceStats>,
+}
+
+impl Inner {
+    /// Appends one event to the bounded ring, stamping it with the
+    /// scheduler's current virtual time and the daemon's wall clock.
+    pub(crate) fn trace_event(&self, kind: &'static str, session: &str, detail: String) {
+        let vtime = self.sched.vtime();
+        self.ring.lock().unwrap().push(kind, session, vtime, detail);
+    }
 }
 
 /// The daemon: a bound listener plus the session registry and worker pool.
@@ -448,23 +566,36 @@ impl Server {
             max_sessions: config.max_sessions.max(1),
             default_quota: QUOTA_UNIT,
         });
-        Ok(Server {
-            listener,
-            inner: Arc::new(Inner {
-                config,
-                corpus,
-                sessions: Mutex::new(HashMap::new()),
-                sched,
-                conns: AtomicUsize::new(0),
-                stop: AtomicBool::new(false),
-                scrub,
-                tokens: Mutex::new(tokens),
-                conns_dropped: AtomicU64::new(0),
-                io_pauses: AtomicU64::new(0),
-                watchdog_aborts: AtomicU64::new(0),
-                poisoned_seeds: AtomicU64::new(0),
-            }),
-        })
+        let inner = Arc::new(Inner {
+            config,
+            corpus,
+            sessions: Mutex::new(HashMap::new()),
+            sched,
+            conns: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            scrub,
+            tokens: Mutex::new(tokens),
+            conns_dropped: AtomicU64::new(0),
+            io_pauses: AtomicU64::new(0),
+            watchdog_aborts: AtomicU64::new(0),
+            poisoned_seeds: AtomicU64::new(0),
+            ring: Mutex::new(EventRing::new()),
+            wire_trace: Mutex::new(chef_trace::TraceStats::default()),
+        });
+        // The scrub verdict is the daemon's first event, so an operator
+        // reading `trace` after a crash recovery sees what startup fixed.
+        inner.trace_event(
+            "scrub",
+            "-",
+            format!(
+                "repaired={} truncated_bytes={} snapshots_dropped={} quarantined={}",
+                inner.scrub.frames_repaired,
+                inner.scrub.bytes_truncated,
+                inner.scrub.snapshots_dropped,
+                inner.scrub.quarantined
+            ),
+        );
+        Ok(Server { listener, inner })
     }
 
     /// The actually bound address (useful with port 0).
@@ -593,7 +724,21 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
             let _ = stream.flush();
             return;
         }
-        if proto::write_message(&mut stream, &resp).is_err() {
+        let wrote = {
+            // Only the response (serialize + send) is charged to WireIo:
+            // a blocked *read* is the client thinking, not daemon work,
+            // so timing it would drown the phase in connection idle time.
+            let _io = chef_trace::span(chef_trace::Phase::WireIo);
+            proto::write_message(&mut stream, &resp)
+        };
+        // Connection threads never run slices, so their thread-local trace
+        // holds exactly the wire spans above; fold it into the daemon-wide
+        // accumulator served by `stats` and `trace`.
+        let wire = chef_trace::take_local();
+        if !wire.is_empty() {
+            inner.wire_trace.lock().unwrap().merge(&wire);
+        }
+        if wrote.is_err() {
             return;
         }
         if inner.stop.load(Ordering::SeqCst) {
@@ -637,6 +782,7 @@ fn dispatch(inner: &Arc<Inner>, req: &Value) -> Value {
         Some("pause") => cmd_pause(inner, req),
         Some("resume") => cmd_resume(inner, req),
         Some("stats") => cmd_stats(inner),
+        Some("trace") => cmd_trace(inner, req),
         Some("shutdown") => {
             inner.stop.store(true, Ordering::SeqCst);
             ok(vec![])
@@ -688,12 +834,97 @@ fn cmd_stats(inner: &Arc<Inner>) -> Value {
         ),
         ("quarantined", Value::Int(scrub.quarantined as i64)),
         ("tmp_cleaned", Value::Int(scrub.tmp_cleaned as i64)),
+        ("trace_level", Value::Str(level_name().to_string())),
+        (
+            "trace_events",
+            Value::Int(inner.ring.lock().unwrap().next_seq.saturating_sub(1) as i64),
+        ),
+        (
+            "wire_io_us",
+            Value::Int(
+                (inner.wire_trace.lock().unwrap().phase_ns[chef_trace::Phase::WireIo as usize]
+                    / 1_000) as i64,
+            ),
+        ),
     ];
     if let Some(plan) = chef_core::fault::installed() {
         fields.push(("fault_seed", Value::Int(plan.seed() as i64)));
         fields.push(("faults_injected", Value::Int(plan.stats().total() as i64)));
     }
     ok(fields)
+}
+
+/// The current global trace level as its CLI spelling.
+fn level_name() -> &'static str {
+    match chef_trace::level() {
+        chef_trace::TraceLevel::Off => "off",
+        chef_trace::TraceLevel::Counters => "counters",
+        chef_trace::TraceLevel::Spans => "spans",
+    }
+}
+
+/// Renders a [`chef_trace::TraceStats`] as protocol JSON. Integer
+/// microseconds and counts only — the protocol's JSON carries no floats —
+/// plus the human one-line summary so thin clients need no math.
+fn trace_value(t: &chef_trace::TraceStats) -> Value {
+    let mut phases = Vec::new();
+    for phase in chef_trace::Phase::ALL {
+        let i = phase as usize;
+        if t.phase_count[i] == 0 && t.phase_ns[i] == 0 {
+            continue;
+        }
+        phases.push(Value::obj(vec![
+            ("phase", Value::Str(phase.name().to_string())),
+            ("count", Value::Int(t.phase_count[i] as i64)),
+            ("us", Value::Int((t.phase_ns[i] / 1_000) as i64)),
+            ("permille", Value::Int(t.phase_permille(phase) as i64)),
+        ]));
+    }
+    Value::obj(vec![
+        ("busy_us", Value::Int((t.busy_ns() / 1_000) as i64)),
+        ("phases", Value::Arr(phases)),
+        ("summary", Value::Str(t.summary())),
+    ])
+}
+
+/// The `trace` command: recent daemon events after a client cursor, plus
+/// per-session and daemon-wide phase breakdowns. This is the wire surface
+/// `chef-cli top` and `chef-cli trace` render.
+fn cmd_trace(inner: &Arc<Inner>, req: &Value) -> Value {
+    let after = req.get("after").and_then(Value::as_u64).unwrap_or(0);
+    let (events, next) = inner.ring.lock().unwrap().since(after);
+    let mut sessions = Vec::new();
+    {
+        let map = inner.sessions.lock().unwrap();
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+        for id in ids {
+            let sess = &map[id];
+            let trace = sess.trace.lock().unwrap();
+            sessions.push(Value::obj(vec![
+                ("session", Value::Str(sess.id.clone())),
+                ("target", Value::Str(sess.target.clone())),
+                ("state", Value::Str(sess.state.lock().unwrap().clone())),
+                (
+                    "sched_slices",
+                    Value::Int(sess.sched_slices.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "wait_ms",
+                    Value::Int(sess.wait_ms.load(Ordering::Relaxed) as i64),
+                ),
+                ("trace", trace_value(&trace)),
+            ]));
+        }
+    }
+    let daemon = trace_value(&inner.wire_trace.lock().unwrap());
+    ok(vec![
+        ("level", Value::Str(level_name().to_string())),
+        ("events", Value::Arr(events)),
+        ("next", Value::Int(next as i64)),
+        ("sessions", Value::Arr(sessions)),
+        ("daemon", daemon),
+    ])
 }
 
 fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
@@ -726,6 +957,11 @@ fn cmd_submit(inner: &Arc<Inner>, req: &Value) -> Value {
     // Admission control: reserve a scheduler slot before any disk state
     // exists, so a rejected submit leaves no session behind.
     if let Err(retry_after_ms) = inner.sched.reserve() {
+        inner.trace_event(
+            "admission_reject",
+            "-",
+            format!("submit retry_after_ms={retry_after_ms}"),
+        );
         return busy(retry_after_ms);
     }
     let id = match inner.corpus.next_session_id() {
@@ -797,6 +1033,11 @@ fn session_of(inner: &Arc<Inner>, req: &Value) -> Result<Arc<SessionState>, Valu
         sess.preemptions.store(stats.preemptions, Ordering::Relaxed);
         sess.wait_ms.store(stats.wait_ms, Ordering::Relaxed);
         sess.spent_ll.store(stats.cpu_ll, Ordering::Relaxed);
+    }
+    // Phase attribution likewise: a rehydrated session reports lifetime
+    // percentages, not since-restart ones.
+    if let Ok(Some(trace)) = inner.corpus.load_trace(id) {
+        *sess.trace.lock().unwrap() = trace;
     }
     inner
         .sessions
@@ -898,6 +1139,11 @@ fn cmd_resume(inner: &Arc<Inner>, req: &Value) -> Value {
     // Resume competes for admission like a fresh submit: a paused session
     // re-enters the pool only when there is room for it.
     if let Err(retry_after_ms) = inner.sched.reserve() {
+        inner.trace_event(
+            "admission_reject",
+            &sess.id,
+            format!("resume retry_after_ms={retry_after_ms}"),
+        );
         return busy(retry_after_ms);
     }
     {
@@ -1037,31 +1283,39 @@ pub(crate) fn session_slice(
     prep.spent += ll;
     sess.spent_ll.fetch_add(ll, Ordering::Relaxed);
 
-    // First slice to capture the fork-point snapshot persists it for
-    // the whole target (sessions and restarts alike).
-    if prep.stored_snapshot.is_none() {
-        if let Some(sn) = &outcome.snapshot {
-            inner
-                .corpus
-                .save_snapshot(&sess.target, sn)
-                .map_err(|e| SliceError::Io(format!("snapshot write: {e}")))?;
-            prep.stored_snapshot = Some(Arc::clone(sn));
-        }
-    }
+    {
+        // Everything from here to the checkpoint write is corpus I/O; the
+        // span covers the whole persistence region so `trace` shows how
+        // much of a slice the disk costs. RAII keeps the attribution
+        // correct across the early `?` returns.
+        let _io = chef_trace::span(chef_trace::Phase::CorpusIo);
 
-    let added = inner
-        .corpus
-        .append_tests(&sess.target, &outcome.report.tests)
-        .map_err(|e| SliceError::Io(format!("corpus append: {e}")))?;
-    sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
-    inner
-        .corpus
-        .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
-        .map_err(|e| SliceError::Io(format!("coverage write: {e}")))?;
-    inner
-        .corpus
-        .save_checkpoint(&sess.id, &outcome.frontier)
-        .map_err(|e| SliceError::Io(format!("checkpoint write: {e}")))?;
+        // First slice to capture the fork-point snapshot persists it for
+        // the whole target (sessions and restarts alike).
+        if prep.stored_snapshot.is_none() {
+            if let Some(sn) = &outcome.snapshot {
+                inner
+                    .corpus
+                    .save_snapshot(&sess.target, sn)
+                    .map_err(|e| SliceError::Io(format!("snapshot write: {e}")))?;
+                prep.stored_snapshot = Some(Arc::clone(sn));
+            }
+        }
+
+        let added = inner
+            .corpus
+            .append_tests(&sess.target, &outcome.report.tests)
+            .map_err(|e| SliceError::Io(format!("corpus append: {e}")))?;
+        sess.new_tests.fetch_add(added as u64, Ordering::Relaxed);
+        inner
+            .corpus
+            .merge_coverage(&sess.target, &outcome.report.covered_hlpcs)
+            .map_err(|e| SliceError::Io(format!("coverage write: {e}")))?;
+        inner
+            .corpus
+            .save_checkpoint(&sess.id, &outcome.frontier)
+            .map_err(|e| SliceError::Io(format!("checkpoint write: {e}")))?;
+    }
 
     let verdict = if outcome.paused {
         SliceVerdict::Paused
@@ -1081,9 +1335,23 @@ pub(crate) fn session_slice(
         // from the checkpoint just written.
         *prep_guard = None;
     }
-    // Scheduling counters ride along with the checkpoint (best-effort,
-    // like state writes).
+    // Fold this slice's phase attribution into the session total: the
+    // fleet workers' spans arrive already merged in the report, and this
+    // pool worker's own spans (corpus I/O above, queue wait recorded at
+    // dispatch) are drained from its thread-local accumulator.
+    let mut slice_trace = chef_trace::take_local();
+    slice_trace.merge(&outcome.report.trace);
+    let trace_snapshot = {
+        let mut total = sess.trace.lock().unwrap();
+        total.merge(&slice_trace);
+        total.clone()
+    };
+    // Scheduling counters and phase attribution ride along with the
+    // checkpoint (best-effort, like state writes).
     let _ = inner.corpus.save_sched(&sess.id, &sess.sched_stats());
+    if !trace_snapshot.is_empty() {
+        let _ = inner.corpus.save_trace(&sess.id, &trace_snapshot);
+    }
     Ok((verdict, ll))
 }
 
@@ -1105,6 +1373,14 @@ pub(crate) fn poison_head_seed(inner: &Inner, sess: &SessionState) {
     if frontier[0].snapshot_fp.take().is_some() {
         // Stage 1: force the fallback path. The seed keeps its decision
         // prefix, so nothing is lost — only the fast restore.
+        inner.trace_event(
+            "poison",
+            &sess.id,
+            format!(
+                "stage=strip_snapshot seed={:#018x}",
+                seed_fingerprint(&frontier[0])
+            ),
+        );
         let _ = inner.corpus.save_checkpoint(&sess.id, &frontier);
         return;
     }
@@ -1114,6 +1390,11 @@ pub(crate) fn poison_head_seed(inner: &Inner, sess: &SessionState) {
     if inner.corpus.quarantine_seed(&sess.id, &seed).is_ok() {
         sess.poisoned_seeds.fetch_add(1, Ordering::Relaxed);
         inner.poisoned_seeds.fetch_add(1, Ordering::Relaxed);
+        inner.trace_event(
+            "poison",
+            &sess.id,
+            format!("stage=quarantine seed={:#018x}", seed_fingerprint(&seed)),
+        );
         let _ = inner.corpus.save_checkpoint(&sess.id, &frontier);
     }
 }

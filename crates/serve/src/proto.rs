@@ -459,6 +459,24 @@ impl Client {
         })
     }
 
+    /// Fetches the raw daemon `stats` reply as JSON, untyped. This is the
+    /// `chef-cli stats --json` surface: every field the daemon serves,
+    /// including ones newer than this client's [`DaemonStats`] struct.
+    pub fn stats_raw(&self) -> Result<Value, ServeError> {
+        self.call(Value::obj(vec![("cmd", Value::Str("stats".into()))]))
+    }
+
+    /// Drains daemon trace events after the cursor `after` (0 = from the
+    /// oldest retained event), plus per-session and daemon-wide phase
+    /// breakdowns. Returns the raw reply; `chef-cli top`/`trace` render
+    /// it, and callers page by re-issuing with the reply's `next` value.
+    pub fn trace(&self, after: u64) -> Result<Value, ServeError> {
+        self.call(Value::obj(vec![
+            ("cmd", Value::Str("trace".into())),
+            ("after", Value::Int(after as i64)),
+        ]))
+    }
+
     /// Queries one session's status.
     pub fn status(&self, session: &str) -> Result<SessionStatus, ServeError> {
         let resp = self.call(Value::obj(vec![

@@ -170,6 +170,13 @@ impl Scheduler {
         self.state.lock().unwrap().draining
     }
 
+    /// The queue's current virtual time (the maximum pass ever
+    /// dispatched); stamps daemon trace events so an operator can line
+    /// them up with fair-share progress.
+    pub(crate) fn vtime(&self) -> u64 {
+        self.state.lock().unwrap().vtime
+    }
+
     /// Reserves one admission slot. `Err(retry_after_ms)` means the pool
     /// is at capacity (or draining) and the client should retry later; the
     /// estimate scales with the backlog each worker would have to clear
@@ -220,10 +227,16 @@ impl Scheduler {
                 let entry = st.queue.swap_remove(i);
                 st.executing += 1;
                 st.vtime = st.vtime.max(entry.pass);
-                entry.sess.wait_ms.fetch_add(
-                    entry.enqueued.elapsed().as_millis() as u64,
-                    Ordering::Relaxed,
-                );
+                let waited = entry.enqueued.elapsed();
+                entry
+                    .sess
+                    .wait_ms
+                    .fetch_add(waited.as_millis() as u64, Ordering::Relaxed);
+                // Runs on the dispatching pool worker, so the wait lands
+                // in the thread-local that the session's next slice
+                // drains — queue time is attributed to the session that
+                // actually waited.
+                chef_trace::record_phase(chef_trace::Phase::SchedWait, waited);
                 entry.sess.executing.store(true, Ordering::SeqCst);
                 return Some(entry);
             }
@@ -325,12 +338,25 @@ fn worker_loop(inner: Arc<Inner>) {
             *sess.slice_deadline.lock().unwrap() =
                 Some(Instant::now() + Duration::from_millis(inner.config.slice_timeout_ms));
         }
+        inner.trace_event("slice_start", &sess.id, String::new());
         let result = session_slice(&inner, &sess);
         *sess.slice_deadline.lock().unwrap() = None;
         // Was the pause we may be about to observe a watchdog abort? The
         // swap also absorbs stale fires (watchdog fired right as the slice
         // finished on its own) so they cannot leak into the next slice.
         let fired = sess.watchdog_fired.swap(false, Ordering::SeqCst);
+        let disposition = match &result {
+            Ok((SliceVerdict::Continue, _)) => "continue",
+            Ok((SliceVerdict::Paused, _)) if fired && !inner.sched.is_draining() => {
+                "watchdog_abort"
+            }
+            Ok((SliceVerdict::Paused, _)) => "paused",
+            Ok((SliceVerdict::Done, _)) => "done",
+            Ok((SliceVerdict::Exhausted, _)) => "exhausted",
+            Err(SliceError::Io(_)) => "io_error",
+            Err(SliceError::Fatal(_)) => "failed",
+        };
+        inner.trace_event("slice_end", &sess.id, disposition.to_string());
         match result {
             Ok((SliceVerdict::Continue, ll)) => {
                 sess.consecutive_timeouts.store(0, Ordering::Relaxed);
@@ -340,6 +366,7 @@ fn worker_loop(inner: Arc<Inner>) {
                     // it cannot park the next (innocent) slice.
                     sess.ctl.clear_pause();
                 }
+                inner.trace_event("preempt", &sess.id, format!("ll={ll}"));
                 inner.sched.requeue(entry, ll);
             }
             Ok((SliceVerdict::Paused, ll)) if fired && !inner.sched.is_draining() => {
@@ -378,6 +405,7 @@ fn worker_loop(inner: Arc<Inner>) {
                 // fault. The failed slice re-executes deterministically.
                 inner.io_pauses.fetch_add(1, Ordering::Relaxed);
                 inner.sched.retire(&entry);
+                inner.trace_event("io_pause", &sess.id, e.clone());
                 eprintln!("chef-serve: session {} paused on io error: {e}", sess.id);
                 sess.set_state(&inner.corpus, "paused");
             }
@@ -418,6 +446,11 @@ fn watchdog_loop(inner: Arc<Inner>) {
             if overdue && !sess.watchdog_fired.swap(true, Ordering::SeqCst) {
                 sess.watchdog_aborts.fetch_add(1, Ordering::Relaxed);
                 inner.watchdog_aborts.fetch_add(1, Ordering::Relaxed);
+                inner.trace_event(
+                    "watchdog_abort",
+                    &sess.id,
+                    format!("timeout_ms={}", inner.config.slice_timeout_ms),
+                );
                 sess.ctl.request_pause();
                 eprintln!(
                     "chef-serve: watchdog aborting overrunning slice of session {}",

@@ -393,12 +393,20 @@ impl Solver {
         self.stats.assumption_solves += 1;
         let start = std::time::Instant::now();
         let mut assumptions = Vec::with_capacity(comp.len());
-        for &a in comp {
-            assumptions.push(self.blaster.guard(pool, a));
+        {
+            let _blast = chef_trace::span(chef_trace::Phase::Blast);
+            for &a in comp {
+                assumptions.push(self.blaster.guard(pool, a));
+            }
         }
         self.blaster.sat_mut().conflict_budget = self.conflict_budget;
-        let outcome = self.blaster.sat_mut().solve_under_assumptions(&assumptions);
-        self.stats.sat_time += start.elapsed();
+        let outcome = {
+            let _sat = chef_trace::span(chef_trace::Phase::SolverSat);
+            self.blaster.sat_mut().solve_under_assumptions(&assumptions)
+        };
+        let elapsed = start.elapsed();
+        self.stats.sat_time += elapsed;
+        chef_trace::record_solver_query(elapsed);
         self.stats.blast_cache_hits = self.blaster.guard_hits;
         self.stats.blast_cache_misses = self.blaster.guards_created;
         self.stats.clauses_deleted = self.blaster.sat().clauses_deleted;

@@ -209,6 +209,7 @@ impl<'p> Executor<'p> {
     /// back to full prefix replay ([`Executor::seeded_state`]).
     pub fn restore_state(&mut self, snap: &Snapshot) -> Option<State> {
         if !self.snap_cache.contains_key(&snap.fingerprint) {
+            let _restore = chef_trace::span(chef_trace::Phase::SnapshotRestore);
             let mut template = snap.restore(&mut self.pool)?;
             // The engine replays `snap.hl_events` itself; keeping the
             // prefix on the state would just be cloned on every fork.
@@ -444,6 +445,7 @@ impl<'p> Executor<'p> {
     /// again.
     pub fn step(&mut self, state: &mut State) -> StepEvent {
         if self.should_capture(state) {
+            let _cap = chef_trace::span(chef_trace::Phase::SnapshotCap);
             let snap = Snapshot::capture(state, &self.pool);
             self.stats.snapshots_captured += 1;
             self.fork_snapshot = Some(Arc::new(snap));
@@ -986,13 +988,20 @@ impl<'p> Executor<'p> {
             pool: &self.pool,
         };
         let mut seg_mem = SegMem::new(&src);
-        let out = run_segment(
-            self.prog,
-            &mut seg_frames,
-            &mut below,
-            &mut seg_mem,
-            max_steps,
-        );
+        // Profile key: the HL PC where the segment *starts* (the segment
+        // itself may retire `log_pc` events and move `state.hlpc`).
+        let ff_site = state.hlpc;
+        chef_trace::ff_attempt(ff_site);
+        let out = {
+            let _seg = chef_trace::span(chef_trace::Phase::ConcreteSeg);
+            run_segment(
+                self.prog,
+                &mut seg_frames,
+                &mut below,
+                &mut seg_mem,
+                max_steps,
+            )
+        };
         let consumed = below.consumed;
         let dirty = seg_mem.into_dirty();
         // Backoff policy: short segments ending at a *data* boundary mean
@@ -1014,8 +1023,10 @@ impl<'p> Executor<'p> {
         self.stats.ll_instructions += out.steps;
         self.stats.concrete_ll_executed += out.steps;
         self.stats.fast_forwards += 1;
+        chef_trace::ff_retired(ff_site, out.steps);
         if matches!(out.stop, SegStop::TaintedLoad | SegStop::OutOfFuel) {
             self.stats.ff_aborts += 1;
+            chef_trace::ff_abort(ff_site);
         }
         state.ll_steps += out.steps;
         // Replay the intern log so every constant the skipped symbolic

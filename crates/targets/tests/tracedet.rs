@@ -1,0 +1,177 @@
+//! Trace determinism: phase/time attribution is a *reporting* plane, so
+//! enabling it must not perturb exploration. For every target, strategy,
+//! and seed, the canonical test set (inputs, statuses, exceptions, and
+//! hl_sig path signatures, in generation order) must be byte-identical
+//! at trace level off, counters, and spans — the same bar the concrete
+//! fast-forward tests pin for that optimization.
+//!
+//! The trace level is process-global, so every test here serializes on a
+//! lock while it owns the level.
+
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use chef_core::{Report, StrategyKind};
+use chef_targets::{all_packages, Package, RunConfig};
+use chef_trace::TraceLevel;
+
+/// Owns the process-global trace level for the duration of a test.
+fn level_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Canonical fingerprint of a report's full test set: everything a corpus
+/// consumer can observe, in generation order.
+#[allow(clippy::type_complexity)]
+fn test_set(report: &Report) -> Vec<(Vec<(String, Vec<u8>)>, String, Option<String>, u64)> {
+    report
+        .tests
+        .iter()
+        .map(|t| {
+            // InputMap is a HashMap; sort for a stable fingerprint.
+            let mut inputs: Vec<(String, Vec<u8>)> = t
+                .inputs
+                .iter()
+                .map(|(n, b)| (n.clone(), b.clone()))
+                .collect();
+            inputs.sort();
+            (
+                inputs,
+                format!("{:?}", t.status),
+                t.exception.clone(),
+                t.hl_sig,
+            )
+        })
+        .collect()
+}
+
+fn package(name: &str) -> Package {
+    all_packages()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no package named {name}"))
+}
+
+/// Runs a package with the given trace level installed, restoring `Off`
+/// (and draining the thread-local accumulator) before returning.
+fn run_at(pkg: &Package, strategy: StrategyKind, seed: u64, level: TraceLevel) -> Report {
+    chef_trace::set_level(level);
+    let report = pkg.run(&RunConfig {
+        strategy,
+        seed,
+        max_ll_instructions: 150_000,
+        per_path_fuel: 60_000,
+        max_wall: None,
+        fast_forward: true,
+        canonical_inputs: true,
+        ..RunConfig::default()
+    });
+    chef_trace::set_level(TraceLevel::Off);
+    let _ = chef_trace::take_local();
+    report
+}
+
+/// The determinism bar: observationally identical reports, level by level.
+fn assert_levels_identical(pkg: &Package, strategy: StrategyKind, seed: u64, label: &str) {
+    let off = run_at(pkg, strategy, seed, TraceLevel::Off);
+    assert!(
+        off.trace.is_empty(),
+        "{label}: a level-off run must collect nothing"
+    );
+    for level in [TraceLevel::Counters, TraceLevel::Spans] {
+        let traced = run_at(pkg, strategy, seed, level);
+        assert_eq!(
+            test_set(&off),
+            test_set(&traced),
+            "{label}: canonical test set diverges at {level:?}"
+        );
+        assert_eq!(
+            off.hl_paths, traced.hl_paths,
+            "{label}: hl path counts diverge at {level:?}"
+        );
+        assert_eq!(
+            off.covered_hlpcs, traced.covered_hlpcs,
+            "{label}: coverage diverges at {level:?}"
+        );
+        assert_eq!(
+            off.ll_instructions, traced.ll_instructions,
+            "{label}: instruction accounting diverges at {level:?}"
+        );
+        assert!(
+            !traced.trace.is_empty(),
+            "{label}: a {level:?} run must collect phase data"
+        );
+    }
+}
+
+#[test]
+fn minipy_canonical_tests_identical_at_every_level() {
+    let _guard = level_lock().lock().unwrap();
+    let pkg = package("simplejson");
+    for strategy in [StrategyKind::CupaPath, StrategyKind::Random] {
+        for seed in [0u64, 7] {
+            let label = format!("simplejson/{strategy:?}/seed{seed}");
+            assert_levels_identical(&pkg, strategy, seed, &label);
+        }
+    }
+}
+
+#[test]
+fn minilua_canonical_tests_identical_at_every_level() {
+    let _guard = level_lock().lock().unwrap();
+    let pkg = package("JSON");
+    for strategy in [StrategyKind::CupaPath, StrategyKind::Dfs] {
+        let label = format!("JSON/{strategy:?}");
+        assert_levels_identical(&pkg, strategy, 3, &label);
+    }
+}
+
+#[test]
+fn spans_runs_attribute_time_and_fast_forward_sites() {
+    let _guard = level_lock().lock().unwrap();
+    let report = run_at(
+        &package("simplejson"),
+        StrategyKind::CupaPath,
+        0,
+        TraceLevel::Spans,
+    );
+    let trace = &report.trace;
+    assert!(trace.busy_ns() > 0, "spans must attribute wall time");
+    assert!(
+        trace.phase_count[chef_trace::Phase::SymStep as usize] > 0,
+        "symbolic stepping must be counted"
+    );
+    assert!(
+        trace.ff_sites.values().any(|s| s.attempts > 0),
+        "fast-forward attempts must be attributed to HL PCs"
+    );
+    let folded = trace.folded();
+    assert!(
+        folded.lines().any(|l| l.starts_with("chef;ff;hlpc_")),
+        "folded profile must carry per-site fast-forward frames:\n{folded}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Off-vs-spans equivalence over randomly drawn (package, strategy,
+    /// seed) triples, both guest languages included.
+    #[test]
+    fn trace_equivalence(pkg_pick in 0u8..2, strat in 0u8..4, seed in 0u64..4) {
+        let _guard = level_lock().lock().unwrap();
+        let pkg = package(if pkg_pick == 0 { "simplejson" } else { "JSON" });
+        let strategy = match strat {
+            0 => StrategyKind::CupaPath,
+            1 => StrategyKind::CupaCoverage,
+            2 => StrategyKind::Random,
+            _ => StrategyKind::Dfs,
+        };
+        let off = run_at(&pkg, strategy, seed, TraceLevel::Off);
+        let spans = run_at(&pkg, strategy, seed, TraceLevel::Spans);
+        prop_assert_eq!(test_set(&off), test_set(&spans));
+        prop_assert_eq!(off.ll_instructions, spans.ll_instructions);
+    }
+}

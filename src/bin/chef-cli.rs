@@ -31,20 +31,27 @@ fn usage() -> ExitCode {
            [--strategy random|dfs|cupa-path|cupa-coverage]
            [--budget <ll-instructions>] [--vanilla] [--seed <n>]
            [--jobs <n>] [--portfolio] [--no-fast-forward]
+           [--trace-level off|counters|spans]
   chef-cli disasm <file.py|file.lua>
+  chef-cli profile (--package <name> | <file.py|file.lua> --entry <fn>
+                  [--sym-str name:len]... [--sym-int name:min:max]...)
+                  [--strategy <s>] [--budget <n>] [--seed <n>]
+                  [--no-fast-forward]
 
   chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
                   [--checkpoint-interval <ll-instructions>]
                   [--workers <n>] [--max-sessions <n>] [--max-conns <n>]
                   [--corpus-budget <bytes>] [--slice-timeout-ms <ms>]
-                  [--no-fast-forward]
+                  [--no-fast-forward] [--trace-level off|counters|spans]
                   [--fault-profile torn|enospc|conn|mixed] [--fault-seed <n>]
   chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
                   [--sym-int name:min:max]... [--strategy <s>]
                   [--budget <n>] [--seed <n>] [--jobs <n>] [--quota <n>]
                   [--addr <host:port>] [--wait]
   chef-cli status   <session> [--addr <host:port>]
-  chef-cli stats    [--addr <host:port>]
+  chef-cli stats    [--addr <host:port>] [--json]
+  chef-cli top      [--addr <host:port>]
+  chef-cli trace    [--addr <host:port>] [--after <seq>]
   chef-cli sessions [--addr <host:port>]
   chef-cli results  <session> [--addr <host:port>]
   chef-cli pause    <session> [--addr <host:port>]
@@ -66,7 +73,17 @@ fn usage() -> ExitCode {
   --quota n     fair-share weight of the session (default 100)
   --no-fast-forward  disable the concrete fast-forward optimization
                 (single-path segments on the concrete VM); tests are
-                byte-identical either way"
+                byte-identical either way
+  --trace-level l  phase time attribution: off (default), counters
+                (counts only), spans (counts + self-time); reporting
+                only — generated tests are byte-identical at any level
+  --json        print the raw daemon stats reply as JSON
+  profile       run one exploration with spans tracing and print a
+                folded-stack profile (flamegraph.pl-compatible) with
+                per-fork-point fast-forward attribution
+  top           one-shot daemon view: per-session phase breakdowns,
+                wire time, and recent scheduler events
+  trace         drain raw daemon events after --after <seq>"
     );
     ExitCode::from(2)
 }
@@ -85,6 +102,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
+        Some("profile") => profile(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("submit") => submit(&args[1..]),
         Some("status") => session_cmd(&args[1..], SessionCmd::Status),
@@ -93,6 +111,8 @@ fn main() -> ExitCode {
         Some("resume") => session_cmd(&args[1..], SessionCmd::Resume),
         Some("sessions") => sessions(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("top") => top(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("shutdown") => shutdown(&args[1..]),
         _ => usage(),
     }
@@ -203,6 +223,16 @@ fn run(args: &[String]) -> ExitCode {
             "--portfolio" => portfolio = true,
             "--no-fast-forward" => fast_forward = false,
             "--vanilla" => opts = InterpreterOptions::vanilla(),
+            "--trace-level" => {
+                let Some(l) = it
+                    .next()
+                    .map(String::as_str)
+                    .and_then(chef::trace::parse_level)
+                else {
+                    return usage();
+                };
+                chef::trace::set_level(l);
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -281,13 +311,20 @@ fn run(args: &[String]) -> ExitCode {
             report.crashes,
             report.seeds_shipped
         );
+        // sat_share is SAT time over fleet *wall* time, unclamped: above
+        // 100% means several workers sat in the solver at once.
         println!(
-            "{:.0} paths/s, {:.0} tests/s, {:.1}% of worker time in SAT",
+            "{:.0} paths/s, {:.0} tests/s, {:.1}% of wall time in SAT, \
+             {:.0}% worker utilization",
             report.paths_per_sec(),
             report.tests_per_sec(),
-            report.sat_share() * 100.0
+            report.sat_share() * 100.0,
+            report.wall_utilization() * 100.0
         );
         println!("solver: {}", report.solver_stats.summary());
+        if chef::trace::level() != chef::trace::TraceLevel::Off {
+            println!("trace: {}", report.trace.summary());
+        }
         if !report.exceptions.is_empty() {
             println!("exceptions: {:?}", report.exceptions);
         }
@@ -311,6 +348,9 @@ fn run(args: &[String]) -> ExitCode {
         report.crashes
     );
     println!("solver: {}", report.solver_stats.summary());
+    if chef::trace::level() != chef::trace::TraceLevel::Off {
+        println!("trace: {}", report.trace.summary());
+    }
     if !report.exceptions.is_empty() {
         println!("exceptions: {:?}", report.exceptions);
     }
@@ -332,6 +372,124 @@ fn print_tests<'a>(tests: impl Iterator<Item = &'a TestCase>) {
         };
         println!("  [{}] {} -> {}", t.id, parts.join(" "), status);
     }
+}
+
+/// One exploration under `spans` tracing, printed as a folded-stack
+/// profile (one `chef;<phase> <weight>` line per phase, plus
+/// `chef;ff;hlpc_*` fast-forward attribution) — pipe it straight into
+/// `flamegraph.pl`. The human summary goes to stderr so stdout stays
+/// machine-readable.
+fn profile(args: &[String]) -> ExitCode {
+    let mut package: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut entry: Option<String> = None;
+    let mut test_args: Vec<(String, String)> = Vec::new();
+    let mut strategy = StrategyKind::CupaPath;
+    let mut budget = 1_000_000u64;
+    let mut seed = 0u64;
+    let mut fast_forward = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--package" => package = it.next().cloned(),
+            "--entry" => entry = it.next().cloned(),
+            "--sym-str" | "--sym-int" => {
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
+                test_args.push((flag.clone(), spec.clone()));
+            }
+            "--strategy" => {
+                let Some(s) = it.next().map(String::as_str).and_then(parse_strategy) else {
+                    return usage();
+                };
+                strategy = s;
+            }
+            "--budget" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                budget = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seed = v;
+            }
+            "--no-fast-forward" => fast_forward = false,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    chef::trace::set_level(chef::trace::TraceLevel::Spans);
+    let report = if let Some(name) = package {
+        let packages = chef::targets::all_packages();
+        let Some(pkg) = packages.iter().find(|p| p.name == name) else {
+            let known: Vec<&str> = packages.iter().map(|p| p.name).collect();
+            eprintln!("unknown package '{name}'; known: {known:?}");
+            return ExitCode::FAILURE;
+        };
+        pkg.run(&chef::targets::RunConfig {
+            strategy,
+            seed,
+            max_ll_instructions: budget,
+            per_path_fuel: budget / 8,
+            fast_forward,
+            ..chef::targets::RunConfig::default()
+        })
+    } else {
+        let Some(path) = path else {
+            eprintln!("profile needs --package <name> or a source file");
+            return usage();
+        };
+        let Some(entry) = entry else {
+            eprintln!("--entry is required");
+            return usage();
+        };
+        let spec = match spec_from_cli(&path, &entry, &test_args) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        let module = match spec.compile() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let prog = match build_program(&module, &InterpreterOptions::all(), &spec.symbolic_test()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = ChefConfig {
+            strategy,
+            seed,
+            max_ll_instructions: budget,
+            per_path_fuel: budget / 8,
+            fast_forward,
+            ..ChefConfig::default()
+        };
+        Chef::new(&prog, config).run()
+    };
+    print!("{}", report.trace.folded());
+    eprintln!(
+        "{} tests, {} hl paths, {} ll instructions",
+        report.tests.len(),
+        report.hl_paths,
+        report.ll_instructions
+    );
+    eprintln!("trace: {}", report.trace.summary());
+    ExitCode::SUCCESS
 }
 
 fn serve(args: &[String]) -> ExitCode {
@@ -389,6 +547,16 @@ fn serve(args: &[String]) -> ExitCode {
                 config.slice_timeout_ms = v;
             }
             "--no-fast-forward" => config.fast_forward = false,
+            "--trace-level" => {
+                let Some(l) = it
+                    .next()
+                    .map(String::as_str)
+                    .and_then(chef::trace::parse_level)
+                else {
+                    return usage();
+                };
+                chef::trace::set_level(l);
+            }
             "--fault-profile" => {
                 let Some(p) = it.next() else { return usage() };
                 if FaultSpec::profile(p).is_none() {
@@ -652,9 +820,33 @@ fn sessions(args: &[String]) -> ExitCode {
 }
 
 fn stats(args: &[String]) -> ExitCode {
-    let Some(addr) = parse_addr(args) else {
-        return usage();
-    };
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut json_out = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let Some(a) = it.next() else { return usage() };
+                addr = a.clone();
+            }
+            "--json" => json_out = true,
+            _ => return usage(),
+        }
+    }
+    if json_out {
+        // The raw reply, so scripts see every field the daemon serves —
+        // including ones newer than this binary's typed struct.
+        return match Client::new(addr).stats_raw() {
+            Ok(v) => {
+                println!("{}", v.to_json());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match Client::new(addr).stats() {
         Ok(st) => {
             let fault = match st.fault_seed {
@@ -678,6 +870,120 @@ fn stats(args: &[String]) -> ExitCode {
                 st.snapshots_dropped,
                 st.quarantined,
                 st.tmp_cleaned
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One-shot daemon observability view, rendered from the `trace` command:
+/// why is each session in the state it is in, where is its time going,
+/// and what has the scheduler done lately.
+fn top(args: &[String]) -> ExitCode {
+    use chef::serve::json::Value;
+    let Some(addr) = parse_addr(args) else {
+        return usage();
+    };
+    let resp = match Client::new(addr).trace(0) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let str_of = |v: &Value, k: &str| v.get(k).and_then(Value::as_str).unwrap_or("").to_string();
+    let int_of = |v: &Value, k: &str| v.get(k).and_then(Value::as_i64).unwrap_or(0);
+    println!(
+        "trace-level={}",
+        resp.get("level").and_then(Value::as_str).unwrap_or("?")
+    );
+    if let Some(daemon) = resp.get("daemon") {
+        let wire_us = int_of(daemon, "busy_us");
+        if wire_us > 0 {
+            println!(
+                "daemon wire-io: {wire_us}us ({})",
+                str_of(daemon, "summary")
+            );
+        }
+    }
+    for sess in resp.get("sessions").and_then(Value::as_arr).unwrap_or(&[]) {
+        let summary = sess
+            .get("trace")
+            .map(|t| str_of(t, "summary"))
+            .unwrap_or_default();
+        let phases = if summary.is_empty() {
+            "no trace data (daemon tracing off?)".to_string()
+        } else {
+            summary
+        };
+        println!(
+            "session={} state={} slices={} wait-ms={} | {phases}",
+            str_of(sess, "session"),
+            str_of(sess, "state"),
+            int_of(sess, "sched_slices"),
+            int_of(sess, "wait_ms"),
+        );
+    }
+    let events = resp.get("events").and_then(Value::as_arr).unwrap_or(&[]);
+    // Recent history only: `top` is a glance, `trace` is the full drain.
+    let tail = events.len().saturating_sub(15);
+    if !events.is_empty() {
+        println!("recent events:");
+    }
+    for e in &events[tail..] {
+        print_event(e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints one daemon event as a stable single line.
+fn print_event(e: &chef::serve::json::Value) {
+    use chef::serve::json::Value;
+    let detail = e.get("detail").and_then(Value::as_str).unwrap_or("");
+    let sep = if detail.is_empty() { "" } else { " " };
+    println!(
+        "  [{:>8}ms] #{} {} session={}{sep}{detail}",
+        e.get("ms").and_then(Value::as_i64).unwrap_or(0),
+        e.get("seq").and_then(Value::as_i64).unwrap_or(0),
+        e.get("kind").and_then(Value::as_str).unwrap_or("?"),
+        e.get("session").and_then(Value::as_str).unwrap_or("?"),
+    );
+}
+
+/// Drains raw daemon events after a cursor; prints the next cursor so a
+/// caller can poll incrementally.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    use chef::serve::json::Value;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut after = 0u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let Some(a) = it.next() else { return usage() };
+                addr = a.clone();
+            }
+            "--after" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                after = v;
+            }
+            _ => return usage(),
+        }
+    }
+    match Client::new(addr).trace(after) {
+        Ok(resp) => {
+            for e in resp.get("events").and_then(Value::as_arr).unwrap_or(&[]) {
+                print_event(e);
+            }
+            println!(
+                "next={}",
+                resp.get("next").and_then(Value::as_i64).unwrap_or(0)
             );
             ExitCode::SUCCESS
         }

@@ -11,6 +11,8 @@
 //! - [`fleet`] — parallel work-sharing exploration (prefix-replay shipping)
 //! - [`serve`] — persistent exploration service (daemon, disk-backed
 //!   corpus, resumable sessions)
+//! - [`trace`] — deterministic phase/time attribution and profiles
+//!   (reporting-only; off by default)
 //! - [`minipy`] — the Python-subset interpreter, compiled to LIR
 //! - [`minilua`] — the Lua-subset front-end
 //! - [`nice`] — the hand-made baseline engine (NICE-PySE substitute)
@@ -40,3 +42,4 @@ pub use chef_serve as serve;
 pub use chef_solver as solver;
 pub use chef_symex as symex;
 pub use chef_targets as targets;
+pub use chef_trace as trace;
