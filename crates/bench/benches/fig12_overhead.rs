@@ -31,7 +31,7 @@ fn main() {
         // NICE side.
         let nice = NiceEngine::new(&module, NiceConfig::default()).run(&test);
         let nice_per_path = nice.elapsed.as_secs_f64() / nice.paths.max(1) as f64;
-        let run = |opts: &InterpreterOptions, fast_forward: bool| {
+        let run = |opts: &InterpreterOptions, ff_mode: chef_core::FfMode| {
             let prog = build_program(&module, opts, &test).unwrap();
             Chef::new(
                 &prog,
@@ -41,7 +41,7 @@ fn main() {
                     per_path_fuel: CHEF_BUDGET / 4,
                     seed: 3,
                     max_wall: Some(WALL_CAP),
-                    fast_forward,
+                    ff_mode,
                     // Match the RunConfig-based harnesses: witness inputs
                     // only, so the timed region excludes canonicalization.
                     canonical_inputs: false,
@@ -54,7 +54,7 @@ fn main() {
         let mut chef_paths = 0usize;
         let mut full_per_path = 0.0;
         for (_, opts) in builds {
-            let report = run(&opts, true);
+            let report = run(&opts, chef_core::FfMode::Adaptive);
             let chef_per_path = report.elapsed.as_secs_f64() / report.hl_paths.max(1) as f64;
             chef_paths = report.hl_paths;
             full_per_path = chef_per_path;
@@ -63,7 +63,7 @@ fn main() {
         // Fast-forward overhead ratio on the full build: per-HL-path cost
         // with the concrete fast-forward disabled over the default. Above
         // 1.0 means fast-forward is paying for itself on this workload.
-        let off = run(&builds[3].1, false);
+        let off = run(&builds[3].1, chef_core::FfMode::Off);
         let off_per_path = off.elapsed.as_secs_f64() / off.hl_paths.max(1) as f64;
         let ff_ratio = off_per_path / full_per_path.max(1e-9);
         println!(

@@ -62,7 +62,7 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 fn start_daemon(dir: &Path) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.to_path_buf(),
         checkpoint_interval_ll: 20_000,

@@ -70,7 +70,7 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 
 fn start_daemon(dir: &std::path::Path) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.to_path_buf(),
         // Small slices: tenants preempt each other many times per run.

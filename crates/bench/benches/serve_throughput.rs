@@ -77,7 +77,7 @@ fn small_job(i: usize) -> JobSpec {
 fn measure_jobs_per_sec() -> (f64, usize, Vec<f64>) {
     let dir = tmpdir("jobs");
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         ..Default::default()

@@ -9,7 +9,8 @@ use std::time::{Duration, Instant};
 use chef_lir::{ConcreteOutcome, InputMap, Program};
 use chef_solver::SolverStats;
 use chef_symex::{
-    ExecConfig, ExecStats, Executor, FfEvent, GuestEvent, Snapshot, State, StepEvent, TermStatus,
+    ExecConfig, ExecStats, Executor, FfEvent, FfMode, FfSiteState, FfSiteTable, GuestEvent,
+    Snapshot, State, StepEvent, TermStatus,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,12 +53,13 @@ pub struct ChefConfig {
     /// test cases for the same path — which is what lets `chef-fleet`
     /// deduplicate across workers and match single-threaded runs exactly.
     pub canonical_inputs: bool,
-    /// Execute fully-concrete single-path segments on the LIR concrete VM,
-    /// falling back to the symbolic executor only when symbolic data is
-    /// consumed. Pure performance knob: on or off, every run produces
-    /// byte-identical test cases and an identical HL tree (concrete steps
-    /// still count against all instruction budgets). Default on.
-    pub fast_forward: bool,
+    /// How fully-concrete single-path segments are dispatched to the LIR
+    /// concrete VM ([`FfMode::Off`], fixed-window gating, or per-site
+    /// adaptive gating). Pure performance knob: in every mode, every run
+    /// produces byte-identical test cases and an identical HL tree
+    /// (concrete steps still count against all instruction budgets).
+    /// Default [`FfMode::Adaptive`].
+    pub ff_mode: FfMode,
 }
 
 impl Default for ChefConfig {
@@ -73,7 +75,7 @@ impl Default for ChefConfig {
             timeline_resolution: 50_000,
             max_wall: None,
             canonical_inputs: true,
-            fast_forward: true,
+            ff_mode: FfMode::default(),
         }
     }
 }
@@ -182,6 +184,10 @@ pub struct Report {
     /// Phase time attribution and fast-forward profile for this run
     /// (empty unless a `chef_trace` level is enabled).
     pub trace: chef_trace::TraceStats,
+    /// The adaptive fast-forward gate's learned per-site state, sorted by
+    /// HL PC. Empty unless the run used [`FfMode::Adaptive`]. Feed it to a
+    /// later engine ([`Chef::absorb_ff_sites`]) to warm-start the gate.
+    pub ff_sites: FfSiteTable,
 }
 
 impl Report {
@@ -340,6 +346,9 @@ pub struct Chef<'p> {
     infeasible_paths: u64,
     seeds_exported: u64,
     seeds_imported: u64,
+    /// CFG size at the last fast-forward anchor push; anchors are
+    /// recomputed once the CFG has grown enough past this mark.
+    ff_anchor_mark: usize,
     started: Instant,
 }
 
@@ -370,7 +379,8 @@ impl<'p> Chef<'p> {
     }
 
     fn without_states(prog: &'p Program, config: ChefConfig) -> Self {
-        let exec = Executor::new(prog, config.exec);
+        let mut exec = Executor::new(prog, config.exec);
+        exec.set_ff_mode(config.ff_mode);
         let strategy = config.strategy.build();
         let rng = StdRng::seed_from_u64(config.seed);
         let next_timeline = config.timeline_resolution;
@@ -398,6 +408,7 @@ impl<'p> Chef<'p> {
             infeasible_paths: 0,
             seeds_exported: 0,
             seeds_imported: 0,
+            ff_anchor_mark: 0,
             started: Instant::now(),
         }
     }
@@ -606,7 +617,7 @@ impl<'p> Chef<'p> {
                 self.finalize(state, meta, TestStatus::Hang);
                 return None;
             }
-            if self.config.fast_forward {
+            if self.config.ff_mode != FfMode::Off {
                 let cap = (self.config.max_ll_instructions - self.exec.stats.ll_instructions)
                     .min(self.config.per_path_fuel - state.ll_steps);
                 if let Some(events) = self.exec.try_fast_forward(&mut state, cap) {
@@ -758,6 +769,29 @@ impl<'p> Chef<'p> {
         }
     }
 
+    /// Merges another engine's learned fast-forward site table into this
+    /// engine's gate, warm-starting the per-site backoff so fleet workers
+    /// and resumed serve sessions don't re-pay the discovery cost of cold
+    /// regions.
+    pub fn absorb_ff_sites<I: IntoIterator<Item = (u64, FfSiteState)>>(&mut self, sites: I) {
+        self.exec.ff_absorb(sites);
+    }
+
+    /// Pushes fresh CFG anchors (loop heads, dispatch heads) to the
+    /// adaptive gate once the CFG has grown meaningfully since the last
+    /// push. Keyed on CFG size only — execution history, never wall time —
+    /// so anchor timing is identical across replays of the same schedule.
+    fn refresh_ff_anchors(&mut self) {
+        if self.config.ff_mode != FfMode::Adaptive {
+            return;
+        }
+        let n = self.cfg.len();
+        if n >= self.ff_anchor_mark + 16 {
+            self.ff_anchor_mark = n;
+            self.exec.set_ff_anchors(self.cfg.anchor_sites());
+        }
+    }
+
     fn build_candidates(&mut self) -> Vec<Candidate> {
         let kind = self.config.strategy;
         if kind == StrategyKind::CupaCoverage {
@@ -824,6 +858,7 @@ impl<'p> Chef<'p> {
             }
             return EngineStatus::OutOfWork;
         }
+        self.refresh_ff_anchors();
         let candidates = self.build_candidates();
         let Some(idx) = self.strategy.select(&candidates, &mut self.rng) else {
             return EngineStatus::OutOfWork;
@@ -895,6 +930,7 @@ impl<'p> Chef<'p> {
             // Drain this thread's accumulated spans/profiles: the engine
             // runs on one thread, so its report owns them.
             trace: chef_trace::take_local(),
+            ff_sites: self.exec.ff_sites_snapshot(),
         }
     }
 
@@ -907,7 +943,7 @@ impl<'p> Chef<'p> {
                 self.finalize(state, meta, TestStatus::Hang);
                 return SliceOutcome::Finalized;
             }
-            if self.config.fast_forward {
+            if self.config.ff_mode != FfMode::Off {
                 let cap = (self.config.max_ll_instructions - self.exec.stats.ll_instructions)
                     .min(self.config.per_path_fuel - state.ll_steps);
                 if let Some(events) = self.exec.try_fast_forward(&mut state, cap) {

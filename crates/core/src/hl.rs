@@ -250,6 +250,26 @@ impl HlCfg {
     pub fn is_branching_opcode(&self, opcode: u64) -> bool {
         self.branching_opcodes.contains(&opcode)
     }
+
+    /// Anchor sites for the adaptive fast-forward gate: loop back-edge
+    /// targets (a successor at or before its source in HLPC order — the
+    /// interpreter loop's re-entry points) and dispatch heads (out-degree
+    /// ≥ 3, the opcode-dispatch fan-outs). Sorted, so consumers observe a
+    /// deterministic order regardless of hash-map iteration.
+    pub fn anchor_sites(&self) -> Vec<u64> {
+        let mut anchors = std::collections::BTreeSet::new();
+        for (&from, n) in &self.nodes {
+            if n.succs.len() >= 3 {
+                anchors.insert(from);
+            }
+            for &to in &n.succs {
+                if to <= from {
+                    anchors.insert(to);
+                }
+            }
+        }
+        anchors.into_iter().collect()
+    }
 }
 
 #[cfg(test)]

@@ -58,8 +58,10 @@ pub use stats::SchedStats;
 // The fork-point snapshot type seeds and corpora reference; re-exported so
 // service layers need not depend on `chef-symex` directly.
 pub use chef_symex::Snapshot;
+// Fast-forward gating types, likewise re-exported for service layers.
+pub use chef_symex::{FfMode, FfSiteState, FfSiteTable};
 pub use strategy::{
     fork_weight, Candidate, CupaStrategy, DfsStrategy, RandomStrategy, SearchStrategy,
     StrategyKind, FORK_WEIGHT_P,
 };
-pub use wire::{Wire, WireError};
+pub use wire::{FfTable, Wire, WireError};

@@ -43,7 +43,7 @@ use std::fmt;
 use std::time::Duration;
 
 use chef_solver::SolverStats;
-use chef_symex::{ExecStats, SnapFrame, SnapNode, Snapshot};
+use chef_symex::{ExecStats, FfSiteState, FfSiteTable, SnapFrame, SnapNode, Snapshot};
 use chef_trace::{FfSite, Histogram, TraceStats, PHASE_COUNT};
 
 use crate::engine::{Report, TestCase, TestStatus, TimelinePoint};
@@ -61,7 +61,12 @@ pub const MAGIC: [u8; 4] = *b"CHWR";
 /// fast-forward [`ExecStats`] counters. Version 5 appends a compact
 /// [`chef_trace::TraceStats`] section to [`Report`] and gives
 /// `TraceStats` its own frame tag (per-session trace persistence).
-pub const VERSION: u16 = 5;
+/// Version 6 adds the adaptive fast-forward plane: a per-site backoff
+/// gauge and segment-length histogram inside `TraceStats`, the
+/// `ff_skipped` [`ExecStats`] counter, a learned-site-table section on
+/// [`Report`], and the standalone [`FfTable`] frame fleet workers and
+/// serve sessions exchange.
+pub const VERSION: u16 = 6;
 
 /// First version whose frames carry a trailing CRC-32.
 pub const CRC_VERSION: u16 = 3;
@@ -824,6 +829,8 @@ fn encode_exec_stats(s: &ExecStats, w: &mut Writer) {
     w.u64(s.concrete_ll_executed);
     w.u64(s.fast_forwards);
     w.u64(s.ff_aborts);
+    // v6 fields.
+    w.u64(s.ff_skipped);
 }
 
 fn decode_exec_stats(r: &mut Reader, version: u16) -> Result<ExecStats, WireError> {
@@ -845,6 +852,9 @@ fn decode_exec_stats(r: &mut Reader, version: u16) -> Result<ExecStats, WireErro
         s.concrete_ll_executed = r.u64()?;
         s.fast_forwards = r.u64()?;
         s.ff_aborts = r.u64()?;
+    }
+    if version >= 6 {
+        s.ff_skipped = r.u64()?;
     }
     Ok(s)
 }
@@ -947,10 +957,14 @@ fn encode_trace_stats(s: &TraceStats, w: &mut Writer) {
         w.u64(site.retired);
         w.u64(site.aborts);
         w.u64(site.steps);
+        // v6 field.
+        w.u64(site.backoff);
     }
+    // v6: segment-length histogram.
+    encode_histogram(&s.ff_seg_len, w);
 }
 
-fn decode_trace_stats(r: &mut Reader) -> Result<TraceStats, WireError> {
+fn decode_trace_stats(r: &mut Reader, version: u16) -> Result<TraceStats, WireError> {
     let n_phases = r.u8()? as usize;
     if n_phases > r.remaining() / 16 {
         return Err(WireError::BadLength(n_phases as u64));
@@ -980,8 +994,12 @@ fn decode_trace_stats(r: &mut Reader) -> Result<TraceStats, WireError> {
                 retired: r.u64()?,
                 aborts: r.u64()?,
                 steps: r.u64()?,
+                backoff: if version >= 6 { r.u64()? } else { 0 },
             },
         );
+    }
+    if version >= 6 {
+        s.ff_seg_len = decode_histogram(r)?;
     }
     Ok(s)
 }
@@ -993,8 +1011,65 @@ impl Wire for TraceStats {
         encode_trace_stats(self, w);
     }
 
+    fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError> {
+        decode_trace_stats(r, version)
+    }
+}
+
+/// A learned fast-forward site table as a standalone frame: what fleet
+/// workers ship to peers and serve sessions persist next to their trace,
+/// so the adaptive gate's knowledge survives process boundaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FfTable(pub FfSiteTable);
+
+fn encode_ff_sites(sites: &FfSiteTable, w: &mut Writer) {
+    w.u32(sites.len() as u32);
+    for (pc, s) in sites {
+        w.u64(*pc);
+        w.u64(s.ewma);
+        w.u32(s.backoff);
+        w.u32(s.streak);
+        let flags = (s.cold as u8) | ((s.anchor as u8) << 1);
+        w.u8(flags);
+    }
+}
+
+fn decode_ff_sites(r: &mut Reader) -> Result<FfSiteTable, WireError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() / 25 {
+        return Err(WireError::BadLength(n as u64));
+    }
+    let mut sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pc = r.u64()?;
+        let ewma = r.u64()?;
+        let backoff = r.u32()?;
+        let streak = r.u32()?;
+        let flags = r.u8()?;
+        sites.push((
+            pc,
+            FfSiteState {
+                ewma,
+                backoff,
+                streak,
+                skip: 0,
+                cold: flags & 1 != 0,
+                anchor: flags & 2 != 0,
+            },
+        ));
+    }
+    Ok(sites)
+}
+
+impl Wire for FfTable {
+    const TAG: u8 = 7;
+
+    fn encode_body(&self, w: &mut Writer) {
+        encode_ff_sites(&self.0, w);
+    }
+
     fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, WireError> {
-        decode_trace_stats(r)
+        Ok(FfTable(decode_ff_sites(r)?))
     }
 }
 
@@ -1049,6 +1124,8 @@ impl Wire for Report {
         w.u64(self.seeds_imported);
         // v5: the trace section.
         encode_trace_stats(&self.trace, w);
+        // v6: the adaptive gate's learned site table.
+        encode_ff_sites(&self.ff_sites, w);
     }
 
     fn decode_body(r: &mut Reader, version: u16) -> Result<Self, WireError> {
@@ -1117,9 +1194,14 @@ impl Wire for Report {
             seeds_exported: r.u64()?,
             seeds_imported: r.u64()?,
             trace: if version >= 5 {
-                decode_trace_stats(r)?
+                decode_trace_stats(r, version)?
             } else {
                 TraceStats::default()
+            },
+            ff_sites: if version >= 6 {
+                decode_ff_sites(r)?
+            } else {
+                FfSiteTable::new()
             },
         })
     }

@@ -106,6 +106,7 @@ fn arb_report() -> impl Strategy<Value = Report> {
                 concrete_ll_executed: nums[0] % 17,
                 fast_forwards: nums[1] % 19,
                 ff_aborts: nums[2] % 23,
+                ff_skipped: nums[3] % 29,
             },
             solver_stats: SolverStats {
                 queries: nums[5],
@@ -121,7 +122,31 @@ fn arb_report() -> impl Strategy<Value = Report> {
             seeds_exported: nums[3],
             seeds_imported: nums[4],
             trace: arb_trace_stats(&nums),
+            ff_sites: arb_ff_sites(&nums),
         })
+}
+
+/// Deterministic-but-varied learned site table derived from the number
+/// pool (v6 appends this to the Report frame).
+fn arb_ff_sites(nums: &[u64]) -> chef_core::FfSiteTable {
+    let mut sites: chef_core::FfSiteTable = (0..nums[0] % 4)
+        .map(|i| {
+            (
+                nums[i as usize % nums.len()] % 1_000,
+                chef_core::FfSiteState {
+                    ewma: nums[1] % 10_000,
+                    backoff: (nums[2] % 512) as u32,
+                    streak: (nums[3] % 16) as u32,
+                    skip: 0,
+                    cold: nums[4] % 2 == 1,
+                    anchor: nums[5] % 2 == 1,
+                },
+            )
+        })
+        .collect();
+    sites.sort_unstable_by_key(|&(pc, _)| pc);
+    sites.dedup_by_key(|&mut (pc, _)| pc);
+    sites
 }
 
 /// Deterministic-but-varied trace stats derived from the report's number
@@ -142,8 +167,10 @@ fn arb_trace_stats(nums: &[u64]) -> chef_trace::TraceStats {
             retired: nums[4] % 29,
             aborts: nums[5] % 7,
             steps: nums[5] % 100_000,
+            backoff: nums[3] % 512,
         },
     );
+    t.ff_seg_len.record(nums[0] % 100_000);
     t
 }
 
@@ -204,6 +231,14 @@ proptest! {
         prop_assert_eq!(decoded.seeds_exported, r.seeds_exported);
         prop_assert_eq!(decoded.seeds_imported, r.seeds_imported);
         prop_assert_eq!(&decoded.trace, &r.trace);
+        prop_assert_eq!(&decoded.ff_sites, &r.ff_sites);
+    }
+
+    #[test]
+    fn ff_table_roundtrips(r in arb_report()) {
+        let table = chef_core::FfTable(r.ff_sites);
+        let decoded = chef_core::FfTable::from_frame(&table.to_frame()).unwrap();
+        prop_assert_eq!(decoded, table);
     }
 
     #[test]

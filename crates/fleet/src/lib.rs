@@ -86,6 +86,10 @@ pub struct FleetConfig {
     /// `chef-serve`'s corpus warm start: edges recovered by concretely
     /// replaying stored tests pre-populate the §3.4 coverage weights.
     pub seed_cfg_edges: Vec<(u64, u64, u64)>,
+    /// Learned fast-forward site table every worker absorbs before
+    /// exploring — the adaptive gate's warm start, so a resumed serve
+    /// session does not re-pay the discovery cost of cold regions.
+    pub seed_ff_sites: chef_symex::FfSiteTable,
 }
 
 impl Default for FleetConfig {
@@ -97,6 +101,7 @@ impl Default for FleetConfig {
             steal_batch: 4,
             sync_interval_ll: 25_000,
             seed_cfg_edges: Vec::new(),
+            seed_ff_sites: Vec::new(),
         }
     }
 }
@@ -209,6 +214,10 @@ pub struct FleetReport {
     /// Merged phase time attribution and fast-forward profile across all
     /// workers (empty unless a `chef_trace` level is enabled).
     pub trace: chef_trace::TraceStats,
+    /// The adaptive fast-forward gate's learned site tables, merged across
+    /// workers in worker-index order (so the result is deterministic) and
+    /// sorted by HL PC. Feed it back via [`FleetConfig::seed_ff_sites`].
+    pub ff_sites: chef_symex::FfSiteTable,
 }
 
 impl FleetReport {
@@ -424,6 +433,9 @@ fn worker(
     if !config.seed_cfg_edges.is_empty() {
         chef.absorb_cfg_edges(config.seed_cfg_edges.iter().copied());
     }
+    if !config.seed_ff_sites.is_empty() {
+        chef.absorb_ff_sites(config.seed_ff_sites.iter().copied());
+    }
     let mut last_ll = 0u64;
     let mut last_tests = 0usize;
     let mut last_cov_sync = 0u64;
@@ -568,6 +580,8 @@ fn merge(
     let mut ll_paths = 0usize;
     let mut seeds_shipped = 0u64;
     let mut trace = chef_trace::TraceStats::default();
+    let mut ff_sites: std::collections::BTreeMap<u64, chef_symex::FfSiteState> =
+        std::collections::BTreeMap::new();
     for r in reports.iter_mut() {
         all.extend(r.tests.iter().cloned());
         add_exec_stats(&mut exec_stats, &r.exec_stats);
@@ -576,6 +590,16 @@ fn merge(
         covered.extend(r.covered_hlpcs.iter().copied());
         ll_paths += r.ll_paths;
         seeds_shipped += r.seeds_exported;
+        // Reports arrive in worker-index order, so the absorb sequence —
+        // and with it the merged table — is deterministic.
+        for &(pc, site) in &r.ff_sites {
+            match ff_sites.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(&site),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(site);
+                }
+            }
+        }
     }
     // Deterministic order, then dedup by canonical input bytes.
     all.sort_by_cached_key(|t| (t.canonical_key(), t.hl_sig));
@@ -625,6 +649,7 @@ fn merge(
         seeds_shipped,
         per_worker: reports,
         trace,
+        ff_sites: ff_sites.into_iter().collect(),
     }
 }
 
@@ -641,6 +666,7 @@ fn add_exec_stats(acc: &mut ExecStats, s: &ExecStats) {
     acc.concrete_ll_executed += s.concrete_ll_executed;
     acc.fast_forwards += s.fast_forwards;
     acc.ff_aborts += s.ff_aborts;
+    acc.ff_skipped += s.ff_skipped;
 }
 
 fn add_solver_stats(acc: &mut SolverStats, s: &SolverStats) {

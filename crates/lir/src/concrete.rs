@@ -8,7 +8,8 @@
 use std::collections::HashMap;
 
 use crate::ir::{
-    trace_kind, FuncId, InputMap, Inst, Intrinsic, MemSize, Operand, Program, Reg, Term,
+    trace_kind, BinOp, Block, FuncId, InputMap, Inst, Intrinsic, MemSize, Operand, Program, Reg,
+    Term,
 };
 use chef_solver::eval_bin;
 
@@ -358,7 +359,9 @@ pub trait PageSource {
     fn byte(&self, addr: u64) -> Option<u8>;
 }
 
-struct SegPage {
+/// One overlay page. Opaque outside this module; callers only hold them to
+/// recycle allocations between segments (see [`SegMem::with_pool`]).
+pub struct SegPage {
     bytes: Box<[u8; SEG_PAGE_SIZE]>,
     loaded: [u64; SEG_PAGE_WORDS],
     dirty: [u64; SEG_PAGE_WORDS],
@@ -371,6 +374,15 @@ impl SegPage {
             loaded: [0; SEG_PAGE_WORDS],
             dirty: [0; SEG_PAGE_WORDS],
         }
+    }
+
+    /// Makes a recycled page indistinguishable from a fresh one: with both
+    /// bitmaps clear, stale `bytes` are unreachable (every read checks
+    /// `loaded` first), so only the bitmaps need zeroing — 1/4 of the
+    /// allocate-and-memset cost of [`SegPage::new`].
+    fn reset(&mut self) {
+        self.loaded = [0; SEG_PAGE_WORDS];
+        self.dirty = [0; SEG_PAGE_WORDS];
     }
 }
 
@@ -386,16 +398,26 @@ pub struct SegMem<'a> {
     index: HashMap<u64, usize>,
     pages: Vec<(u64, SegPage)>,
     last: (u64, usize),
+    pool: Vec<SegPage>,
 }
 
 impl<'a> SegMem<'a> {
     /// Empty overlay over `src`.
     pub fn new(src: &'a dyn PageSource) -> Self {
+        Self::with_pool(src, Vec::new())
+    }
+
+    /// Empty overlay that draws page allocations from `pool` (as returned
+    /// by [`SegMem::drain`]) before heap-allocating fresh ones. Segments run
+    /// back to back touch similar page counts, so recycling turns the
+    /// per-attempt page cost from allocate-and-zero into a bitmap clear.
+    pub fn with_pool(src: &'a dyn PageSource, pool: Vec<SegPage>) -> Self {
         SegMem {
             src,
             index: HashMap::new(),
             pages: Vec::new(),
             last: (u64::MAX, usize::MAX),
+            pool,
         }
     }
 
@@ -408,7 +430,14 @@ impl<'a> SegMem<'a> {
             std::collections::hash_map::Entry::Vacant(e) => {
                 let idx = self.pages.len();
                 e.insert(idx);
-                self.pages.push((key, SegPage::new()));
+                let page = match self.pool.pop() {
+                    Some(mut p) => {
+                        p.reset();
+                        p
+                    }
+                    None => SegPage::new(),
+                };
+                self.pages.push((key, page));
                 idx
             }
         };
@@ -451,17 +480,29 @@ impl<'a> SegMem<'a> {
     /// All bytes written during the segment, as `(addr, value)` in address
     /// order.
     pub fn into_dirty(self) -> Vec<(u64, u8)> {
+        self.drain().0
+    }
+
+    /// [`SegMem::into_dirty`], plus every page allocation this overlay used
+    /// (touched and pooled alike) for the caller to feed into the next
+    /// segment's [`SegMem::with_pool`].
+    pub fn drain(self) -> (Vec<(u64, u8)>, Vec<SegPage>) {
         let mut pages = self.pages;
         pages.sort_unstable_by_key(|(k, _)| *k);
         let mut out = Vec::new();
         for (k, page) in &pages {
-            for off in 0..SEG_PAGE_SIZE {
-                if page.dirty[off / 64] >> (off % 64) & 1 == 1 {
+            for (wi, &word) in page.dirty.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let off = wi * 64 + bits.trailing_zeros() as usize;
                     out.push(((k << SEG_PAGE_BITS) | off as u64, page.bytes[off]));
+                    bits &= bits - 1;
                 }
             }
         }
-        out
+        let mut pool = self.pool;
+        pool.extend(pages.into_iter().map(|(_, p)| p));
+        (out, pool)
     }
 }
 
@@ -694,15 +735,396 @@ fn log_truthy(interns: &mut InternLog, v: u64) {
     interns.push(1, (v != 0) as u64);
 }
 
+// ---------------------------------------------------------------------------
+// Superinstruction blocks.
+//
+// Hot straight-line block bodies are lazily fused (counter-triggered, per
+// function × block) into preflattened micro-op arrays with predecoded
+// operands, which the segment VM executes without per-instruction enum
+// dispatch. Micro-ops are 1:1 with `Block::insts` — micro-op `i` covers
+// instruction `i` — so the frame's `ip` needs no translation and a segment
+// can enter a fused block mid-body (e.g. when resuming after a stop).
+// Non-fusable instructions compile to `Bail`, which hands that single
+// instruction back to the generic dispatch loop. The micro runner mirrors
+// the generic loop's intern-log, fuel, and stop semantics *exactly*: fused
+// and unfused execution are byte-identical to the symbolic executor.
+// ---------------------------------------------------------------------------
+
+/// Block entries (at `ip == 0`) after which a block's body is fused.
+const SUPER_THRESHOLD: u32 = 16;
+
+/// Minimum fusable instructions for a fusion to pay for its dispatch.
+const SUPER_MIN_FUSABLE: usize = 4;
+
+/// Predecoded operand of a micro-op.
+#[derive(Clone, Copy)]
+enum Src {
+    Reg(u32),
+    Imm(u64),
+}
+
+impl Src {
+    fn of(op: &Operand) -> Src {
+        match op {
+            Operand::Reg(r) => Src::Reg(r.0),
+            Operand::Imm(v) => Src::Imm(*v),
+        }
+    }
+}
+
+#[inline]
+fn peek_src(frame: &SegFrame, s: Src) -> (u64, bool) {
+    match s {
+        Src::Reg(r) => (frame.regs[r as usize], frame.is_sym(r)),
+        Src::Imm(v) => (v, false),
+    }
+}
+
+#[inline]
+fn log_src(ilog: &mut InternLog, s: Src) {
+    if let Src::Imm(v) = s {
+        ilog.push(64, v);
+    }
+}
+
+/// One fused instruction of a superinstruction block.
+#[derive(Clone, Copy)]
+enum MicroOp {
+    Const {
+        dst: u32,
+        value: u64,
+    },
+    MovR {
+        dst: u32,
+        src: u32,
+    },
+    MovI {
+        dst: u32,
+        imm: u64,
+    },
+    Bin {
+        op: BinOp,
+        pred: bool,
+        dst: u32,
+        a: Src,
+        b: Src,
+    },
+    Not {
+        dst: u32,
+        a: Src,
+    },
+    LoadU8 {
+        dst: u32,
+        addr: Src,
+    },
+    LoadU64 {
+        dst: u32,
+        addr: Src,
+    },
+    StoreU8 {
+        addr: Src,
+        value: Src,
+    },
+    StoreU64 {
+        addr: Src,
+        value: Src,
+    },
+    /// Non-fusable instruction: dispatch it via the generic loop.
+    Bail,
+}
+
+enum SuperEntry {
+    /// Block entered this many times; fuses at [`SUPER_THRESHOLD`].
+    Counting(u32),
+    /// Fused micro-op array, 1:1 with the block's `insts`.
+    Fused(Box<[MicroOp]>),
+    /// Fusing would not pay (mostly non-fusable instructions).
+    Skip,
+}
+
+/// Counter-triggered cache of fused straight-line blocks, keyed by
+/// `(function, block)`. Owned by the symbolic executor so fusions persist
+/// across segments (and across every state exploring the same program);
+/// purely an execution-speed structure — it never affects results.
+#[derive(Default)]
+pub struct SuperCache {
+    blocks: HashMap<(u32, u32), SuperEntry>,
+}
+
+impl SuperCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SuperCache::default()
+    }
+
+    /// Number of blocks fused so far (diagnostics).
+    pub fn fused_blocks(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|(_, e)| matches!(e, SuperEntry::Fused(_)))
+            .count()
+    }
+
+    /// Called when the VM is about to execute inside a block body. Fresh
+    /// entries (`ip == 0`) bump the block's hot counter and trigger fusion
+    /// at the threshold; mid-body resumes reuse an existing fusion without
+    /// counting. Returns the fused micro-ops, if any.
+    fn enter(
+        &mut self,
+        func: FuncId,
+        block_idx: u32,
+        ip: usize,
+        block: &Block,
+    ) -> Option<&[MicroOp]> {
+        use std::collections::hash_map::Entry;
+        let e = match self.blocks.entry((func.0, block_idx)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(SuperEntry::Counting(0)),
+        };
+        if let SuperEntry::Counting(n) = e {
+            if ip == 0 {
+                *n += 1;
+                if *n >= SUPER_THRESHOLD {
+                    *e = fuse(block);
+                }
+            }
+        }
+        match e {
+            SuperEntry::Fused(ops) => Some(ops),
+            _ => None,
+        }
+    }
+}
+
+fn fuse(block: &Block) -> SuperEntry {
+    // What fusion buys is dispatch-free *runs*: the micro runner executes
+    // until the next `Bail`, then the generic loop finishes the block. A
+    // block whose longest fusable run is short would pay the cache probe
+    // and runner entry for nothing.
+    let mut longest = 0usize;
+    let mut run = 0usize;
+    for inst in &block.insts {
+        if inst.fusable() {
+            run += 1;
+            longest = longest.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    if longest < SUPER_MIN_FUSABLE {
+        return SuperEntry::Skip;
+    }
+    let ops: Vec<MicroOp> = block.insts.iter().map(micro_of).collect();
+    SuperEntry::Fused(ops.into_boxed_slice())
+}
+
+fn micro_of(inst: &Inst) -> MicroOp {
+    match inst {
+        Inst::Const { dst, value } => MicroOp::Const {
+            dst: dst.0,
+            value: *value,
+        },
+        Inst::Mov { dst, src } => match src {
+            Operand::Reg(r) => MicroOp::MovR {
+                dst: dst.0,
+                src: r.0,
+            },
+            Operand::Imm(v) => MicroOp::MovI {
+                dst: dst.0,
+                imm: *v,
+            },
+        },
+        Inst::Bin { op, dst, a, b } => MicroOp::Bin {
+            op: *op,
+            pred: op.is_predicate(),
+            dst: dst.0,
+            a: Src::of(a),
+            b: Src::of(b),
+        },
+        Inst::Not { dst, a } => MicroOp::Not {
+            dst: dst.0,
+            a: Src::of(a),
+        },
+        Inst::Load { dst, addr, size } => match size {
+            MemSize::U8 => MicroOp::LoadU8 {
+                dst: dst.0,
+                addr: Src::of(addr),
+            },
+            MemSize::U64 => MicroOp::LoadU64 {
+                dst: dst.0,
+                addr: Src::of(addr),
+            },
+        },
+        Inst::Store { addr, value, size } => match size {
+            MemSize::U8 => MicroOp::StoreU8 {
+                addr: Src::of(addr),
+                value: Src::of(value),
+            },
+            MemSize::U64 => MicroOp::StoreU64 {
+                addr: Src::of(addr),
+                value: Src::of(value),
+            },
+        },
+        Inst::Select { .. } | Inst::Call { .. } | Inst::Intrinsic { .. } => MicroOp::Bail,
+    }
+}
+
+enum MicroExit {
+    /// Stop the whole segment at the op `frame.ip` points to.
+    Stop(SegStop),
+    /// The op at `frame.ip` is not fused; dispatch it generically.
+    Bail,
+    /// Reached the end of the body (`frame.ip == insts.len()`).
+    Done,
+}
+
+/// Executes fused micro-ops starting at `frame.ip`, mirroring the generic
+/// loop's per-instruction fuel checks and intern-log order exactly.
+fn run_micro(
+    ops: &[MicroOp],
+    frame: &mut SegFrame,
+    mem: &mut SegMem<'_>,
+    ilog: &mut InternLog,
+    steps: &mut u64,
+    fuel: u64,
+) -> MicroExit {
+    while let Some(op) = ops.get(frame.ip) {
+        if *steps >= fuel {
+            return MicroExit::Stop(SegStop::OutOfFuel);
+        }
+        match *op {
+            MicroOp::Bail => return MicroExit::Bail,
+            MicroOp::Const { dst, value } => {
+                ilog.push(64, value);
+                frame.write(dst, value, false);
+            }
+            MicroOp::MovR { dst, src } => {
+                let v = frame.regs[src as usize];
+                let s = frame.is_sym(src);
+                frame.write(dst, v, s);
+            }
+            MicroOp::MovI { dst, imm } => {
+                ilog.push(64, imm);
+                frame.write(dst, imm, false);
+            }
+            MicroOp::Bin {
+                op,
+                pred,
+                dst,
+                a,
+                b,
+            } => {
+                let (va, sa) = peek_src(frame, a);
+                let (vb, sb) = peek_src(frame, b);
+                if sa || sb {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                log_src(ilog, a);
+                log_src(ilog, b);
+                let r = eval_bin(op, 64, va, vb);
+                if pred {
+                    ilog.push(1, r);
+                }
+                ilog.push(64, r);
+                frame.write(dst, r, false);
+            }
+            MicroOp::Not { dst, a } => {
+                let (va, sa) = peek_src(frame, a);
+                if sa {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                log_src(ilog, a);
+                ilog.push(64, !va);
+                frame.write(dst, !va, false);
+            }
+            MicroOp::LoadU8 { dst, addr } => {
+                let (a, sa) = peek_src(frame, addr);
+                if sa {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                let Some(b) = mem.read_u8(a) else {
+                    return MicroExit::Stop(SegStop::TaintedLoad);
+                };
+                log_src(ilog, addr);
+                ilog.push(64, b as u64);
+                frame.write(dst, b as u64, false);
+            }
+            MicroOp::LoadU64 { dst, addr } => {
+                let (a, sa) = peek_src(frame, addr);
+                if sa {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                let mut bytes = [0u8; 8];
+                for i in 0..8u64 {
+                    match mem.read_u8(a.wrapping_add(i)) {
+                        Some(b) => bytes[i as usize] = b,
+                        None => return MicroExit::Stop(SegStop::TaintedLoad),
+                    }
+                }
+                log_src(ilog, addr);
+                let mut acc = bytes[0] as u64;
+                for (i, &b) in bytes.iter().enumerate().skip(1) {
+                    acc |= (b as u64) << (8 * i);
+                    ilog.push(8 * (i as u8 + 1), acc);
+                }
+                frame.write(dst, acc, false);
+            }
+            MicroOp::StoreU8 { addr, value } => {
+                let (a, sa) = peek_src(frame, addr);
+                let (v, sv) = peek_src(frame, value);
+                if sa || sv {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                log_src(ilog, addr);
+                log_src(ilog, value);
+                ilog.push(8, v & 0xff);
+                mem.write_u8(a, v as u8);
+            }
+            MicroOp::StoreU64 { addr, value } => {
+                let (a, sa) = peek_src(frame, addr);
+                let (v, sv) = peek_src(frame, value);
+                if sa || sv {
+                    return MicroExit::Stop(SegStop::Boundary);
+                }
+                log_src(ilog, addr);
+                log_src(ilog, value);
+                for i in 0..8 {
+                    ilog.push(8, (v >> (8 * i)) & 0xff);
+                    mem.write_u8(a.wrapping_add(i), (v >> (8 * i)) as u8);
+                }
+            }
+        }
+        frame.ip += 1;
+        *steps += 1;
+    }
+    MicroExit::Done
+}
+
 /// Runs the segment machine until the next symbolic-consuming event or fuel
 /// exhaustion. `frames` and `mem` are left at the stop point; the
-/// instruction that caused the stop has not been executed.
+/// instruction that caused the stop has not been executed. Equivalent to
+/// [`run_segment_cached`] with a throwaway [`SuperCache`].
 pub fn run_segment(
     prog: &Program,
     frames: &mut Vec<SegFrame>,
     below: &mut dyn FrameSource,
     mem: &mut SegMem<'_>,
     fuel: u64,
+) -> SegOutcome {
+    let mut cache = SuperCache::new();
+    run_segment_cached(prog, frames, below, mem, fuel, &mut cache)
+}
+
+/// [`run_segment`] with a caller-owned [`SuperCache`], so block fusions
+/// learned in one segment speed up every later segment over the same
+/// program.
+pub fn run_segment_cached(
+    prog: &Program,
+    frames: &mut Vec<SegFrame>,
+    below: &mut dyn FrameSource,
+    mem: &mut SegMem<'_>,
+    fuel: u64,
+    cache: &mut SuperCache,
 ) -> SegOutcome {
     let mut out = SegOutcome {
         stop: SegStop::Boundary,
@@ -712,6 +1134,10 @@ pub fn run_segment(
         orig_live: frames.len(),
     };
     let mut ilog = InternLog::new();
+    // The last `(func, block)` body the cache had nothing for; skipping the
+    // lookup until the block changes (or a fresh `ip == 0` entry re-counts)
+    // keeps unfused blocks at one hash probe per entry, not per instruction.
+    let mut unfused: (u32, u32) = (u32::MAX, u32::MAX);
     macro_rules! stop {
         ($why:expr) => {{
             out.stop = $why;
@@ -731,6 +1157,23 @@ pub fn run_segment(
         let func = prog.func(frame.func);
         let block = &func.blocks[frame.block];
         if frame.ip < block.insts.len() {
+            let key = (frame.func.0, frame.block as u32);
+            if frame.ip == 0 || key != unfused {
+                if let Some(ops) = cache.enter(frame.func, key.1, frame.ip, block) {
+                    match run_micro(ops, frame, mem, &mut ilog, &mut out.steps, fuel) {
+                        MicroExit::Stop(why) => stop!(why),
+                        MicroExit::Done => continue,
+                        // Dispatch the op at `frame.ip` generically below —
+                        // and latch the block as generic until its next
+                        // fresh entry, so a bail point mid-block does not
+                        // re-probe the cache (and immediately re-bail) on
+                        // every following instruction.
+                        MicroExit::Bail => unfused = key,
+                    }
+                } else {
+                    unfused = key;
+                }
+            }
             let inst = &block.insts[frame.ip];
             match inst {
                 Inst::Const { dst, value } => {

@@ -187,6 +187,24 @@ pub enum Inst {
     },
 }
 
+impl Inst {
+    /// Whether the segment VM can fuse this instruction into a
+    /// superinstruction block: plain register/memory data flow. `Select`
+    /// (copies symbolic tokens between arms), `Call` (pushes frames), and
+    /// `Intrinsic` (raises guest events) need the generic dispatch path.
+    pub fn fusable(&self) -> bool {
+        matches!(
+            self,
+            Inst::Const { .. }
+                | Inst::Mov { .. }
+                | Inst::Bin { .. }
+                | Inst::Not { .. }
+                | Inst::Load { .. }
+                | Inst::Store { .. }
+        )
+    }
+}
+
 /// Block terminator.
 #[derive(Clone, Debug)]
 pub enum Term {

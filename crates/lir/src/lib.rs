@@ -35,8 +35,9 @@ pub mod ir;
 
 pub use builder::{FnBuilder, ModuleBuilder};
 pub use concrete::{
-    run_concrete, run_segment, ConcreteMem, ConcreteOutcome, ConcreteStatus, FrameSource,
-    GuestEvent, NoCallers, PageSource, SegEvent, SegFrame, SegMem, SegOutcome, SegStop,
+    run_concrete, run_segment, run_segment_cached, ConcreteMem, ConcreteOutcome, ConcreteStatus,
+    FrameSource, GuestEvent, NoCallers, PageSource, SegEvent, SegFrame, SegMem, SegOutcome,
+    SegPage, SegStop, SuperCache,
 };
 pub use ir::{
     trace_kind, BinOp, Block, BlockId, DataSeg, FuncId, Function, InputMap, Inst, Intrinsic,

@@ -427,6 +427,30 @@ impl Corpus {
         Ok(chef_trace::TraceStats::from_frame(&bytes).ok())
     }
 
+    /// Persists a session's learned fast-forward site table (atomically;
+    /// called once per completed slice, like [`Corpus::save_trace`]).
+    pub fn save_ffsites(&self, session: &str, sites: &chef_core::FfSiteTable) -> io::Result<()> {
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)?;
+        write_atomic(
+            &dir.join("ffsites.bin"),
+            &chef_core::FfTable(sites.clone()).to_frame(),
+        )
+    }
+
+    /// Loads a session's persisted fast-forward site table. Missing or
+    /// corrupt `ffsites.bin` yields `Ok(None)` — the adaptive gate just
+    /// starts cold (it is performance-only state).
+    pub fn load_ffsites(&self, session: &str) -> io::Result<Option<chef_core::FfSiteTable>> {
+        let path = self.session_dir(session).join("ffsites.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(chef_core::FfTable::from_frame(&bytes).ok().map(|t| t.0))
+    }
+
     /// Rewrites a target's `tests.bin` from its decodable frames: drops a
     /// crash-truncated tail for good, re-deduplicates by canonical input
     /// bytes, and trims overflow past the per-target budget (oldest tests

@@ -119,10 +119,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Per-target byte budget for archived tests (`None` = unbounded).
     pub corpus_budget_bytes: Option<u64>,
-    /// Run concrete fast-forward inside session slices (pure performance
-    /// knob — the corpus is byte-identical either way). Default on;
-    /// `chef-cli serve --no-fast-forward` turns it off.
-    pub fast_forward: bool,
+    /// Concrete fast-forward gating inside session slices (pure
+    /// performance knob — the corpus is byte-identical in every mode).
+    /// Default adaptive; `chef-cli serve --ff-mode off` (or the legacy
+    /// `--no-fast-forward`) turns it off.
+    pub ff_mode: chef_core::FfMode,
     /// Watchdog deadline for one scheduled slice, in milliseconds
     /// (`0` disables the watchdog). A slice that exceeds it — a hung
     /// solver query, a pathological seed — is aborted at its next safe
@@ -143,7 +144,7 @@ impl Default for ServeConfig {
             max_sessions: 32,
             max_connections: 128,
             corpus_budget_bytes: None,
-            fast_forward: true,
+            ff_mode: chef_core::FfMode::default(),
             slice_timeout_ms: 30_000,
         }
     }
@@ -250,6 +251,9 @@ struct Prepared {
     prog: Program,
     base: ChefConfig,
     seed_cfg_edges: Vec<(u64, u64, u64)>,
+    /// Adaptive fast-forward warm start: the session's persisted learned
+    /// site table, updated in place as slices complete.
+    seed_ff_sites: chef_core::FfSiteTable,
     seeds: Vec<WorkSeed>,
     stored_snapshot: Option<Arc<Snapshot>>,
     /// Low-level instructions spent against this *run's* budget (resets on
@@ -880,9 +884,14 @@ fn trace_value(t: &chef_trace::TraceStats) -> Value {
             ("permille", Value::Int(t.phase_permille(phase) as i64)),
         ]));
     }
+    let (ff_attempts, ff_retired) = t.ff_sites.values().fold((0u64, 0u64), |(a, s), site| {
+        (a + site.attempts, s + site.steps)
+    });
     Value::obj(vec![
         ("busy_us", Value::Int((t.busy_ns() / 1_000) as i64)),
         ("phases", Value::Arr(phases)),
+        ("ff_attempts", Value::Int(ff_attempts as i64)),
+        ("ff_retired", Value::Int(ff_retired as i64)),
         ("summary", Value::Str(t.summary())),
     ])
 }
@@ -1172,7 +1181,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     // A spec that no longer builds can never make progress: terminal.
     let prog = spec.build().map_err(SliceError::Fatal)?;
     let mut base = spec.chef_config();
-    base.fast_forward = inner.config.fast_forward;
+    base.ff_mode = inner.config.ff_mode;
 
     // Corpus warm start: replay stored tests concretely; their HL-CFG
     // edges pre-populate every worker's coverage weights.
@@ -1183,6 +1192,16 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
     let seed_cfg_edges = replay_cfg_edges(&prog, &stored, base.per_path_fuel);
     sess.seeded_tests
         .store(stored.len() as u64, Ordering::Relaxed);
+
+    // Adaptive fast-forward warm start: what earlier slices of this
+    // session learned about profitable segment-start sites. Best-effort —
+    // a missing or corrupt table just means a cold gate.
+    let seed_ff_sites = inner
+        .corpus
+        .load_ffsites(&sess.id)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
 
     // Fresh session starts at the root; a resumed one at its checkpoint.
     let mut seeds = match inner
@@ -1224,6 +1243,7 @@ fn prepare_session(inner: &Inner, sess: &SessionState) -> Result<Option<Prepared
         prog,
         base,
         seed_cfg_edges,
+        seed_ff_sites,
         seeds,
         stored_snapshot,
         spent: 0,
@@ -1260,6 +1280,7 @@ pub(crate) fn session_slice(
         jobs: sess.spec.jobs,
         base: prep.base.clone(),
         seed_cfg_edges: prep.seed_cfg_edges.clone(),
+        seed_ff_sites: prep.seed_ff_sites.clone(),
         ..FleetConfig::default()
     };
     sess.sched_slices.fetch_add(1, Ordering::Relaxed);
@@ -1315,6 +1336,14 @@ pub(crate) fn session_slice(
             .corpus
             .save_checkpoint(&sess.id, &outcome.frontier)
             .map_err(|e| SliceError::Io(format!("checkpoint write: {e}")))?;
+
+        // The fleet's merged site table already absorbed this slice's
+        // seed table, so it replaces (not merges with) the carry state.
+        // Best-effort persistence: losing it only costs re-learning.
+        if !outcome.report.ff_sites.is_empty() {
+            prep.seed_ff_sites = outcome.report.ff_sites.clone();
+            let _ = inner.corpus.save_ffsites(&sess.id, &prep.seed_ff_sites);
+        }
     }
 
     let verdict = if outcome.paused {

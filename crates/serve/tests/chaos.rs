@@ -237,7 +237,7 @@ fn daemon_survives_connection_faults_with_retrying_client() {
     let dir = tmpdir("conn");
 
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         checkpoint_interval_ll: 15_000,
@@ -301,7 +301,7 @@ fn enospc_pauses_session_then_resume_completes() {
     let dir = tmpdir("enospc");
 
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         checkpoint_interval_ll: 8_000,
@@ -369,7 +369,7 @@ fn watchdog_aborts_overrunning_slices_and_session_survives() {
     let dir = tmpdir("watchdog");
 
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         // One enormous slice whose wall-clock dwarfs the 10ms deadline:
@@ -444,7 +444,7 @@ fn submit_token_is_idempotent_across_daemon_restarts() {
     };
 
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         ..Default::default()
@@ -468,7 +468,7 @@ fn submit_token_is_idempotent_across_daemon_restarts() {
 
     // Restart on the same data dir: the token map reloads from disk.
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         ..Default::default()

@@ -189,7 +189,7 @@ fn daemon_pause_resume_over_tcp_matches_uninterrupted_run() {
 
     let dir = tmpdir("kill-daemon");
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         // Small checkpoint slices (but above the per-seed replay cost):
@@ -329,7 +329,7 @@ fn second_session_on_same_target_warm_starts_from_corpus() {
     let want = uninterrupted_set(&spec);
     let dir = tmpdir("warm");
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.clone(),
         ..Default::default()

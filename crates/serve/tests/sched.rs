@@ -82,7 +82,7 @@ fn start_daemon(
     max_connections: usize,
 ) -> (Client, String, std::thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
-        fast_forward: true,
+        ff_mode: Default::default(),
         addr: "127.0.0.1:0".into(),
         data_dir: dir.to_path_buf(),
         // Small slices: sessions genuinely interleave on the pool.

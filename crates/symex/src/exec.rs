@@ -7,8 +7,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use chef_lir::{
-    run_segment, trace_kind, FrameSource, GuestEvent as LirGuestEvent, Inst, Intrinsic, MemSize,
-    Operand, PageSource, Program, SegEvent, SegFrame, SegMem, SegStop, Term,
+    run_segment_cached, trace_kind, FrameSource, GuestEvent as LirGuestEvent, Inst, Intrinsic,
+    MemSize, Operand, PageSource, Program, SegEvent, SegFrame, SegMem, SegPage, SegStop,
+    SuperCache, Term,
 };
 use chef_solver::{ExprId, ExprPool, Solver};
 
@@ -77,15 +78,137 @@ pub struct ExecStats {
     /// transfers back losslessly either way; this only counts the early
     /// exits.
     pub ff_aborts: u64,
+    /// Fast-forward attempts suppressed by the gating policy before any
+    /// segment-VM work (the fixed per-state backoff countdown, or the
+    /// adaptive per-site backoff / cold-region filter).
+    pub ff_skipped: u64,
 }
 
-/// Below this many concrete steps a fast-forward attempt is considered
-/// degenerate: the transfer overhead outweighs the win, so the state backs
-/// off from further attempts for a while.
+/// Below this many concrete steps a [`FfMode::Fixed`] fast-forward attempt
+/// is considered degenerate: the transfer overhead outweighs the win, so
+/// the state backs off from further attempts for a while.
 const FF_MIN_WIN: u64 = 32;
 
-/// Attempts skipped after a degenerate fast-forward before trying again.
+/// Attempts skipped after a degenerate [`FfMode::Fixed`] fast-forward
+/// before trying again.
 const FF_BACKOFF: u32 = 64;
+
+/// Adaptive profitability bar, compared against a site's *EWMA* of net
+/// win per attempt — instructions retired minus constants interned (see
+/// [`FfSiteState::ewma`]) — not the single attempt, so one noisy short
+/// segment at a productive site does not trigger backoff. Transfer in
+/// and out of a segment (frame set-up, then intern-log replay, register
+/// rebuild, and dirty-byte write-back) costs what symbolic execution
+/// spends on a few dozen cheap instructions, so sites averaging below
+/// that are a net loss and back off. Calibrated on the interpreter
+/// packages: higher bars push fork-dense JSON regions whose segments
+/// net under ~200 back to the (far more expensive) symbolic stepper;
+/// lower bars re-admit simplejson's string-builder sites that mint a
+/// fresh constant per instruction and save nothing.
+const FF_PROFIT: u64 = 64;
+
+/// First adaptive backoff interval after a degenerate segment; doubles per
+/// consecutive degenerate attempt.
+const FF_BACKOFF_BASE: u32 = 8;
+
+/// Adaptive backoff cap for anchor sites (loop heads / dispatch heads):
+/// anchors never go cold, so this bounds how rarely they are re-probed.
+/// High, because a stalled anchor in a fork-dense region is visited every
+/// few symbolic steps — at a small cap its residual probes (each a full
+/// segment attempt plus transfer) still add up to a measurable tax.
+const FF_ANCHOR_CAP: u32 = 256;
+
+/// Adaptive backoff cap for ordinary sites.
+const FF_SITE_CAP: u32 = 512;
+
+/// Consecutive degenerate attempts after which a non-anchor site is marked
+/// cold: segment initiation in that region retreats to anchor sites.
+const FF_COLD_STREAK: u32 = 4;
+
+/// How fast-forward segment initiation is gated. A pure performance knob:
+/// canonical test sets, hl_sigs, and instruction counts are byte-identical
+/// in every mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FfMode {
+    /// Never fast-forward (the all-symbolic reference behavior).
+    Off,
+    /// The global fixed gate: a per-state countdown backoff after a
+    /// degenerate data-stall segment, identical at every site.
+    Fixed,
+    /// Per-site adaptive gating keyed on the pre-segment HL PC: an EWMA of
+    /// retired-instructions-per-attempt, exponential backoff doubling up
+    /// to a cap and resetting on profitable segments, and cold-region
+    /// anchoring (chronically degenerate regions only initiate segments at
+    /// loop heads / dispatch heads). The learned table lives on the
+    /// executor — shared across states, merged across fleet workers,
+    /// persisted across serve slices — and is keyed only on execution
+    /// history, never wall time.
+    #[default]
+    Adaptive,
+}
+
+impl FfMode {
+    /// Parses a `--ff-mode` argument (`off`, `fixed`, `adaptive`).
+    pub fn parse(s: &str) -> Option<FfMode> {
+        match s {
+            "off" => Some(FfMode::Off),
+            "fixed" => Some(FfMode::Fixed),
+            "adaptive" => Some(FfMode::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// Stable CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FfMode::Off => "off",
+            FfMode::Fixed => "fixed",
+            FfMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Learned adaptive state of one fast-forward site (an HL PC where
+/// segments are initiated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FfSiteState {
+    /// EWMA of the *net* win per attempt (α = 1/4): concrete instructions
+    /// retired minus constants interned (each logged constant is replayed
+    /// through the pool on transfer, costing about one symbolic step).
+    pub ewma: u64,
+    /// Current backoff interval: attempts to skip after the next
+    /// degenerate segment (0 = eager).
+    pub backoff: u32,
+    /// Consecutive degenerate attempts.
+    pub streak: u32,
+    /// Attempts left to skip right now. Transient: not shipped on the
+    /// wire and reset to zero on import (skipping is local pacing, not
+    /// learned knowledge).
+    pub skip: u32,
+    /// Region is chronically degenerate; only anchor sites initiate.
+    pub cold: bool,
+    /// Site is a loop head or dispatch head in the HL CFG. Anchors never
+    /// go cold and their backoff is capped at [`FF_ANCHOR_CAP`].
+    pub anchor: bool,
+}
+
+impl FfSiteState {
+    /// Deterministic pairwise merge (fleet table exchange): EWMAs average,
+    /// backoff and streak stay conservative (maximum), flags OR. The
+    /// transient `skip` keeps the local value.
+    pub fn absorb(&mut self, other: &FfSiteState) {
+        self.ewma = (self.ewma + other.ewma) / 2;
+        self.backoff = self.backoff.max(other.backoff);
+        self.streak = self.streak.max(other.streak);
+        self.cold |= other.cold;
+        self.anchor |= other.anchor;
+    }
+}
+
+/// A learned fast-forward site table in portable form: `(hl_pc, state)`
+/// sorted by PC (the order [`Executor::ff_sites_snapshot`] exports and
+/// every consumer — wire, fleet merge, serve persistence — preserves).
+pub type FfSiteTable = Vec<(u64, FfSiteState)>;
 
 /// Events surfaced by one fast-forward segment, in execution order. The
 /// engine processes them exactly as it would the corresponding
@@ -165,6 +288,24 @@ pub struct Executor<'p> {
     /// decodes, later ones clone (copy-on-write memory makes that cheap).
     snap_cache: HashMap<u64, State>,
     next_state_id: u64,
+    /// Fast-forward gating mode.
+    ff_mode: FfMode,
+    /// Adaptive per-site gating state, keyed by pre-segment HL PC. Lives
+    /// here (not on states) so learning survives forks and snapshot
+    /// restores; exported via [`Executor::ff_sites_snapshot`].
+    ff_sites: HashMap<u64, FfSiteState>,
+    /// One-entry negative cache: the last HL PC found cold. Cold sites are
+    /// revisited every symbolic step of a stalled region, and coldness is
+    /// sticky within a run, so this turns the common skip into one compare
+    /// instead of a hash probe.
+    ff_cold_hint: u64,
+    /// Superinstruction cache for the segment VM: block fusions learned in
+    /// one segment speed up every later segment.
+    seg_cache: SuperCache,
+    /// Recycled overlay pages for [`Executor::try_fast_forward`]: each
+    /// attempt drains its [`SegMem`] back here so back-to-back segments
+    /// reuse page allocations instead of zeroing fresh ones.
+    seg_pages: Vec<SegPage>,
 }
 
 impl<'p> Executor<'p> {
@@ -179,7 +320,65 @@ impl<'p> Executor<'p> {
             fork_snapshot: None,
             snap_cache: HashMap::new(),
             next_state_id: 1,
+            ff_mode: FfMode::default(),
+            ff_sites: HashMap::new(),
+            ff_cold_hint: u64::MAX,
+            seg_cache: SuperCache::new(),
+            seg_pages: Vec::new(),
         }
+    }
+
+    /// Sets the fast-forward gating mode.
+    pub fn set_ff_mode(&mut self, mode: FfMode) {
+        self.ff_mode = mode;
+    }
+
+    /// The current fast-forward gating mode.
+    pub fn ff_mode(&self) -> FfMode {
+        self.ff_mode
+    }
+
+    /// Marks `sites` as anchors (loop heads / dispatch heads from the HL
+    /// CFG): once a region is cold, only anchors initiate segments, and
+    /// anchors never go cold. Timing is correctness-free — fast-forward is
+    /// a pure performance knob — but callers should invoke this at
+    /// deterministic points so runs stay reproducible.
+    pub fn set_ff_anchors<I: IntoIterator<Item = u64>>(&mut self, sites: I) {
+        for pc in sites {
+            self.ff_sites.entry(pc).or_default().anchor = true;
+        }
+        // An anchored site may have been cold before: drop the negative
+        // cache so the gate re-reads the table.
+        self.ff_cold_hint = u64::MAX;
+    }
+
+    /// Merges a learned site table (a fleet peer's, or one persisted by a
+    /// serve session) into this executor's: EWMAs average, backoff and
+    /// streak take the maximum, flags OR. Deterministic for a fixed call
+    /// order.
+    pub fn ff_absorb<I: IntoIterator<Item = (u64, FfSiteState)>>(&mut self, sites: I) {
+        for (pc, other) in sites {
+            match self.ff_sites.entry(pc) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(&other),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(FfSiteState { skip: 0, ..other });
+                }
+            }
+        }
+        self.ff_cold_hint = u64::MAX;
+    }
+
+    /// The learned site table, sorted by HL PC (the deterministic export
+    /// order every consumer preserves). Transient skip counters are
+    /// zeroed.
+    pub fn ff_sites_snapshot(&self) -> FfSiteTable {
+        let mut v: FfSiteTable = self
+            .ff_sites
+            .iter()
+            .map(|(&pc, s)| (pc, FfSiteState { skip: 0, ..*s }))
+            .collect();
+        v.sort_unstable_by_key(|&(pc, _)| pc);
+        v
     }
 
     /// Builds the initial state (data segments loaded, entry frame pushed).
@@ -942,9 +1141,36 @@ impl<'p> Executor<'p> {
     ///   `state.ll_steps` exactly like symbolic ones, so budgets, hang
     ///   detection, and fair-share scheduling are unchanged.
     pub fn try_fast_forward(&mut self, state: &mut State, max_steps: u64) -> Option<Vec<FfEvent>> {
-        if state.ff_backoff > 0 {
-            state.ff_backoff -= 1;
-            return None;
+        // Policy key: the HL PC where the segment would *start* (the
+        // segment itself may retire `log_pc` events and move `state.hlpc`).
+        let ff_site = state.hlpc;
+        match self.ff_mode {
+            FfMode::Off => return None,
+            FfMode::Fixed => {
+                if state.ff_backoff > 0 {
+                    state.ff_backoff -= 1;
+                    self.stats.ff_skipped += 1;
+                    return None;
+                }
+            }
+            FfMode::Adaptive => {
+                if ff_site == self.ff_cold_hint {
+                    self.stats.ff_skipped += 1;
+                    return None;
+                }
+                if let Some(site) = self.ff_sites.get_mut(&ff_site) {
+                    if site.cold && !site.anchor {
+                        self.ff_cold_hint = ff_site;
+                        self.stats.ff_skipped += 1;
+                        return None;
+                    }
+                    if site.skip > 0 {
+                        site.skip -= 1;
+                        self.stats.ff_skipped += 1;
+                        return None;
+                    }
+                }
+            }
         }
         if max_steps == 0 || state.frames.is_empty() {
             return None;
@@ -987,38 +1213,96 @@ impl<'p> Executor<'p> {
             mem: &state.mem,
             pool: &self.pool,
         };
-        let mut seg_mem = SegMem::new(&src);
-        // Profile key: the HL PC where the segment *starts* (the segment
-        // itself may retire `log_pc` events and move `state.hlpc`).
-        let ff_site = state.hlpc;
+        let mut seg_mem = SegMem::with_pool(&src, std::mem::take(&mut self.seg_pages));
         chef_trace::ff_attempt(ff_site);
         let out = {
             let _seg = chef_trace::span(chef_trace::Phase::ConcreteSeg);
-            run_segment(
+            run_segment_cached(
                 self.prog,
                 &mut seg_frames,
                 &mut below,
                 &mut seg_mem,
                 max_steps,
+                &mut self.seg_cache,
             )
         };
         let consumed = below.consumed;
-        let dirty = seg_mem.into_dirty();
-        // Backoff policy: short segments ending at a *data* boundary mean
-        // this region is dense with live symbolic values — nearby attempts
-        // will stall the same way, so pause before retrying. One-shot
-        // [`SegStop::Event`] stops (make_symbolic, forks, terminators) are
-        // handled by the next symbolic step, after which the landscape is
-        // fresh; they never trigger backoff.
-        let data_stall = matches!(out.stop, SegStop::Boundary | SegStop::TaintedLoad);
-        if out.steps == 0 {
-            if data_stall {
-                state.ff_backoff = FF_BACKOFF;
+        let (dirty, mut pages) = seg_mem.drain();
+        // The pool tracks the high-water page count of a single attempt;
+        // cap it so one memory-sweeping outlier doesn't pin pages forever.
+        pages.truncate(512);
+        self.seg_pages = pages;
+        match self.ff_mode {
+            FfMode::Off => unreachable!("gated above"),
+            // Fixed backoff policy: short segments ending at a *data*
+            // boundary mean this region is dense with live symbolic values
+            // — nearby attempts will stall the same way, so pause before
+            // retrying. One-shot [`SegStop::Event`] stops (make_symbolic,
+            // forks, terminators) are handled by the next symbolic step,
+            // after which the landscape is fresh; they never trigger
+            // backoff.
+            FfMode::Fixed => {
+                let data_stall = matches!(out.stop, SegStop::Boundary | SegStop::TaintedLoad);
+                if data_stall && out.steps < FF_MIN_WIN {
+                    state.ff_backoff = FF_BACKOFF;
+                }
             }
-            return None;
+            // Adaptive policy: a site is degenerate when its smoothed
+            // *net* win per attempt falls below the transfer break-even —
+            // *regardless* of why segments stop. Net, because the transfer
+            // back is not free: every logged constant is replayed through
+            // the pool (a hash probe each, about the cost of the symbolic
+            // step it replaces), so a segment's true saving is its retired
+            // instructions minus its intern log. Interpreter regions that
+            // mint fresh values per instruction (string builders, say)
+            // retire plenty yet save nothing; fork-dense code stalls on
+            // `Event` stops (symbolic branches) the fixed policy never
+            // penalized. Both look degenerate here, which is exactly the
+            // regression this gate exists to remove. Judging the EWMA
+            // rather than the single attempt keeps one noisy short segment
+            // at a productive site from triggering backoff. Unprofitable
+            // sites double their skip interval until a profitable segment
+            // resets them; sites that stay degenerate go cold and stop
+            // initiating segments entirely, unless they are CFG anchors
+            // (loop/dispatch heads), which keep probing at a capped
+            // interval so a region that turns concrete is re-discovered.
+            FfMode::Adaptive => {
+                let gained = out.steps.saturating_sub(out.interns.len() as u64);
+                // A new site's EWMA is seeded with its first attempt, so
+                // the zero initial value doesn't bias good sites degenerate.
+                let fresh = !self.ff_sites.contains_key(&ff_site);
+                let site = self.ff_sites.entry(ff_site).or_default();
+                site.ewma = if fresh {
+                    gained
+                } else {
+                    (3 * site.ewma + gained) / 4
+                };
+                let degenerate = site.ewma < FF_PROFIT;
+                if degenerate {
+                    site.streak += 1;
+                    let cap = if site.anchor {
+                        FF_ANCHOR_CAP
+                    } else {
+                        FF_SITE_CAP
+                    };
+                    site.backoff = if site.backoff == 0 {
+                        FF_BACKOFF_BASE
+                    } else {
+                        (site.backoff * 2).min(cap)
+                    };
+                    site.skip = site.backoff;
+                    if !site.anchor && site.streak >= FF_COLD_STREAK {
+                        site.cold = true;
+                    }
+                } else {
+                    site.streak = 0;
+                    site.backoff = 0;
+                }
+                chef_trace::ff_backoff(ff_site, site.backoff as u64);
+            }
         }
-        if out.steps < FF_MIN_WIN && data_stall {
-            state.ff_backoff = FF_BACKOFF;
+        if out.steps == 0 {
+            return None;
         }
         self.stats.ll_instructions += out.steps;
         self.stats.concrete_ll_executed += out.steps;

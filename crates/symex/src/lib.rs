@@ -56,7 +56,10 @@ pub mod mem;
 pub mod snapshot;
 pub mod state;
 
-pub use exec::{ExecConfig, ExecStats, Executor, FfEvent, GuestEvent, StepEvent};
+pub use exec::{
+    ExecConfig, ExecStats, Executor, FfEvent, FfMode, FfSiteState, FfSiteTable, GuestEvent,
+    StepEvent,
+};
 pub use mem::SymMem;
 pub use snapshot::{SnapFrame, SnapNode, Snapshot};
 pub use state::{Frame, State, StateId, SymInput, TermStatus};

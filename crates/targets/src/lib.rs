@@ -81,10 +81,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Wall-clock cap for the session (see [`chef_core::ChefConfig`]).
     pub max_wall: Option<std::time::Duration>,
-    /// Concrete fast-forward (see [`chef_core::ChefConfig`]): run
-    /// fully-concrete single-path segments on the LIR concrete VM. Pure
-    /// performance knob — reports are equivalent either way.
-    pub fast_forward: bool,
+    /// Concrete fast-forward gating (see [`chef_core::ChefConfig`]): how
+    /// fully-concrete single-path segments are dispatched to the LIR
+    /// concrete VM. Pure performance knob — reports are equivalent in
+    /// every mode.
+    pub ff_mode: chef_core::FfMode,
     /// Canonical (minimum-model) test inputs. Off by default here: the
     /// evaluation harness only needs witness inputs, and canonicalization
     /// costs extra solver queries per test. The engine default
@@ -102,7 +103,7 @@ impl Default for RunConfig {
             per_path_fuel: 150_000,
             seed: 0,
             max_wall: Some(std::time::Duration::from_secs(5)),
-            fast_forward: true,
+            ff_mode: chef_core::FfMode::default(),
             canonical_inputs: false,
         }
     }
@@ -181,7 +182,7 @@ impl Package {
             max_ll_instructions: config.max_ll_instructions,
             per_path_fuel: config.per_path_fuel,
             max_wall: config.max_wall,
-            fast_forward: config.fast_forward,
+            ff_mode: config.ff_mode,
             canonical_inputs: config.canonical_inputs,
             ..ChefConfig::default()
         };

@@ -1,14 +1,14 @@
-//! Concrete fast-forward equivalence: with `fast_forward` on, the engine
-//! executes fully-concrete single-path segments on the LIR concrete VM and
-//! transfers back into the symbolic state at the next symbolic-consuming
-//! instruction. These tests pin the correctness bar from the issue: for
-//! every target and strategy, the canonical test set with fast-forward on
-//! is *byte-identical* to the all-symbolic run — same inputs, same
-//! statuses, same high-level path signatures, in the same order.
+//! Concrete fast-forward equivalence: whatever the `ff_mode`, the engine
+//! must generate *byte-identical* canonical test sets — same inputs, same
+//! statuses, same high-level path signatures, in the same order — because
+//! fast-forward (fixed or adaptive) is a pure performance knob. These
+//! tests pin that bar across every target, strategy, and seed, and check
+//! that the adaptive gate's learned backoff table survives wire shipping
+//! and fleet merging deterministically.
 
 use proptest::prelude::*;
 
-use chef_core::{Chef, ChefConfig, Report, StrategyKind};
+use chef_core::{Chef, ChefConfig, FfMode, FfSiteState, FfTable, Report, StrategyKind, Wire};
 use chef_lir::{ModuleBuilder, Program};
 use chef_targets::{all_packages, Package, RunConfig};
 
@@ -37,26 +37,26 @@ fn test_set(report: &Report) -> Vec<(Vec<(String, Vec<u8>)>, String, Option<Stri
         .collect()
 }
 
-fn run_package(pkg: &Package, strategy: StrategyKind, seed: u64, fast_forward: bool) -> Report {
+fn run_package(pkg: &Package, strategy: StrategyKind, seed: u64, ff_mode: FfMode) -> Report {
     pkg.run(&RunConfig {
         strategy,
         seed,
         max_ll_instructions: 150_000,
         per_path_fuel: 60_000,
         max_wall: None,
-        fast_forward,
+        ff_mode,
         canonical_inputs: true,
         ..RunConfig::default()
     })
 }
 
-/// Asserts the on/off pair is observationally identical and returns the
-/// fast-forward run for stats checks.
+/// Asserts a fast-forwarding run is observationally identical to the
+/// all-symbolic reference.
 fn assert_equivalent(on: &Report, off: &Report, label: &str) {
     assert_eq!(
         test_set(on),
         test_set(off),
-        "{label}: canonical test sets diverge with fast-forward on"
+        "{label}: canonical test sets diverge"
     );
     assert_eq!(on.hl_paths, off.hl_paths, "{label}: hl path counts diverge");
     assert_eq!(on.ll_paths, off.ll_paths, "{label}: ll path counts diverge");
@@ -65,7 +65,7 @@ fn assert_equivalent(on: &Report, off: &Report, label: &str) {
         "{label}: coverage diverges"
     );
     // Fast-forwarded instructions are charged like symbolic ones, so the
-    // budget is exhausted at the same instruction either way.
+    // budget is exhausted at the same instruction in every mode.
     assert_eq!(
         on.ll_instructions, off.ll_instructions,
         "{label}: instruction accounting diverges"
@@ -74,6 +74,23 @@ fn assert_equivalent(on: &Report, off: &Report, label: &str) {
         off.exec_stats.concrete_ll_executed, 0,
         "{label}: the control run must be all-symbolic"
     );
+}
+
+/// Runs all three modes and asserts both fast-forwarding ones match the
+/// `Off` reference. Returns the (fixed, adaptive) reports for stats
+/// checks.
+fn assert_all_modes(
+    pkg: &Package,
+    strategy: StrategyKind,
+    seed: u64,
+    label: &str,
+) -> (Report, Report) {
+    let off = run_package(pkg, strategy, seed, FfMode::Off);
+    let fixed = run_package(pkg, strategy, seed, FfMode::Fixed);
+    let adaptive = run_package(pkg, strategy, seed, FfMode::Adaptive);
+    assert_equivalent(&fixed, &off, &format!("{label}/fixed"));
+    assert_equivalent(&adaptive, &off, &format!("{label}/adaptive"));
+    (fixed, adaptive)
 }
 
 fn package(name: &str) -> Package {
@@ -96,10 +113,9 @@ fn minipy_packages_match_across_strategies_and_seeds() {
     for strategy in strategies {
         for seed in [0u64, 7] {
             let label = format!("simplejson/{strategy:?}/seed{seed}");
-            let on = run_package(&pkg, strategy, seed, true);
-            let off = run_package(&pkg, strategy, seed, false);
-            assert_equivalent(&on, &off, &label);
-            engaged += on.exec_stats.concrete_ll_executed;
+            let (fixed, adaptive) = assert_all_modes(&pkg, strategy, seed, &label);
+            engaged += fixed.exec_stats.concrete_ll_executed;
+            engaged += adaptive.exec_stats.concrete_ll_executed;
         }
     }
     assert!(
@@ -114,10 +130,9 @@ fn minilua_package_matches_across_strategies() {
     let mut engaged = 0u64;
     for strategy in [StrategyKind::CupaPath, StrategyKind::Random] {
         let label = format!("JSON/{strategy:?}");
-        let on = run_package(&pkg, strategy, 3, true);
-        let off = run_package(&pkg, strategy, 3, false);
-        assert_equivalent(&on, &off, &label);
-        engaged += on.exec_stats.concrete_ll_executed;
+        let (fixed, adaptive) = assert_all_modes(&pkg, strategy, 3, &label);
+        engaged += fixed.exec_stats.concrete_ll_executed;
+        engaged += adaptive.exec_stats.concrete_ll_executed;
     }
     assert!(engaged > 0, "fast-forward never engaged on any JSON run");
 }
@@ -125,9 +140,7 @@ fn minilua_package_matches_across_strategies() {
 #[test]
 fn every_package_smoke_matches_under_the_default_strategy() {
     for pkg in all_packages() {
-        let on = run_package(&pkg, StrategyKind::CupaPath, 0, true);
-        let off = run_package(&pkg, StrategyKind::CupaPath, 0, false);
-        assert_equivalent(&on, &off, pkg.name);
+        assert_all_modes(&pkg, StrategyKind::CupaPath, 0, pkg.name);
     }
 }
 
@@ -173,7 +186,7 @@ fn mixed_program(taint_mid_loop: bool) -> Program {
     mb.finish("main").unwrap()
 }
 
-fn run_raw(prog: &Program, strategy: StrategyKind, seed: u64, fast_forward: bool) -> Report {
+fn run_raw(prog: &Program, strategy: StrategyKind, seed: u64, ff_mode: FfMode) -> Report {
     Chef::new(
         prog,
         ChefConfig {
@@ -181,7 +194,7 @@ fn run_raw(prog: &Program, strategy: StrategyKind, seed: u64, fast_forward: bool
             seed,
             max_ll_instructions: 60_000,
             per_path_fuel: 20_000,
-            fast_forward,
+            ff_mode,
             ..ChefConfig::default()
         },
     )
@@ -191,32 +204,170 @@ fn run_raw(prog: &Program, strategy: StrategyKind, seed: u64, fast_forward: bool
 #[test]
 fn raw_lir_checksum_loop_fast_forwards_and_matches() {
     let prog = mixed_program(false);
-    let on = run_raw(&prog, StrategyKind::CupaPath, 0, true);
-    let off = run_raw(&prog, StrategyKind::CupaPath, 0, false);
-    assert_equivalent(&on, &off, "checksum");
-    assert!(
-        on.exec_stats.concrete_ll_executed > 100,
-        "the concrete loop should fast-forward (got {} concrete instructions)",
-        on.exec_stats.concrete_ll_executed
-    );
-    assert!(on.exec_stats.fast_forwards > 0);
+    let off = run_raw(&prog, StrategyKind::CupaPath, 0, FfMode::Off);
+    for mode in [FfMode::Fixed, FfMode::Adaptive] {
+        let on = run_raw(&prog, StrategyKind::CupaPath, 0, mode);
+        assert_equivalent(&on, &off, &format!("checksum/{}", mode.name()));
+        assert!(
+            on.exec_stats.concrete_ll_executed > 100,
+            "the concrete loop should fast-forward under {} (got {} concrete instructions)",
+            mode.name(),
+            on.exec_stats.concrete_ll_executed
+        );
+        assert!(on.exec_stats.fast_forwards > 0);
+    }
 }
 
 #[test]
 fn tainted_load_aborts_transfer_back_losslessly() {
     let prog = mixed_program(true);
-    let on = run_raw(&prog, StrategyKind::CupaPath, 0, true);
-    let off = run_raw(&prog, StrategyKind::CupaPath, 0, false);
-    assert_equivalent(&on, &off, "tainted");
+    let off = run_raw(&prog, StrategyKind::CupaPath, 0, FfMode::Off);
+    for mode in [FfMode::Fixed, FfMode::Adaptive] {
+        let on = run_raw(&prog, StrategyKind::CupaPath, 0, mode);
+        assert_equivalent(&on, &off, &format!("tainted/{}", mode.name()));
+        assert!(
+            on.exec_stats.ff_aborts > 0,
+            "reading the symbolic buffer mid-segment should abort at least one segment"
+        );
+    }
+}
+
+#[test]
+fn adaptive_gate_learns_sites_and_reports_them() {
+    let pkg = package("simplejson");
+    let adaptive = run_package(&pkg, StrategyKind::CupaPath, 0, FfMode::Adaptive);
     assert!(
-        on.exec_stats.ff_aborts > 0,
-        "reading the symbolic buffer mid-segment should abort at least one segment"
+        !adaptive.ff_sites.is_empty(),
+        "an adaptive run over a real package should learn at least one site"
     );
+    // Snapshot form: sorted by PC, no duplicates, transient skip zeroed.
+    for pair in adaptive.ff_sites.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "site table must be sorted/deduped");
+    }
+    assert!(adaptive.ff_sites.iter().all(|(_, s)| s.skip == 0));
+    // Non-adaptive runs never publish a table.
+    let fixed = run_package(&pkg, StrategyKind::CupaPath, 0, FfMode::Fixed);
+    assert!(fixed.ff_sites.is_empty());
+}
+
+#[test]
+fn backoff_table_round_trips_through_the_wire() {
+    let pkg = package("simplejson");
+    let report = run_package(&pkg, StrategyKind::CupaPath, 0, FfMode::Adaptive);
+    assert!(!report.ff_sites.is_empty());
+
+    // The standalone frame serve sessions persist and fleets ship.
+    let frame = FfTable(report.ff_sites.clone()).to_frame();
+    let back = FfTable::from_frame(&frame).expect("ff table frame decodes");
+    assert_eq!(back.0, report.ff_sites, "wire round-trip is lossless");
+
+    // The full report embeds the same table.
+    let rt = Report::from_frame(&report.to_frame()).expect("report decodes");
+    assert_eq!(rt.ff_sites, report.ff_sites);
+}
+
+#[test]
+fn seeded_backoff_state_preserves_equivalence() {
+    // A warm-started engine (snapshot resume / serve slice / fleet
+    // WorkSeed shipping all funnel through `absorb_ff_sites`) must still
+    // produce the byte-identical canonical test set.
+    let pkg = package("ConfigParser");
+    let off = run_package(&pkg, StrategyKind::CupaPath, 1, FfMode::Off);
+    let first = run_package(&pkg, StrategyKind::CupaPath, 1, FfMode::Adaptive);
+    assert_equivalent(&first, &off, "ConfigParser/adaptive-cold");
+
+    let prog = pkg.build(&RunConfig::default().opts);
+    let config = ChefConfig {
+        strategy: StrategyKind::CupaPath,
+        seed: 1,
+        max_ll_instructions: 150_000,
+        per_path_fuel: 60_000,
+        max_wall: None,
+        ff_mode: FfMode::Adaptive,
+        canonical_inputs: true,
+        ..ChefConfig::default()
+    };
+    let mut chef = Chef::new(&prog, config);
+    // Ship the learned table through the wire frame first, as serve does.
+    let shipped = FfTable::from_frame(&FfTable(first.ff_sites.clone()).to_frame())
+        .unwrap()
+        .0;
+    chef.absorb_ff_sites(shipped);
+    let warm = chef.run();
+    assert_equivalent(&warm, &off, "ConfigParser/adaptive-warm");
+}
+
+#[test]
+fn fleet_merge_of_backoff_tables_is_deterministic() {
+    let pkg = package("simplejson");
+    let a = run_package(&pkg, StrategyKind::CupaPath, 0, FfMode::Adaptive).ff_sites;
+    let b = run_package(&pkg, StrategyKind::Random, 5, FfMode::Adaptive).ff_sites;
+    assert!(!a.is_empty() && !b.is_empty());
+
+    // Mirror chef-fleet's merge: absorb worker tables in worker-index
+    // order into a BTreeMap. Same inputs, same order => same table.
+    let merge = |tables: &[&[(u64, FfSiteState)]]| {
+        let mut acc = std::collections::BTreeMap::<u64, FfSiteState>::new();
+        for table in tables {
+            for &(pc, state) in *table {
+                acc.entry(pc)
+                    .and_modify(|s| s.absorb(&state))
+                    .or_insert(state);
+            }
+        }
+        acc.into_iter().collect::<Vec<_>>()
+    };
+    let merged = merge(&[&a, &b]);
+    assert_eq!(merged, merge(&[&a, &b]), "merge must be reproducible");
+
+    // Merged knowledge stays conservative: flags OR, backoff is the max.
+    let find =
+        |t: &[(u64, FfSiteState)], pc: u64| t.iter().find(|(p, _)| *p == pc).map(|(_, s)| *s);
+    for &(pc, s) in &merged {
+        let sa = find(&a, pc);
+        let sb = find(&b, pc);
+        let max_backoff = sa.map_or(0, |s| s.backoff).max(sb.map_or(0, |s| s.backoff));
+        assert_eq!(s.backoff, max_backoff, "site {pc:#x}: backoff is max");
+        assert_eq!(
+            s.cold,
+            sa.is_some_and(|s| s.cold) || sb.is_some_and(|s| s.cold),
+            "site {pc:#x}: cold ORs"
+        );
+        assert_eq!(s.skip, 0, "site {pc:#x}: skip is transient");
+    }
+
+    // An actual two-worker fleet seeded with the merged table absorbs it
+    // (WorkSeed shipping end-to-end) and hands back a superset.
+    let prog = pkg.build(&RunConfig::default().opts);
+    let fleet = chef_fleet::run_fleet(
+        &prog,
+        chef_fleet::FleetConfig {
+            jobs: 2,
+            base: ChefConfig {
+                strategy: StrategyKind::CupaPath,
+                max_ll_instructions: 80_000,
+                per_path_fuel: 40_000,
+                ff_mode: FfMode::Adaptive,
+                ..ChefConfig::default()
+            },
+            seed_ff_sites: merged.clone(),
+            ..chef_fleet::FleetConfig::default()
+        },
+    );
+    for &(pc, seeded) in &merged {
+        let got = find(&fleet.ff_sites, pc)
+            .unwrap_or_else(|| panic!("seeded site {pc:#x} lost in fleet merge"));
+        assert!(
+            got.anchor || !seeded.anchor,
+            "site {pc:#x}: anchor flag kept"
+        );
+        assert!(got.cold || !seeded.cold, "site {pc:#x}: cold flag kept");
+    }
 }
 
 /// Random raw-LIR decision programs: a concrete preamble loop, then a
 /// chain of threshold tests over a symbolic byte. Equivalence must hold
-/// for every shape, strategy, and seed.
+/// for every shape, mode, strategy, and seed.
 #[derive(Clone, Debug)]
 struct Shape {
     preamble_iters: u8,
@@ -286,10 +437,12 @@ proptest! {
             _ => StrategyKind::Dfs,
         };
         let prog = build_shape(&sh);
-        let on = run_raw(&prog, strategy, sh.seed, true);
-        let off = run_raw(&prog, strategy, sh.seed, false);
-        prop_assert_eq!(test_set(&on), test_set(&off));
-        prop_assert_eq!(on.ll_instructions, off.ll_instructions);
+        let off = run_raw(&prog, strategy, sh.seed, FfMode::Off);
+        for mode in [FfMode::Fixed, FfMode::Adaptive] {
+            let on = run_raw(&prog, strategy, sh.seed, mode);
+            prop_assert_eq!(test_set(&on), test_set(&off), "mode {}", mode.name());
+            prop_assert_eq!(on.ll_instructions, off.ll_instructions, "mode {}", mode.name());
+        }
         prop_assert_eq!(off.exec_stats.concrete_ll_executed, 0);
     }
 }

@@ -14,7 +14,7 @@ fn cfg(budget: u64) -> RunConfig {
         seed: 1,
         max_wall: Some(std::time::Duration::from_secs(30)),
         canonical_inputs: false,
-        fast_forward: true,
+        ff_mode: Default::default(),
     }
 }
 

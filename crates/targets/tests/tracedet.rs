@@ -64,7 +64,7 @@ fn run_at(pkg: &Package, strategy: StrategyKind, seed: u64, level: TraceLevel) -
         max_ll_instructions: 150_000,
         per_path_fuel: 60_000,
         max_wall: None,
-        fast_forward: true,
+        ff_mode: Default::default(),
         canonical_inputs: true,
         ..RunConfig::default()
     });

@@ -236,6 +236,10 @@ pub struct FfSite {
     pub aborts: u64,
     /// Total concrete instructions retired at this site.
     pub steps: u64,
+    /// Current adaptive backoff interval at this site (attempts the
+    /// executor will skip after the next degenerate segment; 0 = eager).
+    /// A gauge, not a counter: merging keeps the maximum.
+    pub backoff: u64,
 }
 
 impl FfSite {
@@ -244,6 +248,7 @@ impl FfSite {
         self.retired += other.retired;
         self.aborts += other.aborts;
         self.steps += other.steps;
+        self.backoff = self.backoff.max(other.backoff);
     }
 }
 
@@ -261,6 +266,9 @@ pub struct TraceStats {
     pub solver_query_ns: Histogram,
     /// Fast-forward profile keyed by high-level PC.
     pub ff_sites: BTreeMap<u64, FfSite>,
+    /// Retired-instructions-per-segment distribution (log2 buckets), all
+    /// sites pooled: where the fast-forward win actually comes from.
+    pub ff_seg_len: Histogram,
 }
 
 impl TraceStats {
@@ -275,6 +283,7 @@ impl TraceStats {
         for (pc, site) in &other.ff_sites {
             self.ff_sites.entry(*pc).or_default().merge(site);
         }
+        self.ff_seg_len.merge(&other.ff_seg_len);
     }
 
     /// Whether nothing at all was recorded.
@@ -284,6 +293,7 @@ impl TraceStats {
             && self.span_ns.is_empty()
             && self.solver_query_ns.is_empty()
             && self.ff_sites.is_empty()
+            && self.ff_seg_len.is_empty()
     }
 
     /// Total attributed busy nanoseconds across all phases.
@@ -388,6 +398,7 @@ thread_local! {
                 span_ns: Histogram { buckets: [0; HIST_BUCKETS] },
                 solver_query_ns: Histogram { buckets: [0; HIST_BUCKETS] },
                 ff_sites: BTreeMap::new(),
+                ff_seg_len: Histogram { buckets: [0; HIST_BUCKETS] },
             },
             stack: Vec::new(),
             last: None,
@@ -536,6 +547,23 @@ pub fn ff_retired(hlpc: u64, steps: u64) {
             let site = l.stats.ff_sites.entry(hlpc).or_default();
             site.retired += 1;
             site.steps += steps;
+            l.stats.ff_seg_len.record(steps);
+        });
+    }
+}
+
+/// Records the adaptive gate's current backoff interval at `hlpc` (a
+/// gauge; overwrites the previous value for the site).
+#[inline]
+pub fn ff_backoff(hlpc: u64, backoff: u64) {
+    if level() != TraceLevel::Off {
+        LOCAL.with(|l| {
+            l.borrow_mut()
+                .stats
+                .ff_sites
+                .entry(hlpc)
+                .or_default()
+                .backoff = backoff
         });
     }
 }
@@ -643,6 +671,7 @@ mod tests {
             ff_attempt(42);
             ff_retired(42, 100);
             ff_abort(42);
+            ff_backoff(42, 8);
             record_solver_query(Duration::from_micros(10));
             record_phase(Phase::SchedWait, Duration::from_micros(10));
         }
@@ -684,9 +713,11 @@ mod tests {
                 retired: 2,
                 aborts: 1,
                 steps: 500,
+                backoff: 16,
             },
         );
         a.solver_query_ns.record(10);
+        a.ff_seg_len.record(500);
         let mut b = TraceStats::default();
         b.phase_count[0] = 5;
         b.phase_ns[0] = 50;
@@ -697,16 +728,20 @@ mod tests {
                 retired: 1,
                 aborts: 0,
                 steps: 40,
+                backoff: 4,
             },
         );
         b.ff_sites.insert(9, FfSite::default());
+        b.ff_seg_len.record(40);
         a.merge(&b);
         assert_eq!(a.phase_count[0], 7);
         assert_eq!(a.phase_ns[0], 150);
         assert_eq!(a.ff_sites[&1].attempts, 4);
         assert_eq!(a.ff_sites[&1].steps, 540);
+        assert_eq!(a.ff_sites[&1].backoff, 16, "backoff merges as a max gauge");
         assert_eq!(a.ff_sites.len(), 2);
         assert_eq!(a.solver_query_ns.count(), 1);
+        assert_eq!(a.ff_seg_len.count(), 2);
     }
 
     #[test]
@@ -721,6 +756,7 @@ mod tests {
                 retired: 8,
                 aborts: 2,
                 steps: 4_000,
+                backoff: 0,
             },
         );
         let folded = s.folded();

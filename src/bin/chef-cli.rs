@@ -30,19 +30,21 @@ fn usage() -> ExitCode {
            [--sym-int name:min:max]...
            [--strategy random|dfs|cupa-path|cupa-coverage]
            [--budget <ll-instructions>] [--vanilla] [--seed <n>]
-           [--jobs <n>] [--portfolio] [--no-fast-forward]
-           [--trace-level off|counters|spans]
+           [--jobs <n>] [--portfolio] [--ff-mode off|fixed|adaptive]
+           [--no-fast-forward] [--trace-level off|counters|spans]
   chef-cli disasm <file.py|file.lua>
   chef-cli profile (--package <name> | <file.py|file.lua> --entry <fn>
                   [--sym-str name:len]... [--sym-int name:min:max]...)
                   [--strategy <s>] [--budget <n>] [--seed <n>]
-                  [--no-fast-forward]
+                  [--ff-mode off|fixed|adaptive] [--no-fast-forward]
+                  [--ff-sites-json]
 
   chef-cli serve  [--addr <host:port>] [--data-dir <dir>]
                   [--checkpoint-interval <ll-instructions>]
                   [--workers <n>] [--max-sessions <n>] [--max-conns <n>]
                   [--corpus-budget <bytes>] [--slice-timeout-ms <ms>]
-                  [--no-fast-forward] [--trace-level off|counters|spans]
+                  [--ff-mode off|fixed|adaptive] [--no-fast-forward]
+                  [--trace-level off|counters|spans]
                   [--fault-profile torn|enospc|conn|mixed] [--fault-seed <n>]
   chef-cli submit <file.py|file.lua> --entry <fn> [--sym-str name:len]...
                   [--sym-int name:min:max]... [--strategy <s>]
@@ -71,9 +73,13 @@ fn usage() -> ExitCode {
   --fault-profile p deterministic fault injection: torn, enospc, conn, mixed
   --fault-seed n    seed for the fault plan (default 1; needs --fault-profile)
   --quota n     fair-share weight of the session (default 100)
-  --no-fast-forward  disable the concrete fast-forward optimization
-                (single-path segments on the concrete VM); tests are
-                byte-identical either way
+  --ff-mode m   concrete fast-forward gating: off, fixed (global
+                backoff window), or adaptive (per-site backoff with CFG
+                anchors and superinstruction blocks; default); tests are
+                byte-identical in every mode
+  --no-fast-forward  legacy alias for --ff-mode off
+  --ff-sites-json  (profile) dump the per-site fast-forward table as
+                JSON to stdout instead of the folded-stack profile
   --trace-level l  phase time attribution: off (default), counters
                 (counts only), spans (counts + self-time); reporting
                 only — generated tests are byte-identical at any level
@@ -182,7 +188,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut jobs: Option<usize> = None;
     let mut portfolio = false;
-    let mut fast_forward = true;
+    let mut ff_mode = chef::core::FfMode::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -221,7 +227,17 @@ fn run(args: &[String]) -> ExitCode {
                 jobs = Some(v);
             }
             "--portfolio" => portfolio = true,
-            "--no-fast-forward" => fast_forward = false,
+            "--ff-mode" => {
+                let Some(m) = it
+                    .next()
+                    .map(String::as_str)
+                    .and_then(chef::core::FfMode::parse)
+                else {
+                    return usage();
+                };
+                ff_mode = m;
+            }
+            "--no-fast-forward" => ff_mode = chef::core::FfMode::Off,
             "--vanilla" => opts = InterpreterOptions::vanilla(),
             "--trace-level" => {
                 let Some(l) = it
@@ -273,7 +289,7 @@ fn run(args: &[String]) -> ExitCode {
         seed,
         max_ll_instructions: budget,
         per_path_fuel: budget / 8,
-        fast_forward,
+        ff_mode,
         ..ChefConfig::default()
     };
     // --portfolio alone spreads the default portfolio across as many
@@ -387,7 +403,8 @@ fn profile(args: &[String]) -> ExitCode {
     let mut strategy = StrategyKind::CupaPath;
     let mut budget = 1_000_000u64;
     let mut seed = 0u64;
-    let mut fast_forward = true;
+    let mut ff_mode = chef::core::FfMode::default();
+    let mut ff_sites_json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -417,7 +434,18 @@ fn profile(args: &[String]) -> ExitCode {
                 };
                 seed = v;
             }
-            "--no-fast-forward" => fast_forward = false,
+            "--ff-mode" => {
+                let Some(m) = it
+                    .next()
+                    .map(String::as_str)
+                    .and_then(chef::core::FfMode::parse)
+                else {
+                    return usage();
+                };
+                ff_mode = m;
+            }
+            "--no-fast-forward" => ff_mode = chef::core::FfMode::Off,
+            "--ff-sites-json" => ff_sites_json = true,
             other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
@@ -438,7 +466,7 @@ fn profile(args: &[String]) -> ExitCode {
             seed,
             max_ll_instructions: budget,
             per_path_fuel: budget / 8,
-            fast_forward,
+            ff_mode,
             ..chef::targets::RunConfig::default()
         })
     } else {
@@ -476,20 +504,58 @@ fn profile(args: &[String]) -> ExitCode {
             seed,
             max_ll_instructions: budget,
             per_path_fuel: budget / 8,
-            fast_forward,
+            ff_mode,
             ..ChefConfig::default()
         };
         Chef::new(&prog, config).run()
     };
-    print!("{}", report.trace.folded());
+    if ff_sites_json {
+        print!("{}", ff_sites_json_dump(&report));
+    } else {
+        print!("{}", report.trace.folded());
+    }
+    let (attempted, retired) = report
+        .trace
+        .ff_sites
+        .values()
+        .fold((0u64, 0u64), |(a, s), site| {
+            (a + site.attempts, s + site.steps)
+        });
     eprintln!(
         "{} tests, {} hl paths, {} ll instructions",
         report.tests.len(),
         report.hl_paths,
         report.ll_instructions
     );
+    if attempted > 0 {
+        eprintln!(
+            "ff efficiency: {retired} retired / {attempted} attempted = {} per attempt \
+             ({} skipped by gate)",
+            retired / attempted.max(1),
+            report.exec_stats.ff_skipped
+        );
+    }
     eprintln!("trace: {}", report.trace.summary());
     ExitCode::SUCCESS
+}
+
+/// Renders the per-site fast-forward table as a JSON array (sorted by
+/// site so output is diff-stable): per site its profile counters from the
+/// trace plane and the adaptive gate's current backoff gauge.
+fn ff_sites_json_dump(report: &chef::core::Report) -> String {
+    let mut sites: Vec<(&u64, &chef::trace::FfSite)> = report.trace.ff_sites.iter().collect();
+    sites.sort_by_key(|&(pc, _)| *pc);
+    let mut out = String::from("[\n");
+    for (i, (pc, s)) in sites.iter().enumerate() {
+        let sep = if i + 1 == sites.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"site\": {pc}, \"attempts\": {}, \"retired\": {}, \"aborts\": {}, \
+             \"steps\": {}, \"backoff\": {}}}{sep}\n",
+            s.attempts, s.retired, s.aborts, s.steps, s.backoff
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 fn serve(args: &[String]) -> ExitCode {
@@ -546,7 +612,17 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 config.slice_timeout_ms = v;
             }
-            "--no-fast-forward" => config.fast_forward = false,
+            "--ff-mode" => {
+                let Some(m) = it
+                    .next()
+                    .map(String::as_str)
+                    .and_then(chef::core::FfMode::parse)
+                else {
+                    return usage();
+                };
+                config.ff_mode = m;
+            }
+            "--no-fast-forward" => config.ff_mode = chef::core::FfMode::Off,
             "--trace-level" => {
                 let Some(l) = it
                     .next()
@@ -920,8 +996,16 @@ fn top(args: &[String]) -> ExitCode {
         } else {
             summary
         };
+        // Fast-forward efficiency: concrete instructions retired per
+        // segment attempt — the number the adaptive gate maximizes.
+        let ff = sess
+            .get("trace")
+            .map(|t| (int_of(t, "ff_attempts"), int_of(t, "ff_retired")))
+            .filter(|&(attempts, _)| attempts > 0)
+            .map(|(attempts, retired)| format!(" ff-eff={}/attempt", retired / attempts.max(1)))
+            .unwrap_or_default();
         println!(
-            "session={} state={} slices={} wait-ms={} | {phases}",
+            "session={} state={} slices={} wait-ms={}{ff} | {phases}",
             str_of(sess, "session"),
             str_of(sess, "state"),
             int_of(sess, "sched_slices"),
